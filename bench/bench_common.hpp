@@ -1,0 +1,193 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Each bench prints the rows/series of one paper figure group.  Scaled-down
+// defaults keep every binary in the seconds range; CRITTER_PAPER_SCALE=1
+// switches to the paper's rank counts and matrix sizes, and
+// CRITTER_BENCH_SAMPLES / CRITTER_BENCH_TOLS override the sweep density.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tune/tuner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace bench {
+
+using critter::Policy;
+namespace tune = critter::tune;
+namespace util = critter::util;
+
+inline std::vector<double> tolerance_sweep() {
+  // paper: log2(eps) from 0 down to -10; default here: every other point
+  const int n = static_cast<int>(util::env_int("CRITTER_BENCH_TOLS", 6));
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i)
+    out.push_back(std::pow(2.0, -10.0 * i / std::max(1, n - 1)));
+  return out;
+}
+
+inline int sample_count() {
+  return static_cast<int>(util::env_int("CRITTER_BENCH_SAMPLES", 2));
+}
+
+inline const std::vector<Policy>& all_policies(bool with_eager) {
+  static const std::vector<Policy> with_e = {
+      Policy::ConditionalExecution, Policy::EagerPropagation,
+      Policy::LocalPropagation, Policy::OnlinePropagation,
+      Policy::AprioriPropagation};
+  static const std::vector<Policy> without_e = {
+      Policy::ConditionalExecution, Policy::LocalPropagation,
+      Policy::OnlinePropagation, Policy::AprioriPropagation};
+  return with_eager ? with_e : without_e;
+}
+
+/// Fig. 3 panels for one study: per-configuration BSP costs (critical path
+/// and volumetric average) and modeled execution/computation/communication
+/// times from a full instrumented execution.
+inline void print_fig3(const tune::Study& study, const char* fig_costs,
+                       const char* fig_comp, const char* fig_time) {
+  util::Table costs(std::string(fig_costs) + ": " + study.name +
+                    " BSP communication vs synchronization");
+  costs.header({"config", "params", "sync-cp", "sync-avg", "commwords-cp",
+                "commwords-avg"});
+  util::Table comp(std::string(fig_comp) + ": " + study.name +
+                   " BSP computation vs synchronization");
+  comp.header({"config", "params", "sync-cp", "sync-avg", "flops-cp",
+               "flops-avg"});
+  util::Table times(std::string(fig_time) + ": " + study.name +
+                    " execution/computation/communication time (s)");
+  times.header({"config", "params", "exec", "comp", "comm"});
+
+  for (const auto& cfg : study.configs) {
+    critter::Report r = tune::measure_config(study, cfg, 1234 + cfg.index);
+    const std::string lbl = cfg.label(study.app);
+    const std::string idx = std::to_string(cfg.index);
+    costs.row({idx, lbl, util::Table::sci(r.critical.sync_cost),
+               util::Table::sci(r.volavg.sync_cost),
+               util::Table::sci(r.critical.comm_cost),
+               util::Table::sci(r.volavg.comm_cost)});
+    comp.row({idx, lbl, util::Table::sci(r.critical.sync_cost),
+              util::Table::sci(r.volavg.sync_cost),
+              util::Table::sci(r.critical.comp_cost),
+              util::Table::sci(r.volavg.comp_cost)});
+    times.row({idx, lbl, util::Table::num(r.critical.exec_time, 6),
+               util::Table::num(r.critical.comp_time, 6),
+               util::Table::num(r.critical.comm_time, 6)});
+  }
+  costs.print();
+  comp.print();
+  times.print();
+}
+
+struct SweepRow {
+  Policy policy;
+  double tolerance;
+  tune::TuneResult result;
+};
+
+/// Run the tolerance sweep for every policy (the Fig. 4/5 protocol).
+inline std::vector<SweepRow> sweep(const tune::Study& study, bool with_eager,
+                                   bool reset_per_config) {
+  std::vector<SweepRow> rows;
+  for (Policy pol : all_policies(with_eager)) {
+    for (double tol : tolerance_sweep()) {
+      tune::TuneOptions opt;
+      opt.policy = pol;
+      opt.tolerance = tol;
+      opt.samples = sample_count();
+      opt.reset_per_config = reset_per_config;
+      opt.seed_salt = static_cast<std::uint64_t>(tol * 1e6) + 31 * static_cast<int>(pol);
+      rows.push_back({pol, tol, tune::run_study(study, opt)});
+    }
+  }
+  return rows;
+}
+
+inline void print_tuning_time(const std::vector<SweepRow>& rows,
+                              const char* fig, const std::string& study_name) {
+  util::Table t(std::string(fig) + ": " + study_name +
+                " exhaustive-search execution time vs confidence tolerance");
+  t.header({"policy", "log2(eps)", "tuning-time(s)", "full-exec(s)", "speedup"});
+  for (const auto& r : rows)
+    t.row({critter::policy_name(r.policy),
+           util::Table::num(std::log2(r.tolerance), 1),
+           util::Table::num(r.result.tuning_time, 4),
+           util::Table::num(r.result.full_time, 4),
+           util::Table::num(r.result.full_time /
+                                std::max(r.result.tuning_time, 1e-300),
+                            2)});
+  t.print();
+}
+
+inline void print_mean_log_err(const std::vector<SweepRow>& rows,
+                               const char* fig, const std::string& study_name,
+                               const char* which) {
+  util::Table t(std::string(fig) + ": " + study_name + " mean log2 " + which +
+                " prediction error vs confidence tolerance");
+  t.header({"policy", "log2(eps)", std::string("mean-log2-") + which + "-err"});
+  for (const auto& r : rows)
+    t.row({critter::policy_name(r.policy),
+           util::Table::num(std::log2(r.tolerance), 1),
+           util::Table::num(std::string(which) == "comp-time"
+                                ? r.result.mean_log2_comp_err()
+                                : r.result.mean_log2_err(),
+                            3)});
+  t.print();
+}
+
+inline void print_kernel_time(const std::vector<SweepRow>& rows,
+                              const char* fig, const std::string& study_name) {
+  util::Table t(std::string(fig) + ": " + study_name +
+                " exhaustive-search selectively-executed kernel time");
+  t.header({"policy", "log2(eps)", "kernel-time(s)", "full-kernel-time(s)",
+            "reduction"});
+  for (const auto& r : rows)
+    t.row({critter::policy_name(r.policy),
+           util::Table::num(std::log2(r.tolerance), 1),
+           util::Table::num(r.result.kernel_time, 4),
+           util::Table::num(r.result.full_kernel_time, 4),
+           util::Table::num(r.result.full_kernel_time /
+                                std::max(r.result.kernel_time, 1e-300),
+                            2)});
+  t.print();
+}
+
+/// Per-configuration prediction error at a handful of tolerances for one
+/// policy (Fig. 4g/4h/5g/5h use online propagation).
+inline void print_per_config_error(const tune::Study& study, const char* fig,
+                                   const std::vector<double>& tols,
+                                   bool reset_per_config, bool comp_time) {
+  util::Table t(std::string(fig) + ": " + study.name + " per-configuration " +
+                (comp_time ? "comp-time kernel" : "exec-time") +
+                " prediction error (%), online freq propagation");
+  std::vector<std::string> hdr{"config", "params"};
+  for (double tol : tols) hdr.push_back("eps=2^" + util::Table::num(std::log2(tol), 0));
+  t.header(hdr);
+  std::vector<tune::TuneResult> results;
+  for (double tol : tols) {
+    tune::TuneOptions opt;
+    opt.policy = Policy::OnlinePropagation;
+    opt.tolerance = tol;
+    opt.samples = sample_count();
+    opt.reset_per_config = reset_per_config;
+    opt.seed_salt = 77 + static_cast<std::uint64_t>(-std::log2(tol));
+    results.push_back(tune::run_study(study, opt));
+  }
+  for (std::size_t v = 0; v < study.configs.size(); ++v) {
+    std::vector<std::string> row{std::to_string(v),
+                                 study.configs[v].label(study.app)};
+    for (auto& res : results)
+      row.push_back(util::Table::num(
+          100.0 * (comp_time ? res.per_config[v].comp_err
+                             : res.per_config[v].err),
+          2));
+    t.row(std::move(row));
+  }
+  t.print();
+}
+
+}  // namespace bench

@@ -1,0 +1,11 @@
+// Reproduces Fig. 3c / 3g / 3k for CANDMC's QR configuration space.
+#include "bench_common.hpp"
+
+int main() {
+  const auto study = bench::tune::candmc_qr_study(critter::util::paper_scale());
+  std::printf("%s: %d ranks, %d x %d matrix, %zu configurations\n",
+              study.name.c_str(), study.nranks, study.m, study.n,
+              study.configs.size());
+  bench::print_fig3(study, "Fig3c", "Fig3g", "Fig3k");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Fig. 3a (BSP communication vs synchronization), Fig. 3e
+// (BSP computation vs synchronization), and Fig. 3i (execution times) for
+// Capital's Cholesky factorization configuration space.
+#include "bench_common.hpp"
+
+int main() {
+  const auto study = bench::tune::capital_cholesky_study(critter::util::paper_scale());
+  std::printf("%s: %d ranks, %d x %d matrix, %zu configurations\n",
+              study.name.c_str(), study.nranks, study.n, study.n,
+              study.configs.size());
+  bench::print_fig3(study, "Fig3a", "Fig3e", "Fig3i");
+  return 0;
+}

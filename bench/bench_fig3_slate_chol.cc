@@ -1,0 +1,11 @@
+// Reproduces Fig. 3b / 3f / 3j for SLATE's Cholesky configuration space.
+#include "bench_common.hpp"
+
+int main() {
+  const auto study = bench::tune::slate_cholesky_study(critter::util::paper_scale());
+  std::printf("%s: %d ranks, %d x %d matrix, %zu configurations\n",
+              study.name.c_str(), study.nranks, study.n, study.n,
+              study.configs.size());
+  bench::print_fig3(study, "Fig3b", "Fig3f", "Fig3j");
+  return 0;
+}

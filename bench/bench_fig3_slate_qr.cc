@@ -1,0 +1,11 @@
+// Reproduces Fig. 3d / 3h / 3l for SLATE's QR configuration space.
+#include "bench_common.hpp"
+
+int main() {
+  const auto study = bench::tune::slate_qr_study(critter::util::paper_scale());
+  std::printf("%s: %d ranks, %d x %d matrix, %zu configurations\n",
+              study.name.c_str(), study.nranks, study.m, study.n,
+              study.configs.size());
+  bench::print_fig3(study, "Fig3d", "Fig3h", "Fig3l");
+  return 0;
+}

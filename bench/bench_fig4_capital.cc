@@ -1,0 +1,20 @@
+// Reproduces Fig. 4a (tuning time vs tolerance, all five policies),
+// Fig. 4e (mean log exec-time prediction error), and Fig. 4g
+// (per-configuration exec-time error) for Capital's Cholesky.
+#include "bench_common.hpp"
+
+int main() {
+  const auto study = bench::tune::capital_cholesky_study(critter::util::paper_scale());
+  std::printf("%s autotuning: %d ranks, n=%d, %zu configurations\n",
+              study.name.c_str(), study.nranks, study.n, study.configs.size());
+  // paper: statistics persist across Capital configurations (no reset)
+  const auto rows = bench::sweep(study, /*with_eager=*/true,
+                                 /*reset_per_config=*/false);
+  bench::print_tuning_time(rows, "Fig4a", study.name);
+  bench::print_mean_log_err(rows, "Fig4e", study.name, "exec-time");
+  bench::print_per_config_error(study, "Fig4g",
+                                {0.25, 0.125, 0.0625, 0.03125},
+                                /*reset_per_config=*/false,
+                                /*comp_time=*/false);
+  return 0;
+}

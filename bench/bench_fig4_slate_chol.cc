@@ -1,0 +1,22 @@
+// Reproduces Fig. 4b (tuning time), Fig. 4c (selectively-executed kernel
+// time), Fig. 4d (mean log comp-time prediction error), Fig. 4f (mean log
+// exec-time prediction error), and Fig. 4h (per-configuration comp-time
+// error) for SLATE's Cholesky.
+#include "bench_common.hpp"
+
+int main() {
+  const auto study = bench::tune::slate_cholesky_study(critter::util::paper_scale());
+  std::printf("%s autotuning: %d ranks, n=%d, %zu configurations\n",
+              study.name.c_str(), study.nranks, study.n, study.configs.size());
+  const auto rows = bench::sweep(study, /*with_eager=*/false,
+                                 /*reset_per_config=*/true);
+  bench::print_tuning_time(rows, "Fig4b", study.name);
+  bench::print_kernel_time(rows, "Fig4c", study.name);
+  bench::print_mean_log_err(rows, "Fig4d", study.name, "comp-time");
+  bench::print_mean_log_err(rows, "Fig4f", study.name, "exec-time");
+  bench::print_per_config_error(study, "Fig4h",
+                                {0.0625, 0.03125, 0.015625, 0.0078125},
+                                /*reset_per_config=*/true,
+                                /*comp_time=*/true);
+  return 0;
+}

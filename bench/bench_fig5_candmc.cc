@@ -1,0 +1,20 @@
+// Reproduces Fig. 5a (tuning time), Fig. 5c (selectively-executed kernel
+// time), Fig. 5e (mean log exec-time error), and Fig. 5g
+// (per-configuration exec-time error) for CANDMC's QR.
+#include "bench_common.hpp"
+
+int main() {
+  const auto study = bench::tune::candmc_qr_study(critter::util::paper_scale());
+  std::printf("%s autotuning: %d ranks, %d x %d, %zu configurations\n",
+              study.name.c_str(), study.nranks, study.m, study.n,
+              study.configs.size());
+  const auto rows = bench::sweep(study, /*with_eager=*/false,
+                                 /*reset_per_config=*/true);
+  bench::print_tuning_time(rows, "Fig5a", study.name);
+  bench::print_kernel_time(rows, "Fig5c", study.name);
+  bench::print_mean_log_err(rows, "Fig5e", study.name, "exec-time");
+  bench::print_per_config_error(study, "Fig5g", {0.5, 0.25, 0.125, 0.0625},
+                                /*reset_per_config=*/true,
+                                /*comp_time=*/false);
+  return 0;
+}

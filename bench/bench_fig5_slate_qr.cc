@@ -1,0 +1,21 @@
+// Reproduces Fig. 5b (tuning time), Fig. 5d (mean log kernel exec-time
+// error), Fig. 5f (mean log exec-time error), and Fig. 5h
+// (per-configuration comp-time kernel error) for SLATE's QR.
+#include "bench_common.hpp"
+
+int main() {
+  const auto study = bench::tune::slate_qr_study(critter::util::paper_scale());
+  std::printf("%s autotuning: %d ranks, %d x %d, %zu configurations\n",
+              study.name.c_str(), study.nranks, study.m, study.n,
+              study.configs.size());
+  const auto rows = bench::sweep(study, /*with_eager=*/false,
+                                 /*reset_per_config=*/true);
+  bench::print_tuning_time(rows, "Fig5b", study.name);
+  bench::print_mean_log_err(rows, "Fig5d", study.name, "comp-time");
+  bench::print_mean_log_err(rows, "Fig5f", study.name, "exec-time");
+  bench::print_per_config_error(study, "Fig5h",
+                                {0.125, 0.0625, 0.03125, 0.015625},
+                                /*reset_per_config=*/true,
+                                /*comp_time=*/true);
+  return 0;
+}

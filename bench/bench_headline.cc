@@ -1,0 +1,50 @@
+// The paper's headline summary numbers (§I, §VI-B/C):
+//   * tuning speedups from selective execution, per policy, at loose and
+//     tight tolerances (Capital: up to 7.1x for eager propagation);
+//   * prediction accuracy at those speedups (~98%);
+//   * selectively-executed kernel-time reduction (SLATE Cholesky: up to
+//     75x; CANDMC: 6.6x conditional, extra 3.3x from count propagation);
+//   * optimal-configuration selection quality (>= 99% of optimum).
+#include "bench_common.hpp"
+
+int main() {
+  const bool paper = critter::util::paper_scale();
+  bench::util::Table t("Headline summary (paper Section VI)");
+  t.header({"study", "policy", "log2(eps)", "tuning-speedup",
+            "kernel-time-reduction", "mean-accuracy(%)", "selection-quality(%)"});
+
+  struct Row {
+    bench::tune::Study study;
+    bool with_eager;
+    bool reset;
+  };
+  std::vector<Row> studies = {
+      {bench::tune::capital_cholesky_study(paper), true, false},
+      {bench::tune::slate_cholesky_study(paper), false, true},
+      {bench::tune::candmc_qr_study(paper), false, true},
+      {bench::tune::slate_qr_study(paper), false, true},
+  };
+
+  for (auto& s : studies) {
+    for (critter::Policy pol : bench::all_policies(s.with_eager)) {
+      for (double tol : {0.25, 1.0 / 64.0}) {
+        bench::tune::TuneOptions opt;
+        opt.policy = pol;
+        opt.tolerance = tol;
+        opt.samples = bench::sample_count();
+        opt.reset_per_config = s.reset;
+        auto r = bench::tune::run_study(s.study, opt);
+        t.row({s.study.name, critter::policy_name(pol),
+               bench::util::Table::num(std::log2(tol), 0),
+               bench::util::Table::num(
+                   r.full_time / std::max(r.tuning_time, 1e-300), 2),
+               bench::util::Table::num(
+                   r.full_kernel_time / std::max(r.kernel_time, 1e-300), 2),
+               bench::util::Table::num(100.0 * (1.0 - r.mean_err()), 2),
+               bench::util::Table::num(100.0 * r.selection_quality(), 2)});
+      }
+    }
+  }
+  t.print();
+  return 0;
+}

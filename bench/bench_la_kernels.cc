@@ -1,0 +1,86 @@
+// google-benchmark micro-suite over the mini-BLAS/LAPACK kernels: validates
+// that the gamma (time-per-flop) constant of the machine model is in a
+// sane range for the reference kernels and tracks their host throughput.
+#include <benchmark/benchmark.h>
+
+#include "la/blas.hpp"
+#include "la/lapack.hpp"
+#include "la/matrix.hpp"
+#include "la/tile_qr.hpp"
+
+namespace la = critter::la;
+
+static void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a = la::random_matrix(n, n, 1), b = la::random_matrix(n, n, 2),
+             c(n, n);
+  for (auto _ : state) {
+    la::gemm(la::Trans::N, la::Trans::N, n, n, n, 1.0, a.data(), n, b.data(),
+             n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(la::gemm_flops(n, n, n)));
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_Potrf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a0 = la::random_spd(n, 3);
+  for (auto _ : state) {
+    la::Matrix a = a0;
+    benchmark::DoNotOptimize(la::potrf(la::Uplo::Lower, n, a.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(la::potrf_flops(n)));
+}
+BENCHMARK(BM_Potrf)->Arg(64)->Arg(128);
+
+static void BM_Geqrf(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = m / 2;
+  la::Matrix a0 = la::random_matrix(m, n, 4);
+  std::vector<double> tau(n);
+  for (auto _ : state) {
+    la::Matrix a = a0;
+    la::geqrf(m, n, a.data(), m, tau.data(), 16);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(la::geqrf_flops(m, n)));
+}
+BENCHMARK(BM_Geqrf)->Arg(64)->Arg(128);
+
+static void BM_Tpqrt(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix r0 = la::random_matrix(n, n, 5);
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) r0(i, j) = 0.0;
+  la::Matrix b0 = la::random_matrix(n, n, 6);
+  la::Matrix t(n, n);
+  for (auto _ : state) {
+    la::Matrix r = r0, b = b0;
+    la::tpqrt(n, n, 0, r.data(), n, b.data(), n, t.data(), n);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_Tpqrt)->Arg(32)->Arg(64);
+
+static void BM_Trsm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a = la::random_matrix(n, n, 7);
+  for (int i = 0; i < n; ++i) a(i, i) += n;
+  la::Matrix b0 = la::random_matrix(n, n, 8);
+  for (auto _ : state) {
+    la::Matrix b = b0;
+    la::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::N, la::Diag::NonUnit,
+             n, n, 1.0, a.data(), n, b.data(), n);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(la::trsm_flops(la::Side::Left, n, n)));
+}
+BENCHMARK(BM_Trsm)->Arg(64)->Arg(128);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// SLATE-style task pipelining under the profiler:
+//
+//   ./slate_pipeline [--n=2048] [--tile=128]
+//
+// Runs the tile Cholesky twice — without and with lookahead — at model
+// scale and prints the critical-path profile of each, demonstrating how
+// the pipeline shortens the schedule while the BSP costs stay identical
+// (the paper's Fig. 3b/3f trade-off axis).
+#include <cstdio>
+
+#include "core/profiler.hpp"
+#include "sim/api.hpp"
+#include "slate/slate.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace sim = critter::sim;
+namespace sl = critter::slate;
+
+namespace {
+
+critter::Report run(int n, int tile, int lookahead) {
+  critter::Config cfg;
+  cfg.selective = false;
+  critter::Store store(16, cfg);
+  sim::Engine engine(16, sim::Machine::knl_like());
+  critter::Report rep;
+  engine.run([&](sim::RankCtx& ctx) {
+    critter::start(store);
+    sl::Grid2D g = sl::Grid2D::build(4, 4);
+    sl::TileMatrix a(n, n, tile, g, /*real=*/false);
+    sl::potrf(a, sl::PotrfConfig{lookahead});
+    critter::Report r = critter::stop();
+    if (ctx.rank == 0) rep = r;
+  });
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  critter::util::Options opt(argc, argv);
+  const int n = static_cast<int>(opt.get_int("n", 2048));
+  const int tile = static_cast<int>(opt.get_int("tile", 128));
+
+  critter::util::Table t("SLATE tile Cholesky: lookahead pipelining");
+  t.header({"lookahead", "wall(s)", "cp-exec(s)", "cp-comp(s)", "cp-comm(s)",
+            "supersteps"});
+  for (int d : {0, 1}) {
+    critter::Report r = run(n, tile, d);
+    t.row({std::to_string(d), critter::util::Table::num(r.wall_time, 6),
+           critter::util::Table::num(r.critical.exec_time, 6),
+           critter::util::Table::num(r.critical.comp_time, 6),
+           critter::util::Table::num(r.critical.comm_time, 6),
+           critter::util::Table::num(r.critical.sync_cost, 0)});
+  }
+  t.print();
+  std::printf("\nlookahead overlaps the next panel factorization with the\n"
+              "trailing updates; the wall-clock column shrinks while the\n"
+              "structural BSP costs are unchanged.\n");
+  return 0;
+}

@@ -1,0 +1,235 @@
+#include "candmc/qr2d.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/mpi.hpp"
+#include "util/check.hpp"
+
+namespace critter::candmc {
+
+namespace {
+
+constexpr std::uint64_t kLaswp = 0x1A59;
+
+/// Rows of panel t stacked on grid row `pi` (without QR padding).
+int real_mloc(const slate::TileMatrix& a, int t, int pi) {
+  int m = 0;
+  for (int i = t; i < a.tile_rows_count(); ++i)
+    if (i % a.grid().pr == pi) m += a.tile_rows(i);
+  return m;
+}
+
+}  // namespace
+
+void qr2d(slate::TileMatrix& a, const QrConfig& cfg) {
+  const slate::Grid2D& g = a.grid();
+  const bool real = a.real();
+  const int tr = a.tile_rows_count();
+  const int tc = a.tile_cols_count();
+  int panels = std::min(tr, tc);
+  if (cfg.max_panels >= 0) panels = std::min(panels, cfg.max_panels);
+
+  std::optional<PanelResult> cached;
+  int cached_t = -1;
+
+  // Pipelined Y distribution: with lookahead, the next panel's Y broadcast
+  // is posted as a nonblocking ibcast right after the panel pre-factors, so
+  // the payload is in flight while every rank processes the current phase's
+  // trailing updates.
+  struct PendingY {
+    int t = -1;
+    std::vector<double> y;
+    mpi::Request req{};
+    bool posted = false;
+  } pend;
+
+  // Build the local Y = Q1 - [I; 0] slice for panel t from a panel result.
+  auto build_y = [&](const std::optional<PanelResult>& pres, int mloc,
+                     int width, std::vector<double>* y) {
+    y->assign(real ? static_cast<std::size_t>(std::max(mloc, 1)) * width : 0, 0.0);
+    if (!real || !pres.has_value() || mloc == 0) return;
+    for (int b = 0; b < width; ++b)
+      for (int r = 0; r < mloc; ++r)
+        (*y)[static_cast<std::size_t>(b) * mloc + r] =
+            pres->q1[static_cast<std::size_t>(b) * pres->mloc + r];
+    if (pres->is_root)
+      for (int b = 0; b < width; ++b)
+        (*y)[static_cast<std::size_t>(b) * mloc + b] -= 1.0;
+  };
+
+  auto run_panel = [&](int t) -> std::optional<PanelResult> {
+    const int pcol = t % g.pc;
+    const int prow = t % g.pr;
+    if (g.pj != pcol) return std::nullopt;
+    const int P = std::min(g.pr, tr - t);
+    const int q = ((g.pi - prow) % g.pr + g.pr) % g.pr;
+    if (cfg.panel == PanelKind::Tsqr && q >= P) return std::nullopt;
+    return panel_factor(a, t, cfg.panel);
+  };
+
+  for (int t = 0; t < panels; ++t) {
+    const int width = a.tile_cols(t);
+    const int pcol = t % g.pc;
+    const int prow = t % g.pr;
+    const int mloc = real_mloc(a, t, g.pi);
+
+    // --- panel factorization (possibly pre-run by the pipeline) ----------
+    std::optional<PanelResult> pres;
+    if (cached_t == t) {
+      pres = std::move(cached);
+      cached.reset();
+      cached_t = -1;
+    } else {
+      pres = run_panel(t);
+    }
+
+    // Root writes R into tile (t, t).
+    if (pres.has_value() && pres->is_root && real) {
+      la::Matrix& tt = a.tile(t, t);
+      for (int b = 0; b < width; ++b)
+        for (int r = 0; r <= b; ++r)
+          tt(r, b) = pres->r[static_cast<std::size_t>(b) * width + r];
+    }
+
+    // --- distribute Y along rows (pipelined or blocking) -----------------
+    std::vector<double> y;
+    if (pend.t == t) {
+      y = std::move(pend.y);
+      pend.t = -1;
+      if (pend.posted) {
+        mpi::wait(pend.req);
+        pend.posted = false;
+      }
+    } else {
+      build_y(pres, mloc, width, &y);
+      if (mloc > 0)
+        mpi::bcast(real ? y.data() : nullptr, mloc * width * 8, pcol,
+                   g.row_comm);
+    }
+
+    // --- B1 (top block of Q1) along the root row, then down columns ------
+    std::vector<double> b1(real ? static_cast<std::size_t>(width) * width : 0, 0.0);
+    if (pres.has_value() && pres->is_root && real)
+      for (int b = 0; b < width; ++b)
+        for (int r = 0; r < width; ++r)
+          b1[static_cast<std::size_t>(b) * width + r] =
+              pres->q1[static_cast<std::size_t>(b) * pres->mloc + r];
+    if (g.pi == prow)
+      mpi::bcast(real ? b1.data() : nullptr, width * width * 8, pcol, g.row_comm);
+    mpi::bcast(real ? b1.data() : nullptr, width * width * 8, prow, g.col_comm);
+
+    // --- S = I - B1 factored once per rank (Yamamoto's T application) ----
+    std::vector<double> s(real ? static_cast<std::size_t>(width) * width : 0);
+    std::vector<int> ipiv(real ? width : 0);
+    if (real) {
+      for (int b = 0; b < width; ++b)
+        for (int r = 0; r < width; ++r)
+          s[static_cast<std::size_t>(b) * width + r] =
+              (r == b ? 1.0 : 0.0) - b1[static_cast<std::size_t>(b) * width + r];
+    }
+    lapack::getrf(width, width, real ? s.data() : nullptr, width,
+                  real ? ipiv.data() : nullptr);
+
+    // Y row offsets per owned tile row (stacked ascending).
+    std::vector<int> yoff(tr, -1);
+    {
+      int off = 0;
+      for (int i = t; i < tr; ++i)
+        if (i % g.pr == g.pi) {
+          yoff[i] = off;
+          off += a.tile_rows(i);
+        }
+    }
+
+    // --- trailing update of one tile column ------------------------------
+    auto update_columns = [&](const std::vector<int>& cols) {
+      if (cols.empty()) return;
+      int total_cols = 0;
+      for (int j : cols) total_cols += a.tile_cols(j);
+      // W1 = Y^T A for the selected columns (partial, then column-reduced)
+      std::vector<double> w1(real ? static_cast<std::size_t>(width) * total_cols : 0,
+                             0.0);
+      int c0 = 0;
+      for (int j : cols) {
+        const int nc = a.tile_cols(j);
+        for (int i = t; i < tr; ++i) {
+          if (i % g.pr != g.pi) continue;
+          blas::gemm(la::Trans::T, la::Trans::N, width, nc, a.tile_rows(i),
+                     1.0, real ? y.data() + yoff[i] : nullptr, mloc,
+                     a.tile_data(i, j), a.tile_rows(i), 1.0,
+                     real ? w1.data() + static_cast<std::size_t>(c0) * width : nullptr,
+                     width);
+        }
+        c0 += nc;
+      }
+      std::vector<double> w1sum(real ? w1.size() : 0);
+      mpi::allreduce(real ? w1.data() : nullptr,
+                     real ? w1sum.data() : nullptr,
+                     width * total_cols * 8, sim::reduce_sum_double(),
+                     g.col_comm);
+      // W2 = S^{-1} W1 via the LU of S (row swaps + two triangular solves).
+      user_kernel(kLaswp, width, total_cols, static_cast<double>(width) * total_cols,
+                  [&] {
+                    for (int r = 0; r < width; ++r) {
+                      if (ipiv[r] == r) continue;
+                      for (int cidx = 0; cidx < total_cols; ++cidx)
+                        std::swap(w1sum[static_cast<std::size_t>(cidx) * width + r],
+                                  w1sum[static_cast<std::size_t>(cidx) * width + ipiv[r]]);
+                    }
+                  });
+      blas::trsm(la::Side::Left, la::Uplo::Lower, la::Trans::N, la::Diag::Unit,
+                 width, total_cols, 1.0, real ? s.data() : nullptr, width,
+                 real ? w1sum.data() : nullptr, width);
+      blas::trsm(la::Side::Left, la::Uplo::Upper, la::Trans::N,
+                 la::Diag::NonUnit, width, total_cols, 1.0,
+                 real ? s.data() : nullptr, width,
+                 real ? w1sum.data() : nullptr, width);
+      // A -= Y W2
+      c0 = 0;
+      for (int j : cols) {
+        const int nc = a.tile_cols(j);
+        for (int i = t; i < tr; ++i) {
+          if (i % g.pr != g.pi) continue;
+          blas::gemm(la::Trans::N, la::Trans::N, a.tile_rows(i), nc, width,
+                     -1.0, real ? y.data() + yoff[i] : nullptr, mloc,
+                     real ? w1sum.data() + static_cast<std::size_t>(c0) * width : nullptr,
+                     width, 1.0, a.tile_data(i, j), a.tile_rows(i));
+        }
+        c0 += nc;
+      }
+    };
+
+    // urgent column (the next panel) first, then the rest — the pipeline.
+    std::vector<int> urgent, rest;
+    for (int j = t + 1; j < tc; ++j) {
+      if (j % g.pc != g.pj) continue;
+      if (cfg.lookahead > 0 && j == t + 1) urgent.push_back(j);
+      else rest.push_back(j);
+    }
+    update_columns(urgent);
+    if (cfg.lookahead > 0 && t + 1 < panels) {
+      std::optional<PanelResult> next = run_panel(t + 1);
+      if (next.has_value()) {
+        cached = std::move(next);
+        cached_t = t + 1;
+      }
+      // Post the next panel's Y broadcast now; it is in flight during the
+      // remaining trailing updates (the lookahead payoff).
+      const int t2 = t + 1;
+      const int width2 = a.tile_cols(t2);
+      const int mloc2 = real_mloc(a, t2, g.pi);
+      build_y(cached, mloc2, width2, &pend.y);
+      if (mloc2 > 0) {
+        pend.req = mpi::ibcast(real ? pend.y.data() : nullptr,
+                               mloc2 * width2 * 8, t2 % g.pc, g.row_comm);
+        pend.posted = true;
+      }
+      pend.t = t2;
+    }
+    update_columns(rest);
+  }
+}
+
+}  // namespace critter::candmc

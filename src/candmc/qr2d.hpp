@@ -1,0 +1,31 @@
+// CANDMC-style pipelined 2D Householder QR (paper §V-B).
+//
+// Panels of width nb (the block size b) are factored with TSQR (or
+// CholeskyQR2) on the owning grid column; the Householder representation
+// Y, T with Q_panel = I - Y T Y^T is rebuilt from the explicit panel Q1 via
+// Yamamoto's basis-kernel formula Y = Q1 - [I; 0], T = (I - B1)^{-T}
+// (B1 the top b x b block of Q1), applied through an LU factorization of
+// S = I - B1 — the same O(b^3) + O(m b^2) reconstruction cost shape as
+// CANDMC's LU-based variant.  Trailing updates follow the paper's 2D
+// schedule: Y broadcast along grid rows, W1 = Y^T A reduced along grid
+// columns (urgent next-panel column first, the rest batched — this is the
+// lookahead pipelining), W2 = T^T W1 via two trsm solves, then local gemms.
+#pragma once
+
+#include "candmc/tsqr.hpp"
+#include "slate/tile_matrix.hpp"
+
+namespace critter::candmc {
+
+struct QrConfig {
+  PanelKind panel = PanelKind::Tsqr;
+  int lookahead = 1;   ///< 0 disables the urgent-column pipelining
+  int max_panels = -1; ///< factor only the first k panel columns (-1: all)
+};
+
+/// Factor the m x n (m >= n) block-cyclic matrix in place: on return the
+/// upper-triangular tiles hold R (panel columns' sub-diagonal tiles hold
+/// Householder data).
+void qr2d(slate::TileMatrix& a, const QrConfig& cfg);
+
+}  // namespace critter::candmc

@@ -1,0 +1,212 @@
+#include "candmc/tsqr.hpp"
+
+#include <cstring>
+
+#include "core/kernels.hpp"
+#include "core/mpi.hpp"
+#include "util/check.hpp"
+
+namespace critter::candmc {
+
+namespace {
+
+constexpr int kRTag = 1 << 16;
+constexpr int kETag = 1 << 15;
+
+/// Grid rows participating in panel t, ordered so participant 0 owns the
+/// diagonal tile (t, t).
+int participant_count(const slate::TileMatrix& a, int t) {
+  return std::min(a.grid().pr, a.tile_rows_count() - t);
+}
+int participant_rank(const slate::TileMatrix& a, int t, int q) {
+  const slate::Grid2D& g = a.grid();
+  return g.rank_of(t + q, t);
+}
+
+/// Stack this rank's owned panel tiles (rows >= t) into a contiguous
+/// column-major mloc x width buffer; returns mloc (>= width via padding).
+int stack_panel(slate::TileMatrix& a, int t, int width,
+                std::vector<double>* out) {
+  int mloc = 0;
+  for (int i = t; i < a.tile_rows_count(); ++i)
+    if (a.mine(i, t)) mloc += a.tile_rows(i);
+  const int padded = std::max(mloc, width);
+  if (!a.real()) return padded;
+  out->assign(static_cast<std::size_t>(padded) * width, 0.0);
+  int r0 = 0;
+  for (int i = t; i < a.tile_rows_count(); ++i) {
+    if (!a.mine(i, t)) continue;
+    const la::Matrix& tl = a.tile(i, t);
+    for (int b = 0; b < width; ++b)
+      for (int r = 0; r < tl.rows(); ++r)
+        (*out)[static_cast<std::size_t>(b) * padded + r0 + r] = tl(r, b);
+    r0 += tl.rows();
+  }
+  return padded;
+}
+
+PanelResult tsqr_panel(slate::TileMatrix& a, int t) {
+  const slate::Grid2D& g = a.grid();
+  const bool real = a.real();
+  const int width = a.tile_cols(t);
+  const int P = participant_count(a, t);
+  // my participant index (grid-row distance from the diagonal tile's row)
+  const int q = ((g.pi - (t % g.pr)) % g.pr + g.pr) % g.pr;
+  CRITTER_CHECK(q < P || participant_count(a, t) == P,
+                "tsqr called by a non-participant");
+
+  PanelResult res;
+  res.width = width;
+  res.is_root = (q == 0);
+
+  // --- stage A: local QR of the stacked panel ---------------------------
+  std::vector<double> local;
+  const int mloc = stack_panel(a, t, width, &local);
+  res.mloc = mloc;
+  std::vector<double> tau(real ? width : 0);
+  lapack::geqrf(mloc, width, real ? local.data() : nullptr, mloc,
+                real ? tau.data() : nullptr, width);
+
+  // my current R (width x width upper)
+  std::vector<double> rmine(real ? static_cast<std::size_t>(width) * width : 0);
+  if (real)
+    for (int b = 0; b < width; ++b)
+      for (int r = 0; r <= b; ++r)
+        rmine[static_cast<std::size_t>(b) * width + r] =
+            local[static_cast<std::size_t>(b) * mloc + r];
+
+  // --- stage B: binary reduction tree over participants -----------------
+  struct Level {
+    int gap;
+    std::vector<double> v;  // transformed partner R (Householder tails)
+    std::vector<double> tm;
+  };
+  std::vector<Level> levels;
+  const int rbytes = width * width * 8;
+  for (int gap = 1; gap < P; gap *= 2) {
+    if (q % (2 * gap) == 0 && q + gap < P) {
+      Level lv;
+      lv.gap = gap;
+      lv.v.assign(real ? static_cast<std::size_t>(width) * width : 0, 0.0);
+      lv.tm.assign(real ? static_cast<std::size_t>(width) * width : 0, 0.0);
+      mpi::recv(real ? lv.v.data() : nullptr, rbytes,
+                participant_rank(a, t, q + gap), kRTag + gap, g.world);
+      lapack::tpqrt(width, width, /*l=*/width,
+                    real ? rmine.data() : nullptr, width,
+                    real ? lv.v.data() : nullptr, width,
+                    real ? lv.tm.data() : nullptr, width);
+      levels.push_back(std::move(lv));
+    } else if (q % (2 * gap) == gap) {
+      mpi::Request rq = mpi::isend(real ? rmine.data() : nullptr, rbytes,
+                                   participant_rank(a, t, q - gap),
+                                   kRTag + gap, g.world);
+      mpi::wait(rq);
+      break;
+    }
+  }
+  if (res.is_root) res.r = rmine;
+
+  // --- stage C: backward sweep building the tree's explicit Q blocks ----
+  // E starts as I_width at the root and propagates down the tree.
+  std::vector<double> e(real ? static_cast<std::size_t>(width) * width : 0, 0.0);
+  if (res.is_root && real)
+    for (int d = 0; d < width; ++d) e[static_cast<std::size_t>(d) * width + d] = 1.0;
+  // Receive my E from the partner that combined me (the lowest level at
+  // which I was a sender), unless I am the root.
+  if (!res.is_root) {
+    int my_gap = 0;
+    for (int gap = 1; gap < P; gap *= 2)
+      if (q % (2 * gap) == gap) {
+        my_gap = gap;
+        break;
+      }
+    mpi::recv(real ? e.data() : nullptr, rbytes,
+              participant_rank(a, t, q - my_gap), kETag + my_gap, g.world);
+  }
+  // Descend my own combine levels (highest gap first), emitting partner Es.
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    std::vector<double> ebot(real ? static_cast<std::size_t>(width) * width : 0, 0.0);
+    lapack::tpmqrt(la::Trans::N, width, width, width,
+                   real ? it->v.data() : nullptr, width,
+                   real ? it->tm.data() : nullptr, width,
+                   real ? e.data() : nullptr, width,
+                   real ? ebot.data() : nullptr, width);
+    mpi::Request rq = mpi::isend(real ? ebot.data() : nullptr, rbytes,
+                                 participant_rank(a, t, q + it->gap),
+                                 kETag + it->gap, g.world);
+    mpi::wait(rq);
+  }
+
+  // --- stage D: local Q1 slice = Q_loc * [E; 0] --------------------------
+  res.q1.assign(real ? static_cast<std::size_t>(mloc) * width : 0, 0.0);
+  if (real)
+    for (int b = 0; b < width; ++b)
+      for (int r = 0; r < width; ++r)
+        res.q1[static_cast<std::size_t>(b) * mloc + r] =
+            e[static_cast<std::size_t>(b) * width + r];
+  lapack::ormqr(la::Side::Left, la::Trans::N, mloc, width,
+                std::min(mloc, width), real ? local.data() : nullptr, mloc,
+                real ? tau.data() : nullptr, real ? res.q1.data() : nullptr,
+                mloc, width);
+  return res;
+}
+
+PanelResult cqr2_panel(slate::TileMatrix& a, int t) {
+  const slate::Grid2D& g = a.grid();
+  const bool real = a.real();
+  const int width = a.tile_cols(t);
+  PanelResult res;
+  res.width = width;
+  res.is_root = a.mine(t, t);
+
+  std::vector<double> q1;
+  const int mloc = stack_panel(a, t, width, &q1);
+  res.mloc = mloc;
+
+  std::vector<double> r_accum(real ? static_cast<std::size_t>(width) * width : 0);
+  const int wbytes = width * width * 8;
+  for (int round = 0; round < 2; ++round) {
+    std::vector<double> w(real ? static_cast<std::size_t>(width) * width : 0);
+    blas::syrk(la::Uplo::Upper, la::Trans::T, width, mloc, 1.0,
+               real ? q1.data() : nullptr, mloc, 0.0,
+               real ? w.data() : nullptr, width);
+    if (real)  // mirror for the allreduce (syrk fills one triangle)
+      for (int b = 0; b < width; ++b)
+        for (int r = b + 1; r < width; ++r)
+          w[static_cast<std::size_t>(b) * width + r] =
+              w[static_cast<std::size_t>(r) * width + b];
+    std::vector<double> wsum(real ? w.size() : 0);
+    mpi::allreduce(real ? w.data() : nullptr, real ? wsum.data() : nullptr,
+                   wbytes, sim::reduce_sum_double(), g.col_comm);
+    lapack::potrf(la::Uplo::Upper, width, real ? wsum.data() : nullptr, width);
+    blas::trsm(la::Side::Right, la::Uplo::Upper, la::Trans::N,
+               la::Diag::NonUnit, mloc, width, 1.0,
+               real ? wsum.data() : nullptr, width,
+               real ? q1.data() : nullptr, mloc);
+    if (real) {
+      if (round == 0) {
+        r_accum = wsum;  // R1
+      } else {
+        // R = R2 * R1 (both upper triangular)
+        blas::trmm(la::Side::Left, la::Uplo::Upper, la::Trans::N,
+                   la::Diag::NonUnit, width, width, 1.0, wsum.data(), width,
+                   r_accum.data(), width);
+      }
+    } else if (round == 1) {
+      blas::trmm(la::Side::Left, la::Uplo::Upper, la::Trans::N,
+                 la::Diag::NonUnit, width, width, 1.0, nullptr, width, nullptr,
+                 width);
+    }
+  }
+  res.q1 = std::move(q1);
+  res.r = std::move(r_accum);
+  return res;
+}
+
+}  // namespace
+
+PanelResult panel_factor(slate::TileMatrix& a, int t, PanelKind kind) {
+  return kind == PanelKind::Tsqr ? tsqr_panel(a, t) : cqr2_panel(a, t);
+}
+
+}  // namespace critter::candmc

@@ -1,0 +1,42 @@
+// TSQR panel factorization for CANDMC-style QR (paper §V-B).
+//
+// Stage A: each participating rank stacks its owned panel tiles and runs a
+// local blocked geqrf.  Stage B: a binary reduction tree over the grid
+// column combines b x b R factors with tpqrt (l = n, "triangular on
+// triangular").  Stage C/D: the explicit orthonormal panel Q1 is rebuilt by
+// a backward sweep (tpmqrt) plus a local ormqr — Q1 feeds the Householder
+// reconstruction of the 2D algorithm.
+//
+// Alternatively the panel can be factored with CholeskyQR2 (the paper names
+// it as a CANDMC panel option): two rounds of syrk + allreduce + potrf +
+// trsm.  Both produce an explicit Q1 and R.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "slate/tile_matrix.hpp"
+
+namespace critter::candmc {
+
+enum class PanelKind : std::uint8_t { Tsqr, CholeskyQr2 };
+
+/// Result of one panel factorization on a participating rank.
+struct PanelResult {
+  /// Explicit orthonormal panel slice: mloc x width, rows matching this
+  /// rank's stacked panel-tile rows (empty/0 if no tiles owned).
+  std::vector<double> q1;
+  int mloc = 0;
+  int width = 0;
+  /// Final R (width x width, upper), valid on the root (owner of the
+  /// diagonal tile) only.
+  std::vector<double> r;
+  bool is_root = false;
+};
+
+/// Factor panel column `t` of the block-cyclic matrix `a` (columns
+/// [t*nb, t*nb + width)).  Collective over the grid column owning the
+/// panel; ranks outside that grid column must not call it.
+PanelResult panel_factor(slate::TileMatrix& a, int t, PanelKind kind);
+
+}  // namespace critter::candmc

@@ -1,0 +1,83 @@
+// Capital's communication-avoiding recursive Cholesky on a 3D processor
+// grid (paper §V-A).
+//
+// The algorithm recursively factors A = L L^T and simultaneously builds
+// L^{-1} via the triangular identity
+//   [A11 A21^T; A21 A22] = [L11; L21 L22][L11^T L21^T; L22^T],
+//   Linv = [L11inv; S21 L22inv],  S21 = -L22inv L21 L11inv.
+// Matrix products use the classic 3D schedule: each layer owns the cyclic
+// k-slice g = layer (mod c); the A-operand slab is broadcast along layer
+// rows, the B-operand slab along layer columns, and partial C products are
+// combined across the depth dimension (allreduce, or reduce+bcast, which
+// surfaces both collectives in the kernel profile as the paper lists).
+//
+// The base case (block size b, chosen by the tuner) gathers the b x b block
+// and factors it locally with potrf + a blocked triangular inversion
+// (trtri + trmm), under one of three distribution strategies:
+//   1  gather to one rank of layer 0, factor, scatter, broadcast over depth
+//   2  allgather within every layer, factor redundantly everywhere
+//   3  allgather within layer 0 only, factor there, broadcast over depth
+//
+// Divergences from the original Capital library (see DESIGN.md): both
+// orientations of L and Linv are maintained so every 3D product is
+// transpose-free; the transposes themselves use one pairwise exchange
+// across the layer diagonal (adds send/recv kernels to the profile).
+#pragma once
+
+#include "capital/cyclic.hpp"
+
+namespace critter::capital {
+
+struct CholeskyConfig {
+  int block_size = 64;    ///< base-case dimension b (multiple of grid c)
+  int base_strategy = 1;  ///< 1, 2, or 3 (see above)
+};
+
+class Cholesky3D {
+ public:
+  /// `real` selects ExecMode-style storage: true allocates local matrix
+  /// data (numerics verified in tests), false runs the schedule only.
+  Cholesky3D(const Grid3D& g, int n, CholeskyConfig cfg, bool real);
+
+  /// Factor the distributed SPD matrix in place; on return L() holds the
+  /// lower-triangular factor and Linv() its inverse (both replicated-cyclic,
+  /// valid in the lower triangle of the factored range).
+  void factor(CyclicMatrix& a);
+
+  CyclicMatrix& L() { return l_; }
+  CyclicMatrix& Linv() { return ut_; }
+
+ private:
+  enum class DepthCombine { Allreduce, ReduceBcast };
+
+  void recurse(int r0, int r1);
+  void base_case(int r0, int r1);
+  void factor_base_block(int bs, double* lblk, double* linv);
+
+  /// C[range] = alpha * A[range] * B[range] + beta * C[range] via the 3D
+  /// schedule.  If `syrk_diag`, diagonal layer-grid ranks use a local syrk.
+  void gemm3d(CyclicMatrix& cm, int cr0, int cc0, const CyclicMatrix& am,
+              int ar0, int ac0, const CyclicMatrix& bm, int br0, int bc0,
+              int m, int n, int k, double alpha, double beta,
+              bool syrk_diag, DepthCombine combine);
+
+  /// dst[c-range, r-range] = src[r-range, c-range]^T via one pairwise
+  /// exchange across the layer diagonal (local transpose on the diagonal).
+  void transpose3d(const CyclicMatrix& src, int r0, int c0, CyclicMatrix& dst,
+                   int rows, int cols);
+
+  // share staging helpers (no-ops in model mode)
+  void share_out(const CyclicMatrix& x, int r0, int c0, int rows, int cols,
+                 double* dst) const;
+  void share_in(CyclicMatrix& x, int r0, int c0, int rows, int cols,
+                const double* src) const;
+
+  const Grid3D& g_;
+  int n_;
+  CholeskyConfig cfg_;
+  bool real_;
+  CyclicMatrix* a_ = nullptr;
+  CyclicMatrix l_, lt_, u_, ut_, w_;  // L, L^T, Linv^T, Linv, scratch
+};
+
+}  // namespace critter::capital

@@ -1,0 +1,171 @@
+#include "core/channel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace critter::core {
+
+std::int64_t Channel::span() const {
+  std::int64_t s = 1;
+  for (const auto& d : dims) s *= d.size;
+  return s;
+}
+
+std::uint64_t Channel::hash() const {
+  if (!lattice) {
+    // Non-lattice channels hash over their explicit rank set.
+    std::uint64_t h = 0xBADC0FFEULL;
+    for (const auto& d : dims)
+      h = util::hash_combine(h, util::hash_combine(d.stride, d.size));
+    return util::hash_combine(h, static_cast<std::uint64_t>(offset));
+  }
+  std::uint64_t h = 0x5EEDULL;
+  for (const auto& d : dims)
+    h = util::hash_combine(h, util::hash_combine(
+                                  static_cast<std::uint64_t>(d.stride),
+                                  static_cast<std::uint64_t>(d.size)));
+  return h;
+}
+
+std::vector<std::int64_t> Channel::world_ranks() const {
+  std::vector<std::int64_t> out{offset};
+  for (const auto& d : dims) {
+    std::vector<std::int64_t> next;
+    next.reserve(out.size() * d.size);
+    for (std::int64_t i = 0; i < d.size; ++i)
+      for (auto base : out) next.push_back(base + i * d.stride);
+    out = std::move(next);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Channel channel_from_ranks(const std::vector<int>& ranks) {
+  CRITTER_CHECK(!ranks.empty(), "empty rank set has no channel");
+  CRITTER_CHECK(std::is_sorted(ranks.begin(), ranks.end()),
+                "channel factorization expects sorted ranks");
+  Channel ch;
+  ch.offset = ranks.front();
+  if (ranks.size() == 1) return ch;
+
+  // Greedy lattice factorization from the smallest stride outward.
+  std::vector<std::int64_t> rel(ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) rel[i] = ranks[i] - ch.offset;
+  while (rel.size() > 1) {
+    const std::int64_t s = rel[1];
+    if (s <= 0) break;  // duplicate ranks: not a lattice
+    // longest initial run 0, s, 2s, ...
+    std::size_t c = 1;
+    while (c < rel.size() && rel[c] == static_cast<std::int64_t>(c) * s) ++c;
+    if (rel.size() % c != 0) {
+      ch.lattice = false;
+      break;
+    }
+    // verify the whole set is (outer) x (0..c-1)*s
+    bool ok = true;
+    for (std::size_t blk = 0; ok && blk < rel.size() / c; ++blk)
+      for (std::size_t i = 0; i < c; ++i)
+        if (rel[blk * c + i] != rel[blk * c] + static_cast<std::int64_t>(i) * s) {
+          ok = false;
+          break;
+        }
+    if (!ok) {
+      ch.lattice = false;
+      break;
+    }
+    ch.dims.push_back({s, static_cast<std::int64_t>(c)});
+    std::vector<std::int64_t> outer;
+    outer.reserve(rel.size() / c);
+    for (std::size_t blk = 0; blk < rel.size() / c; ++blk)
+      outer.push_back(rel[blk * c]);
+    rel = std::move(outer);
+  }
+  if (!ch.lattice) {
+    // Encode the explicit set so distinct irregular sets hash differently.
+    ch.dims.clear();
+    for (int r : ranks) ch.dims.push_back({r, 1});
+  }
+  return ch;
+}
+
+bool combine_channels(const Channel& a, const Channel& b, Channel* out) {
+  if (!a.lattice || !b.lattice) return false;
+  // Merge dim lists by stride; reject overlapping strides.
+  std::vector<ChannelDim> dims = a.dims;
+  dims.insert(dims.end(), b.dims.begin(), b.dims.end());
+  std::sort(dims.begin(), dims.end(),
+            [](const ChannelDim& x, const ChannelDim& y) { return x.stride < y.stride; });
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    if (dims[i].stride == dims[i + 1].stride) return false;  // overlapping
+    // mixed-radix validity: the next stride must be reachable by stacking
+    // this dimension (compact grids satisfy stride_{i+1} == stride_i*size_i;
+    // we accept >= so padded grids still combine).
+    if (dims[i + 1].stride < dims[i].stride * dims[i].size) return false;
+  }
+  if (out != nullptr) {
+    out->offset = std::min(a.offset, b.offset);
+    out->dims = std::move(dims);
+    out->lattice = true;
+  }
+  return true;
+}
+
+std::uint64_t ChannelRegistry::init_world(int nranks) {
+  std::vector<int> all(nranks);
+  for (int i = 0; i < nranks; ++i) all[i] = i;
+  Channel w = channel_from_ranks(all);
+  world_hash_ = w.hash();
+  world_span_ = w.span();
+  channels_[world_hash_] = std::move(w);
+  return world_hash_;
+}
+
+const Channel* ChannelRegistry::find(std::uint64_t hash) const {
+  auto it = channels_.find(hash);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t ChannelRegistry::add_channel(const std::vector<int>& ranks) {
+  Channel ch = channel_from_ranks(ranks);
+  const std::uint64_t h = ch.hash();
+  if (channels_.count(h) > 0) return h;
+  channels_[h] = ch;
+
+  // Recursive aggregate construction: combine the new channel with every
+  // known channel/aggregate it is orthogonal to (paper Fig. 2 lines 17-25).
+  // Iterate over a snapshot since we insert while combining.
+  std::vector<std::uint64_t> existing;
+  existing.reserve(channels_.size());
+  for (const auto& [eh, _] : channels_) existing.push_back(eh);
+  std::sort(existing.begin(), existing.end());  // deterministic order
+  for (std::uint64_t eh : existing) {
+    if (eh == h) continue;
+    Channel combined;
+    if (combine_channels(channels_.at(eh), ch, &combined)) {
+      const std::uint64_t nh = combined.hash();
+      channels_.emplace(nh, std::move(combined));
+    }
+  }
+  return h;
+}
+
+bool ChannelRegistry::try_extend_coverage(std::uint64_t agg, std::uint64_t chan,
+                                          std::uint64_t* combined) const {
+  const Channel* c = find(chan);
+  if (c == nullptr || !c->lattice) return false;
+  if (agg == 0) {
+    // first aggregation step: coverage becomes the channel itself
+    if (combined != nullptr) *combined = chan;
+    return true;
+  }
+  const Channel* a = find(agg);
+  if (a == nullptr) return false;
+  Channel merged;
+  if (!combine_channels(*a, *c, &merged)) return false;
+  if (combined != nullptr) *combined = merged.hash();
+  return true;
+}
+
+}  // namespace critter::core

@@ -1,0 +1,96 @@
+// Communication channels and aggregate channels (paper Fig. 2, §III-B).
+//
+// A channel is the (offset, {(stride, size)...}) signature of a
+// sub-communicator's world-rank set: communicators that slice a cartesian
+// processor grid (rows, columns, fibers, layers) decompose into arithmetic
+// lattices.  The channel *hash* deliberately excludes the offset, so all
+// parallel instances of the same grid slice (every column, say) share one
+// signature — that is what lets kernel statistics be keyed per-slice-shape
+// and aggregated across the grid.
+//
+// Aggregate channels implement the paper's recursive basis construction:
+// two channels combine when their stride/size lattices are disjoint and
+// stack into a larger cartesian sub-grid; once a kernel's statistics have
+// been propagated along a combination covering the full grid, every rank
+// holds them and the kernel may be switched off globally (eager policy).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace critter::core {
+
+struct ChannelDim {
+  std::int64_t stride = 1;
+  std::int64_t size = 1;
+  bool operator==(const ChannelDim&) const = default;
+};
+
+struct Channel {
+  std::int64_t offset = 0;
+  std::vector<ChannelDim> dims;  ///< sorted by ascending stride
+  bool lattice = true;  ///< false if the rank set is not an arithmetic lattice
+
+  /// Number of ranks spanned.
+  std::int64_t span() const;
+
+  /// Hash from (stride, size) pairs only (offset-free, per the paper).
+  std::uint64_t hash() const;
+
+  std::vector<std::int64_t> world_ranks() const;
+};
+
+/// Factor a sorted world-rank list into a channel.  Falls back to a
+/// non-lattice channel (hashed over the full list) when the set is not an
+/// arithmetic lattice.
+Channel channel_from_ranks(const std::vector<int>& sorted_world_ranks);
+
+/// True if the two channels' dimension sets are disjoint and interleave into
+/// a valid mixed-radix lattice (i.e. they are orthogonal slices of one
+/// cartesian grid); fills `out` with the combined channel if so.
+bool combine_channels(const Channel& a, const Channel& b, Channel* out);
+
+/// Per-rank registry of channels and recursively built aggregates.
+class ChannelRegistry {
+ public:
+  /// Register the world communicator's channel; returns its hash (which is
+  /// also the "full coverage" target for eager propagation).
+  std::uint64_t init_world(int nranks);
+
+  /// Register a sub-communicator's channel; builds new aggregates per the
+  /// paper's recursive rule.  Returns the channel hash.
+  std::uint64_t add_channel(const std::vector<int>& sorted_world_ranks);
+
+  /// Hash of the registered channel for a communicator id, if known.
+  bool known(std::uint64_t hash) const { return channels_.count(hash) > 0; }
+  const Channel* find(std::uint64_t hash) const;
+
+  std::uint64_t world_hash() const { return world_hash_; }
+  std::int64_t world_span() const { return world_span_; }
+
+  /// True if the coverage hash refers to a (possibly aggregate) channel
+  /// spanning the entire grid.  Note a row x column aggregate covers the
+  /// world even though its hash differs from the world channel's hash.
+  bool covers_world(std::uint64_t agg) const {
+    const Channel* c = find(agg);
+    return c != nullptr && c->lattice && c->span() >= world_span_;
+  }
+
+  /// Eager propagation support: given a kernel whose statistics have been
+  /// aggregated along channels with combined coverage hash `agg` (0 = only
+  /// local), would also aggregating along channel `chan` produce a strictly
+  /// larger valid coverage?  On success sets `*combined` to the new
+  /// coverage hash (which equals world_hash() at full coverage).
+  bool try_extend_coverage(std::uint64_t agg, std::uint64_t chan,
+                           std::uint64_t* combined) const;
+
+  std::size_t size() const { return channels_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Channel> channels_;  // includes aggregates
+  std::uint64_t world_hash_ = 0;
+  std::int64_t world_span_ = 0;
+};
+
+}  // namespace critter::core

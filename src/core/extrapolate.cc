@@ -1,0 +1,60 @@
+#include "core/extrapolate.hpp"
+
+#include <cmath>
+
+namespace critter::core {
+
+void SizeModelBucket::add(double x, double y) {
+  ++n;
+  sx += x;
+  sy += y;
+  sxx += x * x;
+  sxy += x * y;
+  syy += y * y;
+  min_x = std::min(min_x, x);
+  max_x = std::max(max_x, x);
+}
+
+double SizeModelBucket::slope() const {
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-30) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+double SizeModelBucket::intercept() const {
+  return (sy - slope() * sx) / static_cast<double>(n);
+}
+
+double SizeModelBucket::r_squared() const {
+  const double sxx_c = sxx - sx * sx / n;
+  const double syy_c = syy - sy * sy / n;
+  const double sxy_c = sxy - sx * sy / n;
+  if (sxx_c < 1e-30 || syy_c < 1e-30) return 0.0;
+  const double r = sxy_c / std::sqrt(sxx_c * syy_c);
+  return r * r;
+}
+
+bool SizeModelBucket::usable(int min_points, double min_r2) const {
+  // demand a 2x spread in size so the line interpolates rather than guesses
+  return n >= min_points && max_x > 2.0 * min_x && r_squared() >= min_r2;
+}
+
+double SizeModelBucket::predict(double flops) const {
+  return std::max(0.0, intercept() + slope() * flops);
+}
+
+void SizeModel::observe(const KernelKey& key, double flops,
+                        double mean_time) {
+  if (flops <= 0.0 || mean_time <= 0.0) return;
+  buckets_[bucket_id(key)].add(flops, mean_time);
+}
+
+double SizeModel::predict(const KernelKey& key, double flops, int min_points,
+                          double min_r2) const {
+  auto it = buckets_.find(bucket_id(key));
+  if (it == buckets_.end() || !it->second.usable(min_points, min_r2))
+    return -1.0;
+  return it->second.predict(flops);
+}
+
+}  // namespace critter::core

@@ -1,0 +1,67 @@
+// Kernel performance-model extrapolation across input sizes — the paper's
+// §VIII future-work extension:
+//
+//   "Extrapolation of individual kernel performance models to characterize
+//    kernel performance across varying input sizes can benefit a wide class
+//    of algorithms, including CANDMC's pipelined QR factorization
+//    algorithm.  Such line-fitting approaches can permit kernel execution
+//    to be more selective."
+//
+// Each (kernel class, option flags) bucket accumulates (flops, mean-time)
+// points from kernels that reached steady state and fits a least-squares
+// line t = a + b*flops — the affine shape of real kernel costs (per-call
+// overhead plus time-per-flop).  Once a bucket holds enough well-spread
+// points and the line fits tightly (R² gate), a *never-executed* kernel of
+// the same class is skipped immediately: its execution time is predicted
+// from the line.
+// CANDMC's shrinking trailing matrix — a fresh gemm signature per panel —
+// is exactly the workload this collapses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/signature.hpp"
+
+namespace critter::core {
+
+struct SizeModelBucket {
+  // accumulators of the OLS fit (x = flops, y = time)
+  std::int64_t n = 0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  double min_x = 1e300, max_x = -1e300;
+
+  void add(double flops, double time);
+  /// Least-squares slope/intercept; only meaningful when usable().
+  double slope() const;
+  double intercept() const;
+  double r_squared() const;
+  /// Enough points, enough spread in size, and a tight fit?
+  bool usable(int min_points, double min_r2) const;
+  /// Predicted execution time for a kernel with the given flop count.
+  double predict(double flops) const;
+};
+
+/// Per-rank registry of extrapolation buckets.
+class SizeModel {
+ public:
+  /// Record a steady kernel's (flops, mean time) observation.
+  void observe(const KernelKey& key, double flops, double mean_time);
+
+  /// Predicted time for an unseen kernel, or a negative value if the
+  /// bucket is not usable yet.
+  double predict(const KernelKey& key, double flops, int min_points = 3,
+                 double min_r2 = 0.98) const;
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  static std::uint64_t bucket_id(const KernelKey& key) {
+    // class + option flags; dims vary within a bucket by design
+    return (static_cast<std::uint64_t>(key.cls) << 32) ^
+           static_cast<std::uint64_t>(key.dims[3]);
+  }
+  std::unordered_map<std::uint64_t, SizeModelBucket> buckets_;
+};
+
+}  // namespace critter::core

@@ -1,0 +1,68 @@
+// Intercepted BLAS / LAPACK computational kernels.
+//
+// Each wrapper derives the kernel signature from the routine and its
+// dimensions (paper §V-D), consults the selective-execution policy, and
+// either executes (advancing the virtual clock by a noisy cost-model sample
+// and, in ExecMode::Real, performing the actual arithmetic on the caller's
+// buffers) or skips (charging the sample mean to the path model).
+//
+// In ExecMode::Model all pointers may be null.  In ExecMode::Real a skipped
+// kernel still performs its arithmetic — local work has no distributed
+// matching constraints, so keeping the numerics alive is free fidelity.
+#pragma once
+
+#include <functional>
+
+#include "core/profiler.hpp"
+#include "la/blas.hpp"
+#include "la/lapack.hpp"
+#include "la/tile_qr.hpp"
+
+namespace critter::blas {
+
+void gemm(la::Trans ta, la::Trans tb, int m, int n, int k, double alpha,
+          const double* a, int lda, const double* b, int ldb, double beta,
+          double* c, int ldc);
+void syrk(la::Uplo uplo, la::Trans trans, int n, int k, double alpha,
+          const double* a, int lda, double beta, double* c, int ldc);
+void trsm(la::Side side, la::Uplo uplo, la::Trans trans, la::Diag diag, int m,
+          int n, double alpha, const double* a, int lda, double* b, int ldb);
+void trmm(la::Side side, la::Uplo uplo, la::Trans trans, la::Diag diag, int m,
+          int n, double alpha, const double* a, int lda, double* b, int ldb);
+
+}  // namespace critter::blas
+
+namespace critter::lapack {
+
+void potrf(la::Uplo uplo, int n, double* a, int lda);
+void trtri(la::Uplo uplo, la::Diag diag, int n, double* a, int lda);
+void getrf(int m, int n, double* a, int lda, int* ipiv);
+void geqrf(int m, int n, double* a, int lda, double* tau, int nb);
+void ormqr(la::Side side, la::Trans trans, int m, int n, int k,
+           const double* a, int lda, const double* tau, double* c, int ldc,
+           int nb);
+void geqrt(int m, int n, double* a, int lda, double* t, int ldt);
+void tpqrt(int m, int n, int l, double* a, int lda, double* b, int ldb,
+           double* t, int ldt);
+void tpmqrt(la::Trans trans, int m, int ncols, int k, const double* v, int ldv,
+            const double* t, int ldt, double* a, int lda, double* b, int ldb);
+
+}  // namespace critter::lapack
+
+namespace critter {
+
+/// User-defined kernel interception (paper §IV-A: "allows library
+/// developers to selectively execute loop nests and other structures").
+/// `name_hash` distinguishes user kernels; d0/d1 parameterize the input;
+/// `flops` drives the cost model; `real_work` runs in ExecMode::Real.
+/// Returns the modeled duration charged to the path.
+double user_kernel(std::uint64_t name_hash, std::int64_t d0, std::int64_t d1,
+                   double flops, const std::function<void()>& real_work);
+
+namespace detail {
+/// Shared implementation for all compute interceptions.
+double intercept_compute(const core::KernelKey& key, double flops,
+                         const std::function<void()>& real_work);
+}  // namespace detail
+
+}  // namespace critter

@@ -1,0 +1,320 @@
+#include "core/mpi.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "util/check.hpp"
+
+namespace critter::mpi {
+
+namespace {
+
+constexpr int kInternalTagOffset = 1 << 20;
+
+// Reusable wire buffers: two per *rank* (send-side and merged/received) —
+// they must not be shared across ranks, because a rank can yield inside a
+// sim call while its buffer is still pending staging or unpacking, and
+// another rank would otherwise overwrite it.  Rebuilt when capacities
+// change; a cached fold functor avoids a std::function allocation per op.
+core::IntMsg& scratch_msg(int tilde_cap, int eager_cap, int slot) {
+  const int rank = sim::world_rank();
+  static std::vector<std::array<std::unique_ptr<core::IntMsg>, 2>> per_rank;
+  if (static_cast<int>(per_rank.size()) <= rank) per_rank.resize(rank + 1);
+  auto& p = per_rank[rank][slot];
+  if (!p || p->tilde_cap() != tilde_cap || p->eager_cap() != eager_cap)
+    p = std::make_unique<core::IntMsg>(tilde_cap, eager_cap);
+  return *p;
+}
+
+const sim::ReduceFn& cached_fold(int tilde_cap, int eager_cap) {
+  static sim::ReduceFn fn;
+  static int tc = -1, ec = -1;
+  if (tc != tilde_cap || ec != eager_cap) {
+    fn = core::IntMsg::fold_fn(tilde_cap, eager_cap);
+    tc = tilde_cap;
+    ec = eager_cap;
+  }
+  return fn;
+}
+
+core::KernelClass coll_kernel_class(sim::CollType t) {
+  switch (t) {
+    case sim::CollType::Bcast: return core::KernelClass::Bcast;
+    case sim::CollType::Reduce: return core::KernelClass::Reduce;
+    case sim::CollType::Allreduce: return core::KernelClass::Allreduce;
+    case sim::CollType::Allgather: return core::KernelClass::Allgather;
+    case sim::CollType::Gather: return core::KernelClass::Gather;
+    case sim::CollType::Scatter: return core::KernelClass::Scatter;
+    case sim::CollType::Barrier: return core::KernelClass::Barrier;
+    case sim::CollType::Split: break;
+  }
+  CRITTER_CHECK(false, "no kernel class for collective");
+}
+
+/// Channel signature of a point-to-point pair: a size-2 sub-communicator
+/// whose stride is the world-rank distance (paper §V-D).
+std::uint64_t p2p_channel(sim::Comm c, int peer_local) {
+  critter::RankProfiler& rp = critter::prof();
+  const auto& members = sim::engine().comm_members(c);
+  const int me_world = sim::Engine::ctx().rank;
+  const int peer_world = members[peer_local];
+  std::vector<int> pair{std::min(me_world, peer_world),
+                        std::max(me_world, peer_world)};
+  if (pair[0] == pair[1]) pair.pop_back();  // self-message
+  return rp.channels.add_channel(pair);
+}
+
+/// Shared bookkeeping after the execute/skip decision of a communication
+/// kernel: updates statistics, the path model P, and volumetric counters.
+/// `measured` is the user operation's duration if executed.
+void account_comm(critter::RankProfiler& rp, core::KernelStats& ks,
+                  double words, bool executed, double measured) {
+  double dt;
+  if (executed) {
+    dt = measured;
+    ks.add_sample(dt);
+    ++ks.executions_this_epoch;
+    ++ks.total_executions;
+    rp.local.kernel_comm_time += dt;
+    ++rp.local.executed;
+  } else {
+    dt = ks.mean;
+    ++rp.local.skipped;
+  }
+  rp.path.exec_time += dt;
+  rp.path.comm_time += dt;
+  rp.path.sync_cost += 1.0;
+  rp.path.comm_cost += words;
+  rp.local.modeled_comm_time += dt;
+  rp.local.syncs += 1.0;
+  rp.local.words += words;
+}
+
+void intercepted_coll(sim::CollType type, const void* sendbuf, void* recvbuf,
+                      int bytes, int root, const sim::ReduceFn& fn,
+                      sim::Comm c) {
+  const Config& cfg = critter::config();
+  if (!cfg.instrument) {
+    sim::engine().f_coll(type, sendbuf, recvbuf, bytes, root, fn, c);
+    return;
+  }
+  critter::RankProfiler& rp = critter::prof();
+  const std::uint64_t chan = critter::detail::channel_of(c);
+  core::KernelKey key{coll_kernel_class(type),
+                      {static_cast<std::int64_t>(bytes), 0, 0, 0}, chan};
+  core::KernelStats& ks = rp.K[key];
+  critter::detail::note_invocation(rp, key, ks);
+  const bool want = critter::detail::wants_execution(rp, cfg, key, ks);
+
+  // Internal allreduce: propagate path profiles, reach a consistent
+  // execute decision, and (eager) aggregate kernel statistics.
+  core::IntMsg& msg = scratch_msg(cfg.tilde_capacity, cfg.eager_capacity, 0);
+  msg.pack(rp, want);
+  if (cfg.policy == Policy::EagerPropagation)
+    core::pack_eager_entries(msg, rp, cfg, chan);
+  core::IntMsg& merged = scratch_msg(cfg.tilde_capacity, cfg.eager_capacity, 1);
+  const double t0 = sim::now();
+  sim::allreduce(msg.data(), merged.data(), msg.bytes(),
+                 cached_fold(cfg.tilde_capacity, cfg.eager_capacity), c);
+  rp.local.overhead_time += sim::now() - t0;
+  merged.unpack_into(rp, cfg, chan);
+  const bool execute = merged.header().execute != 0;
+
+  double measured = 0.0;
+  if (execute) {
+    const double t1 = sim::now();
+    sim::engine().f_coll(type, sendbuf, recvbuf, bytes, root, fn, c);
+    measured = sim::now() - t1;
+  }
+  const int p = sim::comm_size(c);
+  const double words = sim::Machine::coll_bytes_moved(type, bytes, p) / 8.0;
+  account_comm(rp, ks, words, execute, measured);
+}
+
+}  // namespace
+
+void bcast(void* buf, int bytes, int root, sim::Comm c) {
+  intercepted_coll(sim::CollType::Bcast, buf, buf, bytes, root, nullptr, c);
+}
+void reduce(const void* sbuf, void* rbuf, int bytes, const sim::ReduceFn& fn,
+            int root, sim::Comm c) {
+  intercepted_coll(sim::CollType::Reduce, sbuf, rbuf, bytes, root, fn, c);
+}
+void allreduce(const void* sbuf, void* rbuf, int bytes, const sim::ReduceFn& fn,
+               sim::Comm c) {
+  intercepted_coll(sim::CollType::Allreduce, sbuf, rbuf, bytes, 0, fn, c);
+}
+void allgather(const void* sbuf, int bytes, void* rbuf, sim::Comm c) {
+  intercepted_coll(sim::CollType::Allgather, sbuf, rbuf, bytes, 0, nullptr, c);
+}
+void gather(const void* sbuf, int bytes, void* rbuf, int root, sim::Comm c) {
+  intercepted_coll(sim::CollType::Gather, sbuf, rbuf, bytes, root, nullptr, c);
+}
+void scatter(const void* sbuf, int bytes, void* rbuf, int root, sim::Comm c) {
+  intercepted_coll(sim::CollType::Scatter, sbuf, rbuf, bytes, root, nullptr, c);
+}
+void barrier(sim::Comm c) {
+  intercepted_coll(sim::CollType::Barrier, nullptr, nullptr, 0, 0, nullptr, c);
+}
+
+void send(const void* buf, int bytes, int dest, int tag, sim::Comm c) {
+  const Config& cfg = critter::config();
+  if (!cfg.instrument) {
+    sim::send(buf, bytes, dest, tag, c);
+    return;
+  }
+  critter::RankProfiler& rp = critter::prof();
+  core::KernelKey key{core::KernelClass::Send,
+                      {static_cast<std::int64_t>(bytes), 0, 0, 0},
+                      p2p_channel(c, dest)};
+  core::KernelStats& ks = rp.K[key];
+  critter::detail::note_invocation(rp, key, ks);
+  const bool execute = critter::detail::wants_execution(rp, cfg, key, ks);
+
+  core::IntMsg& msg = scratch_msg(cfg.tilde_capacity, cfg.eager_capacity, 0);
+  msg.pack(rp, execute);
+  const double t0 = sim::now();
+  sim::send(msg.data(), msg.bytes(), dest, tag + kInternalTagOffset, c);
+  rp.local.overhead_time += sim::now() - t0;
+
+  double measured = 0.0;
+  if (execute) {
+    const double t1 = sim::now();
+    sim::send(buf, bytes, dest, tag, c);
+    measured = sim::now() - t1;
+  }
+  account_comm(rp, ks, bytes / 8.0, execute, measured);
+}
+
+void recv(void* buf, int bytes, int src, int tag, sim::Comm c) {
+  const Config& cfg = critter::config();
+  if (!cfg.instrument) {
+    sim::recv(buf, bytes, src, tag, c);
+    return;
+  }
+  critter::RankProfiler& rp = critter::prof();
+  const std::uint64_t chan = p2p_channel(c, src);
+  core::KernelKey key{core::KernelClass::Recv,
+                      {static_cast<std::int64_t>(bytes), 0, 0, 0}, chan};
+  core::KernelStats& ks = rp.K[key];
+  critter::detail::note_invocation(rp, key, ks);
+
+  core::IntMsg& peer = scratch_msg(cfg.tilde_capacity, cfg.eager_capacity, 1);
+  const double t0 = sim::now();
+  sim::recv(peer.data(), peer.bytes(), src, tag + kInternalTagOffset, c);
+  rp.local.overhead_time += sim::now() - t0;
+  peer.unpack_into(rp, cfg, chan);
+  // Sender-decides rule: the data transfer happens iff the sender executed.
+  const bool execute = peer.header().execute != 0;
+
+  double measured = 0.0;
+  if (execute) {
+    const double t1 = sim::now();
+    sim::recv(buf, bytes, src, tag, c);
+    measured = sim::now() - t1;
+  }
+  account_comm(rp, ks, bytes / 8.0, execute, measured);
+}
+
+Request isend(const void* buf, int bytes, int dest, int tag, sim::Comm c) {
+  Request out;
+  out.valid = true;
+  const Config& cfg = critter::config();
+  if (!cfg.instrument) {
+    out.user = sim::isend(buf, bytes, dest, tag, c);
+    out.executed = true;
+    return out;
+  }
+  critter::RankProfiler& rp = critter::prof();
+  core::KernelKey key{core::KernelClass::Isend,
+                      {static_cast<std::int64_t>(bytes), 0, 0, 0},
+                      p2p_channel(c, dest)};
+  core::KernelStats& ks = rp.K[key];
+  critter::detail::note_invocation(rp, key, ks);
+  const bool execute = critter::detail::wants_execution(rp, cfg, key, ks);
+
+  core::IntMsg& msg = scratch_msg(cfg.tilde_capacity, cfg.eager_capacity, 0);
+  msg.pack(rp, execute);
+  const double t0 = sim::now();
+  sim::send(msg.data(), msg.bytes(), dest, tag + kInternalTagOffset, c);
+  rp.local.overhead_time += sim::now() - t0;
+
+  if (execute) out.user = sim::isend(buf, bytes, dest, tag, c);
+  out.key = key;
+  out.executed = execute;
+
+  // Structural costs are attributed at post time; the timing sample is
+  // collected at wait() (paper's MPI_Wait interception).
+  rp.path.sync_cost += 1.0;
+  rp.path.comm_cost += bytes / 8.0;
+  rp.local.syncs += 1.0;
+  rp.local.words += bytes / 8.0;
+  return out;
+}
+
+Request ibcast(void* buf, int bytes, int root, sim::Comm c) {
+  Request out;
+  out.valid = true;
+  const Config& cfg = critter::config();
+  out.user = sim::ibcast(buf, bytes, root, c);
+  out.executed = true;
+  if (!cfg.instrument) return out;
+  critter::RankProfiler& rp = critter::prof();
+  const std::uint64_t chan = critter::detail::channel_of(c);
+  out.key = core::KernelKey{core::KernelClass::Bcast,
+                            {static_cast<std::int64_t>(bytes), 0, 0, 1}, chan};
+  core::KernelStats& ks = rp.K[out.key];
+  critter::detail::note_invocation(rp, out.key, ks);
+  out.words = sim::Machine::coll_bytes_moved(sim::CollType::Bcast, bytes,
+                                             sim::comm_size(c)) /
+              8.0;
+  return out;
+}
+
+void wait(Request& r) {
+  CRITTER_CHECK(r.valid, "wait on an empty critter request");
+  r.valid = false;
+  const Config& cfg = critter::config();
+  if (!cfg.instrument) {
+    sim::wait(r.user);
+    return;
+  }
+  critter::RankProfiler& rp = critter::prof();
+  core::KernelStats& ks = rp.K[r.key];
+  double dt;
+  if (r.executed) {
+    const double t0 = sim::now();
+    sim::wait(r.user);
+    dt = sim::now() - t0;
+    ks.add_sample(dt);
+    ++ks.executions_this_epoch;
+    ++ks.total_executions;
+    rp.local.kernel_comm_time += dt;
+    ++rp.local.executed;
+  } else {
+    dt = ks.mean;
+    ++rp.local.skipped;
+  }
+  if (r.words > 0.0) {
+    rp.path.sync_cost += 1.0;
+    rp.path.comm_cost += r.words;
+    rp.local.syncs += 1.0;
+    rp.local.words += r.words;
+  }
+  rp.path.exec_time += dt;
+  rp.path.comm_time += dt;
+  rp.local.modeled_comm_time += dt;
+}
+
+sim::Comm comm_split(sim::Comm parent, int color, int key) {
+  sim::Comm out = sim::split(parent, color, key);
+  if (critter::config().instrument) {
+    critter::detail::channel_of(out);  // register channel + aggregates
+  }
+  return out;
+}
+
+}  // namespace critter::mpi

@@ -1,0 +1,176 @@
+#include "core/profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace critter {
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::ConditionalExecution: return "conditional";
+    case Policy::EagerPropagation: return "eager";
+    case Policy::LocalPropagation: return "local";
+    case Policy::OnlinePropagation: return "online";
+    case Policy::AprioriPropagation: return "apriori";
+  }
+  return "?";
+}
+
+void PathMetrics::max_with(const PathMetrics& o) {
+  double* a = as_array();
+  const double* b = o.as_array();
+  for (int i = 0; i < kFields; ++i) a[i] = std::max(a[i], b[i]);
+}
+
+Store::Store(int nranks, Config cfg) : cfg_(cfg), ranks_(nranks) {
+  CRITTER_CHECK(nranks >= 1, "store needs at least one rank");
+  // Only the eager policy ships aggregation entries; dropping the section
+  // otherwise shrinks every internal message (less profiling overhead).
+  if (cfg_.policy != Policy::EagerPropagation) cfg_.eager_capacity = 0;
+  for (auto& rp : ranks_) rp.channels.init_world(nranks);
+}
+
+void Store::new_epoch() {
+  for (auto& rp : ranks_) {
+    ++rp.epoch;
+    for (auto& [key, ks] : rp.K) ks.reset_epoch_counters();
+  }
+}
+
+void Store::reset_statistics() {
+  for (auto& rp : ranks_) {
+    rp.K.clear();
+    rp.key_of_hash.clear();
+    rp.pending_eager.clear();
+    rp.apriori.clear();
+  }
+}
+
+void Store::set_apriori_from_last_run() {
+  // Pick the rank whose last run carried the longest modeled path; its ~K
+  // holds the critical path's kernel execution counts.
+  int best = 0;
+  for (int r = 1; r < nranks(); ++r)
+    if (ranks_[r].last_exec_time > ranks_[best].last_exec_time) best = r;
+  const auto counts = ranks_[best].last_tilde;
+  for (auto& rp : ranks_) rp.apriori = counts;
+}
+
+namespace {
+RankProfiler* current_profiler() {
+  if (!sim::Engine::in_rank()) return nullptr;
+  return static_cast<RankProfiler*>(sim::Engine::ctx().user_data);
+}
+Store* g_store = nullptr;  // engine is single-threaded; one active store
+}  // namespace
+
+void start(Store& s) {
+  sim::RankCtx& ctx = sim::Engine::ctx();
+  CRITTER_CHECK(ctx.user_data == nullptr, "critter::start called twice");
+  CRITTER_CHECK(ctx.engine->nranks() == s.nranks(),
+                "store rank count does not match engine");
+  RankProfiler& rp = s.rank(ctx.rank);
+  rp.path = PathMetrics{};
+  rp.tilde.clear();
+  rp.local = LocalCounters{};
+  rp.chan_of_comm.clear();
+  rp.chan_of_comm[0] = rp.channels.world_hash();
+  rp.start_clock = ctx.clock;
+  rp.active = true;
+  ctx.user_data = &rp;
+  g_store = &s;
+}
+
+RankProfiler& prof() {
+  RankProfiler* rp = current_profiler();
+  CRITTER_CHECK(rp != nullptr, "critter profiler not started on this rank");
+  return *rp;
+}
+
+Store& store() {
+  CRITTER_CHECK(g_store != nullptr, "no active critter store");
+  return *g_store;
+}
+
+const Config& config() { return store().config(); }
+
+namespace detail {
+
+std::uint64_t channel_of(sim::Comm c) {
+  RankProfiler& rp = prof();
+  auto it = rp.chan_of_comm.find(c.id);
+  if (it != rp.chan_of_comm.end()) return it->second;
+  const std::vector<int>& members = sim::Engine::ctx().engine->comm_members(c);
+  std::vector<int> sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t h = rp.channels.add_channel(sorted);
+  rp.chan_of_comm[c.id] = h;
+  return h;
+}
+
+std::int64_t k_effective(const RankProfiler& rp, const Config& cfg,
+                         const core::KernelKey& key,
+                         const core::KernelStats& ks) {
+  switch (cfg.policy) {
+    case Policy::ConditionalExecution:
+    case Policy::EagerPropagation:
+      return 1;
+    case Policy::LocalPropagation:
+      return std::max<std::int64_t>(1, ks.invocations_this_epoch);
+    case Policy::OnlinePropagation: {
+      auto it = rp.tilde.find(key.hash());
+      return it == rp.tilde.end() ? 1 : std::max<std::int64_t>(1, it->second);
+    }
+    case Policy::AprioriPropagation: {
+      auto it = rp.apriori.find(key.hash());
+      return it == rp.apriori.end() ? 1 : std::max<std::int64_t>(1, it->second);
+    }
+  }
+  return 1;
+}
+
+bool wants_execution(const RankProfiler& rp, const Config& cfg,
+                     const core::KernelKey& key,
+                     const core::KernelStats& ks) {
+  if (!cfg.selective) return true;
+  if (cfg.policy == Policy::EagerPropagation &&
+      !(key.cls == core::KernelClass::Send ||
+        key.cls == core::KernelClass::Recv ||
+        key.cls == core::KernelClass::Isend)) {
+    // Globally consistent decision: skip only once the statistics have
+    // been propagated across the whole grid.  Point-to-point kernels are
+    // exempt: their size-2 channels cannot tile the grid, so they fall
+    // back to the local rule below (the paper's eager policy targets
+    // bulk-synchronous collectives).
+    return !ks.global_steady;
+  }
+  // Every kernel executes at least once per tuning epoch.
+  if (ks.executions_this_epoch == 0) return true;
+  const double z = core::normal_quantile_two_sided(cfg.confidence);
+  return !ks.is_steady(z, cfg.tolerance, k_effective(rp, cfg, key, ks),
+                       cfg.min_samples);
+}
+
+void note_invocation(RankProfiler& rp, const core::KernelKey& key,
+                     core::KernelStats& ks) {
+  ++ks.invocations_this_epoch;
+  ++ks.total_invocations;
+  ++rp.tilde[key.hash()];
+  auto [it, inserted] = rp.key_of_hash.try_emplace(key.hash(), key);
+  (void)it;
+  if (inserted) {
+    // first sighting: absorb any eager statistics that arrived early
+    auto pend = rp.pending_eager.find(key.hash());
+    if (pend != rp.pending_eager.end()) {
+      ks.merge(pend->second);
+      ks.agg_hash = pend->second.agg_hash;
+      rp.pending_eager.erase(pend);
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace critter

@@ -1,0 +1,195 @@
+// The approximate-autotuning profiler (paper §III–§IV).
+//
+// A Store holds per-rank profiler state that persists across simulated runs
+// (kernel statistics survive between tuning samples and, unless reset,
+// between configurations — that persistence is what the eager policy
+// exploits).  Inside an Engine::run body, each rank attaches its slice with
+// critter::start(store) and detaches with critter::stop(), which returns the
+// run's critical-path report.
+//
+// Selective execution: every intercepted kernel is either executed (sample
+// collected, virtual clock advances) or skipped (its sample mean is charged
+// to the online critical-path model P instead).  Communication kernels
+// reach a consistent execute/skip decision through an internal allreduce
+// (blocking collectives) or a piggybacked sender-side flag (point-to-point;
+// see DESIGN.md for the deliberate divergence from Fig. 2's pseudocode).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/extrapolate.hpp"
+#include "core/signature.hpp"
+#include "core/stats.hpp"
+#include "sim/engine.hpp"
+
+namespace critter {
+
+/// Kernel execution policies of §IV-B.
+enum class Policy : std::uint8_t {
+  ConditionalExecution,  ///< no count propagation; k_eff = 1
+  EagerPropagation,      ///< global skip after grid-wide stat aggregation
+  LocalPropagation,      ///< k_eff = local invocation count
+  OnlinePropagation,     ///< k_eff = count along current sub-critical path
+  AprioriPropagation,    ///< k_eff from a prior full execution's path counts
+};
+
+const char* policy_name(Policy p);
+
+/// Model: kernels advance virtual time only (no data).  Real: kernels also
+/// perform actual linear algebra on caller buffers (for correctness tests).
+enum class ExecMode : std::uint8_t { Model, Real };
+
+struct Config {
+  Policy policy = Policy::ConditionalExecution;
+  double tolerance = 0.25;  ///< epsilon: relative CI threshold
+  double confidence = 0.95;
+  int min_samples = 3;
+  ExecMode mode = ExecMode::Model;
+  /// false disables skipping (full execution) but keeps profiling.
+  bool selective = true;
+  /// false disables all interception bookkeeping and internal messages;
+  /// used to measure the "true" uninstrumented execution time.
+  bool instrument = true;
+  /// Capacities of the piggybacked internal message (fixed wire size);
+  /// these set the profiling-overhead bytes charged per intercepted
+  /// communication kernel (ablated in bench_ablation).
+  int tilde_capacity = 64;
+  int eager_capacity = 16;
+  /// Fixed per-kernel launch overhead added to the gamma*flops model (s).
+  double kernel_overhead = 5.0e-7;
+  /// §VIII extension: skip never-executed compute kernels whose (class,
+  /// flags) bucket has a tight log-log size model fitted from steady
+  /// kernels of other sizes.
+  bool extrapolate = false;
+};
+
+/// Metrics propagated along execution paths.  Each metric is max-merged
+/// independently, i.e. each has its own critical path (paper Fig. 1).
+struct PathMetrics {
+  double exec_time = 0.0;  ///< modeled execution time (the estimate of c_phi)
+  double comp_time = 0.0;  ///< computation kernel time along the path
+  double comm_time = 0.0;  ///< communication kernel time along the path
+  double sync_cost = 0.0;  ///< BSP alpha term: number of super-steps
+  double comm_cost = 0.0;  ///< BSP beta term: words moved
+  double comp_cost = 0.0;  ///< BSP gamma term: flops
+
+  static constexpr int kFields = 6;
+  void max_with(const PathMetrics& o);
+  double* as_array() { return &exec_time; }
+  const double* as_array() const { return &exec_time; }
+};
+
+/// Per-rank volumetric counters (not path-propagated).
+struct LocalCounters {
+  double kernel_comp_time = 0.0;  ///< measured, executed kernels only
+  double kernel_comm_time = 0.0;
+  double modeled_comp_time = 0.0;  ///< executed + skipped (model view)
+  double modeled_comm_time = 0.0;
+  double overhead_time = 0.0;  ///< internal propagation message time
+  double flops = 0.0;
+  double words = 0.0;
+  double syncs = 0.0;
+  std::int64_t executed = 0;
+  std::int64_t skipped = 0;
+  std::int64_t extrapolated = 0;  ///< skipped via the cross-size model
+};
+
+/// Per-rank profiler state.  Statistics (K), channel registry, and epoch
+/// survive across engine runs; path state (P, ~K) resets at start().
+struct RankProfiler {
+  // --- persistent across runs ---
+  std::unordered_map<core::KernelKey, core::KernelStats, core::KernelKeyHash> K;
+  std::unordered_map<std::uint64_t, core::KernelKey> key_of_hash;
+  /// Eager: stats received for kernels not yet seen locally.
+  std::unordered_map<std::uint64_t, core::KernelStats> pending_eager;
+  core::ChannelRegistry channels;
+  core::SizeModel size_model;  ///< cross-size extrapolation (§VIII)
+  std::int64_t epoch = 0;
+  std::unordered_map<std::uint64_t, std::int64_t> apriori;  // hash -> cp count
+
+  // --- per-run state ---
+  PathMetrics path;
+  std::unordered_map<std::uint64_t, std::int64_t> tilde;  // ~K: cp counts
+  LocalCounters local;
+  std::unordered_map<int, std::uint64_t> chan_of_comm;  // sim comm id -> hash
+  double start_clock = 0.0;
+  bool active = false;
+
+  // --- snapshot of the last completed run (for a-priori propagation) ---
+  double last_exec_time = 0.0;
+  std::unordered_map<std::uint64_t, std::int64_t> last_tilde;
+};
+
+/// The profiler store shared by all ranks of a simulated job; persists
+/// across Engine::run invocations (one Engine per run).
+class Store {
+ public:
+  Store(int nranks, Config cfg);
+
+  Config& config() { return cfg_; }
+  const Config& config() const { return cfg_; }
+  int nranks() const { return static_cast<int>(ranks_.size()); }
+  RankProfiler& rank(int r) { return ranks_.at(r); }
+
+  /// Advance the tuning epoch (call when switching to a new configuration;
+  /// non-eager policies re-execute every kernel at least once per epoch).
+  void new_epoch();
+
+  /// Clear all kernel statistics (paper: done between configurations for
+  /// SLATE's and CANDMC's algorithms).
+  void reset_statistics();
+
+  /// After a full (non-selective) run, install its critical-path kernel
+  /// execution counts as the a-priori table on every rank.
+  void set_apriori_from_last_run();
+
+ private:
+  Config cfg_;
+  std::vector<RankProfiler> ranks_;
+};
+
+/// Attach the current sim rank to its profiler slice; must be called inside
+/// an Engine::run body before any critter::mpi / critter::blas call.
+void start(Store& store);
+
+/// Current rank's profiler (between start and stop).
+RankProfiler& prof();
+Store& store();
+const Config& config();
+
+/// Report of one run; identical on every rank (built via a final reduction).
+struct Report {
+  PathMetrics critical;  ///< per-metric maxima over ranks (critical paths)
+  PathMetrics volavg;    ///< volumetric averages over ranks
+  double wall_time = 0.0;             ///< max elapsed virtual time (tuning cost)
+  double max_kernel_comp_time = 0.0;  ///< max over ranks, executed kernels
+  double max_modeled_comp_time = 0.0;
+  double overhead_time = 0.0;  ///< max over ranks of internal-message time
+  std::int64_t executed = 0;
+  std::int64_t skipped = 0;
+  int p = 0;
+};
+
+/// Final path/counter reduction; detaches the rank from the store.
+Report stop();
+
+// --- internals shared by the interception layers ---
+namespace detail {
+/// Channel hash for a communicator (registers it on first sight).
+std::uint64_t channel_of(sim::Comm c);
+/// Effective critical-path count for the CI shrink, per policy.
+std::int64_t k_effective(const RankProfiler& rp, const Config& cfg,
+                         const core::KernelKey& key,
+                         const core::KernelStats& ks);
+/// Local execute decision for a kernel (before any inter-rank agreement).
+bool wants_execution(const RankProfiler& rp, const Config& cfg,
+                     const core::KernelKey& key, const core::KernelStats& ks);
+/// Record a kernel on the local path: bumps ~K and invocation counters.
+void note_invocation(RankProfiler& rp, const core::KernelKey& key,
+                     core::KernelStats& ks);
+}  // namespace detail
+
+}  // namespace critter

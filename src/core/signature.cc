@@ -1,0 +1,44 @@
+#include "core/signature.hpp"
+
+#include <sstream>
+
+namespace critter::core {
+
+const char* kernel_class_name(KernelClass c) {
+  switch (c) {
+    case KernelClass::Gemm: return "gemm";
+    case KernelClass::Syrk: return "syrk";
+    case KernelClass::Trsm: return "trsm";
+    case KernelClass::Trmm: return "trmm";
+    case KernelClass::Potrf: return "potrf";
+    case KernelClass::Trtri: return "trtri";
+    case KernelClass::Getrf: return "getrf";
+    case KernelClass::Geqrf: return "geqrf";
+    case KernelClass::Ormqr: return "ormqr";
+    case KernelClass::Geqrt: return "geqrt";
+    case KernelClass::Tpqrt: return "tpqrt";
+    case KernelClass::Tpmqrt: return "tpmqrt";
+    case KernelClass::User: return "user";
+    case KernelClass::Bcast: return "bcast";
+    case KernelClass::Reduce: return "reduce";
+    case KernelClass::Allreduce: return "allreduce";
+    case KernelClass::Allgather: return "allgather";
+    case KernelClass::Gather: return "gather";
+    case KernelClass::Scatter: return "scatter";
+    case KernelClass::Barrier: return "barrier";
+    case KernelClass::Send: return "send";
+    case KernelClass::Recv: return "recv";
+    case KernelClass::Isend: return "isend";
+  }
+  return "?";
+}
+
+std::string KernelKey::to_string() const {
+  std::ostringstream os;
+  os << kernel_class_name(cls) << "[" << dims[0] << "," << dims[1] << ","
+     << dims[2] << "," << dims[3] << "]";
+  if (chan != 0) os << "@" << std::hex << (chan & 0xFFFF);
+  return os.str();
+}
+
+}  // namespace critter::core

@@ -1,0 +1,74 @@
+#include "core/stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace critter::core {
+
+double normal_quantile_two_sided(double confidence) {
+  CRITTER_CHECK(confidence > 0.0 && confidence < 1.0, "confidence in (0,1)");
+  // Acklam's rational approximation of the probit function, evaluated at
+  // p = (1 + confidence) / 2 for the two-sided interval.
+  const double p = 0.5 * (1.0 + confidence);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425, phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+double KernelStats::relative_ci(double z, std::int64_t k_eff,
+                                std::int64_t min_samples) const {
+  if (n < min_samples || mean <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  const double se = std::sqrt(variance() / static_cast<double>(n));
+  const double shrink = std::sqrt(static_cast<double>(k_eff < 1 ? 1 : k_eff));
+  return z * se / (shrink * mean);
+}
+
+bool KernelStats::is_steady(double z, double tolerance, std::int64_t k_eff,
+                            std::int64_t min_samples) const {
+  return relative_ci(z, k_eff, min_samples) <= tolerance;
+}
+
+void KernelStats::merge(const KernelStats& other) {
+  if (other.n == 0) return;
+  if (n == 0) {
+    n = other.n;
+    mean = other.mean;
+    m2 = other.m2;
+    return;
+  }
+  const double na = static_cast<double>(n), nb = static_cast<double>(other.n);
+  const double delta = other.mean - mean;
+  const double nt = na + nb;
+  mean += delta * nb / nt;
+  m2 += other.m2 + delta * delta * na * nb / nt;
+  n += other.n;
+}
+
+}  // namespace critter::core

@@ -1,0 +1,66 @@
+// Single-pass statistical profiles of kernel execution time (§III-A).
+//
+// Each kernel signature carries a Welford mean/variance accumulator.  The
+// steady-state test compares the kernel's relative confidence-interval size
+// against the tolerance epsilon; the effective sample variance may be
+// shrunk by the kernel's execution count k along the current sub-critical
+// path (the paper's sqrt(k) confidence-interval reduction).
+#pragma once
+
+#include <cstdint>
+
+namespace critter::core {
+
+/// Two-sided normal critical value for a given confidence level
+/// (0.95 -> 1.96).  Supports the handful of levels used in practice via
+/// a rational approximation of the probit function.
+double normal_quantile_two_sided(double confidence);
+
+struct KernelStats {
+  std::int64_t n = 0;  ///< number of timing samples
+  double mean = 0.0;
+  double m2 = 0.0;  ///< sum of squared deviations (Welford)
+
+  /// Executions and invocations bookkeeping for policies.
+  std::int64_t invocations_this_epoch = 0;
+  std::int64_t executions_this_epoch = 0;
+  std::int64_t total_invocations = 0;
+  std::int64_t total_executions = 0;
+
+  /// Eager propagation: XOR-combined hash of the cartesian channels along
+  /// which this kernel's statistics have been aggregated; `global_steady`
+  /// is set once coverage reaches the full grid.
+  std::uint64_t agg_hash = 0;
+  bool global_steady = false;
+  /// Already contributed a point to the cross-size extrapolation model.
+  bool extrapolation_observed = false;
+
+  void add_sample(double x) {
+    ++n;
+    const double d = x - mean;
+    mean += d / static_cast<double>(n);
+    m2 += d * (x - mean);
+  }
+
+  double variance() const { return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0; }
+
+  /// Relative half-width of the confidence interval of the sample mean,
+  /// shrunk by sqrt(k_eff) per the paper's critical-path count argument.
+  /// Returns +inf until enough samples exist or the mean is non-positive.
+  double relative_ci(double z, std::int64_t k_eff, std::int64_t min_samples) const;
+
+  /// Steady == "sufficiently predictable": relative CI <= tolerance.
+  bool is_steady(double z, double tolerance, std::int64_t k_eff,
+                 std::int64_t min_samples) const;
+
+  /// Merge another estimator of the same distribution (Chan et al.),
+  /// used when aggregating statistics across processor-grid channels.
+  void merge(const KernelStats& other);
+
+  void reset_epoch_counters() {
+    invocations_this_epoch = 0;
+    executions_this_epoch = 0;
+  }
+};
+
+}  // namespace critter::core

@@ -1,0 +1,186 @@
+#include "core/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace critter::core {
+
+IntMsg::IntMsg(int tilde_cap, int eager_cap)
+    : tilde_cap_(tilde_cap), eager_cap_(eager_cap),
+      buf_(wire_bytes(tilde_cap, eager_cap)) {
+  header() = WireHeader{};
+}
+
+int IntMsg::wire_bytes(int tilde_cap, int eager_cap) {
+  return static_cast<int>(sizeof(WireHeader) + tilde_cap * sizeof(WireTilde) +
+                          eager_cap * sizeof(WireEager));
+}
+
+WireHeader& IntMsg::header() { return *reinterpret_cast<WireHeader*>(buf_.data()); }
+const WireHeader& IntMsg::header() const {
+  return *reinterpret_cast<const WireHeader*>(buf_.data());
+}
+WireTilde* IntMsg::tilde() {
+  return reinterpret_cast<WireTilde*>(buf_.data() + sizeof(WireHeader));
+}
+const WireTilde* IntMsg::tilde() const {
+  return reinterpret_cast<const WireTilde*>(buf_.data() + sizeof(WireHeader));
+}
+WireEager* IntMsg::eager() {
+  return reinterpret_cast<WireEager*>(buf_.data() + sizeof(WireHeader) +
+                                      tilde_cap_ * sizeof(WireTilde));
+}
+const WireEager* IntMsg::eager() const {
+  return reinterpret_cast<const WireEager*>(buf_.data() + sizeof(WireHeader) +
+                                            tilde_cap_ * sizeof(WireTilde));
+}
+
+void IntMsg::pack(const RankProfiler& rp, bool want_execute) {
+  WireHeader& h = header();
+  std::memcpy(h.metrics, rp.path.as_array(), sizeof h.metrics);
+  h.execute = want_execute ? 1 : 0;
+  h.n_eager = 0;
+
+  WireTilde* t = tilde();
+  if (static_cast<int>(rp.tilde.size()) <= tilde_cap_) {
+    // fast path: everything fits, no ordering needed
+    std::int64_t n = 0;
+    for (const auto& [key, freq] : rp.tilde) t[n++] = WireTilde{key, freq};
+    h.n_tilde = n;
+    return;
+  }
+  // over capacity: keep the highest-frequency kernels (they matter most
+  // for the sqrt(k) shrink), deterministically ordered.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> order;
+  order.reserve(rp.tilde.size());
+  for (const auto& [key, freq] : rp.tilde) order.push_back({freq, key});
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  order.resize(tilde_cap_);
+  h.n_tilde = static_cast<std::int64_t>(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    t[i] = WireTilde{order[i].second, order[i].first};
+}
+
+void pack_eager_entries(IntMsg& msg, const RankProfiler& rp, const Config& cfg,
+                        std::uint64_t chan_hash) {
+  WireHeader& h = msg.header();
+  WireEager* e = msg.eager();
+  const double z = normal_quantile_two_sided(cfg.confidence);
+  for (const auto& [key, ks] : rp.K) {
+    if (h.n_eager >= msg.eager_cap()) break;
+    if (ks.global_steady || ks.n < cfg.min_samples) continue;
+    if (!ks.is_steady(z, cfg.tolerance, 1, cfg.min_samples)) continue;
+    std::uint64_t combined = 0;
+    if (!rp.channels.try_extend_coverage(ks.agg_hash, chan_hash, &combined))
+      continue;
+    e[h.n_eager++] =
+        WireEager{key.hash(), ks.agg_hash, ks.n, ks.mean, ks.m2};
+  }
+}
+
+void IntMsg::unpack_into(RankProfiler& rp, const Config& cfg,
+                         std::uint64_t chan_hash) const {
+  const WireHeader& h = header();
+  // Adopt the folded per-metric maxima.  If the folded execution-time path
+  // is longer than ours, its ~K table replaces ours (paper Fig. 2 lines
+  // 64-65); on ties we necessarily contributed the max, so keep ours.
+  const bool adopt_tilde = h.metrics[0] > rp.path.exec_time;
+  PathMetrics folded;
+  std::memcpy(folded.as_array(), h.metrics, sizeof h.metrics);
+  rp.path.max_with(folded);
+  if (adopt_tilde) {
+    rp.tilde.clear();
+    const WireTilde* t = tilde();
+    for (std::int64_t i = 0; i < h.n_tilde; ++i) rp.tilde[t[i].key] = t[i].freq;
+  }
+
+  // Eager statistics aggregation (paper Fig. 2 aggregate_statistics).
+  const double z = normal_quantile_two_sided(cfg.confidence);
+  const WireEager* e = eager();
+  for (std::int64_t i = 0; i < h.n_eager; ++i) {
+    const auto kit = rp.key_of_hash.find(e[i].key);
+    KernelStats incoming;
+    incoming.n = e[i].n;
+    incoming.mean = e[i].mean;
+    incoming.m2 = e[i].m2;
+    if (kit == rp.key_of_hash.end()) {
+      // Kernel not seen locally yet: stash; merged when first encountered.
+      KernelStats& pend = rp.pending_eager[e[i].key];
+      pend.merge(incoming);
+      std::uint64_t combined = 0;
+      if (rp.channels.try_extend_coverage(e[i].agg, chan_hash, &combined))
+        pend.agg_hash = combined;
+      continue;
+    }
+    KernelStats& ks = rp.K.at(kit->second);
+    if (ks.global_steady) continue;
+    // Only merge when the aggregation base matches ours; otherwise the
+    // sample sets could overlap (the bias the paper's channel algebra
+    // exists to prevent).  Exception: a fresh local kernel (agg 0) adopts.
+    if (ks.agg_hash != e[i].agg && ks.agg_hash != 0) continue;
+    ks.merge(incoming);
+    std::uint64_t combined = 0;
+    if (rp.channels.try_extend_coverage(e[i].agg, chan_hash, &combined)) {
+      ks.agg_hash = combined;
+      if (rp.channels.covers_world(combined) &&
+          ks.is_steady(z, cfg.tolerance, 1, cfg.min_samples))
+        ks.global_steady = true;
+    }
+  }
+}
+
+sim::ReduceFn IntMsg::fold_fn(int tilde_cap, int eager_cap) {
+  return [tilde_cap, eager_cap](const void* in_v, void* inout_v, int bytes) {
+    CRITTER_CHECK(bytes == wire_bytes(tilde_cap, eager_cap),
+                  "IntMsg fold size mismatch");
+    const std::byte* inb = static_cast<const std::byte*>(in_v);
+    std::byte* iob = static_cast<std::byte*>(inout_v);
+    const auto* hin = reinterpret_cast<const WireHeader*>(inb);
+    auto* hio = reinterpret_cast<WireHeader*>(iob);
+    const double in_exec = hin->metrics[0];
+    const double io_exec = hio->metrics[0];
+
+    for (int i = 0; i < PathMetrics::kFields; ++i)
+      hio->metrics[i] = std::max(hio->metrics[i], hin->metrics[i]);
+    hio->execute = std::max(hio->execute, hin->execute);
+
+    if (in_exec > io_exec) {
+      // adopt the longer path's ~K table wholesale
+      hio->n_tilde = hin->n_tilde;
+      std::memcpy(iob + sizeof(WireHeader), inb + sizeof(WireHeader),
+                  static_cast<std::size_t>(tilde_cap) * sizeof(WireTilde));
+    }
+
+    // Merge eager entries by kernel hash.
+    const auto* ein = reinterpret_cast<const WireEager*>(
+        inb + sizeof(WireHeader) + tilde_cap * sizeof(WireTilde));
+    auto* eio = reinterpret_cast<WireEager*>(
+        iob + sizeof(WireHeader) + tilde_cap * sizeof(WireTilde));
+    for (std::int64_t i = 0; i < hin->n_eager; ++i) {
+      const WireEager& e = ein[i];
+      bool merged = false;
+      for (std::int64_t j = 0; j < hio->n_eager; ++j) {
+        if (eio[j].key != e.key) continue;
+        if (eio[j].agg == e.agg) {
+          // Chan parallel merge of (n, mean, m2)
+          KernelStats a, b;
+          a.n = eio[j].n; a.mean = eio[j].mean; a.m2 = eio[j].m2;
+          b.n = e.n; b.mean = e.mean; b.m2 = e.m2;
+          a.merge(b);
+          eio[j].n = a.n; eio[j].mean = a.mean; eio[j].m2 = a.m2;
+        } else if (e.n > eio[j].n) {
+          eio[j] = e;  // different base: keep the better-sampled view
+        }
+        merged = true;
+        break;
+      }
+      if (!merged && hio->n_eager < eager_cap) eio[hio->n_eager++] = e;
+    }
+  };
+}
+
+}  // namespace critter::core

@@ -1,0 +1,85 @@
+// Fixed-size wire format of the internal propagation message (IntMsg).
+//
+// Every intercepted communication kernel piggybacks one of these: path
+// metrics, the execute flag, the ~K path-count table, and (eager policy)
+// kernel statistics being aggregated along the channel.  The buffer size is
+// fixed by the configured capacities so the internal allreduce/sendrecv has
+// a uniform payload — its transfer time is the profiling overhead the paper
+// reports as "minimal", and we charge it honestly through the simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "sim/engine.hpp"
+
+namespace critter::core {
+
+struct WireHeader {
+  double metrics[PathMetrics::kFields];
+  std::int64_t execute;   // max-merged want-execution flag
+  std::int64_t n_tilde;   // valid ~K entries
+  std::int64_t n_eager;   // valid eager entries
+};
+
+struct WireTilde {
+  std::uint64_t key;
+  std::int64_t freq;
+};
+
+struct WireEager {
+  std::uint64_t key;
+  std::uint64_t agg;  // coverage hash *before* this aggregation step
+  std::int64_t n;
+  double mean;
+  double m2;
+};
+
+/// Owning view over one serialized IntMsg.
+class IntMsg {
+ public:
+  IntMsg(int tilde_cap, int eager_cap);
+
+  static int wire_bytes(int tilde_cap, int eager_cap);
+
+  std::byte* data() { return buf_.data(); }
+  const std::byte* data() const { return buf_.data(); }
+  int bytes() const { return static_cast<int>(buf_.size()); }
+
+  WireHeader& header();
+  const WireHeader& header() const;
+  WireTilde* tilde();
+  const WireTilde* tilde() const;
+  WireEager* eager();
+  const WireEager* eager() const;
+
+  int tilde_cap() const { return tilde_cap_; }
+  int eager_cap() const { return eager_cap_; }
+
+  /// Fill from the current rank state: path metrics, execute flag, ~K
+  /// entries (largest-frequency first when over capacity).
+  void pack(const RankProfiler& rp, bool want_execute);
+
+  /// Merge a received/folded message into the rank state: adopt metrics
+  /// (elementwise max with own), adopt ~K of the longer path, fold eager
+  /// entries into K / pending_eager and extend channel coverage.
+  void unpack_into(RankProfiler& rp, const Config& cfg,
+                   std::uint64_t chan_hash) const;
+
+  /// Associative fold used as the internal allreduce operator.
+  static sim::ReduceFn fold_fn(int tilde_cap, int eager_cap);
+
+ private:
+  int tilde_cap_;
+  int eager_cap_;
+  std::vector<std::byte> buf_;
+};
+
+/// Append eligible eager entries for aggregation along `chan_hash`
+/// (steady, not yet globally propagated, coverage extendable).
+void pack_eager_entries(IntMsg& msg, const RankProfiler& rp, const Config& cfg,
+                        std::uint64_t chan_hash);
+
+}  // namespace critter::core

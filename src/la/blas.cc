@@ -1,0 +1,202 @@
+#include "la/blas.hpp"
+
+#include <cstddef>
+
+#include "util/check.hpp"
+
+namespace critter::la {
+
+namespace {
+inline const double& el(const double* a, int lda, int i, int j) {
+  return a[static_cast<std::size_t>(j) * lda + i];
+}
+inline double& el(double* a, int lda, int i, int j) {
+  return a[static_cast<std::size_t>(j) * lda + i];
+}
+}  // namespace
+
+void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
+          const double* a, int lda, const double* b, int ldb, double beta,
+          double* c, int ldc) {
+  CRITTER_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm dims");
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) el(c, ldc, i, j) *= beta;
+  if (k == 0 || alpha == 0.0) return;
+  // Loop orders chosen so the innermost loop strides down a column.
+  if (ta == Trans::N && tb == Trans::N) {
+    for (int j = 0; j < n; ++j)
+      for (int l = 0; l < k; ++l) {
+        const double blj = alpha * el(b, ldb, l, j);
+        if (blj == 0.0) continue;
+        for (int i = 0; i < m; ++i) el(c, ldc, i, j) += el(a, lda, i, l) * blj;
+      }
+  } else if (ta == Trans::T && tb == Trans::N) {
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (int l = 0; l < k; ++l) s += el(a, lda, l, i) * el(b, ldb, l, j);
+        el(c, ldc, i, j) += alpha * s;
+      }
+  } else if (ta == Trans::N && tb == Trans::T) {
+    for (int l = 0; l < k; ++l)
+      for (int j = 0; j < n; ++j) {
+        const double bjl = alpha * el(b, ldb, j, l);
+        if (bjl == 0.0) continue;
+        for (int i = 0; i < m; ++i) el(c, ldc, i, j) += el(a, lda, i, l) * bjl;
+      }
+  } else {  // T, T
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i) {
+        double s = 0.0;
+        for (int l = 0; l < k; ++l) s += el(a, lda, l, i) * el(b, ldb, j, l);
+        el(c, ldc, i, j) += alpha * s;
+      }
+  }
+}
+
+void syrk(Uplo uplo, Trans trans, int n, int k, double alpha, const double* a,
+          int lda, double beta, double* c, int ldc) {
+  CRITTER_CHECK(n >= 0 && k >= 0, "syrk dims");
+  for (int j = 0; j < n; ++j) {
+    const int ilo = (uplo == Uplo::Lower) ? j : 0;
+    const int ihi = (uplo == Uplo::Lower) ? n : j + 1;
+    for (int i = ilo; i < ihi; ++i) {
+      double s = 0.0;
+      for (int l = 0; l < k; ++l) {
+        const double ail = (trans == Trans::N) ? el(a, lda, i, l) : el(a, lda, l, i);
+        const double ajl = (trans == Trans::N) ? el(a, lda, j, l) : el(a, lda, l, j);
+        s += ail * ajl;
+      }
+      el(c, ldc, i, j) = alpha * s + beta * el(c, ldc, i, j);
+    }
+  }
+}
+
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+          double alpha, const double* a, int lda, double* b, int ldb) {
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) el(b, ldb, i, j) *= alpha;
+
+  const bool unit = diag == Diag::Unit;
+  if (side == Side::Left) {
+    // Solve op(A) X = B, A is m x m triangular.
+    const bool forward = (uplo == Uplo::Lower) == (trans == Trans::N);
+    for (int j = 0; j < n; ++j) {
+      if (forward) {
+        for (int i = 0; i < m; ++i) {
+          double s = el(b, ldb, i, j);
+          for (int l = 0; l < i; ++l) {
+            const double ail = (trans == Trans::N) ? el(a, lda, i, l) : el(a, lda, l, i);
+            s -= ail * el(b, ldb, l, j);
+          }
+          el(b, ldb, i, j) = unit ? s : s / el(a, lda, i, i);
+        }
+      } else {
+        for (int i = m - 1; i >= 0; --i) {
+          double s = el(b, ldb, i, j);
+          for (int l = i + 1; l < m; ++l) {
+            const double ail = (trans == Trans::N) ? el(a, lda, i, l) : el(a, lda, l, i);
+            s -= ail * el(b, ldb, l, j);
+          }
+          el(b, ldb, i, j) = unit ? s : s / el(a, lda, i, i);
+        }
+      }
+    }
+  } else {
+    // Solve X op(A) = B, A is n x n triangular.  Column j of the solution
+    // depends on prior (or later) columns depending on sweep direction.
+    const bool forward = (uplo == Uplo::Upper) == (trans == Trans::N);
+    if (forward) {
+      for (int j = 0; j < n; ++j) {
+        for (int l = 0; l < j; ++l) {
+          const double alj = (trans == Trans::N) ? el(a, lda, l, j) : el(a, lda, j, l);
+          if (alj == 0.0) continue;
+          for (int i = 0; i < m; ++i) el(b, ldb, i, j) -= el(b, ldb, i, l) * alj;
+        }
+        if (!unit) {
+          const double d = el(a, lda, j, j);
+          for (int i = 0; i < m; ++i) el(b, ldb, i, j) /= d;
+        }
+      }
+    } else {
+      for (int j = n - 1; j >= 0; --j) {
+        for (int l = j + 1; l < n; ++l) {
+          const double alj = (trans == Trans::N) ? el(a, lda, l, j) : el(a, lda, j, l);
+          if (alj == 0.0) continue;
+          for (int i = 0; i < m; ++i) el(b, ldb, i, j) -= el(b, ldb, i, l) * alj;
+        }
+        if (!unit) {
+          const double d = el(a, lda, j, j);
+          for (int i = 0; i < m; ++i) el(b, ldb, i, j) /= d;
+        }
+      }
+    }
+  }
+}
+
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+          double alpha, const double* a, int lda, double* b, int ldb) {
+  const bool unit = diag == Diag::Unit;
+  if (side == Side::Left) {
+    // B <- alpha * op(A) * B; sweep order avoids overwriting inputs.
+    const bool topdown = (uplo == Uplo::Upper) == (trans == Trans::N);
+    for (int j = 0; j < n; ++j) {
+      if (topdown) {
+        for (int i = 0; i < m; ++i) {
+          double s = unit ? el(b, ldb, i, j) : el(a, lda, i, i) * el(b, ldb, i, j);
+          for (int l = i + 1; l < m; ++l) {
+            const double ail = (trans == Trans::N) ? el(a, lda, i, l) : el(a, lda, l, i);
+            s += ail * el(b, ldb, l, j);
+          }
+          el(b, ldb, i, j) = alpha * s;
+        }
+      } else {
+        for (int i = m - 1; i >= 0; --i) {
+          double s = unit ? el(b, ldb, i, j) : el(a, lda, i, i) * el(b, ldb, i, j);
+          for (int l = 0; l < i; ++l) {
+            const double ail = (trans == Trans::N) ? el(a, lda, i, l) : el(a, lda, l, i);
+            s += ail * el(b, ldb, l, j);
+          }
+          el(b, ldb, i, j) = alpha * s;
+        }
+      }
+    }
+  } else {
+    // B <- alpha * B * op(A).
+    const bool leftright = (uplo == Uplo::Lower) == (trans == Trans::N);
+    if (leftright) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < m; ++i) {
+          double s = unit ? el(b, ldb, i, j) : el(b, ldb, i, j) * el(a, lda, j, j);
+          for (int l = j + 1; l < n; ++l) {
+            const double alj = (trans == Trans::N) ? el(a, lda, l, j) : el(a, lda, j, l);
+            s += el(b, ldb, i, l) * alj;
+          }
+          el(b, ldb, i, j) = alpha * s;
+        }
+      }
+    } else {
+      for (int j = n - 1; j >= 0; --j) {
+        for (int i = 0; i < m; ++i) {
+          double s = unit ? el(b, ldb, i, j) : el(b, ldb, i, j) * el(a, lda, j, j);
+          for (int l = 0; l < j; ++l) {
+            const double alj = (trans == Trans::N) ? el(a, lda, l, j) : el(a, lda, j, l);
+            s += el(b, ldb, i, l) * alj;
+          }
+          el(b, ldb, i, j) = alpha * s;
+        }
+      }
+    }
+  }
+}
+
+double gemm_flops(double m, double n, double k) { return 2.0 * m * n * k; }
+double syrk_flops(double n, double k) { return n * (n + 1) * k; }
+double trsm_flops(Side side, double m, double n) {
+  return side == Side::Left ? m * m * n : n * n * m;
+}
+double trmm_flops(Side side, double m, double n) {
+  return side == Side::Left ? m * m * n : n * n * m;
+}
+
+}  // namespace critter::la

@@ -1,0 +1,43 @@
+// BLAS-3 kernels (column-major, LAPACK calling conventions).
+//
+// These are correctness-oriented reference implementations: the simulator's
+// cost model provides timing at scale, so clarity and exact flop accounting
+// matter more here than peak throughput.
+#pragma once
+
+#include <cstdint>
+
+namespace critter::la {
+
+enum class Trans : std::uint8_t { N, T };
+enum class Uplo : std::uint8_t { Lower, Upper };
+enum class Side : std::uint8_t { Left, Right };
+enum class Diag : std::uint8_t { NonUnit, Unit };
+
+/// C <- alpha*op(A)*op(B) + beta*C, op(A) is m x k, op(B) is k x n.
+void gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
+          const double* a, int lda, const double* b, int ldb, double beta,
+          double* c, int ldc);
+
+/// C <- alpha*A*A^T + beta*C (trans=N) or alpha*A^T*A + beta*C (trans=T),
+/// touching only the `uplo` triangle of the n x n matrix C.
+void syrk(Uplo uplo, Trans trans, int n, int k, double alpha, const double* a,
+          int lda, double beta, double* c, int ldc);
+
+/// Solve op(A)*X = alpha*B (Side::Left) or X*op(A) = alpha*B (Side::Right)
+/// in-place in B, where A is triangular.
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+          double alpha, const double* a, int lda, double* b, int ldb);
+
+/// B <- alpha*op(A)*B (Side::Left) or alpha*B*op(A) (Side::Right),
+/// A triangular.
+void trmm(Side side, Uplo uplo, Trans trans, Diag diag, int m, int n,
+          double alpha, const double* a, int lda, double* b, int ldb);
+
+// --- exact flop counts used by the simulator's gamma cost model ---
+double gemm_flops(double m, double n, double k);
+double syrk_flops(double n, double k);
+double trsm_flops(Side side, double m, double n);
+double trmm_flops(Side side, double m, double n);
+
+}  // namespace critter::la

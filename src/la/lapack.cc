@@ -1,0 +1,325 @@
+#include "la/lapack.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace critter::la {
+
+namespace {
+inline const double& el(const double* a, int lda, int i, int j) {
+  return a[static_cast<std::size_t>(j) * lda + i];
+}
+inline double& el(double* a, int lda, int i, int j) {
+  return a[static_cast<std::size_t>(j) * lda + i];
+}
+}  // namespace
+
+int potrf(Uplo uplo, int n, double* a, int lda) {
+  if (uplo == Uplo::Lower) {
+    for (int j = 0; j < n; ++j) {
+      double d = el(a, lda, j, j);
+      for (int k = 0; k < j; ++k) d -= el(a, lda, j, k) * el(a, lda, j, k);
+      if (d <= 0.0 || !std::isfinite(d)) return j + 1;
+      d = std::sqrt(d);
+      el(a, lda, j, j) = d;
+      for (int i = j + 1; i < n; ++i) {
+        double s = el(a, lda, i, j);
+        for (int k = 0; k < j; ++k) s -= el(a, lda, i, k) * el(a, lda, j, k);
+        el(a, lda, i, j) = s / d;
+      }
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      double d = el(a, lda, j, j);
+      for (int k = 0; k < j; ++k) d -= el(a, lda, k, j) * el(a, lda, k, j);
+      if (d <= 0.0 || !std::isfinite(d)) return j + 1;
+      d = std::sqrt(d);
+      el(a, lda, j, j) = d;
+      for (int i = j + 1; i < n; ++i) {
+        double s = el(a, lda, j, i);
+        for (int k = 0; k < j; ++k) s -= el(a, lda, k, j) * el(a, lda, k, i);
+        el(a, lda, j, i) = s / d;
+      }
+    }
+  }
+  return 0;
+}
+
+int trtri(Uplo uplo, Diag diag, int n, double* a, int lda) {
+  // Out-of-place inversion by triangular solves against the identity, then
+  // copy back.  n is always a base-case block size here, so the extra n^2
+  // buffer is negligible and the code stays obviously correct.
+  std::vector<double> inv(static_cast<std::size_t>(n) * n, 0.0);
+  for (int j = 0; j < n; ++j) inv[static_cast<std::size_t>(j) * n + j] = 1.0;
+  if (uplo == Uplo::Lower) {
+    for (int j = 0; j < n; ++j) {
+      // forward substitution for column j of the inverse
+      for (int i = j; i < n; ++i) {
+        double s = inv[static_cast<std::size_t>(j) * n + i];
+        for (int k = j; k < i; ++k)
+          s -= el(a, lda, i, k) * inv[static_cast<std::size_t>(j) * n + k];
+        if (diag == Diag::NonUnit) {
+          if (el(a, lda, i, i) == 0.0) return i + 1;
+          s /= el(a, lda, i, i);
+        }
+        inv[static_cast<std::size_t>(j) * n + i] = s;
+      }
+    }
+    for (int j = 0; j < n; ++j)
+      for (int i = j; i < n; ++i)
+        el(a, lda, i, j) = inv[static_cast<std::size_t>(j) * n + i];
+    if (diag == Diag::Unit)
+      for (int i = 0; i < n; ++i) el(a, lda, i, i) = 1.0;
+  } else {
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i >= 0; --i) {
+        double s = inv[static_cast<std::size_t>(j) * n + i];
+        for (int k = i + 1; k <= j; ++k)
+          s -= el(a, lda, i, k) * inv[static_cast<std::size_t>(j) * n + k];
+        if (diag == Diag::NonUnit) {
+          if (el(a, lda, i, i) == 0.0) return i + 1;
+          s /= el(a, lda, i, i);
+        }
+        inv[static_cast<std::size_t>(j) * n + i] = s;
+      }
+    }
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i <= j; ++i)
+        el(a, lda, i, j) = inv[static_cast<std::size_t>(j) * n + i];
+    if (diag == Diag::Unit)
+      for (int i = 0; i < n; ++i) el(a, lda, i, i) = 1.0;
+  }
+  return 0;
+}
+
+int getrf(int m, int n, double* a, int lda, int* ipiv) {
+  const int mn = std::min(m, n);
+  for (int j = 0; j < mn; ++j) {
+    int p = j;
+    double best = std::fabs(el(a, lda, j, j));
+    for (int i = j + 1; i < m; ++i) {
+      const double v = std::fabs(el(a, lda, i, j));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    ipiv[j] = p;
+    if (el(a, lda, p, j) == 0.0) return j + 1;
+    if (p != j)
+      for (int c = 0; c < n; ++c) std::swap(el(a, lda, j, c), el(a, lda, p, c));
+    const double d = 1.0 / el(a, lda, j, j);
+    for (int i = j + 1; i < m; ++i) el(a, lda, i, j) *= d;
+    for (int c = j + 1; c < n; ++c) {
+      const double ajc = el(a, lda, j, c);
+      if (ajc == 0.0) continue;
+      for (int i = j + 1; i < m; ++i) el(a, lda, i, c) -= el(a, lda, i, j) * ajc;
+    }
+  }
+  return 0;
+}
+
+void getrs(Trans trans, int n, int nrhs, const double* a, int lda,
+           const int* ipiv, double* b, int ldb) {
+  if (trans == Trans::N) {
+    for (int j = 0; j < n; ++j)
+      if (ipiv[j] != j)
+        for (int c = 0; c < nrhs; ++c)
+          std::swap(el(b, ldb, j, c), el(b, ldb, ipiv[j], c));
+    trsm(Side::Left, Uplo::Lower, Trans::N, Diag::Unit, n, nrhs, 1.0, a, lda, b, ldb);
+    trsm(Side::Left, Uplo::Upper, Trans::N, Diag::NonUnit, n, nrhs, 1.0, a, lda, b, ldb);
+  } else {
+    trsm(Side::Left, Uplo::Upper, Trans::T, Diag::NonUnit, n, nrhs, 1.0, a, lda, b, ldb);
+    trsm(Side::Left, Uplo::Lower, Trans::T, Diag::Unit, n, nrhs, 1.0, a, lda, b, ldb);
+    for (int j = n - 1; j >= 0; --j)
+      if (ipiv[j] != j)
+        for (int c = 0; c < nrhs; ++c)
+          std::swap(el(b, ldb, j, c), el(b, ldb, ipiv[j], c));
+  }
+}
+
+namespace {
+
+/// Generate an elementary reflector H = I - tau*v*v^T with v[0] = 1 such
+/// that H * x = (beta, 0, ..., 0)^T.  x = (alpha, rest...), n = len(rest)+1.
+double larfg(int n, double& alpha, double* x, int incx, double& tau) {
+  if (n <= 1) {
+    tau = 0.0;
+    return alpha;
+  }
+  double xnorm = 0.0;
+  for (int i = 0; i < n - 1; ++i) {
+    const double v = x[static_cast<std::size_t>(i) * incx];
+    xnorm += v * v;
+  }
+  xnorm = std::sqrt(xnorm);
+  if (xnorm == 0.0) {
+    tau = 0.0;
+    return alpha;
+  }
+  double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  tau = (beta - alpha) / beta;
+  const double scale = 1.0 / (alpha - beta);
+  for (int i = 0; i < n - 1; ++i) x[static_cast<std::size_t>(i) * incx] *= scale;
+  return beta;
+}
+
+/// Apply H = I - tau*v*v^T (v[0]=1, tail in vtail) to C (m x n) from left.
+void larf_left(int m, int n, const double* vtail, double tau, double* c, int ldc) {
+  if (tau == 0.0) return;
+  for (int j = 0; j < n; ++j) {
+    double w = el(c, ldc, 0, j);
+    for (int i = 1; i < m; ++i) w += vtail[i - 1] * el(c, ldc, i, j);
+    w *= tau;
+    el(c, ldc, 0, j) -= w;
+    for (int i = 1; i < m; ++i) el(c, ldc, i, j) -= vtail[i - 1] * w;
+  }
+}
+
+}  // namespace
+
+void geqr2(int m, int n, double* a, int lda, double* tau) {
+  const int k = std::min(m, n);
+  for (int j = 0; j < k; ++j) {
+    double alpha = el(a, lda, j, j);
+    const double beta = larfg(m - j, alpha, a + static_cast<std::size_t>(j) * lda + j + 1, 1, tau[j]);
+    el(a, lda, j, j) = beta;
+    if (j + 1 < n)
+      larf_left(m - j, n - j - 1, a + static_cast<std::size_t>(j) * lda + j + 1,
+                tau[j], a + static_cast<std::size_t>(j + 1) * lda + j, lda);
+  }
+}
+
+void larft(int m, int k, const double* v, int ldv, const double* tau,
+           double* t, int ldt) {
+  // T is upper triangular; column j: T(0:j, j) = -tau_j * T * (V^T v_j).
+  for (int j = 0; j < k; ++j) {
+    el(t, ldt, j, j) = tau[j];
+    if (tau[j] == 0.0) {
+      for (int i = 0; i < j; ++i) el(t, ldt, i, j) = 0.0;
+      continue;
+    }
+    // w = V(:, 0:j)^T * v_j, exploiting unit lower trapezoidal V.
+    std::vector<double> w(j, 0.0);
+    for (int i = 0; i < j; ++i) {
+      double s = el(v, ldv, j, i);  // v_i[j]-th entry times v_j[j] = 1
+      for (int r = j + 1; r < m; ++r) s += el(v, ldv, r, i) * el(v, ldv, r, j);
+      w[i] = s;
+    }
+    for (int i = 0; i < j; ++i) {
+      double s = 0.0;
+      for (int l = i; l < j; ++l) s += el(t, ldt, i, l) * w[l];
+      el(t, ldt, i, j) = -tau[j] * s;
+    }
+  }
+}
+
+void larfb(Side side, Trans trans, int m, int n, int k, const double* v,
+           int ldv, const double* t, int ldt, double* c, int ldc) {
+  // H = I - V T V^T with V unit lower trapezoidal (m x k or n x k).
+  if (side == Side::Left) {
+    // W = V^T C (k x n); W = op(T) W; C -= V W.
+    std::vector<double> w(static_cast<std::size_t>(k) * n, 0.0);
+    for (int j = 0; j < n; ++j)
+      for (int col = 0; col < k; ++col) {
+        double s = el(c, ldc, col, j);  // V(col, col) = 1
+        for (int r = col + 1; r < m; ++r) s += el(v, ldv, r, col) * el(c, ldc, r, j);
+        w[static_cast<std::size_t>(j) * k + col] = s;
+      }
+    // W <- op(T) W, T upper triangular k x k.
+    trmm(Side::Left, Uplo::Upper, trans == Trans::N ? Trans::N : Trans::T,
+         Diag::NonUnit, k, n, 1.0, t, ldt, w.data(), k);
+    for (int j = 0; j < n; ++j)
+      for (int col = 0; col < k; ++col) {
+        const double wcj = w[static_cast<std::size_t>(j) * k + col];
+        if (wcj == 0.0) continue;
+        el(c, ldc, col, j) -= wcj;
+        for (int r = col + 1; r < m; ++r) el(c, ldc, r, j) -= el(v, ldv, r, col) * wcj;
+      }
+  } else {
+    // C <- C * op(H): W = C V (m x k); W = W op(T); C -= W V^T.
+    std::vector<double> w(static_cast<std::size_t>(m) * k, 0.0);
+    for (int col = 0; col < k; ++col)
+      for (int i = 0; i < m; ++i) {
+        double s = el(c, ldc, i, col);
+        for (int r = col + 1; r < n; ++r) s += el(c, ldc, i, r) * el(v, ldv, r, col);
+        w[static_cast<std::size_t>(col) * m + i] = s;
+      }
+    trmm(Side::Right, Uplo::Upper, trans == Trans::N ? Trans::N : Trans::T,
+         Diag::NonUnit, m, k, 1.0, t, ldt, w.data(), m);
+    for (int col = 0; col < k; ++col)
+      for (int i = 0; i < m; ++i) {
+        const double wic = w[static_cast<std::size_t>(col) * m + i];
+        if (wic == 0.0) continue;
+        el(c, ldc, i, col) -= wic;
+        for (int r = col + 1; r < n; ++r) el(c, ldc, i, r) -= wic * el(v, ldv, r, col);
+      }
+  }
+}
+
+void geqrf(int m, int n, double* a, int lda, double* tau, int nb) {
+  CRITTER_CHECK(nb >= 1, "geqrf block size");
+  const int k = std::min(m, n);
+  std::vector<double> t(static_cast<std::size_t>(nb) * nb);
+  for (int j = 0; j < k; j += nb) {
+    const int jb = std::min(nb, k - j);
+    geqr2(m - j, jb, a + static_cast<std::size_t>(j) * lda + j, lda, tau + j);
+    if (j + jb < n) {
+      larft(m - j, jb, a + static_cast<std::size_t>(j) * lda + j, lda, tau + j,
+            t.data(), nb);
+      larfb(Side::Left, Trans::T, m - j, n - j - jb, jb,
+            a + static_cast<std::size_t>(j) * lda + j, lda, t.data(), nb,
+            a + static_cast<std::size_t>(j + jb) * lda + j, lda);
+    }
+  }
+}
+
+void ormqr(Side side, Trans trans, int m, int n, int k, const double* a,
+           int lda, const double* tau, double* c, int ldc, int nb) {
+  CRITTER_CHECK(side == Side::Left, "ormqr: only Side::Left implemented");
+  std::vector<double> t(static_cast<std::size_t>(nb) * nb);
+  // Q = H_0 H_1 ... H_{k-1}.  Q^T C applies blocks forward; Q C backward.
+  const bool forward = (trans == Trans::T);
+  const int nblocks = (k + nb - 1) / nb;
+  for (int bi = 0; bi < nblocks; ++bi) {
+    const int b = forward ? bi : nblocks - 1 - bi;
+    const int j = b * nb;
+    const int jb = std::min(nb, k - j);
+    larft(m - j, jb, a + static_cast<std::size_t>(j) * lda + j, lda, tau + j,
+          t.data(), nb);
+    larfb(Side::Left, trans, m - j, n, jb,
+          a + static_cast<std::size_t>(j) * lda + j, lda, t.data(), nb,
+          c + j, ldc);
+  }
+}
+
+void orgqr(int m, int n, int k, double* a, int lda, const double* tau, int nb) {
+  // Build Q by applying Q to the identity: copy reflectors, then apply.
+  std::vector<double> refl(static_cast<std::size_t>(m) * k);
+  for (int j = 0; j < k; ++j)
+    for (int i = 0; i < m; ++i)
+      refl[static_cast<std::size_t>(j) * m + i] = el(a, lda, i, j);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) el(a, lda, i, j) = (i == j) ? 1.0 : 0.0;
+  ormqr(Side::Left, Trans::N, m, n, k, refl.data(), m, tau, a, lda, nb);
+}
+
+double potrf_flops(double n) { return n * n * n / 3.0; }
+double trtri_flops(double n) { return n * n * n / 3.0; }
+double getrf_flops(double m, double n) {
+  const double k = std::min(m, n);
+  return m * n * k - (m + n) * k * k / 2.0 + k * k * k / 3.0;
+}
+double geqrf_flops(double m, double n) {
+  if (m >= n) return 2.0 * m * n * n - 2.0 * n * n * n / 3.0;
+  return 2.0 * n * m * m - 2.0 * m * m * m / 3.0;
+}
+double ormqr_flops(Side side, double m, double n, double k) {
+  return side == Side::Left ? 4.0 * n * m * k - 2.0 * n * k * k
+                            : 4.0 * m * n * k - 2.0 * m * k * k;
+}
+
+}  // namespace critter::la

@@ -1,0 +1,61 @@
+// LAPACK-style factorization kernels (column-major).
+//
+// The set mirrors exactly the routines the paper's four libraries invoke:
+// potrf, trtri, getrf/getrs (Householder reconstruction), geqrf/ormqr
+// (blocked Householder QR), plus larft/larfb building blocks.
+#pragma once
+
+#include "la/blas.hpp"
+
+namespace critter::la {
+
+/// Cholesky factorization A = L*L^T (Lower) or A = U^T*U (Upper), in place.
+/// Returns 0 on success or the 1-based index of the first non-positive pivot.
+int potrf(Uplo uplo, int n, double* a, int lda);
+
+/// Triangular inversion in place.  Returns 0 on success or the 1-based index
+/// of a zero diagonal entry.
+int trtri(Uplo uplo, Diag diag, int n, double* a, int lda);
+
+/// LU with partial pivoting, in place; ipiv is 0-based row swaps
+/// (LAPACK-style: row i was swapped with row ipiv[i]).
+/// Returns 0 on success or 1-based index of a zero pivot.
+int getrf(int m, int n, double* a, int lda, int* ipiv);
+
+/// Solve op(A) X = B using a getrf factorization of A (n x n), B is n x nrhs.
+void getrs(Trans trans, int n, int nrhs, const double* a, int lda,
+           const int* ipiv, double* b, int ldb);
+
+/// Unblocked Householder QR: on exit the upper triangle holds R, the strict
+/// lower part holds the Householder vectors; tau has n scalar factors.
+void geqr2(int m, int n, double* a, int lda, double* tau);
+
+/// Blocked Householder QR with block size nb (delegates to geqr2 + larfb).
+void geqrf(int m, int n, double* a, int lda, double* tau, int nb);
+
+/// Form the upper-triangular block reflector factor T (k x k) from the
+/// Householder vectors stored in V (m x k, unit lower trapezoidal).
+void larft(int m, int k, const double* v, int ldv, const double* tau,
+           double* t, int ldt);
+
+/// Apply a block reflector H = I - V T V^T (or its transpose) to C:
+///   Side::Left : C <- op(H) * C     (V is m x k)
+///   Side::Right: C <- C * op(H)     (V is n x k)
+void larfb(Side side, Trans trans, int m, int n, int k, const double* v,
+           int ldv, const double* t, int ldt, double* c, int ldc);
+
+/// Apply op(Q) from a geqrf factorization to C (Side::Left only).
+void ormqr(Side side, Trans trans, int m, int n, int k, const double* a,
+           int lda, const double* tau, double* c, int ldc, int nb);
+
+/// Build the explicit m x n Q factor (first n columns) from geqrf output.
+void orgqr(int m, int n, int k, double* a, int lda, const double* tau, int nb);
+
+// --- exact flop counts used by the simulator's gamma cost model ---
+double potrf_flops(double n);
+double trtri_flops(double n);
+double getrf_flops(double m, double n);
+double geqrf_flops(double m, double n);
+double ormqr_flops(Side side, double m, double n, double k);
+
+}  // namespace critter::la

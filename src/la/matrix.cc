@@ -1,0 +1,90 @@
+#include "la/matrix.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace critter::la {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, 0.0) {
+  CRITTER_CHECK(rows >= 0 && cols >= 0, "matrix dims must be non-negative");
+}
+
+void Matrix::fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+Matrix random_matrix(int rows, int cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  for (int j = 0; j < cols; ++j)
+    for (int i = 0; i < rows; ++i) {
+      const std::uint64_t k = util::hash_combine(
+          seed, util::hash_combine(static_cast<std::uint64_t>(i),
+                                   static_cast<std::uint64_t>(j) + 0x5bd1e995));
+      m(i, j) = util::u01_from_bits(util::mix64(k)) - 0.5;
+    }
+  return m;
+}
+
+Matrix random_spd(int n, std::uint64_t seed) {
+  Matrix r = random_matrix(n, n, seed);
+  Matrix a(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) a(i, j) = r(i, j) + r(j, i);
+  for (int i = 0; i < n; ++i) a(i, i) += 2.0 * n;
+  return a;
+}
+
+double frob_norm(int m, int n, const double* a, int lda) {
+  double s = 0.0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      const double v = a[static_cast<std::size_t>(j) * lda + i];
+      s += v * v;
+    }
+  return std::sqrt(s);
+}
+
+double frob_diff(const Matrix& a, const Matrix& b) {
+  CRITTER_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+                "frob_diff dimension mismatch");
+  double s = 0.0;
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) {
+      const double v = a(i, j) - b(i, j);
+      s += v * v;
+    }
+  return std::sqrt(s);
+}
+
+double cholesky_residual(const Matrix& a, const Matrix& l) {
+  const int n = a.rows();
+  double s = 0.0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      double llt = 0.0;
+      const int kmax = std::min(i, j);
+      for (int k = 0; k <= kmax; ++k) llt += l(i, k) * l(j, k);
+      const double v = a(i, j) - llt;
+      s += v * v;
+    }
+  return std::sqrt(s) / (frob_norm(n, n, a.data(), a.ld()) + 1e-300);
+}
+
+double orthogonality_error(const Matrix& q) {
+  const int m = q.rows(), n = q.cols();
+  double s = 0.0;
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      double d = 0.0;
+      for (int k = 0; k < m; ++k) d += q(k, i) * q(k, j);
+      if (i == j) d -= 1.0;
+      s += d * d;
+    }
+  return std::sqrt(s);
+}
+
+}  // namespace critter::la

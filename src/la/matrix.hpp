@@ -1,0 +1,58 @@
+// Dense column-major matrix container plus generators and norms.
+//
+// Kernels in la/ operate LAPACK-style on raw (pointer, leading-dimension)
+// views so algorithms can address sub-blocks without copies; Matrix is the
+// RAII owner used at API boundaries and in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace critter::la {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int ld() const { return rows_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double& operator()(int i, int j) { return data_[static_cast<std::size_t>(j) * rows_ + i]; }
+  double operator()(int i, int j) const { return data_[static_cast<std::size_t>(j) * rows_ + i]; }
+
+  /// Pointer to element (i, j).
+  double* at(int i, int j) { return data_.data() + static_cast<std::size_t>(j) * rows_ + i; }
+  const double* at(int i, int j) const { return data_.data() + static_cast<std::size_t>(j) * rows_ + i; }
+
+  void fill(double v);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Deterministic pseudo-random matrix with entries in [-0.5, 0.5].
+Matrix random_matrix(int rows, int cols, std::uint64_t seed);
+
+/// Symmetric positive definite matrix: R + R^T + 2*rows*I for random R.
+Matrix random_spd(int n, std::uint64_t seed);
+
+/// Frobenius norm of a (sub)matrix given by pointer/ld.
+double frob_norm(int m, int n, const double* a, int lda);
+
+/// Frobenius norm of the difference A - B (dimensions must match).
+double frob_diff(const Matrix& a, const Matrix& b);
+
+/// || A - L*L^T ||_F where L is lower triangular (in-place potrf output).
+double cholesky_residual(const Matrix& a, const Matrix& l);
+
+/// || Q^T Q - I ||_F for an m x n orthonormal-column matrix Q.
+double orthogonality_error(const Matrix& q);
+
+}  // namespace critter::la

@@ -1,0 +1,119 @@
+#include "la/tile_qr.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "la/lapack.hpp"
+#include "util/check.hpp"
+
+namespace critter::la {
+
+namespace {
+inline const double& el(const double* a, int lda, int i, int j) {
+  return a[static_cast<std::size_t>(j) * lda + i];
+}
+inline double& el(double* a, int lda, int i, int j) {
+  return a[static_cast<std::size_t>(j) * lda + i];
+}
+}  // namespace
+
+void geqrt(int m, int n, double* a, int lda, double* t, int ldt) {
+  CRITTER_CHECK(m >= n, "geqrt expects m >= n");
+  std::vector<double> tau(n);
+  geqr2(m, n, a, lda, tau.data());
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) el(t, ldt, i, j) = 0.0;
+  larft(m, n, a, lda, tau.data(), t, ldt);
+}
+
+void tpqrt(int m, int n, int l, double* a, int lda, double* b, int ldb,
+           double* t, int ldt) {
+  CRITTER_CHECK(l == 0 || l == n, "tpqrt: only l=0 (tsqrt) or l=n (ttqrt)");
+  std::vector<double> tau(n);
+  for (int j = 0; j < n; ++j) {
+    // Reflector from x = [A(j,j); B(:,j)].  The top part of the vector is
+    // e_j (the identity block of V), so only B's column participates.
+    double alpha = el(a, lda, j, j);
+    double xnorm = 0.0;
+    for (int i = 0; i < m; ++i) xnorm += el(b, ldb, i, j) * el(b, ldb, i, j);
+    xnorm = std::sqrt(xnorm);
+    if (xnorm == 0.0) {
+      tau[j] = 0.0;
+    } else {
+      const double beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+      tau[j] = (beta - alpha) / beta;
+      const double scale = 1.0 / (alpha - beta);
+      for (int i = 0; i < m; ++i) el(b, ldb, i, j) *= scale;
+      el(a, lda, j, j) = beta;
+    }
+    // Apply H_j = I - tau (e_j; v) (e_j; v)^T to the remaining columns.
+    if (tau[j] != 0.0) {
+      for (int jj = j + 1; jj < n; ++jj) {
+        double w = el(a, lda, j, jj);
+        for (int i = 0; i < m; ++i) w += el(b, ldb, i, j) * el(b, ldb, i, jj);
+        w *= tau[j];
+        el(a, lda, j, jj) -= w;
+        for (int i = 0; i < m; ++i) el(b, ldb, i, jj) -= w * el(b, ldb, i, j);
+      }
+    }
+  }
+  // T factor: T(j,j) = tau_j; T(0:j,j) = -tau_j * T(0:j,0:j) * (B_{:,0:j}^T b_j)
+  // (the identity top of V contributes nothing off-diagonal).
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) el(t, ldt, i, j) = 0.0;
+  for (int j = 0; j < n; ++j) {
+    el(t, ldt, j, j) = tau[j];
+    if (tau[j] == 0.0) continue;
+    std::vector<double> w(j, 0.0);
+    for (int i = 0; i < j; ++i) {
+      double s = 0.0;
+      for (int r = 0; r < m; ++r) s += el(b, ldb, r, i) * el(b, ldb, r, j);
+      w[i] = s;
+    }
+    for (int i = 0; i < j; ++i) {
+      double s = 0.0;
+      for (int c = i; c < j; ++c) s += el(t, ldt, i, c) * w[c];
+      el(t, ldt, i, j) = -tau[j] * s;
+    }
+  }
+}
+
+void tpmqrt(Trans trans, int m, int ncols, int k, const double* v, int ldv,
+            const double* t, int ldt, double* a, int lda, double* b, int ldb) {
+  // H = I - [I; V] T [I; V]^T.  W = T^op (A + V^T B); A -= W; B -= V W.
+  std::vector<double> w(static_cast<std::size_t>(k) * ncols);
+  for (int j = 0; j < ncols; ++j)
+    for (int i = 0; i < k; ++i) {
+      double s = el(a, lda, i, j);
+      for (int r = 0; r < m; ++r) s += el(v, ldv, r, i) * el(b, ldb, r, j);
+      w[static_cast<std::size_t>(j) * k + i] = s;
+    }
+  trmm(Side::Left, Uplo::Upper, trans, Diag::NonUnit, k, ncols, 1.0, t, ldt,
+       w.data(), k);
+  for (int j = 0; j < ncols; ++j) {
+    for (int i = 0; i < k; ++i)
+      el(a, lda, i, j) -= w[static_cast<std::size_t>(j) * k + i];
+    for (int r = 0; r < m; ++r) {
+      double s = 0.0;
+      for (int i = 0; i < k; ++i)
+        s += el(v, ldv, r, i) * w[static_cast<std::size_t>(j) * k + i];
+      el(b, ldb, r, j) -= s;
+    }
+  }
+}
+
+double geqrt_flops(double m, double n) {
+  return 2.0 * m * n * n - 2.0 * n * n * n / 3.0 + m * n * n;
+}
+
+double tpqrt_flops(double m, double n, double l) {
+  const double me = m - 0.5 * l;  // pentagonal rows participate ~half
+  return 3.0 * me * n * n + n * n * n / 3.0;
+}
+
+double tpmqrt_flops(double m, double n, double k, double l) {
+  const double me = m - 0.5 * l;
+  return 4.0 * me * n * k + 2.0 * k * k * n;
+}
+
+}  // namespace critter::la

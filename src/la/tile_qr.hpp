@@ -1,0 +1,41 @@
+// Tile-QR kernels in the LAPACK tpqrt family, as used by SLATE's geqrf and
+// by tree-TSQR reductions:
+//
+//   geqrt  — QR of one tile, producing V (in A) and the block reflector T;
+//   tpqrt  — QR of a [R; B] stack where R is upper triangular and B is a
+//            pentagonal tile (l = 0 gives the "triangular on top of square"
+//            tsqrt case; l = n gives the "triangular on triangular" ttqrt
+//            case used when combining TSQR tree nodes);
+//   tpmqrt — apply the tpqrt reflectors to a [A; B] stacked pair.
+//
+// The implementations treat B densely; pentagonal structural zeros are
+// preserved exactly by the arithmetic, and the flop formulas account for l.
+#pragma once
+
+#include "la/blas.hpp"
+
+namespace critter::la {
+
+/// QR of an m x n tile (m >= n).  On exit A holds R above the diagonal and
+/// the Householder vectors below; T (n x n upper triangular) is filled.
+void geqrt(int m, int n, double* a, int lda, double* t, int ldt);
+
+/// Factor [A; B] where A is n x n upper triangular (overwritten by the new
+/// R) and B is m x n (overwritten by the Householder vector tails).
+/// l is the number of rows of the trapezoidal (triangular) top of B:
+/// l = 0 for a dense B, l = n when B is itself upper triangular.
+void tpqrt(int m, int n, int l, double* a, int lda, double* b, int ldb,
+           double* t, int ldt);
+
+/// Apply the tpqrt transformation (or its transpose) from the left to the
+/// stacked pair [A; B]: A is k x ncols, B is m x ncols, V is the m x k
+/// Householder block from tpqrt, T its k x k triangular factor.
+void tpmqrt(Trans trans, int m, int ncols, int k, const double* v, int ldv,
+            const double* t, int ldt, double* a, int lda, double* b, int ldb);
+
+// --- flop counts for the gamma cost model ---
+double geqrt_flops(double m, double n);
+double tpqrt_flops(double m, double n, double l);
+double tpmqrt_flops(double m, double n, double k, double l);
+
+}  // namespace critter::la

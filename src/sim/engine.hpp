@@ -1,0 +1,194 @@
+// Deterministic discrete-event engine simulating an MPI job.
+//
+// Each rank is a fiber with a virtual clock.  The scheduler always resumes
+// the runnable rank with the smallest (clock, rank) pair, so communication
+// events are processed in virtual-time order and the simulation is a
+// conservative, fully deterministic discrete-event execution.
+//
+// Semantics notes (documented divergences from MPI are deliberate):
+//  * sends are eager/buffered: a sender never blocks on its peer;
+//  * wildcard source/tag matching is unsupported;
+//  * a buffer handed to a nonblocking op must not be reused before wait(),
+//    exactly like MPI;
+//  * all buffers may be null ("model mode"): costs accrue, no data moves.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/machine.hpp"
+
+namespace critter::sim {
+
+class Engine;
+
+/// Communicator handle (cheap value type; state lives in the engine).
+struct Comm {
+  int id = -1;
+  bool operator==(const Comm&) const = default;
+};
+
+/// Nonblocking-operation handle.
+struct Request {
+  std::uint64_t id = 0;
+};
+
+/// Elementwise combine for reduce/allreduce: fold `in` into `inout`.
+using ReduceFn = std::function<void(const void* in, void* inout, int bytes)>;
+
+ReduceFn reduce_sum_double();
+ReduceFn reduce_max_double();
+ReduceFn reduce_sum_i64();
+ReduceFn reduce_max_i64();
+
+/// Per-rank execution context.  `user_data` is owned by higher layers
+/// (the critter profiler hangs its per-rank state here).
+struct RankCtx {
+  int rank = -1;
+  double clock = 0.0;
+  void* user_data = nullptr;
+  Engine* engine = nullptr;
+};
+
+class Engine {
+ public:
+  Engine(int nranks, Machine machine, std::uint64_t seed_salt = 0);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run one SPMD program to completion: `body` is invoked once per rank on
+  /// that rank's fiber.  Throws on deadlock or if any rank throws.
+  void run(const std::function<void(RankCtx&)>& body);
+
+  int nranks() const { return nranks_; }
+  const Machine& machine() const { return machine_; }
+
+  /// Virtual time at which the last rank finished (valid after run()).
+  double max_time() const { return max_time_; }
+  /// Final virtual clock of each rank (valid after run()).
+  const std::vector<double>& final_clocks() const { return final_clocks_; }
+
+  /// Number of point-to-point messages / collective operations executed.
+  std::int64_t p2p_count() const { return p2p_count_; }
+  std::int64_t coll_count() const { return coll_count_; }
+
+  // --- rank-side API (must be called from inside a rank fiber) ---
+
+  /// Context of the currently running rank.
+  static RankCtx& ctx();
+  /// True if a fiber of some engine is currently running.
+  static bool in_rank();
+
+  Comm world() const { return Comm{0}; }
+  int comm_size(Comm c) const;
+  int comm_rank(Comm c) const;  // local rank of the *current* fiber
+  /// Sorted world ranks of the communicator's group.
+  const std::vector<int>& comm_members(Comm c) const;
+
+  void f_advance(double seconds);
+  void f_send(const void* buf, int bytes, int dest, int tag, Comm c);
+  Request f_isend(const void* buf, int bytes, int dest, int tag, Comm c);
+  void f_recv(void* buf, int bytes, int src, int tag, Comm c);
+  Request f_irecv(void* buf, int bytes, int src, int tag, Comm c);
+  void f_wait(Request r);
+  bool f_test(Request r);  ///< poll without blocking (consumes if done)
+
+  void f_coll(CollType type, const void* sendbuf, void* recvbuf, int bytes,
+              int root, const ReduceFn& fn, Comm c);
+  Request f_icoll(CollType type, const void* sendbuf, void* recvbuf, int bytes,
+                  int root, const ReduceFn& fn, Comm c);
+  Comm f_split(Comm parent, int color, int key);
+
+ private:
+  struct RankState;
+  struct P2PKey {
+    int comm, dst, src, tag;
+    auto operator<=>(const P2PKey&) const = default;
+  };
+  struct MsgInFlight {
+    double avail;
+    std::vector<std::byte> data;
+    int bytes;
+  };
+  struct ReqState {
+    bool done = false;
+    double done_time = 0.0;
+    int owner = -1;
+    bool is_recv = false;
+    void* recv_buf = nullptr;
+    int bytes = 0;
+    P2PKey key{};
+    bool is_coll = false;
+    std::pair<int, std::uint64_t> coll_key{};
+  };
+  struct CollOp {
+    CollType type{};
+    int bytes = 0;
+    int root = 0;
+    int arrived = 0;
+    double max_arrival = 0.0;
+    double cost = 0.0;        // noisy cost, fixed at op creation
+    bool root_arrived = false;
+    double root_time = 0.0;
+    ReduceFn fn;
+    std::vector<std::vector<std::byte>> contrib;  // per local rank
+    std::vector<void*> recv_bufs;                 // per local rank
+    std::vector<std::uint64_t> req_ids;           // per local rank
+    std::vector<bool> has_arrived;                // per local rank
+    std::vector<double> arrival;                  // per local rank
+    std::vector<std::array<int, 2>> colorkey;     // split payload
+    std::vector<std::byte> folded;                // cached reduction result
+    bool folded_done = false;
+    bool split_done = false;
+    int outstanding_waits = 0;
+  };
+  struct CommData {
+    std::vector<int> members;        // world ranks, ordered by local rank
+    std::vector<int> local_of_world; // world rank -> local rank (-1 if absent)
+    std::vector<std::uint64_t> seq;  // per local rank collective sequence no.
+  };
+
+  RankState& current();
+  void sync_to_min();                 // wait until this rank is globally minimal
+  void block_current(const std::string& why);
+  void make_ready(int rank, double at_time);
+  double noise_comm(std::uint64_t k1, std::uint64_t k2) const;
+  std::uint64_t new_req_id() { return next_req_id_++; }
+  /// Mark one participant's collective request done at `when`, deliver its
+  /// data, and wake it if blocked.
+  void finalize_coll_member(CollOp& op, const CommData& cd, int lr,
+                            double when);
+  void complete_coll_sync(int comm_id, CollOp& op);
+  void deliver_coll_data(CollOp& op, const CommData& cd, int lr);
+  int register_comm(std::vector<int> members);
+  [[noreturn]] void report_deadlock();
+
+  int nranks_;
+  Machine machine_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  std::vector<CommData> comms_;
+  std::map<std::pair<double, int>, int> ready_;  // (time, rank) -> rank
+  int running_ = -1;
+  std::map<P2PKey, std::deque<MsgInFlight>> mailbox_;
+  std::map<P2PKey, std::deque<std::uint64_t>> posted_recvs_;
+  std::map<P2PKey, std::uint64_t> pair_seq_;
+  std::map<std::uint64_t, ReqState> reqs_;
+  std::map<std::pair<int, std::uint64_t>, CollOp> colls_;
+  std::uint64_t next_req_id_ = 1;
+  double max_time_ = 0.0;
+  std::vector<double> final_clocks_;
+  std::int64_t p2p_count_ = 0;
+  std::int64_t coll_count_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace critter::sim

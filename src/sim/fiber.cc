@@ -1,0 +1,65 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace critter::sim {
+
+namespace {
+// makecontext() passes only int arguments portably; hand the Fiber* over in
+// a file-local slot instead.  Safe because the engine is single-threaded and
+// the slot is consumed synchronously inside resume().
+Fiber* g_trampoline_arg = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_bytes_(stack_bytes) {
+  const long page = sysconf(_SC_PAGESIZE);
+  stack_bytes_ = ((stack_bytes_ + page - 1) / page) * page + page;  // + guard
+  stack_ = mmap(nullptr, stack_bytes_, PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  CRITTER_CHECK(stack_ != MAP_FAILED, "fiber stack mmap failed");
+  // Guard page at the low end (stacks grow down) turns overflow into SIGSEGV
+  // instead of silent corruption.
+  CRITTER_CHECK(mprotect(stack_, page, PROT_NONE) == 0, "guard page mprotect");
+}
+
+Fiber::~Fiber() {
+  if (stack_ != nullptr) munmap(stack_, stack_bytes_);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_trampoline_arg;
+  g_trampoline_arg = nullptr;
+  try {
+    self->body_();
+  } catch (...) {
+    self->error_ = std::current_exception();
+  }
+  self->finished_ = true;
+  // Return to the scheduler; the context is never resumed again.
+  swapcontext(&self->context_, &self->scheduler_context_);
+}
+
+void Fiber::resume() {
+  CRITTER_CHECK(!finished_, "resuming a finished fiber");
+  if (!started_) {
+    started_ = true;
+    CRITTER_CHECK(getcontext(&context_) == 0, "getcontext");
+    const long page = sysconf(_SC_PAGESIZE);
+    context_.uc_stack.ss_sp = static_cast<char*>(stack_) + page;
+    context_.uc_stack.ss_size = stack_bytes_ - page;
+    context_.uc_link = nullptr;
+    g_trampoline_arg = this;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+  }
+  swapcontext(&scheduler_context_, &context_);
+}
+
+void Fiber::yield() { swapcontext(&context_, &scheduler_context_); }
+
+}  // namespace critter::sim

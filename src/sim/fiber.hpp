@@ -1,0 +1,54 @@
+// Cooperative user-level fibers (ucontext-based).
+//
+// Each simulated MPI rank runs as a fiber so rank programs can be written in
+// natural blocking style (call sim::recv and "block").  The whole simulation
+// is single-OS-thread; the engine resumes exactly one fiber at a time, which
+// makes execution deterministic.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <ucontext.h>
+
+namespace critter::sim {
+
+class Fiber {
+ public:
+  /// `body` runs on the fiber's own stack on first resume().  Stacks are
+  /// mmap'd with a guard page; they are virtual memory, so thousands of
+  /// fibers are cheap until pages are actually touched.
+  explicit Fiber(std::function<void()> body, std::size_t stack_bytes = 512 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch from the scheduler into the fiber; returns when the fiber
+  /// yields or finishes.
+  void resume();
+
+  /// Switch from inside the fiber back to the scheduler.  Must be called
+  /// on the currently running fiber.
+  void yield();
+
+  bool finished() const { return finished_; }
+
+  /// Exception thrown by the body, if any (captured, not propagated,
+  /// so the scheduler decides when to rethrow).
+  std::exception_ptr error() const { return error_; }
+
+ private:
+  static void trampoline();
+
+  std::function<void()> body_;
+  ucontext_t context_{};
+  ucontext_t scheduler_context_{};
+  void* stack_ = nullptr;
+  std::size_t stack_bytes_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace critter::sim

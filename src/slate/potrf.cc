@@ -1,0 +1,152 @@
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/mpi.hpp"
+#include "slate/slate.hpp"
+#include "util/check.hpp"
+
+namespace critter::slate {
+
+namespace {
+
+/// Tag for the transfer of tile (ti, tk): unique per source tile; phases
+/// are ordered and matching is FIFO per (source, tag), so reuse across
+/// phases cannot collide.
+int tile_tag(int ti, int tk, int t_total) {
+  const int tag = ti * t_total + tk;
+  CRITTER_CHECK(tag < (1 << 20), "tile tag exceeds internal tag space");
+  return tag;
+}
+
+struct PhaseState {
+  // tiles received this phase: key (ti, tk) -> buffer (tile_rows x nb)
+  std::map<std::pair<int, int>, std::vector<double>> lbuf;
+};
+
+}  // namespace
+
+void potrf(TileMatrix& a, const PotrfConfig& cfg) {
+  const Grid2D& g = a.grid();
+  const int t_count = a.tile_rows_count();
+  CRITTER_CHECK(a.rows() == a.cols(), "potrf needs a square matrix");
+  const int me = g.me();
+  const bool real = a.real();
+
+  std::vector<bool> panel_prefactored(t_count, false);
+
+  // --- helpers -----------------------------------------------------------
+  // ranks owning sub-diagonal tiles of panel column k
+  auto trsm_ranks = [&](int k) {
+    std::set<int> out;
+    for (int i = k + 1; i < t_count; ++i) out.insert(a.owner(i, k));
+    out.erase(a.owner(k, k));
+    return out;
+  };
+  // destination ranks for factored panel tile L(i,k)
+  auto lik_dests = [&](int i, int k) {
+    std::set<int> out;
+    for (int j = k + 1; j <= i; ++j) out.insert(a.owner(i, j));     // left op
+    for (int i2 = i; i2 < t_count; ++i2) out.insert(a.owner(i2, i));  // right op
+    out.erase(me);
+    return out;
+  };
+
+  auto factor_diag = [&](int k) {
+    lapack::potrf(la::Uplo::Lower, a.tile_rows(k), a.tile_data(k, k),
+                  a.tile_rows(k));
+    const int bytes = a.tile_rows(k) * a.tile_rows(k) * 8;
+    for (int dst : trsm_ranks(k)) {
+      mpi::Request rq = mpi::isend(a.tile_data(k, k), bytes, dst,
+                                   tile_tag(k, k, t_count), g.world);
+      mpi::wait(rq);
+    }
+  };
+
+  // --- main phase loop ---------------------------------------------------
+  for (int k = 0; k < t_count; ++k) {
+    PhaseState ps;
+
+    // 1. panel: potrf at the diagonal owner (unless pre-factored by
+    //    lookahead), then trsm on sub-diagonal tiles.
+    if (a.mine(k, k) && !panel_prefactored[k]) factor_diag(k);
+
+    bool have_lkk = a.mine(k, k);
+    std::vector<double> lkk(real && !have_lkk
+                                ? static_cast<std::size_t>(a.tile_rows(k)) * a.tile_rows(k)
+                                : 0);
+    for (int i = k + 1; i < t_count; ++i) {
+      if (!a.mine(i, k)) continue;
+      if (!have_lkk) {
+        mpi::recv(real ? lkk.data() : nullptr,
+                  a.tile_rows(k) * a.tile_rows(k) * 8, a.owner(k, k),
+                  tile_tag(k, k, t_count), g.world);
+        have_lkk = true;
+      }
+      const double* dk = a.mine(k, k) ? a.tile_data(k, k)
+                                      : (real ? lkk.data() : nullptr);
+      blas::trsm(la::Side::Right, la::Uplo::Lower, la::Trans::T,
+                 la::Diag::NonUnit, a.tile_rows(i), a.tile_rows(k), 1.0, dk,
+                 a.tile_rows(k), a.tile_data(i, k), a.tile_rows(i));
+      const int bytes = a.tile_rows(i) * a.tile_rows(k) * 8;
+      for (int dst : lik_dests(i, k)) {
+        mpi::Request rq = mpi::isend(a.tile_data(i, k), bytes, dst,
+                                     tile_tag(i, k, t_count), g.world);
+        mpi::wait(rq);
+      }
+    }
+
+    // 2. receive the panel tiles my updates need (deterministic order).
+    auto need_tile = [&](int i) -> const double* {
+      if (a.mine(i, k)) return a.tile_data(i, k);
+      auto it = ps.lbuf.find({i, k});
+      if (it == ps.lbuf.end()) {
+        auto& buf = ps.lbuf[{i, k}];
+        if (real) buf.resize(static_cast<std::size_t>(a.tile_rows(i)) * a.tile_rows(k));
+        mpi::recv(real ? buf.data() : nullptr,
+                  a.tile_rows(i) * a.tile_rows(k) * 8, a.owner(i, k),
+                  tile_tag(i, k, t_count), g.world);
+        return real ? ps.lbuf[{i, k}].data() : nullptr;
+      }
+      return real ? it->second.data() : nullptr;
+    };
+    for (int j = k + 1; j < t_count; ++j)
+      for (int i = j; i < t_count; ++i) {
+        if (!a.mine(i, j)) continue;
+        (void)need_tile(i);
+        if (i != j) (void)need_tile(j);
+      }
+
+    // 3+5. trailing updates, urgent panel columns first (lookahead), with
+    //      the next panel pre-factored in between.
+    auto update = [&](int i, int j) {
+      const double* li = need_tile(i);
+      if (i == j) {
+        blas::syrk(la::Uplo::Lower, la::Trans::N, a.tile_rows(j),
+                   a.tile_rows(k), -1.0, li, a.tile_rows(j), 1.0,
+                   a.tile_data(j, j), a.tile_rows(j));
+      } else {
+        const double* lj = need_tile(j);
+        blas::gemm(la::Trans::N, la::Trans::T, a.tile_rows(i), a.tile_rows(j),
+                   a.tile_rows(k), -1.0, li, a.tile_rows(i), lj,
+                   a.tile_rows(j), 1.0, a.tile_data(i, j), a.tile_rows(i));
+      }
+    };
+    const int urgent_hi = std::min(t_count - 1, k + 1 + cfg.lookahead);
+    for (int j = k + 1; j <= urgent_hi; ++j)
+      for (int i = j; i < t_count; ++i)
+        if (a.mine(i, j)) update(i, j);
+
+    if (cfg.lookahead > 0 && k + 1 < t_count && a.mine(k + 1, k + 1)) {
+      factor_diag(k + 1);
+      panel_prefactored[k + 1] = true;
+    }
+
+    for (int j = urgent_hi + 1; j < t_count; ++j)
+      for (int i = j; i < t_count; ++i)
+        if (a.mine(i, j)) update(i, j);
+  }
+}
+
+}  // namespace critter::slate

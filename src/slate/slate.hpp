@@ -1,0 +1,36 @@
+// SLATE-style task-based dense factorizations on a 2D block-cyclic tile
+// distribution (paper §V-A, §V-B).
+//
+// Both routines are right-looking tile algorithms whose inter-rank traffic
+// uses nonblocking isend + blocking recv (the kernel mix the paper reports
+// for SLATE).  Lookahead pipelining is modeled faithfully for the
+// discrete-event execution: with depth d >= 1 the owner of the next panel
+// pre-factors it (and launches its tile broadcasts) as soon as its own
+// urgent updates complete, while other ranks are still processing trailing
+// updates — shortening the critical path exactly the way SLATE's lookahead
+// does.
+#pragma once
+
+#include "slate/tile_matrix.hpp"
+
+namespace critter::slate {
+
+struct PotrfConfig {
+  int lookahead = 0;  ///< pipeline depth (paper tunes v % 2 in {0, 1})
+};
+
+/// Cholesky factorization of an SPD tile matrix (lower triangle); the
+/// strictly-upper tiles are untouched.
+void potrf(TileMatrix& a, const PotrfConfig& cfg);
+
+struct GeqrfConfig {
+  int panel_width = 8;  ///< internal blocking w of the panel factorization
+  int lookahead = 0;
+};
+
+/// Householder QR via flat-tree tile QR (geqrt / tpqrt cascade down each
+/// panel column, ormqr / tpmqrt updates).  On return the upper-triangular
+/// tiles hold R; V/T factors are kept internally per panel for tests.
+void geqrf(TileMatrix& a, const GeqrfConfig& cfg);
+
+}  // namespace critter::slate

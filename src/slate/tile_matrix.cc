@@ -1,0 +1,86 @@
+#include "slate/tile_matrix.hpp"
+
+#include <cstring>
+
+#include "core/mpi.hpp"
+#include "util/check.hpp"
+
+namespace critter::slate {
+
+Grid2D Grid2D::build(int pr, int pc) {
+  Grid2D g;
+  g.pr = pr;
+  g.pc = pc;
+  g.world = sim::world();
+  CRITTER_CHECK(sim::world_size() == pr * pc, "grid shape must match ranks");
+  const int r = sim::world_rank();
+  g.pi = r / pc;
+  g.pj = r % pc;
+  g.row_comm = mpi::comm_split(g.world, g.pi, g.pj);
+  g.col_comm = mpi::comm_split(g.world, g.pj, g.pi);
+  return g;
+}
+
+TileMatrix::TileMatrix(int rows, int cols, int nb, const Grid2D& g, bool real)
+    : m_(rows), n_(cols), nb_(nb), g_(&g), real_(real) {
+  CRITTER_CHECK(rows >= 0 && cols >= 0 && nb >= 1, "tile matrix shape");
+}
+
+int TileMatrix::tile_rows(int ti) const {
+  return std::min(nb_, m_ - ti * nb_);
+}
+int TileMatrix::tile_cols(int tj) const {
+  return std::min(nb_, n_ - tj * nb_);
+}
+
+la::Matrix& TileMatrix::tile(int ti, int tj) {
+  CRITTER_CHECK(real_, "tile storage only exists in real mode");
+  CRITTER_CHECK(mine(ti, tj), "tile not owned by this rank");
+  auto [it, inserted] = tiles_.try_emplace({ti, tj});
+  if (inserted) it->second = la::Matrix(tile_rows(ti), tile_cols(tj));
+  return it->second;
+}
+
+double* TileMatrix::tile_data(int ti, int tj) {
+  if (!real_) return nullptr;
+  return tile(ti, tj).data();
+}
+
+void TileMatrix::scatter_from_full(const la::Matrix& full) {
+  CRITTER_CHECK(real_, "scatter needs real storage");
+  for (int tj = 0; tj < tile_cols_count(); ++tj)
+    for (int ti = 0; ti < tile_rows_count(); ++ti) {
+      if (!mine(ti, tj)) continue;
+      la::Matrix& t = tile(ti, tj);
+      for (int b = 0; b < t.cols(); ++b)
+        for (int a = 0; a < t.rows(); ++a)
+          t(a, b) = full(ti * nb_ + a, tj * nb_ + b);
+    }
+}
+
+la::Matrix TileMatrix::gather_full() const {
+  CRITTER_CHECK(real_, "gather needs real storage");
+  // Pad every tile to nb x nb, allgather tile-by-tile round-robin style:
+  // one allgather of all local tiles in a canonical order would need
+  // variable sizes, so this test helper simply broadcasts each tile from
+  // its owner (small test matrices only).
+  la::Matrix full(m_, n_);
+  std::vector<double> buf(static_cast<std::size_t>(nb_) * nb_);
+  auto* self = const_cast<TileMatrix*>(this);
+  for (int tj = 0; tj < tile_cols_count(); ++tj)
+    for (int ti = 0; ti < tile_rows_count(); ++ti) {
+      const int tr = tile_rows(ti), tc = tile_cols(tj);
+      if (mine(ti, tj)) {
+        const la::Matrix& t = self->tile(ti, tj);
+        for (int b = 0; b < tc; ++b)
+          for (int a = 0; a < tr; ++a) buf[static_cast<std::size_t>(b) * tr + a] = t(a, b);
+      }
+      mpi::bcast(buf.data(), tr * tc * 8, owner(ti, tj), g_->world);
+      for (int b = 0; b < tc; ++b)
+        for (int a = 0; a < tr; ++a)
+          full(ti * nb_ + a, tj * nb_ + b) = buf[static_cast<std::size_t>(b) * tr + a];
+    }
+  return full;
+}
+
+}  // namespace critter::slate

@@ -1,0 +1,67 @@
+// 2D block-cyclic tile matrix shared by the SLATE-style and CANDMC-style
+// algorithms (paper §V-A/B).
+//
+// Tiles of size nb x nb (ragged at the bottom/right edges) are distributed
+// over a pr x pc grid: tile (I, J) lives on rank (I mod pr, J mod pc).
+// Real mode materializes owned tiles as la::Matrix blocks; model mode
+// tracks only shapes.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "sim/api.hpp"
+
+namespace critter::slate {
+
+struct Grid2D {
+  int pr = 1, pc = 1;  ///< grid shape (pr * pc == world size)
+  int pi = 0, pj = 0;  ///< my coordinates
+  sim::Comm world{};
+  sim::Comm row_comm{};  ///< fixed pi, varying pj
+  sim::Comm col_comm{};  ///< fixed pj, varying pi
+
+  /// Build from the world communicator; world rank r -> (r / pc, r % pc).
+  static Grid2D build(int pr, int pc);
+
+  int rank_of(int i, int j) const { return (i % pr) * pc + (j % pc); }
+  int me() const { return pi * pc + pj; }
+};
+
+class TileMatrix {
+ public:
+  TileMatrix() = default;
+  TileMatrix(int rows, int cols, int nb, const Grid2D& g, bool real);
+
+  int rows() const { return m_; }
+  int cols() const { return n_; }
+  int nb() const { return nb_; }
+  bool real() const { return real_; }
+  int tile_rows_count() const { return (m_ + nb_ - 1) / nb_; }
+  int tile_cols_count() const { return (n_ + nb_ - 1) / nb_; }
+  int tile_rows(int ti) const;  ///< row count of tile row ti (ragged edge)
+  int tile_cols(int tj) const;
+  int owner(int ti, int tj) const { return g_->rank_of(ti, tj); }
+  bool mine(int ti, int tj) const { return owner(ti, tj) == g_->me(); }
+  const Grid2D& grid() const { return *g_; }
+
+  /// Owned tile storage; creates the tile on first access (real mode).
+  la::Matrix& tile(int ti, int tj);
+  double* tile_data(int ti, int tj);  ///< null in model mode
+
+  /// Initialize owned tiles from a full matrix / assemble the full matrix
+  /// on every rank (test helpers; assemble is collective via allgather of
+  /// padded tiles).
+  void scatter_from_full(const la::Matrix& full);
+  la::Matrix gather_full() const;
+
+ private:
+  int m_ = 0, n_ = 0, nb_ = 1;
+  const Grid2D* g_ = nullptr;
+  bool real_ = false;
+  std::map<std::pair<int, int>, la::Matrix> tiles_;
+};
+
+}  // namespace critter::slate

@@ -1,0 +1,169 @@
+#include "tune/config_space.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "candmc/qr2d.hpp"
+#include "capital/cholesky3d.hpp"
+#include "slate/slate.hpp"
+#include "util/check.hpp"
+
+namespace critter::tune {
+
+const char* app_name(App a) {
+  switch (a) {
+    case App::CapitalCholesky: return "capital-cholesky";
+    case App::SlateCholesky: return "slate-cholesky";
+    case App::CandmcQr: return "candmc-qr";
+    case App::SlateQr: return "slate-qr";
+  }
+  return "?";
+}
+
+std::string Configuration::label(App app) const {
+  std::ostringstream os;
+  switch (app) {
+    case App::CapitalCholesky:
+      os << "b=" << block_size << ",strat=" << base_strategy;
+      break;
+    case App::SlateCholesky:
+      os << "tile=" << tile << ",depth=" << lookahead;
+      break;
+    case App::CandmcQr:
+      os << "b=" << block_size << ",grid=" << pr << "x" << pc;
+      break;
+    case App::SlateQr:
+      os << "w=" << panel_w << ",nb=" << block_size << ",grid=" << pr << "x" << pc;
+      break;
+  }
+  return os.str();
+}
+
+Study capital_cholesky_study(bool paper) {
+  // paper: 16384^2 on 512 ranks (c=8), b = 128 * 2^(v%5), strategy ceil((v+1)/5)
+  Study s;
+  s.app = App::CapitalCholesky;
+  s.name = "CAPITAL Cholesky";
+  s.nranks = paper ? 512 : 27;
+  s.n = paper ? 16384 : 384;
+  s.m = s.n;
+  s.gamma = paper ? 2.0e-11 : 4.0e-8;
+  const int b0 = paper ? 128 : 24;
+  for (int v = 0; v < 15; ++v) {
+    Configuration c;
+    c.index = v;
+    c.block_size = b0 << (v % 5);
+    c.base_strategy = (v + 5) / 5;  // == ceil((v+1)/5) for v in [0,14]
+    s.configs.push_back(c);
+  }
+  return s;
+}
+
+Study slate_cholesky_study(bool paper) {
+  // paper: 65536^2 on 1024 ranks, depth v%2, tile 256 + 64*floor(v/2)
+  Study s;
+  s.app = App::SlateCholesky;
+  s.name = "SLATE Cholesky";
+  s.nranks = paper ? 1024 : 64;
+  s.n = paper ? 65536 : 2048;
+  s.m = s.n;
+  s.gamma = paper ? 2.0e-11 : 1.0e-8;
+  const int t0 = paper ? 256 : 128;
+  const int t1 = paper ? 64 : 32;
+  for (int v = 0; v < 20; ++v) {
+    Configuration c;
+    c.index = v;
+    c.lookahead = v % 2;
+    c.tile = t0 + t1 * (v / 2);
+    s.configs.push_back(c);
+  }
+  return s;
+}
+
+Study candmc_qr_study(bool paper) {
+  // paper: 131072 x 8192 on 4096 ranks, b = 8 * 2^(v%5),
+  // grid 64*2^(v/5) x 64/2^(v/5)
+  Study s;
+  s.app = App::CandmcQr;
+  s.name = "CANDMC QR";
+  s.nranks = paper ? 4096 : 64;
+  s.m = paper ? 131072 : 1024;
+  s.n = paper ? 8192 : 128;
+  s.gamma = paper ? 2.0e-11 : 2.0e-8;
+  const int b0 = paper ? 8 : 16;
+  const int pr0 = paper ? 64 : 16;
+  const int pc0 = paper ? 64 : 4;
+  for (int v = 0; v < 15; ++v) {
+    Configuration c;
+    c.index = v;
+    c.block_size = b0 << (v % 5);
+    c.pr = pr0 << (v / 5);
+    c.pc = pc0 >> (v / 5);
+    s.configs.push_back(c);
+  }
+  return s;
+}
+
+Study slate_qr_study(bool paper) {
+  // paper: 65536 x 4096 on 256 ranks, w = 8 * 2^(v%3),
+  // panel 256 + 64*(floor(v/3) % 7), grid 64/2^(v/21) x 4*2^(v/21)
+  Study s;
+  s.app = App::SlateQr;
+  s.name = "SLATE QR";
+  s.nranks = paper ? 256 : 64;
+  s.m = paper ? 65536 : 2048;
+  s.n = paper ? 4096 : 512;
+  s.gamma = paper ? 2.0e-11 : 1.0e-8;
+  const int nb0 = paper ? 256 : 128;
+  const int nb1 = paper ? 64 : 32;
+  const int pr0 = paper ? 64 : 16;
+  const int pc0 = paper ? 4 : 4;
+  for (int v = 0; v < 63; ++v) {
+    Configuration c;
+    c.index = v;
+    c.panel_w = 8 << (v % 3);
+    c.block_size = nb0 + nb1 * ((v / 3) % 7);
+    c.pr = pr0 >> (v / 21);
+    c.pc = pc0 << (v / 21);
+    s.configs.push_back(c);
+  }
+  return s;
+}
+
+void run_configuration(const Study& study, const Configuration& cfg) {
+  switch (study.app) {
+    case App::CapitalCholesky: {
+      const int c = static_cast<int>(std::lround(std::cbrt(study.nranks)));
+      CRITTER_CHECK(c * c * c == study.nranks, "capital needs a cubic rank count");
+      capital::Grid3D g = capital::Grid3D::build(c);
+      capital::CyclicMatrix a(study.n, g, false);
+      capital::Cholesky3D chol(g, study.n,
+                               {cfg.block_size, cfg.base_strategy}, false);
+      chol.factor(a);
+      return;
+    }
+    case App::SlateCholesky: {
+      int pr = 1;
+      while (pr * pr < study.nranks) pr *= 2;
+      const int pc = study.nranks / pr;
+      slate::Grid2D g = slate::Grid2D::build(pr, pc);
+      slate::TileMatrix a(study.n, study.n, cfg.tile, g, false);
+      slate::potrf(a, slate::PotrfConfig{cfg.lookahead});
+      return;
+    }
+    case App::CandmcQr: {
+      slate::Grid2D g = slate::Grid2D::build(cfg.pr, cfg.pc);
+      slate::TileMatrix a(study.m, study.n, cfg.block_size, g, false);
+      candmc::qr2d(a, candmc::QrConfig{});
+      return;
+    }
+    case App::SlateQr: {
+      slate::Grid2D g = slate::Grid2D::build(cfg.pr, cfg.pc);
+      slate::TileMatrix a(study.m, study.n, cfg.block_size, g, false);
+      slate::geqrf(a, slate::GeqrfConfig{cfg.panel_w, 0});
+      return;
+    }
+  }
+}
+
+}  // namespace critter::tune

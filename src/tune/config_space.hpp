@@ -1,0 +1,61 @@
+// Configuration spaces of the four §V-C case studies.
+//
+// The parameter formulas are the paper's verbatim; the base constants are
+// scaled down by default so every benchmark finishes in seconds on a
+// laptop-class host (the simulator makes the shape of the results
+// scale-invariant).  Setting CRITTER_PAPER_SCALE=1 restores the paper's
+// rank counts and matrix sizes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/profiler.hpp"
+
+namespace critter::tune {
+
+enum class App : std::uint8_t {
+  CapitalCholesky,
+  SlateCholesky,
+  CandmcQr,
+  SlateQr,
+};
+
+const char* app_name(App a);
+
+struct Configuration {
+  int index = 0;
+  int block_size = 0;     ///< capital b / candmc b / slate-qr panel width
+  int base_strategy = 0;  ///< capital base-case strategy (1..3)
+  int tile = 0;           ///< slate cholesky tile size
+  int lookahead = 0;      ///< slate cholesky pipeline depth
+  int pr = 0, pc = 0;     ///< 2D grid shape
+  int panel_w = 0;        ///< slate qr internal panel width w
+
+  std::string label(App app) const;
+};
+
+struct Study {
+  App app{};
+  std::string name;
+  int nranks = 0;
+  int m = 0, n = 0;  ///< matrix dimensions (m == n for Cholesky)
+  /// Machine time-per-flop.  At reduced scale the kernels shrink by ~1000x
+  /// while the profiling message sizes do not, so gamma is raised to keep
+  /// the paper's kernel-time-to-overhead ratio (the quantity the selective
+  /// execution trade-off actually depends on).
+  double gamma = 2.0e-11;
+  std::vector<Configuration> configs;
+};
+
+Study capital_cholesky_study(bool paper_scale);
+Study slate_cholesky_study(bool paper_scale);
+Study candmc_qr_study(bool paper_scale);
+Study slate_qr_study(bool paper_scale);
+
+/// Execute one configuration of the study inside a sim rank fiber
+/// (model mode; critter must already be started).
+void run_configuration(const Study& study, const Configuration& cfg);
+
+}  // namespace critter::tune

@@ -1,0 +1,76 @@
+// Exhaustive-search autotuner accelerated by critter's selective execution
+// (paper §VI).
+//
+// Protocol per (policy, tolerance):
+//   for each configuration:
+//     * optionally reset all kernel statistics (paper: SLATE and CANDMC);
+//     * a-priori propagation first runs the configuration once fully
+//       instrumented to record critical-path kernel counts (that extra run
+//       is charged to the tuning time, as in the paper);
+//     * for each sample: one uninstrumented full execution (the "full
+//       execution directly prior" used as the error reference — not charged
+//       to tuning time) followed by one selective execution (charged).
+//
+// All runs share one profiler Store, so kernel statistics persist across
+// samples (and across configurations unless reset — which is what the
+// eager policy exploits).
+#pragma once
+
+#include "tune/config_space.hpp"
+
+namespace critter::tune {
+
+struct TuneOptions {
+  Policy policy = Policy::ConditionalExecution;
+  double tolerance = 0.25;
+  int samples = 3;
+  /// Reset kernel statistics between configurations (paper: on for SLATE
+  /// and CANDMC, off for Capital; never for eager propagation).
+  bool reset_per_config = false;
+  std::uint64_t seed_salt = 0;
+  double comp_noise = 0.08;
+  double comm_noise = 0.08;
+  /// Internal-message ~K capacity (profiling-overhead ablation knob).
+  int tilde_capacity = 256;
+  /// Enable the SVIII cross-size kernel-model extrapolation extension.
+  bool extrapolate = false;
+};
+
+struct ConfigOutcome {
+  Configuration config;
+  double true_time = 0.0;       ///< mean uninstrumented execution time
+  double pred_time = 0.0;       ///< mean modeled (selective) execution time
+  double err = 0.0;             ///< mean relative execution-time error
+  double true_comp_time = 0.0;  ///< critical-path computation time (full)
+  double pred_comp_time = 0.0;
+  double comp_err = 0.0;
+  double sel_wall = 0.0;         ///< selective wall time (summed samples)
+  double sel_kernel_time = 0.0;  ///< max-over-ranks executed kernel time
+  std::int64_t executed = 0;
+  std::int64_t skipped = 0;
+};
+
+struct TuneResult {
+  std::vector<ConfigOutcome> per_config;
+  double tuning_time = 0.0;       ///< exhaustive-search time with critter
+  double full_time = 0.0;         ///< exhaustive search with full execution
+  double kernel_time = 0.0;       ///< selective max kernel comp time, summed
+  double full_kernel_time = 0.0;  ///< same for the full executions
+
+  double mean_err() const;
+  double mean_log2_err() const;       ///< Fig 4e/4f/5e/5f y-axis
+  double mean_log2_comp_err() const;  ///< Fig 4d/5d y-axis
+  int best_predicted() const;
+  int best_true() const;
+  /// true_time(best_true) / true_time(best_predicted): 1.0 == optimal pick.
+  double selection_quality() const;
+};
+
+TuneResult run_study(const Study& study, const TuneOptions& opt);
+
+/// One fully-instrumented full execution of a configuration (no skipping):
+/// the measurement backing the Fig. 3 cost/time panels.
+Report measure_config(const Study& study, const Configuration& cfg,
+                      std::uint64_t seed_salt = 0, double noise = 0.08);
+
+}  // namespace critter::tune

@@ -1,0 +1,31 @@
+// Lightweight runtime checking used across the library.
+//
+// CRITTER_CHECK aborts the current operation with a std::runtime_error that
+// carries the failing expression and a caller-supplied message.  It is always
+// on (simulation correctness depends on these invariants); the hot paths it
+// guards are dominated by cost-model arithmetic, not by the branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace critter::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: (" << expr << ")";
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace critter::util
+
+#define CRITTER_CHECK(expr, ...)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::critter::util::check_failed(#expr, __FILE__, __LINE__,              \
+                                    ::std::string(__VA_ARGS__));            \
+    }                                                                       \
+  } while (0)

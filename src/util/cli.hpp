@@ -1,0 +1,29 @@
+// Minimal command-line/environment option handling for examples & benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace critter::util {
+
+/// Parses `--key=value` and bare `--flag` arguments.  Unrecognized
+/// positional arguments are rejected so typos fail fast.
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// Environment variable helpers (used for CRITTER_PAPER_SCALE etc.).
+std::int64_t env_int(const char* name, std::int64_t dflt);
+bool paper_scale();
+
+}  // namespace critter::util

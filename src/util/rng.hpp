@@ -1,0 +1,52 @@
+// Deterministic counter-based random number generation.
+//
+// The simulator needs reproducible noise that depends only on logical
+// identifiers (seed, kernel signature, rank, invocation count), never on
+// scheduling order.  A counter-based generator (SplitMix64 over a mixed key)
+// provides exactly that: hash the identifiers, get an i.i.d.-quality stream.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace critter::util {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine two 64-bit values into one (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Uniform double in [0, 1) from a 64-bit hash value.
+inline double u01_from_bits(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+/// Standard normal deviate generated from two independent keys
+/// (Box–Muller; deterministic in the keys).
+inline double normal_from_keys(std::uint64_t k1, std::uint64_t k2) {
+  double u1 = u01_from_bits(mix64(k1));
+  double u2 = u01_from_bits(mix64(k2));
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+/// Multiplicative lognormal noise factor with unit mean.
+///
+/// exp(sigma*Z - sigma^2/2) has E[.] = 1, so noisy costs are unbiased
+/// around the analytic cost model.
+inline double lognormal_factor(double sigma, std::uint64_t k1,
+                               std::uint64_t k2) {
+  if (sigma <= 0.0) return 1.0;
+  const double z = normal_from_keys(k1, k2);
+  return std::exp(sigma * z - 0.5 * sigma * sigma);
+}
+
+}  // namespace critter::util

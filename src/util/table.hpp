@@ -1,0 +1,36 @@
+// Fixed-width console tables and CSV emission for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the corresponding paper
+// figure through this printer so output stays uniform and grep-able.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace critter::util {
+
+/// A simple column-aligned table.  Add a header once, then rows; `print`
+/// pads every cell to the widest entry of its column.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cols);
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 4);
+  static std::string sci(double v, int precision = 3);
+
+  /// Render to stdout.
+  void print() const;
+  /// Render as CSV (header + rows) to the returned string.
+  std::string csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace critter::util

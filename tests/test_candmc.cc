@@ -1,0 +1,165 @@
+// CANDMC pipelined 2D QR: distributed numerics via the augmented-matrix
+// check, TSQR vs CholeskyQR2 panels, pipelining behaviour in model mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "candmc/qr2d.hpp"
+#include "core/profiler.hpp"
+#include "la/matrix.hpp"
+#include "sim/api.hpp"
+
+namespace sim = critter::sim;
+namespace sl = critter::slate;
+namespace cd = critter::candmc;
+namespace la = critter::la;
+using critter::Config;
+using critter::ExecMode;
+using critter::Report;
+using critter::Store;
+
+namespace {
+
+template <typename Body>
+Report run_spmd(int p, bool real, Body body) {
+  Config cfg;
+  cfg.mode = real ? ExecMode::Real : ExecMode::Model;
+  cfg.selective = false;
+  Store store(p, cfg);
+  sim::Engine eng(p, sim::Machine::knl_like());
+  Report rep;
+  eng.run([&](sim::RankCtx& ctx) {
+    critter::start(store);
+    body(ctx);
+    Report r = critter::stop();
+    if (ctx.rank == 0) rep = r;
+  });
+  return rep;
+}
+
+/// Factor [A | A]; returns the relative mismatch between the left-half R
+/// and the right-half Q^T A plus the R-norm ratio.
+std::pair<double, double> augmented_qr_error(int pr, int pc, int m, int n,
+                                             int nb, cd::PanelKind kind,
+                                             int lookahead) {
+  double err = 1e300, norm_ratio = 0.0;
+  run_spmd(pr * pc, true, [&](sim::RankCtx& ctx) {
+    sl::Grid2D g = sl::Grid2D::build(pr, pc);
+    sl::TileMatrix a(m, 2 * n, nb, g, true);
+    la::Matrix base = la::random_matrix(m, n, 77);
+    la::Matrix aug(m, 2 * n);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < m; ++i) {
+        aug(i, j) = base(i, j);
+        aug(i, n + j) = base(i, j);
+      }
+    a.scatter_from_full(aug);
+    cd::QrConfig qcfg;
+    qcfg.panel = kind;
+    qcfg.lookahead = lookahead;
+    qcfg.max_panels = (n + nb - 1) / nb;
+    cd::qr2d(a, qcfg);
+    la::Matrix out = a.gather_full();
+    if (ctx.rank == 0) {
+      double e = 0.0, rn = 0.0;
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i <= j; ++i) {
+          const double d = out(i, j) - out(i, n + j);
+          e += d * d;
+          rn += out(i, j) * out(i, j);
+        }
+      err = std::sqrt(e) / (1.0 + la::frob_norm(m, n, base.data(), m));
+      norm_ratio = std::sqrt(rn) / la::frob_norm(m, n, base.data(), m);
+    }
+  });
+  return {err, norm_ratio};
+}
+
+}  // namespace
+
+class CandmcReal
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, int, int, cd::PanelKind, int>> {};
+
+TEST_P(CandmcReal, AugmentedColumnsMatchR) {
+  auto [pr, pc, m, n, nb, kind, la_depth] = GetParam();
+  auto [err, ratio] = augmented_qr_error(pr, pc, m, n, nb, kind, la_depth);
+  EXPECT_LT(err, 1e-9);
+  EXPECT_NEAR(ratio, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CandmcReal,
+    ::testing::Values(
+        std::tuple{1, 1, 32, 16, 8, cd::PanelKind::Tsqr, 0},
+        std::tuple{2, 2, 32, 16, 8, cd::PanelKind::Tsqr, 0},
+        std::tuple{2, 2, 32, 16, 8, cd::PanelKind::Tsqr, 1},
+        std::tuple{4, 1, 64, 16, 8, cd::PanelKind::Tsqr, 1},  // tall grid tree
+        std::tuple{4, 2, 64, 16, 8, cd::PanelKind::Tsqr, 1},
+        std::tuple{2, 2, 32, 16, 8, cd::PanelKind::CholeskyQr2, 0},
+        std::tuple{4, 2, 64, 16, 8, cd::PanelKind::CholeskyQr2, 1},
+        std::tuple{2, 4, 48, 24, 8, cd::PanelKind::Tsqr, 1}));
+
+TEST(CandmcModel, PipeliningShortensSchedule) {
+  auto wall = [&](int depth) {
+    Report r = run_spmd(16, false, [&](sim::RankCtx&) {
+      sl::Grid2D g = sl::Grid2D::build(8, 2);
+      sl::TileMatrix a(8192, 1024, 64, g, false);
+      cd::QrConfig q;
+      q.lookahead = depth;
+      cd::qr2d(a, q);
+    });
+    return r.wall_time;
+  };
+  EXPECT_LT(wall(1), wall(0));
+}
+
+TEST(CandmcModel, GridShapeTradesRowsForColumns) {
+  // Paper Fig. 3c: pr x pc shape shifts cost between the mn/pr and n^2/pc
+  // communication terms.
+  auto comm = [&](int pr, int pc) {
+    Report r = run_spmd(pr * pc, false, [&](sim::RankCtx&) {
+      sl::Grid2D g = sl::Grid2D::build(pr, pc);
+      sl::TileMatrix a(16384, 1024, 64, g, false);
+      cd::qr2d(a, cd::QrConfig{});
+    });
+    return r.critical.comm_cost;
+  };
+  const double tall = comm(16, 1);
+  const double square = comm(4, 4);
+  EXPECT_NE(tall, square);
+  // For a very tall matrix the tall grid should reduce communication of
+  // the dominant mn/pr term.
+  EXPECT_LT(tall, square * 4.0);
+}
+
+TEST(CandmcModel, KernelProfileMatchesPaper) {
+  Config cfg;
+  cfg.mode = ExecMode::Model;
+  cfg.selective = false;
+  Store store(8, cfg);
+  sim::Engine eng(8, sim::Machine::knl_like());
+  eng.run([&](sim::RankCtx&) {
+    critter::start(store);
+    sl::Grid2D g = sl::Grid2D::build(4, 2);
+    sl::TileMatrix a(2048, 512, 64, g, false);
+    cd::qr2d(a, cd::QrConfig{});
+    (void)critter::stop();
+  });
+  using critter::core::KernelClass;
+  bool has[32] = {};
+  for (const auto& [key, ks] : store.rank(0).K) has[static_cast<int>(key.cls)] = true;
+  // paper §V-D: CANDMC uses gemm, trsm, geqrf, ormqr, tpqrt/tpmqrt,
+  // bcast, allreduce, send, recv
+  EXPECT_TRUE(has[static_cast<int>(KernelClass::Gemm)]);
+  EXPECT_TRUE(has[static_cast<int>(KernelClass::Trsm)]);
+  EXPECT_TRUE(has[static_cast<int>(KernelClass::Geqrf)]);
+  EXPECT_TRUE(has[static_cast<int>(KernelClass::Ormqr)]);
+  EXPECT_TRUE(has[static_cast<int>(KernelClass::Tpqrt)]);
+  EXPECT_TRUE(has[static_cast<int>(KernelClass::Tpmqrt)]);
+  EXPECT_TRUE(has[static_cast<int>(KernelClass::Getrf)]);
+  EXPECT_TRUE(has[static_cast<int>(KernelClass::Bcast)]);
+  EXPECT_TRUE(has[static_cast<int>(KernelClass::Allreduce)]);
+  EXPECT_TRUE(has[static_cast<int>(KernelClass::Recv)]);
+}

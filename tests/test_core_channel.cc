@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/channel.hpp"
+
+namespace core = critter::core;
+
+namespace {
+std::vector<int> lattice(int offset, std::vector<std::pair<int, int>> dims) {
+  // dims as (stride, size) pairs
+  std::vector<int> out{offset};
+  for (auto [s, c] : dims) {
+    std::vector<int> next;
+    for (int i = 0; i < c; ++i)
+      for (int base : out) next.push_back(base + i * s);
+    out = std::move(next);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+TEST(Channel, SingleRank) {
+  core::Channel ch = core::channel_from_ranks({5});
+  EXPECT_TRUE(ch.lattice);
+  EXPECT_EQ(ch.offset, 5);
+  EXPECT_EQ(ch.span(), 1);
+}
+
+TEST(Channel, ContiguousRange) {
+  core::Channel ch = core::channel_from_ranks({4, 5, 6, 7});
+  ASSERT_TRUE(ch.lattice);
+  ASSERT_EQ(ch.dims.size(), 1u);
+  EXPECT_EQ(ch.dims[0].stride, 1);
+  EXPECT_EQ(ch.dims[0].size, 4);
+  EXPECT_EQ(ch.offset, 4);
+}
+
+TEST(Channel, StridedColumn) {
+  core::Channel ch = core::channel_from_ranks({2, 6, 10, 14});
+  ASSERT_TRUE(ch.lattice);
+  ASSERT_EQ(ch.dims.size(), 1u);
+  EXPECT_EQ(ch.dims[0].stride, 4);
+  EXPECT_EQ(ch.dims[0].size, 4);
+}
+
+TEST(Channel, TwoDimensionalLattice) {
+  // {0,1,2} x {0,16,32}: a 3x3 slab of a 16-wide grid
+  auto ranks = lattice(0, {{1, 3}, {16, 3}});
+  core::Channel ch = core::channel_from_ranks(ranks);
+  ASSERT_TRUE(ch.lattice);
+  ASSERT_EQ(ch.dims.size(), 2u);
+  EXPECT_EQ(ch.dims[0].stride, 1);
+  EXPECT_EQ(ch.dims[0].size, 3);
+  EXPECT_EQ(ch.dims[1].stride, 16);
+  EXPECT_EQ(ch.dims[1].size, 3);
+}
+
+TEST(Channel, HashIgnoresOffset) {
+  core::Channel a = core::channel_from_ranks({0, 4, 8});
+  core::Channel b = core::channel_from_ranks({3, 7, 11});
+  EXPECT_NE(a.offset, b.offset);
+  EXPECT_EQ(a.hash(), b.hash());  // same (stride,size): same signature
+}
+
+TEST(Channel, HashSeparatesShapes) {
+  core::Channel a = core::channel_from_ranks({0, 1, 2, 3});
+  core::Channel b = core::channel_from_ranks({0, 2, 4, 6});
+  core::Channel c = core::channel_from_ranks({0, 1, 2});
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(Channel, NonLatticeDetected) {
+  core::Channel ch = core::channel_from_ranks({0, 1, 5});
+  EXPECT_FALSE(ch.lattice);
+  core::Channel ch2 = core::channel_from_ranks({0, 1, 2, 5});
+  EXPECT_FALSE(ch2.lattice);
+}
+
+class LatticeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(LatticeRoundTrip, FactorizationRecoversRankSet) {
+  auto [offset, s1, c1, s2, c2] = GetParam();
+  auto ranks = lattice(offset, {{s1, c1}, {s2, c2}});
+  core::Channel ch = core::channel_from_ranks(ranks);
+  ASSERT_TRUE(ch.lattice);
+  EXPECT_EQ(ch.span(), static_cast<std::int64_t>(ranks.size()));
+  auto rebuilt = ch.world_ranks();
+  ASSERT_EQ(rebuilt.size(), ranks.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    EXPECT_EQ(rebuilt[i], ranks[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattices, LatticeRoundTrip,
+    ::testing::Values(std::tuple{0, 1, 4, 4, 4},    // 4x4 grid
+                      std::tuple{3, 1, 2, 8, 2},    // offset slab
+                      std::tuple{0, 2, 3, 12, 2},   // strided x strided
+                      std::tuple{0, 1, 8, 8, 8},    // 8x8
+                      std::tuple{16, 4, 4, 16, 1},  // single column
+                      std::tuple{0, 1, 64, 64, 1},  // flat range
+                      std::tuple{5, 3, 2, 6, 4}));  // dense stacking
+
+TEST(CombineChannels, RowAndColumnCombine) {
+  // 4x4 grid: row {0,1,2,3} and column {0,4,8,12}
+  core::Channel row = core::channel_from_ranks({0, 1, 2, 3});
+  core::Channel col = core::channel_from_ranks({0, 4, 8, 12});
+  core::Channel out;
+  ASSERT_TRUE(core::combine_channels(row, col, &out));
+  EXPECT_EQ(out.span(), 16);
+  ASSERT_EQ(out.dims.size(), 2u);
+  EXPECT_EQ(out.dims[0].stride, 1);
+  EXPECT_EQ(out.dims[1].stride, 4);
+}
+
+TEST(CombineChannels, OverlappingStridesRejected) {
+  core::Channel a = core::channel_from_ranks({0, 1, 2, 3});
+  core::Channel b = core::channel_from_ranks({0, 1});
+  EXPECT_FALSE(core::combine_channels(a, b, nullptr));
+}
+
+TEST(CombineChannels, NonAdjacentStridesRejected) {
+  // {0,1} (covers stride 1..2) and {0,8}: gap between 2 and 8 means their
+  // union is not a full lattice of 4 ranks with strides 1 and 8... it is a
+  // valid sparse lattice actually, so it must combine (8 >= 1*2).
+  core::Channel a = core::channel_from_ranks({0, 1});
+  core::Channel b = core::channel_from_ranks({0, 8});
+  core::Channel out;
+  EXPECT_TRUE(core::combine_channels(a, b, &out));
+  EXPECT_EQ(out.span(), 4);
+  // But overlapping coverage is rejected: {0..3} and {0,2}
+  core::Channel c = core::channel_from_ranks({0, 1, 2, 3});
+  core::Channel d = core::channel_from_ranks({0, 2});
+  EXPECT_FALSE(core::combine_channels(c, d, nullptr));
+}
+
+TEST(Registry, WorldCoverage) {
+  core::ChannelRegistry reg;
+  const std::uint64_t wh = reg.init_world(16);
+  EXPECT_TRUE(reg.covers_world(wh));
+  EXPECT_EQ(reg.world_span(), 16);
+}
+
+TEST(Registry, RowPlusColumnCoversWorld) {
+  // 4x4 grid on 16 ranks: registering a row channel and a column channel
+  // must produce an aggregate that covers the world (the eager policy's
+  // propagation-complete condition).
+  core::ChannelRegistry reg;
+  reg.init_world(16);
+  const std::uint64_t row = reg.add_channel({0, 1, 2, 3});
+  const std::uint64_t col = reg.add_channel({0, 4, 8, 12});
+  std::uint64_t cov = 0;
+  ASSERT_TRUE(reg.try_extend_coverage(0, row, &cov));
+  EXPECT_EQ(cov, row);
+  ASSERT_TRUE(reg.try_extend_coverage(cov, col, &cov));
+  EXPECT_TRUE(reg.covers_world(cov));
+}
+
+TEST(Registry, ThreeDimensionalGridCoverage) {
+  // 2x2x2 grid on 8 ranks: fibers along each dimension.
+  core::ChannelRegistry reg;
+  reg.init_world(8);
+  const std::uint64_t x = reg.add_channel({0, 1});
+  const std::uint64_t y = reg.add_channel({0, 2});
+  const std::uint64_t z = reg.add_channel({0, 4});
+  std::uint64_t cov = 0;
+  ASSERT_TRUE(reg.try_extend_coverage(0, x, &cov));
+  ASSERT_TRUE(reg.try_extend_coverage(cov, y, &cov));
+  EXPECT_FALSE(reg.covers_world(cov));  // xy plane only
+  ASSERT_TRUE(reg.try_extend_coverage(cov, z, &cov));
+  EXPECT_TRUE(reg.covers_world(cov));
+}
+
+TEST(Registry, SameChannelCannotExtendItself) {
+  core::ChannelRegistry reg;
+  reg.init_world(16);
+  const std::uint64_t row = reg.add_channel({0, 1, 2, 3});
+  std::uint64_t cov = 0;
+  ASSERT_TRUE(reg.try_extend_coverage(0, row, &cov));
+  EXPECT_FALSE(reg.try_extend_coverage(cov, row, &cov));
+}
+
+TEST(Registry, OffsetInstancesShareChannel) {
+  // every row of the 4x4 grid hashes identically
+  core::ChannelRegistry reg;
+  reg.init_world(16);
+  const std::uint64_t r0 = reg.add_channel({0, 1, 2, 3});
+  const std::uint64_t r1 = reg.add_channel({4, 5, 6, 7});
+  const std::uint64_t r3 = reg.add_channel({12, 13, 14, 15});
+  EXPECT_EQ(r0, r1);
+  EXPECT_EQ(r0, r3);
+}

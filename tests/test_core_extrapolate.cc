@@ -1,0 +1,137 @@
+// Cross-size kernel-model extrapolation (the paper's §VIII extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/extrapolate.hpp"
+#include "core/kernels.hpp"
+#include "core/profiler.hpp"
+#include "sim/api.hpp"
+#include "tune/tuner.hpp"
+
+namespace core = critter::core;
+namespace sim = critter::sim;
+
+namespace {
+core::KernelKey gemm_key(int n) {
+  return core::KernelKey{core::KernelClass::Gemm, {n, n, n, 0}, 0};
+}
+}  // namespace
+
+TEST(SizeModel, FitsPowerLawExactly) {
+  // time = 3e-9 * flops^1 — a log-log line with slope 1
+  core::SizeModel m;
+  for (int n : {8, 16, 32, 64}) {
+    const double flops = 2.0 * n * n * n;
+    m.observe(gemm_key(n), flops, 3e-9 * flops);
+  }
+  const double flops48 = 2.0 * 48.0 * 48.0 * 48.0;
+  const double pred = m.predict(gemm_key(48), flops48);
+  ASSERT_GT(pred, 0.0);
+  EXPECT_NEAR(pred, 3e-9 * flops48, 1e-12 + 0.01 * 3e-9 * flops48);
+}
+
+TEST(SizeModel, RefusesWithTooFewPoints) {
+  core::SizeModel m;
+  m.observe(gemm_key(8), 1024, 1e-6);
+  m.observe(gemm_key(16), 8192, 8e-6);
+  EXPECT_LT(m.predict(gemm_key(32), 65536), 0.0);  // needs >= 3 points
+}
+
+TEST(SizeModel, RefusesWithoutSizeSpread) {
+  core::SizeModel m;
+  for (int i = 0; i < 5; ++i)
+    m.observe(gemm_key(16), 8192 + i, 8e-6);  // all ~same size
+  EXPECT_LT(m.predict(gemm_key(32), 65536), 0.0);
+}
+
+TEST(SizeModel, RefusesPoorFits) {
+  core::SizeModel m;
+  // wildly inconsistent times: R^2 gate must reject
+  m.observe(gemm_key(8), 1e3, 1e-3);
+  m.observe(gemm_key(16), 1e4, 1e-9);
+  m.observe(gemm_key(32), 1e5, 1e-2);
+  m.observe(gemm_key(64), 1e6, 1e-8);
+  EXPECT_LT(m.predict(gemm_key(48), 3e5), 0.0);
+}
+
+TEST(SizeModel, BucketsSeparateKernelClassesAndFlags) {
+  core::SizeModel m;
+  core::KernelKey trsm{core::KernelClass::Trsm, {8, 8, 0, 1}, 0};
+  for (int n : {8, 16, 32, 64})
+    m.observe(gemm_key(n), 2.0 * n * n * n, 1e-9 * n * n * n);
+  // gemm bucket trained; trsm bucket untouched
+  EXPECT_GT(m.predict(gemm_key(48), 2.0 * 48 * 48 * 48), 0.0);
+  EXPECT_LT(m.predict(trsm, 2.0 * 48 * 48 * 48), 0.0);
+}
+
+TEST(Extrapolation, SkipsUnseenSizesEndToEnd) {
+  // Train on gemm sizes {16,24,32,48,64} until steady, then invoke a fresh
+  // size (40): with extrapolation on, it must be skipped outright.
+  critter::Config cfg;
+  cfg.policy = critter::Policy::ConditionalExecution;
+  cfg.tolerance = 0.5;
+  cfg.extrapolate = true;
+  critter::Store store(1, cfg);
+  sim::Machine m = sim::Machine::knl_like();
+  m.comp_noise = 0.02;
+  sim::Engine eng(1, m);
+  std::int64_t extrapolated = 0;
+  eng.run([&](sim::RankCtx&) {
+    critter::start(store);
+    for (int it = 0; it < 30; ++it)
+      for (int n : {16, 24, 32, 48, 64})
+        critter::blas::gemm(critter::la::Trans::N, critter::la::Trans::N, n, n,
+                            n, 1.0, nullptr, n, nullptr, n, 0.0, nullptr, n);
+    // fresh size: never executed before
+    critter::blas::gemm(critter::la::Trans::N, critter::la::Trans::N, 40, 40,
+                        40, 1.0, nullptr, 40, nullptr, 40, 0.0, nullptr, 40);
+    extrapolated = critter::prof().local.extrapolated;
+    (void)critter::stop();
+  });
+  EXPECT_EQ(extrapolated, 1);
+  // and the seeded statistics are close to the cost model's mean
+  const auto& K = store.rank(0).K;
+  auto it = K.find(gemm_key(40));
+  ASSERT_NE(it, K.end());
+  const double model = m.gamma * 2.0 * 40 * 40 * 40 + 5.0e-7;
+  EXPECT_NEAR(it->second.mean, model, 0.15 * model);
+}
+
+TEST(Extrapolation, OffByDefault) {
+  critter::Config cfg;
+  cfg.policy = critter::Policy::ConditionalExecution;
+  cfg.tolerance = 0.5;
+  critter::Store store(1, cfg);
+  sim::Engine eng(1, sim::Machine::knl_like());
+  eng.run([&](sim::RankCtx&) {
+    critter::start(store);
+    for (int it = 0; it < 30; ++it)
+      for (int n : {16, 24, 32, 48, 64})
+        critter::blas::gemm(critter::la::Trans::N, critter::la::Trans::N, n, n,
+                            n, 1.0, nullptr, n, nullptr, n, 0.0, nullptr, n);
+    critter::blas::gemm(critter::la::Trans::N, critter::la::Trans::N, 40, 40,
+                        40, 1.0, nullptr, 40, nullptr, 40, 0.0, nullptr, 40);
+    EXPECT_EQ(critter::prof().local.extrapolated, 0);
+    (void)critter::stop();
+  });
+}
+
+TEST(Extrapolation, AcceleratesCandmcTuning) {
+  // The paper names CANDMC's shrinking trailing matrix as the beneficiary:
+  // each panel spawns fresh gemm signatures that the size model collapses.
+  auto study = critter::tune::candmc_qr_study(false);
+  study.configs.resize(4);
+  critter::tune::TuneOptions base, ext;
+  base.policy = ext.policy = critter::Policy::LocalPropagation;
+  base.tolerance = ext.tolerance = 0.25;
+  base.samples = ext.samples = 2;
+  base.reset_per_config = ext.reset_per_config = true;
+  ext.extrapolate = true;
+  auto rb = critter::tune::run_study(study, base);
+  auto re = critter::tune::run_study(study, ext);
+  EXPECT_LT(re.tuning_time, rb.tuning_time)
+      << "cross-size extrapolation should execute fewer kernels";
+  // accuracy must not collapse
+  EXPECT_LT(re.mean_err(), rb.mean_err() + 0.05);
+}

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/stats.hpp"
+
+namespace core = critter::core;
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(core::normal_quantile_two_sided(0.95), 1.9600, 1e-3);
+  EXPECT_NEAR(core::normal_quantile_two_sided(0.99), 2.5758, 1e-3);
+  EXPECT_NEAR(core::normal_quantile_two_sided(0.90), 1.6449, 1e-3);
+  EXPECT_NEAR(core::normal_quantile_two_sided(0.6827), 1.0, 2e-3);
+}
+
+TEST(KernelStats, WelfordMatchesTwoPass) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.5, 2.0);
+  std::vector<double> xs;
+  core::KernelStats ks;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = u(rng);
+    xs.push_back(x);
+    ks.add_sample(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(ks.mean, mean, 1e-12);
+  EXPECT_NEAR(ks.variance(), var, 1e-12);
+}
+
+TEST(KernelStats, MergeEqualsPooledSamples) {
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> g(10.0, 2.0);
+  core::KernelStats a, b, pooled;
+  for (int i = 0; i < 300; ++i) {
+    const double x = g(rng);
+    a.add_sample(x);
+    pooled.add_sample(x);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const double x = g(rng) + 1.0;
+    b.add_sample(x);
+    pooled.add_sample(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.n, pooled.n);
+  EXPECT_NEAR(a.mean, pooled.mean, 1e-10);
+  EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+}
+
+TEST(KernelStats, MergeWithEmptySides) {
+  core::KernelStats a, b;
+  b.add_sample(3.0);
+  b.add_sample(5.0);
+  a.merge(b);  // empty.merge(b) adopts b
+  EXPECT_EQ(a.n, 2);
+  EXPECT_DOUBLE_EQ(a.mean, 4.0);
+  core::KernelStats c;
+  a.merge(c);  // merging empty is a no-op
+  EXPECT_EQ(a.n, 2);
+}
+
+TEST(KernelStats, CiIsInfiniteBeforeMinSamples) {
+  core::KernelStats ks;
+  ks.add_sample(1.0);
+  ks.add_sample(1.1);
+  EXPECT_TRUE(std::isinf(ks.relative_ci(1.96, 1, 3)));
+  ks.add_sample(0.9);
+  EXPECT_TRUE(std::isfinite(ks.relative_ci(1.96, 1, 3)));
+}
+
+TEST(KernelStats, CiShrinksWithSamples) {
+  core::KernelStats ks;
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> g(1.0, 0.2);
+  double prev = 1e300;
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 200; ++i) ks.add_sample(std::abs(g(rng)) + 0.1);
+    const double ci = ks.relative_ci(1.96, 1, 3);
+    EXPECT_LT(ci, prev);
+    prev = ci;
+  }
+}
+
+class CiShrinkByK : public ::testing::TestWithParam<int> {};
+
+TEST_P(CiShrinkByK, SqrtKFactor) {
+  // The paper's core statistical lever: k path occurrences shrink the
+  // relative CI by exactly sqrt(k).
+  const int k = GetParam();
+  core::KernelStats ks;
+  ks.add_sample(1.0);
+  ks.add_sample(1.2);
+  ks.add_sample(0.8);
+  ks.add_sample(1.1);
+  const double base = ks.relative_ci(1.96, 1, 3);
+  const double shrunk = ks.relative_ci(1.96, k, 3);
+  EXPECT_NEAR(shrunk, base / std::sqrt(static_cast<double>(k)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, CiShrinkByK, ::testing::Values(1, 2, 4, 9, 16, 100));
+
+TEST(KernelStats, SteadyRespectsTolerance) {
+  core::KernelStats ks;
+  for (int i = 0; i < 100; ++i) ks.add_sample(1.0 + 0.01 * ((i % 2) ? 1 : -1));
+  // tiny variance: steady at modest tolerance
+  EXPECT_TRUE(ks.is_steady(1.96, 0.01, 1, 3));
+  EXPECT_FALSE(ks.is_steady(1.96, 1e-6, 1, 3));
+  // with k_eff large enough, even the tight tolerance passes
+  EXPECT_TRUE(ks.is_steady(1.96, 1e-6, 1 << 22, 3));
+}
+
+TEST(KernelStats, ZeroMeanNeverSteady) {
+  core::KernelStats ks;
+  for (int i = 0; i < 10; ++i) ks.add_sample(0.0);
+  EXPECT_FALSE(ks.is_steady(1.96, 0.5, 1, 3));
+}
+
+TEST(KernelStats, EpochCountersResetIndependentlyOfSamples) {
+  core::KernelStats ks;
+  ks.add_sample(1.0);
+  ks.invocations_this_epoch = 5;
+  ks.executions_this_epoch = 2;
+  ks.reset_epoch_counters();
+  EXPECT_EQ(ks.invocations_this_epoch, 0);
+  EXPECT_EQ(ks.executions_this_epoch, 0);
+  EXPECT_EQ(ks.n, 1);  // samples survive
+}

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace la = critter::la;
+
+namespace {
+
+la::Matrix naive_gemm(la::Trans ta, la::Trans tb, const la::Matrix& a,
+                      const la::Matrix& b, int m, int n, int k) {
+  la::Matrix c(m, n);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double s = 0;
+      for (int l = 0; l < k; ++l) {
+        const double av = ta == la::Trans::N ? a(i, l) : a(l, i);
+        const double bv = tb == la::Trans::N ? b(l, j) : b(j, l);
+        s += av * bv;
+      }
+      c(i, j) = s;
+    }
+  return c;
+}
+
+}  // namespace
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesNaiveForAllTransposeCombos) {
+  auto [m, n, k, seed] = GetParam();
+  for (la::Trans ta : {la::Trans::N, la::Trans::T})
+    for (la::Trans tb : {la::Trans::N, la::Trans::T}) {
+      la::Matrix a = ta == la::Trans::N ? la::random_matrix(m, k, seed)
+                                        : la::random_matrix(k, m, seed);
+      la::Matrix b = tb == la::Trans::N ? la::random_matrix(k, n, seed + 1)
+                                        : la::random_matrix(n, k, seed + 1);
+      la::Matrix c(m, n);
+      la::gemm(ta, tb, m, n, k, 1.0, a.data(), a.ld(), b.data(), b.ld(), 0.0,
+               c.data(), c.ld());
+      la::Matrix ref = naive_gemm(ta, tb, a, b, m, n, k);
+      EXPECT_LT(la::frob_diff(c, ref), 1e-12) << "ta/tb combo failed";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmShapes,
+                         ::testing::Values(std::tuple{1, 1, 1, 1},
+                                           std::tuple{3, 5, 7, 2},
+                                           std::tuple{8, 8, 8, 3},
+                                           std::tuple{16, 4, 9, 4},
+                                           std::tuple{5, 17, 2, 5},
+                                           std::tuple{32, 32, 32, 6}));
+
+TEST(Gemm, AlphaBetaScaling) {
+  const int n = 6;
+  la::Matrix a = la::random_matrix(n, n, 11);
+  la::Matrix b = la::random_matrix(n, n, 12);
+  la::Matrix c = la::random_matrix(n, n, 13);
+  la::Matrix c2 = c;
+  // c2 = 2*a*b + 3*c
+  la::gemm(la::Trans::N, la::Trans::N, n, n, n, 2.0, a.data(), n, b.data(), n,
+           3.0, c2.data(), n);
+  la::Matrix ab = naive_gemm(la::Trans::N, la::Trans::N, a, b, n, n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(c2(i, j), 2.0 * ab(i, j) + 3.0 * c(i, j), 1e-12);
+}
+
+TEST(Gemm, KZeroOnlyScalesC) {
+  la::Matrix c = la::random_matrix(4, 4, 3);
+  la::Matrix c0 = c;
+  la::gemm(la::Trans::N, la::Trans::N, 4, 4, 0, 1.0, nullptr, 1, nullptr, 1,
+           0.5, c.data(), 4);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 4; ++i) EXPECT_NEAR(c(i, j), 0.5 * c0(i, j), 1e-15);
+}
+
+class SyrkShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SyrkShapes, MatchesGemmOnReferencedTriangle) {
+  auto [n, k] = GetParam();
+  for (la::Uplo uplo : {la::Uplo::Lower, la::Uplo::Upper})
+    for (la::Trans trans : {la::Trans::N, la::Trans::T}) {
+      la::Matrix a = trans == la::Trans::N ? la::random_matrix(n, k, 21)
+                                           : la::random_matrix(k, n, 21);
+      la::Matrix c(n, n), ref(n, n);
+      la::syrk(uplo, trans, n, k, 1.0, a.data(), a.ld(), 0.0, c.data(), n);
+      ref = naive_gemm(trans, trans == la::Trans::N ? la::Trans::T : la::Trans::N,
+                       a, a, n, n, k);
+      for (int j = 0; j < n; ++j)
+        for (int i = 0; i < n; ++i) {
+          const bool in_tri = uplo == la::Uplo::Lower ? i >= j : i <= j;
+          if (in_tri)
+            EXPECT_NEAR(c(i, j), ref(i, j), 1e-12);
+          else
+            EXPECT_EQ(c(i, j), 0.0);  // untouched
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SyrkShapes,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{5, 3},
+                                           std::tuple{8, 8}, std::tuple{13, 6},
+                                           std::tuple{16, 24}));
+
+class TrsmShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TrsmShapes, SolvesAgainstTrmm) {
+  auto [m, n] = GetParam();
+  for (la::Side side : {la::Side::Left, la::Side::Right})
+    for (la::Uplo uplo : {la::Uplo::Lower, la::Uplo::Upper})
+      for (la::Trans trans : {la::Trans::N, la::Trans::T})
+        for (la::Diag diag : {la::Diag::NonUnit, la::Diag::Unit}) {
+          const int asz = side == la::Side::Left ? m : n;
+          la::Matrix a = la::random_matrix(asz, asz, 31);
+          for (int i = 0; i < asz; ++i) a(i, i) += asz;  // well-conditioned
+          la::Matrix x = la::random_matrix(m, n, 32);
+          la::Matrix b = x;
+          // b = op(A)*x (or x*op(A)); then solve and compare to x.
+          la::trmm(side, uplo, trans, diag, m, n, 1.0, a.data(), asz, b.data(), m);
+          la::trsm(side, uplo, trans, diag, m, n, 1.0, a.data(), asz, b.data(), m);
+          EXPECT_LT(la::frob_diff(b, x), 1e-10)
+              << "side=" << static_cast<int>(side) << " uplo=" << static_cast<int>(uplo)
+              << " trans=" << static_cast<int>(trans) << " diag=" << static_cast<int>(diag);
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TrsmShapes,
+                         ::testing::Values(std::tuple{1, 1}, std::tuple{4, 7},
+                                           std::tuple{9, 3}, std::tuple{12, 12},
+                                           std::tuple{20, 5}));
+
+TEST(Trmm, UnitDiagonalIgnoresStoredDiagonal) {
+  const int n = 5;
+  la::Matrix a = la::random_matrix(n, n, 41);
+  la::Matrix b = la::random_matrix(n, n, 42);
+  la::Matrix b1 = b, b2 = b;
+  la::Matrix a2 = a;
+  for (int i = 0; i < n; ++i) a2(i, i) = 123.0;  // should be ignored
+  la::trmm(la::Side::Left, la::Uplo::Lower, la::Trans::N, la::Diag::Unit, n, n,
+           1.0, a.data(), n, b1.data(), n);
+  la::trmm(la::Side::Left, la::Uplo::Lower, la::Trans::N, la::Diag::Unit, n, n,
+           1.0, a2.data(), n, b2.data(), n);
+  EXPECT_LT(la::frob_diff(b1, b2), 1e-15);
+}
+
+TEST(Trmm, AlphaScales) {
+  const int n = 4;
+  la::Matrix a = la::random_matrix(n, n, 51);
+  la::Matrix b = la::random_matrix(n, n, 52);
+  la::Matrix b1 = b, b2 = b;
+  la::trmm(la::Side::Right, la::Uplo::Upper, la::Trans::T, la::Diag::NonUnit,
+           n, n, 2.0, a.data(), n, b1.data(), n);
+  la::trmm(la::Side::Right, la::Uplo::Upper, la::Trans::T, la::Diag::NonUnit,
+           n, n, 1.0, a.data(), n, b2.data(), n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(b1(i, j), 2.0 * b2(i, j), 1e-12);
+}
+
+TEST(Flops, FormulasArePositiveAndScale) {
+  EXPECT_DOUBLE_EQ(la::gemm_flops(2, 3, 4), 48.0);
+  EXPECT_GT(la::syrk_flops(8, 4), 0.0);
+  EXPECT_GT(la::trsm_flops(la::Side::Left, 4, 8), la::trsm_flops(la::Side::Left, 4, 4));
+  EXPECT_GT(la::trmm_flops(la::Side::Right, 4, 8), 0.0);
+}

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/lapack.hpp"
+#include "la/matrix.hpp"
+
+namespace la = critter::la;
+
+class PotrfSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(PotrfSizes, LowerReconstructsA) {
+  const int n = GetParam();
+  la::Matrix a = la::random_spd(n, 7);
+  la::Matrix l = a;
+  ASSERT_EQ(la::potrf(la::Uplo::Lower, n, l.data(), n), 0);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < j; ++i) l(i, j) = 0.0;  // zero strict upper
+  EXPECT_LT(la::cholesky_residual(a, l), 1e-12);
+}
+
+TEST_P(PotrfSizes, UpperMatchesLowerTransposed) {
+  const int n = GetParam();
+  la::Matrix a = la::random_spd(n, 8);
+  la::Matrix lo = a, up = a;
+  ASSERT_EQ(la::potrf(la::Uplo::Lower, n, lo.data(), n), 0);
+  ASSERT_EQ(la::potrf(la::Uplo::Upper, n, up.data(), n), 0);
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) EXPECT_NEAR(lo(i, j), up(j, i), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PotrfSizes, ::testing::Values(1, 2, 3, 8, 17, 64));
+
+TEST(Potrf, DetectsIndefiniteMatrix) {
+  la::Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;  // not SPD
+  a(2, 2) = 1.0;
+  EXPECT_EQ(la::potrf(la::Uplo::Lower, 3, a.data(), 3), 2);
+}
+
+class TrtriSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrtriSizes, InverseTimesOriginalIsIdentity) {
+  const int n = GetParam();
+  for (la::Uplo uplo : {la::Uplo::Lower, la::Uplo::Upper}) {
+    la::Matrix a = la::random_matrix(n, n, 9);
+    for (int i = 0; i < n; ++i) a(i, i) += n;
+    // zero the unused triangle so products stay clean
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        if (uplo == la::Uplo::Lower ? i < j : i > j) a(i, j) = 0.0;
+    la::Matrix inv = a;
+    ASSERT_EQ(la::trtri(uplo, la::Diag::NonUnit, n, inv.data(), n), 0);
+    la::Matrix prod(n, n);
+    la::gemm(la::Trans::N, la::Trans::N, n, n, n, 1.0, a.data(), n, inv.data(),
+             n, 0.0, prod.data(), n);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TrtriSizes, ::testing::Values(1, 2, 5, 16, 33));
+
+TEST(Trtri, UnitDiagVariant) {
+  const int n = 6;
+  la::Matrix a = la::random_matrix(n, n, 10);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) a(i, j) = (i == j) ? 1.0 : 0.0;
+  la::Matrix inv = a;
+  ASSERT_EQ(la::trtri(la::Uplo::Lower, la::Diag::Unit, n, inv.data(), n), 0);
+  la::Matrix prod(n, n);
+  la::gemm(la::Trans::N, la::Trans::N, n, n, n, 1.0, a.data(), n, inv.data(), n,
+           0.0, prod.data(), n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+class GetrfSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(GetrfSizes, SolvesLinearSystems) {
+  const int n = GetParam();
+  la::Matrix a = la::random_matrix(n, n, 11);
+  for (int i = 0; i < n; ++i) a(i, i) += 2.0;
+  la::Matrix x = la::random_matrix(n, 3, 12);
+  la::Matrix b(n, 3);
+  la::gemm(la::Trans::N, la::Trans::N, n, 3, n, 1.0, a.data(), n, x.data(), n,
+           0.0, b.data(), n);
+  la::Matrix lu = a;
+  std::vector<int> ipiv(n);
+  ASSERT_EQ(la::getrf(n, n, lu.data(), n, ipiv.data()), 0);
+  la::getrs(la::Trans::N, n, 3, lu.data(), n, ipiv.data(), b.data(), n);
+  EXPECT_LT(la::frob_diff(b, x), 1e-9);
+}
+
+TEST_P(GetrfSizes, SolvesTransposedSystems) {
+  const int n = GetParam();
+  la::Matrix a = la::random_matrix(n, n, 13);
+  for (int i = 0; i < n; ++i) a(i, i) += 2.0;
+  la::Matrix x = la::random_matrix(n, 2, 14);
+  la::Matrix b(n, 2);
+  la::gemm(la::Trans::T, la::Trans::N, n, 2, n, 1.0, a.data(), n, x.data(), n,
+           0.0, b.data(), n);
+  la::Matrix lu = a;
+  std::vector<int> ipiv(n);
+  ASSERT_EQ(la::getrf(n, n, lu.data(), n, ipiv.data()), 0);
+  la::getrs(la::Trans::T, n, 2, lu.data(), n, ipiv.data(), b.data(), n);
+  EXPECT_LT(la::frob_diff(b, x), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GetrfSizes, ::testing::Values(1, 2, 4, 9, 32));
+
+TEST(Getrf, PivotingHandlesZeroLeadingEntry) {
+  la::Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  std::vector<int> ipiv(2);
+  EXPECT_EQ(la::getrf(2, 2, a.data(), 2, ipiv.data()), 0);
+  EXPECT_EQ(ipiv[0], 1);
+}
+
+namespace {
+
+/// Rebuild A from geqrf output and compare.
+void check_qr(int m, int n, int nb, std::uint64_t seed) {
+  la::Matrix a0 = la::random_matrix(m, n, seed);
+  la::Matrix a = a0;
+  std::vector<double> tau(std::min(m, n));
+  la::geqrf(m, n, a.data(), m, tau.data(), nb);
+
+  // R = upper triangle of a
+  la::Matrix r(m, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= std::min(j, m - 1); ++i) r(i, j) = a(i, j);
+  // QR = Q * R via ormqr (apply Q to R)
+  la::ormqr(la::Side::Left, la::Trans::N, m, n, static_cast<int>(tau.size()),
+            a.data(), m, tau.data(), r.data(), m, nb);
+  EXPECT_LT(la::frob_diff(r, a0), 1e-11 * (1.0 + la::frob_norm(m, n, a0.data(), m)));
+}
+
+}  // namespace
+
+class QrShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(QrShapes, ReconstructsA) {
+  auto [m, n, nb] = GetParam();
+  check_qr(m, n, nb, 17);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapes,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{8, 8, 4},
+                                           std::tuple{13, 5, 3},
+                                           std::tuple{32, 32, 8},
+                                           std::tuple{40, 12, 5},
+                                           std::tuple{64, 16, 16}));
+
+TEST(Qr, ExplicitQIsOrthonormal) {
+  const int m = 24, n = 10;
+  la::Matrix a = la::random_matrix(m, n, 19);
+  std::vector<double> tau(n);
+  la::geqrf(m, n, a.data(), m, tau.data(), 4);
+  la::orgqr(m, n, n, a.data(), m, tau.data(), 4);
+  EXPECT_LT(la::orthogonality_error(a), 1e-12);
+}
+
+TEST(Qr, QTransposeQIsIdentityViaOrmqr) {
+  const int m = 20, n = 6;
+  la::Matrix a = la::random_matrix(m, n, 23);
+  la::Matrix a0 = a;
+  std::vector<double> tau(n);
+  la::geqrf(m, n, a.data(), m, tau.data(), 3);
+  // Apply Q^T to the original A: should produce R (zero below diagonal).
+  la::ormqr(la::Side::Left, la::Trans::T, m, n, n, a.data(), m, tau.data(),
+            a0.data(), m, 3);
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < m; ++i) EXPECT_NEAR(a0(i, j), 0.0, 1e-11);
+}
+
+TEST(Flops, LapackFormulas) {
+  EXPECT_NEAR(la::potrf_flops(10), 1000.0 / 3.0, 1e-9);
+  EXPECT_GT(la::geqrf_flops(100, 50), la::geqrf_flops(50, 50));
+  EXPECT_GT(la::getrf_flops(64, 64), 0.0);
+  EXPECT_GT(la::ormqr_flops(la::Side::Left, 32, 8, 8), 0.0);
+}

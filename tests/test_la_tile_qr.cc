@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+#include "la/tile_qr.hpp"
+
+namespace la = critter::la;
+
+namespace {
+
+/// Apply the geqrt reflectors to the identity to extract explicit Q (m x m).
+la::Matrix geqrt_q(int m, int n, const la::Matrix& v, const la::Matrix& t) {
+  la::Matrix q(m, m);
+  for (int i = 0; i < m; ++i) q(i, i) = 1.0;
+  // Q = H_0...H_{n-1}; apply block reflector: Q = (I - V T V^T) on identity.
+  // Use tpmqrt-style math by splitting V into [unit-lower; rest]: easier to
+  // apply reflectors one at a time from the stored vectors.
+  for (int j = n - 1; j >= 0; --j) {
+    // v_j = [0.. 1 v(j+1..m-1, j)]
+    std::vector<double> vec(m, 0.0);
+    vec[j] = 1.0;
+    for (int i = j + 1; i < m; ++i) vec[i] = v(i, j);
+    // tau_j = t(j, j) only if T were built column-by-column; recover tau from
+    // T diagonal (geqrt stores tau on the diagonal of T).
+    const double tau = t(j, j);
+    // q = (I - tau v v^T) q
+    for (int c = 0; c < m; ++c) {
+      double w = 0.0;
+      for (int i = j; i < m; ++i) w += vec[i] * q(i, c);
+      w *= tau;
+      for (int i = j; i < m; ++i) q(i, c) -= vec[i] * w;
+    }
+  }
+  return q;
+}
+
+}  // namespace
+
+class GeqrtShapes : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GeqrtShapes, QRReconstructsTile) {
+  auto [m, n] = GetParam();
+  la::Matrix a0 = la::random_matrix(m, n, 31);
+  la::Matrix a = a0;
+  la::Matrix t(n, n);
+  la::geqrt(m, n, a.data(), m, t.data(), n);
+
+  la::Matrix q = geqrt_q(m, n, a, t);
+  // R = upper triangle
+  la::Matrix r(m, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= std::min(j, m - 1); ++i) r(i, j) = a(i, j);
+  la::Matrix qr(m, n);
+  la::gemm(la::Trans::N, la::Trans::N, m, n, m, 1.0, q.data(), m, r.data(), m,
+           0.0, qr.data(), m);
+  EXPECT_LT(la::frob_diff(qr, a0), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GeqrtShapes,
+                         ::testing::Values(std::tuple{4, 4}, std::tuple{8, 4},
+                                           std::tuple{16, 16},
+                                           std::tuple{24, 8},
+                                           std::tuple{9, 3}));
+
+class TpqrtCase
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TpqrtCase, StackedQRMatchesDirectQR) {
+  auto [m, n, l] = GetParam();
+  // A: n x n upper triangular (from a prior QR); B: m x n (dense or upper
+  // triangular if l == n).
+  la::Matrix a = la::random_matrix(n, n, 41);
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) a(i, j) = 0.0;
+  for (int i = 0; i < n; ++i) a(i, i) += 2.0;
+  la::Matrix b = la::random_matrix(m, n, 42);
+  if (l == n)
+    for (int j = 0; j < n; ++j)
+      for (int i = j + 1; i < m; ++i) b(i, j) = 0.0;
+
+  // Stack [A; B] for the reference factorization.
+  la::Matrix stacked(n + m, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) stacked(i, j) = a(i, j);
+    for (int i = 0; i < m; ++i) stacked(n + i, j) = b(i, j);
+  }
+
+  la::Matrix t(n, n);
+  la::tpqrt(m, n, l, a.data(), n, b.data(), m, t.data(), n);
+
+  // |R| from tpqrt must match |R| from a dense QR of the stack (signs may
+  // differ by a diagonal +-1).
+  la::Matrix ref = stacked;
+  la::Matrix tref(n, n);
+  la::geqrt(n + m, n, ref.data(), n + m, tref.data(), n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i)
+      EXPECT_NEAR(std::abs(a(i, j)), std::abs(ref(i, j)), 1e-10)
+          << "R mismatch at " << i << "," << j;
+}
+
+TEST_P(TpqrtCase, TpmqrtAppliesQTCorrectly) {
+  auto [m, n, l] = GetParam();
+  la::Matrix a = la::random_matrix(n, n, 51);
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) a(i, j) = 0.0;
+  for (int i = 0; i < n; ++i) a(i, i) += 2.0;
+  la::Matrix b = la::random_matrix(m, n, 52);
+  if (l == n)
+    for (int j = 0; j < n; ++j)
+      for (int i = j + 1; i < m; ++i) b(i, j) = 0.0;
+
+  la::Matrix a_f = a, b_f = b, t(n, n);
+  la::tpqrt(m, n, l, a_f.data(), n, b_f.data(), m, t.data(), n);
+
+  // Applying Q^T to the original stacked [A; B] must give [R; 0].
+  la::Matrix top = a, bot = b;
+  la::tpmqrt(la::Trans::T, m, n, n, b_f.data(), m, t.data(), n, top.data(), n,
+             bot.data(), m);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) EXPECT_NEAR(top(i, j), a_f(i, j), 1e-10);
+    for (int i = 0; i < m; ++i) EXPECT_NEAR(bot(i, j), 0.0, 1e-10);
+  }
+
+  // And Q Q^T = I: applying Q after Q^T restores the original stack.
+  la::tpmqrt(la::Trans::N, m, n, n, b_f.data(), m, t.data(), n, top.data(), n,
+             bot.data(), m);
+  EXPECT_LT(la::frob_diff(top, a), 1e-10);
+  EXPECT_LT(la::frob_diff(bot, b), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, TpqrtCase,
+                         ::testing::Values(std::tuple{4, 4, 0},
+                                           std::tuple{8, 4, 0},
+                                           std::tuple{16, 8, 0},
+                                           std::tuple{4, 4, 4},
+                                           std::tuple{8, 8, 8},
+                                           std::tuple{12, 6, 6}));
+
+TEST(TileQrFlops, AccountForPentagonalStructure) {
+  EXPECT_GT(la::tpqrt_flops(16, 8, 0), la::tpqrt_flops(16, 8, 8));
+  EXPECT_GT(la::tpmqrt_flops(16, 8, 8, 0), la::tpmqrt_flops(16, 8, 8, 8));
+  EXPECT_GT(la::geqrt_flops(16, 8), 0.0);
+}

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/api.hpp"
+#include "sim/engine.hpp"
+
+namespace sim = critter::sim;
+
+namespace {
+sim::Machine quiet() { return sim::Machine::noiseless(); }
+}  // namespace
+
+class CollectiveRankCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveRankCounts, BcastDeliversRootData) {
+  const int p = GetParam();
+  sim::Engine e(p, quiet());
+  e.run([&](sim::RankCtx& ctx) {
+    std::vector<double> buf(8, ctx.rank == 2 % p ? 3.25 : -1.0);
+    sim::bcast(buf.data(), 8 * 8, 2 % p, sim::world());
+    for (double v : buf) EXPECT_DOUBLE_EQ(v, 3.25);
+  });
+}
+
+TEST_P(CollectiveRankCounts, AllreduceSumsContributions) {
+  const int p = GetParam();
+  sim::Engine e(p, quiet());
+  e.run([&](sim::RankCtx& ctx) {
+    double x = ctx.rank + 1.0, y = 0.0;
+    sim::allreduce(&x, &y, 8, sim::reduce_sum_double(), sim::world());
+    EXPECT_DOUBLE_EQ(y, p * (p + 1) / 2.0);
+  });
+}
+
+TEST_P(CollectiveRankCounts, ReduceMaxAtRootOnly) {
+  const int p = GetParam();
+  sim::Engine e(p, quiet());
+  e.run([&](sim::RankCtx& ctx) {
+    double x = static_cast<double>(ctx.rank), y = -1.0;
+    sim::reduce(&x, &y, 8, sim::reduce_max_double(), 0, sim::world());
+    if (ctx.rank == 0) EXPECT_DOUBLE_EQ(y, p - 1.0);
+    else EXPECT_DOUBLE_EQ(y, -1.0);
+  });
+}
+
+TEST_P(CollectiveRankCounts, AllgatherConcatenatesInRankOrder) {
+  const int p = GetParam();
+  sim::Engine e(p, quiet());
+  e.run([&](sim::RankCtx& ctx) {
+    std::int64_t mine = 100 + ctx.rank;
+    std::vector<std::int64_t> all(p);
+    sim::allgather(&mine, 8, all.data(), sim::world());
+    for (int r = 0; r < p; ++r) EXPECT_EQ(all[r], 100 + r);
+  });
+}
+
+TEST_P(CollectiveRankCounts, GatherScatterRoundTrip) {
+  const int p = GetParam();
+  sim::Engine e(p, quiet());
+  e.run([&](sim::RankCtx& ctx) {
+    const int root = p / 2;
+    std::int64_t mine = 7 * ctx.rank + 1;
+    std::vector<std::int64_t> gathered(ctx.rank == root ? p : 0);
+    sim::gather(&mine, 8, gathered.data(), root, sim::world());
+    std::int64_t back = -1;
+    sim::scatter(ctx.rank == root ? gathered.data() : nullptr, 8, &back, root,
+                 sim::world());
+    EXPECT_EQ(back, mine);
+  });
+}
+
+TEST_P(CollectiveRankCounts, BarrierSynchronizesClocks) {
+  const int p = GetParam();
+  sim::Engine e(p, quiet());
+  e.run([&](sim::RankCtx& ctx) {
+    sim::advance(static_cast<double>(ctx.rank));  // rank r is r seconds late
+    sim::barrier(sim::world());
+    EXPECT_GE(sim::now(), p - 1.0);  // everyone leaves after the last arrival
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveRankCounts,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 64));
+
+TEST(Collectives, CostMatchesMachineModel) {
+  const sim::Machine m = quiet();
+  const int p = 8, bytes = 4096;
+  sim::Engine e(p, m);
+  e.run([&](sim::RankCtx&) {
+    std::vector<char> buf(bytes);
+    sim::bcast(buf.data(), bytes, 0, sim::world());
+    EXPECT_NEAR(sim::now(), m.coll_cost(sim::CollType::Bcast, bytes, p), 1e-15);
+  });
+}
+
+TEST(Collectives, SplitByParityFormsTwoGroups) {
+  sim::Engine e(8, quiet());
+  e.run([&](sim::RankCtx& ctx) {
+    sim::Comm half = sim::split(sim::world(), ctx.rank % 2, ctx.rank);
+    EXPECT_EQ(sim::comm_size(half), 4);
+    EXPECT_EQ(sim::comm_rank(half), ctx.rank / 2);
+    // Members are the world ranks of my parity class, ascending.
+    const auto& mem = sim::engine().comm_members(half);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(mem[i], 2 * i + ctx.rank % 2);
+    // Collectives on the sub-communicator work.
+    std::int64_t x = ctx.rank, s = 0;
+    sim::allreduce(&x, &s, 8, sim::reduce_sum_i64(), half);
+    EXPECT_EQ(s, ctx.rank % 2 == 0 ? 0 + 2 + 4 + 6 : 1 + 3 + 5 + 7);
+  });
+}
+
+TEST(Collectives, SplitKeyControlsLocalRankOrder) {
+  sim::Engine e(4, quiet());
+  e.run([&](sim::RankCtx& ctx) {
+    // reverse order by key
+    sim::Comm c = sim::split(sim::world(), 0, 100 - ctx.rank);
+    EXPECT_EQ(sim::comm_rank(c), 3 - ctx.rank);
+  });
+}
+
+TEST(Collectives, NestedSplitGrid) {
+  // 4x4 grid: row comms and column comms.
+  sim::Engine e(16, quiet());
+  e.run([&](sim::RankCtx& ctx) {
+    const int row = ctx.rank / 4, col = ctx.rank % 4;
+    sim::Comm rowc = sim::split(sim::world(), row, col);
+    sim::Comm colc = sim::split(sim::world(), col, row);
+    EXPECT_EQ(sim::comm_size(rowc), 4);
+    EXPECT_EQ(sim::comm_size(colc), 4);
+    std::int64_t x = ctx.rank, rs = 0, cs = 0;
+    sim::allreduce(&x, &rs, 8, sim::reduce_sum_i64(), rowc);
+    sim::allreduce(&x, &cs, 8, sim::reduce_sum_i64(), colc);
+    EXPECT_EQ(rs, 4 * (4 * row) + 0 + 1 + 2 + 3);
+    EXPECT_EQ(cs, 4 * col + 0 + 4 + 8 + 12);
+  });
+}
+
+TEST(Collectives, MismatchedTypesThrow) {
+  sim::Engine e(2, quiet());
+  EXPECT_THROW(e.run([&](sim::RankCtx& ctx) {
+    std::int64_t x = 0, y = 0;
+    if (ctx.rank == 0)
+      sim::allreduce(&x, &y, 8, sim::reduce_sum_i64(), sim::world());
+    else
+      sim::barrier(sim::world());
+  }),
+               std::runtime_error);
+}
+
+TEST(Collectives, MismatchedBytesThrow) {
+  sim::Engine e(2, quiet());
+  EXPECT_THROW(e.run([&](sim::RankCtx& ctx) {
+    std::vector<char> b(32);
+    sim::bcast(b.data(), ctx.rank == 0 ? 16 : 32, 0, sim::world());
+  }),
+               std::runtime_error);
+}
+
+TEST(Collectives, NonblockingAllreduceOverlaps) {
+  const sim::Machine m = quiet();
+  sim::Engine e(4, m);
+  e.run([&](sim::RankCtx&) {
+    double x = 1.0, y = 0.0;
+    sim::Request r = sim::iallreduce(&x, &y, 8, sim::reduce_sum_double(), sim::world());
+    sim::advance(1.0);  // all ranks compute while the allreduce happens
+    sim::wait(r);
+    EXPECT_DOUBLE_EQ(y, 4.0);
+    // completion = max arrival (0) + cost, overlapped by the 1s compute
+    EXPECT_DOUBLE_EQ(sim::now(), 1.0);
+  });
+}
+
+TEST(Collectives, ModelModeNullBuffersMoveNoDataButCost) {
+  const sim::Machine m = quiet();
+  const int p = 4, bytes = 1 << 16;
+  sim::Engine e(p, m);
+  e.run([&](sim::RankCtx&) {
+    sim::bcast(nullptr, bytes, 0, sim::world());
+    EXPECT_NEAR(sim::now(), m.coll_cost(sim::CollType::Bcast, bytes, p), 1e-15);
+  });
+}
+
+TEST(Collectives, ManySmallCollectivesAccumulateLatency) {
+  const sim::Machine m = quiet();
+  const int iters = 100;
+  sim::Engine e(4, m);
+  e.run([&](sim::RankCtx&) {
+    for (int i = 0; i < iters; ++i) sim::barrier(sim::world());
+    EXPECT_NEAR(sim::now(),
+                iters * m.coll_cost(sim::CollType::Barrier, 0, 4), 1e-12);
+  });
+}

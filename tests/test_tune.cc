@@ -1,0 +1,171 @@
+// Autotuning harness: config-space structure, tuner protocol, and the
+// paper's qualitative claims at small scale.
+#include <gtest/gtest.h>
+
+#include "tune/tuner.hpp"
+
+namespace tune = critter::tune;
+using critter::Policy;
+
+TEST(ConfigSpaces, SizesMatchPaper) {
+  EXPECT_EQ(tune::capital_cholesky_study(false).configs.size(), 15u);
+  EXPECT_EQ(tune::slate_cholesky_study(false).configs.size(), 20u);
+  EXPECT_EQ(tune::candmc_qr_study(false).configs.size(), 15u);
+  EXPECT_EQ(tune::slate_qr_study(false).configs.size(), 63u);
+}
+
+TEST(ConfigSpaces, CapitalFormula) {
+  auto s = tune::capital_cholesky_study(false);
+  EXPECT_EQ(s.configs[0].block_size, 24);
+  EXPECT_EQ(s.configs[4].block_size, 24 << 4);
+  EXPECT_EQ(s.configs[0].base_strategy, 1);
+  EXPECT_EQ(s.configs[5].base_strategy, 2);
+  EXPECT_EQ(s.configs[14].base_strategy, 3);
+}
+
+TEST(ConfigSpaces, PaperScaleMatchesPaperText) {
+  auto cap = tune::capital_cholesky_study(true);
+  EXPECT_EQ(cap.nranks, 512);
+  EXPECT_EQ(cap.n, 16384);
+  EXPECT_EQ(cap.configs[1].block_size, 256);
+  auto cq = tune::candmc_qr_study(true);
+  EXPECT_EQ(cq.nranks, 4096);
+  EXPECT_EQ(cq.configs[5].pr, 128);
+  EXPECT_EQ(cq.configs[5].pc, 32);
+  auto sq = tune::slate_qr_study(true);
+  EXPECT_EQ(sq.configs.size(), 63u);
+  EXPECT_EQ(sq.configs[0].panel_w, 8);
+  EXPECT_EQ(sq.configs[2].panel_w, 32);
+  EXPECT_EQ(sq.configs[21].pr, 32);
+}
+
+TEST(ConfigSpaces, GridShapesAreValid) {
+  for (bool paper : {false}) {
+    for (auto study : {tune::candmc_qr_study(paper), tune::slate_qr_study(paper)})
+      for (const auto& c : study.configs) {
+        EXPECT_EQ(c.pr * c.pc, study.nranks) << study.name << " cfg " << c.index;
+      }
+  }
+}
+
+TEST(Tuner, MeasureConfigProducesBspProfile) {
+  auto study = tune::capital_cholesky_study(false);
+  critter::Report r = tune::measure_config(study, study.configs[2]);
+  EXPECT_GT(r.critical.exec_time, 0.0);
+  EXPECT_GT(r.critical.sync_cost, 0.0);
+  EXPECT_GT(r.critical.comm_cost, 0.0);
+  EXPECT_GT(r.volavg.comp_cost, 0.0);
+  EXPECT_LE(r.volavg.comp_cost, r.critical.comp_cost);
+}
+
+TEST(Tuner, LooseToleranceTunesFasterThanTight) {
+  auto study = tune::capital_cholesky_study(false);
+  study.configs.resize(5);  // keep the test quick
+  tune::TuneOptions loose, tight;
+  loose.policy = tight.policy = Policy::ConditionalExecution;
+  loose.tolerance = 0.5;
+  tight.tolerance = 1.0 / 1024.0;
+  loose.samples = tight.samples = 2;
+  auto rl = tune::run_study(study, loose);
+  auto rt = tune::run_study(study, tight);
+  EXPECT_LT(rl.tuning_time, rt.tuning_time);
+  // and the tight run predicts better (or at least as well)
+  EXPECT_LE(rt.mean_err(), rl.mean_err() * 1.5 + 0.02);
+}
+
+TEST(Tuner, SelectiveTuningBeatsFullExecution) {
+  auto study = tune::capital_cholesky_study(false);
+  study.configs.resize(6);
+  tune::TuneOptions opt;
+  opt.policy = Policy::OnlinePropagation;
+  opt.tolerance = 0.25;
+  opt.samples = 2;
+  auto r = tune::run_study(study, opt);
+  EXPECT_LT(r.tuning_time, r.full_time)
+      << "selective execution should accelerate the search";
+  EXPECT_LT(r.mean_err(), 0.15);
+  std::int64_t skipped = 0;
+  for (const auto& c : r.per_config) skipped += c.skipped;
+  EXPECT_GT(skipped, 0);
+}
+
+TEST(Tuner, PredictionSelectsNearOptimalConfig) {
+  auto study = tune::capital_cholesky_study(false);
+  tune::TuneOptions opt;
+  opt.policy = Policy::ConditionalExecution;
+  opt.tolerance = 0.25;
+  opt.samples = 2;
+  auto r = tune::run_study(study, opt);
+  // paper: chosen config achieves >= 99% of the optimum; we allow 95%
+  // at reduced scale/noise.
+  EXPECT_GT(r.selection_quality(), 0.95);
+}
+
+TEST(Tuner, AprioriChargesOfflinePass) {
+  auto study = tune::capital_cholesky_study(false);
+  study.configs.resize(3);
+  tune::TuneOptions ap, cond;
+  ap.policy = Policy::AprioriPropagation;
+  cond.policy = Policy::ConditionalExecution;
+  ap.tolerance = cond.tolerance = 0.25;
+  ap.samples = cond.samples = 1;
+  auto ra = tune::run_study(study, ap);
+  auto rc = tune::run_study(study, cond);
+  // the offline full pass makes apriori slower than conditional here
+  EXPECT_GT(ra.tuning_time, rc.tuning_time * 0.9);
+}
+
+TEST(Tuner, SlateCholeskyRuns) {
+  auto study = tune::slate_cholesky_study(false);
+  study.configs = {study.configs[0], study.configs[1], study.configs[19]};
+  tune::TuneOptions opt;
+  opt.policy = Policy::OnlinePropagation;
+  opt.tolerance = 0.25;
+  opt.samples = 1;
+  opt.reset_per_config = true;
+  auto r = tune::run_study(study, opt);
+  EXPECT_EQ(r.per_config.size(), 3u);
+  for (const auto& c : r.per_config) EXPECT_GT(c.true_time, 0.0);
+}
+
+TEST(Tuner, CandmcQrRuns) {
+  auto study = tune::candmc_qr_study(false);
+  study.configs = {study.configs[2], study.configs[7], study.configs[12]};
+  tune::TuneOptions opt;
+  opt.policy = Policy::LocalPropagation;
+  opt.tolerance = 0.25;
+  opt.samples = 1;
+  opt.reset_per_config = true;
+  auto r = tune::run_study(study, opt);
+  for (const auto& c : r.per_config) {
+    EXPECT_GT(c.true_time, 0.0);
+    EXPECT_GT(c.pred_time, 0.0);
+  }
+}
+
+TEST(Tuner, SlateQrRuns) {
+  auto study = tune::slate_qr_study(false);
+  study.configs = {study.configs[0], study.configs[31], study.configs[62]};
+  tune::TuneOptions opt;
+  opt.policy = Policy::ConditionalExecution;
+  opt.tolerance = 0.25;
+  opt.samples = 1;
+  opt.reset_per_config = true;
+  auto r = tune::run_study(study, opt);
+  for (const auto& c : r.per_config) EXPECT_GT(c.true_time, 0.0);
+}
+
+TEST(Tuner, EagerReusesModelsAcrossConfigs) {
+  auto study = tune::capital_cholesky_study(false);
+  study.configs.resize(6);
+  tune::TuneOptions eager, cond;
+  eager.policy = Policy::EagerPropagation;
+  cond.policy = Policy::ConditionalExecution;
+  eager.tolerance = cond.tolerance = 0.5;
+  eager.samples = cond.samples = 2;
+  auto re = tune::run_study(study, eager);
+  auto rc = tune::run_study(study, cond);
+  EXPECT_LT(re.tuning_time, rc.tuning_time)
+      << "eager propagation should beat conditional execution at loose "
+         "tolerances (paper Fig. 4a)";
+}

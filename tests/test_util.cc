@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace cu = critter::util;
+
+TEST(Rng, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(cu::mix64(42), cu::mix64(42));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(cu::mix64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Rng, U01InRange) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const double u = cu::u01_from_bits(cu::mix64(i));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, LognormalFactorHasUnitMean) {
+  const double sigma = 0.3;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    sum += cu::lognormal_factor(sigma, 123 + i, 456 + 31 * i);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, LognormalZeroSigmaIsExactlyOne) {
+  EXPECT_EQ(cu::lognormal_factor(0.0, 1, 2), 1.0);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  double s = 0, s2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double z = cu::normal_from_keys(7 * i + 1, 13 * i + 5);
+    s += z;
+    s2 += z * z;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.02);
+  EXPECT_NEAR(s2 / n, 1.0, 0.02);
+}
+
+TEST(Table, CsvRoundTrip) {
+  cu::Table t("demo");
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  t.row({"x", cu::Table::num(1.5, 1)});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\nx,1.5\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  cu::Table t("demo");
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::runtime_error);
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--alpha=2.5", "--verbose", "--n=42"};
+  cu::Options o(4, const_cast<char**>(argv));
+  EXPECT_TRUE(o.has("verbose"));
+  EXPECT_FALSE(o.has("quiet"));
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 0.0), 2.5);
+  EXPECT_EQ(o.get_int("n", 0), 42);
+  EXPECT_EQ(o.get_int("missing", 7), 7);
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(cu::Options(2, const_cast<char**>(argv)), std::runtime_error);
+}
