@@ -1,0 +1,186 @@
+// Engine hot-path microbenchmark: scheduler events/sec and p2p/collective
+// throughput, plus the headline SLATE-Cholesky simulation workload.
+//
+// Emits both a human-readable table and the BENCH_*.json shape used to
+// track the perf trajectory across PRs:
+//
+//   { "bench": "engine",
+//     "results": [ {"name": ..., "value": ..., "unit": ...}, ... ] }
+//
+// CRITTER_BENCH_JSON overrides the output path (default BENCH_engine.json);
+// CRITTER_BENCH_REPS scales the inner iteration counts.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/api.hpp"
+#include "tune/tuner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace sim = critter::sim;
+namespace util = critter::util;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Result {
+  std::string name;
+  double value;
+  std::string unit;
+};
+
+std::vector<Result> g_results;
+
+void report(util::Table& t, const std::string& name, double events,
+            double secs) {
+  const double rate = events / secs;
+  t.row({name, util::Table::num(events, 0), util::Table::num(secs, 3),
+         util::Table::sci(rate)});
+  g_results.push_back({name + "_per_sec", rate, "events/s"});
+}
+
+/// Nearest-neighbor ring exchange: every rank sends to the right and
+/// receives from the left each iteration.  `payload` toggles real data
+/// movement vs the model-mode (null-buffer) fast path.
+double bench_p2p_ring(int nranks, int iters, int bytes, bool payload,
+                      util::Table& t, const char* name) {
+  sim::Engine eng(nranks, sim::Machine::knl_like());
+  std::vector<double> buf(payload ? bytes / 8 : 0);
+  const double t0 = now_s();
+  eng.run([&](sim::RankCtx& ctx) {
+    sim::Comm w = sim::world();
+    const int right = (ctx.rank + 1) % nranks;
+    const int left = (ctx.rank + nranks - 1) % nranks;
+    for (int it = 0; it < iters; ++it) {
+      sim::Request r = sim::irecv(payload ? buf.data() : nullptr, bytes, left,
+                                  it & 0xFF, w);
+      sim::send(payload ? buf.data() : nullptr, bytes, right, it & 0xFF, w);
+      sim::wait(r);
+    }
+  });
+  const double secs = now_s() - t0;
+  report(t, name, static_cast<double>(eng.p2p_count()), secs);
+  return eng.max_time();
+}
+
+/// Back-to-back collectives on the world communicator.
+double bench_allreduce(int nranks, int iters, int bytes, util::Table& t) {
+  sim::Engine eng(nranks, sim::Machine::knl_like());
+  const double t0 = now_s();
+  eng.run([&](sim::RankCtx& ctx) {
+    sim::Comm w = sim::world();
+    for (int it = 0; it < iters; ++it) {
+      sim::advance(1e-7 * (1 + (ctx.rank & 3)));
+      sim::allreduce(nullptr, nullptr, bytes, sim::reduce_sum_double(), w);
+    }
+  });
+  const double secs = now_s() - t0;
+  // One collective op spans nranks participant events.
+  report(t, "coll_allreduce_ops",
+         static_cast<double>(eng.coll_count()) * nranks, secs);
+  return eng.max_time();
+}
+
+/// The headline workload: one fully-instrumented full execution of a
+/// SLATE-Cholesky configuration (the substrate of Figs. 3-5).
+double bench_slate_cholesky(util::Table& t) {
+  namespace tune = critter::tune;
+  const auto study = tune::slate_cholesky_study(false);
+  critter::Config pc;
+  pc.mode = critter::ExecMode::Model;
+  pc.selective = false;
+
+  sim::Machine m = sim::Machine::knl_like();
+  m.gamma = study.gamma;
+
+  double virt = 0.0;
+  double events = 0.0;
+  const double t0 = now_s();
+  for (int rep = 0; rep < 3; ++rep) {
+    critter::Store store(study.nranks, pc);
+    sim::Engine eng(study.nranks, m, 1234 + rep);
+    eng.run([&](sim::RankCtx&) {
+      critter::start(store);
+      tune::run_configuration(study, study.configs[0]);
+      critter::stop();
+    });
+    virt = eng.max_time();
+    events += static_cast<double>(eng.p2p_count() + eng.coll_count());
+  }
+  const double secs = now_s() - t0;
+  report(t, "slate_cholesky_events", events, secs);
+  return virt;
+}
+
+/// Serial vs thread-pooled reset_per_config sweep over 8 configurations.
+/// On a multi-core host the pooled sweep should approach `workers`x; the
+/// results are bit-identical either way (asserted in test_tune_parallel).
+void bench_tune_sweep(util::Table& t) {
+  namespace tune = critter::tune;
+  auto study = tune::slate_cholesky_study(false);
+  study.configs.resize(8);
+  tune::TuneOptions opt;
+  opt.policy = critter::Policy::OnlinePropagation;
+  opt.tolerance = 0.25;
+  opt.samples = 2;
+  opt.reset_per_config = true;
+
+  opt.workers = 1;
+  const double t0 = now_s();
+  auto serial = tune::run_study(study, opt);
+  const double serial_s = now_s() - t0;
+
+  opt.workers = 4;
+  const double t1 = now_s();
+  auto pooled = tune::run_study(study, opt);
+  const double pooled_s = now_s() - t1;
+  if (serial.per_config[0].pred_time != pooled.per_config[0].pred_time)
+    std::fprintf(stderr, "WARNING: pooled sweep diverged from serial\n");
+
+  t.row({"tune_sweep_serial", "8", util::Table::num(serial_s, 3),
+         util::Table::sci(8.0 / serial_s)});
+  t.row({"tune_sweep_4workers", "8", util::Table::num(pooled_s, 3),
+         util::Table::sci(8.0 / pooled_s)});
+  g_results.push_back({"tune_sweep_serial_s", serial_s, "s"});
+  g_results.push_back({"tune_sweep_4workers_s", pooled_s, "s"});
+  g_results.push_back({"tune_sweep_speedup", serial_s / pooled_s, "x"});
+}
+
+}  // namespace
+
+int main() {
+  const int reps = static_cast<int>(util::env_int("CRITTER_BENCH_REPS", 1));
+
+  util::Table t("Engine microbenchmark: scheduler + messaging throughput");
+  t.header({"workload", "events", "wall(s)", "events/s"});
+
+  bench_p2p_ring(64, 4000 * reps, 256, /*payload=*/false, t, "p2p_ring_model");
+  bench_p2p_ring(64, 4000 * reps, 256, /*payload=*/true, t, "p2p_ring_payload");
+  bench_allreduce(256, 500 * reps, 1024, t);
+  bench_slate_cholesky(t);
+  bench_tune_sweep(t);
+  t.print();
+
+  const char* path = std::getenv("CRITTER_BENCH_JSON");
+  const std::string out = path ? path : "BENCH_engine.json";
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"engine\",\n  \"results\": [\n");
+    for (std::size_t i = 0; i < g_results.size(); ++i)
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n",
+                   g_results[i].name.c_str(), g_results[i].value,
+                   g_results[i].unit.c_str(),
+                   i + 1 < g_results.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}

@@ -92,21 +92,39 @@ Channel channel_from_ranks(const std::vector<int>& ranks) {
 
 bool combine_channels(const Channel& a, const Channel& b, Channel* out) {
   if (!a.lattice || !b.lattice) return false;
-  // Merge dim lists by stride; reject overlapping strides.
-  std::vector<ChannelDim> dims = a.dims;
-  dims.insert(dims.end(), b.dims.begin(), b.dims.end());
-  std::sort(dims.begin(), dims.end(),
-            [](const ChannelDim& x, const ChannelDim& y) { return x.stride < y.stride; });
-  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
-    if (dims[i].stride == dims[i + 1].stride) return false;  // overlapping
-    // mixed-radix validity: the next stride must be reachable by stacking
-    // this dimension (compact grids satisfy stride_{i+1} == stride_i*size_i;
-    // we accept >= so padded grids still combine).
-    if (dims[i + 1].stride < dims[i].stride * dims[i].size) return false;
+  // Two-pointer merge over the (already stride-sorted) dim lists.  The
+  // registry calls this O(registry size) times per new channel and nearly
+  // every pairing rejects, so the reject path must not allocate; the merged
+  // list is materialized only on success.
+  std::size_t ia = 0, ib = 0;
+  const ChannelDim* prev = nullptr;
+  while (ia < a.dims.size() || ib < b.dims.size()) {
+    const ChannelDim* next;
+    if (ia == a.dims.size()) next = &b.dims[ib++];
+    else if (ib == b.dims.size()) next = &a.dims[ia++];
+    else if (a.dims[ia].stride <= b.dims[ib].stride) next = &a.dims[ia++];
+    else next = &b.dims[ib++];
+    if (prev != nullptr) {
+      if (prev->stride == next->stride) return false;  // overlapping
+      // mixed-radix validity: the next stride must be reachable by stacking
+      // this dimension (compact grids satisfy stride_{i+1} == stride_i*size_i;
+      // we accept >= so padded grids still combine).
+      if (next->stride < prev->stride * prev->size) return false;
+    }
+    prev = next;
   }
   if (out != nullptr) {
+    out->dims.clear();
+    out->dims.reserve(a.dims.size() + b.dims.size());
+    ia = ib = 0;
+    while (ia < a.dims.size() || ib < b.dims.size()) {
+      if (ia == a.dims.size()) out->dims.push_back(b.dims[ib++]);
+      else if (ib == b.dims.size()) out->dims.push_back(a.dims[ia++]);
+      else if (a.dims[ia].stride <= b.dims[ib].stride)
+        out->dims.push_back(a.dims[ia++]);
+      else out->dims.push_back(b.dims[ib++]);
+    }
     out->offset = std::min(a.offset, b.offset);
-    out->dims = std::move(dims);
     out->lattice = true;
   }
   return true;
@@ -118,7 +136,7 @@ std::uint64_t ChannelRegistry::init_world(int nranks) {
   Channel w = channel_from_ranks(all);
   world_hash_ = w.hash();
   world_span_ = w.span();
-  channels_[world_hash_] = std::move(w);
+  insert(world_hash_, std::move(w));
   return world_hash_;
 }
 
@@ -130,25 +148,31 @@ const Channel* ChannelRegistry::find(std::uint64_t hash) const {
 std::uint64_t ChannelRegistry::add_channel(const std::vector<int>& ranks) {
   Channel ch = channel_from_ranks(ranks);
   const std::uint64_t h = ch.hash();
-  if (channels_.count(h) > 0) return h;
-  channels_[h] = ch;
+  if (!insert(h, ch)) return h;
 
   // Recursive aggregate construction: combine the new channel with every
   // known channel/aggregate it is orthogonal to (paper Fig. 2 lines 17-25).
-  // Iterate over a snapshot since we insert while combining.
-  std::vector<std::uint64_t> existing;
-  existing.reserve(channels_.size());
-  for (const auto& [eh, _] : channels_) existing.push_back(eh);
-  std::sort(existing.begin(), existing.end());  // deterministic order
+  // Iterate over a snapshot since we insert while combining;
+  // sorted_hashes_ keeps the order deterministic without per-call sorting.
+  const std::vector<std::uint64_t> existing = sorted_hashes_;
   for (std::uint64_t eh : existing) {
     if (eh == h) continue;
     Channel combined;
     if (combine_channels(channels_.at(eh), ch, &combined)) {
       const std::uint64_t nh = combined.hash();
-      channels_.emplace(nh, std::move(combined));
+      insert(nh, std::move(combined));
     }
   }
   return h;
+}
+
+bool ChannelRegistry::insert(std::uint64_t h, Channel ch) {
+  const auto [it, inserted] = channels_.try_emplace(h, std::move(ch));
+  (void)it;
+  if (inserted)
+    sorted_hashes_.insert(
+        std::lower_bound(sorted_hashes_.begin(), sorted_hashes_.end(), h), h);
+  return inserted;
 }
 
 bool ChannelRegistry::try_extend_coverage(std::uint64_t agg, std::uint64_t chan,

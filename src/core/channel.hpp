@@ -88,7 +88,11 @@ class ChannelRegistry {
   std::size_t size() const { return channels_.size(); }
 
  private:
+  /// try_emplace + sorted-hash-list maintenance; true if newly inserted.
+  bool insert(std::uint64_t h, Channel ch);
+
   std::unordered_map<std::uint64_t, Channel> channels_;  // includes aggregates
+  std::vector<std::uint64_t> sorted_hashes_;  // deterministic iteration order
   std::uint64_t world_hash_ = 0;
   std::int64_t world_span_ = 0;
 };

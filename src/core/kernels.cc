@@ -30,14 +30,14 @@ double intercept_compute(const core::KernelKey& key, double flops,
     // Uninstrumented baseline: every kernel executes with the same noisy
     // cost distribution, no statistics, no decisions.
     RankProfiler& rp = prof();
-    core::KernelStats& ks = rp.K[key];  // only used as a draw counter
+    core::KernelStats& ks = detail::stats_for(rp, key);  // only used as a draw counter
     const double dt = noisy_cost(cfg, key, flops, ks.total_executions++);
     sim::advance(dt);
     if (cfg.mode == ExecMode::Real && real_work) real_work();
     return dt;
   }
   RankProfiler& rp = prof();
-  core::KernelStats& ks = rp.K[key];
+  core::KernelStats& ks = detail::stats_for(rp, key);
   detail::note_invocation(rp, key, ks);
   bool execute = detail::wants_execution(rp, cfg, key, ks);
 

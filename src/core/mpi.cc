@@ -19,9 +19,11 @@ constexpr int kInternalTagOffset = 1 << 20;
 // sim call while its buffer is still pending staging or unpacking, and
 // another rank would otherwise overwrite it.  Rebuilt when capacities
 // change; a cached fold functor avoids a std::function allocation per op.
+// thread_local so concurrent tuner workers (one engine per thread) do not
+// share scratch state.
 core::IntMsg& scratch_msg(int tilde_cap, int eager_cap, int slot) {
   const int rank = sim::world_rank();
-  static std::vector<std::array<std::unique_ptr<core::IntMsg>, 2>> per_rank;
+  thread_local std::vector<std::array<std::unique_ptr<core::IntMsg>, 2>> per_rank;
   if (static_cast<int>(per_rank.size()) <= rank) per_rank.resize(rank + 1);
   auto& p = per_rank[rank][slot];
   if (!p || p->tilde_cap() != tilde_cap || p->eager_cap() != eager_cap)
@@ -30,8 +32,8 @@ core::IntMsg& scratch_msg(int tilde_cap, int eager_cap, int slot) {
 }
 
 const sim::ReduceFn& cached_fold(int tilde_cap, int eager_cap) {
-  static sim::ReduceFn fn;
-  static int tc = -1, ec = -1;
+  thread_local sim::ReduceFn fn;
+  thread_local int tc = -1, ec = -1;
   if (tc != tilde_cap || ec != eager_cap) {
     fn = core::IntMsg::fold_fn(tilde_cap, eager_cap);
     tc = tilde_cap;
@@ -55,16 +57,24 @@ core::KernelClass coll_kernel_class(sim::CollType t) {
 }
 
 /// Channel signature of a point-to-point pair: a size-2 sub-communicator
-/// whose stride is the world-rank distance (paper §V-D).
+/// whose stride is the world-rank distance (paper §V-D).  Cached per
+/// (comm, peer) for the run so repeated messages on a pair skip the
+/// registry's factorization/aggregation path entirely.
 std::uint64_t p2p_channel(sim::Comm c, int peer_local) {
   critter::RankProfiler& rp = critter::prof();
+  const std::uint64_t cache_key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.id)) << 32) |
+      static_cast<std::uint32_t>(peer_local);
+  std::uint64_t& cached = rp.p2p_chan[cache_key];
+  if (cached != 0) return cached;
   const auto& members = sim::engine().comm_members(c);
   const int me_world = sim::Engine::ctx().rank;
   const int peer_world = members[peer_local];
   std::vector<int> pair{std::min(me_world, peer_world),
                         std::max(me_world, peer_world)};
   if (pair[0] == pair[1]) pair.pop_back();  // self-message
-  return rp.channels.add_channel(pair);
+  cached = rp.channels.add_channel(pair);
+  return cached;
 }
 
 /// Shared bookkeeping after the execute/skip decision of a communication
@@ -105,7 +115,7 @@ void intercepted_coll(sim::CollType type, const void* sendbuf, void* recvbuf,
   const std::uint64_t chan = critter::detail::channel_of(c);
   core::KernelKey key{coll_kernel_class(type),
                       {static_cast<std::int64_t>(bytes), 0, 0, 0}, chan};
-  core::KernelStats& ks = rp.K[key];
+  core::KernelStats& ks = critter::detail::stats_for(rp, key);
   critter::detail::note_invocation(rp, key, ks);
   const bool want = critter::detail::wants_execution(rp, cfg, key, ks);
 
@@ -170,7 +180,7 @@ void send(const void* buf, int bytes, int dest, int tag, sim::Comm c) {
   core::KernelKey key{core::KernelClass::Send,
                       {static_cast<std::int64_t>(bytes), 0, 0, 0},
                       p2p_channel(c, dest)};
-  core::KernelStats& ks = rp.K[key];
+  core::KernelStats& ks = critter::detail::stats_for(rp, key);
   critter::detail::note_invocation(rp, key, ks);
   const bool execute = critter::detail::wants_execution(rp, cfg, key, ks);
 
@@ -199,7 +209,7 @@ void recv(void* buf, int bytes, int src, int tag, sim::Comm c) {
   const std::uint64_t chan = p2p_channel(c, src);
   core::KernelKey key{core::KernelClass::Recv,
                       {static_cast<std::int64_t>(bytes), 0, 0, 0}, chan};
-  core::KernelStats& ks = rp.K[key];
+  core::KernelStats& ks = critter::detail::stats_for(rp, key);
   critter::detail::note_invocation(rp, key, ks);
 
   core::IntMsg& peer = scratch_msg(cfg.tilde_capacity, cfg.eager_capacity, 1);
@@ -232,7 +242,7 @@ Request isend(const void* buf, int bytes, int dest, int tag, sim::Comm c) {
   core::KernelKey key{core::KernelClass::Isend,
                       {static_cast<std::int64_t>(bytes), 0, 0, 0},
                       p2p_channel(c, dest)};
-  core::KernelStats& ks = rp.K[key];
+  core::KernelStats& ks = critter::detail::stats_for(rp, key);
   critter::detail::note_invocation(rp, key, ks);
   const bool execute = critter::detail::wants_execution(rp, cfg, key, ks);
 
@@ -266,7 +276,7 @@ Request ibcast(void* buf, int bytes, int root, sim::Comm c) {
   const std::uint64_t chan = critter::detail::channel_of(c);
   out.key = core::KernelKey{core::KernelClass::Bcast,
                             {static_cast<std::int64_t>(bytes), 0, 0, 1}, chan};
-  core::KernelStats& ks = rp.K[out.key];
+  core::KernelStats& ks = critter::detail::stats_for(rp, out.key);
   critter::detail::note_invocation(rp, out.key, ks);
   out.words = sim::Machine::coll_bytes_moved(sim::CollType::Bcast, bytes,
                                              sim::comm_size(c)) /
@@ -283,7 +293,7 @@ void wait(Request& r) {
     return;
   }
   critter::RankProfiler& rp = critter::prof();
-  core::KernelStats& ks = rp.K[r.key];
+  core::KernelStats& ks = critter::detail::stats_for(rp, r.key);
   double dt;
   if (r.executed) {
     const double t0 = sim::now();

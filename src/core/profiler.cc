@@ -45,6 +45,7 @@ void Store::reset_statistics() {
     rp.key_of_hash.clear();
     rp.pending_eager.clear();
     rp.apriori.clear();
+    rp.cached_stats = nullptr;  // points into the cleared K
   }
 }
 
@@ -63,7 +64,9 @@ RankProfiler* current_profiler() {
   if (!sim::Engine::in_rank()) return nullptr;
   return static_cast<RankProfiler*>(sim::Engine::ctx().user_data);
 }
-Store* g_store = nullptr;  // engine is single-threaded; one active store
+// One active store per OS thread: each tuner worker drives its own engine +
+// store pair, so the slot must be thread-local rather than process-global.
+thread_local Store* g_store = nullptr;
 }  // namespace
 
 void start(Store& s) {
@@ -76,6 +79,7 @@ void start(Store& s) {
   rp.tilde.clear();
   rp.local = LocalCounters{};
   rp.chan_of_comm.clear();
+  rp.p2p_chan.clear();  // comm ids are engine-local
   rp.chan_of_comm[0] = rp.channels.world_hash();
   rp.start_clock = ctx.clock;
   rp.active = true;
@@ -120,12 +124,12 @@ std::int64_t k_effective(const RankProfiler& rp, const Config& cfg,
     case Policy::LocalPropagation:
       return std::max<std::int64_t>(1, ks.invocations_this_epoch);
     case Policy::OnlinePropagation: {
-      auto it = rp.tilde.find(key.hash());
-      return it == rp.tilde.end() ? 1 : std::max<std::int64_t>(1, it->second);
+      const std::int64_t* f = rp.tilde.find(key.hash());
+      return f == nullptr ? 1 : std::max<std::int64_t>(1, *f);
     }
     case Policy::AprioriPropagation: {
-      auto it = rp.apriori.find(key.hash());
-      return it == rp.apriori.end() ? 1 : std::max<std::int64_t>(1, it->second);
+      const std::int64_t* f = rp.apriori.find(key.hash());
+      return f == nullptr ? 1 : std::max<std::int64_t>(1, *f);
     }
   }
   return 1;
@@ -158,10 +162,11 @@ void note_invocation(RankProfiler& rp, const core::KernelKey& key,
   ++ks.invocations_this_epoch;
   ++ks.total_invocations;
   ++rp.tilde[key.hash()];
-  auto [it, inserted] = rp.key_of_hash.try_emplace(key.hash(), key);
-  (void)it;
-  if (inserted) {
-    // first sighting: absorb any eager statistics that arrived early
+  if (!ks.registered) {
+    // first sighting: register the hash and absorb any eager statistics
+    // that arrived early
+    ks.registered = true;
+    rp.key_of_hash.emplace(key.hash(), key);
     auto pend = rp.pending_eager.find(key.hash());
     if (pend != rp.pending_eager.end()) {
       ks.merge(pend->second);

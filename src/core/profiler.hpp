@@ -24,6 +24,7 @@
 #include "core/signature.hpp"
 #include "core/stats.hpp"
 #include "sim/engine.hpp"
+#include "util/flat_map.hpp"
 
 namespace critter {
 
@@ -100,6 +101,8 @@ struct LocalCounters {
 /// Per-rank profiler state.  Statistics (K), channel registry, and epoch
 /// survive across engine runs; path state (P, ~K) resets at start().
 struct RankProfiler {
+  using CountMap = util::FlatMap<std::uint64_t, std::int64_t, util::IdentityHash>;
+
   // --- persistent across runs ---
   std::unordered_map<core::KernelKey, core::KernelStats, core::KernelKeyHash> K;
   std::unordered_map<std::uint64_t, core::KernelKey> key_of_hash;
@@ -108,19 +111,28 @@ struct RankProfiler {
   core::ChannelRegistry channels;
   core::SizeModel size_model;  ///< cross-size extrapolation (§VIII)
   std::int64_t epoch = 0;
-  std::unordered_map<std::uint64_t, std::int64_t> apriori;  // hash -> cp count
+  CountMap apriori;  // kernel hash -> critical-path count
 
   // --- per-run state ---
   PathMetrics path;
-  std::unordered_map<std::uint64_t, std::int64_t> tilde;  // ~K: cp counts
+  CountMap tilde;  // ~K: cp counts
   LocalCounters local;
   std::unordered_map<int, std::uint64_t> chan_of_comm;  // sim comm id -> hash
+  /// (comm id << 32 | peer) -> channel hash, so repeated p2p kernels skip
+  /// the registry's factorization/aggregation path.  Valid for one run
+  /// (comm ids are engine-local); cleared at start().
+  util::FlatMap<std::uint64_t, std::uint64_t, util::IdentityHash> p2p_chan;
+  /// One-entry key->stats cache: tight kernel loops hit the same signature
+  /// repeatedly.  Pointers into K stay valid across inserts (node-based);
+  /// invalidated on reset_statistics().
+  core::KernelKey cached_key;
+  core::KernelStats* cached_stats = nullptr;
   double start_clock = 0.0;
   bool active = false;
 
   // --- snapshot of the last completed run (for a-priori propagation) ---
   double last_exec_time = 0.0;
-  std::unordered_map<std::uint64_t, std::int64_t> last_tilde;
+  CountMap last_tilde;
 };
 
 /// The profiler store shared by all ranks of a simulated job; persists
@@ -180,6 +192,16 @@ Report stop();
 namespace detail {
 /// Channel hash for a communicator (registers it on first sight).
 std::uint64_t channel_of(sim::Comm c);
+/// K lookup through the rank's one-entry cache.
+inline core::KernelStats& stats_for(RankProfiler& rp,
+                                    const core::KernelKey& key) {
+  if (rp.cached_stats != nullptr && rp.cached_key == key)
+    return *rp.cached_stats;
+  core::KernelStats& ks = rp.K[key];
+  rp.cached_key = key;
+  rp.cached_stats = &ks;
+  return ks;
+}
 /// Effective critical-path count for the CI shrink, per policy.
 std::int64_t k_effective(const RankProfiler& rp, const Config& cfg,
                          const core::KernelKey& key,

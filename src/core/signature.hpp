@@ -41,15 +41,29 @@ struct KernelKey {
   /// kernels; zero for compute kernels.
   std::uint64_t chan = 0;
 
-  bool operator==(const KernelKey&) const = default;
+  KernelKey() : hash_(compute_hash()) {}
+  KernelKey(KernelClass c, std::array<std::int64_t, 4> d, std::uint64_t ch)
+      : cls(c), dims(d), chan(ch), hash_(compute_hash()) {}
 
-  std::uint64_t hash() const {
+  bool operator==(const KernelKey& o) const {
+    return hash_ == o.hash_ && cls == o.cls && dims == o.dims && chan == o.chan;
+  }
+
+  /// Memoized at construction: the intercept path hashes every key several
+  /// times per invocation (K lookup, ~K bump, hash registry), and the dims
+  /// never change after construction.
+  std::uint64_t hash() const { return hash_; }
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t compute_hash() const {
     std::uint64_t h = util::mix64(static_cast<std::uint64_t>(cls) + 0x1234);
     for (auto d : dims) h = util::hash_combine(h, static_cast<std::uint64_t>(d));
     return util::hash_combine(h, chan);
   }
 
-  std::string to_string() const;
+  std::uint64_t hash_;
 };
 
 struct KernelKeyHash {

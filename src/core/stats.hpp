@@ -34,6 +34,9 @@ struct KernelStats {
   bool global_steady = false;
   /// Already contributed a point to the cross-size extrapolation model.
   bool extrapolation_observed = false;
+  /// Key registered in key_of_hash / pending-eager absorbed (first sighting
+  /// bookkeeping runs once per key instead of once per invocation).
+  bool registered = false;
 
   void add_sample(double x) {
     ++n;

@@ -47,7 +47,8 @@ void IntMsg::pack(const RankProfiler& rp, bool want_execute) {
   if (static_cast<int>(rp.tilde.size()) <= tilde_cap_) {
     // fast path: everything fits, no ordering needed
     std::int64_t n = 0;
-    for (const auto& [key, freq] : rp.tilde) t[n++] = WireTilde{key, freq};
+    rp.tilde.for_each(
+        [&](std::uint64_t key, std::int64_t freq) { t[n++] = WireTilde{key, freq}; });
     h.n_tilde = n;
     return;
   }
@@ -55,7 +56,8 @@ void IntMsg::pack(const RankProfiler& rp, bool want_execute) {
   // for the sqrt(k) shrink), deterministically ordered.
   std::vector<std::pair<std::int64_t, std::uint64_t>> order;
   order.reserve(rp.tilde.size());
-  for (const auto& [key, freq] : rp.tilde) order.push_back({freq, key});
+  rp.tilde.for_each(
+      [&](std::uint64_t key, std::int64_t freq) { order.push_back({freq, key}); });
   std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
     return a.first != b.first ? a.first > b.first : a.second < b.second;
   });

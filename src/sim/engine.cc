@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstring>
+#include <map>
 #include <sstream>
 
 #include "util/check.hpp"
@@ -11,9 +12,10 @@
 namespace critter::sim {
 
 namespace {
-// The engine is single-OS-thread; the currently running engine is tracked in
-// a file-local slot so rank-side free functions can find their context.
-Engine* g_engine = nullptr;
+// One engine is confined to one OS thread; the thread's currently running
+// engine lives in a thread-local slot so rank-side free functions can find
+// their context.  Independent engines on different threads never interact.
+thread_local Engine* g_engine = nullptr;
 }  // namespace
 
 ReduceFn reduce_sum_double() {
@@ -49,10 +51,105 @@ struct Engine::RankState {
   RankCtx ctx;
   std::unique_ptr<Fiber> fiber;
   enum class St { Ready, Running, Blocked, Done } st = St::Ready;
-  std::string block_reason;
+  const char* block_reason = nullptr;
   std::uint64_t blocked_req = 0;
   int split_result = -1;
 };
+
+// --- ReadyHeap -------------------------------------------------------------
+
+void Engine::ReadyHeap::push(double time, int rank) {
+  h_.push_back({time, rank});
+  std::size_t i = h_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!less(h_[i], h_[parent])) break;
+    std::swap(h_[i], h_[parent]);
+    i = parent;
+  }
+}
+
+int Engine::ReadyHeap::pop() {
+  const int rank = h_[0].rank;
+  h_[0] = h_.back();
+  h_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = h_.size();
+  for (;;) {
+    const std::size_t l = 2 * i + 1, r = l + 1;
+    std::size_t best = i;
+    if (l < n && less(h_[l], h_[best])) best = l;
+    if (r < n && less(h_[r], h_[best])) best = r;
+    if (best == i) break;
+    std::swap(h_[i], h_[best]);
+    i = best;
+  }
+  return rank;
+}
+
+// --- ReqTable --------------------------------------------------------------
+
+std::uint64_t Engine::ReqTable::alloc(ReqState** out) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.active = true;
+  s.st = ReqState{};
+  *out = &s.st;
+  return (static_cast<std::uint64_t>(slot) + 1) << 32 | s.gen;
+}
+
+Engine::ReqState* Engine::ReqTable::find(std::uint64_t id) {
+  const std::uint64_t hi = id >> 32;
+  if (hi == 0 || hi > slots_.size()) return nullptr;
+  Slot& s = slots_[hi - 1];
+  if (!s.active || s.gen != static_cast<std::uint32_t>(id)) return nullptr;
+  return &s.st;
+}
+
+void Engine::ReqTable::release(std::uint64_t id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>((id >> 32) - 1);
+  Slot& s = slots_[slot];
+  s.active = false;
+  ++s.gen;  // stale ids now fail find()
+  free_.push_back(slot);
+}
+
+// --- CollTable -------------------------------------------------------------
+
+int Engine::CollTable::alloc() {
+  if (!free_.empty()) {
+    const int slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<int>(slots_.size()) - 1;
+}
+
+// --- message-buffer pool ----------------------------------------------------
+
+std::vector<std::byte> Engine::pool_acquire(int bytes) {
+  std::vector<std::byte> v;
+  if (!pool_.empty()) {
+    v = std::move(pool_.back());
+    pool_.pop_back();
+  }
+  v.resize(bytes);  // contents are always fully overwritten by the caller
+  return v;
+}
+
+void Engine::pool_release(std::vector<std::byte>&& buf) {
+  if (buf.capacity() > 0 && pool_.size() < 4096) pool_.push_back(std::move(buf));
+}
+
+// --- engine ----------------------------------------------------------------
 
 Engine::Engine(int nranks, Machine machine, std::uint64_t seed_salt)
     : nranks_(nranks), machine_(machine),
@@ -65,6 +162,7 @@ Engine::Engine(int nranks, Machine machine, std::uint64_t seed_salt)
     rs->ctx.engine = this;
     ranks_.push_back(std::move(rs));
   }
+  ready_.reserve(nranks_);
   std::vector<int> all(nranks_);
   for (int r = 0; r < nranks_; ++r) all[r] = r;
   register_comm(std::move(all));  // id 0 == world
@@ -119,18 +217,19 @@ double Engine::noise_comm(std::uint64_t k1, std::uint64_t k2) const {
 void Engine::sync_to_min() {
   RankState& rs = current();
   if (ready_.empty()) return;
-  const auto me = std::make_pair(rs.ctx.clock, rs.ctx.rank);
-  if (me <= ready_.begin()->first) return;
+  if (rs.ctx.clock < ready_.top_time() ||
+      (rs.ctx.clock == ready_.top_time() && rs.ctx.rank <= ready_.top_rank()))
+    return;
   // Another runnable rank is earlier in virtual time; let it act first so
   // communication events are processed in order.
-  ready_.emplace(me, rs.ctx.rank);
+  ready_.push(rs.ctx.clock, rs.ctx.rank);
   rs.st = RankState::St::Ready;
   const int self = running_;
   rs.fiber->yield();
   CRITTER_CHECK(running_ == self, "scheduler resumed wrong fiber");
 }
 
-void Engine::block_current(const std::string& why) {
+void Engine::block_current(const char* why) {
   RankState& rs = current();
   rs.st = RankState::St::Blocked;
   rs.block_reason = why;
@@ -144,8 +243,8 @@ void Engine::make_ready(int rank, double at_time) {
   rs.ctx.clock = std::max(rs.ctx.clock, at_time);
   rs.st = RankState::St::Ready;
   rs.blocked_req = 0;
-  rs.block_reason.clear();
-  ready_.emplace(std::make_pair(rs.ctx.clock, rs.ctx.rank), rs.ctx.rank);
+  rs.block_reason = nullptr;
+  ready_.push(rs.ctx.clock, rs.ctx.rank);
 }
 
 void Engine::f_advance(double seconds) {
@@ -156,7 +255,7 @@ void Engine::f_advance(double seconds) {
 void Engine::f_send(const void* buf, int bytes, int dest, int tag, Comm c) {
   // Buffered semantics: the isend request is already complete.
   const Request r = f_isend(buf, bytes, dest, tag, c);
-  reqs_.erase(r.id);
+  reqs_.release(r.id);
 }
 
 Request Engine::f_isend(const void* buf, int bytes, int dest, int tag, Comm c) {
@@ -179,39 +278,40 @@ Request Engine::f_isend(const void* buf, int bytes, int dest, int tag, Comm c) {
       rs.ctx.clock + machine_.beta * static_cast<double>(bytes) * noise;
   ++p2p_count_;
 
-  MsgInFlight msg;
-  msg.avail = avail;
-  msg.bytes = bytes;
+  // Model-mode fast path: a null buffer ships no payload, so nothing is
+  // copied and no allocation happens on either side.
+  std::vector<std::byte> data;
   if (buf != nullptr && bytes > 0) {
-    msg.data.resize(bytes);
-    std::memcpy(msg.data.data(), buf, bytes);
+    data = pool_acquire(bytes);
+    std::memcpy(data.data(), buf, bytes);
   }
 
-  auto pr = posted_recvs_.find(key);
-  if (pr != posted_recvs_.end() && !pr->second.empty()) {
-    const std::uint64_t rid = pr->second.front();
-    pr->second.pop_front();
-    ReqState& q = reqs_.at(rid);
-    CRITTER_CHECK(q.bytes == bytes, "p2p message size mismatch");
-    if (q.recv_buf != nullptr && !msg.data.empty())
-      std::memcpy(q.recv_buf, msg.data.data(), bytes);
-    q.done = true;
-    q.done_time = avail;
-    RankState& owner = *ranks_[cd.members[q.key.dst]];
+  auto* pr = posted_recvs_.find(key);
+  if (pr != nullptr && !pr->empty()) {
+    const std::uint64_t rid = pr->front();
+    pr->pop_front();
+    ReqState* q = reqs_.find(rid);
+    CRITTER_CHECK(q != nullptr, "posted recv request vanished");
+    CRITTER_CHECK(q->bytes == bytes, "p2p message size mismatch");
+    if (q->recv_buf != nullptr && !data.empty())
+      std::memcpy(q->recv_buf, data.data(), bytes);
+    pool_release(std::move(data));
+    q->done = true;
+    q->done_time = avail;
+    RankState& owner = *ranks_[q->owner];
     if (owner.st == RankState::St::Blocked && owner.blocked_req == rid)
       make_ready(owner.ctx.rank, avail);
   } else {
-    mailbox_[key].push_back(std::move(msg));
+    mailbox_[key].push_back(MsgInFlight{avail, bytes, std::move(data)});
   }
 
   // Eager/buffered: the send buffer is copied, so the request is
   // immediately complete at the sender's current clock.
-  Request r{new_req_id()};
-  ReqState q;
-  q.done = true;
-  q.done_time = rs.ctx.clock;
-  q.owner = rs.ctx.rank;
-  reqs_[r.id] = q;
+  ReqState* q = nullptr;
+  Request r{reqs_.alloc(&q)};
+  q->done = true;
+  q->done_time = rs.ctx.clock;
+  q->owner = rs.ctx.rank;
   return r;
 }
 
@@ -225,27 +325,26 @@ Request Engine::f_irecv(void* buf, int bytes, int src, int tag, Comm c) {
                 "recv source out of range (wildcards unsupported)");
   const P2PKey key{c.id, me, src, tag};
 
-  Request r{new_req_id()};
-  ReqState q;
-  q.owner = rs.ctx.rank;
-  q.is_recv = true;
-  q.recv_buf = buf;
-  q.bytes = bytes;
-  q.key = key;
+  ReqState* q = nullptr;
+  Request r{reqs_.alloc(&q)};
+  q->owner = rs.ctx.rank;
+  q->is_recv = true;
+  q->recv_buf = buf;
+  q->bytes = bytes;
 
-  auto mb = mailbox_.find(key);
-  if (mb != mailbox_.end() && !mb->second.empty()) {
-    MsgInFlight& msg = mb->second.front();
+  auto* mb = mailbox_.find(key);
+  if (mb != nullptr && !mb->empty()) {
+    MsgInFlight& msg = mb->front();
     CRITTER_CHECK(msg.bytes == bytes, "p2p message size mismatch");
     if (buf != nullptr && !msg.data.empty())
       std::memcpy(buf, msg.data.data(), bytes);
-    q.done = true;
-    q.done_time = msg.avail;
-    mb->second.pop_front();
+    q->done = true;
+    q->done_time = msg.avail;
+    pool_release(std::move(msg.data));
+    mb->pop_front();
   } else {
     posted_recvs_[key].push_back(r.id);
   }
-  reqs_[r.id] = q;
   return r;
 }
 
@@ -256,40 +355,46 @@ void Engine::f_recv(void* buf, int bytes, int src, int tag, Comm c) {
 void Engine::f_wait(Request r) {
   RankState& rs = current();
   sync_to_min();
-  auto it = reqs_.find(r.id);
-  CRITTER_CHECK(it != reqs_.end(), "wait on unknown or already-waited request");
-  CRITTER_CHECK(it->second.owner == rs.ctx.rank, "wait on another rank's request");
-  if (!it->second.done) {
+  ReqState* q = reqs_.find(r.id);
+  CRITTER_CHECK(q != nullptr, "wait on unknown or already-waited request");
+  CRITTER_CHECK(q->owner == rs.ctx.rank, "wait on another rank's request");
+  if (!q->done) {
     rs.blocked_req = r.id;
-    block_current("wait");
-    it = reqs_.find(r.id);  // map may have rehashed? std::map stable; refresh anyway
+    block_current("wait");  // q stays valid: slots live in a stable deque
   } else {
-    rs.ctx.clock = std::max(rs.ctx.clock, it->second.done_time);
+    rs.ctx.clock = std::max(rs.ctx.clock, q->done_time);
   }
-  const ReqState q = it->second;
-  reqs_.erase(it);
-  if (q.is_coll) {
-    auto cit = colls_.find(q.coll_key);
-    CRITTER_CHECK(cit != colls_.end(), "collective state missing at wait");
-    if (--cit->second.outstanding_waits == 0) colls_.erase(cit);
-  }
+  const int coll_slot = q->coll_slot;
+  reqs_.release(r.id);
+  if (coll_slot >= 0 && --colls_[coll_slot].outstanding_waits == 0)
+    release_coll(coll_slot);
 }
 
 bool Engine::f_test(Request r) {
   RankState& rs = current();
   sync_to_min();
-  auto it = reqs_.find(r.id);
-  CRITTER_CHECK(it != reqs_.end(), "test on unknown request");
-  if (!it->second.done) return false;
-  rs.ctx.clock = std::max(rs.ctx.clock, it->second.done_time);
-  const ReqState q = it->second;
-  reqs_.erase(it);
-  if (q.is_coll) {
-    auto cit = colls_.find(q.coll_key);
-    if (cit != colls_.end() && --cit->second.outstanding_waits == 0)
-      colls_.erase(cit);
-  }
+  ReqState* q = reqs_.find(r.id);
+  CRITTER_CHECK(q != nullptr, "test on unknown request");
+  if (!q->done) return false;
+  rs.ctx.clock = std::max(rs.ctx.clock, q->done_time);
+  const int coll_slot = q->coll_slot;
+  reqs_.release(r.id);
+  if (coll_slot >= 0 && --colls_[coll_slot].outstanding_waits == 0)
+    release_coll(coll_slot);
   return true;
+}
+
+void Engine::release_coll(int slot) {
+  CollOp& op = colls_[slot];
+  auto& active = comms_.at(op.comm_id).active;
+  for (auto it = active.begin(); it != active.end(); ++it) {
+    if (it->second == slot) {
+      *it = active.back();
+      active.pop_back();
+      break;
+    }
+  }
+  colls_.release(slot);
 }
 
 Request Engine::f_icoll(CollType type, const void* sendbuf, void* recvbuf,
@@ -301,34 +406,56 @@ Request Engine::f_icoll(CollType type, const void* sendbuf, void* recvbuf,
   const int lr = cd.local_of_world[rs.ctx.rank];
   CRITTER_CHECK(lr >= 0, "caller not in communicator");
   const std::uint64_t seq = cd.seq[lr]++;
-  const auto key = std::make_pair(c.id, seq);
 
-  auto [it, inserted] = colls_.try_emplace(key);
-  CollOp& op = it->second;
+  int slot = -1;
+  for (const auto& [sq, sl] : cd.active) {
+    if (sq == seq) {
+      slot = sl;
+      break;
+    }
+  }
+  const bool inserted = slot < 0;
+  if (inserted) {
+    slot = colls_.alloc();
+    cd.active.emplace_back(seq, slot);
+  }
+  CollOp& op = colls_[slot];
   if (inserted) {
     op.type = type;
     op.bytes = bytes;
     op.root = root;
+    op.arrived = 0;
+    op.comm_id = c.id;
+    op.seq = seq;
+    op.max_arrival = 0.0;
+    op.root_arrived = false;
+    op.root_time = 0.0;
     op.fn = fn;
     op.contrib.resize(p);
+    for (auto& v : op.contrib) v.clear();  // recycled slots keep capacity
     op.recv_bufs.assign(p, nullptr);
     op.req_ids.assign(p, 0);
     op.has_arrived.assign(p, false);
     op.arrival.assign(p, 0.0);
+    op.colorkey.clear();
     if (type == CollType::Split) op.colorkey.resize(p);
+    op.folded.clear();
+    op.folded_done = false;
+    op.split_done = false;
     op.outstanding_waits = p;
     op.cost = machine_.coll_cost(type, bytes, p) *
               noise_comm(util::hash_combine(0xC011EC71FULL,
                                             static_cast<std::uint64_t>(c.id)),
                          seq);
     ++coll_count_;
-  } else {
+  } else if (op.type != type || op.bytes != bytes || op.root != root) {
+    // Diagnostic built only on actual mismatch: the happy path must not pay
+    // for an ostringstream per collective arrival.
     std::ostringstream os;
     os << "collective mismatch on comm " << c.id << " seq " << seq << ": "
        << coll_name(op.type) << "/" << op.bytes << "/root " << op.root
        << " vs " << coll_name(type) << "/" << bytes << "/root " << root;
-    CRITTER_CHECK(op.type == type && op.bytes == bytes && op.root == root,
-                  os.str());
+    CRITTER_CHECK(false, os.str());
   }
 
   // Stage this rank's contribution.
@@ -355,12 +482,10 @@ Request Engine::f_icoll(CollType type, const void* sendbuf, void* recvbuf,
   }
   op.recv_bufs[lr] = recvbuf;
 
-  Request r{new_req_id()};
-  ReqState q;
-  q.owner = rs.ctx.rank;
-  q.is_coll = true;
-  q.coll_key = key;
-  reqs_[r.id] = q;
+  ReqState* q = nullptr;
+  Request r{reqs_.alloc(&q)};
+  q->owner = rs.ctx.rank;
+  q->coll_slot = slot;
   op.req_ids[lr] = r.id;
 
   ++op.arrived;
@@ -412,11 +537,12 @@ Request Engine::f_icoll(CollType type, const void* sendbuf, void* recvbuf,
 
 void Engine::finalize_coll_member(CollOp& op, const CommData& cd, int lr,
                                   double when) {
-  ReqState& q = reqs_.at(op.req_ids[lr]);
-  if (q.done) return;
+  ReqState* q = reqs_.find(op.req_ids[lr]);
+  CRITTER_CHECK(q != nullptr, "collective request state missing");
+  if (q->done) return;
   deliver_coll_data(op, cd, lr);
-  q.done = true;
-  q.done_time = when;
+  q->done = true;
+  q->done_time = when;
   RankState& owner = *ranks_[cd.members[lr]];
   if (owner.st == RankState::St::Blocked && owner.blocked_req == op.req_ids[lr])
     make_ready(owner.ctx.rank, when);
@@ -430,10 +556,11 @@ void Engine::complete_coll_sync(int comm_id, CollOp& op) {
   for (int lr = 0; lr < p; ++lr) deliver_coll_data(op, comms_.at(comm_id), lr);
   const CommData& cd = comms_.at(comm_id);
   for (int lr = 0; lr < p; ++lr) {
-    ReqState& q = reqs_.at(op.req_ids[lr]);
-    if (q.done) continue;
-    q.done = true;
-    q.done_time = completion;
+    ReqState* q = reqs_.find(op.req_ids[lr]);
+    CRITTER_CHECK(q != nullptr, "collective request state missing");
+    if (q->done) continue;
+    q->done = true;
+    q->done_time = completion;
     RankState& owner = *ranks_[cd.members[lr]];
     if (owner.st == RankState::St::Blocked && owner.blocked_req == op.req_ids[lr])
       make_ready(owner.ctx.rank, completion);
@@ -505,7 +632,8 @@ void Engine::deliver_coll_data(CollOp& op, const CommData& cd, int lr) {
       if (op.split_done) return;
       op.split_done = true;
       // Group members by color, order each group by (key, world rank), and
-      // register one new communicator per color.
+      // register one new communicator per color.  Cold path: std::map keeps
+      // the color iteration order deterministic.
       std::map<int, std::vector<std::pair<std::pair<int, int>, int>>> groups;
       for (int m = 0; m < p; ++m) {
         const int color = op.colorkey[m][0];
@@ -545,14 +673,12 @@ void Engine::run(const std::function<void(RankCtx&)>& body) {
   for (int r = 0; r < nranks_; ++r) {
     RankState* rs = ranks_[r].get();
     rs->fiber = std::make_unique<Fiber>([this, rs, &body] { body(rs->ctx); });
-    ready_.emplace(std::make_pair(0.0, r), r);
+    ready_.push(0.0, r);
   }
   Engine* prev = g_engine;
   g_engine = this;
   while (!ready_.empty()) {
-    const auto it = ready_.begin();
-    const int r = it->second;
-    ready_.erase(it);
+    const int r = ready_.pop();
     RankState& rs = *ranks_[r];
     rs.st = RankState::St::Running;
     running_ = r;
@@ -590,7 +716,7 @@ void Engine::report_deadlock() {
       break;
     }
     os << "[rank " << rs->ctx.rank << " @t=" << rs->ctx.clock << " "
-       << (rs->block_reason.empty() ? "ready?" : rs->block_reason) << "] ";
+       << (rs->block_reason == nullptr ? "ready?" : rs->block_reason) << "] ";
   }
   throw std::runtime_error(os.str());
 }

@@ -5,24 +5,34 @@
 // events are processed in virtual-time order and the simulation is a
 // conservative, fully deterministic discrete-event execution.
 //
-// Semantics notes (documented divergences from MPI are deliberate):
+// Semantics notes (documented divergences from MPI are deliberate; see
+// DESIGN.md for the full contract):
 //  * sends are eager/buffered: a sender never blocks on its peer;
 //  * wildcard source/tag matching is unsupported;
 //  * a buffer handed to a nonblocking op must not be reused before wait(),
 //    exactly like MPI;
 //  * all buffers may be null ("model mode"): costs accrue, no data moves.
+//
+// Hot-path data structures: the ready queue is a binary min-heap keyed on
+// (clock, rank); the per-pair message tables are open-addressed hash maps
+// over a hashed P2PKey; request and collective state live in slot/freelist
+// tables indexed by id, and message payloads recycle through a buffer pool.
+// One engine instance is confined to one OS thread, but independent engines
+// may run concurrently on different threads (the tuner's worker pool does).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/fiber.hpp"
 #include "sim/machine.hpp"
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
 
 namespace critter::sim {
 
@@ -82,9 +92,9 @@ class Engine {
 
   // --- rank-side API (must be called from inside a rank fiber) ---
 
-  /// Context of the currently running rank.
+  /// Context of the currently running rank (of this thread's engine).
   static RankCtx& ctx();
-  /// True if a fiber of some engine is currently running.
+  /// True if a fiber of some engine is currently running on this thread.
   static bool in_rank();
 
   Comm world() const { return Comm{0}; }
@@ -109,33 +119,48 @@ class Engine {
 
  private:
   struct RankState;
+
   struct P2PKey {
     int comm, dst, src, tag;
-    auto operator<=>(const P2PKey&) const = default;
+    bool operator==(const P2PKey&) const = default;
   };
+  struct P2PKeyHash {
+    std::size_t operator()(const P2PKey& k) const {
+      const std::uint64_t a =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.comm)) << 32) |
+          static_cast<std::uint32_t>(k.tag);
+      const std::uint64_t b =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.dst)) << 32) |
+          static_cast<std::uint32_t>(k.src);
+      return util::hash_combine(a, b);
+    }
+  };
+
   struct MsgInFlight {
     double avail;
-    std::vector<std::byte> data;
     int bytes;
+    std::vector<std::byte> data;
   };
+
   struct ReqState {
     bool done = false;
-    double done_time = 0.0;
-    int owner = -1;
     bool is_recv = false;
-    void* recv_buf = nullptr;
+    int owner = -1;
     int bytes = 0;
-    P2PKey key{};
-    bool is_coll = false;
-    std::pair<int, std::uint64_t> coll_key{};
+    int coll_slot = -1;  ///< owning collective op, -1 for p2p
+    double done_time = 0.0;
+    void* recv_buf = nullptr;
   };
+
   struct CollOp {
     CollType type{};
     int bytes = 0;
     int root = 0;
     int arrived = 0;
+    int comm_id = -1;          ///< owning communicator (for slot release)
+    std::uint64_t seq = 0;     ///< per-comm collective sequence number
     double max_arrival = 0.0;
-    double cost = 0.0;        // noisy cost, fixed at op creation
+    double cost = 0.0;         ///< noisy cost, fixed at op creation
     bool root_arrived = false;
     double root_time = 0.0;
     ReduceFn fn;
@@ -150,25 +175,87 @@ class Engine {
     bool split_done = false;
     int outstanding_waits = 0;
   };
+
   struct CommData {
     std::vector<int> members;        // world ranks, ordered by local rank
     std::vector<int> local_of_world; // world rank -> local rank (-1 if absent)
     std::vector<std::uint64_t> seq;  // per local rank collective sequence no.
+    /// In-flight collectives: (seq, coll slot).  At most a handful are live
+    /// per communicator, so linear search beats any tree/hash here.
+    std::vector<std::pair<std::uint64_t, int>> active;
+  };
+
+  /// Binary min-heap of runnable ranks ordered by (clock, rank).  A rank
+  /// appears at most once, so the (clock, rank) keys are unique and pops
+  /// reproduce exactly the std::map iteration order the engine had before.
+  class ReadyHeap {
+   public:
+    bool empty() const { return h_.empty(); }
+    std::size_t size() const { return h_.size(); }
+    void reserve(std::size_t n) { h_.reserve(n); }
+    double top_time() const { return h_[0].time; }
+    int top_rank() const { return h_[0].rank; }
+    void push(double time, int rank);
+    int pop();  ///< removes and returns the minimal entry's rank
+   private:
+    struct Entry {
+      double time;
+      int rank;
+    };
+    static bool less(const Entry& a, const Entry& b) {
+      return a.time < b.time || (a.time == b.time && a.rank < b.rank);
+    }
+    std::vector<Entry> h_;
+  };
+
+  /// Slot/freelist table of nonblocking requests.  A request id encodes
+  /// (slot + 1) in the high 32 bits and the slot's generation in the low 32,
+  /// so stale or double waits are still detected in O(1).  Slots live in a
+  /// deque: references stay valid while a blocked rank's peer allocates new
+  /// requests (no defensive re-lookup after wakeup).
+  class ReqTable {
+   public:
+    std::uint64_t alloc(ReqState** out);
+    ReqState* find(std::uint64_t id);
+    void release(std::uint64_t id);
+   private:
+    struct Slot {
+      ReqState st;
+      std::uint32_t gen = 1;
+      bool active = false;
+    };
+    std::deque<Slot> slots_;
+    std::vector<std::uint32_t> free_;
+  };
+
+  /// Slot/freelist table of collective operations.  Recycled slots keep
+  /// their per-rank vector capacities, so steady-state collectives allocate
+  /// nothing.
+  class CollTable {
+   public:
+    int alloc();
+    CollOp& operator[](int slot) { return slots_[slot]; }
+    void release(int slot) { free_.push_back(slot); }
+   private:
+    std::deque<CollOp> slots_;
+    std::vector<int> free_;
   };
 
   RankState& current();
   void sync_to_min();                 // wait until this rank is globally minimal
-  void block_current(const std::string& why);
+  void block_current(const char* why);
   void make_ready(int rank, double at_time);
   double noise_comm(std::uint64_t k1, std::uint64_t k2) const;
-  std::uint64_t new_req_id() { return next_req_id_++; }
   /// Mark one participant's collective request done at `when`, deliver its
   /// data, and wake it if blocked.
   void finalize_coll_member(CollOp& op, const CommData& cd, int lr,
                             double when);
   void complete_coll_sync(int comm_id, CollOp& op);
   void deliver_coll_data(CollOp& op, const CommData& cd, int lr);
+  void release_coll(int slot);
   int register_comm(std::vector<int> members);
+  std::vector<std::byte> pool_acquire(int bytes);
+  void pool_release(std::vector<std::byte>&& buf);
   [[noreturn]] void report_deadlock();
 
   int nranks_;
@@ -176,14 +263,14 @@ class Engine {
   std::uint64_t seed_;
   std::vector<std::unique_ptr<RankState>> ranks_;
   std::vector<CommData> comms_;
-  std::map<std::pair<double, int>, int> ready_;  // (time, rank) -> rank
+  ReadyHeap ready_;
   int running_ = -1;
-  std::map<P2PKey, std::deque<MsgInFlight>> mailbox_;
-  std::map<P2PKey, std::deque<std::uint64_t>> posted_recvs_;
-  std::map<P2PKey, std::uint64_t> pair_seq_;
-  std::map<std::uint64_t, ReqState> reqs_;
-  std::map<std::pair<int, std::uint64_t>, CollOp> colls_;
-  std::uint64_t next_req_id_ = 1;
+  util::FlatMap<P2PKey, util::Fifo<MsgInFlight>, P2PKeyHash> mailbox_;
+  util::FlatMap<P2PKey, util::Fifo<std::uint64_t>, P2PKeyHash> posted_recvs_;
+  util::FlatMap<P2PKey, std::uint64_t, P2PKeyHash> pair_seq_;
+  ReqTable reqs_;
+  CollTable colls_;
+  std::vector<std::vector<std::byte>> pool_;  // recycled message payloads
   double max_time_ = 0.0;
   std::vector<double> final_clocks_;
   std::int64_t p2p_count_ = 0;

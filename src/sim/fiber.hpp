@@ -1,15 +1,27 @@
-// Cooperative user-level fibers (ucontext-based).
+// Cooperative user-level fibers.
 //
 // Each simulated MPI rank runs as a fiber so rank programs can be written in
-// natural blocking style (call sim::recv and "block").  The whole simulation
-// is single-OS-thread; the engine resumes exactly one fiber at a time, which
-// makes execution deterministic.
+// natural blocking style (call sim::recv and "block").  Each engine runs on
+// one OS thread and resumes exactly one fiber at a time, which makes its
+// execution deterministic; independent engines may run on separate threads.
+//
+// On x86-64 the switch is a hand-rolled userspace stack swap (callee-saved
+// registers + FPU control words, ~10ns); glibc's swapcontext performs a
+// sigprocmask syscall per switch, which dominated the scheduler's hot path.
+// Other architectures fall back to ucontext.  Define CRITTER_FIBER_UCONTEXT
+// to force the portable path (e.g. when debugging under sanitizers that
+// track stacks through swapcontext).
 #pragma once
 
 #include <cstddef>
 #include <exception>
 #include <functional>
+
+#if defined(__x86_64__) && !defined(CRITTER_FIBER_UCONTEXT)
+#define CRITTER_FIBER_FAST 1
+#else
 #include <ucontext.h>
+#endif
 
 namespace critter::sim {
 
@@ -42,8 +54,13 @@ class Fiber {
   static void trampoline();
 
   std::function<void()> body_;
+#if defined(CRITTER_FIBER_FAST)
+  void* sp_ = nullptr;            ///< fiber's saved stack pointer
+  void* scheduler_sp_ = nullptr;  ///< scheduler's saved stack pointer
+#else
   ucontext_t context_{};
   ucontext_t scheduler_context_{};
+#endif
   void* stack_ = nullptr;
   std::size_t stack_bytes_ = 0;
   bool started_ = false;

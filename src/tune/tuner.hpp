@@ -34,6 +34,15 @@ struct TuneOptions {
   int tilde_capacity = 256;
   /// Enable the SVIII cross-size kernel-model extrapolation extension.
   bool extrapolate = false;
+  /// Evaluate configurations on a work-stealing pool of this many workers.
+  /// Parallel evaluation requires per-configuration statistics isolation,
+  /// so it engages only when `reset_per_config` is set and the policy keeps
+  /// no cross-configuration state (not eager propagation, not extrapolate);
+  /// otherwise the sweep silently falls back to serial.  Results are
+  /// bit-identical to the serial sweep by construction: each worker owns an
+  /// independent Engine + Store, noise salts are assigned per configuration
+  /// index, and totals reduce in configuration order.
+  int workers = 1;
 };
 
 struct ConfigOutcome {

@@ -1,0 +1,154 @@
+// Determinism contract of the engine and the thread-pooled sweep: repeated
+// runs are bit-identical, and a parallel run_study reproduces the serial
+// sweep exactly (same noise salts, independent per-configuration stores,
+// ordered reduction of totals).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "tune/tuner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tune = critter::tune;
+using critter::Policy;
+
+namespace {
+
+tune::Study small_study(int nconfigs) {
+  auto study = tune::capital_cholesky_study(false);
+  study.configs.resize(nconfigs);
+  return study;
+}
+
+bool reports_equal(const critter::Report& a, const critter::Report& b) {
+  return std::memcmp(a.critical.as_array(), b.critical.as_array(),
+                     sizeof(double) * critter::PathMetrics::kFields) == 0 &&
+         std::memcmp(a.volavg.as_array(), b.volavg.as_array(),
+                     sizeof(double) * critter::PathMetrics::kFields) == 0 &&
+         a.wall_time == b.wall_time && a.executed == b.executed &&
+         a.skipped == b.skipped;
+}
+
+}  // namespace
+
+TEST(Determinism, RepeatedMeasureConfigIsBitIdentical) {
+  const auto study = small_study(3);
+  for (int c = 0; c < 3; ++c) {
+    critter::Report r1 = tune::measure_config(study, study.configs[c], 42);
+    critter::Report r2 = tune::measure_config(study, study.configs[c], 42);
+    EXPECT_TRUE(reports_equal(r1, r2)) << "config " << c;
+    EXPECT_GT(r1.critical.exec_time, 0.0);
+  }
+}
+
+TEST(Determinism, RepeatedRunStudyIsBitIdentical) {
+  const auto study = small_study(4);
+  tune::TuneOptions opt;
+  opt.policy = Policy::OnlinePropagation;
+  opt.tolerance = 0.25;
+  opt.samples = 2;
+  opt.reset_per_config = true;
+  auto r1 = tune::run_study(study, opt);
+  auto r2 = tune::run_study(study, opt);
+  ASSERT_EQ(r1.per_config.size(), r2.per_config.size());
+  for (std::size_t i = 0; i < r1.per_config.size(); ++i) {
+    EXPECT_EQ(r1.per_config[i].true_time, r2.per_config[i].true_time);
+    EXPECT_EQ(r1.per_config[i].pred_time, r2.per_config[i].pred_time);
+  }
+  EXPECT_EQ(r1.tuning_time, r2.tuning_time);
+}
+
+TEST(ParallelSweep, PooledMatchesSerialBitExactly) {
+  const auto study = small_study(8);
+  for (Policy pol : {Policy::ConditionalExecution, Policy::OnlinePropagation,
+                     Policy::LocalPropagation, Policy::AprioriPropagation}) {
+    tune::TuneOptions serial;
+    serial.policy = pol;
+    serial.tolerance = 0.25;
+    serial.samples = 2;
+    serial.reset_per_config = true;
+    serial.workers = 1;
+    tune::TuneOptions pooled = serial;
+    pooled.workers = 4;
+
+    auto rs = tune::run_study(study, serial);
+    auto rp = tune::run_study(study, pooled);
+
+    ASSERT_EQ(rs.per_config.size(), rp.per_config.size());
+    for (std::size_t i = 0; i < rs.per_config.size(); ++i) {
+      EXPECT_EQ(rs.per_config[i].true_time, rp.per_config[i].true_time)
+          << critter::policy_name(pol) << " config " << i;
+      EXPECT_EQ(rs.per_config[i].pred_time, rp.per_config[i].pred_time)
+          << critter::policy_name(pol) << " config " << i;
+      EXPECT_EQ(rs.per_config[i].err, rp.per_config[i].err);
+      EXPECT_EQ(rs.per_config[i].executed, rp.per_config[i].executed);
+      EXPECT_EQ(rs.per_config[i].skipped, rp.per_config[i].skipped);
+    }
+    EXPECT_EQ(rs.tuning_time, rp.tuning_time) << critter::policy_name(pol);
+    EXPECT_EQ(rs.full_time, rp.full_time);
+    EXPECT_EQ(rs.kernel_time, rp.kernel_time);
+    EXPECT_EQ(rs.best_predicted(), rp.best_predicted());
+  }
+}
+
+TEST(ParallelSweep, MoreWorkersThanConfigs) {
+  const auto study = small_study(2);
+  tune::TuneOptions serial;
+  serial.policy = Policy::ConditionalExecution;
+  serial.samples = 1;
+  serial.reset_per_config = true;
+  tune::TuneOptions pooled = serial;
+  pooled.workers = 8;
+  auto rs = tune::run_study(study, serial);
+  auto rp = tune::run_study(study, pooled);
+  for (std::size_t i = 0; i < rs.per_config.size(); ++i)
+    EXPECT_EQ(rs.per_config[i].pred_time, rp.per_config[i].pred_time);
+}
+
+TEST(ParallelSweep, EagerFallsBackToSerial) {
+  // Eager propagation persists statistics across configurations; workers>1
+  // must not change its results (it runs serially by contract).
+  const auto study = small_study(4);
+  tune::TuneOptions a;
+  a.policy = Policy::EagerPropagation;
+  a.samples = 1;
+  a.workers = 1;
+  tune::TuneOptions b = a;
+  b.workers = 4;
+  auto ra = tune::run_study(study, a);
+  auto rb = tune::run_study(study, b);
+  for (std::size_t i = 0; i < ra.per_config.size(); ++i)
+    EXPECT_EQ(ra.per_config[i].pred_time, rb.per_config[i].pred_time);
+  EXPECT_EQ(ra.tuning_time, rb.tuning_time);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  critter::util::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(257, [&](int i) { ++hits[i]; });
+  for (int i = 0; i < 257; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  critter::util::ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  for (int round = 0; round < 5; ++round)
+    pool.parallel_for(10, [&](int i) { sum += i; });
+  EXPECT_EQ(sum.load(), 5 * 45);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  critter::util::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](int i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // pool still usable afterwards
+  std::atomic<int> n{0};
+  pool.parallel_for(4, [&](int) { ++n; });
+  EXPECT_EQ(n.load(), 4);
+}
