@@ -60,7 +60,7 @@ BENCHMARK(BM_InterceptedAllreduce);
 static void BM_IntMsgPackFold(benchmark::State& state) {
   const int cap = static_cast<int>(state.range(0));
   critter::RankProfiler rp;
-  rp.channels.init_world(64);
+  rp.table.channels.init_world(64);
   for (int i = 0; i < cap; ++i) rp.tilde[critter::util::mix64(i)] = i + 1;
   critter::core::IntMsg a(cap, 32), b(cap, 32);
   critter::Config cfg;

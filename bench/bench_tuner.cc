@@ -1,0 +1,136 @@
+// Tuner sweep throughput: configurations/second on the SLATE-Cholesky
+// study for the three sweep modes —
+//
+//   serial               one store, configurations in sequence (PR-1
+//                        behavior for every shared-statistics sweep);
+//   isolated-parallel    reset_per_config sweep on a worker pool
+//                        (bit-identical to its serial counterpart);
+//   batch-shared-parallel the statistics-lifecycle path: workers evaluate
+//                        batches against a shared snapshot and merge deltas
+//                        at a barrier (eager/persistent/extrapolate sweeps
+//                        no longer fall back to serial).
+//
+// Emits a human-readable table and the BENCH_*.json perf-trajectory shape:
+//
+//   { "bench": "tuner",
+//     "results": [ {"name": ..., "value": ..., "unit": ...}, ... ] }
+//
+// CRITTER_BENCH_JSON overrides the output path (default BENCH_tuner.json);
+// CRITTER_BENCH_CONFIGS (default 12) and CRITTER_BENCH_SAMPLES (default 2)
+// scale the sweep; CRITTER_BENCH_WORKERS (default 4) sizes the pool.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tune/tuner.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace tune = critter::tune;
+namespace util = critter::util;
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Result {
+  std::string name;
+  double value;
+  std::string unit;
+};
+
+std::vector<Result> g_results;
+
+double sweep_rate(const tune::Study& study, const tune::TuneOptions& opt,
+                  util::Table& t, const char* name) {
+  const double t0 = now_s();
+  const tune::TuneResult r = tune::run_study(study, opt);
+  const double secs = now_s() - t0;
+  const double rate = static_cast<double>(r.evaluated_configs) / secs;
+  t.row({name, tune::sweep_mode_name(r.mode),
+         std::to_string(r.effective_workers),
+         util::Table::num(secs, 3), util::Table::num(rate, 2)});
+  g_results.push_back({std::string(name) + "_configs_per_sec", rate,
+                       "configs/s"});
+  return rate;
+}
+
+}  // namespace
+
+int main() {
+  const int nconf = static_cast<int>(util::env_int("CRITTER_BENCH_CONFIGS", 12));
+  const int samples = static_cast<int>(util::env_int("CRITTER_BENCH_SAMPLES", 2));
+  const int workers = static_cast<int>(util::env_int("CRITTER_BENCH_WORKERS", 4));
+
+  auto study = tune::slate_cholesky_study(false);
+  if (nconf < static_cast<int>(study.configs.size()))
+    study.configs.resize(nconf);
+
+  tune::TuneOptions shared;
+  shared.policy = critter::Policy::OnlinePropagation;
+  shared.tolerance = 0.25;
+  shared.samples = samples;
+  shared.reset_per_config = false;  // Capital-style persistent statistics
+
+  util::Table t("Tuner sweep throughput: " + study.name + ", " +
+                std::to_string(study.configs.size()) + " configurations");
+  t.header({"sweep", "mode", "workers", "wall(s)", "configs/s"});
+
+  // 1. Serial shared-statistics sweep: the baseline every shared sweep was
+  //    forced onto before the batch-shared path existed.
+  const double serial = sweep_rate(study, shared, t, "serial_shared");
+
+  // 2. Isolated-parallel sweep (statistics reset per configuration).
+  tune::TuneOptions isolated = shared;
+  isolated.reset_per_config = true;
+  isolated.workers = workers;
+  const double iso = sweep_rate(study, isolated, t, "isolated_parallel");
+
+  // 3. Batch-shared sweep at one worker: identical results to (4) by the
+  //    determinism contract, so (4)/(3) isolates the parallelization gain
+  //    from the batch-semantics difference against (1).
+  tune::TuneOptions batched = shared;
+  batched.batch = workers;
+  batched.workers = 1;
+  const double bs1 = sweep_rate(study, batched, t, "batch_shared_serial");
+
+  // 4. Batch-shared parallel sweep: shared statistics, deterministic at
+  //    this batch size for any worker count.
+  batched.workers = workers;
+  const double bsp = sweep_rate(study, batched, t, "batch_shared_parallel");
+
+  // 5. The same path carrying the eager policy (the sweep the paper gains
+  //    most from, previously hard-serialized).
+  tune::TuneOptions eager = batched;
+  eager.policy = critter::Policy::EagerPropagation;
+  sweep_rate(study, eager, t, "batch_shared_eager");
+
+  t.print();
+  std::printf("\nbatch-shared parallel: %.2fx vs serial, %.2fx vs same-semantics"
+              " serial; isolated parallel: %.2fx vs serial\n",
+              bsp / serial, bsp / bs1, iso / serial);
+  g_results.push_back({"batch_shared_vs_serial", bsp / serial, "x"});
+  g_results.push_back({"batch_parallel_vs_batch_serial", bsp / bs1, "x"});
+  g_results.push_back({"isolated_vs_serial", iso / serial, "x"});
+
+  const char* path = std::getenv("CRITTER_BENCH_JSON");
+  const std::string out = path ? path : "BENCH_tuner.json";
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"tuner\",\n  \"results\": [\n");
+    for (std::size_t i = 0; i < g_results.size(); ++i)
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n",
+                   g_results[i].name.c_str(), g_results[i].value,
+                   g_results[i].unit.c_str(),
+                   i + 1 < g_results.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}

@@ -2,9 +2,12 @@
 // paper's first case study, with a policy of your choice:
 //
 //   ./autotune_cholesky [--policy=online] [--tolerance=0.125] [--samples=2]
+//                       [--workers=4] [--batch=4]
 //
 // Prints the per-configuration predictions, the exhaustive-search cost with
-// and without selective execution, and the selected configuration.
+// and without selective execution, the selected configuration, and the
+// effective sweep mode (serial / parallel-isolated / parallel-batch-shared
+// — never a silent fallback).
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -33,6 +36,8 @@ int main(int argc, char** argv) {
   topt.policy = parse_policy(opt.get("policy", "online"));
   topt.tolerance = opt.get_double("tolerance", 0.125);
   topt.samples = static_cast<int>(opt.get_int("samples", 2));
+  topt.workers = static_cast<int>(opt.get_int("workers", 1));
+  topt.batch = static_cast<int>(opt.get_int("batch", 0));
 
   const tune::Study study =
       tune::capital_cholesky_study(critter::util::paper_scale());
@@ -42,6 +47,13 @@ int main(int argc, char** argv) {
               critter::policy_name(topt.policy), topt.tolerance);
 
   const tune::TuneResult r = tune::run_study(study, topt);
+
+  std::printf("sweep mode: %s, %d/%d workers%s%s%s\n",
+              tune::sweep_mode_name(r.mode), r.effective_workers,
+              r.requested_workers,
+              r.batch > 0 ? (", batch " + std::to_string(r.batch)).c_str() : "",
+              r.fallback_reason.empty() ? "" : " — ",
+              r.fallback_reason.c_str());
 
   critter::util::Table t("per-configuration results");
   t.header({"config", "params", "true(s)", "predicted(s)", "err(%)",

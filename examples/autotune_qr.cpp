@@ -2,6 +2,7 @@
 // shape (the paper's third case study):
 //
 //   ./autotune_qr [--policy=local] [--tolerance=0.25] [--samples=1]
+//                 [--workers=4] [--batch=4]
 //
 // Demonstrates the paper's observation that CANDMC's shrinking trailing
 // matrix creates many distinct kernel signatures, limiting the end-to-end
@@ -25,6 +26,8 @@ int main(int argc, char** argv) {
                                      : critter::Policy::LocalPropagation;
   topt.tolerance = opt.get_double("tolerance", 0.25);
   topt.samples = static_cast<int>(opt.get_int("samples", 1));
+  topt.workers = static_cast<int>(opt.get_int("workers", 1));
+  topt.batch = static_cast<int>(opt.get_int("batch", 0));
   topt.reset_per_config = true;  // paper protocol for CANDMC
 
   const tune::Study study = tune::candmc_qr_study(critter::util::paper_scale());
@@ -33,6 +36,11 @@ int main(int argc, char** argv) {
               study.configs.size());
 
   const tune::TuneResult r = tune::run_study(study, topt);
+
+  std::printf("sweep mode: %s, %d/%d workers%s%s\n",
+              tune::sweep_mode_name(r.mode), r.effective_workers,
+              r.requested_workers, r.fallback_reason.empty() ? "" : " — ",
+              r.fallback_reason.c_str());
 
   critter::util::Table t("per-configuration results");
   t.header({"config", "params", "true(s)", "predicted(s)", "err(%)",

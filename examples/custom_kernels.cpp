@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     if (ctx.rank == 0) {
       critter::util::Table t("custom kernel profile (rank 0)");
       t.header({"kernel", "samples", "mean(us)", "rel-CI", "skipped-invocations"});
-      for (const auto& [key, ks] : store.rank(0).K) {
+      for (const auto& [key, ks] : store.rank(0).table.K) {
         if (key.cls != critter::core::KernelClass::User) continue;
         t.row({key.to_string(), std::to_string(ks.n),
                critter::util::Table::num(ks.mean * 1e6, 3),

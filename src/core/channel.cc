@@ -175,6 +175,10 @@ bool ChannelRegistry::insert(std::uint64_t h, Channel ch) {
   return inserted;
 }
 
+void ChannelRegistry::merge_from(const ChannelRegistry& other) {
+  other.for_each([&](std::uint64_t h, const Channel& ch) { insert(h, ch); });
+}
+
 bool ChannelRegistry::try_extend_coverage(std::uint64_t agg, std::uint64_t chan,
                                           std::uint64_t* combined) const {
   const Channel* c = find(chan);

@@ -87,6 +87,29 @@ class ChannelRegistry {
 
   std::size_t size() const { return channels_.size(); }
 
+  /// Union with another registry (same world): adopts every channel and
+  /// aggregate the other side knows.  Insertion is keyed by the
+  /// content-derived hash, so the merge is idempotent, commutative, and
+  /// independent of iteration order.
+  void merge_from(const ChannelRegistry& other);
+
+  /// Insert a fully-built channel (e.g. deserialized, or copied from a peer
+  /// registry) without re-running the aggregate construction — the source
+  /// registry already materialized its aggregates.
+  void insert_raw(const Channel& ch) { insert(ch.hash(), ch); }
+
+  /// Visit every channel in ascending-hash (deterministic) order.
+  template <class F>
+  void for_each(F&& f) const {
+    for (std::uint64_t h : sorted_hashes_) f(h, channels_.at(h));
+  }
+
+  /// Same registered channel set (hashes are content-derived, so comparing
+  /// the sorted hash lists compares the channels).
+  bool same_channels(const ChannelRegistry& other) const {
+    return sorted_hashes_ == other.sorted_hashes_;
+  }
+
  private:
   /// try_emplace + sorted-hash-list maintenance; true if newly inserted.
   bool insert(std::uint64_t h, Channel ch);

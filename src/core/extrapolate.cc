@@ -15,6 +15,27 @@ void SizeModelBucket::add(double x, double y) {
   max_x = std::max(max_x, x);
 }
 
+void SizeModelBucket::merge(const SizeModelBucket& other) {
+  n += other.n;
+  sx += other.sx;
+  sy += other.sy;
+  sxx += other.sxx;
+  sxy += other.sxy;
+  syy += other.syy;
+  min_x = std::min(min_x, other.min_x);
+  max_x = std::max(max_x, other.max_x);
+}
+
+void SizeModelBucket::unmerge(const SizeModelBucket& base) {
+  n -= base.n;
+  sx -= base.sx;
+  sy -= base.sy;
+  sxx -= base.sxx;
+  sxy -= base.sxy;
+  syy -= base.syy;
+  // min_x/max_x intentionally kept (see header).
+}
+
 double SizeModelBucket::slope() const {
   const double denom = n * sxx - sx * sx;
   if (std::abs(denom) < 1e-30) return 0.0;
@@ -47,6 +68,28 @@ void SizeModel::observe(const KernelKey& key, double flops,
                         double mean_time) {
   if (flops <= 0.0 || mean_time <= 0.0) return;
   buckets_[bucket_id(key)].add(flops, mean_time);
+}
+
+void SizeModel::merge_from(const SizeModel& other) {
+  for (const auto& [id, b] : other.buckets_) {
+    auto it = buckets_.find(id);
+    if (it == buckets_.end())
+      buckets_.emplace(id, b);
+    else
+      it->second.merge(b);
+  }
+}
+
+void SizeModel::unmerge_from(const SizeModel& base) {
+  for (const auto& [id, b] : base.buckets_) {
+    auto it = buckets_.find(id);
+    if (it == buckets_.end()) continue;
+    if (it->second.n <= b.n) {
+      buckets_.erase(it);  // no new points on top of the base
+      continue;
+    }
+    it->second.unmerge(b);
+  }
 }
 
 double SizeModel::predict(const KernelKey& key, double flops, int min_points,

@@ -18,8 +18,10 @@
 // is exactly the workload this collapses.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "core/signature.hpp"
 
@@ -32,6 +34,17 @@ struct SizeModelBucket {
   double min_x = 1e300, max_x = -1e300;
 
   void add(double flops, double time);
+
+  /// Pool another bucket's observations: the fit accumulators are plain
+  /// moment sums, so merging adds them and the line is implicitly refit
+  /// from the merged moments on the next slope()/intercept() call.
+  void merge(const SizeModelBucket& other);
+
+  /// Inverse of merge() for the sums; the spread bounds are kept as-is
+  /// (min/max cannot be subtracted), which is exact whenever the delta is
+  /// merged back into a bucket containing `base` — min/max re-merge
+  /// idempotently.
+  void unmerge(const SizeModelBucket& base);
   /// Least-squares slope/intercept; only meaningful when usable().
   double slope() const;
   double intercept() const;
@@ -54,6 +67,28 @@ class SizeModel {
                  double min_r2 = 0.98) const;
 
   std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Pool another model's buckets (statistics-lifecycle merge).
+  void merge_from(const SizeModel& other);
+
+  /// Reduce to the contribution on top of `base` (see bucket unmerge);
+  /// buckets with no new points are dropped entirely.
+  void unmerge_from(const SizeModel& base);
+
+  /// Visit buckets in ascending-id (deterministic) order.
+  template <class F>
+  void for_each(F&& f) const {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(buckets_.size());
+    for (const auto& [id, b] : buckets_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (std::uint64_t id : ids) f(id, buckets_.at(id));
+  }
+
+  /// Deserialization: install a fully-populated bucket.
+  void set_bucket(std::uint64_t id, const SizeModelBucket& b) {
+    buckets_[id] = b;
+  }
 
  private:
   static std::uint64_t bucket_id(const KernelKey& key) {

@@ -45,7 +45,7 @@ double intercept_compute(const core::KernelKey& key, double flops,
   // (class, flags) bucket already has a tight size model is skipped
   // outright; the model's prediction seeds its statistics.
   if (execute && cfg.extrapolate && cfg.selective && ks.n == 0) {
-    const double predicted = rp.size_model.predict(key, flops);
+    const double predicted = rp.table.size_model.predict(key, flops);
     if (predicted > 0.0) {
       ks.add_sample(predicted);  // seed so skips have a mean to charge
       execute = false;
@@ -69,7 +69,7 @@ double intercept_compute(const core::KernelKey& key, double flops,
       // the kernel is steady (it was just skipped): contribute its mean
       // as one (flops, time) point of the size model
       ks.extrapolation_observed = true;
-      rp.size_model.observe(key, flops, ks.mean);
+      rp.table.size_model.observe(key, flops, ks.mean);
     }
   }
   if (cfg.mode == ExecMode::Real && real_work) real_work();

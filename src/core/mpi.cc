@@ -73,7 +73,7 @@ std::uint64_t p2p_channel(sim::Comm c, int peer_local) {
   std::vector<int> pair{std::min(me_world, peer_world),
                         std::max(me_world, peer_world)};
   if (pair[0] == pair[1]) pair.pop_back();  // self-message
-  cached = rp.channels.add_channel(pair);
+  cached = rp.table.channels.add_channel(pair);
   return cached;
 }
 

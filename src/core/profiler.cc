@@ -29,24 +29,45 @@ Store::Store(int nranks, Config cfg) : cfg_(cfg), ranks_(nranks) {
   // Only the eager policy ships aggregation entries; dropping the section
   // otherwise shrinks every internal message (less profiling overhead).
   if (cfg_.policy != Policy::EagerPropagation) cfg_.eager_capacity = 0;
-  for (auto& rp : ranks_) rp.channels.init_world(nranks);
+  for (auto& rp : ranks_) rp.table.init_world(nranks);
 }
 
 void Store::new_epoch() {
-  for (auto& rp : ranks_) {
-    ++rp.epoch;
-    for (auto& [key, ks] : rp.K) ks.reset_epoch_counters();
-  }
+  for (auto& rp : ranks_) rp.table.new_epoch();
 }
 
 void Store::reset_statistics() {
   for (auto& rp : ranks_) {
-    rp.K.clear();
-    rp.key_of_hash.clear();
-    rp.pending_eager.clear();
+    rp.table.clear_statistics();
     rp.apriori.clear();
     rp.cached_stats = nullptr;  // points into the cleared K
   }
+}
+
+core::StatSnapshot Store::snapshot() const {
+  core::StatSnapshot snap;
+  snap.ranks.reserve(ranks_.size());
+  for (const auto& rp : ranks_) snap.ranks.push_back(rp.table);
+  return snap;
+}
+
+void Store::restore(const core::StatSnapshot& snap) {
+  CRITTER_CHECK(snap.nranks() == nranks(),
+                "stat snapshot rank count does not match store");
+  for (int r = 0; r < nranks(); ++r) {
+    ranks_[r].table = snap.ranks[r];
+    ranks_[r].cached_stats = nullptr;  // pointed into the replaced K
+  }
+}
+
+core::StatSnapshot Store::diff(const core::StatSnapshot& base) const {
+  CRITTER_CHECK(base.nranks() == nranks(),
+                "stat snapshot rank count does not match store");
+  core::StatSnapshot delta;
+  delta.ranks.reserve(ranks_.size());
+  for (int r = 0; r < nranks(); ++r)
+    delta.ranks.push_back(ranks_[r].table.diff(base.ranks[r]));
+  return delta;
 }
 
 void Store::set_apriori_from_last_run() {
@@ -80,7 +101,7 @@ void start(Store& s) {
   rp.local = LocalCounters{};
   rp.chan_of_comm.clear();
   rp.p2p_chan.clear();  // comm ids are engine-local
-  rp.chan_of_comm[0] = rp.channels.world_hash();
+  rp.chan_of_comm[0] = rp.table.channels.world_hash();
   rp.start_clock = ctx.clock;
   rp.active = true;
   ctx.user_data = &rp;
@@ -109,7 +130,7 @@ std::uint64_t channel_of(sim::Comm c) {
   const std::vector<int>& members = sim::Engine::ctx().engine->comm_members(c);
   std::vector<int> sorted = members;
   std::sort(sorted.begin(), sorted.end());
-  const std::uint64_t h = rp.channels.add_channel(sorted);
+  const std::uint64_t h = rp.table.channels.add_channel(sorted);
   rp.chan_of_comm[c.id] = h;
   return h;
 }
@@ -166,12 +187,12 @@ void note_invocation(RankProfiler& rp, const core::KernelKey& key,
     // first sighting: register the hash and absorb any eager statistics
     // that arrived early
     ks.registered = true;
-    rp.key_of_hash.emplace(key.hash(), key);
-    auto pend = rp.pending_eager.find(key.hash());
-    if (pend != rp.pending_eager.end()) {
+    rp.table.key_of_hash.emplace(key.hash(), key);
+    auto pend = rp.table.pending_eager.find(key.hash());
+    if (pend != rp.table.pending_eager.end()) {
       ks.merge(pend->second);
       ks.agg_hash = pend->second.agg_hash;
-      rp.pending_eager.erase(pend);
+      rp.table.pending_eager.erase(pend);
     }
   }
 }

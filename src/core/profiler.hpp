@@ -19,10 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/channel.hpp"
-#include "core/extrapolate.hpp"
-#include "core/signature.hpp"
-#include "core/stats.hpp"
+#include "core/stat_store.hpp"
 #include "sim/engine.hpp"
 #include "util/flat_map.hpp"
 
@@ -98,20 +95,16 @@ struct LocalCounters {
   std::int64_t extrapolated = 0;  ///< skipped via the cross-size model
 };
 
-/// Per-rank profiler state.  Statistics (K), channel registry, and epoch
-/// survive across engine runs; path state (P, ~K) resets at start().
+/// Per-rank profiler state.  The persistent statistics lifecycle (K, the
+/// channel registry, the size model, the epoch) lives in a core::KernelTable
+/// so it can be snapshotted, merged, and persisted independently of the
+/// per-run path state (P, ~K), which resets at start().
 struct RankProfiler {
   using CountMap = util::FlatMap<std::uint64_t, std::int64_t, util::IdentityHash>;
 
-  // --- persistent across runs ---
-  std::unordered_map<core::KernelKey, core::KernelStats, core::KernelKeyHash> K;
-  std::unordered_map<std::uint64_t, core::KernelKey> key_of_hash;
-  /// Eager: stats received for kernels not yet seen locally.
-  std::unordered_map<std::uint64_t, core::KernelStats> pending_eager;
-  core::ChannelRegistry channels;
-  core::SizeModel size_model;  ///< cross-size extrapolation (§VIII)
-  std::int64_t epoch = 0;
-  CountMap apriori;  // kernel hash -> critical-path count
+  // --- persistent across runs (see core/stat_store.hpp) ---
+  core::KernelTable table;
+  CountMap apriori;  // kernel hash -> critical-path count (per configuration)
 
   // --- per-run state ---
   PathMetrics path;
@@ -158,6 +151,19 @@ class Store {
   /// execution counts as the a-priori table on every rank.
   void set_apriori_from_last_run();
 
+  /// Deep copy of every rank's persistent statistics (the statistics
+  /// lifecycle's snapshot point; see core/stat_store.hpp).
+  core::StatSnapshot snapshot() const;
+
+  /// Replace every rank's persistent statistics with the snapshot's.
+  /// Rank counts must match.  Invalidate-sensitive caches are cleared.
+  void restore(const core::StatSnapshot& snap);
+
+  /// Per-rank statistics delta accumulated since `base` was captured from
+  /// (or restored into) this store: base.merge(diff) reproduces the
+  /// current state.
+  core::StatSnapshot diff(const core::StatSnapshot& base) const;
+
  private:
   Config cfg_;
   std::vector<RankProfiler> ranks_;
@@ -197,7 +203,7 @@ inline core::KernelStats& stats_for(RankProfiler& rp,
                                     const core::KernelKey& key) {
   if (rp.cached_stats != nullptr && rp.cached_key == key)
     return *rp.cached_stats;
-  core::KernelStats& ks = rp.K[key];
+  core::KernelStats& ks = rp.table.K[key];
   rp.cached_key = key;
   rp.cached_stats = &ks;
   return ks;

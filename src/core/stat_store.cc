@@ -1,0 +1,828 @@
+#include "core/stat_store.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace critter::core {
+
+// ---------------------------------------------------------------------------
+// KernelTable lifecycle
+// ---------------------------------------------------------------------------
+
+void KernelTable::new_epoch() {
+  ++epoch;
+  for (auto& [key, ks] : K) ks.reset_epoch_counters();
+}
+
+void KernelTable::clear_statistics() {
+  K.clear();
+  key_of_hash.clear();
+  pending_eager.clear();
+}
+
+namespace {
+
+/// Table-level merge of one kernel's statistics: moments via Chan, counters
+/// summed, flags OR-ed, coverage hash resolved deterministically.
+void merge_kernel_stats(KernelStats& a, const KernelStats& b) {
+  a.merge(b);  // n, mean, m2
+  a.invocations_this_epoch += b.invocations_this_epoch;
+  a.executions_this_epoch += b.executions_this_epoch;
+  a.total_invocations += b.total_invocations;
+  a.total_executions += b.total_executions;
+  const bool steady = a.global_steady || b.global_steady;
+  if (a.agg_hash == 0) {
+    a.agg_hash = b.agg_hash;
+  } else if (b.agg_hash != 0 && b.agg_hash != a.agg_hash && !a.global_steady) {
+    // Conflicting partial coverage from independent evaluations: the two
+    // hash chains cannot be combined, so coverage restarts and the kernel
+    // re-aggregates from scratch — the conservative direction.
+    a.agg_hash = 0;
+  }
+  a.global_steady = steady;
+  a.extrapolation_observed = a.extrapolation_observed || b.extrapolation_observed;
+  a.registered = a.registered || b.registered;
+}
+
+/// Delta of one kernel's statistics on top of `base` (exact merge inverse).
+KernelStats diff_kernel_stats(const KernelStats& after, const KernelStats& base) {
+  KernelStats d = after;
+  d.unmerge(base);  // n, mean, m2
+  // Per-epoch counters are dead across the barrier (every evaluation calls
+  // new_epoch() first); zeroing them keeps merge sums meaningless-but-stable.
+  d.invocations_this_epoch = 0;
+  d.executions_this_epoch = 0;
+  d.total_invocations = after.total_invocations - base.total_invocations;
+  d.total_executions = after.total_executions - base.total_executions;
+  // agg_hash/flags carry the after-state; merge_kernel_stats resolves them.
+  return d;
+}
+
+bool stats_equal(const KernelStats& a, const KernelStats& b) {
+  return a.n == b.n && a.mean == b.mean && a.m2 == b.m2 &&
+         a.total_invocations == b.total_invocations &&
+         a.total_executions == b.total_executions &&
+         a.agg_hash == b.agg_hash && a.global_steady == b.global_steady &&
+         a.extrapolation_observed == b.extrapolation_observed &&
+         a.registered == b.registered;
+}
+
+bool bucket_equal(const SizeModelBucket& a, const SizeModelBucket& b) {
+  return a.n == b.n && a.sx == b.sx && a.sy == b.sy && a.sxx == b.sxx &&
+         a.sxy == b.sxy && a.syy == b.syy && a.min_x == b.min_x &&
+         a.max_x == b.max_x;
+}
+
+bool size_model_equal(const SizeModel& a, const SizeModel& b) {
+  if (a.bucket_count() != b.bucket_count()) return false;
+  bool eq = true;
+  std::unordered_map<std::uint64_t, SizeModelBucket> bb;
+  b.for_each([&](std::uint64_t id, const SizeModelBucket& bk) { bb[id] = bk; });
+  a.for_each([&](std::uint64_t id, const SizeModelBucket& ak) {
+    auto it = bb.find(id);
+    if (it == bb.end() || !bucket_equal(ak, it->second)) eq = false;
+  });
+  return eq;
+}
+
+}  // namespace
+
+void KernelTable::merge(const KernelTable& other) {
+  for (const auto& [key, ks] : other.K) {
+    auto [it, inserted] = K.try_emplace(key, ks);
+    if (!inserted) merge_kernel_stats(it->second, ks);
+  }
+  for (const auto& [h, key] : other.key_of_hash) key_of_hash.try_emplace(h, key);
+  for (const auto& [h, ks] : other.pending_eager) {
+    auto [it, inserted] = pending_eager.try_emplace(h, ks);
+    if (!inserted) merge_kernel_stats(it->second, ks);
+  }
+  // A pending entry is dead once its kernel is registered in K on either
+  // side: the samples it carried were absorbed into that K entry.  Two
+  // batch-shared edge cases are deliberately approximate (bounded and
+  // deterministic; see DESIGN.md §6): parallel evaluations that each
+  // absorb the same pending entry count its samples once per absorber,
+  // and a delta that only *grew* a pending entry loses that growth when a
+  // sibling delta registered the kernel.
+  for (auto it = pending_eager.begin(); it != pending_eager.end();) {
+    const auto kit = key_of_hash.find(it->first);
+    const bool absorbed = kit != key_of_hash.end() && K.count(kit->second) > 0 &&
+                          K.at(kit->second).registered;
+    it = absorbed ? pending_eager.erase(it) : ++it;
+  }
+  channels.merge_from(other.channels);
+  size_model.merge_from(other.size_model);
+  epoch = std::max(epoch, other.epoch);
+}
+
+KernelTable KernelTable::diff(const KernelTable& base) const {
+  KernelTable d;
+  for (const auto& [key, ks] : K) {
+    const auto bit = base.K.find(key);
+    if (bit == base.K.end()) {
+      d.K.emplace(key, ks);
+      continue;
+    }
+    const KernelStats& bs = bit->second;
+    if (stats_equal(ks, bs)) continue;  // untouched by this evaluation
+    d.K.emplace(key, diff_kernel_stats(ks, bs));
+  }
+  for (const auto& [h, key] : key_of_hash)
+    if (base.key_of_hash.count(h) == 0) d.key_of_hash.emplace(h, key);
+  for (const auto& [h, ks] : pending_eager) {
+    const auto bit = base.pending_eager.find(h);
+    if (bit == base.pending_eager.end()) {
+      d.pending_eager.emplace(h, ks);
+    } else if (!stats_equal(ks, bit->second)) {
+      d.pending_eager.emplace(h, diff_kernel_stats(ks, bit->second));
+    }
+  }
+  channels.for_each([&](std::uint64_t h, const Channel& ch) {
+    if (!base.channels.known(h)) d.channels.insert_raw(ch);
+  });
+  d.size_model = size_model;
+  d.size_model.unmerge_from(base.size_model);
+  d.epoch = epoch;
+  return d;
+}
+
+bool KernelTable::same_statistics(const KernelTable& other) const {
+  if (K.size() != other.K.size() ||
+      key_of_hash.size() != other.key_of_hash.size() ||
+      pending_eager.size() != other.pending_eager.size() ||
+      epoch != other.epoch)
+    return false;
+  for (const auto& [key, ks] : K) {
+    const auto it = other.K.find(key);
+    if (it == other.K.end() || !stats_equal(ks, it->second)) return false;
+  }
+  for (const auto& [h, key] : key_of_hash) {
+    const auto it = other.key_of_hash.find(h);
+    if (it == other.key_of_hash.end() || !(it->second == key)) return false;
+  }
+  for (const auto& [h, ks] : pending_eager) {
+    const auto it = other.pending_eager.find(h);
+    if (it == other.pending_eager.end() || !stats_equal(ks, it->second))
+      return false;
+  }
+  return channels.same_channels(other.channels) &&
+         size_model_equal(size_model, other.size_model);
+}
+
+// ---------------------------------------------------------------------------
+// StatSnapshot
+// ---------------------------------------------------------------------------
+
+void StatSnapshot::merge(const StatSnapshot& delta) {
+  CRITTER_CHECK(delta.ranks.size() == ranks.size(),
+                "snapshot merge rank-count mismatch");
+  for (std::size_t r = 0; r < ranks.size(); ++r) ranks[r].merge(delta.ranks[r]);
+}
+
+bool StatSnapshot::same_statistics(const StatSnapshot& other) const {
+  if (ranks.size() != other.ranks.size()) return false;
+  for (std::size_t r = 0; r < ranks.size(); ++r)
+    if (!ranks[r].same_statistics(other.ranks[r])) return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization — shared flattening
+//
+// Both formats write the same logical records in the same deterministic
+// order (kernels sorted by key hash, registries in ascending-hash order).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'R', 'S', 'T', 'A', 'T', '0', '\n'};
+constexpr std::uint32_t kVersion = 1;
+constexpr char kJsonFormatTag[] = "critter-stat-snapshot";
+
+constexpr std::uint8_t kFlagGlobalSteady = 1;
+constexpr std::uint8_t kFlagExtrapObserved = 2;
+constexpr std::uint8_t kFlagRegistered = 4;
+
+std::uint8_t pack_flags(const KernelStats& ks) {
+  return (ks.global_steady ? kFlagGlobalSteady : 0) |
+         (ks.extrapolation_observed ? kFlagExtrapObserved : 0) |
+         (ks.registered ? kFlagRegistered : 0);
+}
+
+void unpack_flags(KernelStats& ks, std::uint8_t f) {
+  ks.global_steady = (f & kFlagGlobalSteady) != 0;
+  ks.extrapolation_observed = (f & kFlagExtrapObserved) != 0;
+  ks.registered = (f & kFlagRegistered) != 0;
+}
+
+template <class Map>
+std::vector<typename Map::const_pointer> sorted_by_key(const Map& m) {
+  std::vector<typename Map::const_pointer> out;
+  out.reserve(m.size());
+  for (const auto& kv : m) out.push_back(&kv);
+  std::sort(out.begin(), out.end(),
+            [](auto* a, auto* b) { return a->first < b->first; });
+  return out;
+}
+
+std::vector<const std::pair<const KernelKey, KernelStats>*> sorted_kernels(
+    const KernelTable& t) {
+  std::vector<const std::pair<const KernelKey, KernelStats>*> out;
+  out.reserve(t.K.size());
+  for (const auto& kv : t.K) out.push_back(&kv);
+  std::sort(out.begin(), out.end(), [](auto* a, auto* b) {
+    return a->first.hash() < b->first.hash();
+  });
+  return out;
+}
+
+// --- binary writer/reader --------------------------------------------------
+
+struct BinWriter {
+  std::ostream& os;
+  void raw(const void* p, std::size_t n) {
+    os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  }
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+};
+
+struct BinReader {
+  std::istream& is;
+  void raw(void* p, std::size_t n) {
+    is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    CRITTER_CHECK(is.good(), "stat snapshot: truncated binary input");
+  }
+  std::uint8_t u8() { std::uint8_t v; raw(&v, 1); return v; }
+  std::uint32_t u32() { std::uint32_t v; raw(&v, 4); return v; }
+  std::uint64_t u64() { std::uint64_t v; raw(&v, 8); return v; }
+  std::int64_t i64() { std::int64_t v; raw(&v, 8); return v; }
+  double f64() { double v; raw(&v, 8); return v; }
+};
+
+void write_key_binary(BinWriter& w, const KernelKey& key) {
+  w.u8(static_cast<std::uint8_t>(key.cls));
+  for (auto dim : key.dims) w.i64(dim);
+  w.u64(key.chan);
+}
+
+KernelKey read_key_binary(BinReader& r) {
+  const auto cls = static_cast<KernelClass>(r.u8());
+  std::array<std::int64_t, 4> dims{};
+  for (auto& dim : dims) dim = r.i64();
+  const std::uint64_t chan = r.u64();
+  return KernelKey{cls, dims, chan};
+}
+
+void write_stats_binary(BinWriter& w, const KernelStats& ks) {
+  w.i64(ks.n);
+  w.f64(ks.mean);
+  w.f64(ks.m2);
+  w.i64(ks.invocations_this_epoch);
+  w.i64(ks.executions_this_epoch);
+  w.i64(ks.total_invocations);
+  w.i64(ks.total_executions);
+  w.u64(ks.agg_hash);
+  w.u8(pack_flags(ks));
+}
+
+KernelStats read_stats_binary(BinReader& r) {
+  KernelStats ks;
+  ks.n = r.i64();
+  ks.mean = r.f64();
+  ks.m2 = r.f64();
+  ks.invocations_this_epoch = r.i64();
+  ks.executions_this_epoch = r.i64();
+  ks.total_invocations = r.i64();
+  ks.total_executions = r.i64();
+  ks.agg_hash = r.u64();
+  unpack_flags(ks, r.u8());
+  return ks;
+}
+
+void save_binary(const StatSnapshot& snap, std::ostream& os) {
+  BinWriter w{os};
+  w.raw(kMagic, sizeof kMagic);
+  w.u32(kVersion);
+  w.u32(static_cast<std::uint32_t>(snap.ranks.size()));
+  for (const KernelTable& t : snap.ranks) {
+    w.i64(t.epoch);
+    w.u64(t.K.size());
+    for (const auto* kv : sorted_kernels(t)) {
+      write_key_binary(w, kv->first);
+      write_stats_binary(w, kv->second);
+    }
+    w.u64(t.key_of_hash.size());
+    for (const auto* kv : sorted_by_key(t.key_of_hash)) {
+      w.u64(kv->first);
+      write_key_binary(w, kv->second);
+    }
+    w.u64(t.pending_eager.size());
+    for (const auto* kv : sorted_by_key(t.pending_eager)) {
+      w.u64(kv->first);
+      write_stats_binary(w, kv->second);
+    }
+    w.u64(t.channels.size());
+    t.channels.for_each([&](std::uint64_t, const Channel& ch) {
+      w.i64(ch.offset);
+      w.u8(ch.lattice ? 1 : 0);
+      w.u64(ch.dims.size());
+      for (const ChannelDim& d : ch.dims) {
+        w.i64(d.stride);
+        w.i64(d.size);
+      }
+    });
+    w.u64(t.size_model.bucket_count());
+    t.size_model.for_each([&](std::uint64_t id, const SizeModelBucket& b) {
+      w.u64(id);
+      w.i64(b.n);
+      w.f64(b.sx);
+      w.f64(b.sy);
+      w.f64(b.sxx);
+      w.f64(b.sxy);
+      w.f64(b.syy);
+      w.f64(b.min_x);
+      w.f64(b.max_x);
+    });
+  }
+}
+
+StatSnapshot load_binary(std::istream& is) {
+  BinReader r{is};
+  char magic[sizeof kMagic];
+  r.raw(magic, sizeof magic);
+  CRITTER_CHECK(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                "stat snapshot: bad binary magic");
+  const std::uint32_t version = r.u32();
+  CRITTER_CHECK(version == kVersion, "stat snapshot: unsupported version " +
+                                         std::to_string(version));
+  const std::uint32_t nranks = r.u32();
+  CRITTER_CHECK(nranks >= 1 && nranks <= (1u << 24),
+                "stat snapshot: implausible rank count");
+  StatSnapshot snap;
+  snap.ranks.resize(nranks);
+  for (KernelTable& t : snap.ranks) {
+    t.init_world(static_cast<int>(nranks));
+    t.epoch = r.i64();
+    for (std::uint64_t i = 0, nk = r.u64(); i < nk; ++i) {
+      KernelKey key = read_key_binary(r);
+      t.K.emplace(key, read_stats_binary(r));
+    }
+    for (std::uint64_t i = 0, nk = r.u64(); i < nk; ++i) {
+      const std::uint64_t h = r.u64();
+      t.key_of_hash.emplace(h, read_key_binary(r));
+    }
+    for (std::uint64_t i = 0, np = r.u64(); i < np; ++i) {
+      const std::uint64_t h = r.u64();
+      t.pending_eager.emplace(h, read_stats_binary(r));
+    }
+    for (std::uint64_t i = 0, nc = r.u64(); i < nc; ++i) {
+      Channel ch;
+      ch.offset = r.i64();
+      ch.lattice = r.u8() != 0;
+      const std::uint64_t nd = r.u64();
+      CRITTER_CHECK(nd <= (1u << 20), "stat snapshot: implausible channel");
+      ch.dims.resize(nd);
+      for (ChannelDim& d : ch.dims) {
+        d.stride = r.i64();
+        d.size = r.i64();
+      }
+      t.channels.insert_raw(ch);
+    }
+    for (std::uint64_t i = 0, nb = r.u64(); i < nb; ++i) {
+      const std::uint64_t id = r.u64();
+      SizeModelBucket b;
+      b.n = r.i64();
+      b.sx = r.f64();
+      b.sy = r.f64();
+      b.sxx = r.f64();
+      b.sxy = r.f64();
+      b.syy = r.f64();
+      b.min_x = r.f64();
+      b.max_x = r.f64();
+      t.size_model.set_bucket(id, b);
+    }
+  }
+  return snap;
+}
+
+// --- JSON writer -----------------------------------------------------------
+
+struct JsonWriter {
+  std::ostream& os;
+  void lit(const char* s) { os << s; }
+  void u64(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    os << buf;
+  }
+  void i64(std::int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    os << buf;
+  }
+  void f64(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+  }
+};
+
+void write_key_json(JsonWriter& w, const KernelKey& key) {
+  w.u64(static_cast<std::uint64_t>(key.cls));
+  for (auto dim : key.dims) {
+    w.lit(",");
+    w.i64(dim);
+  }
+  w.lit(",");
+  w.u64(key.chan);
+}
+
+void write_stats_json(JsonWriter& w, const KernelStats& ks) {
+  w.i64(ks.n);
+  w.lit(",");
+  w.f64(ks.mean);
+  w.lit(",");
+  w.f64(ks.m2);
+  w.lit(",");
+  w.i64(ks.invocations_this_epoch);
+  w.lit(",");
+  w.i64(ks.executions_this_epoch);
+  w.lit(",");
+  w.i64(ks.total_invocations);
+  w.lit(",");
+  w.i64(ks.total_executions);
+  w.lit(",");
+  w.u64(ks.agg_hash);
+  w.lit(",");
+  w.u64(pack_flags(ks));
+}
+
+void save_json(const StatSnapshot& snap, std::ostream& os) {
+  JsonWriter w{os};
+  w.lit("{\"format\":\"");
+  w.lit(kJsonFormatTag);
+  w.lit("\",\"version\":");
+  w.u64(kVersion);
+  w.lit(",\"nranks\":");
+  w.u64(snap.ranks.size());
+  w.lit(",\"ranks\":[");
+  bool first_rank = true;
+  for (const KernelTable& t : snap.ranks) {
+    if (!first_rank) w.lit(",");
+    first_rank = false;
+    w.lit("\n{\"epoch\":");
+    w.i64(t.epoch);
+    // kernels: [cls,d0,d1,d2,d3,chan, n,mean,m2,inv_e,exe_e,tot_inv,tot_exe,agg,flags]
+    w.lit(",\"kernels\":[");
+    bool first = true;
+    for (const auto* kv : sorted_kernels(t)) {
+      if (!first) w.lit(",");
+      first = false;
+      w.lit("\n[");
+      write_key_json(w, kv->first);
+      w.lit(",");
+      write_stats_json(w, kv->second);
+      w.lit("]");
+    }
+    // keys: [hash, cls,d0,d1,d2,d3,chan]
+    w.lit("],\"keys\":[");
+    first = true;
+    for (const auto* kv : sorted_by_key(t.key_of_hash)) {
+      if (!first) w.lit(",");
+      first = false;
+      w.lit("\n[");
+      w.u64(kv->first);
+      w.lit(",");
+      write_key_json(w, kv->second);
+      w.lit("]");
+    }
+    // pending: [hash, n,mean,m2,inv_e,exe_e,tot_inv,tot_exe,agg,flags]
+    w.lit("],\"pending\":[");
+    first = true;
+    for (const auto* kv : sorted_by_key(t.pending_eager)) {
+      if (!first) w.lit(",");
+      first = false;
+      w.lit("\n[");
+      w.u64(kv->first);
+      w.lit(",");
+      write_stats_json(w, kv->second);
+      w.lit("]");
+    }
+    // channels: [offset, lattice, stride0, size0, stride1, size1, ...]
+    w.lit("],\"channels\":[");
+    first = true;
+    t.channels.for_each([&](std::uint64_t, const Channel& ch) {
+      if (!first) w.lit(",");
+      first = false;
+      w.lit("\n[");
+      w.i64(ch.offset);
+      w.lit(",");
+      w.u64(ch.lattice ? 1 : 0);
+      for (const ChannelDim& d : ch.dims) {
+        w.lit(",");
+        w.i64(d.stride);
+        w.lit(",");
+        w.i64(d.size);
+      }
+      w.lit("]");
+    });
+    // buckets: [id, n, sx, sy, sxx, sxy, syy, min_x, max_x]
+    w.lit("],\"buckets\":[");
+    first = true;
+    t.size_model.for_each([&](std::uint64_t id, const SizeModelBucket& b) {
+      if (!first) w.lit(",");
+      first = false;
+      w.lit("\n[");
+      w.u64(id);
+      w.lit(",");
+      w.i64(b.n);
+      w.lit(",");
+      w.f64(b.sx);
+      w.lit(",");
+      w.f64(b.sy);
+      w.lit(",");
+      w.f64(b.sxx);
+      w.lit(",");
+      w.f64(b.sxy);
+      w.lit(",");
+      w.f64(b.syy);
+      w.lit(",");
+      w.f64(b.min_x);
+      w.lit(",");
+      w.f64(b.max_x);
+      w.lit("]");
+    });
+    w.lit("]}");
+  }
+  w.lit("]}\n");
+}
+
+// --- JSON parser -----------------------------------------------------------
+//
+// A minimal recursive-descent parser for the subset of JSON the writer
+// emits (objects, arrays, strings without escapes, numbers, booleans).
+// Numbers keep their raw text so 64-bit integers round-trip exactly.
+
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  std::string text;  // raw number token or string contents
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : fields)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  std::uint64_t as_u64() const {
+    CRITTER_CHECK(kind == Kind::Number, "stat snapshot: expected JSON number");
+    return std::strtoull(text.c_str(), nullptr, 10);
+  }
+  std::int64_t as_i64() const {
+    CRITTER_CHECK(kind == Kind::Number, "stat snapshot: expected JSON number");
+    return std::strtoll(text.c_str(), nullptr, 10);
+  }
+  double as_f64() const {
+    CRITTER_CHECK(kind == Kind::Number, "stat snapshot: expected JSON number");
+    return std::strtod(text.c_str(), nullptr);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    CRITTER_CHECK(pos_ == s_.size(), "stat snapshot: trailing JSON content");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    CRITTER_CHECK(pos_ < s_.size(), "stat snapshot: unexpected end of JSON");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    CRITTER_CHECK(peek() == c, std::string("stat snapshot: expected '") + c +
+                                   "' in JSON");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string string_token() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      CRITTER_CHECK(s_[pos_] != '\\', "stat snapshot: JSON escapes unsupported");
+      out.push_back(s_[pos_++]);
+    }
+    CRITTER_CHECK(pos_ < s_.size(), "stat snapshot: unterminated JSON string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = JsonValue::Kind::Object;
+      if (!consume('}')) {
+        do {
+          std::string key = string_token();
+          expect(':');
+          v.fields.emplace_back(std::move(key), value());
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      ++pos_;
+      v.kind = JsonValue::Kind::Array;
+      if (!consume(']')) {
+        do {
+          v.items.push_back(value());
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == '"') {
+      v.kind = JsonValue::Kind::String;
+      v.text = string_token();
+    } else if (c == 't' || c == 'f') {
+      const char* word = c == 't' ? "true" : "false";
+      const std::size_t len = c == 't' ? 4 : 5;
+      CRITTER_CHECK(s_.compare(pos_, len, word) == 0,
+                    "stat snapshot: bad JSON literal");
+      pos_ += len;
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = c == 't';
+    } else if (c == 'n') {
+      CRITTER_CHECK(s_.compare(pos_, 4, "null") == 0,
+                    "stat snapshot: bad JSON literal");
+      pos_ += 4;
+    } else {
+      v.kind = JsonValue::Kind::Number;
+      const std::size_t start = pos_;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+              s_[pos_] == 'e' || s_[pos_] == 'E'))
+        ++pos_;
+      CRITTER_CHECK(pos_ > start, "stat snapshot: bad JSON token");
+      v.text = s_.substr(start, pos_ - start);
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& json_field(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  CRITTER_CHECK(v != nullptr, std::string("stat snapshot: missing JSON field ") + key);
+  return *v;
+}
+
+KernelKey read_key_json(const JsonValue& row, std::size_t at) {
+  CRITTER_CHECK(row.items.size() >= at + 6, "stat snapshot: short kernel-key row");
+  const auto cls = static_cast<KernelClass>(row.items[at].as_u64());
+  std::array<std::int64_t, 4> dims{};
+  for (int i = 0; i < 4; ++i) dims[i] = row.items[at + 1 + i].as_i64();
+  return KernelKey{cls, dims, row.items[at + 5].as_u64()};
+}
+
+KernelStats read_stats_json(const JsonValue& row, std::size_t at) {
+  CRITTER_CHECK(row.items.size() >= at + 9, "stat snapshot: short stats row");
+  KernelStats ks;
+  ks.n = row.items[at].as_i64();
+  ks.mean = row.items[at + 1].as_f64();
+  ks.m2 = row.items[at + 2].as_f64();
+  ks.invocations_this_epoch = row.items[at + 3].as_i64();
+  ks.executions_this_epoch = row.items[at + 4].as_i64();
+  ks.total_invocations = row.items[at + 5].as_i64();
+  ks.total_executions = row.items[at + 6].as_i64();
+  ks.agg_hash = row.items[at + 7].as_u64();
+  unpack_flags(ks, static_cast<std::uint8_t>(row.items[at + 8].as_u64()));
+  return ks;
+}
+
+StatSnapshot load_json(const std::string& text) {
+  JsonParser parser(text);
+  const JsonValue root = parser.parse();
+  CRITTER_CHECK(root.kind == JsonValue::Kind::Object,
+                "stat snapshot: JSON root must be an object");
+  CRITTER_CHECK(json_field(root, "format").text == kJsonFormatTag,
+                "stat snapshot: not a stat-snapshot JSON file");
+  CRITTER_CHECK(json_field(root, "version").as_u64() == kVersion,
+                "stat snapshot: unsupported version");
+  const std::uint64_t nranks = json_field(root, "nranks").as_u64();
+  const JsonValue& ranks = json_field(root, "ranks");
+  CRITTER_CHECK(ranks.items.size() == nranks,
+                "stat snapshot: rank count mismatch");
+  StatSnapshot snap;
+  snap.ranks.resize(nranks);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const JsonValue& jt = ranks.items[r];
+    KernelTable& t = snap.ranks[r];
+    t.init_world(static_cast<int>(nranks));
+    t.epoch = json_field(jt, "epoch").as_i64();
+    for (const JsonValue& row : json_field(jt, "kernels").items)
+      t.K.emplace(read_key_json(row, 0), read_stats_json(row, 6));
+    for (const JsonValue& row : json_field(jt, "keys").items) {
+      CRITTER_CHECK(!row.items.empty(), "stat snapshot: short key row");
+      t.key_of_hash.emplace(row.items[0].as_u64(), read_key_json(row, 1));
+    }
+    for (const JsonValue& row : json_field(jt, "pending").items) {
+      CRITTER_CHECK(!row.items.empty(), "stat snapshot: short pending row");
+      t.pending_eager.emplace(row.items[0].as_u64(), read_stats_json(row, 1));
+    }
+    for (const JsonValue& row : json_field(jt, "channels").items) {
+      CRITTER_CHECK(row.items.size() >= 2 && row.items.size() % 2 == 0,
+                    "stat snapshot: short channel row");
+      Channel ch;
+      ch.offset = row.items[0].as_i64();
+      ch.lattice = row.items[1].as_u64() != 0;
+      for (std::size_t i = 2; i + 1 < row.items.size(); i += 2)
+        ch.dims.push_back({row.items[i].as_i64(), row.items[i + 1].as_i64()});
+      t.channels.insert_raw(ch);
+    }
+    for (const JsonValue& row : json_field(jt, "buckets").items) {
+      CRITTER_CHECK(row.items.size() >= 9, "stat snapshot: short bucket row");
+      SizeModelBucket b;
+      b.n = row.items[1].as_i64();
+      b.sx = row.items[2].as_f64();
+      b.sy = row.items[3].as_f64();
+      b.sxx = row.items[4].as_f64();
+      b.sxy = row.items[5].as_f64();
+      b.syy = row.items[6].as_f64();
+      b.min_x = row.items[7].as_f64();
+      b.max_x = row.items[8].as_f64();
+      t.size_model.set_bucket(row.items[0].as_u64(), b);
+    }
+  }
+  return snap;
+}
+
+}  // namespace
+
+void StatSnapshot::save(std::ostream& os, Format fmt) const {
+  if (fmt == Format::Binary)
+    save_binary(*this, os);
+  else
+    save_json(*this, os);
+  CRITTER_CHECK(os.good(), "stat snapshot: write failed");
+}
+
+void StatSnapshot::save_file(const std::string& path, Format fmt) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  CRITTER_CHECK(os.is_open(), "stat snapshot: cannot open " + path);
+  save(os, fmt);
+}
+
+StatSnapshot StatSnapshot::load(std::istream& is) {
+  // Auto-detect: the binary format leads with the magic, JSON with '{'.
+  const int first = is.peek();
+  CRITTER_CHECK(first != std::char_traits<char>::eof(),
+                "stat snapshot: empty input");
+  if (static_cast<char>(first) == kMagic[0]) return load_binary(is);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return load_json(buf.str());
+}
+
+StatSnapshot StatSnapshot::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  CRITTER_CHECK(is.is_open(), "stat snapshot: cannot open " + path);
+  return load(is);
+}
+
+}  // namespace critter::core

@@ -1,0 +1,111 @@
+// Statistics-lifecycle subsystem: the persistent kernel-statistics state of
+// one profiled rank as a first-class value type.
+//
+// The paper's accelerator is the *reuse* of kernel statistics — across
+// samples, configurations (persistent-stats sweeps), grid channels (eager
+// propagation), and input sizes (§VIII extrapolation).  This layer owns
+// that state so it can move independently of the profiler that grows it:
+//
+//   * KernelTable   — one rank's persistent statistics (K, the hash->key
+//     registry, pending eager stats, the channel registry, the cross-size
+//     model, and the tuning epoch) with a deterministic merge() and an
+//     exact diff() (merge inverse) for extracting a sweep worker's batch
+//     contribution;
+//   * StatSnapshot  — all ranks' tables, the unit of snapshot/restore on a
+//     profiler Store and of warm-start persistence: a versioned binary or
+//     JSON serialization (save()/load()) lets a sweep resume in another
+//     process with bit-identical statistics.
+//
+// Determinism contract: merge() is a pure function of its two operands —
+// per-key operations are independent and channel/bucket iteration happens
+// in sorted-hash order — so folding a fixed sequence of deltas produces
+// identical tables regardless of how many threads produced them
+// (tune/sweep.cc relies on this for batch-synchronous shared-stat sweeps).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/extrapolate.hpp"
+#include "core/signature.hpp"
+#include "core/stats.hpp"
+
+namespace critter::core {
+
+/// One rank's persistent kernel-statistics state (survives engine runs and,
+/// unless cleared, tuning configurations).
+struct KernelTable {
+  std::unordered_map<KernelKey, KernelStats, KernelKeyHash> K;
+  /// Kernel-hash -> key registry (kernels referenced by hash on the wire).
+  std::unordered_map<std::uint64_t, KernelKey> key_of_hash;
+  /// Eager propagation: statistics received for kernels not yet seen
+  /// locally, absorbed into K on first local sighting.
+  std::unordered_map<std::uint64_t, KernelStats> pending_eager;
+  ChannelRegistry channels;
+  SizeModel size_model;  ///< cross-size extrapolation (§VIII)
+  std::int64_t epoch = 0;
+
+  /// Register the world communicator's channel (required before use).
+  void init_world(int nranks) { channels.init_world(nranks); }
+
+  /// Advance the tuning epoch: non-eager policies re-execute every kernel
+  /// at least once per epoch, enforced through the per-epoch counters.
+  void new_epoch();
+
+  /// Drop kernel statistics (K, hash registry, pending eager stats).  The
+  /// channel registry, size model, and epoch survive — matching the
+  /// paper's per-configuration reset, which the extrapolation extension
+  /// deliberately outlives.
+  void clear_statistics();
+
+  /// Deterministic union/moment merge: Welford moments via Chan's parallel
+  /// merge, execution counters summed, channel registries unioned, size
+  /// model refit from summed moments, epoch max-merged.  Eager coverage
+  /// hashes that conflict restart at zero (re-aggregation is always safe);
+  /// a pending-eager entry is dropped once any side registered its kernel
+  /// in K (the absorbed samples arrive through that K entry instead).
+  void merge(const KernelTable& other);
+
+  /// Exact merge inverse: reduce *this* (which evolved on top of `base`)
+  /// to the delta such that base.merge(delta) reproduces it.  Per-epoch
+  /// counters are zeroed in the delta — they are dead state across the
+  /// batch barrier because every evaluation starts with new_epoch().
+  KernelTable diff(const KernelTable& base) const;
+
+  /// Exact statistical equality (bitwise on moments), used by tests and by
+  /// the warm-start resume check.  Ignores per-epoch counters.
+  bool same_statistics(const KernelTable& other) const;
+};
+
+/// All ranks' tables: the unit of Store snapshot/restore and of warm-start
+/// persistence across processes.
+struct StatSnapshot {
+  std::vector<KernelTable> ranks;
+
+  int nranks() const { return static_cast<int>(ranks.size()); }
+  bool empty() const { return ranks.empty(); }
+
+  /// Per-rank table merge, `delta.ranks.size()` must match.
+  void merge(const StatSnapshot& delta);
+
+  bool same_statistics(const StatSnapshot& other) const;
+
+  enum class Format : std::uint8_t { Binary, Json };
+
+  /// Versioned serialization.  Binary is the compact exact format; JSON is
+  /// the interoperable one (doubles printed with 17 significant digits, so
+  /// both round-trip bit-exactly).
+  void save(std::ostream& os, Format fmt) const;
+  void save_file(const std::string& path, Format fmt = Format::Binary) const;
+
+  /// Load either format (auto-detected from the leading bytes).  Throws
+  /// std::runtime_error on malformed or version-mismatched input.
+  static StatSnapshot load(std::istream& is);
+  static StatSnapshot load_file(const std::string& path);
+};
+
+}  // namespace critter::core

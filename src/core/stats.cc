@@ -71,4 +71,23 @@ void KernelStats::merge(const KernelStats& other) {
   n += other.n;
 }
 
+void KernelStats::unmerge(const KernelStats& base) {
+  if (base.n == 0) return;
+  CRITTER_CHECK(n >= base.n, "unmerge against a larger base");
+  const double nt = static_cast<double>(n), na = static_cast<double>(base.n);
+  const double nb = nt - na;
+  if (base.n == n) {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    return;
+  }
+  const double mean_b = (nt * mean - na * base.mean) / nb;
+  const double delta = mean_b - base.mean;
+  const double m2_b = m2 - base.m2 - delta * delta * na * nb / nt;
+  n -= base.n;
+  mean = mean_b;
+  m2 = m2_b > 0.0 ? m2_b : 0.0;
+}
+
 }  // namespace critter::core

@@ -60,6 +60,13 @@ struct KernelStats {
   /// used when aggregating statistics across processor-grid channels.
   void merge(const KernelStats& other);
 
+  /// Exact algebraic inverse of merge() over the (n, mean, m2) moments:
+  /// given that *this* holds merge(base, X) for some contribution X, reduce
+  /// *this* to X.  Used to extract the per-batch statistics delta of a
+  /// shared-snapshot sweep worker (core/stat_store).  The recovered m2 is
+  /// clamped at zero against floating-point cancellation.
+  void unmerge(const KernelStats& base);
+
   void reset_epoch_counters() {
     invocations_this_epoch = 0;
     executions_this_epoch = 0;

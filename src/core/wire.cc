@@ -72,12 +72,12 @@ void pack_eager_entries(IntMsg& msg, const RankProfiler& rp, const Config& cfg,
   WireHeader& h = msg.header();
   WireEager* e = msg.eager();
   const double z = normal_quantile_two_sided(cfg.confidence);
-  for (const auto& [key, ks] : rp.K) {
+  for (const auto& [key, ks] : rp.table.K) {
     if (h.n_eager >= msg.eager_cap()) break;
     if (ks.global_steady || ks.n < cfg.min_samples) continue;
     if (!ks.is_steady(z, cfg.tolerance, 1, cfg.min_samples)) continue;
     std::uint64_t combined = 0;
-    if (!rp.channels.try_extend_coverage(ks.agg_hash, chan_hash, &combined))
+    if (!rp.table.channels.try_extend_coverage(ks.agg_hash, chan_hash, &combined))
       continue;
     e[h.n_eager++] =
         WireEager{key.hash(), ks.agg_hash, ks.n, ks.mean, ks.m2};
@@ -104,21 +104,21 @@ void IntMsg::unpack_into(RankProfiler& rp, const Config& cfg,
   const double z = normal_quantile_two_sided(cfg.confidence);
   const WireEager* e = eager();
   for (std::int64_t i = 0; i < h.n_eager; ++i) {
-    const auto kit = rp.key_of_hash.find(e[i].key);
+    const auto kit = rp.table.key_of_hash.find(e[i].key);
     KernelStats incoming;
     incoming.n = e[i].n;
     incoming.mean = e[i].mean;
     incoming.m2 = e[i].m2;
-    if (kit == rp.key_of_hash.end()) {
+    if (kit == rp.table.key_of_hash.end()) {
       // Kernel not seen locally yet: stash; merged when first encountered.
-      KernelStats& pend = rp.pending_eager[e[i].key];
+      KernelStats& pend = rp.table.pending_eager[e[i].key];
       pend.merge(incoming);
       std::uint64_t combined = 0;
-      if (rp.channels.try_extend_coverage(e[i].agg, chan_hash, &combined))
+      if (rp.table.channels.try_extend_coverage(e[i].agg, chan_hash, &combined))
         pend.agg_hash = combined;
       continue;
     }
-    KernelStats& ks = rp.K.at(kit->second);
+    KernelStats& ks = rp.table.K.at(kit->second);
     if (ks.global_steady) continue;
     // Only merge when the aggregation base matches ours; otherwise the
     // sample sets could overlap (the bias the paper's channel algebra
@@ -126,9 +126,9 @@ void IntMsg::unpack_into(RankProfiler& rp, const Config& cfg,
     if (ks.agg_hash != e[i].agg && ks.agg_hash != 0) continue;
     ks.merge(incoming);
     std::uint64_t combined = 0;
-    if (rp.channels.try_extend_coverage(e[i].agg, chan_hash, &combined)) {
+    if (rp.table.channels.try_extend_coverage(e[i].agg, chan_hash, &combined)) {
       ks.agg_hash = combined;
-      if (rp.channels.covers_world(combined) &&
+      if (rp.table.channels.covers_world(combined) &&
           ks.is_steady(z, cfg.tolerance, 1, cfg.min_samples))
         ks.global_steady = true;
     }

@@ -7,6 +7,25 @@
 
 #include "util/check.hpp"
 
+// AddressSanitizer tracks one shadow stack per thread; switching stacks
+// underneath it without notice produces false positives (and breaks
+// use-after-return detection).  The __sanitizer_*_switch_fiber protocol
+// hands the stack bounds over at every switch, which keeps the ASan+UBSan
+// CI job honest on the fiber-based engine.  All annotations compile away in
+// non-sanitized builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define CRITTER_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CRITTER_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(CRITTER_ASAN_FIBERS)
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace critter::sim {
 
 namespace {
@@ -15,6 +34,16 @@ namespace {
 // OS threads and the slot is consumed synchronously inside resume(); the
 // thread_local keeps concurrent engines (one per tuner worker) independent.
 thread_local Fiber* g_trampoline_arg = nullptr;
+
+#if defined(CRITTER_ASAN_FIBERS)
+// Scheduler-side fake-stack handle plus the scheduler stack bounds a fiber
+// must announce when switching back (captured from the finish call that
+// runs on fiber entry).  One engine runs per OS thread, so thread_local
+// slots suffice.
+thread_local void* g_sched_fake_stack = nullptr;
+thread_local const void* g_sched_stack_bottom = nullptr;
+thread_local std::size_t g_sched_stack_size = 0;
+#endif
 }  // namespace
 
 #if defined(CRITTER_FIBER_FAST)
@@ -73,12 +102,25 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_bytes)
 }
 
 Fiber::~Fiber() {
-  if (stack_ != nullptr) munmap(stack_, stack_bytes_);
+  if (stack_ != nullptr) {
+#if defined(CRITTER_ASAN_FIBERS)
+    // Frames poisoned on this stack would otherwise outlive the mapping
+    // and trip ASan when the address range is reused.
+    __asan_unpoison_memory_region(stack_, stack_bytes_);
+#endif
+    munmap(stack_, stack_bytes_);
+  }
 }
 
 void Fiber::trampoline() {
   Fiber* self = g_trampoline_arg;
   g_trampoline_arg = nullptr;
+#if defined(CRITTER_ASAN_FIBERS)
+  // First time on this stack: no fake stack to restore; remember the
+  // scheduler stack we came from for the switches back.
+  __sanitizer_finish_switch_fiber(nullptr, &g_sched_stack_bottom,
+                                  &g_sched_stack_size);
+#endif
   try {
     self->body_();
   } catch (...) {
@@ -115,10 +157,31 @@ void Fiber::resume() {
     sp_ = frame;
     g_trampoline_arg = this;
   }
+#if defined(CRITTER_ASAN_FIBERS)
+  const long page = sysconf(_SC_PAGESIZE);
+  __sanitizer_start_switch_fiber(&g_sched_fake_stack,
+                                 static_cast<char*>(stack_) + page,
+                                 stack_bytes_ - page);
+#endif
   critter_fiber_swap(&scheduler_sp_, sp_);
+#if defined(CRITTER_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(g_sched_fake_stack, nullptr, nullptr);
+#endif
 }
 
-void Fiber::yield() { critter_fiber_swap(&sp_, scheduler_sp_); }
+void Fiber::yield() {
+#if defined(CRITTER_ASAN_FIBERS)
+  // A finished fiber never comes back: a null save slot tells ASan to
+  // destroy its fake stack instead of parking it.
+  __sanitizer_start_switch_fiber(finished_ ? nullptr : &asan_fake_stack_,
+                                 g_sched_stack_bottom, g_sched_stack_size);
+#endif
+  critter_fiber_swap(&sp_, scheduler_sp_);
+#if defined(CRITTER_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, &g_sched_stack_bottom,
+                                  &g_sched_stack_size);
+#endif
+}
 
 #else  // ucontext fallback for non-x86-64 targets
 
@@ -134,10 +197,28 @@ void Fiber::resume() {
     g_trampoline_arg = this;
     makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
   }
+#if defined(CRITTER_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(&g_sched_fake_stack,
+                                 context_.uc_stack.ss_sp,
+                                 context_.uc_stack.ss_size);
+#endif
   swapcontext(&scheduler_context_, &context_);
+#if defined(CRITTER_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(g_sched_fake_stack, nullptr, nullptr);
+#endif
 }
 
-void Fiber::yield() { swapcontext(&context_, &scheduler_context_); }
+void Fiber::yield() {
+#if defined(CRITTER_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(finished_ ? nullptr : &asan_fake_stack_,
+                                 g_sched_stack_bottom, g_sched_stack_size);
+#endif
+  swapcontext(&context_, &scheduler_context_);
+#if defined(CRITTER_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, &g_sched_stack_bottom,
+                                  &g_sched_stack_size);
+#endif
+}
 
 #endif
 

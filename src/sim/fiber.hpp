@@ -61,6 +61,9 @@ class Fiber {
   ucontext_t context_{};
   ucontext_t scheduler_context_{};
 #endif
+  /// AddressSanitizer fake-stack handle of this fiber while it is switched
+  /// out (see the __sanitizer_*_switch_fiber annotations in fiber.cc).
+  void* asan_fake_stack_ = nullptr;
   void* stack_ = nullptr;
   std::size_t stack_bytes_ = 0;
   bool started_ = false;

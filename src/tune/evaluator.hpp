@@ -1,0 +1,72 @@
+// One configuration's evaluation protocol (paper §VI), factored out of the
+// sweep driver so every sweep mode — serial, isolated-parallel,
+// batch-shared-parallel — and measure_config() run the same code:
+//
+//   * a-priori propagation first runs the configuration once fully
+//     instrumented to record critical-path kernel counts (charged to the
+//     tuning time, as in the paper);
+//   * one uninstrumented-equivalent full execution against a throwaway
+//     store is the error reference (not charged);
+//   * `samples` selective executions follow (charged).
+//
+// Noise salts are assigned analytically per absolute configuration index:
+// configuration i consumes salts base + i*salts_per_config() + k, exactly
+// the values a serial sweep's running counter would produce — this is what
+// makes every sweep mode reproduce the same per-configuration randomness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "tune/tuner.hpp"
+
+namespace critter::tune {
+
+/// One configuration's contribution to the sweep-wide totals.  Kept per
+/// configuration and reduced in index order at the end so every sweep mode
+/// produces bit-identical TuneResults.
+struct ConfigTotals {
+  double tuning_time = 0.0;
+  double full_time = 0.0;
+  double kernel_time = 0.0;
+  double full_kernel_time = 0.0;
+};
+
+/// Strategy hints threaded into one configuration's evaluation.  Captured
+/// once per batch at the barrier, so every worker of a batch sees the same
+/// incumbent regardless of scheduling.
+struct EvalControl {
+  bool early_discard = false;
+  double incumbent_pred = std::numeric_limits<double>::infinity();
+  double margin = 0.0;  ///< relative slack over the incumbent
+};
+
+class Evaluator {
+ public:
+  Evaluator(const Study& study, const TuneOptions& opt);
+
+  /// Noise salts one configuration consumes (fixed per options).
+  std::uint64_t salts_per_config() const;
+  /// First salt of configuration `index` (pre-incremented before use).
+  std::uint64_t salt_for(int index) const;
+
+  /// Run the full protocol for configuration `index` against `store`
+  /// (which carries whatever statistics the sweep mode wants shared).
+  ConfigOutcome evaluate(Store& store, int index, ConfigTotals* tot,
+                         const EvalControl& ctl = {}) const;
+
+  /// One fully-instrumented, non-selective execution against a throwaway
+  /// store: the error reference of evaluate() and the Fig. 3 measurement
+  /// behind measure_config().
+  Report full_reference(const Configuration& cfg, std::uint64_t salt) const;
+
+ private:
+  Report one_run(Store& store, const Configuration& cfg,
+                 std::uint64_t salt) const;
+
+  const Study& study_;
+  const TuneOptions& opt_;
+  sim::Machine machine_;
+};
+
+}  // namespace critter::tune

@@ -1,0 +1,116 @@
+#include "tune/strategy.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace critter::tune {
+
+namespace {
+
+/// Exhaustive order over [begin, end): the paper's protocol.
+class ExhaustiveStrategy : public SearchStrategy {
+ public:
+  ExhaustiveStrategy(int begin, int end) : next_(begin), end_(end) {}
+
+  const char* name() const override { return "exhaustive"; }
+
+  std::vector<int> next_batch(int max_batch) override {
+    std::vector<int> out;
+    while (next_ < end_ && static_cast<int>(out.size()) < max_batch)
+      out.push_back(next_++);
+    return out;
+  }
+
+  void observe(const ConfigOutcome&) override {}
+
+ private:
+  int next_, end_;
+};
+
+/// A deterministic random subset: configurations ranked by a counter-based
+/// hash of (seed, index), the `count` best kept, emitted in ascending index
+/// order so statistics merge in configuration order.
+class RandomSubsetStrategy : public SearchStrategy {
+ public:
+  RandomSubsetStrategy(int begin, int end, int count, std::uint64_t seed) {
+    std::vector<std::pair<std::uint64_t, int>> scored;
+    scored.reserve(static_cast<std::size_t>(end - begin));
+    for (int i = begin; i < end; ++i)
+      scored.push_back({util::hash_combine(seed, 0x5B5E7ull + i), i});
+    std::sort(scored.begin(), scored.end());
+    scored.resize(std::min<std::size_t>(scored.size(),
+                                        count > 0 ? count : scored.size()));
+    for (const auto& [score, i] : scored) chosen_.push_back(i);
+    std::sort(chosen_.begin(), chosen_.end());
+  }
+
+  const char* name() const override { return "random-subset"; }
+
+  std::vector<int> next_batch(int max_batch) override {
+    std::vector<int> out;
+    while (pos_ < chosen_.size() && static_cast<int>(out.size()) < max_batch)
+      out.push_back(chosen_[pos_++]);
+    return out;
+  }
+
+  void observe(const ConfigOutcome&) override {}
+
+ private:
+  std::vector<int> chosen_;
+  std::size_t pos_ = 0;
+};
+
+/// Exhaustive order with CI-based early discard: the evaluator abandons a
+/// configuration's remaining samples once its predicted-time confidence
+/// interval is dominated by the best predicted time observed at any
+/// previous batch barrier.
+class CiEarlyDiscardStrategy : public ExhaustiveStrategy {
+ public:
+  CiEarlyDiscardStrategy(int begin, int end, double margin)
+      : ExhaustiveStrategy(begin, end), margin_(margin) {}
+
+  const char* name() const override { return "ci-early-discard"; }
+
+  void observe(const ConfigOutcome& oc) override {
+    if (oc.evaluated) incumbent_ = std::min(incumbent_, oc.pred_time);
+  }
+
+  EvalControl control() const override {
+    return EvalControl{true, incumbent_, margin_};
+  }
+
+ private:
+  double incumbent_ = std::numeric_limits<double>::infinity();
+  double margin_;
+};
+
+}  // namespace
+
+const char* search_name(Search s) {
+  switch (s) {
+    case Search::Exhaustive: return "exhaustive";
+    case Search::RandomSubset: return "random-subset";
+    case Search::CiEarlyDiscard: return "ci-early-discard";
+  }
+  return "?";
+}
+
+std::unique_ptr<SearchStrategy> make_strategy(const TuneOptions& opt,
+                                              int begin, int end) {
+  CRITTER_CHECK(begin >= 0 && begin <= end, "bad sweep configuration range");
+  switch (opt.search) {
+    case Search::Exhaustive:
+      return std::make_unique<ExhaustiveStrategy>(begin, end);
+    case Search::RandomSubset:
+      return std::make_unique<RandomSubsetStrategy>(begin, end, opt.subset,
+                                                    opt.seed_salt);
+    case Search::CiEarlyDiscard:
+      return std::make_unique<CiEarlyDiscardStrategy>(begin, end,
+                                                      opt.discard_margin);
+  }
+  return std::make_unique<ExhaustiveStrategy>(begin, end);
+}
+
+}  // namespace critter::tune

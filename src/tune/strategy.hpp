@@ -1,0 +1,42 @@
+// Pluggable search strategies over a study's configuration space.
+//
+// The SweepDriver asks the strategy for successive batches of configuration
+// indices and reports every outcome back at the batch barrier; evaluation
+// hints (the CI-discard incumbent) are sampled once per batch so a batch's
+// evaluations are independent of worker scheduling.  Strategies cheaper
+// than exhaustive search (random subsets, CI-based early discard — cf. the
+// transfer-tuning and Bayesian-autotuning lines in PAPERS.md) plug in here
+// against the same statistical model the exhaustive sweep uses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tune/evaluator.hpp"
+
+namespace critter::tune {
+
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Next configuration indices to evaluate, at most `max_batch`, in
+  /// ascending index order (the driver merges statistics deltas in the
+  /// returned order).  Empty means the search is finished.
+  virtual std::vector<int> next_batch(int max_batch) = 0;
+
+  /// Outcome feedback, delivered in configuration order at the barrier
+  /// after each batch completes.
+  virtual void observe(const ConfigOutcome& oc) = 0;
+
+  /// Evaluation hints for the *next* batch (sampled once per batch).
+  virtual EvalControl control() const { return {}; }
+};
+
+/// Strategy for `opt.search` over configurations [begin, end).
+std::unique_ptr<SearchStrategy> make_strategy(const TuneOptions& opt,
+                                              int begin, int end);
+
+}  // namespace critter::tune

@@ -1,0 +1,205 @@
+#include "tune/sweep.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace critter::tune {
+
+namespace {
+
+/// OS threads backing `logical` sweep workers.  Results never depend on the
+/// pool size (isolated sweeps are bit-identical by construction,
+/// batch-shared sweeps are a pure function of the batch size), so
+/// oversubscribing the machine buys nothing but scheduler churn.
+int pool_threads(int logical) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(1, hw > 0 ? std::min(logical, hw) : logical);
+}
+
+}  // namespace
+
+const char* sweep_mode_name(SweepMode m) {
+  switch (m) {
+    case SweepMode::Serial: return "serial";
+    case SweepMode::ParallelIsolated: return "parallel-isolated";
+    case SweepMode::BatchShared: return "parallel-batch-shared";
+  }
+  return "?";
+}
+
+SweepDriver::SweepDriver(const Study& study, const TuneOptions& opt)
+    : study_(study), opt_(opt), evaluator_(study, opt) {
+  const int nconf = static_cast<int>(study.configs.size());
+  begin_ = std::clamp(opt.config_begin, 0, nconf);
+  end_ = opt.config_end < 0 ? nconf : std::clamp(opt.config_end, begin_, nconf);
+}
+
+Config SweepDriver::profiler_config() const {
+  Config pc;
+  pc.mode = ExecMode::Model;
+  pc.policy = opt_.policy;
+  pc.tolerance = opt_.tolerance;
+  pc.tilde_capacity = opt_.tilde_capacity;
+  pc.extrapolate = opt_.extrapolate;
+  return pc;
+}
+
+SweepDriver::Plan SweepDriver::plan() const {
+  // Statistical isolation holds when statistics reset between
+  // configurations and no policy state survives the reset: eager
+  // propagation is never reset, and the extrapolation size model outlives
+  // reset_statistics() by design.
+  const bool isolated_ok = opt_.reset_per_config &&
+                           opt_.policy != Policy::EagerPropagation &&
+                           !opt_.extrapolate;
+  const int range_n = end_ - begin_;
+  const int requested = std::max(1, opt_.workers);
+
+  Plan p;
+  if (range_n <= 1) {
+    p.mode = SweepMode::Serial;
+    if (requested > 1) p.fallback_reason = "single configuration in sweep range";
+    return p;
+  }
+  if (isolated_ok) {
+    if (requested == 1) return p;  // serial
+    p.mode = SweepMode::ParallelIsolated;
+    p.effective_workers = std::min(requested, range_n);
+    p.batch = opt_.batch > 0 ? opt_.batch : range_n;
+    return p;
+  }
+  // Shared statistics: batch-synchronous when parallelism (or an explicit
+  // batch size, for worker-count-independence tests) was requested.
+  if (requested == 1 && opt_.batch <= 0) return p;  // serial
+  p.mode = SweepMode::BatchShared;
+  p.batch = opt_.batch > 0 ? opt_.batch : requested;
+  p.effective_workers = std::min({requested, p.batch, range_n});
+  if (requested > 1 && p.effective_workers == 1)
+    p.fallback_reason = "batch size 1 serializes the shared-statistics sweep";
+  return p;
+}
+
+TuneResult SweepDriver::run(SearchStrategy& strategy) {
+  const int nconf = static_cast<int>(study_.configs.size());
+  const Config pc = profiler_config();
+  const Plan p = plan();
+  // Statistics reset between configurations (the paper's SLATE/CANDMC
+  // protocol); never honored for eager propagation, which lives off
+  // cross-configuration statistics.
+  const bool reset =
+      opt_.reset_per_config && opt_.policy != Policy::EagerPropagation;
+
+  TuneResult out;
+  out.per_config.resize(nconf);
+  for (int i = 0; i < nconf; ++i) out.per_config[i].config = study_.configs[i];
+  std::vector<ConfigTotals> totals(nconf);
+
+  out.mode = p.mode;
+  out.requested_workers = std::max(1, opt_.workers);
+  out.effective_workers = p.effective_workers;
+  out.batch = p.mode == SweepMode::BatchShared ? p.batch : 0;
+  out.fallback_reason = p.fallback_reason;
+
+  if (p.mode == SweepMode::Serial) {
+    Store store(study_.nranks, pc);
+    if (opt_.warm_start != nullptr) store.restore(*opt_.warm_start);
+    // Batch granularity 1: the strategy observes every outcome before
+    // proposing the next configuration (exhaustive order is unaffected;
+    // CI discard gets the freshest incumbent, i.e. batch-shared semantics
+    // at batch size 1).
+    for (;;) {
+      const std::vector<int> batch = strategy.next_batch(1);
+      if (batch.empty()) break;
+      const EvalControl ctl = strategy.control();
+      for (int idx : batch) {
+        if (reset) store.reset_statistics();
+        out.per_config[idx] =
+            evaluator_.evaluate(store, idx, &totals[idx], ctl);
+        strategy.observe(out.per_config[idx]);
+      }
+    }
+    out.stats = store.snapshot();
+  } else if (p.mode == SweepMode::ParallelIsolated) {
+    util::ThreadPool pool(pool_threads(p.effective_workers));
+    for (;;) {
+      const std::vector<int> batch = strategy.next_batch(p.batch);
+      if (batch.empty()) break;
+      const EvalControl ctl = strategy.control();
+      // Each task owns an independent store (identical to a freshly reset
+      // one: reset_statistics clears exactly the state a new store lacks),
+      // so configurations evaluate concurrently yet bit-identically to the
+      // serial sweep.
+      pool.parallel_for(static_cast<int>(batch.size()), [&](int k) {
+        Store store(study_.nranks, pc);
+        const int idx = batch[k];
+        out.per_config[idx] =
+            evaluator_.evaluate(store, idx, &totals[idx], ctl);
+      });
+      for (int idx : batch) strategy.observe(out.per_config[idx]);
+    }
+  } else {  // BatchShared
+    util::ThreadPool pool(pool_threads(p.effective_workers));
+    core::StatSnapshot base;
+    if (opt_.warm_start != nullptr) {
+      CRITTER_CHECK(opt_.warm_start->nranks() == study_.nranks,
+                    "warm-start snapshot rank count does not match study");
+      base = *opt_.warm_start;
+      // In reset mode per-configuration statistics never cross the barrier,
+      // so the shared snapshot must carry only the reset-surviving state
+      // (channels, size model).  A warm-start captured from a non-reset
+      // sweep may hold kernel statistics; keeping them would also break the
+      // workers' diff-after-reset (the delta is computed against `base`,
+      // whose K the worker no longer contains).
+      if (reset)
+        for (core::KernelTable& t : base.ranks) t.clear_statistics();
+    } else {
+      base = Store(study_.nranks, pc).snapshot();
+    }
+    std::vector<core::StatSnapshot> deltas;
+    for (;;) {
+      const std::vector<int> batch = strategy.next_batch(p.batch);
+      if (batch.empty()) break;
+      const EvalControl ctl = strategy.control();
+      deltas.assign(batch.size(), core::StatSnapshot{});
+      // Every worker evaluates against a private store restored from the
+      // shared snapshot; its result and statistics delta are pure
+      // functions of (base, index, salts, ctl), so scheduling cannot leak
+      // into the outcome.
+      pool.parallel_for(static_cast<int>(batch.size()), [&](int k) {
+        Store store(study_.nranks, pc);
+        store.restore(base);
+        if (reset) store.reset_statistics();
+        const int idx = batch[k];
+        out.per_config[idx] =
+            evaluator_.evaluate(store, idx, &totals[idx], ctl);
+        deltas[k] = store.diff(base);
+        if (reset) {
+          // Per-configuration statistics die with the configuration; only
+          // the state that outlives reset_statistics() — channels and the
+          // extrapolation size model — crosses the barrier.
+          for (core::KernelTable& t : deltas[k].ranks) t.clear_statistics();
+        }
+      });
+      // The barrier: merge deltas in configuration order (batches arrive
+      // ascending), then let the strategy observe in the same order.
+      for (std::size_t k = 0; k < batch.size(); ++k) base.merge(deltas[k]);
+      for (int idx : batch) strategy.observe(out.per_config[idx]);
+    }
+    out.stats = std::move(base);
+  }
+
+  for (const ConfigOutcome& oc : out.per_config)
+    if (oc.evaluated) ++out.evaluated_configs;
+  for (const ConfigTotals& t : totals) {
+    out.tuning_time += t.tuning_time;
+    out.full_time += t.full_time;
+    out.kernel_time += t.kernel_time;
+    out.full_kernel_time += t.full_kernel_time;
+  }
+  return out;
+}
+
+}  // namespace critter::tune

@@ -1,0 +1,58 @@
+// The sweep driver: owns workers, batching, and the reduction that turns
+// per-configuration outcomes into one TuneResult.
+//
+// Three execution modes, chosen from the options (recorded in the result):
+//
+//   Serial            — one persistent store, configurations in sequence;
+//                       the paper's protocol verbatim.
+//   ParallelIsolated  — statistics reset per configuration and no policy
+//                       state crosses configurations, so each worker task
+//                       owns an independent store; results are bit-identical
+//                       to the serial sweep (salts are analytic, totals
+//                       reduce in configuration order).
+//   BatchShared       — statistics *are* shared across configurations
+//                       (eager propagation, persistent-stats sweeps,
+//                       extrapolation).  Workers evaluate a deterministic
+//                       batch of configurations, each against a private
+//                       store restored from the shared snapshot; at the
+//                       barrier every store's statistics delta (an exact
+//                       merge inverse, see core/stat_store.hpp) merges into
+//                       the snapshot in configuration order.  Results are a
+//                       pure function of (seed, batch size) — the worker
+//                       count changes wall-clock time only.
+#pragma once
+
+#include "tune/evaluator.hpp"
+#include "tune/strategy.hpp"
+
+namespace critter::tune {
+
+class SweepDriver {
+ public:
+  SweepDriver(const Study& study, const TuneOptions& opt);
+
+  TuneResult run(SearchStrategy& strategy);
+
+  /// The clamped [begin, end) configuration range this driver sweeps; the
+  /// strategy must be constructed over exactly this range.
+  int config_begin() const { return begin_; }
+  int config_end() const { return end_; }
+
+ private:
+  struct Plan {
+    SweepMode mode = SweepMode::Serial;
+    int effective_workers = 1;
+    int batch = 1;  ///< strategy batch granularity for this mode
+    std::string fallback_reason;
+  };
+
+  Plan plan() const;
+  Config profiler_config() const;
+
+  const Study& study_;
+  const TuneOptions& opt_;
+  Evaluator evaluator_;
+  int begin_ = 0, end_ = 0;  ///< configuration range swept
+};
+
+}  // namespace critter::tune

@@ -3,229 +3,84 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/check.hpp"
-#include "util/rng.hpp"
-#include "util/thread_pool.hpp"
+#include "tune/evaluator.hpp"
+#include "tune/strategy.hpp"
+#include "tune/sweep.hpp"
 
 namespace critter::tune {
 
-namespace {
-
-sim::Machine make_machine(const Study& study, double comp_noise,
-                          double comm_noise) {
-  sim::Machine m = sim::Machine::knl_like();
-  m.gamma = study.gamma;
-  m.comp_noise = comp_noise;
-  m.comm_noise = comm_noise;
-  return m;
-}
-
-/// Run one configuration under the store's current profiler settings.
-Report one_run(Store& store, const Study& study, const Configuration& cfg,
-               const sim::Machine& machine, std::uint64_t salt) {
-  sim::Engine eng(study.nranks, machine, salt);
-  Report rep;
-  eng.run([&](sim::RankCtx& ctx) {
-    critter::start(store);
-    run_configuration(study, cfg);
-    Report r = critter::stop();
-    if (ctx.rank == 0) rep = r;
-  });
-  return rep;
-}
-
-/// One configuration's contribution to the sweep-wide totals.  Kept per
-/// configuration and reduced in index order at the end so the serial and
-/// thread-pooled sweeps produce bit-identical TuneResults.
-struct ConfigTotals {
-  double tuning_time = 0.0;
-  double full_time = 0.0;
-  double kernel_time = 0.0;
-  double full_kernel_time = 0.0;
-};
-
-/// Number of noise salts one configuration consumes; fixed per options so
-/// configuration i's salts can be assigned analytically (the serial sweep's
-/// running ++salt yields exactly base + i * salts_per_config + k).
-std::uint64_t salts_per_config(const TuneOptions& opt) {
-  return (opt.policy == Policy::AprioriPropagation ? 1 : 0) + 1 +
-         static_cast<std::uint64_t>(opt.samples);
-}
-
-/// The per-configuration protocol (see file header): optional a-priori
-/// offline pass, one full reference execution, `samples` selective runs.
-ConfigOutcome run_one_config(const Study& study, const TuneOptions& opt,
-                             const sim::Machine& machine, Store& store,
-                             const Configuration& cfg, std::uint64_t salt,
-                             ConfigTotals* tot) {
-  ConfigOutcome oc;
-  oc.config = cfg;
-
-  if (opt.policy == Policy::AprioriPropagation) {
-    // offline instrumented full pass to record critical-path counts;
-    // charged to the tuning time (the paper's a-priori overhead)
-    store.new_epoch();
-    store.config().selective = false;
-    Report offline = one_run(store, study, cfg, machine, ++salt);
-    store.set_apriori_from_last_run();
-    store.config().selective = true;
-    tot->tuning_time += offline.wall_time;
-  }
-
-  // One full execution per configuration is the error reference.  It
-  // runs fully instrumented (so critical-path metrics exist) but against
-  // a throwaway store, so its samples do not leak into the policy's
-  // statistics.  Its critical-path exec_time is the application time
-  // along the critical path, free of profiling overhead.  (The paper
-  // pairs every approximated sample with a full execution; we amortize
-  // one reference across the samples to keep benches fast and charge the
-  // full-execution baseline `samples` times for a fair comparison.)
-  Config ref_cfg;
-  ref_cfg.mode = ExecMode::Model;
-  ref_cfg.selective = false;
-  Store ref_store(study.nranks, ref_cfg);
-  Report full = one_run(ref_store, study, cfg, machine, ++salt);
-
-  for (int s = 0; s < opt.samples; ++s) {
-    store.new_epoch();
-    Report sel = one_run(store, study, cfg, machine, ++salt);
-
-    const double true_time = full.critical.exec_time;
-    oc.true_time = true_time;
-    oc.pred_time += sel.critical.exec_time;
-    oc.err += std::abs(sel.critical.exec_time - true_time) /
-              std::max(true_time, 1e-300);
-    oc.true_comp_time = full.critical.comp_time;
-    oc.pred_comp_time += sel.critical.comp_time;
-    oc.comp_err +=
-        std::abs(sel.critical.comp_time - full.critical.comp_time) /
-        std::max(full.critical.comp_time, 1e-300);
-    oc.sel_wall += sel.wall_time;
-    oc.sel_kernel_time += sel.max_kernel_comp_time;
-    oc.executed += sel.executed;
-    oc.skipped += sel.skipped;
-
-    tot->tuning_time += sel.wall_time;
-    tot->full_time += full.critical.exec_time;  // once per sample
-    tot->kernel_time += sel.max_kernel_comp_time;
-    tot->full_kernel_time += full.max_modeled_comp_time;
-  }
-  const double inv = 1.0 / opt.samples;
-  oc.pred_time *= inv;
-  oc.err *= inv;
-  oc.pred_comp_time *= inv;
-  oc.comp_err *= inv;
-  return oc;
-}
-
-}  // namespace
-
 double TuneResult::mean_err() const {
   double s = 0;
-  for (const auto& c : per_config) s += c.err;
-  return per_config.empty() ? 0.0 : s / per_config.size();
+  int n = 0;
+  for (const auto& c : per_config)
+    if (c.evaluated) {
+      s += c.err;
+      ++n;
+    }
+  return n == 0 ? 0.0 : s / n;
 }
 
 double TuneResult::mean_log2_err() const {
   double s = 0;
-  for (const auto& c : per_config) s += std::log2(std::max(c.err, 1e-4));
-  return per_config.empty() ? 0.0 : s / per_config.size();
+  int n = 0;
+  for (const auto& c : per_config)
+    if (c.evaluated) {
+      s += std::log2(std::max(c.err, 1e-4));
+      ++n;
+    }
+  return n == 0 ? 0.0 : s / n;
 }
 
 double TuneResult::mean_log2_comp_err() const {
   double s = 0;
-  for (const auto& c : per_config) s += std::log2(std::max(c.comp_err, 1e-4));
-  return per_config.empty() ? 0.0 : s / per_config.size();
+  int n = 0;
+  for (const auto& c : per_config)
+    if (c.evaluated) {
+      s += std::log2(std::max(c.comp_err, 1e-4));
+      ++n;
+    }
+  return n == 0 ? 0.0 : s / n;
 }
 
 int TuneResult::best_predicted() const {
-  int best = 0;
-  for (std::size_t i = 1; i < per_config.size(); ++i)
-    if (per_config[i].pred_time < per_config[best].pred_time)
+  int best = -1;
+  for (std::size_t i = 0; i < per_config.size(); ++i) {
+    if (!per_config[i].evaluated) continue;
+    if (best < 0 || per_config[i].pred_time < per_config[best].pred_time)
       best = static_cast<int>(i);
-  return best;
+  }
+  return best < 0 ? 0 : best;
 }
 
 int TuneResult::best_true() const {
-  int best = 0;
-  for (std::size_t i = 1; i < per_config.size(); ++i)
-    if (per_config[i].true_time < per_config[best].true_time)
+  int best = -1;
+  for (std::size_t i = 0; i < per_config.size(); ++i) {
+    if (!per_config[i].evaluated) continue;
+    if (best < 0 || per_config[i].true_time < per_config[best].true_time)
       best = static_cast<int>(i);
-  return best;
+  }
+  return best < 0 ? 0 : best;
 }
 
 double TuneResult::selection_quality() const {
-  if (per_config.empty()) return 1.0;
+  if (evaluated_configs == 0) return 1.0;
   return per_config[best_true()].true_time /
-         per_config[best_predicted()].true_time;
+         std::max(per_config[best_predicted()].true_time, 1e-300);
 }
 
 Report measure_config(const Study& study, const Configuration& cfg,
                       std::uint64_t seed_salt, double noise) {
-  Config pc;
-  pc.mode = ExecMode::Model;
-  pc.selective = false;
-  Store store(study.nranks, pc);
-  return one_run(store, study, cfg, make_machine(study, noise, noise), seed_salt);
+  TuneOptions opt;
+  opt.comp_noise = noise;
+  opt.comm_noise = noise;
+  return Evaluator(study, opt).full_reference(cfg, seed_salt);
 }
 
 TuneResult run_study(const Study& study, const TuneOptions& opt) {
-  const sim::Machine machine = make_machine(study, opt.comp_noise, opt.comm_noise);
-  const int nconf = static_cast<int>(study.configs.size());
-
-  Config pc;
-  pc.mode = ExecMode::Model;
-  pc.policy = opt.policy;
-  pc.tolerance = opt.tolerance;
-  pc.tilde_capacity = opt.tilde_capacity;
-  pc.extrapolate = opt.extrapolate;
-
-  // Parallel evaluation needs per-configuration isolation: statistics reset
-  // between configurations and no policy state carried across them.  Eager
-  // propagation (never reset) and the extrapolation size model (survives
-  // reset_statistics) are semantically sequential, so they stay serial.
-  const bool reset =
-      opt.reset_per_config && opt.policy != Policy::EagerPropagation;
-  const bool parallel =
-      opt.workers > 1 && reset && !opt.extrapolate && nconf > 1;
-
-  std::vector<ConfigOutcome> outcomes(nconf);
-  std::vector<ConfigTotals> totals(nconf);
-  const std::uint64_t salt0 = util::hash_combine(opt.seed_salt, 0xA0700);
-  const std::uint64_t per_cfg = salts_per_config(opt);
-
-  if (parallel) {
-    // Each worker task owns an independent Store (identical to a freshly
-    // reset one: reset_statistics clears exactly the state a new Store
-    // lacks), so configurations evaluate concurrently yet bit-identically.
-    util::ThreadPool pool(opt.workers);
-    pool.parallel_for(nconf, [&](int i) {
-      Store store(study.nranks, pc);
-      outcomes[i] =
-          run_one_config(study, opt, machine, store, study.configs[i],
-                         salt0 + static_cast<std::uint64_t>(i) * per_cfg,
-                         &totals[i]);
-    });
-  } else {
-    Store store(study.nranks, pc);
-    for (int i = 0; i < nconf; ++i) {
-      if (reset) store.reset_statistics();
-      outcomes[i] =
-          run_one_config(study, opt, machine, store, study.configs[i],
-                         salt0 + static_cast<std::uint64_t>(i) * per_cfg,
-                         &totals[i]);
-    }
-  }
-
-  TuneResult out;
-  out.per_config = std::move(outcomes);
-  for (const ConfigTotals& t : totals) {
-    out.tuning_time += t.tuning_time;
-    out.full_time += t.full_time;
-    out.kernel_time += t.kernel_time;
-    out.full_kernel_time += t.full_kernel_time;
-  }
-  return out;
+  SweepDriver driver(study, opt);
+  const std::unique_ptr<SearchStrategy> strategy =
+      make_strategy(opt, driver.config_begin(), driver.config_end());
+  return driver.run(*strategy);
 }
 
 }  // namespace critter::tune

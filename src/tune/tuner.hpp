@@ -1,48 +1,99 @@
-// Exhaustive-search autotuner accelerated by critter's selective execution
-// (paper §VI).
+// Autotuner accelerated by critter's selective execution (paper §VI).
 //
-// Protocol per (policy, tolerance):
-//   for each configuration:
-//     * optionally reset all kernel statistics (paper: SLATE and CANDMC);
-//     * a-priori propagation first runs the configuration once fully
-//       instrumented to record critical-path kernel counts (that extra run
-//       is charged to the tuning time, as in the paper);
-//     * for each sample: one uninstrumented full execution (the "full
-//       execution directly prior" used as the error reference — not charged
-//       to tuning time) followed by one selective execution (charged).
+// Public facade of the tuning subsystem, which is layered as (tune/sweep.hpp
+// has the driver, tune/evaluator.hpp the per-configuration protocol,
+// tune/strategy.hpp the search strategies):
 //
-// All runs share one profiler Store, so kernel statistics persist across
-// samples (and across configurations unless reset — which is what the
-// eager policy exploits).
+//   SearchStrategy  — which configurations to evaluate, in which batches
+//                     (exhaustive; random subset; CI-based early discard);
+//   Evaluator       — one configuration's protocol: optional a-priori
+//                     instrumented pass, one full reference execution, then
+//                     `samples` selective executions;
+//   SweepDriver     — owns workers and statistics flow across
+//                     configurations: serial, isolated-parallel
+//                     (per-configuration statistics reset), or
+//                     batch-shared-parallel (workers evaluate a batch
+//                     against a shared statistics snapshot and their deltas
+//                     merge in configuration order at a barrier).
+//
+// All runs of one configuration share a profiler Store, so kernel
+// statistics persist across samples (and across configurations unless
+// reset — which is what the eager policy exploits).
 #pragma once
 
+#include "core/stat_store.hpp"
 #include "tune/config_space.hpp"
 
 namespace critter::tune {
+
+/// Which configurations an exhaustive-search budget is spent on.
+enum class Search : std::uint8_t {
+  Exhaustive,      ///< every configuration (the paper's protocol)
+  RandomSubset,    ///< a deterministic random subset of `subset` configs
+  CiEarlyDiscard,  ///< exhaustive order, but a configuration's remaining
+                   ///< samples are discarded once its predicted-time CI is
+                   ///< dominated by the incumbent best
+};
+
+const char* search_name(Search s);
+
+/// How the sweep actually executed (recorded in TuneResult so drivers can
+/// surface the effective mode instead of silently degrading).
+enum class SweepMode : std::uint8_t {
+  Serial,            ///< one store, configurations in sequence
+  ParallelIsolated,  ///< per-configuration stores, statistics reset
+  BatchShared,       ///< batch-synchronous shared-statistics sweep
+};
+
+const char* sweep_mode_name(SweepMode m);
 
 struct TuneOptions {
   Policy policy = Policy::ConditionalExecution;
   double tolerance = 0.25;
   int samples = 3;
   /// Reset kernel statistics between configurations (paper: on for SLATE
-  /// and CANDMC, off for Capital; never for eager propagation).
+  /// and CANDMC, off for Capital; never honored for eager propagation).
   bool reset_per_config = false;
   std::uint64_t seed_salt = 0;
   double comp_noise = 0.08;
   double comm_noise = 0.08;
   /// Internal-message ~K capacity (profiling-overhead ablation knob).
   int tilde_capacity = 256;
-  /// Enable the SVIII cross-size kernel-model extrapolation extension.
+  /// Enable the §VIII cross-size kernel-model extrapolation extension.
   bool extrapolate = false;
   /// Evaluate configurations on a work-stealing pool of this many workers.
-  /// Parallel evaluation requires per-configuration statistics isolation,
-  /// so it engages only when `reset_per_config` is set and the policy keeps
-  /// no cross-configuration state (not eager propagation, not extrapolate);
-  /// otherwise the sweep silently falls back to serial.  Results are
-  /// bit-identical to the serial sweep by construction: each worker owns an
-  /// independent Engine + Store, noise salts are assigned per configuration
-  /// index, and totals reduce in configuration order.
+  /// Sweeps whose configurations are statistically isolated
+  /// (`reset_per_config`, non-eager, non-extrapolate) parallelize
+  /// bit-identically to the serial sweep.  Sweeps that share statistics
+  /// across configurations (eager propagation, persistent-stats sweeps,
+  /// extrapolation) run batch-synchronously: workers evaluate a batch
+  /// against a shared statistics snapshot and merge their deltas in
+  /// configuration order at a barrier, so results are deterministic for a
+  /// given (seed, batch size) regardless of worker count.  The effective
+  /// mode is recorded in TuneResult.
   int workers = 1;
+  /// Batch size of the batch-shared sweep (0: use `workers`).  Also forces
+  /// the batch-shared path when set on a shared-statistics sweep with
+  /// workers == 1, which is how a single-worker run reproduces a
+  /// multi-worker run exactly.
+  int batch = 0;
+  Search search = Search::Exhaustive;
+  /// RandomSubset: number of configurations to evaluate (0 = all).
+  int subset = 0;
+  /// CiEarlyDiscard: relative slack over the incumbent's predicted time
+  /// before a configuration's remaining samples are abandoned.
+  double discard_margin = 0.10;
+  /// Restrict the sweep to configurations [config_begin, config_end)
+  /// (config_end < 0: to the end).  Noise salts stay indexed by absolute
+  /// configuration index, so a sweep split into ranges — e.g. interrupted
+  /// and warm-started — reproduces the uninterrupted sweep exactly.
+  int config_begin = 0;
+  int config_end = -1;
+  /// Warm-start statistics (typically a previous sweep's
+  /// TuneResult::stats round-tripped through StatSnapshot::save/load).
+  /// Honored by serial and batch-shared sweeps; isolated-parallel sweeps
+  /// reset statistics per configuration and ignore it.
+  const core::StatSnapshot* warm_start = nullptr;
 };
 
 struct ConfigOutcome {
@@ -57,6 +108,9 @@ struct ConfigOutcome {
   double sel_kernel_time = 0.0;  ///< max-over-ranks executed kernel time
   std::int64_t executed = 0;
   std::int64_t skipped = 0;
+  bool evaluated = false;  ///< false: skipped by the search strategy
+  bool pruned = false;     ///< CI early-discard abandoned later samples
+  int samples_used = 0;
 };
 
 struct TuneResult {
@@ -66,6 +120,20 @@ struct TuneResult {
   double kernel_time = 0.0;       ///< selective max kernel comp time, summed
   double full_kernel_time = 0.0;  ///< same for the full executions
 
+  // --- effective sweep execution (see TuneOptions::workers) ---
+  SweepMode mode = SweepMode::Serial;
+  int requested_workers = 1;
+  int effective_workers = 1;
+  int batch = 0;               ///< batch size used (batch-shared sweeps)
+  int evaluated_configs = 0;   ///< configurations actually evaluated
+  /// Non-empty when fewer workers engaged than requested, with the reason.
+  std::string fallback_reason;
+  /// Final persistent statistics of serial and batch-shared sweeps (empty
+  /// for isolated sweeps, whose statistics die with each configuration).
+  /// Persist with StatSnapshot::save_file and warm-start a later sweep.
+  core::StatSnapshot stats;
+
+  // Aggregates below consider evaluated configurations only.
   double mean_err() const;
   double mean_log2_err() const;       ///< Fig 4e/4f/5e/5f y-axis
   double mean_log2_comp_err() const;  ///< Fig 4d/5d y-axis
@@ -78,7 +146,8 @@ struct TuneResult {
 TuneResult run_study(const Study& study, const TuneOptions& opt);
 
 /// One fully-instrumented full execution of a configuration (no skipping):
-/// the measurement backing the Fig. 3 cost/time panels.
+/// the measurement backing the Fig. 3 cost/time panels.  Routed through the
+/// Evaluator's reference-execution path.
 Report measure_config(const Study& study, const Configuration& cfg,
                       std::uint64_t seed_salt = 0, double noise = 0.08);
 

@@ -149,7 +149,7 @@ TEST(CandmcModel, KernelProfileMatchesPaper) {
   });
   using critter::core::KernelClass;
   bool has[32] = {};
-  for (const auto& [key, ks] : store.rank(0).K) has[static_cast<int>(key.cls)] = true;
+  for (const auto& [key, ks] : store.rank(0).table.K) has[static_cast<int>(key.cls)] = true;
   // paper §V-D: CANDMC uses gemm, trsm, geqrf, ormqr, tpqrt/tpmqrt,
   // bcast, allreduce, send, recv
   EXPECT_TRUE(has[static_cast<int>(KernelClass::Gemm)]);

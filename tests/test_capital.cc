@@ -148,7 +148,7 @@ TEST(CapitalModel, KernelProfileHasExpectedClasses) {
   });
   using critter::core::KernelClass;
   bool has[32] = {};
-  for (const auto& [key, ks] : store.rank(0).K)
+  for (const auto& [key, ks] : store.rank(0).table.K)
     has[static_cast<int>(key.cls)] = true;
   // compute kernels the paper lists for Capital (§V-D)
   EXPECT_TRUE(has[static_cast<int>(KernelClass::Potrf)]);

@@ -91,7 +91,7 @@ TEST(Extrapolation, SkipsUnseenSizesEndToEnd) {
   });
   EXPECT_EQ(extrapolated, 1);
   // and the seeded statistics are close to the cost model's mean
-  const auto& K = store.rank(0).K;
+  const auto& K = store.rank(0).table.K;
   auto it = K.find(gemm_key(40));
   ASSERT_NE(it, K.end());
   const double model = m.gamma * 2.0 * 40 * 40 * 40 + 5.0e-7;

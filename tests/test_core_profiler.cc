@@ -134,11 +134,11 @@ TEST(Profiler, EveryKernelExecutesOncePerEpoch) {
   cfg.tolerance = 0.9;
   Store store(2, cfg);
   (void)run_under(store, 2, [] { toy_program(100, 16, 256); });
-  const auto executed_before = store.rank(0).K.begin()->second.total_executions;
+  const auto executed_before = store.rank(0).table.K.begin()->second.total_executions;
   store.new_epoch();
   (void)run_under(store, 2, [] { toy_program(1, 16, 256); });
   // one new invocation in the new epoch: must have executed (not skipped)
-  for (const auto& [key, ks] : store.rank(0).K) {
+  for (const auto& [key, ks] : store.rank(0).table.K) {
     EXPECT_GE(ks.executions_this_epoch, 1)
         << "kernel " << key.to_string() << " was never executed this epoch";
   }
@@ -318,7 +318,7 @@ TEST(Profiler, EagerPropagatesAcrossGridAndSkipsGlobally) {
   EXPECT_GT(first.skipped, 0);
   // some kernel must have gone globally steady on rank 0
   bool any_global = false;
-  for (const auto& [key, ks] : store.rank(0).K)
+  for (const auto& [key, ks] : store.rank(0).table.K)
     any_global = any_global || ks.global_steady;
   EXPECT_TRUE(any_global);
 
@@ -335,9 +335,9 @@ TEST(Profiler, ResetStatisticsForcesReexecution) {
   cfg.tolerance = 0.5;
   Store store(2, cfg);
   (void)run_under(store, 2, [] { toy_program(100, 16, 256); });
-  EXPECT_FALSE(store.rank(0).K.empty());
+  EXPECT_FALSE(store.rank(0).table.K.empty());
   store.reset_statistics();
-  EXPECT_TRUE(store.rank(0).K.empty());
+  EXPECT_TRUE(store.rank(0).table.K.empty());
   // With min_samples = 3, the first three invocations after a reset can
   // never be skipped regardless of the previous statistics.
   Report r = run_under(store, 2, [] { toy_program(3, 16, 256); });
@@ -406,7 +406,7 @@ TEST(Profiler, KernelKeySeparatesChannels) {
     critter::mpi::bcast(nullptr, 512, 0, colc);
   });
   int bcast_keys = 0;
-  for (const auto& [key, ks] : store.rank(0).K)
+  for (const auto& [key, ks] : store.rank(0).table.K)
     if (key.cls == critter::core::KernelClass::Bcast) ++bcast_keys;
   EXPECT_EQ(bcast_keys, 2);
 }

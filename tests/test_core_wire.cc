@@ -12,7 +12,7 @@ namespace {
 
 RankProfiler make_profiler(double exec_time) {
   RankProfiler rp;
-  rp.channels.init_world(16);
+  rp.table.channels.init_world(16);
   rp.path.exec_time = exec_time;
   rp.path.comp_time = exec_time / 2;
   rp.path.sync_cost = 10;

@@ -166,7 +166,7 @@ TEST(SlateModel, PotrfKernelProfile) {
   });
   using critter::core::KernelClass;
   bool has[32] = {};
-  for (const auto& [key, ks] : store.rank(0).K) has[static_cast<int>(key.cls)] = true;
+  for (const auto& [key, ks] : store.rank(0).table.K) has[static_cast<int>(key.cls)] = true;
   EXPECT_TRUE(has[static_cast<int>(KernelClass::Potrf)]);
   EXPECT_TRUE(has[static_cast<int>(KernelClass::Trsm)]);
   EXPECT_TRUE(has[static_cast<int>(KernelClass::Syrk)]);
@@ -190,7 +190,7 @@ TEST(SlateModel, GeqrfKernelProfile) {
   });
   using critter::core::KernelClass;
   bool has[32] = {};
-  for (const auto& [key, ks] : store.rank(0).K) has[static_cast<int>(key.cls)] = true;
+  for (const auto& [key, ks] : store.rank(0).table.K) has[static_cast<int>(key.cls)] = true;
   EXPECT_TRUE(has[static_cast<int>(KernelClass::Geqrf)]);
   EXPECT_TRUE(has[static_cast<int>(KernelClass::Ormqr)]);
   EXPECT_TRUE(has[static_cast<int>(KernelClass::Tpqrt)]);

@@ -1,0 +1,219 @@
+// Statistics-lifecycle subsystem (core/stat_store): deterministic merge,
+// exact merge inverse (diff), snapshot/restore round-trips on a profiler
+// Store, and versioned binary + JSON serialization round-trips including
+// SizeModel state.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/stat_store.hpp"
+#include "tune/tuner.hpp"
+
+namespace core = critter::core;
+namespace tune = critter::tune;
+using critter::Policy;
+
+namespace {
+
+core::KernelKey key_of(int cls, std::int64_t m, std::int64_t n) {
+  return core::KernelKey{static_cast<core::KernelClass>(cls), {m, n, 0, 0}, 0};
+}
+
+core::KernelStats samples(std::initializer_list<double> xs) {
+  core::KernelStats ks;
+  for (double x : xs) {
+    ks.add_sample(x);
+    ++ks.total_invocations;
+    ++ks.total_executions;
+  }
+  ks.registered = true;
+  return ks;
+}
+
+/// A populated table: a few kernels, a sub-channel, a size-model bucket.
+core::KernelTable make_table(int nranks, int salt) {
+  core::KernelTable t;
+  t.init_world(nranks);
+  for (int k = 0; k < 3; ++k) {
+    const core::KernelKey key = key_of(k, 64 + salt, 32);
+    t.K.emplace(key, samples({1.0 + salt, 2.0 + salt, 3.0 + k}));
+    t.key_of_hash.emplace(key.hash(), key);
+  }
+  std::vector<int> row;
+  for (int r = 0; r < nranks / 2; ++r) row.push_back(r);
+  t.channels.add_channel(row);
+  t.size_model.observe(key_of(0, 64, 32), 1e6 * (1 + salt), 1e-3);
+  t.size_model.observe(key_of(0, 128, 64), 2e6 * (1 + salt), 2e-3);
+  t.epoch = salt;
+  return t;
+}
+
+/// A real statistics snapshot grown by an actual sweep (exercises every
+/// field the serializer must carry, including eager/extrapolate state).
+core::StatSnapshot sweep_snapshot(Policy policy, bool extrapolate) {
+  auto study = tune::slate_cholesky_study(false);
+  study.configs.resize(4);
+  tune::TuneOptions opt;
+  opt.policy = policy;
+  opt.samples = 2;
+  opt.tolerance = 0.5;
+  opt.extrapolate = extrapolate;
+  const tune::TuneResult r = tune::run_study(study, opt);
+  EXPECT_FALSE(r.stats.empty());
+  return r.stats;
+}
+
+}  // namespace
+
+TEST(KernelStats, UnmergeIsExactInverseOfMerge) {
+  const core::KernelStats a = samples({1.0, 2.0, 3.5, 0.25});
+  const core::KernelStats b = samples({4.0, 5.5});
+  core::KernelStats c = a;
+  c.merge(b);
+  c.unmerge(a);
+  ASSERT_EQ(c.n, b.n);
+  EXPECT_NEAR(c.mean, b.mean, 1e-12);
+  EXPECT_NEAR(c.m2, b.m2, 1e-12);
+  // unmerging everything leaves an empty estimator
+  core::KernelStats d = a;
+  d.unmerge(a);
+  EXPECT_EQ(d.n, 0);
+  EXPECT_EQ(d.mean, 0.0);
+  EXPECT_EQ(d.m2, 0.0);
+}
+
+TEST(KernelTable, MergeIsDeterministic) {
+  const core::KernelTable a = make_table(8, 1);
+  const core::KernelTable b = make_table(8, 2);
+  core::KernelTable m1 = a;
+  m1.merge(b);
+  core::KernelTable m2 = a;
+  m2.merge(b);
+  EXPECT_TRUE(m1.same_statistics(m2));
+  EXPECT_FALSE(m1.same_statistics(a));
+}
+
+TEST(KernelTable, MergeOrderPermutationsAgree) {
+  // Integer state (counts, registries, channels) must agree exactly across
+  // merge orders; floating moments to tight tolerance (Chan's merge is
+  // order-insensitive only in exact arithmetic).
+  const core::KernelTable a = make_table(8, 1);
+  const core::KernelTable b = make_table(8, 2);
+  const core::KernelTable c = make_table(8, 5);
+
+  core::KernelTable ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+  core::KernelTable ac_b = a;
+  ac_b.merge(c);
+  ac_b.merge(b);
+
+  ASSERT_EQ(ab_c.K.size(), ac_b.K.size());
+  for (const auto& [key, ks] : ab_c.K) {
+    const auto it = ac_b.K.find(key);
+    ASSERT_NE(it, ac_b.K.end());
+    EXPECT_EQ(ks.n, it->second.n);
+    EXPECT_EQ(ks.total_invocations, it->second.total_invocations);
+    EXPECT_EQ(ks.total_executions, it->second.total_executions);
+    EXPECT_NEAR(ks.mean, it->second.mean, 1e-12);
+    EXPECT_NEAR(ks.m2, it->second.m2, 1e-12);
+  }
+  EXPECT_TRUE(ab_c.channels.same_channels(ac_b.channels));
+  EXPECT_EQ(ab_c.epoch, ac_b.epoch);
+}
+
+TEST(KernelTable, DiffIsMergeInverse) {
+  const core::KernelTable base = make_table(8, 1);
+  core::KernelTable after = base;
+  after.merge(make_table(8, 3));  // evolve on top of base
+  after.new_epoch();
+
+  const core::KernelTable delta = after.diff(base);
+  core::KernelTable rebuilt = base;
+  rebuilt.merge(delta);
+
+  ASSERT_EQ(rebuilt.K.size(), after.K.size());
+  for (const auto& [key, ks] : after.K) {
+    const auto it = rebuilt.K.find(key);
+    ASSERT_NE(it, rebuilt.K.end());
+    EXPECT_EQ(ks.n, it->second.n);
+    EXPECT_NEAR(ks.mean, it->second.mean, 1e-12);
+    EXPECT_NEAR(ks.m2, it->second.m2, 1e-12);
+  }
+  EXPECT_TRUE(rebuilt.channels.same_channels(after.channels));
+  EXPECT_EQ(rebuilt.epoch, after.epoch);
+
+  // An untouched table diffs to an empty delta.
+  const core::KernelTable none = base.diff(base);
+  EXPECT_TRUE(none.K.empty());
+  EXPECT_TRUE(none.key_of_hash.empty());
+  EXPECT_TRUE(none.pending_eager.empty());
+}
+
+TEST(StatSnapshot, StoreSnapshotRestoreRoundTrips) {
+  const core::StatSnapshot snap = sweep_snapshot(Policy::OnlinePropagation, false);
+  critter::Config pc;
+  pc.mode = critter::ExecMode::Model;
+  critter::Store store(snap.nranks(), pc);
+  EXPECT_FALSE(store.snapshot().same_statistics(snap));
+  store.restore(snap);
+  EXPECT_TRUE(store.snapshot().same_statistics(snap));
+  // diff against the restored base is empty until the store evolves
+  const core::StatSnapshot delta = store.diff(snap);
+  for (const core::KernelTable& t : delta.ranks) EXPECT_TRUE(t.K.empty());
+}
+
+TEST(StatSnapshot, BinarySerializationRoundTrips) {
+  for (bool extrapolate : {false, true}) {
+    const core::StatSnapshot snap =
+        sweep_snapshot(Policy::ConditionalExecution, extrapolate);
+    std::stringstream buf;
+    snap.save(buf, core::StatSnapshot::Format::Binary);
+    const core::StatSnapshot loaded = core::StatSnapshot::load(buf);
+    EXPECT_TRUE(loaded.same_statistics(snap)) << "extrapolate=" << extrapolate;
+  }
+}
+
+TEST(StatSnapshot, JsonSerializationRoundTrips) {
+  // Eager propagation populates aggregation hashes and (potentially)
+  // pending entries; extrapolation populates the size model.
+  for (Policy policy : {Policy::EagerPropagation, Policy::OnlinePropagation}) {
+    const core::StatSnapshot snap = sweep_snapshot(policy, true);
+    std::stringstream buf;
+    snap.save(buf, core::StatSnapshot::Format::Json);
+    const core::StatSnapshot loaded = core::StatSnapshot::load(buf);
+    EXPECT_TRUE(loaded.same_statistics(snap))
+        << critter::policy_name(policy);
+  }
+}
+
+TEST(StatSnapshot, JsonAndBinaryAgree) {
+  const core::StatSnapshot snap = sweep_snapshot(Policy::EagerPropagation, true);
+  std::stringstream jbuf, bbuf;
+  snap.save(jbuf, core::StatSnapshot::Format::Json);
+  snap.save(bbuf, core::StatSnapshot::Format::Binary);
+  EXPECT_TRUE(core::StatSnapshot::load(jbuf).same_statistics(
+      core::StatSnapshot::load(bbuf)));
+}
+
+TEST(StatSnapshot, FileRoundTripAutoDetectsFormat) {
+  const core::StatSnapshot snap = sweep_snapshot(Policy::OnlinePropagation, true);
+  const char* bin_path = "test_stat_store_snapshot.bin";
+  const char* json_path = "test_stat_store_snapshot.json";
+  snap.save_file(bin_path, core::StatSnapshot::Format::Binary);
+  snap.save_file(json_path, core::StatSnapshot::Format::Json);
+  EXPECT_TRUE(core::StatSnapshot::load_file(bin_path).same_statistics(snap));
+  EXPECT_TRUE(core::StatSnapshot::load_file(json_path).same_statistics(snap));
+  std::remove(bin_path);
+  std::remove(json_path);
+}
+
+TEST(StatSnapshot, LoadRejectsGarbage) {
+  std::stringstream bad("this is not a snapshot");
+  EXPECT_THROW(core::StatSnapshot::load(bad), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_THROW(core::StatSnapshot::load(empty), std::runtime_error);
+  std::stringstream wrong_json("{\"format\":\"something-else\",\"version\":1}");
+  EXPECT_THROW(core::StatSnapshot::load(wrong_json), std::runtime_error);
+}

@@ -4,8 +4,10 @@
 // ordered reduction of totals).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <sstream>
 #include <vector>
 
 #include "tune/tuner.hpp"
@@ -107,21 +109,254 @@ TEST(ParallelSweep, MoreWorkersThanConfigs) {
     EXPECT_EQ(rs.per_config[i].pred_time, rp.per_config[i].pred_time);
 }
 
-TEST(ParallelSweep, EagerFallsBackToSerial) {
-  // Eager propagation persists statistics across configurations; workers>1
-  // must not change its results (it runs serially by contract).
-  const auto study = small_study(4);
-  tune::TuneOptions a;
-  a.policy = Policy::EagerPropagation;
-  a.samples = 1;
-  a.workers = 1;
-  tune::TuneOptions b = a;
-  b.workers = 4;
-  auto ra = tune::run_study(study, a);
-  auto rb = tune::run_study(study, b);
-  for (std::size_t i = 0; i < ra.per_config.size(); ++i)
-    EXPECT_EQ(ra.per_config[i].pred_time, rb.per_config[i].pred_time);
-  EXPECT_EQ(ra.tuning_time, rb.tuning_time);
+namespace {
+
+/// SLATE Cholesky shares kernel signatures across configurations (tile
+/// sizes repeat between lookahead variants), so cross-configuration
+/// statistics sharing actually changes skip decisions — the interesting
+/// case for the batch-shared sweep.
+tune::Study shared_study(int nconfigs) {
+  auto study = tune::slate_cholesky_study(false);
+  study.configs.resize(nconfigs);
+  return study;
+}
+
+void expect_equal_results(const tune::TuneResult& a, const tune::TuneResult& b,
+                          const char* what) {
+  ASSERT_EQ(a.per_config.size(), b.per_config.size()) << what;
+  for (std::size_t i = 0; i < a.per_config.size(); ++i) {
+    EXPECT_EQ(a.per_config[i].true_time, b.per_config[i].true_time)
+        << what << " config " << i;
+    EXPECT_EQ(a.per_config[i].pred_time, b.per_config[i].pred_time)
+        << what << " config " << i;
+    EXPECT_EQ(a.per_config[i].err, b.per_config[i].err) << what;
+    EXPECT_EQ(a.per_config[i].executed, b.per_config[i].executed) << what;
+    EXPECT_EQ(a.per_config[i].skipped, b.per_config[i].skipped) << what;
+  }
+  EXPECT_EQ(a.tuning_time, b.tuning_time) << what;
+  EXPECT_EQ(a.full_time, b.full_time) << what;
+  EXPECT_EQ(a.kernel_time, b.kernel_time) << what;
+  EXPECT_EQ(a.best_predicted(), b.best_predicted()) << what;
+}
+
+}  // namespace
+
+TEST(BatchSharedSweep, EagerIdenticalAcrossWorkerCounts) {
+  // Eager propagation shares statistics across configurations, so it runs
+  // batch-synchronously: at fixed batch size the results are a pure
+  // function of the seed — the worker count changes wall-clock time only.
+  const auto study = shared_study(8);
+  tune::TuneOptions base;
+  base.policy = Policy::EagerPropagation;
+  base.samples = 2;
+  // batch 3 splits the equal-tile configuration pairs across barriers, so
+  // merged statistics genuinely feed later skip decisions
+  base.batch = 3;
+  base.workers = 1;
+  const auto r1 = tune::run_study(study, base);
+  EXPECT_EQ(r1.mode, tune::SweepMode::BatchShared);
+  for (int workers : {2, 4}) {
+    tune::TuneOptions opt = base;
+    opt.workers = workers;
+    const auto rw = tune::run_study(study, opt);
+    EXPECT_EQ(rw.mode, tune::SweepMode::BatchShared);
+    EXPECT_EQ(rw.effective_workers, std::min(workers, base.batch));
+    EXPECT_TRUE(rw.fallback_reason.empty()) << rw.fallback_reason;
+    expect_equal_results(r1, rw, "eager");
+    EXPECT_TRUE(r1.stats.same_statistics(rw.stats));
+  }
+}
+
+TEST(BatchSharedSweep, ExtrapolateIdenticalAcrossWorkerCounts) {
+  // The §VIII size model survives per-configuration resets, so an
+  // extrapolating sweep shares statistics even with reset_per_config and
+  // must take the batch-shared path — deterministically.
+  const auto study = shared_study(8);
+  tune::TuneOptions base;
+  base.policy = Policy::OnlinePropagation;
+  base.samples = 2;
+  base.extrapolate = true;
+  base.reset_per_config = true;
+  base.batch = 4;
+  base.workers = 1;
+  const auto r1 = tune::run_study(study, base);
+  EXPECT_EQ(r1.mode, tune::SweepMode::BatchShared);
+  for (int workers : {2, 4}) {
+    tune::TuneOptions opt = base;
+    opt.workers = workers;
+    const auto rw = tune::run_study(study, opt);
+    EXPECT_EQ(rw.mode, tune::SweepMode::BatchShared);
+    EXPECT_EQ(rw.effective_workers, workers);
+    expect_equal_results(r1, rw, "extrapolate");
+    EXPECT_TRUE(r1.stats.same_statistics(rw.stats));
+  }
+}
+
+TEST(BatchSharedSweep, PersistentStatsIdenticalAcrossWorkerCounts) {
+  // Capital-style sweep: statistics never reset, every configuration
+  // builds on the merged statistics of all previous batches.
+  const auto study = shared_study(6);
+  tune::TuneOptions base;
+  base.policy = Policy::OnlinePropagation;
+  base.samples = 1;
+  base.reset_per_config = false;
+  base.batch = 3;
+  base.workers = 1;
+  const auto r1 = tune::run_study(study, base);
+  for (int workers : {2, 4}) {
+    tune::TuneOptions opt = base;
+    opt.workers = workers;
+    const auto rw = tune::run_study(study, opt);
+    expect_equal_results(r1, rw, "persistent");
+    EXPECT_TRUE(r1.stats.same_statistics(rw.stats));
+  }
+}
+
+TEST(BatchSharedSweep, NoSilentSerialFallback) {
+  // The PR-1 driver silently serialized exactly these sweeps; now the
+  // effective mode engages parallel workers and is recorded.
+  const auto study = shared_study(6);
+  tune::TuneOptions opt;
+  opt.policy = Policy::EagerPropagation;
+  opt.samples = 1;
+  opt.workers = 3;
+  const auto r = tune::run_study(study, opt);
+  EXPECT_EQ(r.mode, tune::SweepMode::BatchShared);
+  EXPECT_EQ(r.requested_workers, 3);
+  EXPECT_EQ(r.effective_workers, 3);
+  EXPECT_EQ(r.batch, 3);  // defaults to the worker count
+  EXPECT_TRUE(r.fallback_reason.empty()) << r.fallback_reason;
+  EXPECT_EQ(r.evaluated_configs, 6);
+}
+
+TEST(BatchSharedSweep, SharingChangesResultsVsIsolation) {
+  // Sanity check that the determinism assertions above are non-trivial:
+  // shared statistics actually alter skip decisions on this study.
+  const auto study = shared_study(8);
+  tune::TuneOptions shared;
+  shared.policy = Policy::OnlinePropagation;
+  shared.samples = 2;
+  shared.batch = 1;  // every configuration sees all earlier statistics
+  tune::TuneOptions isolated = shared;
+  isolated.batch = 0;
+  isolated.reset_per_config = true;
+  const auto rs = tune::run_study(study, shared);
+  const auto ri = tune::run_study(study, isolated);
+  std::int64_t shared_skips = 0, isolated_skips = 0;
+  for (std::size_t i = 0; i < rs.per_config.size(); ++i) {
+    shared_skips += rs.per_config[i].skipped;
+    isolated_skips += ri.per_config[i].skipped;
+  }
+  EXPECT_GT(shared_skips, isolated_skips);
+}
+
+TEST(BatchSharedSweep, WarmStartResumeMatchesUninterrupted) {
+  // Acceptance: save -> load -> resume of a sweep reproduces the
+  // uninterrupted sweep's statistics and outcomes exactly.
+  const auto study = shared_study(8);
+  tune::TuneOptions opt;
+  opt.policy = Policy::OnlinePropagation;
+  opt.samples = 2;
+  opt.batch = 2;
+  opt.workers = 2;
+  const auto full = tune::run_study(study, opt);
+
+  tune::TuneOptions first = opt;
+  first.config_end = 4;
+  const auto r_first = tune::run_study(study, first);
+
+  std::stringstream buf;
+  r_first.stats.save(buf, critter::core::StatSnapshot::Format::Binary);
+  const auto loaded = critter::core::StatSnapshot::load(buf);
+
+  tune::TuneOptions second = opt;
+  second.config_begin = 4;
+  second.warm_start = &loaded;
+  const auto r_second = tune::run_study(study, second);
+
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_EQ(full.per_config[i].pred_time, r_second.per_config[i].pred_time)
+        << "config " << i;
+    EXPECT_EQ(full.per_config[i].true_time, r_second.per_config[i].true_time);
+    EXPECT_EQ(full.per_config[i].skipped, r_second.per_config[i].skipped);
+  }
+  EXPECT_TRUE(full.stats.same_statistics(r_second.stats));
+}
+
+TEST(BatchSharedSweep, WarmStartFromPersistentSweepIntoResetSweep) {
+  // A warm-start captured from a persistent-stats sweep carries kernel
+  // statistics; a reset-mode batch-shared sweep must shed them (only
+  // channels and the size model survive resets) instead of crashing in the
+  // workers' delta extraction.
+  const auto study = shared_study(6);
+  tune::TuneOptions persist;
+  persist.policy = Policy::OnlinePropagation;
+  persist.samples = 2;
+  const auto r0 = tune::run_study(study, persist);
+  ASSERT_FALSE(r0.stats.empty());
+
+  tune::TuneOptions resumed;
+  resumed.policy = Policy::OnlinePropagation;
+  resumed.samples = 1;
+  resumed.extrapolate = true;
+  resumed.reset_per_config = true;
+  resumed.workers = 2;
+  resumed.batch = 2;
+  resumed.warm_start = &r0.stats;
+  const auto r = tune::run_study(study, resumed);
+  EXPECT_EQ(r.mode, tune::SweepMode::BatchShared);
+  EXPECT_EQ(r.evaluated_configs, 6);
+  for (const critter::core::KernelTable& t : r.stats.ranks)
+    EXPECT_TRUE(t.K.empty());
+}
+
+TEST(SearchStrategy, RandomSubsetIsDeterministicAndBounded) {
+  const auto study = small_study(8);
+  tune::TuneOptions opt;
+  opt.policy = Policy::ConditionalExecution;
+  opt.samples = 1;
+  opt.reset_per_config = true;
+  opt.search = tune::Search::RandomSubset;
+  opt.subset = 3;
+  const auto r1 = tune::run_study(study, opt);
+  const auto r2 = tune::run_study(study, opt);
+  EXPECT_EQ(r1.evaluated_configs, 3);
+  int evaluated = 0;
+  for (std::size_t i = 0; i < r1.per_config.size(); ++i) {
+    EXPECT_EQ(r1.per_config[i].evaluated, r2.per_config[i].evaluated);
+    if (r1.per_config[i].evaluated) {
+      ++evaluated;
+      EXPECT_EQ(r1.per_config[i].pred_time, r2.per_config[i].pred_time);
+    }
+  }
+  EXPECT_EQ(evaluated, 3);
+  EXPECT_TRUE(r1.per_config[r1.best_predicted()].evaluated);
+}
+
+TEST(SearchStrategy, CiEarlyDiscardPrunesAndStaysDeterministic) {
+  const auto study = shared_study(8);
+  tune::TuneOptions opt;
+  opt.policy = Policy::OnlinePropagation;
+  opt.samples = 4;
+  opt.batch = 2;
+  opt.search = tune::Search::CiEarlyDiscard;
+  opt.discard_margin = 0.0;
+  opt.workers = 1;
+  const auto r1 = tune::run_study(study, opt);
+  tune::TuneOptions opt4 = opt;
+  opt4.workers = 4;  // capped by batch size
+  const auto r4 = tune::run_study(study, opt4);
+  for (std::size_t i = 0; i < r1.per_config.size(); ++i) {
+    EXPECT_EQ(r1.per_config[i].pred_time, r4.per_config[i].pred_time);
+    EXPECT_EQ(r1.per_config[i].pruned, r4.per_config[i].pruned);
+    EXPECT_EQ(r1.per_config[i].samples_used, r4.per_config[i].samples_used);
+  }
+  // Every configuration still gets at least one sample and a prediction.
+  for (const auto& c : r1.per_config) {
+    EXPECT_TRUE(c.evaluated);
+    EXPECT_GE(c.samples_used, 1);
+    EXPECT_GT(c.pred_time, 0.0);
+  }
 }
 
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
