@@ -64,7 +64,7 @@ inline void print_fig3(const tune::Study& study, const char* fig_costs,
 
   for (const auto& cfg : study.configs) {
     critter::Report r = tune::measure_config(study, cfg, 1234 + cfg.index);
-    const std::string lbl = cfg.label(study.app);
+    const std::string lbl = cfg.label();
     const std::string idx = std::to_string(cfg.index);
     costs.row({idx, lbl, util::Table::sci(r.critical.sync_cost),
                util::Table::sci(r.volavg.sync_cost),
@@ -179,7 +179,7 @@ inline void print_per_config_error(const tune::Study& study, const char* fig,
   }
   for (std::size_t v = 0; v < study.configs.size(); ++v) {
     std::vector<std::string> row{std::to_string(v),
-                                 study.configs[v].label(study.app)};
+                                 study.configs[v].label()};
     for (auto& res : results)
       row.push_back(util::Table::num(
           100.0 * (comp_time ? res.per_config[v].comp_err

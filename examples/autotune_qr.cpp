@@ -1,15 +1,20 @@
 // Autotune CANDMC's pipelined 2D QR over block size and processor-grid
-// shape (the paper's third case study):
+// shape (the paper's third case study), or any other registered workload:
 //
-//   ./autotune_qr [--policy=local] [--tolerance=0.25] [--samples=1]
+//   ./autotune_qr [--workload=candmc-qr] [--strategy=halving,eta=2]
+//                 [--policy=local] [--tolerance=0.25] [--samples=1]
 //                 [--workers=4] [--batch=4]
 //
-// Demonstrates the paper's observation that CANDMC's shrinking trailing
-// matrix creates many distinct kernel signatures, limiting the end-to-end
-// speedup while kernel execution time itself drops sharply.
+// --help lists the registered workloads and strategies.  Demonstrates the
+// paper's observation that CANDMC's shrinking trailing matrix creates many
+// distinct kernel signatures, limiting the end-to-end speedup while kernel
+// execution time itself drops sharply.
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <tuple>
 
+#include "tune/strategy.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -18,6 +23,15 @@ namespace tune = critter::tune;
 
 int main(int argc, char** argv) {
   critter::util::Options opt(argc, argv);
+  if (opt.has("help")) {
+    std::printf("usage: autotune_qr [--workload=NAME] "
+                "[--strategy=NAME[,key=val...]]\n"
+                "                   [--policy=local] [--tolerance=X] "
+                "[--samples=N]\n"
+                "                   [--workers=N] [--batch=N]\n\n%s",
+                tune::registry_help().c_str());
+    return 0;
+  }
   tune::TuneOptions topt;
   const std::string pol = opt.get("policy", "local");
   topt.policy = pol == "conditional" ? critter::Policy::ConditionalExecution
@@ -29,11 +43,15 @@ int main(int argc, char** argv) {
   topt.workers = static_cast<int>(opt.get_int("workers", 1));
   topt.batch = static_cast<int>(opt.get_int("batch", 0));
   topt.reset_per_config = true;  // paper protocol for CANDMC
+  std::tie(topt.strategy, topt.strategy_options) =
+      tune::parse_strategy_spec(opt.get("strategy", "exhaustive"));
 
-  const tune::Study study = tune::candmc_qr_study(critter::util::paper_scale());
-  std::printf("autotuning %s: %d ranks, %d x %d, %zu configurations\n",
+  const tune::Study study = tune::workload_study(
+      opt.get("workload", "candmc-qr"), critter::util::paper_scale());
+  std::printf("autotuning %s: %d ranks, %d x %d, %zu configurations, "
+              "strategy=%s\n",
               study.name.c_str(), study.nranks, study.m, study.n,
-              study.configs.size());
+              study.configs.size(), topt.strategy.c_str());
 
   const tune::TuneResult r = tune::run_study(study, topt);
 
@@ -45,12 +63,14 @@ int main(int argc, char** argv) {
   critter::util::Table t("per-configuration results");
   t.header({"config", "params", "true(s)", "predicted(s)", "err(%)",
             "sel-kernel-time(s)"});
-  for (const auto& c : r.per_config)
-    t.row({std::to_string(c.config.index), c.config.label(study.app),
+  for (const auto& c : r.per_config) {
+    if (!c.evaluated) continue;  // skipped by the search strategy
+    t.row({std::to_string(c.config.index), c.config.label(),
            critter::util::Table::num(c.true_time, 5),
            critter::util::Table::num(c.pred_time, 5),
            critter::util::Table::num(100.0 * c.err, 2),
            critter::util::Table::num(c.sel_kernel_time, 5)});
+  }
   t.print();
 
   std::printf("\ntuning %.4fs vs full %.4fs (%.2fx); kernel-time reduction "

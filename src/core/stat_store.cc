@@ -27,6 +27,7 @@ void KernelTable::clear_statistics() {
   K.clear();
   key_of_hash.clear();
   pending_eager.clear();
+  pending_tombstones.clear();
 }
 
 namespace {
@@ -102,22 +103,53 @@ void KernelTable::merge(const KernelTable& other) {
     if (!inserted) merge_kernel_stats(it->second, ks);
   }
   for (const auto& [h, key] : other.key_of_hash) key_of_hash.try_emplace(h, key);
+  // Tombstones first: the delta's evaluation absorbed our pending entry at
+  // first sighting (its K contribution arrives with the absorbed moments
+  // shed — see diff()), so re-absorb *our* copy into the now-registered K
+  // entry and erase it.  The first sibling's tombstone consumes the entry;
+  // later siblings find it gone — the absorbed samples count exactly once.
+  for (std::uint64_t h : other.pending_tombstones) {
+    const auto pit = pending_eager.find(h);
+    if (pit == pending_eager.end()) continue;
+    const auto kit = key_of_hash.find(h);
+    if (kit != key_of_hash.end()) {
+      const auto kk = K.find(kit->second);
+      if (kk != K.end() && kk->second.registered)
+        kk->second.merge(pit->second);  // moments only, like the profiler's
+                                        // first-sighting absorption
+    }
+    pending_eager.erase(pit);
+  }
   for (const auto& [h, ks] : other.pending_eager) {
+    // Kernel already registered here (e.g. by an earlier sibling delta of
+    // the same batch): pending growth feeds the K entry directly instead
+    // of being created only to be purged below.
+    const auto kit = key_of_hash.find(h);
+    if (kit != key_of_hash.end()) {
+      const auto kk = K.find(kit->second);
+      if (kk != K.end() && kk->second.registered) {
+        kk->second.merge(ks);
+        continue;
+      }
+    }
     auto [it, inserted] = pending_eager.try_emplace(h, ks);
     if (!inserted) merge_kernel_stats(it->second, ks);
   }
   // A pending entry is dead once its kernel is registered in K on either
-  // side: the samples it carried were absorbed into that K entry.  Two
-  // batch-shared edge cases are deliberately approximate (bounded and
-  // deterministic; see DESIGN.md §6): parallel evaluations that each
-  // absorb the same pending entry count its samples once per absorber,
-  // and a delta that only *grew* a pending entry loses that growth when a
-  // sibling delta registered the kernel.
+  // side: absorb its samples there (they were collected for that kernel,
+  // only ahead of its local sighting) and erase it.  Within one batch the
+  // tombstone pass above already consumed the delta-absorbed entries; this
+  // sweep handles independent-table merges (merge_shards), where the two
+  // sides' pending samples are disjoint by construction.
   for (auto it = pending_eager.begin(); it != pending_eager.end();) {
     const auto kit = key_of_hash.find(it->first);
-    const bool absorbed = kit != key_of_hash.end() && K.count(kit->second) > 0 &&
-                          K.at(kit->second).registered;
-    it = absorbed ? pending_eager.erase(it) : ++it;
+    const auto kk = kit != key_of_hash.end() ? K.find(kit->second) : K.end();
+    if (kk != K.end() && kk->second.registered) {
+      kk->second.merge(it->second);
+      it = pending_eager.erase(it);
+    } else {
+      ++it;
+    }
   }
   channels.merge_from(other.channels);
   size_model.merge_from(other.size_model);
@@ -126,15 +158,39 @@ void KernelTable::merge(const KernelTable& other) {
 
 KernelTable KernelTable::diff(const KernelTable& base) const {
   KernelTable d;
+  // Base pending-eager entries we no longer carry were absorbed into K at
+  // first sighting.  Tombstone them and shed the absorbed moments from the
+  // K delta: the merge target re-absorbs its own copy of the entry via the
+  // tombstone, exactly once even when several same-batch siblings absorbed
+  // the same entry.
+  std::unordered_map<KernelKey, const KernelStats*, KernelKeyHash> absorbed;
+  for (const auto& [h, ks] : base.pending_eager) {
+    if (pending_eager.count(h) != 0) continue;
+    d.pending_tombstones.push_back(h);
+    const auto kit = key_of_hash.find(h);
+    if (kit != key_of_hash.end()) absorbed.emplace(kit->second, &ks);
+  }
+  std::sort(d.pending_tombstones.begin(), d.pending_tombstones.end());
+
   for (const auto& [key, ks] : K) {
     const auto bit = base.K.find(key);
+    const auto ab = absorbed.find(key);
     if (bit == base.K.end()) {
-      d.K.emplace(key, ks);
+      if (ab == absorbed.end()) {
+        d.K.emplace(key, ks);
+      } else {
+        KernelStats dk = ks;
+        dk.unmerge(*ab->second);  // moments only: first-sighting absorption
+                                  // merged moments only
+        d.K.emplace(key, dk);
+      }
       continue;
     }
     const KernelStats& bs = bit->second;
-    if (stats_equal(ks, bs)) continue;  // untouched by this evaluation
-    d.K.emplace(key, diff_kernel_stats(ks, bs));
+    if (ab == absorbed.end() && stats_equal(ks, bs)) continue;
+    KernelStats dk = diff_kernel_stats(ks, bs);
+    if (ab != absorbed.end()) dk.unmerge(*ab->second);
+    d.K.emplace(key, dk);
   }
   for (const auto& [h, key] : key_of_hash)
     if (base.key_of_hash.count(h) == 0) d.key_of_hash.emplace(h, key);

@@ -45,6 +45,14 @@ struct KernelTable {
   /// Eager propagation: statistics received for kernels not yet seen
   /// locally, absorbed into K on first local sighting.
   std::unordered_map<std::uint64_t, KernelStats> pending_eager;
+  /// Delta-only bookkeeping (produced by diff(), consumed by merge(), never
+  /// serialized): hashes of base pending-eager entries this table absorbed
+  /// into K.  diff() subtracts the absorbed moments from the K delta and
+  /// records the tombstone; merge() then absorbs the *target's* copy of the
+  /// pending entry exactly once — the first tombstone erases it — so
+  /// sibling deltas of one batch cannot double-count the absorbed samples.
+  /// Sorted ascending; empty outside deltas.
+  std::vector<std::uint64_t> pending_tombstones;
   ChannelRegistry channels;
   SizeModel size_model;  ///< cross-size extrapolation (§VIII)
   std::int64_t epoch = 0;
@@ -65,9 +73,14 @@ struct KernelTable {
   /// Deterministic union/moment merge: Welford moments via Chan's parallel
   /// merge, execution counters summed, channel registries unioned, size
   /// model refit from summed moments, epoch max-merged.  Eager coverage
-  /// hashes that conflict restart at zero (re-aggregation is always safe);
-  /// a pending-eager entry is dropped once any side registered its kernel
-  /// in K (the absorbed samples arrive through that K entry instead).
+  /// hashes that conflict restart at zero (re-aggregation is always safe).
+  /// Pending-eager entries whose kernel is registered in K on either side
+  /// are absorbed into that K entry (moments only, mirroring the
+  /// profiler's first-sighting absorption) rather than dropped, and a
+  /// delta's pending tombstones absorb the target's copy exactly once —
+  /// so same-batch siblings that each consumed the base's pending entry
+  /// count its samples once, and pending growth merged after a sibling
+  /// registered the kernel is not lost.
   void merge(const KernelTable& other);
 
   /// Exact merge inverse: reduce *this* (which evolved on top of `base`)

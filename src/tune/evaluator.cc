@@ -1,5 +1,6 @@
 #include "tune/evaluator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/rng.hpp"
@@ -40,7 +41,7 @@ Report Evaluator::one_run(Store& store, const Configuration& cfg,
   Report rep;
   eng.run([&](sim::RankCtx& ctx) {
     critter::start(store);
-    run_configuration(study_, cfg);
+    run_configuration(study_, cfg);  // dispatches to study.runner
     Report r = critter::stop();
     if (ctx.rank == 0) rep = r;
   });
@@ -61,7 +62,8 @@ Report Evaluator::full_reference(const Configuration& cfg,
 }
 
 ConfigOutcome Evaluator::evaluate(Store& store, int index, ConfigTotals* tot,
-                                  const EvalControl& ctl) const {
+                                  const EvalControl& ctl,
+                                  Report* ref_cache) const {
   const Configuration& cfg = study_.configs.at(index);
   std::uint64_t salt = salt_for(index);
   ConfigOutcome oc;
@@ -83,14 +85,30 @@ ConfigOutcome Evaluator::evaluate(Store& store, int index, ConfigTotals* tot,
   // paper pairs every approximated sample with a full execution; we
   // amortize one reference across the samples to keep benches fast and
   // charge the full-execution baseline `samples` times for a fair
-  // comparison.)
-  Report full = full_reference(cfg, ++salt);
+  // comparison.)  The salt is consumed whether the report comes from the
+  // cache or a fresh simulation, so the selective samples below draw
+  // identical noise either way.
+  ++salt;
+  Report full;
+  if (ref_cache != nullptr && ref_cache->p > 0) {
+    full = *ref_cache;
+  } else {
+    full = full_reference(cfg, salt);
+    if (ref_cache != nullptr) *ref_cache = full;
+  }
 
   // Running moments of the per-sample predicted time for the CI discard.
   core::KernelStats pred;
   const double z = core::normal_quantile_two_sided(Config{}.confidence);
 
-  for (int s = 0; s < opt_.samples; ++s) {
+  // A strategy may lower this batch's sample budget (successive halving's
+  // early rungs); the options' budget still sizes the salt block, so a
+  // later full-budget evaluation replays these samples and extends them.
+  const int nsamples = ctl.samples_override > 0
+                           ? std::min(ctl.samples_override, opt_.samples)
+                           : opt_.samples;
+
+  for (int s = 0; s < nsamples; ++s) {
     store.new_epoch();
     Report sel = one_run(store, cfg, ++salt);
     ++oc.samples_used;
@@ -120,7 +138,7 @@ ConfigOutcome Evaluator::evaluate(Store& store, int index, ConfigTotals* tot,
     // (plus slack).  The incumbent is fixed for the whole batch, so the
     // decision is deterministic regardless of worker count.
     pred.add_sample(sel.critical.exec_time);
-    if (ctl.early_discard && s + 1 < opt_.samples && pred.n >= 2 &&
+    if (ctl.early_discard && s + 1 < nsamples && pred.n >= 2 &&
         std::isfinite(ctl.incumbent_pred)) {
       const double se =
           std::sqrt(pred.variance() / static_cast<double>(pred.n));

@@ -7,12 +7,17 @@
 //     tuning time, as in the paper);
 //   * one uninstrumented-equivalent full execution against a throwaway
 //     store is the error reference (not charged);
-//   * `samples` selective executions follow (charged).
+//   * up to `samples` selective executions follow (charged; a strategy may
+//     lower the per-batch budget via EvalControl::samples_override).
 //
 // Noise salts are assigned analytically per absolute configuration index:
 // configuration i consumes salts base + i*salts_per_config() + k, exactly
 // the values a serial sweep's running counter would produce — this is what
 // makes every sweep mode reproduce the same per-configuration randomness.
+// A lowered sample budget consumes a prefix of the configuration's salt
+// block, so re-evaluating at a higher budget replays the earlier samples
+// exactly and then extends them (the successive-halving strategy relies on
+// this).
 #pragma once
 
 #include <cstdint>
@@ -22,16 +27,6 @@
 
 namespace critter::tune {
 
-/// One configuration's contribution to the sweep-wide totals.  Kept per
-/// configuration and reduced in index order at the end so every sweep mode
-/// produces bit-identical TuneResults.
-struct ConfigTotals {
-  double tuning_time = 0.0;
-  double full_time = 0.0;
-  double kernel_time = 0.0;
-  double full_kernel_time = 0.0;
-};
-
 /// Strategy hints threaded into one configuration's evaluation.  Captured
 /// once per batch at the barrier, so every worker of a batch sees the same
 /// incumbent regardless of scheduling.
@@ -39,6 +34,9 @@ struct EvalControl {
   bool early_discard = false;
   double incumbent_pred = std::numeric_limits<double>::infinity();
   double margin = 0.0;  ///< relative slack over the incumbent
+  /// >0: evaluate at most this many selective samples this batch (clamped
+  /// to the options' sample budget, which sizes the salt blocks).
+  int samples_override = 0;
 };
 
 class Evaluator {
@@ -52,8 +50,13 @@ class Evaluator {
 
   /// Run the full protocol for configuration `index` against `store`
   /// (which carries whatever statistics the sweep mode wants shared).
+  /// `ref_cache`, when given, caches the configuration's full-reference
+  /// report across evaluations (it is a pure function of (config, salt), so
+  /// successive-halving re-evaluations reuse it instead of re-simulating;
+  /// `Report::p > 0` marks a filled slot).
   ConfigOutcome evaluate(Store& store, int index, ConfigTotals* tot,
-                         const EvalControl& ctl = {}) const;
+                         const EvalControl& ctl = {},
+                         Report* ref_cache = nullptr) const;
 
   /// One fully-instrumented, non-selective execution against a throwaway
   /// store: the error reference of evaluate() and the Fig. 3 measurement

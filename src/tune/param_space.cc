@@ -1,0 +1,110 @@
+#include "tune/param_space.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace critter::tune {
+
+std::int64_t Configuration::at(std::string_view name) const {
+  for (const auto& [k, v] : params)
+    if (k == name) return v;
+  CRITTER_CHECK(false, "configuration has no parameter named '" +
+                           std::string(name) + "' (have: " + label() + ")");
+  return 0;
+}
+
+std::int64_t Configuration::get(std::string_view name, std::int64_t dflt) const {
+  for (const auto& [k, v] : params)
+    if (k == name) return v;
+  return dflt;
+}
+
+bool Configuration::has(std::string_view name) const {
+  for (const auto& [k, v] : params)
+    if (k == name) return true;
+  return false;
+}
+
+std::string Configuration::label() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : params) {
+    if (!first) os << ",";
+    first = false;
+    os << k << "=" << v;
+  }
+  return os.str();
+}
+
+ParamSpace ParamSpace::cartesian(std::vector<ParamDim> dims) {
+  ParamSpace s;
+  s.is_cartesian_ = true;
+  for (const ParamDim& d : dims) {
+    CRITTER_CHECK(!d.name.empty(), "parameter dimension needs a name");
+    CRITTER_CHECK(!d.values.empty(),
+                  "parameter dimension '" + d.name + "' has no values");
+    for (const std::string& seen : s.names_)
+      CRITTER_CHECK(seen != d.name,
+                    "duplicate parameter dimension '" + d.name + "'");
+    s.names_.push_back(d.name);
+  }
+  s.dims_ = std::move(dims);
+  return s;
+}
+
+ParamSpace ParamSpace::enumerated(
+    std::vector<std::string> names,
+    std::vector<std::vector<std::int64_t>> points) {
+  ParamSpace s;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    CRITTER_CHECK(!names[i].empty(), "parameter dimension needs a name");
+    for (std::size_t j = 0; j < i; ++j)
+      CRITTER_CHECK(names[j] != names[i],
+                    "duplicate parameter dimension '" + names[i] + "'");
+  }
+  for (const auto& p : points)
+    CRITTER_CHECK(p.size() == names.size(),
+                  "enumerated point arity does not match dimension names");
+  s.names_ = std::move(names);
+  s.points_ = std::move(points);
+  return s;
+}
+
+int ParamSpace::size() const {
+  if (!is_cartesian_) return static_cast<int>(points_.size());
+  int n = 1;
+  for (const ParamDim& d : dims_) n *= static_cast<int>(d.values.size());
+  return n;
+}
+
+Configuration ParamSpace::at(int index) const {
+  CRITTER_CHECK(index >= 0 && index < size(),
+                "configuration index out of range");
+  Configuration c;
+  c.index = index;
+  c.params.reserve(names_.size());
+  if (is_cartesian_) {
+    int rem = index;
+    for (const ParamDim& d : dims_) {
+      const int k = static_cast<int>(d.values.size());
+      c.params.emplace_back(d.name, d.values[rem % k]);
+      rem /= k;
+    }
+  } else {
+    const std::vector<std::int64_t>& p = points_[index];
+    for (std::size_t i = 0; i < names_.size(); ++i)
+      c.params.emplace_back(names_[i], p[i]);
+  }
+  return c;
+}
+
+std::vector<Configuration> ParamSpace::enumerate() const {
+  std::vector<Configuration> out;
+  const int n = size();
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(at(i));
+  return out;
+}
+
+}  // namespace critter::tune

@@ -1,0 +1,78 @@
+// Generic configuration model of the tuning subsystem.
+//
+// The paper's selective-execution protocol is workload-agnostic: it needs a
+// finite configuration space and a program to simulate, nothing more.  A
+// ParamSpace describes that space as named integer dimensions — either the
+// cartesian product of per-dimension value lists or an explicit enumeration
+// of points (for coupled parameters like a processor grid whose pr*pc must
+// equal the rank count).  A Configuration is one point of the space: a
+// self-contained list of (name, value) bindings, so outcomes can outlive
+// the space that produced them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace critter::tune {
+
+/// One named dimension: an ordered list of integer values.  Categorical
+/// choices are encoded as small integers (as Capital's base-case strategy
+/// already is in the paper).
+struct ParamDim {
+  std::string name;
+  std::vector<std::int64_t> values;
+};
+
+/// One point of a parameter space: named integer parameter values plus the
+/// point's index in enumeration order (the index drives noise salts and
+/// sweep ranges, so it is part of the determinism contract).
+struct Configuration {
+  int index = 0;
+  std::vector<std::pair<std::string, std::int64_t>> params;
+
+  /// Value of a named parameter; CRITTER_CHECK-fails if absent.
+  std::int64_t at(std::string_view name) const;
+  /// Value of a named parameter, or `dflt` if absent.
+  std::int64_t get(std::string_view name, std::int64_t dflt) const;
+  bool has(std::string_view name) const;
+
+  /// "b=24,strat=1" — parameters in declaration order.
+  std::string label() const;
+};
+
+/// A finite configuration space of named dimensions.
+class ParamSpace {
+ public:
+  ParamSpace() = default;
+
+  /// The cartesian product of `dims`; the FIRST dimension varies fastest in
+  /// enumeration order (index i -> dim0 value i % |dim0|, matching the
+  /// paper's v % k parameter formulas).
+  static ParamSpace cartesian(std::vector<ParamDim> dims);
+
+  /// An explicit enumeration: `points[i]` holds one value per name, in
+  /// order.  Use for coupled dimensions a cartesian product cannot express.
+  static ParamSpace enumerated(std::vector<std::string> names,
+                               std::vector<std::vector<std::int64_t>> points);
+
+  int size() const;
+  bool empty() const { return size() == 0; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// The configuration at enumeration index `index` (0 <= index < size()).
+  Configuration at(int index) const;
+
+  /// All configurations in enumeration order.
+  std::vector<Configuration> enumerate() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ParamDim> dims_;  ///< cartesian form (empty when enumerated)
+  std::vector<std::vector<std::int64_t>> points_;  ///< enumerated form
+  bool is_cartesian_ = false;
+};
+
+}  // namespace critter::tune

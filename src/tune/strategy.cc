@@ -1,6 +1,8 @@
 #include "tune/strategy.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <mutex>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -8,6 +10,44 @@
 namespace critter::tune {
 
 namespace {
+
+// --- option-map helpers ----------------------------------------------------
+
+void check_known_keys(const std::string& strategy, const StrategyOptions& opts,
+                      std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : opts) {
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    CRITTER_CHECK(ok, "strategy '" + strategy + "' does not understand option '" +
+                          key + "'");
+  }
+}
+
+std::int64_t opt_int(const StrategyOptions& opts, const std::string& key,
+                     std::int64_t dflt) {
+  const auto it = opts.find(key);
+  if (it == opts.end()) return dflt;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  CRITTER_CHECK(end != nullptr && *end == '\0' && !it->second.empty(),
+                "strategy option " + key + "=" + it->second +
+                    " is not an integer");
+  return v;
+}
+
+double opt_double(const StrategyOptions& opts, const std::string& key,
+                  double dflt) {
+  const auto it = opts.find(key);
+  if (it == opts.end()) return dflt;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  CRITTER_CHECK(end != nullptr && *end == '\0' && !it->second.empty(),
+                "strategy option " + key + "=" + it->second +
+                    " is not a number");
+  return v;
+}
+
+// --- built-in strategies ---------------------------------------------------
 
 /// Exhaustive order over [begin, end): the paper's protocol.
 class ExhaustiveStrategy : public SearchStrategy {
@@ -71,14 +111,18 @@ class CiEarlyDiscardStrategy : public ExhaustiveStrategy {
   CiEarlyDiscardStrategy(int begin, int end, double margin)
       : ExhaustiveStrategy(begin, end), margin_(margin) {}
 
-  const char* name() const override { return "ci-early-discard"; }
+  const char* name() const override { return "ci-discard"; }
 
   void observe(const ConfigOutcome& oc) override {
     if (oc.evaluated) incumbent_ = std::min(incumbent_, oc.pred_time);
   }
 
   EvalControl control() const override {
-    return EvalControl{true, incumbent_, margin_};
+    EvalControl ctl;
+    ctl.early_discard = true;
+    ctl.incumbent_pred = incumbent_;
+    ctl.margin = margin_;
+    return ctl;
   }
 
  private:
@@ -86,31 +130,193 @@ class CiEarlyDiscardStrategy : public ExhaustiveStrategy {
   double margin_;
 };
 
-}  // namespace
-
-const char* search_name(Search s) {
-  switch (s) {
-    case Search::Exhaustive: return "exhaustive";
-    case Search::RandomSubset: return "random-subset";
-    case Search::CiEarlyDiscard: return "ci-early-discard";
+/// Successive halving: every configuration gets a small sample budget, then
+/// the best 1/eta by predicted time advance to an eta-times larger budget,
+/// until a rung runs at the full per-configuration budget.  The adaptive
+/// ask/tell exercise: each rung's membership depends on the previous rung's
+/// outcomes.  Budgets ride on EvalControl::samples_override, and because
+/// salts are analytic per configuration a higher-budget re-evaluation
+/// replays the earlier rung's samples exactly and extends them.
+class HalvingStrategy : public SearchStrategy {
+ public:
+  HalvingStrategy(int begin, int end, int max_samples, int eta,
+                  int min_samples)
+      : max_samples_(std::max(1, max_samples)),
+        eta_(std::max(2, eta)),
+        budget_(std::clamp(min_samples, 1, std::max(1, max_samples))) {
+    for (int i = begin; i < end; ++i) candidates_.push_back(i);
   }
-  return "?";
+
+  const char* name() const override { return "halving"; }
+
+  std::vector<int> next_batch(int max_batch) override {
+    std::vector<int> out;
+    if (finished_) return out;
+    while (pos_ < candidates_.size() &&
+           static_cast<int>(out.size()) < max_batch)
+      out.push_back(candidates_[pos_++]);
+    return out;
+  }
+
+  void observe(const ConfigOutcome& oc) override {
+    rung_.push_back({oc.pred_time, oc.config.index});
+    if (rung_.size() < candidates_.size()) return;
+    // Rung complete.  A rung at the full budget is final; otherwise the
+    // best ceil(n/eta) (ties to the lower index) advance with eta times
+    // the budget.
+    if (budget_ >= max_samples_ || candidates_.size() <= 1) {
+      if (budget_ >= max_samples_) {
+        finished_ = true;
+      } else {
+        budget_ = max_samples_;  // confirm the single survivor at full budget
+      }
+    } else {
+      const std::size_t keep =
+          (candidates_.size() + static_cast<std::size_t>(eta_) - 1) /
+          static_cast<std::size_t>(eta_);
+      std::sort(rung_.begin(), rung_.end());
+      rung_.resize(keep);
+      candidates_.clear();
+      for (const auto& [pred, idx] : rung_) candidates_.push_back(idx);
+      std::sort(candidates_.begin(), candidates_.end());
+      budget_ = std::min(budget_ * eta_, max_samples_);
+    }
+    rung_.clear();
+    pos_ = 0;
+  }
+
+  EvalControl control() const override {
+    EvalControl ctl;
+    ctl.samples_override = budget_;
+    return ctl;
+  }
+
+ private:
+  std::vector<int> candidates_;  ///< current rung, ascending indices
+  std::vector<std::pair<double, int>> rung_;  ///< (pred_time, index) observed
+  std::size_t pos_ = 0;  ///< next candidate to emit within the rung
+  int max_samples_;
+  int eta_;
+  int budget_;  ///< per-configuration samples of the current rung
+  bool finished_ = false;
+};
+
+// --- the registry ----------------------------------------------------------
+
+struct StrategyEntry {
+  StrategyFactory factory;
+  std::string summary;
+};
+
+struct StrategyRegistry {
+  std::map<std::string, StrategyEntry> entries;
+  std::mutex mutex;
+};
+
+StrategyRegistry& registry() {
+  static StrategyRegistry* reg = [] {
+    auto* r = new StrategyRegistry;
+    r->entries["exhaustive"] = {
+        [](const StrategyContext& ctx, const StrategyOptions& opts) {
+          check_known_keys("exhaustive", opts, {});
+          return std::make_unique<ExhaustiveStrategy>(ctx.begin, ctx.end);
+        },
+        "every configuration in index order (the paper's protocol)"};
+    r->entries["random-subset"] = {
+        [](const StrategyContext& ctx, const StrategyOptions& opts) {
+          check_known_keys("random-subset", opts, {"count"});
+          return std::make_unique<RandomSubsetStrategy>(
+              ctx.begin, ctx.end,
+              static_cast<int>(opt_int(opts, "count", 0)), ctx.seed);
+        },
+        "count=N — deterministic random subset of N configurations"};
+    r->entries["ci-discard"] = {
+        [](const StrategyContext& ctx, const StrategyOptions& opts) {
+          check_known_keys("ci-discard", opts, {"margin"});
+          return std::make_unique<CiEarlyDiscardStrategy>(
+              ctx.begin, ctx.end, opt_double(opts, "margin", 0.10));
+        },
+        "margin=X — drop a config's remaining samples once its CI is "
+        "dominated by the incumbent (+X slack)"};
+    r->entries["halving"] = {
+        [](const StrategyContext& ctx, const StrategyOptions& opts) {
+          check_known_keys("halving", opts, {"eta", "min-samples"});
+          return std::make_unique<HalvingStrategy>(
+              ctx.begin, ctx.end, ctx.samples,
+              static_cast<int>(opt_int(opts, "eta", 2)),
+              static_cast<int>(opt_int(opts, "min-samples", 1)));
+        },
+        "eta=N,min-samples=M — successive halving: best 1/eta advance to an "
+        "eta-times larger sample budget"};
+    return r;
+  }();
+  return *reg;
 }
 
-std::unique_ptr<SearchStrategy> make_strategy(const TuneOptions& opt,
-                                              int begin, int end) {
-  CRITTER_CHECK(begin >= 0 && begin <= end, "bad sweep configuration range");
-  switch (opt.search) {
-    case Search::Exhaustive:
-      return std::make_unique<ExhaustiveStrategy>(begin, end);
-    case Search::RandomSubset:
-      return std::make_unique<RandomSubsetStrategy>(begin, end, opt.subset,
-                                                    opt.seed_salt);
-    case Search::CiEarlyDiscard:
-      return std::make_unique<CiEarlyDiscardStrategy>(begin, end,
-                                                      opt.discard_margin);
+}  // namespace
+
+void register_strategy(const std::string& name, StrategyFactory factory,
+                       const std::string& summary) {
+  CRITTER_CHECK(!name.empty() && static_cast<bool>(factory),
+                "strategy registration needs a name and a factory");
+  StrategyRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  CRITTER_CHECK(reg.entries.count(name) == 0,
+                "strategy '" + name + "' already registered");
+  reg.entries[name] = {std::move(factory), summary};
+}
+
+std::vector<std::string> strategy_names() {
+  StrategyRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : reg.entries) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::string strategy_summary(const std::string& name) {
+  StrategyRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.entries.find(name);
+  return it == reg.entries.end() ? "" : it->second.summary;
+}
+
+std::unique_ptr<SearchStrategy> make_strategy(const std::string& name,
+                                              const StrategyContext& ctx,
+                                              const StrategyOptions& opts) {
+  CRITTER_CHECK(ctx.begin >= 0 && ctx.begin <= ctx.end,
+                "bad sweep configuration range");
+  StrategyFactory factory;
+  {
+    StrategyRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.entries.find(name);
+    if (it != reg.entries.end()) factory = it->second.factory;
   }
-  return std::make_unique<ExhaustiveStrategy>(begin, end);
+  if (!factory) {
+    std::string known;
+    for (const std::string& n : strategy_names()) known += " " + n;
+    CRITTER_CHECK(false, "unknown strategy '" + name + "'; known:" + known);
+  }
+  return factory(ctx, opts);
+}
+
+std::pair<std::string, StrategyOptions> parse_strategy_spec(
+    const std::string& spec) {
+  std::pair<std::string, StrategyOptions> out;
+  std::size_t pos = spec.find(',');
+  out.first = spec.substr(0, pos);
+  while (pos != std::string::npos) {
+    const std::size_t next = spec.find(',', pos + 1);
+    const std::string item = spec.substr(
+        pos + 1, next == std::string::npos ? std::string::npos : next - pos - 1);
+    const std::size_t eq = item.find('=');
+    CRITTER_CHECK(eq != std::string::npos && eq > 0,
+                  "strategy option '" + item + "' is not key=value");
+    out.second[item.substr(0, eq)] = item.substr(eq + 1);
+    pos = next;
+  }
+  return out;
 }
 
 }  // namespace critter::tune

@@ -1,15 +1,23 @@
-// Pluggable search strategies over a study's configuration space.
+// Pluggable search strategies over a study's configuration space, behind a
+// string-named factory registry.
 //
-// The SweepDriver asks the strategy for successive batches of configuration
+// The Tuner asks the strategy for successive batches of configuration
 // indices and reports every outcome back at the batch barrier; evaluation
-// hints (the CI-discard incumbent) are sampled once per batch so a batch's
-// evaluations are independent of worker scheduling.  Strategies cheaper
-// than exhaustive search (random subsets, CI-based early discard — cf. the
-// transfer-tuning and Bayesian-autotuning lines in PAPERS.md) plug in here
-// against the same statistical model the exhaustive sweep uses.
+// hints (the CI-discard incumbent, a rung's sample budget) are sampled once
+// per batch so a batch's evaluations are independent of worker scheduling.
+// Strategies cheaper than exhaustive search — random subsets, CI-based
+// early discard, successive halving, and eventually the transfer-tuning and
+// Bayesian-autotuning lines in PAPERS.md — plug in here against the same
+// statistical model the exhaustive sweep uses.  Registration is open:
+// user code adds its own strategies under new names, and TuneOptions picks
+// one by (name, option map).
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "tune/evaluator.hpp"
@@ -35,8 +43,43 @@ class SearchStrategy {
   virtual EvalControl control() const { return {}; }
 };
 
-/// Strategy for `opt.search` over configurations [begin, end).
-std::unique_ptr<SearchStrategy> make_strategy(const TuneOptions& opt,
-                                              int begin, int end);
+/// String-keyed options of one strategy instance ("count" -> "3").  An
+/// ordered map, so iteration — and anything derived from it — is
+/// deterministic.  Factories reject unknown keys (typos fail fast).
+using StrategyOptions = std::map<std::string, std::string>;
+
+/// Everything a factory may need beyond its own options.
+struct StrategyContext {
+  int begin = 0, end = 0;  ///< configuration index range [begin, end)
+  std::uint64_t seed = 0;  ///< the sweep's seed salt
+  int samples = 1;         ///< per-configuration sample budget
+};
+
+using StrategyFactory = std::function<std::unique_ptr<SearchStrategy>(
+    const StrategyContext&, const StrategyOptions&)>;
+
+/// Register a strategy factory under `name` (user code may add its own;
+/// duplicate names are an error).  `summary` is shown by the examples'
+/// --help listing: keep it one line, e.g. "count=N — deterministic subset".
+void register_strategy(const std::string& name, StrategyFactory factory,
+                       const std::string& summary = "");
+
+/// Registered strategy names, sorted.  Built-ins: "exhaustive",
+/// "random-subset", "ci-discard", "halving".
+std::vector<std::string> strategy_names();
+
+/// One-line summary of a registered strategy ("" when unknown).
+std::string strategy_summary(const std::string& name);
+
+/// Instantiate a registered strategy; CRITTER_CHECK-fails (listing the
+/// known names) when `name` is unknown or an option key is not understood.
+std::unique_ptr<SearchStrategy> make_strategy(const std::string& name,
+                                              const StrategyContext& ctx,
+                                              const StrategyOptions& opts);
+
+/// Parse the examples' "--strategy name,key=val,..." syntax into a
+/// (name, options) pair.
+std::pair<std::string, StrategyOptions> parse_strategy_spec(
+    const std::string& spec);
 
 }  // namespace critter::tune

@@ -4,7 +4,6 @@
 #include <thread>
 
 #include "util/check.hpp"
-#include "util/thread_pool.hpp"
 
 namespace critter::tune {
 
@@ -35,6 +34,20 @@ SweepDriver::SweepDriver(const Study& study, const TuneOptions& opt)
   const int nconf = static_cast<int>(study.configs.size());
   begin_ = std::clamp(opt.config_begin, 0, nconf);
   end_ = opt.config_end < 0 ? nconf : std::clamp(opt.config_end, begin_, nconf);
+  // Statistics reset between configurations (the paper's SLATE/CANDMC
+  // protocol); never honored for eager propagation, which lives off
+  // cross-configuration statistics.
+  reset_ = opt.reset_per_config && opt.policy != Policy::EagerPropagation;
+  ref_cache_.resize(nconf);
+  plan_ = plan();
+  if (plan_.mode == SweepMode::Serial) {
+    store_.emplace(study_.nranks, profiler_config());
+  } else {
+    pool_ = std::make_unique<util::ThreadPool>(
+        pool_threads(plan_.effective_workers));
+    if (plan_.mode == SweepMode::BatchShared)
+      base_ = Store(study_.nranks, profiler_config()).snapshot();
+  }
 }
 
 Config SweepDriver::profiler_config() const {
@@ -82,124 +95,85 @@ SweepDriver::Plan SweepDriver::plan() const {
   return p;
 }
 
-TuneResult SweepDriver::run(SearchStrategy& strategy) {
-  const int nconf = static_cast<int>(study_.configs.size());
-  const Config pc = profiler_config();
-  const Plan p = plan();
-  // Statistics reset between configurations (the paper's SLATE/CANDMC
-  // protocol); never honored for eager propagation, which lives off
-  // cross-configuration statistics.
-  const bool reset =
-      opt_.reset_per_config && opt_.policy != Policy::EagerPropagation;
+core::StatSnapshot SweepDriver::stats() const {
+  if (plan_.mode == SweepMode::Serial) return store_->snapshot();
+  if (plan_.mode == SweepMode::BatchShared) return base_;
+  return {};  // isolated: statistics die with each configuration
+}
 
-  TuneResult out;
-  out.per_config.resize(nconf);
-  for (int i = 0; i < nconf; ++i) out.per_config[i].config = study_.configs[i];
-  std::vector<ConfigTotals> totals(nconf);
+void SweepDriver::import_stats(const core::StatSnapshot& snap) {
+  if (snap.empty()) return;
+  // Isolated sweeps reset statistics per configuration, so there is no
+  // shared state to seed; a warm start is ignored (the documented
+  // TuneOptions::warm_start contract), not an error — the same options
+  // must behave the same at any worker count.
+  if (plan_.mode == SweepMode::ParallelIsolated) return;
+  CRITTER_CHECK(snap.nranks() == study_.nranks,
+                "imported snapshot rank count does not match study");
+  if (plan_.mode == SweepMode::Serial) {
+    store_->restore(snap);
+    return;
+  }
+  base_ = snap;
+  // In reset mode per-configuration statistics never cross the barrier,
+  // so the shared snapshot must carry only the reset-surviving state
+  // (channels, size model).  A snapshot captured from a non-reset sweep
+  // may hold kernel statistics; keeping them would also break the
+  // workers' diff-after-reset (the delta is computed against `base_`,
+  // whose K the worker no longer contains).
+  if (reset_)
+    for (core::KernelTable& t : base_.ranks) t.clear_statistics();
+}
 
-  out.mode = p.mode;
-  out.requested_workers = std::max(1, opt_.workers);
-  out.effective_workers = p.effective_workers;
-  out.batch = p.mode == SweepMode::BatchShared ? p.batch : 0;
-  out.fallback_reason = p.fallback_reason;
-
-  if (p.mode == SweepMode::Serial) {
-    Store store(study_.nranks, pc);
-    if (opt_.warm_start != nullptr) store.restore(*opt_.warm_start);
-    // Batch granularity 1: the strategy observes every outcome before
-    // proposing the next configuration (exhaustive order is unaffected;
-    // CI discard gets the freshest incumbent, i.e. batch-shared semantics
-    // at batch size 1).
-    for (;;) {
-      const std::vector<int> batch = strategy.next_batch(1);
-      if (batch.empty()) break;
-      const EvalControl ctl = strategy.control();
-      for (int idx : batch) {
-        if (reset) store.reset_statistics();
-        out.per_config[idx] =
-            evaluator_.evaluate(store, idx, &totals[idx], ctl);
-        strategy.observe(out.per_config[idx]);
-      }
+void SweepDriver::run_batch(const std::vector<int>& batch,
+                            const EvalControl& ctl,
+                            std::vector<ConfigOutcome>& out,
+                            std::vector<ConfigTotals>& tot) {
+  if (batch.empty()) return;
+  if (plan_.mode == SweepMode::Serial) {
+    for (int idx : batch) {
+      if (reset_) store_->reset_statistics();
+      out[idx] =
+          evaluator_.evaluate(*store_, idx, &tot[idx], ctl, &ref_cache_[idx]);
     }
-    out.stats = store.snapshot();
-  } else if (p.mode == SweepMode::ParallelIsolated) {
-    util::ThreadPool pool(pool_threads(p.effective_workers));
-    for (;;) {
-      const std::vector<int> batch = strategy.next_batch(p.batch);
-      if (batch.empty()) break;
-      const EvalControl ctl = strategy.control();
-      // Each task owns an independent store (identical to a freshly reset
-      // one: reset_statistics clears exactly the state a new store lacks),
-      // so configurations evaluate concurrently yet bit-identically to the
-      // serial sweep.
-      pool.parallel_for(static_cast<int>(batch.size()), [&](int k) {
-        Store store(study_.nranks, pc);
-        const int idx = batch[k];
-        out.per_config[idx] =
-            evaluator_.evaluate(store, idx, &totals[idx], ctl);
-      });
-      for (int idx : batch) strategy.observe(out.per_config[idx]);
-    }
+  } else if (plan_.mode == SweepMode::ParallelIsolated) {
+    // Each task owns an independent store (identical to a freshly reset
+    // one: reset_statistics clears exactly the state a new store lacks),
+    // so configurations evaluate concurrently yet bit-identically to the
+    // serial sweep.
+    const Config pc = profiler_config();
+    pool_->parallel_for(static_cast<int>(batch.size()), [&](int k) {
+      Store store(study_.nranks, pc);
+      const int idx = batch[k];
+      out[idx] =
+          evaluator_.evaluate(store, idx, &tot[idx], ctl, &ref_cache_[idx]);
+    });
   } else {  // BatchShared
-    util::ThreadPool pool(pool_threads(p.effective_workers));
-    core::StatSnapshot base;
-    if (opt_.warm_start != nullptr) {
-      CRITTER_CHECK(opt_.warm_start->nranks() == study_.nranks,
-                    "warm-start snapshot rank count does not match study");
-      base = *opt_.warm_start;
-      // In reset mode per-configuration statistics never cross the barrier,
-      // so the shared snapshot must carry only the reset-surviving state
-      // (channels, size model).  A warm-start captured from a non-reset
-      // sweep may hold kernel statistics; keeping them would also break the
-      // workers' diff-after-reset (the delta is computed against `base`,
-      // whose K the worker no longer contains).
-      if (reset)
-        for (core::KernelTable& t : base.ranks) t.clear_statistics();
-    } else {
-      base = Store(study_.nranks, pc).snapshot();
-    }
-    std::vector<core::StatSnapshot> deltas;
-    for (;;) {
-      const std::vector<int> batch = strategy.next_batch(p.batch);
-      if (batch.empty()) break;
-      const EvalControl ctl = strategy.control();
-      deltas.assign(batch.size(), core::StatSnapshot{});
-      // Every worker evaluates against a private store restored from the
-      // shared snapshot; its result and statistics delta are pure
-      // functions of (base, index, salts, ctl), so scheduling cannot leak
-      // into the outcome.
-      pool.parallel_for(static_cast<int>(batch.size()), [&](int k) {
-        Store store(study_.nranks, pc);
-        store.restore(base);
-        if (reset) store.reset_statistics();
-        const int idx = batch[k];
-        out.per_config[idx] =
-            evaluator_.evaluate(store, idx, &totals[idx], ctl);
-        deltas[k] = store.diff(base);
-        if (reset) {
-          // Per-configuration statistics die with the configuration; only
-          // the state that outlives reset_statistics() — channels and the
-          // extrapolation size model — crosses the barrier.
-          for (core::KernelTable& t : deltas[k].ranks) t.clear_statistics();
-        }
-      });
-      // The barrier: merge deltas in configuration order (batches arrive
-      // ascending), then let the strategy observe in the same order.
-      for (std::size_t k = 0; k < batch.size(); ++k) base.merge(deltas[k]);
-      for (int idx : batch) strategy.observe(out.per_config[idx]);
-    }
-    out.stats = std::move(base);
+    const Config pc = profiler_config();
+    std::vector<core::StatSnapshot> deltas(batch.size());
+    // Every worker evaluates against a private store restored from the
+    // shared snapshot; its result and statistics delta are pure
+    // functions of (base, index, salts, ctl), so scheduling cannot leak
+    // into the outcome.
+    pool_->parallel_for(static_cast<int>(batch.size()), [&](int k) {
+      Store store(study_.nranks, pc);
+      store.restore(base_);
+      if (reset_) store.reset_statistics();
+      const int idx = batch[k];
+      out[idx] =
+          evaluator_.evaluate(store, idx, &tot[idx], ctl, &ref_cache_[idx]);
+      deltas[k] = store.diff(base_);
+      if (reset_) {
+        // Per-configuration statistics die with the configuration; only
+        // the state that outlives reset_statistics() — channels and the
+        // extrapolation size model — crosses the barrier.
+        for (core::KernelTable& t : deltas[k].ranks) t.clear_statistics();
+      }
+    });
+    // The barrier: merge deltas in configuration order (batches arrive
+    // ascending).
+    for (std::size_t k = 0; k < batch.size(); ++k) base_.merge(deltas[k]);
   }
-
-  for (const ConfigOutcome& oc : out.per_config)
-    if (oc.evaluated) ++out.evaluated_configs;
-  for (const ConfigTotals& t : totals) {
-    out.tuning_time += t.tuning_time;
-    out.full_time += t.full_time;
-    out.kernel_time += t.kernel_time;
-    out.full_kernel_time += t.full_kernel_time;
-  }
-  return out;
 }
 
 }  // namespace critter::tune

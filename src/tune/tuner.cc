@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "tune/evaluator.hpp"
 #include "tune/strategy.hpp"
 #include "tune/sweep.hpp"
+#include "util/check.hpp"
 
 namespace critter::tune {
 
@@ -76,11 +78,220 @@ Report measure_config(const Study& study, const Configuration& cfg,
   return Evaluator(study, opt).full_reference(cfg, seed_salt);
 }
 
+std::string registry_help() {
+  std::ostringstream os;
+  const WorkloadRegistry& workloads = WorkloadRegistry::instance();
+  os << "registered workloads (--workload=NAME):\n";
+  for (const std::string& name : workloads.names()) {
+    os << "  " << name;
+    for (std::size_t pad = name.size(); pad < 18; ++pad) os << ' ';
+    os << ' ' << workloads.at(name).description() << '\n';
+  }
+  os << "registered strategies (--strategy=NAME[,key=val...]):\n";
+  for (const std::string& name : strategy_names()) {
+    os << "  " << name;
+    for (std::size_t pad = name.size(); pad < 18; ++pad) os << ' ';
+    os << ' ' << strategy_summary(name) << '\n';
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Tuner: the ask/tell session
+// ---------------------------------------------------------------------------
+
+Tuner::Tuner(const Study& study, const TuneOptions& opt)
+    : study_(study), opt_(opt) {
+  driver_ = std::make_unique<SweepDriver>(study_, opt_);
+  strategy_ = make_strategy(
+      opt_.strategy,
+      StrategyContext{driver_->config_begin(), driver_->config_end(),
+                      opt_.seed_salt, opt_.samples},
+      opt_.strategy_options);
+  control_ = std::make_unique<EvalControl>();
+  const int nconf = static_cast<int>(study_.configs.size());
+  per_config_.resize(nconf);
+  for (int i = 0; i < nconf; ++i) per_config_[i].config = study_.configs[i];
+  totals_.resize(nconf);
+  if (opt_.warm_start != nullptr) {
+    import_state(*opt_.warm_start);
+    opt_.warm_start = nullptr;  // consumed; the session owns a copy now
+  }
+}
+
+Tuner::~Tuner() = default;
+
+std::vector<int> Tuner::ask() {
+  CRITTER_CHECK(!asked_, "previous batch has not been tell()'d yet");
+  started_ = true;
+  if (done_) return {};
+  std::vector<int> batch = strategy_->next_batch(driver_->batch());
+  if (batch.empty()) {
+    done_ = true;
+    return batch;
+  }
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    CRITTER_CHECK(batch[k] >= driver_->config_begin() &&
+                      batch[k] < driver_->config_end(),
+                  "strategy proposed an index outside the sweep range");
+    CRITTER_CHECK(k == 0 || batch[k - 1] < batch[k],
+                  "strategy batches must be in ascending index order");
+  }
+  // Hints are sampled once per batch, so every worker of the batch sees
+  // the same incumbent regardless of scheduling.
+  *control_ = strategy_->control();
+  pending_ = batch;
+  asked_ = true;
+  evaluated_ = false;
+  return batch;
+}
+
+std::vector<ConfigOutcome> Tuner::evaluate(const std::vector<int>& batch) {
+  CRITTER_CHECK(asked_ && batch == pending_,
+                "evaluate() takes exactly the batch the last ask() returned");
+  CRITTER_CHECK(!evaluated_,
+                "the claimed batch was already evaluated; tell() it before "
+                "asking again (re-evaluating would re-merge its statistics)");
+  evaluated_ = true;
+  driver_->run_batch(batch, *control_, per_config_, totals_);
+  std::vector<ConfigOutcome> out;
+  out.reserve(batch.size());
+  for (int idx : batch) out.push_back(per_config_[idx]);
+  return out;
+}
+
+void Tuner::tell(const std::vector<ConfigOutcome>& outcomes) {
+  CRITTER_CHECK(asked_, "tell() without a claimed batch");
+  CRITTER_CHECK(outcomes.size() == pending_.size(),
+                "tell() outcome count does not match the claimed batch");
+  // Accept outcomes in batch order (ascending position in study.configs —
+  // a subset study's positions can differ from the configurations' space
+  // indices), which is also the order the strategy observes them in.
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    CRITTER_CHECK(
+        outcomes[k].config.index == study_.configs[pending_[k]].index,
+        "tell() outcomes must match the claimed batch order");
+    per_config_[pending_[k]] = outcomes[k];
+  }
+  for (const ConfigOutcome& oc : outcomes) strategy_->observe(oc);
+  pending_.clear();
+  asked_ = false;
+}
+
+bool Tuner::step() {
+  const std::vector<int> batch = ask();
+  if (batch.empty()) return false;
+  tell(evaluate(batch));
+  return true;
+}
+
+core::StatSnapshot Tuner::export_state() const { return driver_->stats(); }
+
+void Tuner::import_state(const core::StatSnapshot& snap) {
+  CRITTER_CHECK(!started_, "import_state() is only legal before the first ask()");
+  driver_->import_stats(snap);
+}
+
+SweepMode Tuner::mode() const { return driver_->mode(); }
+int Tuner::config_begin() const { return driver_->config_begin(); }
+int Tuner::config_end() const { return driver_->config_end(); }
+
+TuneResult Tuner::result() const {
+  TuneResult out;
+  out.per_config = per_config_;
+  out.mode = driver_->mode();
+  out.strategy = strategy_->name();
+  out.requested_workers = std::max(1, opt_.workers);
+  out.effective_workers = driver_->effective_workers();
+  out.batch = driver_->mode() == SweepMode::BatchShared ? driver_->batch() : 0;
+  out.fallback_reason = driver_->fallback_reason();
+  for (const ConfigOutcome& oc : out.per_config)
+    if (oc.evaluated) ++out.evaluated_configs;
+  out.per_config_totals = totals_;
+  for (const ConfigTotals& t : totals_) {
+    out.tuning_time += t.tuning_time;
+    out.full_time += t.full_time;
+    out.kernel_time += t.kernel_time;
+    out.full_kernel_time += t.full_kernel_time;
+  }
+  out.stats = driver_->stats();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// run_study / merge_shards: drivers over the session
+// ---------------------------------------------------------------------------
+
 TuneResult run_study(const Study& study, const TuneOptions& opt) {
-  SweepDriver driver(study, opt);
-  const std::unique_ptr<SearchStrategy> strategy =
-      make_strategy(opt, driver.config_begin(), driver.config_end());
-  return driver.run(*strategy);
+  Tuner session(study, opt);
+  while (session.step()) {
+  }
+  return session.result();
+}
+
+TuneResult merge_shards(const Study& study, const TuneOptions& opt,
+                        int nshards) {
+  CRITTER_CHECK(nshards >= 1, "merge_shards needs at least one shard");
+  const int nconf = static_cast<int>(study.configs.size());
+  const int begin = std::clamp(opt.config_begin, 0, nconf);
+  const int end =
+      opt.config_end < 0 ? nconf : std::clamp(opt.config_end, begin, nconf);
+  const int range_n = end - begin;
+
+  TuneResult out;
+  out.per_config.resize(nconf);
+  for (int i = 0; i < nconf; ++i) out.per_config[i].config = study.configs[i];
+  out.per_config_totals.resize(nconf);
+  out.shards = nshards;
+  out.requested_workers = std::max(1, opt.workers);
+
+  bool first_shard = true;
+  for (int s = 0; s < nshards; ++s) {
+    // Contiguous balanced partition; noise salts stay indexed by absolute
+    // configuration index, so each shard reproduces exactly the samples
+    // the unsharded sweep would draw for its range.
+    const int lo = begin + static_cast<int>(
+                               static_cast<std::int64_t>(range_n) * s / nshards);
+    const int hi = begin + static_cast<int>(static_cast<std::int64_t>(range_n) *
+                                            (s + 1) / nshards);
+    if (lo >= hi) continue;
+    TuneOptions shard_opt = opt;
+    shard_opt.config_begin = lo;
+    shard_opt.config_end = hi;
+    const TuneResult r = run_study(study, shard_opt);
+
+    for (int i = lo; i < hi; ++i) {
+      out.per_config[i] = r.per_config[i];
+      out.per_config_totals[i] = r.per_config_totals[i];
+    }
+    out.evaluated_configs += r.evaluated_configs;
+    if (first_shard) {
+      out.mode = r.mode;
+      out.strategy = r.strategy;
+      out.effective_workers = r.effective_workers;
+      out.batch = r.batch;
+      out.fallback_reason = r.fallback_reason;
+      out.stats = r.stats;
+      first_shard = false;
+    } else if (!r.stats.empty()) {
+      // Deterministic fold in shard order (see core/stat_store.hpp's merge
+      // contract): every shard's statistics are counted exactly once.
+      if (out.stats.empty())
+        out.stats = r.stats;
+      else
+        out.stats.merge(r.stats);
+    }
+  }
+  // Reduce the aggregates in configuration order over the whole range, the
+  // association an unsharded sweep uses — so an isolated sharded sweep's
+  // aggregates are bit-identical to it, not merely equal to rounding.
+  for (const ConfigTotals& t : out.per_config_totals) {
+    out.tuning_time += t.tuning_time;
+    out.full_time += t.full_time;
+    out.kernel_time += t.kernel_time;
+    out.full_kernel_time += t.full_kernel_time;
+  }
+  return out;
 }
 
 }  // namespace critter::tune

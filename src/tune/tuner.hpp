@@ -1,41 +1,57 @@
 // Autotuner accelerated by critter's selective execution (paper §VI).
 //
 // Public facade of the tuning subsystem, which is layered as (tune/sweep.hpp
-// has the driver, tune/evaluator.hpp the per-configuration protocol,
-// tune/strategy.hpp the search strategies):
+// has the batch executor, tune/evaluator.hpp the per-configuration protocol,
+// tune/strategy.hpp the search-strategy registry, tune/workload.hpp the
+// workload registry and studies, tune/param_space.hpp the generic
+// configuration model):
 //
-//   SearchStrategy  — which configurations to evaluate, in which batches
-//                     (exhaustive; random subset; CI-based early discard);
+//   SearchStrategy  — which configurations to evaluate, in which batches;
+//                     string-named factories in a registry ("exhaustive",
+//                     "random-subset", "ci-discard", "halving", plus
+//                     user-registered ones);
 //   Evaluator       — one configuration's protocol: optional a-priori
 //                     instrumented pass, one full reference execution, then
-//                     `samples` selective executions;
-//   SweepDriver     — owns workers and statistics flow across
-//                     configurations: serial, isolated-parallel
-//                     (per-configuration statistics reset), or
-//                     batch-shared-parallel (workers evaluate a batch
-//                     against a shared statistics snapshot and their deltas
-//                     merge in configuration order at a barrier).
+//                     up to `samples` selective executions;
+//   SweepDriver     — executes one strategy batch in the planned mode:
+//                     serial, isolated-parallel (per-configuration
+//                     statistics reset), or batch-shared-parallel (workers
+//                     evaluate a batch against a shared statistics snapshot
+//                     and their deltas merge in configuration order);
+//   Tuner           — the stateful ask/tell session over all of the above:
+//                     ask() yields a batch, evaluate() runs it, tell()
+//                     feeds outcomes back, export_state()/import_state()
+//                     move the shared statistics across processes.
 //
-// All runs of one configuration share a profiler Store, so kernel
-// statistics persist across samples (and across configurations unless
-// reset — which is what the eager policy exploits).
+// run_study() is a thin loop over a Tuner session (bit-identical to the
+// pre-session sweep, asserted in tests); merge_shards() fans a sweep across
+// independent session shards and merges their statistics deterministically.
 #pragma once
 
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/profiler.hpp"
 #include "core/stat_store.hpp"
-#include "tune/config_space.hpp"
+#include "tune/workload.hpp"
 
 namespace critter::tune {
 
-/// Which configurations an exhaustive-search budget is spent on.
-enum class Search : std::uint8_t {
-  Exhaustive,      ///< every configuration (the paper's protocol)
-  RandomSubset,    ///< a deterministic random subset of `subset` configs
-  CiEarlyDiscard,  ///< exhaustive order, but a configuration's remaining
-                   ///< samples are discarded once its predicted-time CI is
-                   ///< dominated by the incumbent best
-};
+class SearchStrategy;
+class SweepDriver;
+struct EvalControl;
 
-const char* search_name(Search s);
+/// One configuration's contribution to the sweep-wide totals.  Kept per
+/// configuration and reduced in index order at the end so every sweep mode
+/// produces bit-identical TuneResults.
+struct ConfigTotals {
+  double tuning_time = 0.0;
+  double full_time = 0.0;
+  double kernel_time = 0.0;
+  double full_kernel_time = 0.0;
+};
 
 /// How the sweep actually executed (recorded in TuneResult so drivers can
 /// surface the effective mode instead of silently degrading).
@@ -77,22 +93,25 @@ struct TuneOptions {
   /// workers == 1, which is how a single-worker run reproduces a
   /// multi-worker run exactly.
   int batch = 0;
-  Search search = Search::Exhaustive;
-  /// RandomSubset: number of configurations to evaluate (0 = all).
-  int subset = 0;
-  /// CiEarlyDiscard: relative slack over the incumbent's predicted time
-  /// before a configuration's remaining samples are abandoned.
-  double discard_margin = 0.10;
+  /// Search strategy: a registry name plus a string option map (see
+  /// tune/strategy.hpp).  Built-ins: "exhaustive" (the paper's protocol),
+  /// "random-subset" (count=N), "ci-discard" (margin=X), "halving"
+  /// (eta=N,min-samples=N).  User code may register more.
+  std::string strategy = "exhaustive";
+  std::map<std::string, std::string> strategy_options;
   /// Restrict the sweep to configurations [config_begin, config_end)
   /// (config_end < 0: to the end).  Noise salts stay indexed by absolute
   /// configuration index, so a sweep split into ranges — e.g. interrupted
-  /// and warm-started — reproduces the uninterrupted sweep exactly.
+  /// and warm-started, or sharded via merge_shards() — reproduces the
+  /// uninterrupted sweep exactly when configurations are statistically
+  /// isolated.
   int config_begin = 0;
   int config_end = -1;
   /// Warm-start statistics (typically a previous sweep's
   /// TuneResult::stats round-tripped through StatSnapshot::save/load).
   /// Honored by serial and batch-shared sweeps; isolated-parallel sweeps
-  /// reset statistics per configuration and ignore it.
+  /// reset statistics per configuration and ignore it.  Consumed at Tuner
+  /// construction (equivalent to import_state before the first ask).
   const core::StatSnapshot* warm_start = nullptr;
 };
 
@@ -115,6 +134,10 @@ struct ConfigOutcome {
 
 struct TuneResult {
   std::vector<ConfigOutcome> per_config;
+  /// Per-configuration contributions to the aggregate costs below, indexed
+  /// like per_config.  merge_shards() re-reduces these in configuration
+  /// order, so its aggregates are bit-identical to an unsharded sweep's.
+  std::vector<ConfigTotals> per_config_totals;
   double tuning_time = 0.0;       ///< exhaustive-search time with critter
   double full_time = 0.0;         ///< exhaustive search with full execution
   double kernel_time = 0.0;       ///< selective max kernel comp time, summed
@@ -122,9 +145,11 @@ struct TuneResult {
 
   // --- effective sweep execution (see TuneOptions::workers) ---
   SweepMode mode = SweepMode::Serial;
+  std::string strategy;  ///< search strategy that drove the sweep
   int requested_workers = 1;
   int effective_workers = 1;
   int batch = 0;               ///< batch size used (batch-shared sweeps)
+  int shards = 0;              ///< >0 when produced by merge_shards()
   int evaluated_configs = 0;   ///< configurations actually evaluated
   /// Non-empty when fewer workers engaged than requested, with the reason.
   std::string fallback_reason;
@@ -143,12 +168,110 @@ struct TuneResult {
   double selection_quality() const;
 };
 
+/// A stateful ask/tell tuning session: the incremental form of run_study.
+///
+///   Tuner session(study, opt);
+///   while (!session.done()) {
+///     auto batch = session.ask();               // claim a batch
+///     auto outcomes = session.evaluate(batch);  // run it (or measure
+///     session.tell(outcomes);                   //  externally) and report
+///   }
+///   TuneResult r = session.result();
+///
+/// step() bundles one ask/evaluate/tell round.  The session owns the shared
+/// statistics (the serial store or the batch-shared snapshot);
+/// export_state()/import_state() move them across processes so interrupted,
+/// warm-started, and sharded sweeps are first-class.  The study and options
+/// are copied in, so the session may outlive both.
+class Tuner {
+ public:
+  Tuner(const Study& study, const TuneOptions& opt);
+  ~Tuner();
+  Tuner(const Tuner&) = delete;
+  Tuner& operator=(const Tuner&) = delete;
+
+  /// Claim the next batch of configuration indices from the strategy (and
+  /// snapshot its evaluation hints).  Empty when the search is finished.
+  /// The previous batch must have been tell()'d first.
+  std::vector<int> ask();
+
+  /// Evaluate the claimed batch in the planned sweep mode, merging its
+  /// statistics into the session state, and return its outcomes in batch
+  /// order.  Does not feed the strategy — follow with tell().
+  std::vector<ConfigOutcome> evaluate(const std::vector<int>& batch);
+
+  /// Report the claimed batch's outcomes (from evaluate() or an external
+  /// measurement), in batch order; the strategy observes them in
+  /// configuration order.  Externally produced outcomes contribute no
+  /// kernel statistics — only evaluate() grows the shared state.
+  void tell(const std::vector<ConfigOutcome>& outcomes);
+
+  /// One ask/evaluate/tell round; false when the search was exhausted.
+  bool step();
+
+  /// True once ask() returned an empty batch.
+  bool done() const { return done_; }
+
+  /// Current shared statistics (empty snapshot in isolated mode).
+  core::StatSnapshot export_state() const;
+
+  /// Seed the shared statistics (warm start / sharded resume).  Only legal
+  /// before the first ask(); isolated-parallel sessions ignore the
+  /// snapshot (they have no shared statistics to seed — the documented
+  /// warm_start contract).
+  void import_state(const core::StatSnapshot& snap);
+
+  const Study& study() const { return study_; }
+  const TuneOptions& options() const { return opt_; }
+  SweepMode mode() const;
+  int config_begin() const;
+  int config_end() const;
+
+  /// Assemble the TuneResult from the outcomes observed so far (callable
+  /// mid-session for a partial view).
+  TuneResult result() const;
+
+ private:
+  Study study_;
+  TuneOptions opt_;
+  std::unique_ptr<SweepDriver> driver_;
+  std::unique_ptr<SearchStrategy> strategy_;
+  std::unique_ptr<EvalControl> control_;  ///< hints for the claimed batch
+  std::vector<ConfigOutcome> per_config_;
+  std::vector<ConfigTotals> totals_;
+  std::vector<int> pending_;    ///< claimed, not yet told
+  bool asked_ = false;          ///< a batch is claimed
+  bool evaluated_ = false;      ///< the claimed batch was evaluated
+  bool started_ = false;        ///< first ask() happened
+  bool done_ = false;
+};
+
 TuneResult run_study(const Study& study, const TuneOptions& opt);
+
+/// Fan the sweep range across `nshards` contiguous shards, run each as an
+/// independent Tuner session, and fold the results: outcomes and totals
+/// combine, and the shards' statistics snapshots merge in shard order (a
+/// deterministic fold — see core/stat_store.hpp's merge contract).  Each
+/// shard applies the options (workers, strategy) to its own sub-range.
+///
+/// When configurations are statistically isolated (reset_per_config,
+/// non-eager, non-extrapolate) the combined outcomes are bit-identical to
+/// the unsharded sweep.  Shared-statistics sweeps trade that identity for
+/// shard independence — each shard grows its own statistics, exactly as
+/// separate processes would — and the merged snapshot is still a
+/// deterministic function of (study, options, nshards).
+TuneResult merge_shards(const Study& study, const TuneOptions& opt,
+                        int nshards);
 
 /// One fully-instrumented full execution of a configuration (no skipping):
 /// the measurement backing the Fig. 3 cost/time panels.  Routed through the
 /// Evaluator's reference-execution path.
 Report measure_config(const Study& study, const Configuration& cfg,
                       std::uint64_t seed_salt = 0, double noise = 0.08);
+
+/// Human-readable listing of both registries — the registered workloads
+/// and search strategies with their one-line summaries.  The examples
+/// print this on --help.
+std::string registry_help();
 
 }  // namespace critter::tune

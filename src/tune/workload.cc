@@ -1,0 +1,273 @@
+// The four §V-C case studies as registry workloads, plus the registry
+// itself.  The parameter formulas are the paper's verbatim; the base
+// constants are scaled down by default so every benchmark finishes in
+// seconds on a laptop-class host (the simulator makes the shape of the
+// results scale-invariant).  Setting CRITTER_PAPER_SCALE=1 restores the
+// paper's rank counts and matrix sizes.
+#include "tune/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "candmc/qr2d.hpp"
+#include "capital/cholesky3d.hpp"
+#include "slate/slate.hpp"
+#include "util/check.hpp"
+
+namespace critter::tune {
+
+void run_configuration(const Study& study, const Configuration& cfg) {
+  CRITTER_CHECK(static_cast<bool>(study.runner),
+                "study '" + study.name + "' has no runner bound");
+  study.runner(study, cfg);
+}
+
+Study Workload::study(bool paper_scale) const {
+  Study s = define(paper_scale);
+  s.workload = name();
+  if (s.configs.empty()) s.configs = s.space.enumerate();
+  const Workload* self = this;
+  s.runner = [self](const Study& st, const Configuration& c) {
+    self->run(st, c);
+  };
+  return s;
+}
+
+namespace {
+
+std::vector<std::int64_t> geometric(std::int64_t base, int count) {
+  std::vector<std::int64_t> out;
+  for (int i = 0; i < count; ++i) out.push_back(base << i);
+  return out;
+}
+
+std::vector<std::int64_t> arithmetic(std::int64_t base, std::int64_t step,
+                                     int count) {
+  std::vector<std::int64_t> out;
+  for (int i = 0; i < count; ++i) out.push_back(base + step * i);
+  return out;
+}
+
+/// CAPITAL 3D Cholesky over block size and base-case strategy.
+/// paper: 16384^2 on 512 ranks (c=8), b = 128 * 2^(v%5), strategy
+/// ceil((v+1)/5) — i.e. the cartesian product with b varying fastest.
+class CapitalCholeskyWorkload final : public Workload {
+ public:
+  std::string name() const override { return "capital-cholesky"; }
+  std::string description() const override {
+    return "CAPITAL 3D Cholesky: block size x base-case strategy";
+  }
+
+  Study define(bool paper) const override {
+    Study s;
+    s.name = "CAPITAL Cholesky";
+    s.nranks = paper ? 512 : 27;
+    s.n = paper ? 16384 : 384;
+    s.m = s.n;
+    s.gamma = paper ? 2.0e-11 : 4.0e-8;
+    s.space = ParamSpace::cartesian(
+        {{"b", geometric(paper ? 128 : 24, 5)}, {"strat", {1, 2, 3}}});
+    return s;
+  }
+
+  void run(const Study& study, const Configuration& cfg) const override {
+    const int c = static_cast<int>(std::lround(std::cbrt(study.nranks)));
+    CRITTER_CHECK(c * c * c == study.nranks, "capital needs a cubic rank count");
+    capital::Grid3D g = capital::Grid3D::build(c);
+    capital::CyclicMatrix a(study.n, g, false);
+    capital::Cholesky3D chol(g, study.n,
+                             {static_cast<int>(cfg.at("b")),
+                              static_cast<int>(cfg.at("strat"))},
+                             false);
+    chol.factor(a);
+  }
+};
+
+/// SLATE Cholesky over lookahead depth and tile size.
+/// paper: 65536^2 on 1024 ranks, depth v%2, tile 256 + 64*floor(v/2).
+class SlateCholeskyWorkload final : public Workload {
+ public:
+  std::string name() const override { return "slate-cholesky"; }
+  std::string description() const override {
+    return "SLATE Cholesky: pipeline lookahead depth x tile size";
+  }
+
+  Study define(bool paper) const override {
+    Study s;
+    s.name = "SLATE Cholesky";
+    s.nranks = paper ? 1024 : 64;
+    s.n = paper ? 65536 : 2048;
+    s.m = s.n;
+    s.gamma = paper ? 2.0e-11 : 1.0e-8;
+    s.space = ParamSpace::cartesian(
+        {{"depth", {0, 1}},
+         {"tile", arithmetic(paper ? 256 : 128, paper ? 64 : 32, 10)}});
+    return s;
+  }
+
+  void run(const Study& study, const Configuration& cfg) const override {
+    int pr = 1;
+    while (pr * pr < study.nranks) pr *= 2;
+    const int pc = study.nranks / pr;
+    slate::Grid2D g = slate::Grid2D::build(pr, pc);
+    slate::TileMatrix a(study.n, study.n, static_cast<int>(cfg.at("tile")), g,
+                        false);
+    slate::potrf(a, slate::PotrfConfig{static_cast<int>(cfg.at("depth"))});
+  }
+};
+
+/// CANDMC pipelined 2D QR over block size and processor-grid shape.  The
+/// grid dimensions are coupled (pr*pc == nranks), so the space is an
+/// explicit enumeration.  paper: 131072 x 8192 on 4096 ranks,
+/// b = 8 * 2^(v%5), grid 64*2^(v/5) x 64/2^(v/5).
+class CandmcQrWorkload final : public Workload {
+ public:
+  std::string name() const override { return "candmc-qr"; }
+  std::string description() const override {
+    return "CANDMC pipelined 2D QR: block size x processor-grid shape";
+  }
+
+  Study define(bool paper) const override {
+    Study s;
+    s.name = "CANDMC QR";
+    s.nranks = paper ? 4096 : 64;
+    s.m = paper ? 131072 : 1024;
+    s.n = paper ? 8192 : 128;
+    s.gamma = paper ? 2.0e-11 : 2.0e-8;
+    const std::int64_t b0 = paper ? 8 : 16;
+    const std::int64_t pr0 = paper ? 64 : 16;
+    const std::int64_t pc0 = paper ? 64 : 4;
+    std::vector<std::vector<std::int64_t>> points;
+    for (int v = 0; v < 15; ++v)
+      points.push_back({b0 << (v % 5), pr0 << (v / 5), pc0 >> (v / 5)});
+    s.space = ParamSpace::enumerated({"b", "pr", "pc"}, std::move(points));
+    return s;
+  }
+
+  void run(const Study& study, const Configuration& cfg) const override {
+    slate::Grid2D g = slate::Grid2D::build(static_cast<int>(cfg.at("pr")),
+                                           static_cast<int>(cfg.at("pc")));
+    slate::TileMatrix a(study.m, study.n, static_cast<int>(cfg.at("b")), g,
+                        false);
+    candmc::qr2d(a, candmc::QrConfig{});
+  }
+};
+
+/// SLATE QR over internal panel width, panel (block) size, and grid shape.
+/// paper: 65536 x 4096 on 256 ranks, w = 8 * 2^(v%3),
+/// panel 256 + 64*(floor(v/3) % 7), grid 64/2^(v/21) x 4*2^(v/21).
+class SlateQrWorkload final : public Workload {
+ public:
+  std::string name() const override { return "slate-qr"; }
+  std::string description() const override {
+    return "SLATE QR: internal panel width x panel size x grid shape";
+  }
+
+  Study define(bool paper) const override {
+    Study s;
+    s.name = "SLATE QR";
+    s.nranks = paper ? 256 : 64;
+    s.m = paper ? 65536 : 2048;
+    s.n = paper ? 4096 : 512;
+    s.gamma = paper ? 2.0e-11 : 1.0e-8;
+    const std::int64_t nb0 = paper ? 256 : 128;
+    const std::int64_t nb1 = paper ? 64 : 32;
+    const std::int64_t pr0 = paper ? 64 : 16;
+    const std::int64_t pc0 = 4;
+    std::vector<std::vector<std::int64_t>> points;
+    for (int v = 0; v < 63; ++v)
+      points.push_back({8LL << (v % 3), nb0 + nb1 * ((v / 3) % 7),
+                        pr0 >> (v / 21), pc0 << (v / 21)});
+    s.space =
+        ParamSpace::enumerated({"w", "nb", "pr", "pc"}, std::move(points));
+    return s;
+  }
+
+  void run(const Study& study, const Configuration& cfg) const override {
+    slate::Grid2D g = slate::Grid2D::build(static_cast<int>(cfg.at("pr")),
+                                           static_cast<int>(cfg.at("pc")));
+    slate::TileMatrix a(study.m, study.n, static_cast<int>(cfg.at("nb")), g,
+                        false);
+    slate::geqrf(a, slate::GeqrfConfig{static_cast<int>(cfg.at("w")), 0});
+  }
+};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry* reg = [] {
+    auto* r = new WorkloadRegistry;
+    r->add(std::make_unique<CapitalCholeskyWorkload>());
+    r->add(std::make_unique<SlateCholeskyWorkload>());
+    r->add(std::make_unique<CandmcQrWorkload>());
+    r->add(std::make_unique<SlateQrWorkload>());
+    return r;
+  }();
+  return *reg;
+}
+
+void WorkloadRegistry::add(std::unique_ptr<Workload> w) {
+  CRITTER_CHECK(w != nullptr && !w->name().empty(),
+                "workload needs a non-empty name");
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const auto& existing : workloads_)
+    CRITTER_CHECK(existing->name() != w->name(),
+                  "workload '" + w->name() + "' already registered");
+  workloads_.push_back(std::move(w));
+}
+
+const Workload* WorkloadRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (const auto& w : workloads_)
+    if (w->name() == name) return w.get();
+  return nullptr;
+}
+
+const Workload& WorkloadRegistry::at(const std::string& name) const {
+  const Workload* w = find(name);
+  if (w == nullptr) {
+    std::string known;
+    for (const std::string& n : names()) known += " " + n;
+    CRITTER_CHECK(false, "unknown workload '" + name + "'; known:" + known);
+  }
+  return *w;
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    for (const auto& w : workloads_) out.push_back(w->name());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void register_workload(std::unique_ptr<Workload> w) {
+  WorkloadRegistry::instance().add(std::move(w));
+}
+
+Study workload_study(const std::string& name, bool paper_scale) {
+  return WorkloadRegistry::instance().at(name).study(paper_scale);
+}
+
+Study capital_cholesky_study(bool paper_scale) {
+  return workload_study("capital-cholesky", paper_scale);
+}
+Study slate_cholesky_study(bool paper_scale) {
+  return workload_study("slate-cholesky", paper_scale);
+}
+Study candmc_qr_study(bool paper_scale) {
+  return workload_study("candmc-qr", paper_scale);
+}
+Study slate_qr_study(bool paper_scale) {
+  return workload_study("slate-qr", paper_scale);
+}
+
+}  // namespace critter::tune

@@ -1,0 +1,110 @@
+// Workload registry: how applications plug into the tuner.
+//
+// A Workload pairs a parameter space with the program that realizes one of
+// its configurations inside a simulated rank fiber.  Workloads register by
+// name in a process-wide registry, so new applications — including ones
+// defined entirely in user/example code — become tunable without touching
+// src/tune/.  The four §V-C case studies are themselves registry entries
+// ("capital-cholesky", "slate-cholesky", "candmc-qr", "slate-qr"); their
+// legacy study factories remain as thin facades over the registry.
+//
+// A Study is the concrete tuning problem a Workload instantiates: machine
+// scale, matrix shape, the parameter space, the materialized configuration
+// list (subset it freely to narrow a sweep), and the runner closure the
+// Evaluator invokes per configuration.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tune/param_space.hpp"
+
+namespace critter::tune {
+
+struct Study {
+  std::string name;      ///< display name ("CAPITAL Cholesky")
+  std::string workload;  ///< registry name this study came from ("" = ad hoc)
+  int nranks = 0;
+  int m = 0, n = 0;  ///< matrix dimensions (m == n for Cholesky)
+  /// Machine time-per-flop.  At reduced scale the kernels shrink by ~1000x
+  /// while the profiling message sizes do not, so gamma is raised to keep
+  /// the paper's kernel-time-to-overhead ratio (the quantity the selective
+  /// execution trade-off actually depends on).
+  double gamma = 2.0e-11;
+  ParamSpace space;
+  /// The configurations the sweep ranges over, in enumeration order.
+  /// Initialized to space.enumerate(); resize or subset to narrow a sweep
+  /// (indices keep their absolute values, so noise salts are stable).
+  std::vector<Configuration> configs;
+  /// Execute one configuration inside a sim rank fiber (model mode,
+  /// critter started).  Bound by Workload::study(); ad-hoc studies may set
+  /// it directly.
+  std::function<void(const Study&, const Configuration&)> runner;
+};
+
+/// Execute one configuration of the study inside a sim rank fiber (facade
+/// over study.runner; critter must already be started).
+void run_configuration(const Study& study, const Configuration& cfg);
+
+/// A tunable application: a parameter space plus the program to simulate.
+/// Implementations override define() and run(); study() binds the runner.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const { return {}; }
+
+  /// The concrete tuning problem, with runner and workload name bound.
+  /// `paper_scale` restores the paper's rank counts and matrix sizes; the
+  /// default reduced scale finishes in seconds on a laptop-class host.
+  /// The workload must outlive the returned study (registered workloads
+  /// live for the process lifetime).
+  Study study(bool paper_scale) const;
+
+  /// Execute `cfg` inside a sim rank fiber (critter started, model mode).
+  virtual void run(const Study& study, const Configuration& cfg) const = 0;
+
+ protected:
+  /// Space + scale; study() fills in the workload name, the materialized
+  /// configuration list (when left empty), and the runner.
+  virtual Study define(bool paper_scale) const = 0;
+};
+
+/// Process-wide name -> Workload registry.  The four paper case studies are
+/// pre-registered; user code adds its own via register_workload().
+class WorkloadRegistry {
+ public:
+  /// The global registry (paper workloads installed on first use).
+  static WorkloadRegistry& instance();
+
+  /// Register a workload under its name(); duplicate names are an error.
+  void add(std::unique_ptr<Workload> w);
+  /// Lookup by name; nullptr when unknown.
+  const Workload* find(const std::string& name) const;
+  /// Lookup by name; CRITTER_CHECK-fails (listing the known names) when
+  /// unknown.
+  const Workload& at(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::unique_ptr<Workload>> workloads_;
+};
+
+/// Register into the global registry (safe from static initializers and
+/// from main; the paper workloads are already present).
+void register_workload(std::unique_ptr<Workload> w);
+
+/// Build `name`'s study from the global registry.
+Study workload_study(const std::string& name, bool paper_scale);
+
+// --- legacy facades over the registry (paper §V-C case studies) ---------
+Study capital_cholesky_study(bool paper_scale);
+Study slate_cholesky_study(bool paper_scale);
+Study candmc_qr_study(bool paper_scale);
+Study slate_qr_study(bool paper_scale);
+
+}  // namespace critter::tune

@@ -151,6 +151,95 @@ TEST(KernelTable, DiffIsMergeInverse) {
   EXPECT_TRUE(none.pending_eager.empty());
 }
 
+namespace {
+
+core::KernelStats moments(std::initializer_list<double> xs) {
+  core::KernelStats ks;
+  for (double x : xs) ks.add_sample(x);
+  return ks;
+}
+
+/// A worker table that absorbed `base`'s pending-eager entry for `key` at
+/// first sighting (mirroring detail::note_invocation: moments merged, hash
+/// registered, pending erased) and then collected `own` local samples.
+core::KernelTable absorb_and_sample(const core::KernelTable& base,
+                                    const core::KernelKey& key,
+                                    std::initializer_list<double> own) {
+  core::KernelTable w = base;
+  core::KernelStats ks;
+  ks.registered = true;
+  const auto pend = w.pending_eager.find(key.hash());
+  EXPECT_NE(pend, w.pending_eager.end());
+  ks.merge(pend->second);
+  ks.agg_hash = pend->second.agg_hash;
+  w.pending_eager.erase(pend);
+  w.key_of_hash.emplace(key.hash(), key);
+  for (double x : own) {
+    ks.add_sample(x);
+    ++ks.total_invocations;
+    ++ks.total_executions;
+  }
+  w.K.emplace(key, ks);
+  return w;
+}
+
+}  // namespace
+
+TEST(KernelTable, PendingAbsorbedByTwoSiblingsCountsOnce) {
+  // Regression: two same-batch configurations each absorb the shared
+  // snapshot's pending-eager entry at first sighting.  Without tombstones
+  // the entry's samples arrived once per absorbing delta.
+  core::KernelTable base = make_table(8, 1);
+  const core::KernelKey key = key_of(3, 256, 128);
+  base.pending_eager.emplace(key.hash(), moments({1.0, 2.0, 3.0}));
+
+  const core::KernelTable w1 = absorb_and_sample(base, key, {4.0});
+  const core::KernelTable w2 = absorb_and_sample(base, key, {5.0, 6.0});
+  const core::KernelTable d1 = w1.diff(base);
+  const core::KernelTable d2 = w2.diff(base);
+  EXPECT_EQ(d1.pending_tombstones.size(), 1u);
+  EXPECT_EQ(d2.pending_tombstones.size(), 1u);
+  ASSERT_EQ(d1.K.count(key), 1u);
+  EXPECT_EQ(d1.K.at(key).n, 1);  // absorbed moments shed from the delta
+
+  core::KernelTable merged = base;
+  merged.merge(d1);
+  merged.merge(d2);
+  ASSERT_EQ(merged.K.count(key), 1u);
+  // 3 pending samples counted once, plus 1 + 2 own samples.
+  EXPECT_EQ(merged.K.at(key).n, 6);
+  EXPECT_EQ(merged.pending_eager.count(key.hash()), 0u);
+}
+
+TEST(KernelTable, SiblingRegisteredPendingGrowthIsNotDropped) {
+  // Regression: one sibling registers the kernel (absorbing the base
+  // entry) while another only grows the pending entry with more eager
+  // statistics.  The growth used to be erased by the registered-kernel
+  // purge; now it feeds the K entry, in either merge order.
+  core::KernelTable base = make_table(8, 1);
+  const core::KernelKey key = key_of(3, 256, 128);
+  base.pending_eager.emplace(key.hash(), moments({1.0, 2.0}));
+
+  const core::KernelTable w1 = absorb_and_sample(base, key, {3.0});
+  core::KernelTable w2 = base;
+  w2.pending_eager.at(key.hash()).merge(moments({7.0, 8.0, 9.0}));
+  const core::KernelTable d1 = w1.diff(base);
+  const core::KernelTable d2 = w2.diff(base);
+  EXPECT_TRUE(d1.pending_tombstones.size() == 1 && d2.pending_tombstones.empty());
+  ASSERT_EQ(d2.pending_eager.count(key.hash()), 1u);
+  EXPECT_EQ(d2.pending_eager.at(key.hash()).n, 3);
+
+  for (int order = 0; order < 2; ++order) {
+    core::KernelTable merged = base;
+    merged.merge(order == 0 ? d1 : d2);
+    merged.merge(order == 0 ? d2 : d1);
+    ASSERT_EQ(merged.K.count(key), 1u) << "order " << order;
+    // 2 base pending + 1 own + 3 grown = 6 samples either way.
+    EXPECT_EQ(merged.K.at(key).n, 6) << "order " << order;
+    EXPECT_EQ(merged.pending_eager.count(key.hash()), 0u) << "order " << order;
+  }
+}
+
 TEST(StatSnapshot, StoreSnapshotRestoreRoundTrips) {
   const core::StatSnapshot snap = sweep_snapshot(Policy::OnlinePropagation, false);
   critter::Config pc;

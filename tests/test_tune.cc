@@ -16,34 +16,35 @@ TEST(ConfigSpaces, SizesMatchPaper) {
 
 TEST(ConfigSpaces, CapitalFormula) {
   auto s = tune::capital_cholesky_study(false);
-  EXPECT_EQ(s.configs[0].block_size, 24);
-  EXPECT_EQ(s.configs[4].block_size, 24 << 4);
-  EXPECT_EQ(s.configs[0].base_strategy, 1);
-  EXPECT_EQ(s.configs[5].base_strategy, 2);
-  EXPECT_EQ(s.configs[14].base_strategy, 3);
+  EXPECT_EQ(s.configs[0].at("b"), 24);
+  EXPECT_EQ(s.configs[4].at("b"), 24 << 4);
+  EXPECT_EQ(s.configs[0].at("strat"), 1);
+  EXPECT_EQ(s.configs[5].at("strat"), 2);
+  EXPECT_EQ(s.configs[14].at("strat"), 3);
 }
 
 TEST(ConfigSpaces, PaperScaleMatchesPaperText) {
   auto cap = tune::capital_cholesky_study(true);
   EXPECT_EQ(cap.nranks, 512);
   EXPECT_EQ(cap.n, 16384);
-  EXPECT_EQ(cap.configs[1].block_size, 256);
+  EXPECT_EQ(cap.configs[1].at("b"), 256);
   auto cq = tune::candmc_qr_study(true);
   EXPECT_EQ(cq.nranks, 4096);
-  EXPECT_EQ(cq.configs[5].pr, 128);
-  EXPECT_EQ(cq.configs[5].pc, 32);
+  EXPECT_EQ(cq.configs[5].at("pr"), 128);
+  EXPECT_EQ(cq.configs[5].at("pc"), 32);
   auto sq = tune::slate_qr_study(true);
   EXPECT_EQ(sq.configs.size(), 63u);
-  EXPECT_EQ(sq.configs[0].panel_w, 8);
-  EXPECT_EQ(sq.configs[2].panel_w, 32);
-  EXPECT_EQ(sq.configs[21].pr, 32);
+  EXPECT_EQ(sq.configs[0].at("w"), 8);
+  EXPECT_EQ(sq.configs[2].at("w"), 32);
+  EXPECT_EQ(sq.configs[21].at("pr"), 32);
 }
 
 TEST(ConfigSpaces, GridShapesAreValid) {
   for (bool paper : {false}) {
     for (auto study : {tune::candmc_qr_study(paper), tune::slate_qr_study(paper)})
       for (const auto& c : study.configs) {
-        EXPECT_EQ(c.pr * c.pc, study.nranks) << study.name << " cfg " << c.index;
+        EXPECT_EQ(c.at("pr") * c.at("pc"), study.nranks)
+            << study.name << " cfg " << c.index;
       }
   }
 }

@@ -316,8 +316,8 @@ TEST(SearchStrategy, RandomSubsetIsDeterministicAndBounded) {
   opt.policy = Policy::ConditionalExecution;
   opt.samples = 1;
   opt.reset_per_config = true;
-  opt.search = tune::Search::RandomSubset;
-  opt.subset = 3;
+  opt.strategy = "random-subset";
+  opt.strategy_options["count"] = "3";
   const auto r1 = tune::run_study(study, opt);
   const auto r2 = tune::run_study(study, opt);
   EXPECT_EQ(r1.evaluated_configs, 3);
@@ -339,8 +339,8 @@ TEST(SearchStrategy, CiEarlyDiscardPrunesAndStaysDeterministic) {
   opt.policy = Policy::OnlinePropagation;
   opt.samples = 4;
   opt.batch = 2;
-  opt.search = tune::Search::CiEarlyDiscard;
-  opt.discard_margin = 0.0;
+  opt.strategy = "ci-discard";
+  opt.strategy_options["margin"] = "0.0";
   opt.workers = 1;
   const auto r1 = tune::run_study(study, opt);
   tune::TuneOptions opt4 = opt;
