@@ -17,16 +17,21 @@
 //
 // CRITTER_BENCH_JSON overrides the output path (default BENCH_tuner.json);
 // CRITTER_BENCH_CONFIGS (default 12) and CRITTER_BENCH_SAMPLES (default 2)
-// scale the sweep; CRITTER_BENCH_WORKERS (default 4) sizes the pool.
+// scale the sweep; CRITTER_BENCH_WORKERS (default 4) sizes the pool;
+// CRITTER_BENCH_SHARDS (default 2) sizes the sharded-executor runs, which
+// compare the in-process fold against one worker process per shard
+// (spawn + run-directory snapshot exchange included in the wall time).
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "dist/executor.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
+namespace dist = critter::dist;
 namespace tune = critter::tune;
 namespace util = critter::util;
 
@@ -60,12 +65,32 @@ double sweep_rate(const tune::Study& study, const tune::TuneOptions& opt,
   return rate;
 }
 
+double sharded_rate(const tune::Study& study, const tune::TuneOptions& opt,
+                    int shards, dist::ShardExecutor& exec, int exchange_every,
+                    util::Table& t, const char* name) {
+  const double t0 = now_s();
+  const tune::TuneResult r = dist::run_sharded(
+      study, opt, shards, exec, dist::ExchangePolicy{exchange_every});
+  const double secs = now_s() - t0;
+  const double rate = static_cast<double>(r.evaluated_configs) / secs;
+  t.row({name, r.executor + " x" + std::to_string(r.shards),
+         std::to_string(r.effective_workers), util::Table::num(secs, 3),
+         util::Table::num(rate, 2)});
+  g_results.push_back({std::string(name) + "_configs_per_sec", rate,
+                       "configs/s"});
+  return rate;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // The subprocess-executor benchmark re-execs this binary per shard.
+  if (dist::is_shard_worker(argc, argv))
+    return dist::shard_worker_main(argc, argv);
   const int nconf = static_cast<int>(util::env_int("CRITTER_BENCH_CONFIGS", 12));
   const int samples = static_cast<int>(util::env_int("CRITTER_BENCH_SAMPLES", 2));
   const int workers = static_cast<int>(util::env_int("CRITTER_BENCH_WORKERS", 4));
+  const int shards = static_cast<int>(util::env_int("CRITTER_BENCH_SHARDS", 2));
 
   auto study = tune::slate_cholesky_study(false);
   if (nconf < static_cast<int>(study.configs.size()))
@@ -110,13 +135,31 @@ int main() {
   eager.policy = critter::Policy::EagerPropagation;
   sweep_rate(study, eager, t, "batch_shared_eager");
 
+  // 6./7. Sharded shared-statistics sweeps through the distributed
+  //    executors: the in-process fold vs one worker process per shard
+  //    (fork/exec + run-directory snapshot exchange included), exchanging
+  //    deltas every other batch.  On a 1-core host the subprocess ratio
+  //    reads as protocol overhead; on multi-core hosts the shard processes
+  //    run concurrently and the ratio scales with the shard count.
+  dist::InProcessExecutor inproc;
+  const double shard_in =
+      sharded_rate(study, shared, shards, inproc, 2, t, "sharded_in_process");
+  dist::SubprocessExecutor subproc;
+  const double shard_sub = sharded_rate(study, shared, shards, subproc, 2, t,
+                                        "sharded_subprocess");
+
   t.print();
   std::printf("\nbatch-shared parallel: %.2fx vs serial, %.2fx vs same-semantics"
               " serial; isolated parallel: %.2fx vs serial\n",
               bsp / serial, bsp / bs1, iso / serial);
+  std::printf("sharded subprocess: %.2fx vs sharded in-process, %.2fx vs "
+              "serial\n",
+              shard_sub / shard_in, shard_sub / serial);
   g_results.push_back({"batch_shared_vs_serial", bsp / serial, "x"});
   g_results.push_back({"batch_parallel_vs_batch_serial", bsp / bs1, "x"});
   g_results.push_back({"isolated_vs_serial", iso / serial, "x"});
+  g_results.push_back({"subprocess_vs_in_process_sharded",
+                       shard_sub / shard_in, "x"});
 
   const char* path = std::getenv("CRITTER_BENCH_JSON");
   const std::string out = path ? path : "BENCH_tuner.json";

@@ -6,22 +6,33 @@
 //                       [--strategy=ci-discard,margin=0.1]
 //                       [--policy=online] [--tolerance=0.125] [--samples=2]
 //                       [--workers=4] [--batch=4]
+//                       [--shards=2] [--exchange-every=4]
+//                       [--executor=subprocess|in-process]
 //
 // --help lists the registered workloads and strategies.  Prints the
 // per-configuration predictions, the exhaustive-search cost with and
 // without selective execution, the selected configuration, and the
 // effective sweep mode (serial / parallel-isolated / parallel-batch-shared
 // — never a silent fallback).
+//
+// --shards=N fans the sweep across N shards through a dist::ShardExecutor;
+// the default executor for N > 1 is "subprocess" (one worker process per
+// shard, re-execing this binary via --shard-worker and exchanging
+// StatSnapshot files through a run directory).  --exchange-every=B makes
+// shards trade statistics deltas every B batches mid-sweep instead of only
+// merging at the end.
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <tuple>
 
+#include "dist/executor.hpp"
 #include "tune/strategy.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
+namespace dist = critter::dist;
 namespace tune = critter::tune;
 
 namespace {
@@ -39,13 +50,18 @@ critter::Policy parse_policy(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Shard-worker re-entry: the subprocess executor re-execs this binary.
+  if (dist::is_shard_worker(argc, argv))
+    return dist::shard_worker_main(argc, argv);
   critter::util::Options opt(argc, argv);
   if (opt.has("help")) {
     std::printf("usage: autotune_cholesky [--workload=NAME] "
                 "[--strategy=NAME[,key=val...]]\n"
                 "                         [--policy=online] [--tolerance=X] "
                 "[--samples=N]\n"
-                "                         [--workers=N] [--batch=N]\n\n%s",
+                "                         [--workers=N] [--batch=N]\n"
+                "                         [--shards=N] [--exchange-every=B] "
+                "[--executor=subprocess|in-process]\n\n%s",
                 tune::registry_help().c_str());
     return 0;
   }
@@ -66,7 +82,11 @@ int main(int argc, char** argv) {
               critter::policy_name(topt.policy), topt.tolerance,
               topt.strategy.c_str());
 
-  const tune::TuneResult r = tune::run_study(study, topt);
+  const int shards = static_cast<int>(opt.get_int("shards", 1));
+  const tune::TuneResult r = dist::run_sharded_named(
+      study, topt, shards,
+      opt.get("executor", shards > 1 ? "subprocess" : "in-process"),
+      static_cast<int>(opt.get_int("exchange-every", 0)));
 
   std::printf("sweep mode: %s, %d/%d workers%s%s%s\n",
               tune::sweep_mode_name(r.mode), r.effective_workers,
@@ -74,6 +94,11 @@ int main(int argc, char** argv) {
               r.batch > 0 ? (", batch " + std::to_string(r.batch)).c_str() : "",
               r.fallback_reason.empty() ? "" : " — ",
               r.fallback_reason.c_str());
+  if (r.shards > 0)
+    std::printf("sharded: %d shards via %s executor, exchange every %d "
+                "batches (%d rounds)\n",
+                r.shards, r.executor.c_str(), r.exchange_every,
+                r.exchange_rounds);
 
   critter::util::Table t("per-configuration results");
   t.header({"config", "params", "true(s)", "predicted(s)", "err(%)",

@@ -4,31 +4,40 @@
 //   ./autotune_qr [--workload=candmc-qr] [--strategy=halving,eta=2]
 //                 [--policy=local] [--tolerance=0.25] [--samples=1]
 //                 [--workers=4] [--batch=4]
+//                 [--shards=2] [--exchange-every=4]
+//                 [--executor=subprocess|in-process]
 //
 // --help lists the registered workloads and strategies.  Demonstrates the
 // paper's observation that CANDMC's shrinking trailing matrix creates many
 // distinct kernel signatures, limiting the end-to-end speedup while kernel
-// execution time itself drops sharply.
+// execution time itself drops sharply.  --shards/--exchange-every fan the
+// sweep across shard processes (see autotune_cholesky for details).
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <tuple>
 
+#include "dist/executor.hpp"
 #include "tune/strategy.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
+namespace dist = critter::dist;
 namespace tune = critter::tune;
 
 int main(int argc, char** argv) {
+  if (dist::is_shard_worker(argc, argv))
+    return dist::shard_worker_main(argc, argv);
   critter::util::Options opt(argc, argv);
   if (opt.has("help")) {
     std::printf("usage: autotune_qr [--workload=NAME] "
                 "[--strategy=NAME[,key=val...]]\n"
                 "                   [--policy=local] [--tolerance=X] "
                 "[--samples=N]\n"
-                "                   [--workers=N] [--batch=N]\n\n%s",
+                "                   [--workers=N] [--batch=N]\n"
+                "                   [--shards=N] [--exchange-every=B] "
+                "[--executor=subprocess|in-process]\n\n%s",
                 tune::registry_help().c_str());
     return 0;
   }
@@ -53,12 +62,21 @@ int main(int argc, char** argv) {
               study.name.c_str(), study.nranks, study.m, study.n,
               study.configs.size(), topt.strategy.c_str());
 
-  const tune::TuneResult r = tune::run_study(study, topt);
+  const int shards = static_cast<int>(opt.get_int("shards", 1));
+  const tune::TuneResult r = dist::run_sharded_named(
+      study, topt, shards,
+      opt.get("executor", shards > 1 ? "subprocess" : "in-process"),
+      static_cast<int>(opt.get_int("exchange-every", 0)));
 
   std::printf("sweep mode: %s, %d/%d workers%s%s\n",
               tune::sweep_mode_name(r.mode), r.effective_workers,
               r.requested_workers, r.fallback_reason.empty() ? "" : " — ",
               r.fallback_reason.c_str());
+  if (r.shards > 0)
+    std::printf("sharded: %d shards via %s executor, exchange every %d "
+                "batches (%d rounds)\n",
+                r.shards, r.executor.c_str(), r.exchange_every,
+                r.exchange_rounds);
 
   critter::util::Table t("per-configuration results");
   t.header({"config", "params", "true(s)", "predicted(s)", "err(%)",

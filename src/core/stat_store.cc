@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace critter::core {
 
@@ -244,6 +245,16 @@ void StatSnapshot::merge(const StatSnapshot& delta) {
   for (std::size_t r = 0; r < ranks.size(); ++r) ranks[r].merge(delta.ranks[r]);
 }
 
+StatSnapshot StatSnapshot::diff(const StatSnapshot& base) const {
+  CRITTER_CHECK(base.ranks.size() == ranks.size(),
+                "snapshot diff rank-count mismatch");
+  StatSnapshot d;
+  d.ranks.reserve(ranks.size());
+  for (std::size_t r = 0; r < ranks.size(); ++r)
+    d.ranks.push_back(ranks[r].diff(base.ranks[r]));
+  return d;
+}
+
 bool StatSnapshot::same_statistics(const StatSnapshot& other) const {
   if (ranks.size() != other.ranks.size()) return false;
   for (std::size_t r = 0; r < ranks.size(); ++r)
@@ -261,8 +272,21 @@ bool StatSnapshot::same_statistics(const StatSnapshot& other) const {
 namespace {
 
 constexpr char kMagic[8] = {'C', 'R', 'S', 'T', 'A', 'T', '0', '\n'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2: per-rank length-prefixed + FNV-checksummed chunks, and the
+// delta pending-tombstone list is serialized (file-borne exchange deltas).
+// Version 1 (the previous release) loads through the registered upgrade
+// hook; see register_snapshot_upgrade().
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kLegacyVersion = 1;
 constexpr char kJsonFormatTag[] = "critter-stat-snapshot";
+
+using util::fnv1a;  // the rank-chunk checksum
+
+bool table_has_tombstones(const StatSnapshot& snap) {
+  for (const KernelTable& t : snap.ranks)
+    if (!t.pending_tombstones.empty()) return true;
+  return false;
+}
 
 constexpr std::uint8_t kFlagGlobalSteady = 1;
 constexpr std::uint8_t kFlagExtrapObserved = 2;
@@ -368,52 +392,150 @@ KernelStats read_stats_binary(BinReader& r) {
   return ks;
 }
 
-void save_binary(const StatSnapshot& snap, std::ostream& os) {
-  BinWriter w{os};
-  w.raw(kMagic, sizeof kMagic);
-  w.u32(kVersion);
-  w.u32(static_cast<std::uint32_t>(snap.ranks.size()));
-  for (const KernelTable& t : snap.ranks) {
-    w.i64(t.epoch);
-    w.u64(t.K.size());
-    for (const auto* kv : sorted_kernels(t)) {
-      write_key_binary(w, kv->first);
-      write_stats_binary(w, kv->second);
+/// Record-count sanity bounds: a truncated or corrupt count must fail fast
+/// with a clear error instead of driving a near-endless read loop or an
+/// allocation far beyond any plausible snapshot.
+constexpr std::uint64_t kMaxRanks = 1u << 16;
+constexpr std::uint64_t kMaxRecords = 1ull << 32;
+constexpr std::uint64_t kMaxChunkBytes = 1ull << 33;
+
+/// One rank table's records, without framing.  Both binary versions share
+/// this body; version 2 appends the pending-tombstone list after the
+/// pending-eager records.
+void write_rank_binary(BinWriter& w, const KernelTable& t,
+                       std::uint32_t version) {
+  w.i64(t.epoch);
+  w.u64(t.K.size());
+  for (const auto* kv : sorted_kernels(t)) {
+    write_key_binary(w, kv->first);
+    write_stats_binary(w, kv->second);
+  }
+  w.u64(t.key_of_hash.size());
+  for (const auto* kv : sorted_by_key(t.key_of_hash)) {
+    w.u64(kv->first);
+    write_key_binary(w, kv->second);
+  }
+  w.u64(t.pending_eager.size());
+  for (const auto* kv : sorted_by_key(t.pending_eager)) {
+    w.u64(kv->first);
+    write_stats_binary(w, kv->second);
+  }
+  if (version >= 2) {
+    w.u64(t.pending_tombstones.size());
+    for (std::uint64_t h : t.pending_tombstones) w.u64(h);
+  }
+  w.u64(t.channels.size());
+  t.channels.for_each([&](std::uint64_t, const Channel& ch) {
+    w.i64(ch.offset);
+    w.u8(ch.lattice ? 1 : 0);
+    w.u64(ch.dims.size());
+    for (const ChannelDim& d : ch.dims) {
+      w.i64(d.stride);
+      w.i64(d.size);
     }
-    w.u64(t.key_of_hash.size());
-    for (const auto* kv : sorted_by_key(t.key_of_hash)) {
-      w.u64(kv->first);
-      write_key_binary(w, kv->second);
+  });
+  w.u64(t.size_model.bucket_count());
+  t.size_model.for_each([&](std::uint64_t id, const SizeModelBucket& b) {
+    w.u64(id);
+    w.i64(b.n);
+    w.f64(b.sx);
+    w.f64(b.sy);
+    w.f64(b.sxx);
+    w.f64(b.sxy);
+    w.f64(b.syy);
+    w.f64(b.min_x);
+    w.f64(b.max_x);
+  });
+}
+
+void read_rank_binary(BinReader& r, KernelTable& t, std::uint32_t version,
+                      std::uint32_t nranks) {
+  t.init_world(static_cast<int>(nranks));
+  t.epoch = r.i64();
+  const std::uint64_t nk = r.u64();
+  CRITTER_CHECK(nk <= kMaxRecords, "stat snapshot: implausible kernel count");
+  for (std::uint64_t i = 0; i < nk; ++i) {
+    KernelKey key = read_key_binary(r);
+    t.K.emplace(key, read_stats_binary(r));
+  }
+  const std::uint64_t nh = r.u64();
+  CRITTER_CHECK(nh <= kMaxRecords, "stat snapshot: implausible key count");
+  for (std::uint64_t i = 0; i < nh; ++i) {
+    const std::uint64_t h = r.u64();
+    t.key_of_hash.emplace(h, read_key_binary(r));
+  }
+  const std::uint64_t np = r.u64();
+  CRITTER_CHECK(np <= kMaxRecords, "stat snapshot: implausible pending count");
+  for (std::uint64_t i = 0; i < np; ++i) {
+    const std::uint64_t h = r.u64();
+    t.pending_eager.emplace(h, read_stats_binary(r));
+  }
+  if (version >= 2) {
+    const std::uint64_t nt = r.u64();
+    CRITTER_CHECK(nt <= kMaxRecords,
+                  "stat snapshot: implausible tombstone count");
+    t.pending_tombstones.reserve(static_cast<std::size_t>(nt));
+    for (std::uint64_t i = 0; i < nt; ++i)
+      t.pending_tombstones.push_back(r.u64());
+  }
+  const std::uint64_t nc = r.u64();
+  CRITTER_CHECK(nc <= kMaxRecords, "stat snapshot: implausible channel count");
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    Channel ch;
+    ch.offset = r.i64();
+    ch.lattice = r.u8() != 0;
+    const std::uint64_t nd = r.u64();
+    CRITTER_CHECK(nd <= (1u << 20), "stat snapshot: implausible channel");
+    ch.dims.resize(nd);
+    for (ChannelDim& d : ch.dims) {
+      d.stride = r.i64();
+      d.size = r.i64();
     }
-    w.u64(t.pending_eager.size());
-    for (const auto* kv : sorted_by_key(t.pending_eager)) {
-      w.u64(kv->first);
-      write_stats_binary(w, kv->second);
-    }
-    w.u64(t.channels.size());
-    t.channels.for_each([&](std::uint64_t, const Channel& ch) {
-      w.i64(ch.offset);
-      w.u8(ch.lattice ? 1 : 0);
-      w.u64(ch.dims.size());
-      for (const ChannelDim& d : ch.dims) {
-        w.i64(d.stride);
-        w.i64(d.size);
-      }
-    });
-    w.u64(t.size_model.bucket_count());
-    t.size_model.for_each([&](std::uint64_t id, const SizeModelBucket& b) {
-      w.u64(id);
-      w.i64(b.n);
-      w.f64(b.sx);
-      w.f64(b.sy);
-      w.f64(b.sxx);
-      w.f64(b.sxy);
-      w.f64(b.syy);
-      w.f64(b.min_x);
-      w.f64(b.max_x);
-    });
+    t.channels.insert_raw(ch);
+  }
+  const std::uint64_t nb = r.u64();
+  CRITTER_CHECK(nb <= kMaxRecords, "stat snapshot: implausible bucket count");
+  for (std::uint64_t i = 0; i < nb; ++i) {
+    const std::uint64_t id = r.u64();
+    SizeModelBucket b;
+    b.n = r.i64();
+    b.sx = r.f64();
+    b.sy = r.f64();
+    b.sxx = r.f64();
+    b.sxy = r.f64();
+    b.syy = r.f64();
+    b.min_x = r.f64();
+    b.max_x = r.f64();
+    t.size_model.set_bucket(id, b);
   }
 }
+
+void save_binary(const StatSnapshot& snap, std::ostream& os,
+                 std::uint32_t version) {
+  BinWriter w{os};
+  w.raw(kMagic, sizeof kMagic);
+  w.u32(version);
+  w.u32(static_cast<std::uint32_t>(snap.ranks.size()));
+  for (const KernelTable& t : snap.ranks) {
+    if (version == kLegacyVersion) {
+      write_rank_binary(w, t, version);
+      continue;
+    }
+    // Version 2: serialize the rank into a chunk first so the frame can
+    // carry its byte length and FNV checksum — a reader rejects truncation
+    // and corruption before decoding a single record.
+    std::ostringstream chunk;
+    BinWriter cw{chunk};
+    write_rank_binary(cw, t, version);
+    const std::string bytes = chunk.str();
+    w.u64(bytes.size());
+    w.u64(fnv1a(bytes.data(), bytes.size()));
+    w.raw(bytes.data(), bytes.size());
+  }
+}
+
+// Defined below (shared with the JSON path).
+void apply_snapshot_upgrade(StatSnapshot& snap, std::uint32_t from_version);
 
 StatSnapshot load_binary(std::istream& is) {
   BinReader r{is};
@@ -422,55 +544,51 @@ StatSnapshot load_binary(std::istream& is) {
   CRITTER_CHECK(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
                 "stat snapshot: bad binary magic");
   const std::uint32_t version = r.u32();
-  CRITTER_CHECK(version == kVersion, "stat snapshot: unsupported version " +
-                                         std::to_string(version));
+  CRITTER_CHECK(version == kVersion || version == kLegacyVersion,
+                "stat snapshot: unsupported version " +
+                    std::to_string(version) + " (current " +
+                    std::to_string(kVersion) + ", upgradable " +
+                    std::to_string(kLegacyVersion) + ")");
   const std::uint32_t nranks = r.u32();
-  CRITTER_CHECK(nranks >= 1 && nranks <= (1u << 24),
+  CRITTER_CHECK(nranks >= 1 && nranks <= kMaxRanks,
                 "stat snapshot: implausible rank count");
   StatSnapshot snap;
   snap.ranks.resize(nranks);
   for (KernelTable& t : snap.ranks) {
-    t.init_world(static_cast<int>(nranks));
-    t.epoch = r.i64();
-    for (std::uint64_t i = 0, nk = r.u64(); i < nk; ++i) {
-      KernelKey key = read_key_binary(r);
-      t.K.emplace(key, read_stats_binary(r));
+    if (version == kLegacyVersion) {
+      read_rank_binary(r, t, version, nranks);
+      continue;
     }
-    for (std::uint64_t i = 0, nk = r.u64(); i < nk; ++i) {
-      const std::uint64_t h = r.u64();
-      t.key_of_hash.emplace(h, read_key_binary(r));
+    const std::uint64_t len = r.u64();
+    CRITTER_CHECK(len <= kMaxChunkBytes,
+                  "stat snapshot: implausible rank-chunk size");
+    const std::uint64_t sum = r.u64();
+    // Read incrementally: the length field sits outside the checksummed
+    // region, so a corrupt value must hit the truncation error after
+    // reading at most the real bytes — never drive a giant up-front
+    // allocation.
+    std::string bytes;
+    char piece[1 << 16];
+    for (std::uint64_t got = 0; got < len;) {
+      const std::size_t step =
+          static_cast<std::size_t>(std::min<std::uint64_t>(sizeof piece,
+                                                           len - got));
+      r.raw(piece, step);
+      bytes.append(piece, step);
+      got += step;
     }
-    for (std::uint64_t i = 0, np = r.u64(); i < np; ++i) {
-      const std::uint64_t h = r.u64();
-      t.pending_eager.emplace(h, read_stats_binary(r));
-    }
-    for (std::uint64_t i = 0, nc = r.u64(); i < nc; ++i) {
-      Channel ch;
-      ch.offset = r.i64();
-      ch.lattice = r.u8() != 0;
-      const std::uint64_t nd = r.u64();
-      CRITTER_CHECK(nd <= (1u << 20), "stat snapshot: implausible channel");
-      ch.dims.resize(nd);
-      for (ChannelDim& d : ch.dims) {
-        d.stride = r.i64();
-        d.size = r.i64();
-      }
-      t.channels.insert_raw(ch);
-    }
-    for (std::uint64_t i = 0, nb = r.u64(); i < nb; ++i) {
-      const std::uint64_t id = r.u64();
-      SizeModelBucket b;
-      b.n = r.i64();
-      b.sx = r.f64();
-      b.sy = r.f64();
-      b.sxx = r.f64();
-      b.sxy = r.f64();
-      b.syy = r.f64();
-      b.min_x = r.f64();
-      b.max_x = r.f64();
-      t.size_model.set_bucket(id, b);
-    }
+    CRITTER_CHECK(fnv1a(bytes.data(), bytes.size()) == sum,
+                  "stat snapshot: rank-chunk checksum mismatch (corrupt or "
+                  "truncated file)");
+    std::istringstream chunk(bytes);
+    BinReader cr{chunk};
+    read_rank_binary(cr, t, version, nranks);
+    CRITTER_CHECK(chunk.peek() == std::char_traits<char>::eof(),
+                  "stat snapshot: trailing bytes in rank chunk");
   }
+  CRITTER_CHECK(is.peek() == std::char_traits<char>::eof(),
+                "stat snapshot: trailing content after final rank");
+  if (version != kVersion) apply_snapshot_upgrade(snap, version);
   return snap;
 }
 
@@ -526,12 +644,13 @@ void write_stats_json(JsonWriter& w, const KernelStats& ks) {
   w.u64(pack_flags(ks));
 }
 
-void save_json(const StatSnapshot& snap, std::ostream& os) {
+void save_json(const StatSnapshot& snap, std::ostream& os,
+               std::uint32_t version) {
   JsonWriter w{os};
   w.lit("{\"format\":\"");
   w.lit(kJsonFormatTag);
   w.lit("\",\"version\":");
-  w.u64(kVersion);
+  w.u64(version);
   w.lit(",\"nranks\":");
   w.u64(snap.ranks.size());
   w.lit(",\"ranks\":[");
@@ -576,6 +695,16 @@ void save_json(const StatSnapshot& snap, std::ostream& os) {
       w.lit(",");
       write_stats_json(w, kv->second);
       w.lit("]");
+    }
+    // tombstones: [hash, ...] (version >= 2; deltas only, sorted ascending)
+    if (version >= 2) {
+      w.lit("],\"tombstones\":[");
+      first = true;
+      for (std::uint64_t h : t.pending_tombstones) {
+        if (!first) w.lit(",");
+        first = false;
+        w.u64(h);
+      }
     }
     // channels: [offset, lattice, stride0, size0, stride1, size1, ...]
     w.lit("],\"channels\":[");
@@ -798,9 +927,15 @@ StatSnapshot load_json(const std::string& text) {
                 "stat snapshot: JSON root must be an object");
   CRITTER_CHECK(json_field(root, "format").text == kJsonFormatTag,
                 "stat snapshot: not a stat-snapshot JSON file");
-  CRITTER_CHECK(json_field(root, "version").as_u64() == kVersion,
-                "stat snapshot: unsupported version");
+  const std::uint64_t version = json_field(root, "version").as_u64();
+  CRITTER_CHECK(version == kVersion || version == kLegacyVersion,
+                "stat snapshot: unsupported version " +
+                    std::to_string(version) + " (current " +
+                    std::to_string(kVersion) + ", upgradable " +
+                    std::to_string(kLegacyVersion) + ")");
   const std::uint64_t nranks = json_field(root, "nranks").as_u64();
+  CRITTER_CHECK(nranks >= 1 && nranks <= kMaxRanks,
+                "stat snapshot: implausible rank count");
   const JsonValue& ranks = json_field(root, "ranks");
   CRITTER_CHECK(ranks.items.size() == nranks,
                 "stat snapshot: rank count mismatch");
@@ -821,6 +956,9 @@ StatSnapshot load_json(const std::string& text) {
       CRITTER_CHECK(!row.items.empty(), "stat snapshot: short pending row");
       t.pending_eager.emplace(row.items[0].as_u64(), read_stats_json(row, 1));
     }
+    if (version >= 2)
+      for (const JsonValue& h : json_field(jt, "tombstones").items)
+        t.pending_tombstones.push_back(h.as_u64());
     for (const JsonValue& row : json_field(jt, "channels").items) {
       CRITTER_CHECK(row.items.size() >= 2 && row.items.size() % 2 == 0,
                     "stat snapshot: short channel row");
@@ -845,16 +983,76 @@ StatSnapshot load_json(const std::string& text) {
       t.size_model.set_bucket(row.items[0].as_u64(), b);
     }
   }
+  if (version != kVersion)
+    apply_snapshot_upgrade(snap, static_cast<std::uint32_t>(version));
   return snap;
+}
+
+// --- cross-version migration registry --------------------------------------
+
+struct UpgradeRegistry {
+  std::unordered_map<std::uint32_t, SnapshotUpgradeHook> hooks;
+  UpgradeRegistry() {
+    // Built-in v1 -> v2 hook: version 1 predates delta serialization, so a
+    // v1 file is a full snapshot whose tombstone lists are simply empty —
+    // the decoded tables already satisfy the current semantics.
+    hooks.emplace(kLegacyVersion, [](StatSnapshot&) {});
+  }
+};
+
+UpgradeRegistry& upgrade_registry() {
+  static UpgradeRegistry reg;
+  return reg;
+}
+
+void apply_snapshot_upgrade(StatSnapshot& snap, std::uint32_t from_version) {
+  auto& hooks = upgrade_registry().hooks;
+  const auto it = hooks.find(from_version);
+  CRITTER_CHECK(it != hooks.end(),
+                "stat snapshot: no upgrade hook registered for version " +
+                    std::to_string(from_version));
+  it->second(snap);
 }
 
 }  // namespace
 
+std::uint32_t StatSnapshot::current_version() { return kVersion; }
+std::uint32_t StatSnapshot::oldest_upgradable_version() {
+  return kLegacyVersion;
+}
+
+void register_snapshot_upgrade(std::uint32_t from_version,
+                               SnapshotUpgradeHook hook) {
+  // The loader only ever consults the registry for version kVersion - 1
+  // (older layouts are not decodable); registering anything else would be
+  // silently dead, so fail at registration time instead.
+  CRITTER_CHECK(from_version + 1 == kVersion,
+                "snapshot upgrade hooks apply to version " +
+                    std::to_string(kVersion - 1) + " only");
+  CRITTER_CHECK(static_cast<bool>(hook), "null snapshot upgrade hook");
+  upgrade_registry().hooks[from_version] = std::move(hook);
+}
+
+bool snapshot_upgrade_registered(std::uint32_t from_version) {
+  return upgrade_registry().hooks.count(from_version) != 0;
+}
+
 void StatSnapshot::save(std::ostream& os, Format fmt) const {
+  save(os, fmt, kVersion);
+}
+
+void StatSnapshot::save(std::ostream& os, Format fmt,
+                        std::uint32_t version) const {
+  CRITTER_CHECK(version == kVersion || version == kLegacyVersion,
+                "stat snapshot: cannot write version " +
+                    std::to_string(version));
+  CRITTER_CHECK(version >= 2 || !table_has_tombstones(*this),
+                "stat snapshot: delta tombstones are not representable in "
+                "version 1 files");
   if (fmt == Format::Binary)
-    save_binary(*this, os);
+    save_binary(*this, os, version);
   else
-    save_json(*this, os);
+    save_json(*this, os, version);
   CRITTER_CHECK(os.good(), "stat snapshot: write failed");
 }
 
@@ -878,7 +1076,14 @@ StatSnapshot StatSnapshot::load(std::istream& is) {
 StatSnapshot StatSnapshot::load_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   CRITTER_CHECK(is.is_open(), "stat snapshot: cannot open " + path);
-  return load(is);
+  try {
+    return load(is);
+  } catch (const std::exception& e) {
+    // Re-anchor deep parse failures to the file: "which snapshot file was
+    // bad" is the actionable part when a sweep folds many of them.
+    throw std::runtime_error("stat snapshot: failed to load '" + path +
+                             "': " + e.what());
+  }
 }
 
 }  // namespace critter::core

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <unordered_map>
@@ -45,9 +46,10 @@ struct KernelTable {
   /// Eager propagation: statistics received for kernels not yet seen
   /// locally, absorbed into K on first local sighting.
   std::unordered_map<std::uint64_t, KernelStats> pending_eager;
-  /// Delta-only bookkeeping (produced by diff(), consumed by merge(), never
-  /// serialized): hashes of base pending-eager entries this table absorbed
-  /// into K.  diff() subtracts the absorbed moments from the K delta and
+  /// Delta-only bookkeeping (produced by diff(), consumed by merge();
+  /// serialized since snapshot version 2 so file-borne deltas — the
+  /// distributed executors' mid-sweep exchange — stay exact): hashes of
+  /// base pending-eager entries this table absorbed into K.  diff() subtracts the absorbed moments from the K delta and
   /// records the tombstone; merge() then absorbs the *target's* copy of the
   /// pending entry exactly once — the first tombstone erases it — so
   /// sibling deltas of one batch cannot double-count the absorbed samples.
@@ -105,20 +107,51 @@ struct StatSnapshot {
   /// Per-rank table merge, `delta.ranks.size()` must match.
   void merge(const StatSnapshot& delta);
 
+  /// Per-rank exact merge inverse (see KernelTable::diff): *this* must have
+  /// evolved on top of `base`; base.merge(diff) reproduces it.  The delta
+  /// carries pending tombstones, so it round-trips through save()/load()
+  /// (version >= 2) without losing exactness — the unit of the distributed
+  /// executors' incremental publishes.
+  StatSnapshot diff(const StatSnapshot& base) const;
+
   bool same_statistics(const StatSnapshot& other) const;
 
   enum class Format : std::uint8_t { Binary, Json };
 
-  /// Versioned serialization.  Binary is the compact exact format; JSON is
-  /// the interoperable one (doubles printed with 17 significant digits, so
-  /// both round-trip bit-exactly).
+  /// Current serialization version (written by default) and the oldest
+  /// version load() upgrades from via a registered hook.
+  static std::uint32_t current_version();
+  static std::uint32_t oldest_upgradable_version();
+
+  /// Versioned serialization.  Binary is the compact exact format — since
+  /// version 2 each rank table is a length-prefixed, checksummed chunk, so
+  /// truncation and corruption are detected before any record is decoded;
+  /// JSON is the interoperable one (doubles printed with 17 significant
+  /// digits, so both round-trip bit-exactly).  `version` may name the
+  /// previous version to produce files for older readers (the snapshot must
+  /// then carry no version-2-only state, i.e. no pending tombstones).
   void save(std::ostream& os, Format fmt) const;
+  void save(std::ostream& os, Format fmt, std::uint32_t version) const;
   void save_file(const std::string& path, Format fmt = Format::Binary) const;
 
-  /// Load either format (auto-detected from the leading bytes).  Throws
-  /// std::runtime_error on malformed or version-mismatched input.
+  /// Load either format (auto-detected from the leading bytes).  Snapshots
+  /// of the previous version are accepted when an upgrade hook is
+  /// registered for it (the library pre-registers the v1 -> v2 hook).
+  /// Throws std::runtime_error on truncated, corrupt, or unsupported-
+  /// version input — always before returning partial state.
   static StatSnapshot load(std::istream& is);
   static StatSnapshot load_file(const std::string& path);
 };
+
+/// Cross-version migration scaffolding: a hook registered for version `v`
+/// upgrades a snapshot decoded with version v's physical layout to the
+/// current version's semantics.  load() consults the registry whenever it
+/// meets a version-`current - 1` file; without a registered hook the load
+/// fails with an unsupported-version error.  Re-registering replaces the
+/// hook (user code may wrap the built-in one).
+using SnapshotUpgradeHook = std::function<void(StatSnapshot&)>;
+void register_snapshot_upgrade(std::uint32_t from_version,
+                               SnapshotUpgradeHook hook);
+bool snapshot_upgrade_registered(std::uint32_t from_version);
 
 }  // namespace critter::core

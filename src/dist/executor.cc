@@ -1,0 +1,239 @@
+#include "dist/executor.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "dist/shard_session.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace critter::dist {
+
+std::vector<ShardRange> partition_range(int begin, int end, int nshards) {
+  CRITTER_CHECK(nshards >= 1, "sharded run needs at least one shard");
+  CRITTER_CHECK(begin <= end, "sharded run range is inverted");
+  std::vector<ShardRange> out;
+  const int range_n = end - begin;
+  for (int s = 0; s < nshards; ++s) {
+    // Contiguous balanced partition; noise salts stay indexed by absolute
+    // configuration index, so each shard reproduces exactly the samples
+    // the unsharded sweep would draw for its range.
+    const int lo = begin + static_cast<int>(
+                               static_cast<std::int64_t>(range_n) * s / nshards);
+    const int hi = begin + static_cast<int>(static_cast<std::int64_t>(range_n) *
+                                            (s + 1) / nshards);
+    if (lo >= hi) continue;
+    out.push_back({static_cast<int>(out.size()), lo, hi});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// InProcessExecutor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int shard_pool_threads(int nshards) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(1, hw > 0 ? std::min(nshards, hw) : nshards);
+}
+
+tune::TuneOptions range_options(const tune::TuneOptions& opt,
+                                const ShardRange& r) {
+  tune::TuneOptions shard_opt = opt;
+  shard_opt.config_begin = r.begin;
+  shard_opt.config_end = r.end;
+  return shard_opt;
+}
+
+}  // namespace
+
+ShardResult shard_result_from(const tune::TuneResult& r,
+                              const ShardRange& sr) {
+  ShardResult out;
+  out.range = sr;
+  out.outcomes.assign(r.per_config.begin() + sr.begin,
+                      r.per_config.begin() + sr.end);
+  out.totals.assign(r.per_config_totals.begin() + sr.begin,
+                    r.per_config_totals.begin() + sr.end);
+  out.mode = r.mode;
+  out.strategy = r.strategy;
+  out.effective_workers = r.effective_workers;
+  out.batch = r.batch;
+  out.fallback_reason = r.fallback_reason;
+  out.evaluated = r.evaluated_configs;
+  out.stats = r.stats;
+  return out;
+}
+
+std::vector<ShardResult> InProcessExecutor::run(
+    const tune::Study& study, const tune::TuneOptions& opt,
+    const std::vector<ShardRange>& shards, const ExchangePolicy& exchange) {
+  std::vector<ShardResult> results(shards.size());
+  if (shards.empty()) return results;
+
+  const bool exchanging = exchange.every > 0 && shards.size() > 1;
+  if (!exchanging) {
+    // Independent full sweeps — with sequential execution this is the
+    // legacy merge_shards loop verbatim (bit-identity anchor).
+    auto run_one = [&](int s) {
+      results[s] =
+          shard_result_from(run_study(study, range_options(opt, shards[s])),
+                           shards[s]);
+    };
+    if (parallel_shards_ && shards.size() > 1) {
+      util::ThreadPool pool(shard_pool_threads(static_cast<int>(shards.size())));
+      pool.parallel_for(static_cast<int>(shards.size()), run_one);
+    } else {
+      for (int s = 0; s < static_cast<int>(shards.size()); ++s) run_one(s);
+    }
+    return results;
+  }
+
+  // Lockstep exchange rounds, the in-memory realization of the run-dir
+  // protocol: each live shard runs `every` batches, every shard that ran
+  // publishes its delta, then each shard still sweeping absorbs its peers'
+  // round deltas in ascending shard order.  Deltas are all taken before
+  // any absorption — exactly what concurrent worker processes see, since a
+  // worker publishes before it reads its peers.
+  const int n = static_cast<int>(shards.size());
+  std::vector<std::unique_ptr<ShardSession>> sessions;
+  sessions.reserve(shards.size());
+  for (const ShardRange& sr : shards)
+    sessions.push_back(
+        std::make_unique<ShardSession>(study, range_options(opt, sr)));
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (parallel_shards_) pool = std::make_unique<util::ThreadPool>(
+      shard_pool_threads(n));
+
+  std::vector<int> ran(n, 0);
+  while (true) {
+    bool any_live = false;
+    for (int s = 0; s < n; ++s) any_live = any_live || !sessions[s]->done();
+    if (!any_live) break;
+
+    auto segment = [&](int s) {
+      ran[s] = sessions[s]->done() ? 0
+                                   : sessions[s]->run_segment(exchange.every);
+    };
+    if (pool)
+      pool->parallel_for(n, segment);
+    else
+      for (int s = 0; s < n; ++s) segment(s);
+
+    std::vector<core::StatSnapshot> deltas(n);
+    std::vector<bool> present(n, false);
+    for (int s = 0; s < n; ++s)
+      if (ran[s] > 0) {
+        deltas[s] = sessions[s]->take_delta();
+        present[s] = true;
+      }
+    for (int s = 0; s < n; ++s) {
+      // A shard absorbs a round's peer deltas only while still sweeping: a
+      // worker that finished mid-round publishes its trailing delta and
+      // exits without reading peers (its result is already determined).
+      if (ran[s] < exchange.every || sessions[s]->done()) continue;
+      for (int p = 0; p < n; ++p)
+        if (p != s && present[p]) sessions[s]->absorb(deltas[p]);
+      sessions[s]->refresh_mark();
+    }
+  }
+
+  for (int s = 0; s < n; ++s) results[s] = sessions[s]->result(shards[s]);
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// run_sharded: the executor-agnostic fold
+// ---------------------------------------------------------------------------
+
+tune::TuneResult run_sharded(const tune::Study& study,
+                             const tune::TuneOptions& opt, int nshards,
+                             ShardExecutor& exec,
+                             const ExchangePolicy& exchange) {
+  CRITTER_CHECK(nshards >= 1, "merge_shards needs at least one shard");
+  const int nconf = static_cast<int>(study.configs.size());
+  const int begin = std::clamp(opt.config_begin, 0, nconf);
+  const int end =
+      opt.config_end < 0 ? nconf : std::clamp(opt.config_end, begin, nconf);
+  const std::vector<ShardRange> shards = partition_range(begin, end, nshards);
+
+  tune::TuneResult out;
+  out.per_config.resize(nconf);
+  for (int i = 0; i < nconf; ++i) out.per_config[i].config = study.configs[i];
+  out.per_config_totals.resize(nconf);
+  out.shards = nshards;
+  out.requested_workers = std::max(1, opt.workers);
+  out.executor = exec.name();
+  out.exchange_every = shards.size() > 1 ? std::max(exchange.every, 0) : 0;
+
+  const std::vector<ShardResult> results =
+      shards.empty() ? std::vector<ShardResult>{}
+                     : exec.run(study, opt, shards, exchange);
+  CRITTER_CHECK(results.size() == shards.size(),
+                "executor returned a result per shard");
+
+  bool first_shard = true;
+  for (const ShardResult& r : results) {
+    const ShardRange& sr = r.range;
+    CRITTER_CHECK(r.outcomes.size() ==
+                          static_cast<std::size_t>(sr.end - sr.begin) &&
+                      r.totals.size() == r.outcomes.size(),
+                  "shard result does not cover its range");
+    for (int i = sr.begin; i < sr.end; ++i) {
+      out.per_config[i] = r.outcomes[i - sr.begin];
+      out.per_config_totals[i] = r.totals[i - sr.begin];
+    }
+    out.evaluated_configs += r.evaluated;
+    out.exchange_rounds += r.exchange_rounds;
+    if (first_shard) {
+      out.mode = r.mode;
+      out.strategy = r.strategy;
+      out.effective_workers = r.effective_workers;
+      out.batch = r.batch;
+      out.fallback_reason = r.fallback_reason;
+      out.stats = r.stats;
+      first_shard = false;
+    } else if (!r.stats.empty()) {
+      // Deterministic fold in shard order (see core/stat_store.hpp's merge
+      // contract): every shard's statistics are counted exactly once.
+      if (out.stats.empty())
+        out.stats = r.stats;
+      else
+        out.stats.merge(r.stats);
+    }
+  }
+  // Reduce the aggregates in configuration order over the whole range, the
+  // association an unsharded sweep uses — so an isolated sharded sweep's
+  // aggregates are bit-identical to it, not merely equal to rounding.
+  for (const tune::ConfigTotals& t : out.per_config_totals) {
+    out.tuning_time += t.tuning_time;
+    out.full_time += t.full_time;
+    out.kernel_time += t.kernel_time;
+    out.full_kernel_time += t.full_kernel_time;
+  }
+  return out;
+}
+
+tune::TuneResult run_sharded_named(const tune::Study& study,
+                                   const tune::TuneOptions& opt, int nshards,
+                                   const std::string& executor,
+                                   int exchange_every) {
+  if (nshards <= 1) return run_study(study, opt);
+  const ExchangePolicy exchange{exchange_every};
+  if (executor == "subprocess") {
+    SubprocessExecutor exec;
+    return run_sharded(study, opt, nshards, exec, exchange);
+  }
+  if (executor == "in-process") {
+    InProcessExecutor exec(/*parallel_shards=*/true);
+    return run_sharded(study, opt, nshards, exec, exchange);
+  }
+  CRITTER_CHECK(false, "unknown shard executor '" + executor +
+                           "' (known: subprocess, in-process)");
+  return {};
+}
+
+}  // namespace critter::dist

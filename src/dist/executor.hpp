@@ -1,0 +1,185 @@
+// Distributed sweep execution: shards as first-class execution units.
+//
+// merge_shards() partitions a sweep into contiguous shards; this layer owns
+// *how* those shards run.  A ShardExecutor runs every shard as an
+// independent Tuner session and returns per-shard products for the
+// deterministic fold in run_sharded():
+//
+//   InProcessExecutor   — shards in this process, sequentially (the legacy
+//                         merge_shards semantics, bit-identical) or
+//                         thread-parallel across shards;
+//   SubprocessExecutor  — one worker process per shard (a re-exec of the
+//                         current binary through the --shard-worker entry
+//                         point), exchanging versioned StatSnapshot files
+//                         through a run directory (dist/protocol.hpp).
+//
+// Periodic mid-sweep exchange (ExchangePolicy::every > 0): after every N
+// strategy batches a shard publishes the statistics delta it grew since its
+// last publish and folds in the deltas its peers published for the same
+// round — so ci-discard/halving-style strategies see cross-shard statistics
+// *during* the sweep, not only in the final fold.  The schedule is aligned
+// by round: a shard's round-r delta is a pure function of (study, options,
+// shard ranges, r), peers' deltas merge in ascending shard order, and a
+// shard's own contribution is tracked separately so the final fold counts
+// every sample exactly once.  The result is deterministic for a fixed
+// (seed, shard count, exchange interval) and identical across executors;
+// with exchange off every executor reproduces the legacy merge_shards fold
+// bit-exactly.  DESIGN.md §8 has the full contract.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stat_store.hpp"
+#include "tune/tuner.hpp"
+
+namespace critter::dist {
+
+/// Mid-sweep snapshot exchange schedule: every `every` strategy batches a
+/// shard publishes its delta and folds in its peers' (0 = exchange only
+/// through the final fold — the legacy merge_shards behavior).
+struct ExchangePolicy {
+  int every = 0;
+};
+
+/// One shard's contiguous slice [begin, end) of the sweep's configuration
+/// range; `index` is its rank in the shard fleet (the exchange and fold
+/// order).
+struct ShardRange {
+  int index = 0;
+  int begin = 0;
+  int end = 0;
+};
+
+/// One shard's sweep product — exactly what the fold consumes.  `outcomes`
+/// and `totals` are indexed relative to the range (size end - begin).
+/// `stats` holds the shard's *own* statistics contribution: with exchange
+/// off it is the session's final snapshot; with exchange on, peer-imported
+/// state is excluded so the fold counts every sample once.
+struct ShardResult {
+  ShardRange range;
+  std::vector<tune::ConfigOutcome> outcomes;
+  std::vector<tune::ConfigTotals> totals;
+  tune::SweepMode mode = tune::SweepMode::Serial;
+  std::string strategy;
+  int effective_workers = 1;
+  int batch = 0;
+  std::string fallback_reason;
+  int evaluated = 0;
+  int exchange_rounds = 0;  ///< delta-publish rounds this shard performed
+  core::StatSnapshot stats;
+};
+
+/// Transport-agnostic shard execution: run every range as an independent
+/// sweep over `study` under `opt` (with the range applied as
+/// config_begin/config_end), exchanging deltas per `exchange`.  Ranges must
+/// be non-empty, disjoint, and ascending by index.  Implementations throw
+/// (never hang) on shard failure, with the failing shard identified.
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+  virtual const char* name() const = 0;
+  virtual std::vector<ShardResult> run(const tune::Study& study,
+                                       const tune::TuneOptions& opt,
+                                       const std::vector<ShardRange>& shards,
+                                       const ExchangePolicy& exchange) = 0;
+};
+
+/// Shards inside this process.  Sequential by default — with exchange off
+/// this is bit-identical to the legacy merge_shards loop.  With
+/// `parallel_shards`, shards run on a thread pool (one logical worker per
+/// shard, capped at the hardware concurrency); results are identical to
+/// the sequential run because shard segments are independent between
+/// exchange points and all merging happens at the round barrier in shard
+/// order.
+class InProcessExecutor final : public ShardExecutor {
+ public:
+  explicit InProcessExecutor(bool parallel_shards = false)
+      : parallel_shards_(parallel_shards) {}
+  const char* name() const override { return "in-process"; }
+  std::vector<ShardResult> run(const tune::Study& study,
+                               const tune::TuneOptions& opt,
+                               const std::vector<ShardRange>& shards,
+                               const ExchangePolicy& exchange) override;
+
+ private:
+  bool parallel_shards_;
+};
+
+struct SubprocessOptions {
+  /// Run directory holding the manifest, per-shard artifacts, and the
+  /// exchange mailbox.  Empty: a fresh private directory under $TMPDIR,
+  /// removed on success and kept (and named in the error) on failure.  A
+  /// caller-provided directory is created if needed, must not already
+  /// contain a run manifest, and is always kept.
+  std::string run_dir;
+  /// Binary to re-exec as the shard worker; empty: /proc/self/exe.  The
+  /// binary's main() must route --shard-worker invocations into
+  /// shard_worker_main() before any other argument handling.
+  std::string worker_binary;
+  /// Abandon the run (abort the fleet, fail with a diagnosis) when a worker
+  /// has neither exited nor published within this budget.
+  double timeout_s = 300.0;
+  bool keep_run_dir = false;
+};
+
+/// One OS process per shard: the distributed-memory execution the paper
+/// targets, exercised on one host.  Requires a registry workload
+/// (Study::workload) so workers can rebuild the study; subset
+/// configuration lists travel through the run manifest by absolute index.
+/// Worker crashes, stale manifests, and missing snapshots surface as
+/// std::runtime_error naming the shard — the launcher aborts the remaining
+/// fleet instead of hanging.
+class SubprocessExecutor final : public ShardExecutor {
+ public:
+  explicit SubprocessExecutor(SubprocessOptions opts = {})
+      : opts_(std::move(opts)) {}
+  const char* name() const override { return "subprocess"; }
+  std::vector<ShardResult> run(const tune::Study& study,
+                               const tune::TuneOptions& opt,
+                               const std::vector<ShardRange>& shards,
+                               const ExchangePolicy& exchange) override;
+
+ private:
+  SubprocessOptions opts_;
+};
+
+/// The contiguous balanced partition merge_shards has always used (empty
+/// slices of an over-sharded range are dropped; `index` numbers the kept
+/// shards densely).
+std::vector<ShardRange> partition_range(int begin, int end, int nshards);
+
+/// Run `study` sharded via `exec` and fold: outcomes and totals copy into
+/// place, aggregates re-reduce in configuration order over the whole range,
+/// shard statistics merge in shard order.  tune::merge_shards() is this
+/// with a sequential InProcessExecutor and exchange off.
+tune::TuneResult run_sharded(const tune::Study& study,
+                             const tune::TuneOptions& opt, int nshards,
+                             ShardExecutor& exec,
+                             const ExchangePolicy& exchange = {});
+
+/// CLI convenience (the examples' --shards/--executor/--exchange-every
+/// flags): run through the executor named "subprocess" or "in-process"
+/// (thread-parallel shards), or plain run_study() when nshards <= 1.
+/// Unknown names CRITTER_CHECK-fail listing the known ones.
+tune::TuneResult run_sharded_named(const tune::Study& study,
+                                   const tune::TuneOptions& opt, int nshards,
+                                   const std::string& executor,
+                                   int exchange_every);
+
+/// True when argv carries --shard-worker: main() must then hand the
+/// process to shard_worker_main() (and exit with its return value) before
+/// any other argument handling of its own.  Custom workloads must be
+/// registered *before* the hand-off — the worker rebuilds the study from
+/// the registry (the paper studies are pre-registered).
+bool is_shard_worker(int argc, char** argv);
+
+/// The --shard-worker entry point: rebuilds the study and options from the
+/// run directory named on the command line, sweeps its shard (exchanging
+/// deltas per the run manifest), and publishes its ShardResult.  Returns a
+/// process exit code; failures are also recorded in the shard's error file
+/// for the launcher to surface.
+int shard_worker_main(int argc, char** argv);
+
+}  // namespace critter::dist

@@ -1,0 +1,753 @@
+// SubprocessExecutor and the --shard-worker entry point: one OS process
+// per shard, coordinated exclusively through run-directory files
+// (dist/protocol.hpp).  Layout:
+//
+//   <run_dir>/run.txt            run manifest: study identity (workload,
+//                                scale, configuration indices), tuning
+//                                options, shard ranges, exchange interval
+//   <run_dir>/warm.snap[.ok]     optional warm-start snapshot
+//   <run_dir>/shard<k>/          per-shard: result.bin[.ok] (published
+//                                ShardResult), error.txt, log.txt
+//   <run_dir>/exchange/          mailbox: s<k>_r<j>.snap[.ok] round deltas,
+//                                s<k>.done final round-count markers
+//   <run_dir>/abort              written by the launcher on fleet failure;
+//                                waiting workers poll it and bail out
+//
+// The launcher never blocks without watching its children: a worker that
+// crashes, stalls past the timeout, or exits without publishing surfaces
+// as a std::runtime_error naming the shard and the kept run directory.
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/executor.hpp"
+#include "dist/protocol.hpp"
+#include "dist/shard_session.hpp"
+#include "util/check.hpp"
+
+namespace critter::dist {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Little binary writer/reader over strings (the ShardResult wire format)
+// ---------------------------------------------------------------------------
+
+constexpr char kResultMagic[8] = {'C', 'R', 'S', 'H', 'R', 'E', 'S', '1'};
+
+struct WireWriter {
+  std::string out;
+  void raw(const void* p, std::size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  }
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    i32(static_cast<std::int32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+};
+
+struct WireReader {
+  const std::string& in;
+  std::size_t pos = 0;
+  void raw(void* p, std::size_t n) {
+    CRITTER_CHECK(pos + n <= in.size(), "shard result: truncated payload");
+    std::memcpy(p, in.data() + pos, n);
+    pos += n;
+  }
+  std::uint8_t u8() { std::uint8_t v; raw(&v, 1); return v; }
+  std::int32_t i32() { std::int32_t v; raw(&v, 4); return v; }
+  std::int64_t i64() { std::int64_t v; raw(&v, 8); return v; }
+  double f64() { double v; raw(&v, 8); return v; }
+  std::string str() {
+    const std::int32_t n = i32();
+    CRITTER_CHECK(n >= 0 && n <= (1 << 20), "shard result: implausible string");
+    std::string s(static_cast<std::size_t>(n), '\0');
+    raw(s.data(), s.size());
+    return s;
+  }
+};
+
+std::string serialize_result(const ShardResult& r) {
+  WireWriter w;
+  w.raw(kResultMagic, sizeof kResultMagic);
+  w.i32(r.range.index);
+  w.i32(r.range.begin);
+  w.i32(r.range.end);
+  w.u8(static_cast<std::uint8_t>(r.mode));
+  w.str(r.strategy);
+  w.i32(r.effective_workers);
+  w.i32(r.batch);
+  w.str(r.fallback_reason);
+  w.i32(r.evaluated);
+  w.i32(r.exchange_rounds);
+  for (std::size_t j = 0; j < r.outcomes.size(); ++j) {
+    const tune::ConfigOutcome& oc = r.outcomes[j];
+    w.i32(oc.config.index);
+    w.u8(oc.evaluated ? 1 : 0);
+    w.u8(oc.pruned ? 1 : 0);
+    w.f64(oc.true_time);
+    w.f64(oc.pred_time);
+    w.f64(oc.err);
+    w.f64(oc.true_comp_time);
+    w.f64(oc.pred_comp_time);
+    w.f64(oc.comp_err);
+    w.f64(oc.sel_wall);
+    w.f64(oc.sel_kernel_time);
+    w.i64(oc.executed);
+    w.i64(oc.skipped);
+    w.i32(oc.samples_used);
+    const tune::ConfigTotals& t = r.totals[j];
+    w.f64(t.tuning_time);
+    w.f64(t.full_time);
+    w.f64(t.kernel_time);
+    w.f64(t.full_kernel_time);
+  }
+  w.u8(r.stats.empty() ? 0 : 1);
+  if (!r.stats.empty()) {
+    std::ostringstream os;
+    r.stats.save(os, core::StatSnapshot::Format::Binary);
+    w.raw(os.str().data(), os.str().size());
+  }
+  return w.out;
+}
+
+/// Parse a published result; `study` rebinds the configurations (the wire
+/// carries only their absolute indices, which must match the launcher's
+/// view of the study).
+ShardResult parse_result(const std::string& payload, const tune::Study& study,
+                         const ShardRange& expect) {
+  WireReader r{payload};
+  char magic[sizeof kResultMagic];
+  r.raw(magic, sizeof magic);
+  CRITTER_CHECK(std::memcmp(magic, kResultMagic, sizeof kResultMagic) == 0,
+                "shard result: bad magic");
+  ShardResult out;
+  out.range.index = r.i32();
+  out.range.begin = r.i32();
+  out.range.end = r.i32();
+  CRITTER_CHECK(out.range.index == expect.index &&
+                    out.range.begin == expect.begin &&
+                    out.range.end == expect.end,
+                "shard result: range does not match the launcher's shard "
+                "plan (stale run directory?)");
+  out.mode = static_cast<tune::SweepMode>(r.u8());
+  out.strategy = r.str();
+  out.effective_workers = r.i32();
+  out.batch = r.i32();
+  out.fallback_reason = r.str();
+  out.evaluated = r.i32();
+  out.exchange_rounds = r.i32();
+  const int n = expect.end - expect.begin;
+  out.outcomes.resize(n);
+  out.totals.resize(n);
+  for (int j = 0; j < n; ++j) {
+    tune::ConfigOutcome& oc = out.outcomes[j];
+    const std::int32_t idx = r.i32();
+    oc.config = study.configs[expect.begin + j];
+    CRITTER_CHECK(idx == oc.config.index,
+                  "shard result: configuration index mismatch — worker and "
+                  "launcher disagree about the study");
+    oc.evaluated = r.u8() != 0;
+    oc.pruned = r.u8() != 0;
+    oc.true_time = r.f64();
+    oc.pred_time = r.f64();
+    oc.err = r.f64();
+    oc.true_comp_time = r.f64();
+    oc.pred_comp_time = r.f64();
+    oc.comp_err = r.f64();
+    oc.sel_wall = r.f64();
+    oc.sel_kernel_time = r.f64();
+    oc.executed = r.i64();
+    oc.skipped = r.i64();
+    oc.samples_used = r.i32();
+    tune::ConfigTotals& t = out.totals[j];
+    t.tuning_time = r.f64();
+    t.full_time = r.f64();
+    t.kernel_time = r.f64();
+    t.full_kernel_time = r.f64();
+  }
+  if (r.u8() != 0) {
+    std::istringstream is(payload.substr(r.pos));
+    out.stats = core::StatSnapshot::load(is);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Run manifest (text key=value lines)
+// ---------------------------------------------------------------------------
+
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+using Manifest = std::map<std::string, std::string>;
+
+std::string manifest_get(const Manifest& m, const std::string& key) {
+  const auto it = m.find(key);
+  CRITTER_CHECK(it != m.end(), "run manifest: missing key '" + key + "'");
+  return it->second;
+}
+
+std::int64_t manifest_int(const Manifest& m, const std::string& key) {
+  return std::strtoll(manifest_get(m, key).c_str(), nullptr, 10);
+}
+
+std::uint64_t manifest_u64(const Manifest& m, const std::string& key) {
+  return std::strtoull(manifest_get(m, key).c_str(), nullptr, 10);
+}
+
+double manifest_double(const Manifest& m, const std::string& key) {
+  return std::strtod(manifest_get(m, key).c_str(), nullptr);
+}
+
+Manifest parse_manifest(const std::string& text) {
+  Manifest m;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    CRITTER_CHECK(eq != std::string::npos,
+                  "run manifest: malformed line '" + line + "'");
+    m[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return m;
+}
+
+std::string build_manifest(const tune::Study& study, bool paper_scale,
+                           const tune::TuneOptions& opt,
+                           const std::vector<ShardRange>& shards,
+                           const ExchangePolicy& exchange, double timeout_s,
+                           bool warm) {
+  std::ostringstream os;
+  os << "workload=" << study.workload << "\n";
+  os << "paper_scale=" << (paper_scale ? 1 : 0) << "\n";
+  os << "nranks=" << study.nranks << "\n";
+  os << "config_indices=";
+  for (std::size_t i = 0; i < study.configs.size(); ++i)
+    os << (i > 0 ? "," : "") << study.configs[i].index;
+  os << "\n";
+  os << "policy=" << static_cast<int>(opt.policy) << "\n";
+  os << "tolerance=" << hex_double(opt.tolerance) << "\n";
+  os << "samples=" << opt.samples << "\n";
+  os << "reset_per_config=" << (opt.reset_per_config ? 1 : 0) << "\n";
+  os << "seed_salt=" << opt.seed_salt << "\n";
+  os << "comp_noise=" << hex_double(opt.comp_noise) << "\n";
+  os << "comm_noise=" << hex_double(opt.comm_noise) << "\n";
+  os << "tilde_capacity=" << opt.tilde_capacity << "\n";
+  os << "extrapolate=" << (opt.extrapolate ? 1 : 0) << "\n";
+  os << "workers=" << opt.workers << "\n";
+  os << "batch=" << opt.batch << "\n";
+  os << "strategy=" << opt.strategy << "\n";
+  for (const auto& [k, v] : opt.strategy_options) {
+    CRITTER_CHECK(v.find('\n') == std::string::npos &&
+                      k.find('\n') == std::string::npos,
+                  "strategy options must be single-line");
+    os << "strategy_opt." << k << "=" << v << "\n";
+  }
+  os << "exchange_every=" << exchange.every << "\n";
+  os << "nshards=" << shards.size() << "\n";
+  os << "timeout_s=" << hex_double(timeout_s) << "\n";
+  os << "warm_start=" << (warm ? 1 : 0) << "\n";
+  for (const ShardRange& s : shards)
+    os << "shard" << s.index << "=" << s.begin << "," << s.end << "\n";
+  return os.str();
+}
+
+std::vector<int> parse_index_list(const std::string& csv) {
+  std::vector<int> out;
+  std::istringstream is(csv);
+  std::string tok;
+  while (std::getline(is, tok, ','))
+    if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exchange mailbox naming
+// ---------------------------------------------------------------------------
+
+std::string delta_name(int shard, int round) {
+  std::string n = "s";
+  n += std::to_string(shard);
+  n += "_r";
+  n += std::to_string(round);
+  n += ".snap";
+  return n;
+}
+std::string done_name(int shard) {
+  std::string n = "s";
+  n += std::to_string(shard);
+  n += ".done";
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Test-only fault injection: CRITTER_SHARD_FAULT="<index>:<mode>" makes
+/// shard <index> misbehave — "crash-after-batch" kills the process after
+/// its first evaluated batch, "skip-result" finishes the sweep but never
+/// publishes its result.  Exercised by the failure-path tests.
+std::string shard_fault(int index) {
+  const char* spec = std::getenv("CRITTER_SHARD_FAULT");
+  if (spec == nullptr) return {};
+  const std::string s = spec;
+  const auto colon = s.find(':');
+  if (colon == std::string::npos) return {};
+  if (std::atoi(s.substr(0, colon).c_str()) != index) return {};
+  return s.substr(colon + 1);
+}
+
+struct WorkerArgs {
+  std::string run_dir;
+  int shard = -1;
+};
+
+WorkerArgs parse_worker_args(int argc, char** argv) {
+  WorkerArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shard-dir=", 0) == 0) a.run_dir = arg.substr(12);
+    if (arg.rfind("--shard-index=", 0) == 0)
+      a.shard = std::atoi(arg.c_str() + 14);
+  }
+  CRITTER_CHECK(!a.run_dir.empty() && a.shard >= 0,
+                "--shard-worker needs --shard-dir=DIR and --shard-index=N");
+  return a;
+}
+
+tune::Study rebuild_study(const Manifest& m) {
+  const std::string workload = manifest_get(m, "workload");
+  tune::Study study =
+      tune::workload_study(workload, manifest_int(m, "paper_scale") != 0);
+  CRITTER_CHECK(study.nranks == manifest_int(m, "nranks"),
+                "run manifest: study rank count mismatch for " + workload);
+  const std::vector<int> indices =
+      parse_index_list(manifest_get(m, "config_indices"));
+  std::vector<tune::Configuration> configs;
+  configs.reserve(indices.size());
+  for (int idx : indices) {
+    CRITTER_CHECK(idx >= 0 && idx < static_cast<int>(study.configs.size()) &&
+                      study.configs[idx].index == idx,
+                  "run manifest: configuration index " + std::to_string(idx) +
+                      " not in the workload's space");
+    configs.push_back(study.configs[idx]);
+  }
+  study.configs = std::move(configs);
+  return study;
+}
+
+tune::TuneOptions rebuild_options(const Manifest& m) {
+  tune::TuneOptions opt;
+  const std::int64_t policy = manifest_int(m, "policy");
+  CRITTER_CHECK(policy >= 0 && policy < 8, "run manifest: bad policy");
+  opt.policy = static_cast<Policy>(policy);
+  opt.tolerance = manifest_double(m, "tolerance");
+  opt.samples = static_cast<int>(manifest_int(m, "samples"));
+  opt.reset_per_config = manifest_int(m, "reset_per_config") != 0;
+  opt.seed_salt = manifest_u64(m, "seed_salt");
+  opt.comp_noise = manifest_double(m, "comp_noise");
+  opt.comm_noise = manifest_double(m, "comm_noise");
+  opt.tilde_capacity = static_cast<int>(manifest_int(m, "tilde_capacity"));
+  opt.extrapolate = manifest_int(m, "extrapolate") != 0;
+  opt.workers = static_cast<int>(manifest_int(m, "workers"));
+  opt.batch = static_cast<int>(manifest_int(m, "batch"));
+  opt.strategy = manifest_get(m, "strategy");
+  for (const auto& [k, v] : m)
+    if (k.rfind("strategy_opt.", 0) == 0)
+      opt.strategy_options[k.substr(13)] = v;
+  return opt;
+}
+
+ShardRange shard_range_of(const Manifest& m, int shard) {
+  const std::string spec = manifest_get(m, "shard" + std::to_string(shard));
+  int lo = 0, hi = 0;
+  CRITTER_CHECK(std::sscanf(spec.c_str(), "%d,%d", &lo, &hi) == 2,
+                "run manifest: malformed shard range '" + spec + "'");
+  return {shard, lo, hi};
+}
+
+void check_not_aborted(const std::string& run_dir) {
+  if (!file_exists(run_dir + "/abort")) return;
+  std::string why;
+  try {
+    why = read_file(run_dir + "/abort");
+  } catch (...) {
+  }
+  CRITTER_CHECK(false, "run aborted by launcher: " + why);
+}
+
+/// Block until peer `p`'s round-`round` delta is available or provably
+/// absent (the peer finished earlier); returns the delta or an empty
+/// snapshot.  Never waits past `timeout_s` or an abort marker.
+core::StatSnapshot await_peer_delta(const std::string& run_dir, int p,
+                                    int round, double timeout_s) {
+  const std::string exch = run_dir + "/exchange";
+  const double deadline = monotonic_s() + timeout_s;
+  while (true) {
+    if (published(exch, delta_name(p, round))) {
+      const std::string payload = read_published(exch, delta_name(p, round));
+      // Empty payload: the peer session has no shared statistics to trade
+      // (isolated mode) — a published, verifiable nothing.
+      if (payload.empty()) return {};
+      std::istringstream is(payload);
+      return core::StatSnapshot::load(is);
+    }
+    if (published(exch, done_name(p))) {
+      const std::string marker = read_published(exch, done_name(p));
+      int rounds = -1;
+      if (std::sscanf(marker.c_str(), "rounds=%d", &rounds) != 1) rounds = -1;
+      CRITTER_CHECK(rounds >= 0, "stale done marker from shard " +
+                                     std::to_string(p));
+      // The peer publishes every delta before its done marker, so a
+      // visible marker with rounds <= round proves no delta is coming.
+      if (rounds <= round) return {};
+    }
+    check_not_aborted(run_dir);
+    CRITTER_CHECK(monotonic_s() < deadline,
+                  "timed out waiting for shard " + std::to_string(p) +
+                      "'s round-" + std::to_string(round) +
+                      " exchange delta");
+    sleep_ms(5);
+  }
+}
+
+int worker_body(const WorkerArgs& args) {
+  const Manifest m = parse_manifest(read_file(args.run_dir + "/run.txt"));
+  const tune::Study study = rebuild_study(m);
+  tune::TuneOptions opt = rebuild_options(m);
+  const ShardRange range = shard_range_of(m, args.shard);
+  opt.config_begin = range.begin;
+  opt.config_end = range.end;
+  core::StatSnapshot warm;
+  if (manifest_int(m, "warm_start") != 0) {
+    const std::string payload = read_published(args.run_dir, "warm.snap");
+    std::istringstream is(payload);
+    warm = core::StatSnapshot::load(is);
+    opt.warm_start = &warm;
+  }
+  const int nshards = static_cast<int>(manifest_int(m, "nshards"));
+  const int every = static_cast<int>(manifest_int(m, "exchange_every"));
+  const double timeout_s = manifest_double(m, "timeout_s");
+  const std::string shard_dir =
+      args.run_dir + "/shard" + std::to_string(args.shard);
+  const std::string exch = args.run_dir + "/exchange";
+  const std::string fault = shard_fault(args.shard);
+
+  ShardResult result;
+  if (every <= 0 || nshards <= 1) {
+    // No mid-sweep exchange: the plain sweep, so an exchange-off worker is
+    // bit-identical to the legacy in-process shard.
+    if (fault == "crash-after-batch") {
+      // Die genuinely mid-sweep: one batch through a session, then crash.
+      tune::Tuner session(study, opt);
+      session.step();
+      ::_exit(42);
+    }
+    const tune::TuneResult r = tune::run_study(study, opt);
+    result = shard_result_from(r, range);
+  } else {
+    ShardSession ss(study, opt);
+    // An isolated-mode session exports no shared statistics; its rounds
+    // publish empty payloads that peers skip — the same no-op the
+    // in-process executor's absorb of an empty delta performs.
+    const auto publish_delta = [&](int round_no) {
+      const core::StatSnapshot delta = ss.take_delta();
+      std::string payload;
+      if (!delta.empty()) {
+        std::ostringstream os;
+        delta.save(os, core::StatSnapshot::Format::Binary);
+        payload = os.str();
+      }
+      publish_file(exch, delta_name(range.index, round_no), payload);
+    };
+    int in_round = 0, round = 0, total = 0;
+    while (true) {
+      check_not_aborted(args.run_dir);
+      if (ss.run_segment(1) == 0) break;
+      ++total;
+      if (fault == "crash-after-batch" && total == 1) ::_exit(42);
+      if (++in_round < every) continue;
+      // Publish this shard's round delta, then fold in every peer's, in
+      // ascending shard order (the determinism contract).
+      publish_delta(round);
+      for (int p = 0; p < nshards; ++p) {
+        if (p == range.index) continue;
+        const core::StatSnapshot peer =
+            await_peer_delta(args.run_dir, p, round, timeout_s);
+        if (!peer.empty()) ss.absorb(peer);
+      }
+      ss.refresh_mark();
+      ++round;
+      in_round = 0;
+    }
+    if (in_round > 0) {
+      // Trailing partial round: publish so peers still sweeping see it;
+      // a finished shard reads no more peers.
+      publish_delta(round);
+      ++round;
+    }
+    publish_file(exch, done_name(range.index),
+                 "rounds=" + std::to_string(round) + "\n");
+    result = ss.result(range);
+  }
+
+  if (fault == "skip-result") return 0;
+  publish_file(shard_dir, "result.bin", serialize_result(result));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Launcher side
+// ---------------------------------------------------------------------------
+
+std::string self_binary() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  CRITTER_CHECK(n > 0, "cannot resolve /proc/self/exe for worker re-exec");
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+bool detect_paper_scale(const tune::Study& study) {
+  for (const bool scale : {false, true}) {
+    const tune::Study ref = tune::workload_study(study.workload, scale);
+    if (ref.nranks == study.nranks && ref.m == study.m &&
+        ref.n == study.n && ref.space.size() == study.space.size())
+      return scale;
+  }
+  CRITTER_CHECK(false,
+                "subprocess executor cannot reconstruct study '" +
+                    study.name + "' from workload '" + study.workload +
+                    "' at either scale — tune it in-process instead");
+  return false;
+}
+
+pid_t spawn_worker(const std::string& binary, const std::string& run_dir,
+                   int shard) {
+  const pid_t pid = ::fork();
+  CRITTER_CHECK(pid >= 0, "fork failed for shard worker");
+  if (pid > 0) return pid;
+  // Child: capture output, then become the worker.
+  const std::string log =
+      run_dir + "/shard" + std::to_string(shard) + "/log.txt";
+  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd >= 0) {
+    ::dup2(fd, 1);
+    ::dup2(fd, 2);
+    ::close(fd);
+  }
+  const std::string dir_arg = "--shard-dir=" + run_dir;
+  const std::string idx_arg = "--shard-index=" + std::to_string(shard);
+  const char* argv[] = {binary.c_str(), "--shard-worker", dir_arg.c_str(),
+                        idx_arg.c_str(), nullptr};
+  ::execv(binary.c_str(), const_cast<char* const*>(argv));
+  std::fprintf(stderr, "execv %s failed: %s\n", binary.c_str(),
+               std::strerror(errno));
+  ::_exit(127);
+}
+
+std::string describe_exit(int status) {
+  if (WIFEXITED(status))
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  if (WIFSIGNALED(status))
+    return std::string("killed by signal ") + std::to_string(WTERMSIG(status));
+  return "ended abnormally";
+}
+
+std::string shard_diagnosis(const std::string& run_dir, int shard) {
+  const std::string base = run_dir + "/shard" + std::to_string(shard);
+  for (const char* name : {"/error.txt", "/log.txt"}) {
+    if (!file_exists(base + name)) continue;
+    std::string text;
+    try {
+      text = read_file(base + name);
+    } catch (...) {
+      continue;
+    }
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+      text.pop_back();
+    if (!text.empty()) return text;
+  }
+  return "(no diagnostics recorded)";
+}
+
+struct Child {
+  pid_t pid = -1;
+  int shard = -1;
+  bool running = true;
+  int status = 0;
+};
+
+/// Reap children until all exited, the deadline passes, or one fails.  On
+/// failure/timeout: write the abort marker (so peers blocked in exchange
+/// waits bail out), give the rest a grace period, SIGKILL stragglers, and
+/// throw the diagnosis.
+void monitor_fleet(std::vector<Child>& fleet, const std::string& run_dir,
+                   double timeout_s) {
+  const double deadline = monotonic_s() + timeout_s;
+  auto poll = [&]() {
+    for (Child& c : fleet) {
+      if (!c.running) continue;
+      int status = 0;
+      const pid_t got = ::waitpid(c.pid, &status, WNOHANG);
+      if (got == c.pid) {
+        c.running = false;
+        c.status = status;
+      }
+    }
+  };
+  auto first_failure = [&]() -> const Child* {
+    for (const Child& c : fleet)
+      if (!c.running && c.status != 0) return &c;
+    return nullptr;
+  };
+  auto any_running = [&]() {
+    for (const Child& c : fleet)
+      if (c.running) return true;
+    return false;
+  };
+
+  std::string failure;
+  while (true) {
+    poll();
+    if (const Child* bad = first_failure()) {
+      failure = "shard worker " + std::to_string(bad->shard) + " (pid " +
+                std::to_string(bad->pid) + ") " + describe_exit(bad->status) +
+                ": " + shard_diagnosis(run_dir, bad->shard);
+      break;
+    }
+    if (!any_running()) return;
+    if (monotonic_s() > deadline) {
+      failure = "timed out after " + std::to_string(timeout_s) +
+                "s waiting for shard workers";
+      break;
+    }
+    sleep_ms(10);
+  }
+
+  write_file(run_dir + "/abort", failure + "\n");
+  const double grace_deadline = monotonic_s() + 10.0;
+  while (any_running() && monotonic_s() < grace_deadline) {
+    poll();
+    sleep_ms(10);
+  }
+  for (Child& c : fleet)
+    if (c.running) ::kill(c.pid, SIGKILL);
+  while (any_running()) {
+    poll();
+    sleep_ms(5);
+  }
+  CRITTER_CHECK(false, failure + " — run directory kept at " + run_dir);
+}
+
+}  // namespace
+
+std::vector<ShardResult> SubprocessExecutor::run(
+    const tune::Study& study, const tune::TuneOptions& opt,
+    const std::vector<ShardRange>& shards, const ExchangePolicy& exchange) {
+  CRITTER_CHECK(!study.workload.empty(),
+                "subprocess executor requires a registry workload "
+                "(Study::workload) so shard workers can rebuild the study; "
+                "ad-hoc studies can only run in-process");
+  const bool paper_scale = detect_paper_scale(study);
+  const std::string binary =
+      opts_.worker_binary.empty() ? self_binary() : opts_.worker_binary;
+
+  const bool temp_dir = opts_.run_dir.empty();
+  const std::string run_dir =
+      temp_dir ? make_temp_dir("critter-run-") : opts_.run_dir;
+  if (!temp_dir) {
+    make_dir(run_dir);
+    CRITTER_CHECK(!file_exists(run_dir + "/run.txt"),
+                  "run directory " + run_dir +
+                      " already holds a run manifest (stale run "
+                      "directory?) — point --run-dir at a fresh one");
+  }
+  make_dir(run_dir + "/exchange");
+  for (const ShardRange& s : shards)
+    make_dir(run_dir + "/shard" + std::to_string(s.index));
+
+  if (opt.warm_start != nullptr && !opt.warm_start->empty()) {
+    std::ostringstream os;
+    opt.warm_start->save(os, core::StatSnapshot::Format::Binary);
+    publish_file(run_dir, "warm.snap", os.str());
+  }
+  const bool warm = opt.warm_start != nullptr && !opt.warm_start->empty();
+  write_file(run_dir + "/run.txt",
+             build_manifest(study, paper_scale, opt, shards, exchange,
+                            opts_.timeout_s, warm));
+
+  std::vector<Child> fleet;
+  fleet.reserve(shards.size());
+  for (const ShardRange& s : shards)
+    fleet.push_back({spawn_worker(binary, run_dir, s.index), s.index});
+
+  monitor_fleet(fleet, run_dir, opts_.timeout_s);
+
+  std::vector<ShardResult> results;
+  results.reserve(shards.size());
+  for (const ShardRange& s : shards) {
+    const std::string shard_dir = run_dir + "/shard" + std::to_string(s.index);
+    try {
+      results.push_back(
+          parse_result(read_published(shard_dir, "result.bin"), study, s));
+    } catch (const std::exception& e) {
+      throw std::runtime_error(
+          "shard worker " + std::to_string(s.index) +
+          " exited cleanly but its result snapshot is unusable (" + e.what() +
+          ") — run directory kept at " + run_dir);
+    }
+  }
+  if (temp_dir && !opts_.keep_run_dir) remove_dir_tree(run_dir);
+  return results;
+}
+
+bool is_shard_worker(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--shard-worker") == 0) return true;
+  return false;
+}
+
+int shard_worker_main(int argc, char** argv) {
+  WorkerArgs args;
+  try {
+    args = parse_worker_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  try {
+    return worker_body(args);
+  } catch (const std::exception& e) {
+    try {
+      write_file(args.run_dir + "/shard" + std::to_string(args.shard) +
+                     "/error.txt",
+                 std::string(e.what()) + "\n");
+    } catch (...) {
+    }
+    std::fprintf(stderr, "shard worker %d failed: %s\n", args.shard, e.what());
+    return 1;
+  }
+}
+
+}  // namespace critter::dist

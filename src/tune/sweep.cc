@@ -125,6 +125,30 @@ void SweepDriver::import_stats(const core::StatSnapshot& snap) {
     for (core::KernelTable& t : base_.ranks) t.clear_statistics();
 }
 
+void SweepDriver::merge_stats(const core::StatSnapshot& delta) {
+  if (delta.empty()) return;
+  if (plan_.mode == SweepMode::ParallelIsolated) return;
+  CRITTER_CHECK(delta.nranks() == study_.nranks,
+                "merged delta rank count does not match study");
+  const core::StatSnapshot* d = &delta;
+  core::StatSnapshot reduced;
+  if (reset_) {
+    // Per-configuration statistics never cross configurations in reset
+    // mode; only the reset-surviving state (channels, size model) may
+    // enter the shared base — the same rule import_stats applies.
+    reduced = delta;
+    for (core::KernelTable& t : reduced.ranks) t.clear_statistics();
+    d = &reduced;
+  }
+  if (plan_.mode == SweepMode::Serial) {
+    core::StatSnapshot s = store_->snapshot();
+    s.merge(*d);
+    store_->restore(s);
+  } else {  // BatchShared
+    base_.merge(*d);
+  }
+}
+
 void SweepDriver::run_batch(const std::vector<int>& batch,
                             const EvalControl& ctl,
                             std::vector<ConfigOutcome>& out,

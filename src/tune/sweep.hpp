@@ -68,6 +68,14 @@ class SweepDriver {
   /// statistics and ignore the snapshot.
   void import_stats(const core::StatSnapshot& snap);
 
+  /// Fold a delta into the shared statistics between batches: the
+  /// distributed executors' mid-sweep exchange hook (a peer shard's
+  /// published delta).  Deterministic — a pure KernelTable::merge in call
+  /// order.  Reset-mode sweeps keep only the reset-surviving state of the
+  /// delta (channels, size model), mirroring import_stats; isolated sweeps
+  /// have no shared statistics and ignore it.
+  void merge_stats(const core::StatSnapshot& delta);
+
  private:
   struct Plan {
     SweepMode mode = SweepMode::Serial;

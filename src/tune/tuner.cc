@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "dist/executor.hpp"
 #include "tune/evaluator.hpp"
 #include "tune/strategy.hpp"
 #include "tune/sweep.hpp"
@@ -192,6 +193,13 @@ void Tuner::import_state(const core::StatSnapshot& snap) {
   driver_->import_stats(snap);
 }
 
+void Tuner::merge_state(const core::StatSnapshot& delta) {
+  CRITTER_CHECK(!asked_,
+                "merge_state() with a batch claimed — exchange deltas may "
+                "only fold in between tell() and the next ask()");
+  driver_->merge_stats(delta);
+}
+
 SweepMode Tuner::mode() const { return driver_->mode(); }
 int Tuner::config_begin() const { return driver_->config_begin(); }
 int Tuner::config_end() const { return driver_->config_end(); }
@@ -231,67 +239,10 @@ TuneResult run_study(const Study& study, const TuneOptions& opt) {
 
 TuneResult merge_shards(const Study& study, const TuneOptions& opt,
                         int nshards) {
-  CRITTER_CHECK(nshards >= 1, "merge_shards needs at least one shard");
-  const int nconf = static_cast<int>(study.configs.size());
-  const int begin = std::clamp(opt.config_begin, 0, nconf);
-  const int end =
-      opt.config_end < 0 ? nconf : std::clamp(opt.config_end, begin, nconf);
-  const int range_n = end - begin;
-
-  TuneResult out;
-  out.per_config.resize(nconf);
-  for (int i = 0; i < nconf; ++i) out.per_config[i].config = study.configs[i];
-  out.per_config_totals.resize(nconf);
-  out.shards = nshards;
-  out.requested_workers = std::max(1, opt.workers);
-
-  bool first_shard = true;
-  for (int s = 0; s < nshards; ++s) {
-    // Contiguous balanced partition; noise salts stay indexed by absolute
-    // configuration index, so each shard reproduces exactly the samples
-    // the unsharded sweep would draw for its range.
-    const int lo = begin + static_cast<int>(
-                               static_cast<std::int64_t>(range_n) * s / nshards);
-    const int hi = begin + static_cast<int>(static_cast<std::int64_t>(range_n) *
-                                            (s + 1) / nshards);
-    if (lo >= hi) continue;
-    TuneOptions shard_opt = opt;
-    shard_opt.config_begin = lo;
-    shard_opt.config_end = hi;
-    const TuneResult r = run_study(study, shard_opt);
-
-    for (int i = lo; i < hi; ++i) {
-      out.per_config[i] = r.per_config[i];
-      out.per_config_totals[i] = r.per_config_totals[i];
-    }
-    out.evaluated_configs += r.evaluated_configs;
-    if (first_shard) {
-      out.mode = r.mode;
-      out.strategy = r.strategy;
-      out.effective_workers = r.effective_workers;
-      out.batch = r.batch;
-      out.fallback_reason = r.fallback_reason;
-      out.stats = r.stats;
-      first_shard = false;
-    } else if (!r.stats.empty()) {
-      // Deterministic fold in shard order (see core/stat_store.hpp's merge
-      // contract): every shard's statistics are counted exactly once.
-      if (out.stats.empty())
-        out.stats = r.stats;
-      else
-        out.stats.merge(r.stats);
-    }
-  }
-  // Reduce the aggregates in configuration order over the whole range, the
-  // association an unsharded sweep uses — so an isolated sharded sweep's
-  // aggregates are bit-identical to it, not merely equal to rounding.
-  for (const ConfigTotals& t : out.per_config_totals) {
-    out.tuning_time += t.tuning_time;
-    out.full_time += t.full_time;
-    out.kernel_time += t.kernel_time;
-    out.full_kernel_time += t.full_kernel_time;
-  }
-  return out;
+  // The legacy semantics exactly: sequential in-process shards, statistics
+  // exchanged only through the final fold.
+  dist::InProcessExecutor exec;
+  return dist::run_sharded(study, opt, nshards, exec);
 }
 
 }  // namespace critter::tune

@@ -149,7 +149,14 @@ struct TuneResult {
   int requested_workers = 1;
   int effective_workers = 1;
   int batch = 0;               ///< batch size used (batch-shared sweeps)
-  int shards = 0;              ///< >0 when produced by merge_shards()
+  int shards = 0;              ///< >0 when produced by a sharded run
+  /// Executor a sharded run used ("in-process" / "subprocess"; empty for
+  /// unsharded sweeps) and its mid-sweep exchange schedule: the interval in
+  /// batches (0 = final-fold only) and the total delta-publish rounds the
+  /// shards performed.
+  std::string executor;
+  int exchange_every = 0;
+  int exchange_rounds = 0;
   int evaluated_configs = 0;   ///< configurations actually evaluated
   /// Non-empty when fewer workers engaged than requested, with the reason.
   std::string fallback_reason;
@@ -221,6 +228,13 @@ class Tuner {
   /// warm_start contract).
   void import_state(const core::StatSnapshot& snap);
 
+  /// Fold a peer's statistics delta into the session mid-sweep — the
+  /// distributed executors' periodic-exchange hook.  Legal between tell()
+  /// and the next ask() (never with a batch claimed: the claimed batch's
+  /// evaluation must be a pure function of the statistics ask() saw).
+  /// Isolated sessions ignore it, like import_state().
+  void merge_state(const core::StatSnapshot& delta);
+
   const Study& study() const { return study_; }
   const TuneOptions& options() const { return opt_; }
   SweepMode mode() const;
@@ -260,6 +274,12 @@ TuneResult run_study(const Study& study, const TuneOptions& opt);
 /// shard independence — each shard grows its own statistics, exactly as
 /// separate processes would — and the merged snapshot is still a
 /// deterministic function of (study, options, nshards).
+///
+/// This facade runs the shards sequentially in-process with no mid-sweep
+/// exchange; dist/executor.hpp's run_sharded() is the general form — pick
+/// an executor (in-process, optionally thread-parallel across shards, or
+/// one worker process per shard) and a periodic-exchange interval, with
+/// this exact fold as its exchange-off behavior.
 TuneResult merge_shards(const Study& study, const TuneOptions& opt,
                         int nshards);
 

@@ -1,0 +1,22 @@
+// FNV-1a over a byte range — the one checksum both file-format layers use
+// (stat-snapshot rank chunks, run-directory publish manifests).  Not
+// cryptographic: it guards against truncation, torn writes, and bit rot,
+// not adversaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace critter::util {
+
+inline std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace critter::util
