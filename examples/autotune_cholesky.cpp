@@ -8,12 +8,22 @@
 //                       [--workers=4] [--batch=4]
 //                       [--shards=2] [--exchange-every=4]
 //                       [--executor=subprocess|in-process]
+//                       [--prior=FILE] [--save-stats=FILE]
 //
 // --help lists the registered workloads and strategies.  Prints the
 // per-configuration predictions, the exhaustive-search cost with and
 // without selective execution, the selected configuration, and the
 // effective sweep mode (serial / parallel-isolated / parallel-batch-shared
 // — never a silent fallback).
+//
+// --save-stats=FILE persists the sweep's final statistics snapshot;
+// --prior=FILE feeds one to the model-based strategies — so the transfer
+// workflow (tune a small problem, save its snapshot, use it as the prior
+// for a large problem) runs end-to-end from the CLI:
+//
+//   ./autotune_cholesky --save-stats=small.snap
+//   CRITTER_PAPER_SCALE=1 ./autotune_cholesky \
+//       --strategy=copula-transfer --prior=small.snap
 //
 // --shards=N fans the sweep across N shards through a dist::ShardExecutor;
 // the default executor for N > 1 is "subprocess" (one worker process per
@@ -61,7 +71,9 @@ int main(int argc, char** argv) {
                 "[--samples=N]\n"
                 "                         [--workers=N] [--batch=N]\n"
                 "                         [--shards=N] [--exchange-every=B] "
-                "[--executor=subprocess|in-process]\n\n%s",
+                "[--executor=subprocess|in-process]\n"
+                "                         [--prior=FILE] [--save-stats=FILE]"
+                "\n\n%s",
                 tune::registry_help().c_str());
     return 0;
   }
@@ -73,6 +85,7 @@ int main(int argc, char** argv) {
   topt.batch = static_cast<int>(opt.get_int("batch", 0));
   std::tie(topt.strategy, topt.strategy_options) =
       tune::parse_strategy_spec(opt.get("strategy", "exhaustive"));
+  topt.prior_file = opt.get("prior", "");
 
   const tune::Study study = tune::workload_study(
       opt.get("workload", "capital-cholesky"), critter::util::paper_scale());
@@ -122,5 +135,17 @@ int main(int argc, char** argv) {
               r.best_predicted(),
               r.per_config[r.best_predicted()].config.label().c_str(),
               r.best_true(), 100.0 * r.selection_quality());
+
+  const std::string save_stats = opt.get("save-stats", "");
+  if (!save_stats.empty()) {
+    if (r.stats.empty())
+      std::printf("not saving %s: the sweep kept no shared statistics "
+                  "(isolated-parallel mode)\n", save_stats.c_str());
+    else {
+      r.stats.save_file(save_stats);
+      std::printf("saved statistics snapshot to %s (reusable via --prior or "
+                  "as a warm start)\n", save_stats.c_str());
+    }
+  }
   return 0;
 }

@@ -6,12 +6,20 @@
 //                 [--workers=4] [--batch=4]
 //                 [--shards=2] [--exchange-every=4]
 //                 [--executor=subprocess|in-process]
+//                 [--prior=FILE] [--save-stats=FILE] [--reset=0|1]
 //
 // --help lists the registered workloads and strategies.  Demonstrates the
 // paper's observation that CANDMC's shrinking trailing matrix creates many
 // distinct kernel signatures, limiting the end-to-end speedup while kernel
 // execution time itself drops sharply.  --shards/--exchange-every fan the
 // sweep across shard processes (see autotune_cholesky for details).
+//
+// --prior=FILE / --save-stats=FILE run the transfer-tuning workflow (tune
+// small, save the snapshot, prior a bigger sweep — see autotune_cholesky).
+// The paper's QR protocol resets statistics per configuration, so its
+// snapshot keeps no kernel runtime moments to transfer (copula-transfer
+// would degrade to random-subset); pass --reset=0 to sweep with persistent
+// statistics when producing a prior.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -37,7 +45,9 @@ int main(int argc, char** argv) {
                 "[--samples=N]\n"
                 "                   [--workers=N] [--batch=N]\n"
                 "                   [--shards=N] [--exchange-every=B] "
-                "[--executor=subprocess|in-process]\n\n%s",
+                "[--executor=subprocess|in-process]\n"
+                "                   [--prior=FILE] [--save-stats=FILE] "
+                "[--reset=0|1]\n\n%s",
                 tune::registry_help().c_str());
     return 0;
   }
@@ -51,9 +61,12 @@ int main(int argc, char** argv) {
   topt.samples = static_cast<int>(opt.get_int("samples", 1));
   topt.workers = static_cast<int>(opt.get_int("workers", 1));
   topt.batch = static_cast<int>(opt.get_int("batch", 0));
-  topt.reset_per_config = true;  // paper protocol for CANDMC
+  // Paper protocol for CANDMC resets statistics per configuration;
+  // --reset=0 keeps them persistent (required to --save-stats a prior).
+  topt.reset_per_config = opt.get_int("reset", 1) != 0;
   std::tie(topt.strategy, topt.strategy_options) =
       tune::parse_strategy_spec(opt.get("strategy", "exhaustive"));
+  topt.prior_file = opt.get("prior", "");
 
   const tune::Study study = tune::workload_study(
       opt.get("workload", "candmc-qr"), critter::util::paper_scale());
@@ -96,5 +109,18 @@ int main(int argc, char** argv) {
               r.tuning_time, r.full_time, r.full_time / r.tuning_time,
               r.full_kernel_time / std::max(r.kernel_time, 1e-300),
               r.best_predicted(), r.best_true());
+
+  const std::string save_stats = opt.get("save-stats", "");
+  if (!save_stats.empty()) {
+    if (r.stats.empty())
+      std::printf("not saving %s: the sweep kept no shared statistics "
+                  "(reset/isolated mode — pass --reset=0)\n",
+                  save_stats.c_str());
+    else {
+      r.stats.save_file(save_stats);
+      std::printf("saved statistics snapshot to %s (reusable via --prior or "
+                  "as a warm start)\n", save_stats.c_str());
+    }
+  }
   return 0;
 }

@@ -1073,6 +1073,46 @@ StatSnapshot StatSnapshot::load(std::istream& is) {
   return load_json(buf.str());
 }
 
+KernelStats moments_to_stats(const KernelMoments& m) {
+  KernelStats ks;
+  ks.n = m.n;
+  ks.mean = m.mean;
+  ks.m2 = m.n > 1 ? m.variance * static_cast<double>(m.n - 1) : 0.0;
+  return ks;
+}
+
+KernelMoments stats_to_moments(const KernelKey& key, const KernelStats& ks) {
+  KernelMoments m;
+  m.key = key;
+  m.n = ks.n;
+  m.mean = ks.mean;
+  m.variance = ks.n > 1 ? ks.m2 / static_cast<double>(ks.n - 1) : 0.0;
+  return m;
+}
+
+std::vector<KernelMoments> extract_moments(const StatSnapshot& snap) {
+  // Fold rank tables in rank order; per-key the fold is a Chan moment
+  // merge, so the pooled moments are a pure function of the snapshot.
+  std::unordered_map<std::uint64_t, std::pair<KernelKey, KernelStats>> pooled;
+  for (const KernelTable& t : snap.ranks) {
+    for (const auto* kv : sorted_kernels(t)) {
+      if (kv->second.n == 0) continue;
+      auto [it, inserted] =
+          pooled.try_emplace(kv->first.hash(), kv->first, KernelStats{});
+      it->second.second.merge(kv->second);
+    }
+  }
+  std::vector<KernelMoments> out;
+  out.reserve(pooled.size());
+  for (const auto& [hash, entry] : pooled)
+    out.push_back(stats_to_moments(entry.first, entry.second));
+  std::sort(out.begin(), out.end(),
+            [](const KernelMoments& a, const KernelMoments& b) {
+              return a.key.hash() < b.key.hash();
+            });
+  return out;
+}
+
 StatSnapshot StatSnapshot::load_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   CRITTER_CHECK(is.is_open(), "stat snapshot: cannot open " + path);

@@ -143,6 +143,30 @@ struct StatSnapshot {
   static StatSnapshot load_file(const std::string& path);
 };
 
+/// One kernel's pooled runtime moments, extracted read-only from a
+/// snapshot: the per-rank Welford accumulators of the same key merged
+/// across ranks (Chan), so `n`/`mean`/`variance` describe every timing
+/// sample any rank holds for that kernel.  The surrogate-model subsystem
+/// consumes this as its transfer prior (DESIGN.md §9).
+struct KernelMoments {
+  KernelKey key;
+  std::int64_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Deterministic read-only moment extraction: every registered kernel's
+/// pooled moments, ranks folded in rank order and the result sorted by
+/// ascending key hash.  Does not modify the snapshot; kernels with no
+/// timing samples (n == 0) are omitted.
+std::vector<KernelMoments> extract_moments(const StatSnapshot& snap);
+
+/// KernelMoments <-> KernelStats conversion (m2 = variance * (n - 1)), so
+/// pooled-moment records merge through the one Welford/Chan implementation
+/// instead of re-deriving the moment algebra at every call site.
+KernelStats moments_to_stats(const KernelMoments& m);
+KernelMoments stats_to_moments(const KernelKey& key, const KernelStats& ks);
+
 /// Cross-version migration scaffolding: a hook registered for version `v`
 /// upgrades a snapshot decoded with version v's physical layout to the
 /// current version's semantics.  load() consults the registry whenever it

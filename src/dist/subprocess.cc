@@ -263,10 +263,17 @@ std::string build_manifest(const tune::Study& study, bool paper_scale,
                   "strategy options must be single-line");
     os << "strategy_opt." << k << "=" << v << "\n";
   }
+  CRITTER_CHECK(opt.prior_file.find('\n') == std::string::npos,
+                "prior_file must be single-line");
+  os << "prior_file=" << opt.prior_file << "\n";
   os << "exchange_every=" << exchange.every << "\n";
   os << "nshards=" << shards.size() << "\n";
   os << "timeout_s=" << hex_double(timeout_s) << "\n";
   os << "warm_start=" << (warm ? 1 : 0) << "\n";
+  // An in-memory model prior travels as a published snapshot, exactly like
+  // the warm start (the worker cannot see the launcher's memory).
+  os << "prior_snap=" << (opt.prior != nullptr && !opt.prior->empty() ? 1 : 0)
+     << "\n";
   for (const ShardRange& s : shards)
     os << "shard" << s.index << "=" << s.begin << "," << s.end << "\n";
   return os.str();
@@ -376,6 +383,7 @@ tune::TuneOptions rebuild_options(const Manifest& m) {
   for (const auto& [k, v] : m)
     if (k.rfind("strategy_opt.", 0) == 0)
       opt.strategy_options[k.substr(13)] = v;
+  opt.prior_file = manifest_get(m, "prior_file");
   return opt;
 }
 
@@ -445,6 +453,13 @@ int worker_body(const WorkerArgs& args) {
     std::istringstream is(payload);
     warm = core::StatSnapshot::load(is);
     opt.warm_start = &warm;
+  }
+  core::StatSnapshot prior;
+  if (manifest_int(m, "prior_snap") != 0) {
+    const std::string payload = read_published(args.run_dir, "prior.snap");
+    std::istringstream is(payload);
+    prior = core::StatSnapshot::load(is);
+    opt.prior = &prior;
   }
   const int nshards = static_cast<int>(manifest_int(m, "nshards"));
   const int every = static_cast<int>(manifest_int(m, "exchange_every"));
@@ -691,6 +706,11 @@ std::vector<ShardResult> SubprocessExecutor::run(
     std::ostringstream os;
     opt.warm_start->save(os, core::StatSnapshot::Format::Binary);
     publish_file(run_dir, "warm.snap", os.str());
+  }
+  if (opt.prior != nullptr && !opt.prior->empty()) {
+    std::ostringstream os;
+    opt.prior->save(os, core::StatSnapshot::Format::Binary);
+    publish_file(run_dir, "prior.snap", os.str());
   }
   const bool warm = opt.warm_start != nullptr && !opt.warm_start->empty();
   write_file(run_dir + "/run.txt",

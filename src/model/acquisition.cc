@@ -1,0 +1,52 @@
+#include "model/acquisition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "util/check.hpp"
+
+namespace critter::model {
+
+double normal_quantile(double p) {
+  CRITTER_CHECK(p > 0.0 && p < 1.0, "normal_quantile needs p in (0,1)");
+  if (p == 0.5) return 0.0;
+  // Phi^-1(p) in terms of the two-sided critical value: P(|Z| < z) = c
+  // gives z = Phi^-1((1 + c) / 2).
+  return p > 0.5 ? core::normal_quantile_two_sided(2.0 * p - 1.0)
+                 : -core::normal_quantile_two_sided(1.0 - 2.0 * p);
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / 1.4142135623730951);
+}
+
+double expected_improvement(const Prediction& p, double best) {
+  const double imp = best - p.mean;
+  if (!(p.stddev > 0.0)) return std::max(imp, 0.0);
+  const double z = imp / p.stddev;
+  const double pdf = 0.3989422804014327 * std::exp(-0.5 * z * z);
+  return std::max(p.stddev * (z * normal_cdf(z) + pdf), 0.0);
+}
+
+double lower_confidence_bound_score(const Prediction& p, double z) {
+  return -(p.mean - z * p.stddev);
+}
+
+std::vector<int> rank_by_acquisition(std::vector<ScoredCandidate> scored,
+                                     int k) {
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.index < b.index;
+            });
+  if (k >= 0 && static_cast<std::size_t>(k) < scored.size())
+    scored.resize(static_cast<std::size_t>(k));
+  std::vector<int> out;
+  out.reserve(scored.size());
+  for (const ScoredCandidate& c : scored) out.push_back(c.index);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace critter::model

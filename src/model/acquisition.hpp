@@ -1,0 +1,47 @@
+// Acquisition functions over Surrogate predictions: how a model-based
+// strategy converts posterior (mean, stddev) into a preference over
+// unevaluated configurations.  Both are standard Bayesian-optimization
+// forms for a *minimized* objective, computed with the same normal-quantile
+// machinery the Evaluator's CI early-discard uses (core/stats.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/surrogate.hpp"
+
+namespace critter::model {
+
+/// One-sided standard-normal quantile Phi^-1(p), composed from the
+/// profiler's two-sided normal_quantile_two_sided (p in (0,1)).
+double normal_quantile(double p);
+
+/// Standard normal CDF Phi(z).
+double normal_cdf(double z);
+
+/// Expected improvement of `p` over the incumbent `best` (lower is better):
+/// E[max(best - Y, 0)] for Y ~ N(p.mean, p.stddev^2).  With stddev == 0
+/// this degenerates to max(best - mean, 0).  Non-negative; higher is a more
+/// promising configuration.
+double expected_improvement(const Prediction& p, double best);
+
+/// Lower confidence bound mean - z * stddev: the optimistic runtime at
+/// confidence z (e.g. normal_quantile_two_sided(0.95) == the Evaluator's
+/// default CI width).  Returned negated so that — like EI — a *higher*
+/// score means a more promising configuration.
+double lower_confidence_bound_score(const Prediction& p, double z);
+
+/// One candidate's acquisition score (higher = evaluate sooner) with the
+/// configuration index used for deterministic tie-breaking.
+struct ScoredCandidate {
+  double score = 0.0;
+  int index = 0;
+};
+
+/// The `k` best candidates by descending score, ties broken by ascending
+/// configuration index (the determinism contract's tie-break rule), then
+/// sorted ascending by index — the order strategy batches must be in.
+std::vector<int> rank_by_acquisition(std::vector<ScoredCandidate> scored,
+                                     int k);
+
+}  // namespace critter::model

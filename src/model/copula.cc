@@ -1,0 +1,212 @@
+#include "model/copula.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/signature.hpp"
+#include "core/stats.hpp"
+#include "model/acquisition.hpp"
+#include "util/check.hpp"
+
+namespace critter::model {
+
+namespace {
+
+constexpr double kTinyTime = 1e-300;
+
+/// The signature dimensions a kernel exposes as parameter-value evidence:
+/// input sizes for compute kernels (dims[3] packs option flags, skipped),
+/// the message byte count for communication kernels.
+template <class F>
+void for_each_size(const core::KernelKey& key, const F& f) {
+  if (core::is_comm_kernel(key.cls)) {
+    if (key.dims[0] > 0) f(key.dims[0]);
+    return;
+  }
+  for (int i = 0; i < 3; ++i)
+    if (key.dims[i] > 0) f(key.dims[i]);
+}
+
+}  // namespace
+
+GaussianCopulaSurrogate::GaussianCopulaSurrogate(
+    const std::vector<tune::Configuration>& candidates, double prior_weight)
+    : prior_weight_(std::max(prior_weight, 0.0)), candidates_(candidates) {
+  CRITTER_CHECK(!candidates_.empty(),
+                "copula surrogate needs a non-empty candidate list");
+  ndims_ = candidates_.front().params.size();
+  for (const tune::Configuration& cfg : candidates_)
+    CRITTER_CHECK(cfg.params.size() == ndims_,
+                  "candidate configurations disagree on dimension count");
+}
+
+void GaussianCopulaSurrogate::ingest_prior(const core::StatSnapshot& snap) {
+  // Chan-merge the snapshot's pooled moments into the running profile; the
+  // extraction is sorted by key hash and the profile map iterates sorted,
+  // so repeated ingestion (warm file, then exchange deltas in fold order)
+  // is deterministic.
+  for (const core::KernelMoments& m : core::extract_moments(snap)) {
+    auto [it, inserted] = prior_kernels_.try_emplace(m.key.hash(), m);
+    if (!inserted) {
+      core::KernelStats acc = core::moments_to_stats(it->second);
+      acc.merge(core::moments_to_stats(m));
+      it->second = core::stats_to_moments(m.key, acc);
+    }
+  }
+
+  // Rebuild the marginal fits from the merged profile (ascending hash).
+  value_logtime_.clear();
+  prior_samples_ = 0;
+  double lw = 0, ls = 0, lss = 0;       // count-weighted log-runtime moments
+  double sn = 0, sx = 0, sy = 0, sxx = 0, sxy = 0;  // log-size OLS
+  for (const auto& [hash, m] : prior_kernels_) {
+    const double w = static_cast<double>(m.n);
+    const double logt = std::log(std::max(m.mean, kTinyTime));
+    prior_samples_ += m.n;
+    lw += w;
+    ls += w * logt;
+    lss += w * logt * logt;
+    for_each_size(m.key, [&](std::int64_t size) {
+      auto& [wsum, weight] = value_logtime_[size];
+      wsum += w * logt;
+      weight += w;
+      const double x = std::log(static_cast<double>(size));
+      sn += w;
+      sx += w * x;
+      sy += w * logt;
+      sxx += w * x * x;
+      sxy += w * x * logt;
+    });
+  }
+  prior_mu_ = lw > 0 ? ls / lw : 0.0;
+  prior_sd_ =
+      lw > 1 ? std::sqrt(std::max(lss - ls * ls / lw, 0.0) / (lw - 1)) : 0.0;
+  const double det = sn * sxx - sx * sx;
+  if (std::abs(det) > 1e-12 && sn > 0) {
+    size_slope_ = (sn * sxy - sx * sy) / det;
+    size_intercept_ = (sy - size_slope_ * sx) / sn;
+  } else {
+    size_slope_ = 0.0;
+    size_intercept_ = sn > 0 ? sy / sn : 0.0;
+  }
+
+  // Standardize the prior score over the candidate population, so its
+  // normal-score blend with the observed copula is scale-free.
+  core::KernelStats pop;
+  for (const tune::Configuration& cfg : candidates_)
+    pop.add_sample(prior_score(cfg));
+  score_mu_ = pop.mean;
+  score_sd_ = std::sqrt(pop.variance());
+}
+
+double GaussianCopulaSurrogate::prior_marginal(std::int64_t value) const {
+  const auto it = value_logtime_.find(value);
+  if (it != value_logtime_.end() && it->second.second > 0)
+    return it->second.first / it->second.second;
+  // Value never seen in the prior (the transfer-across-sizes case): read
+  // the pooled log-size/log-time line at it.
+  return size_intercept_ +
+         size_slope_ * std::log(std::max(static_cast<double>(value), 1.0));
+}
+
+double GaussianCopulaSurrogate::prior_score(
+    const tune::Configuration& cfg) const {
+  if (prior_samples_ == 0) return 0.0;
+  double s = 0.0;
+  for (const auto& [name, value] : cfg.params) s += prior_marginal(value);
+  return s;
+}
+
+void GaussianCopulaSurrogate::observe(const tune::Configuration& cfg,
+                                      double y) {
+  CRITTER_CHECK(cfg.params.size() == ndims_,
+                "observed configuration has the wrong dimension count");
+  std::vector<std::int64_t> values;
+  values.reserve(ndims_);
+  for (const auto& [name, value] : cfg.params) values.push_back(value);
+  obs_.push_back({std::move(values), y});
+}
+
+void GaussianCopulaSurrogate::refit() {
+  // Mid-rank normal scores of the observed runtimes (the rank-based copula
+  // step: ties share the average rank, scores via the probit at
+  // (rank + 0.5) / n).
+  z_.clear();
+  sorted_y_.clear();
+  const std::size_t n = obs_.size();
+  if (n == 0) {
+    obs_sd_ = 0.0;
+    return;
+  }
+  sorted_y_.reserve(n);
+  for (const auto& [values, y] : obs_) sorted_y_.push_back(y);
+  std::sort(sorted_y_.begin(), sorted_y_.end());
+  core::KernelStats spread;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y = obs_[i].second;
+    spread.add_sample(y);
+    // mid-rank: average of the first and last position holding y
+    const auto lo = std::lower_bound(sorted_y_.begin(), sorted_y_.end(), y);
+    const auto hi = std::upper_bound(sorted_y_.begin(), sorted_y_.end(), y);
+    const double rank =
+        0.5 * static_cast<double>((lo - sorted_y_.begin()) +
+                                  (hi - sorted_y_.begin()) - 1);
+    const double z =
+        normal_quantile((rank + 0.5) / static_cast<double>(n));
+    for (std::size_t d = 0; d < ndims_; ++d) {
+      auto& [zsum, count] = z_[{static_cast<int>(d), obs_[i].first[d]}];
+      zsum += z;
+      ++count;
+    }
+  }
+  obs_sd_ = std::sqrt(spread.variance());
+}
+
+double GaussianCopulaSurrogate::marginal_z(int dim, std::int64_t value) const {
+  const auto it = z_.find({dim, value});
+  if (it == z_.end() || it->second.second == 0) return 0.0;
+  return it->second.first / static_cast<double>(it->second.second);
+}
+
+double GaussianCopulaSurrogate::blended_z(
+    const tune::Configuration& cfg) const {
+  double zobs = 0.0;
+  for (std::size_t d = 0; d < ndims_; ++d)
+    zobs += marginal_z(static_cast<int>(d), cfg.params[d].second);
+  if (ndims_ > 0) zobs /= static_cast<double>(ndims_);
+  double zprior = 0.0;
+  if (prior_samples_ > 0 && score_sd_ > 0.0)
+    zprior = (prior_score(cfg) - score_mu_) / score_sd_;
+  const double nobs = static_cast<double>(obs_.size());
+  const double w =
+      prior_weight_ + nobs > 0.0 ? nobs / (nobs + prior_weight_) : 1.0;
+  return (1.0 - w) * zprior + w * zobs;
+}
+
+Prediction GaussianCopulaSurrogate::predict(
+    const tune::Configuration& cfg) const {
+  CRITTER_CHECK(cfg.params.size() == ndims_,
+                "predicted configuration has the wrong dimension count");
+  const double z = blended_z(cfg);
+  Prediction p;
+  if (sorted_y_.size() >= 2) {
+    // Back-transform through the observed empirical marginal: the runtime
+    // at quantile Phi(z), linearly interpolated.
+    const double q = normal_cdf(z) * static_cast<double>(sorted_y_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(q);
+    const std::size_t hi = std::min(lo + 1, sorted_y_.size() - 1);
+    const double frac = q - static_cast<double>(lo);
+    p.mean = sorted_y_[lo] * (1.0 - frac) + sorted_y_[hi] * frac;
+    p.stddev = obs_sd_;
+  } else if (prior_samples_ > 0) {
+    // Prior log-normal marginal until the observed one exists (the
+    // log-normal sd is mean * sqrt(exp(sigma^2) - 1)).
+    p.mean = std::exp(prior_mu_ + z * prior_sd_);
+    p.stddev = p.mean * std::sqrt(std::expm1(prior_sd_ * prior_sd_));
+  } else if (!sorted_y_.empty()) {
+    p.mean = sorted_y_.front();
+  }
+  return p;
+}
+
+}  // namespace critter::model

@@ -1,0 +1,98 @@
+// Rank-based Gaussian-copula transfer surrogate.
+//
+// The transfer-tuning observation (Randall et al. 2024, PAPERS.md): what
+// carries from a cheap source sweep to an expensive target sweep is the
+// *ordering* of configurations, not the absolute runtimes.  A Gaussian
+// copula separates the two — marginal distributions capture scale, normal
+// scores capture dependence — so this model:
+//
+//   * fits its prior marginals from a prior StatSnapshot's kernel runtime
+//     moments (core::extract_moments): per configuration dimension, the
+//     count-weighted mean log runtime of the prior kernels whose signature
+//     dimensions carry that parameter value (block/tile sizes appear
+//     literally in kernel keys), falling back to a pooled log-size/log-time
+//     line for values the prior never saw;
+//   * maps told outcomes to normal scores by mid-rank (the rank-based
+//     copula step) and accumulates per-(dimension, value) mean scores;
+//   * predicts a configuration as the weighted blend of the standardized
+//     prior score and the observed score, the prior's weight decaying as
+//     observations accumulate, back-transformed through the observed
+//     empirical marginal (or the prior's log-normal marginal while fewer
+//     than two observations exist).
+//
+// Everything is a pure function of (candidate list, ingested snapshots in
+// order, observations in tell order) — the §9 determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "model/surrogate.hpp"
+
+namespace critter::model {
+
+class GaussianCopulaSurrogate final : public Surrogate {
+ public:
+  /// `candidates` fixes the dimension order and the population the prior
+  /// score is standardized over; `prior_weight` is the pseudo-observation
+  /// count of the prior (its blend weight is prior_weight / (n + pw)).
+  GaussianCopulaSurrogate(const std::vector<tune::Configuration>& candidates,
+                          double prior_weight = 8.0);
+
+  const char* name() const override { return "gaussian-copula"; }
+  void observe(const tune::Configuration& cfg, double y) override;
+  void ingest_prior(const core::StatSnapshot& snap) override;
+  void refit() override;
+  std::int64_t observations() const override {
+    return static_cast<std::int64_t>(obs_.size());
+  }
+  Prediction predict(const tune::Configuration& cfg) const override;
+
+  bool has_prior() const { return prior_samples_ > 0; }
+
+  /// Prior-only marginal score of `cfg` (sum over dimensions of the fitted
+  /// mean log runtime at each parameter value); 0 with no prior.  Lower
+  /// means the prior expects cheaper kernels — the initial candidate
+  /// ordering of the "copula-transfer" strategy.
+  double prior_score(const tune::Configuration& cfg) const;
+
+  /// Observed mean normal score of value `v` in dimension `dim` (mid-rank
+  /// copula scores, recomputed by refit()); 0 when the value has no
+  /// observations.  Exposed for the hand-computed-rank tests.
+  double marginal_z(int dim, std::int64_t value) const;
+
+  /// Blended (prior + observed) normal score of `cfg`; the strategy ranks
+  /// unevaluated candidates ascending by this.
+  double blended_z(const tune::Configuration& cfg) const;
+
+ private:
+  double prior_marginal(std::int64_t value) const;
+
+  std::size_t ndims_ = 0;
+  double prior_weight_;
+  std::vector<tune::Configuration> candidates_;
+
+  // --- prior state (ingest_prior) ---
+  /// Pooled kernel moments by key hash (Chan-merged across ingests).
+  std::map<std::uint64_t, core::KernelMoments> prior_kernels_;
+  std::int64_t prior_samples_ = 0;
+  /// Per parameter value: count-weighted sum/weight of log mean runtime of
+  /// prior kernels whose dims carry the value.
+  std::map<std::int64_t, std::pair<double, double>> value_logtime_;
+  /// Pooled log-size/log-time line (fallback marginal for unseen values)
+  /// and the prior's log-runtime moments (the prior marginal scale).
+  double size_slope_ = 0.0, size_intercept_ = 0.0;
+  double prior_mu_ = 0.0, prior_sd_ = 0.0;
+  /// Standardization of prior_score over the candidate population.
+  double score_mu_ = 0.0, score_sd_ = 0.0;
+
+  // --- observed state (observe/refit) ---
+  std::vector<std::pair<std::vector<std::int64_t>, double>> obs_;
+  /// (dimension, value) -> (sum of normal scores, count).
+  std::map<std::pair<int, std::int64_t>, std::pair<double, std::int64_t>> z_;
+  std::vector<double> sorted_y_;  ///< observed marginal (back-transform)
+  double obs_sd_ = 0.0;
+};
+
+}  // namespace critter::model

@@ -1,0 +1,149 @@
+#include "model/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stats.hpp"
+#include "util/check.hpp"
+
+namespace critter::model {
+
+namespace {
+
+/// Solve the symmetric 2x2 system [[a, b], [b, c]] x = [d, e] by Cramer;
+/// false when (near-)singular.
+bool solve2(double a, double b, double c, double d, double e, double* x0,
+            double* x1) {
+  const double det = a * c - b * b;
+  if (std::abs(det) < 1e-12 * std::max(1.0, std::abs(a * c))) return false;
+  *x0 = (d * c - e * b) / det;
+  *x1 = (a * e - b * d) / det;
+  return true;
+}
+
+}  // namespace
+
+double AdditiveRegressionSurrogate::DimFit::normalize(std::int64_t v) const {
+  return (static_cast<double>(v) - lo) / span;
+}
+
+double AdditiveRegressionSurrogate::DimFit::eval(double t) const {
+  return c[0] + c[1] * t + c[2] * t * t;
+}
+
+AdditiveRegressionSurrogate::AdditiveRegressionSurrogate(
+    const std::vector<tune::Configuration>& candidates, int degree)
+    : degree_(std::clamp(degree, 1, 2)) {
+  CRITTER_CHECK(!candidates.empty(),
+                "regression surrogate needs a non-empty candidate list");
+  const std::size_t ndims = candidates.front().params.size();
+  dims_.resize(ndims);
+  for (std::size_t d = 0; d < ndims; ++d) {
+    double lo = 1e300, hi = -1e300;
+    for (const tune::Configuration& cfg : candidates) {
+      CRITTER_CHECK(cfg.params.size() == ndims,
+                    "candidate configurations disagree on dimension count");
+      const double v = static_cast<double>(cfg.params[d].second);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    dims_[d].lo = lo;
+    dims_[d].span = hi > lo ? hi - lo : 1.0;
+  }
+}
+
+void AdditiveRegressionSurrogate::observe(const tune::Configuration& cfg,
+                                          double y) {
+  CRITTER_CHECK(cfg.params.size() == dims_.size(),
+                "observed configuration has the wrong dimension count");
+  std::vector<std::int64_t> values;
+  values.reserve(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const std::int64_t v = cfg.params[d].second;
+    DimFit& f = dims_[d];
+    const double t = f.normalize(v);
+    double tk = 1.0;
+    for (int k = 0; k < 5; ++k) {
+      f.s[k] += tk;
+      if (k < 3) f.sy[k] += y * tk;
+      tk *= t;
+    }
+    ++f.seen[v];
+    values.push_back(v);
+  }
+  ++n_;
+  sum_y_ += y;
+  obs_.push_back({std::move(values), y});
+}
+
+void AdditiveRegressionSurrogate::refit() {
+  mean_y_ = n_ > 0 ? sum_y_ / static_cast<double>(n_) : 0.0;
+  for (DimFit& f : dims_) {
+    f.c[0] = mean_y_;
+    f.c[1] = f.c[2] = 0.0;
+    f.terms = 1;
+    const std::size_t distinct = f.seen.size();
+    if (degree_ >= 2 && n_ >= 3 && distinct >= 3) {
+      // quadratic normal equations: [[s0 s1 s2][s1 s2 s3][s2 s3 s4]] c = sy
+      const double m00 = f.s[0], m01 = f.s[1], m02 = f.s[2];
+      const double m11 = f.s[2], m12 = f.s[3], m22 = f.s[4];
+      const double det = m00 * (m11 * m22 - m12 * m12) -
+                         m01 * (m01 * m22 - m12 * m02) +
+                         m02 * (m01 * m12 - m11 * m02);
+      if (std::abs(det) > 1e-10) {
+        f.c[0] = (f.sy[0] * (m11 * m22 - m12 * m12) -
+                  m01 * (f.sy[1] * m22 - m12 * f.sy[2]) +
+                  m02 * (f.sy[1] * m12 - m11 * f.sy[2])) / det;
+        f.c[1] = (m00 * (f.sy[1] * m22 - f.sy[2] * m12) -
+                  f.sy[0] * (m01 * m22 - m12 * m02) +
+                  m02 * (m01 * f.sy[2] - f.sy[1] * m02)) / det;
+        f.c[2] = (m00 * (m11 * f.sy[2] - m12 * f.sy[1]) -
+                  m01 * (m01 * f.sy[2] - f.sy[1] * m02) +
+                  f.sy[0] * (m01 * m12 - m11 * m02)) / det;
+        f.terms = 3;
+        continue;
+      }
+    }
+    if (n_ >= 2 && distinct >= 2 &&
+        solve2(f.s[0], f.s[1], f.s[2], f.sy[0], f.sy[1], &f.c[0], &f.c[1]))
+      f.terms = 2;
+  }
+  // Residual spread through the profiler's Welford accumulator — the same
+  // machinery the Evaluator's CI discard uses.
+  core::KernelStats resid;
+  for (const auto& [values, y] : obs_) {
+    double yhat = 0.0;
+    for (std::size_t d = 0; d < dims_.size(); ++d)
+      yhat += dims_[d].eval(dims_[d].normalize(values[d]));
+    yhat -= static_cast<double>(dims_.size() - 1) * mean_y_;
+    resid.add_sample(y - yhat);
+  }
+  resid_sd_ = std::sqrt(resid.variance());
+  // A spread floor keeps acquisition exploration alive when the model fits
+  // the observations exactly (few points, many basis terms).
+  resid_sd_ = std::max(resid_sd_, 1e-6 * std::abs(mean_y_));
+}
+
+Prediction AdditiveRegressionSurrogate::predict(
+    const tune::Configuration& cfg) const {
+  CRITTER_CHECK(cfg.params.size() == dims_.size(),
+                "predicted configuration has the wrong dimension count");
+  Prediction p;
+  if (n_ == 0) return p;
+  int unseen = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const DimFit& f = dims_[d];
+    const std::int64_t v = cfg.params[d].second;
+    p.mean += f.eval(f.normalize(v));
+    if (f.seen.find(v) == f.seen.end()) ++unseen;
+  }
+  p.mean -= static_cast<double>(dims_.size() - 1) * mean_y_;
+  // Novel parameter values inflate the predictive spread: the per-dimension
+  // fit is extrapolating there, and acquisition should keep exploring them.
+  p.stddev = resid_sd_ *
+             (1.0 + static_cast<double>(unseen) /
+                        static_cast<double>(dims_.size()));
+  return p;
+}
+
+}  // namespace critter::model

@@ -1,0 +1,64 @@
+// Additive per-dimension incremental regression surrogate.
+//
+// Each named dimension d carries an independent polynomial fit (degree 1 or
+// 2) of runtime on that dimension's normalized value; the additive
+// prediction recombines the per-dimension fits around the global mean:
+//
+//   yhat(x) = sum_d f_d(t_d)  -  (D - 1) * ybar,   t_d = (v_d - lo_d)/span_d
+//
+// — the ANOVA-style main-effects decomposition, which the tuning studies'
+// smooth block-size/tile-size response surfaces fit well.  Accumulators
+// (plain moment sums) grow incrementally in observe(); refit() solves the
+// per-dimension normal equations and re-estimates the residual spread with
+// the profiler's own Welford machinery (core::KernelStats), which is what
+// acquisition CIs are computed from.  Dimensions degrade gracefully:
+// quadratic -> linear -> mean as the observation count or value spread
+// shrinks, so early-sweep predictions are defined from the first tell.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "model/surrogate.hpp"
+
+namespace critter::model {
+
+class AdditiveRegressionSurrogate final : public Surrogate {
+ public:
+  /// `candidates` is the configuration list the sweep ranges over (it fixes
+  /// the dimension order and the per-dimension value normalization);
+  /// `degree` is the per-dimension basis: 1 (linear) or 2 (quadratic).
+  AdditiveRegressionSurrogate(const std::vector<tune::Configuration>& candidates,
+                              int degree = 2);
+
+  const char* name() const override { return "additive-regression"; }
+  void observe(const tune::Configuration& cfg, double y) override;
+  void refit() override;
+  std::int64_t observations() const override { return n_; }
+  Prediction predict(const tune::Configuration& cfg) const override;
+
+ private:
+  struct DimFit {
+    double lo = 0.0, span = 1.0;  ///< value normalization from the space
+    double s[5] = {0, 0, 0, 0, 0};   ///< sum of t^k, k = 0..4
+    double sy[3] = {0, 0, 0};        ///< sum of y * t^k, k = 0..2
+    double c[3] = {0, 0, 0};         ///< fitted coefficients (refit())
+    int terms = 1;                   ///< basis terms actually fit
+    std::map<std::int64_t, std::int64_t> seen;  ///< value -> observations
+
+    double normalize(std::int64_t v) const;
+    double eval(double t) const;
+  };
+
+  int degree_;
+  std::vector<DimFit> dims_;
+  std::int64_t n_ = 0;
+  double sum_y_ = 0.0;
+  double mean_y_ = 0.0;          ///< refit(): global mean
+  double resid_sd_ = 0.0;        ///< refit(): residual standard deviation
+  /// Observation log, in tell order (refit() residual pass re-reads it).
+  std::vector<std::pair<std::vector<std::int64_t>, double>> obs_;
+};
+
+}  // namespace critter::model

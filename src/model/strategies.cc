@@ -1,0 +1,378 @@
+#include "model/strategies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "model/acquisition.hpp"
+#include "model/copula.hpp"
+#include "model/regression.hpp"
+#include "util/check.hpp"
+
+namespace critter::model {
+
+namespace {
+
+/// Shared scaffolding of the model strategies: the candidate positions
+/// [begin, end) of the sweep range, the evaluation budget, and the
+/// space-index -> position bookkeeping observe() needs (a subset study's
+/// positions differ from its configurations' space indices).
+class ModelStrategyBase : public tune::SearchStrategy {
+ public:
+  ModelStrategyBase(const tune::StrategyContext& ctx, std::int64_t count) {
+    CRITTER_CHECK(ctx.study != nullptr,
+                  "model-based strategies need the study in their context");
+    study_ = ctx.study;
+    begin_ = ctx.begin;
+    end_ = ctx.end;
+    const int range = end_ - begin_;
+    // An empty range (e.g. config_begin == config_end) sweeps nothing —
+    // budget 0 makes next_batch() finish immediately, like the built-ins.
+    budget_ = range == 0 ? 0
+              : count > 0
+                  ? static_cast<int>(std::min<std::int64_t>(count, range))
+                  : std::max(1, range / 2);
+    evaluated_.assign(static_cast<std::size_t>(range), false);
+    for (int pos = begin_; pos < end_; ++pos)
+      pos_of_index_[study_->configs.at(pos).index] = pos;
+  }
+
+ protected:
+  const tune::Configuration& config_at(int pos) const {
+    return study_->configs.at(pos);
+  }
+  int range() const { return end_ - begin_; }
+  bool is_evaluated(int pos) const {
+    return evaluated_[static_cast<std::size_t>(pos - begin_)];
+  }
+  /// Position of a told outcome (-1 when outside the sweep range).
+  int position_of(const tune::ConfigOutcome& oc) const {
+    const auto it = pos_of_index_.find(oc.config.index);
+    return it == pos_of_index_.end() ? -1 : it->second;
+  }
+  void mark_evaluated(int pos) {
+    evaluated_[static_cast<std::size_t>(pos - begin_)] = true;
+    ++told_;
+  }
+  /// Emission accounting: a strategy may never claim more than the budget.
+  int emission_room(int max_batch) const {
+    return std::min(max_batch, budget_ - emitted_);
+  }
+  void note_emitted(int n) { emitted_ += n; }
+  bool budget_spent() const { return emitted_ >= budget_; }
+  int budget() const { return budget_; }
+  int told() const { return told_; }
+
+  const tune::Study* study_ = nullptr;
+  int begin_ = 0, end_ = 0;
+
+ private:
+  int budget_ = 0;
+  int emitted_ = 0;
+  int told_ = 0;
+  std::vector<bool> evaluated_;
+  std::map<int, int> pos_of_index_;
+};
+
+// ---------------------------------------------------------------------------
+// "surrogate-ei": acquisition-ranked proposals from the regression model
+// ---------------------------------------------------------------------------
+
+class SurrogateEiStrategy final : public ModelStrategyBase {
+ public:
+  SurrogateEiStrategy(const tune::StrategyContext& ctx,
+                      const tune::StrategyOptions& opts)
+      : ModelStrategyBase(ctx, tune::strategy_opt_int(opts, "count", 0)),
+        use_lcb_(false) {
+    const std::string acq = opts.count("acq") ? opts.at("acq") : "ei";
+    CRITTER_CHECK(acq == "ei" || acq == "lcb",
+                  "surrogate-ei: acq must be 'ei' or 'lcb'");
+    use_lcb_ = acq == "lcb";
+    // The LCB width defaults to the Evaluator's CI confidence level.
+    beta_ = tune::strategy_opt_double(
+        opts, "beta", core::normal_quantile_two_sided(0.95));
+    const int degree =
+        static_cast<int>(tune::strategy_opt_int(opts, "degree", 2));
+    CRITTER_CHECK(degree == 1 || degree == 2,
+                  "surrogate-ei: degree must be 1 or 2");
+    if (range() == 0) return;  // nothing to sweep, nothing to model
+    std::vector<tune::Configuration> candidates;
+    candidates.reserve(static_cast<std::size_t>(range()));
+    for (int pos = begin_; pos < end_; ++pos)
+      candidates.push_back(config_at(pos));
+    model_ = std::make_unique<AdditiveRegressionSurrogate>(candidates, degree);
+
+    // Initial design: a deterministic Latin-style spread.  Seed j targets
+    // quantile (k_d + 0.5)/init of every dimension's value list, where
+    // the largest-cardinality dimension walks the quantiles in order
+    // (k = j) and every other dimension walks them with a stride coprime
+    // to init — a lockstep design confounds dimensions (one dimension's
+    // large values would only ever be observed with another's large
+    // values), and a mirrored one merely reverses the confounding.  The
+    // nearest unchosen candidate (normalized L1) realizes each target.  A
+    // pure function of the candidate list, so proposals depend only on
+    // (seed, tells).
+    const std::size_t ndims = candidates.front().params.size();
+    // Default design size: a third of the budget (the adaptive picks are
+    // where the model earns its keep — serial sweeps refit after every
+    // tell), capped at 2D+1 points, at least a pair to anchor the fit.
+    const std::int64_t dflt = std::max<std::int64_t>(
+        2, std::min<std::int64_t>(2 * static_cast<std::int64_t>(ndims) + 1,
+                                  budget() / 3));
+    const int init = static_cast<int>(std::max<std::int64_t>(
+        1, std::min<std::int64_t>(tune::strategy_opt_int(opts, "init", dflt),
+                                  budget())));
+    std::vector<std::vector<std::int64_t>> dim_values(ndims);
+    std::vector<double> lo(ndims), span(ndims);
+    for (std::size_t d = 0; d < ndims; ++d) {
+      for (const tune::Configuration& c : candidates)
+        dim_values[d].push_back(c.params[d].second);
+      std::sort(dim_values[d].begin(), dim_values[d].end());
+      dim_values[d].erase(
+          std::unique(dim_values[d].begin(), dim_values[d].end()),
+          dim_values[d].end());
+      lo[d] = static_cast<double>(dim_values[d].front());
+      const double hi = static_cast<double>(dim_values[d].back());
+      span[d] = hi > lo[d] ? hi - lo[d] : 1.0;
+    }
+    // Quantile strides: coprimes of init scanned outward from init/2,
+    // preferring ones that are neither 1 (the in-order walk) nor init-1
+    // (its mirror).  The largest-cardinality dimension walks in order
+    // (stride 1 — the natural sweep for a value-rich dimension); the
+    // others get the mixing strides, smallest dimension first, because a
+    // low-cardinality dimension walked in order degenerates into blocks
+    // (0,0,1,1,1) that correlate with every other dimension's trend.
+    std::vector<int> coprimes;
+    const int mid = std::max(init / 2, 1);
+    for (int pass = 0; pass < 2; ++pass)
+      for (int step = 0; step < init; ++step)
+        for (const int m : {mid - step, mid + step}) {
+          if (m < 1 || m > std::max(init - 1, 1) || std::gcd(m, init) != 1)
+            continue;
+          const bool extreme = m == 1 || m == init - 1;
+          if ((pass == 0) == extreme) continue;
+          if (std::find(coprimes.begin(), coprimes.end(), m) ==
+              coprimes.end())
+            coprimes.push_back(m);
+        }
+    std::vector<std::size_t> by_cardinality(ndims);
+    for (std::size_t d = 0; d < ndims; ++d) by_cardinality[d] = d;
+    std::sort(by_cardinality.begin(), by_cardinality.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (dim_values[a].size() != dim_values[b].size())
+                  return dim_values[a].size() < dim_values[b].size();
+                return a < b;
+              });
+    std::vector<int> stride_of(ndims, 1);
+    for (std::size_t r = 0; r + 1 < ndims; ++r)
+      stride_of[by_cardinality[r]] = coprimes[r % coprimes.size()];
+    std::vector<char> taken(candidates.size(), 0);
+    for (int j = 0; j < init; ++j) {
+      std::vector<double> target(ndims);
+      for (std::size_t d = 0; d < ndims; ++d) {
+        const int k = static_cast<int>(
+            (static_cast<std::int64_t>(j) * stride_of[d]) % init);
+        const double qd = (static_cast<double>(k) + 0.5) / init;
+        const std::size_t vi = std::min(
+            dim_values[d].size() - 1,
+            static_cast<std::size_t>(qd * static_cast<double>(dim_values[d].size())));
+        target[d] = (static_cast<double>(dim_values[d][vi]) - lo[d]) / span[d];
+      }
+      int best = -1;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (std::size_t k = 0; k < candidates.size(); ++k) {
+        if (taken[k]) continue;
+        double dist = 0.0;
+        for (std::size_t d = 0; d < ndims; ++d)
+          dist += std::abs(
+              (static_cast<double>(candidates[k].params[d].second) - lo[d]) /
+                  span[d] -
+              target[d]);
+        if (dist < best_dist) {  // ties keep the lower position
+          best_dist = dist;
+          best = static_cast<int>(k);
+        }
+      }
+      if (best < 0) break;
+      taken[static_cast<std::size_t>(best)] = 1;
+      seeds_.push_back(begin_ + best);
+    }
+    std::sort(seeds_.begin(), seeds_.end());
+  }
+
+  const char* name() const override { return "surrogate-ei"; }
+
+  std::vector<int> next_batch(int max_batch) override {
+    std::vector<int> out;
+    int room = emission_room(max_batch);
+    if (room <= 0) return out;
+    while (seed_pos_ < seeds_.size() && static_cast<int>(out.size()) < room)
+      out.push_back(seeds_[seed_pos_++]);
+    if (!out.empty()) {
+      note_emitted(static_cast<int>(out.size()));
+      return out;  // already ascending
+    }
+    // Model-guided phase: refit on everything told, rank the unevaluated
+    // candidates by acquisition, claim the best `room`.
+    model_->refit();
+    std::vector<ScoredCandidate> scored;
+    for (int pos = begin_; pos < end_; ++pos) {
+      if (is_evaluated(pos)) continue;
+      const Prediction p = model_->predict(config_at(pos));
+      scored.push_back({use_lcb_ ? lower_confidence_bound_score(p, beta_)
+                                 : expected_improvement(p, best_y_),
+                        pos});
+    }
+    out = rank_by_acquisition(std::move(scored), room);
+    note_emitted(static_cast<int>(out.size()));
+    return out;
+  }
+
+  void observe(const tune::ConfigOutcome& oc) override {
+    const int pos = position_of(oc);
+    if (pos < 0) return;
+    mark_evaluated(pos);  // even unevaluated tells retire the candidate
+    if (!oc.evaluated) return;
+    model_->observe(oc.config, oc.pred_time);
+    best_y_ = std::min(best_y_, oc.pred_time);
+  }
+
+  void ingest_prior(const core::StatSnapshot& snap) override {
+    if (model_) model_->ingest_prior(snap);  // a no-op for the regression model
+  }
+
+ private:
+  std::unique_ptr<AdditiveRegressionSurrogate> model_;
+  std::vector<int> seeds_;
+  std::size_t seed_pos_ = 0;
+  bool use_lcb_;
+  double beta_ = 0.0;
+  double best_y_ = std::numeric_limits<double>::infinity();
+};
+
+// ---------------------------------------------------------------------------
+// "copula-transfer": prior-ordered sweep, re-ranked as outcomes arrive
+// ---------------------------------------------------------------------------
+
+class CopulaTransferStrategy final : public ModelStrategyBase {
+ public:
+  CopulaTransferStrategy(const tune::StrategyContext& ctx,
+                         const tune::StrategyOptions& opts)
+      : ModelStrategyBase(ctx, tune::strategy_opt_int(opts, "count", 0)),
+        adapt_(tune::strategy_opt_int(opts, "adapt", 1) != 0) {
+    // The prior itself arrives through ingest_prior(): the Tuner feeds the
+    // construction-time snapshot before the first ask (DESIGN.md §9), so
+    // it is deliberately not read from ctx here — that would double-weight
+    // it.  The factory has already verified one exists.
+    CRITTER_CHECK(ctx.prior != nullptr && !ctx.prior->empty(),
+                  "copula-transfer needs a prior snapshot (the factory "
+                  "degrades to random-subset when none is given)");
+    if (range() == 0) return;  // nothing to sweep, nothing to model
+    std::vector<tune::Configuration> candidates;
+    candidates.reserve(static_cast<std::size_t>(range()));
+    for (int pos = begin_; pos < end_; ++pos)
+      candidates.push_back(config_at(pos));
+    model_ = std::make_unique<GaussianCopulaSurrogate>(
+        candidates, tune::strategy_opt_double(opts, "prior-weight", 8.0));
+  }
+
+  const char* name() const override { return "copula-transfer"; }
+
+  std::vector<int> next_batch(int max_batch) override {
+    const int room = emission_room(max_batch);
+    std::vector<int> out;
+    if (room <= 0) return out;
+    // Rank the remaining candidates by the blended (prior + observed)
+    // normal score, cheapest expected runtime first; ties fall back to
+    // ascending position.  Every previously emitted position has been
+    // told (the Tuner enforces tell() before the next ask) and is retired
+    // via is_evaluated.  With adapt off the prior ordering is frozen —
+    // refit() is skipped, so told outcomes never re-rank.
+    if (adapt_) model_->refit();
+    std::vector<ScoredCandidate> scored;
+    for (int pos = begin_; pos < end_; ++pos) {
+      if (is_evaluated(pos)) continue;
+      scored.push_back({-model_->blended_z(config_at(pos)), pos});
+    }
+    out = rank_by_acquisition(std::move(scored), room);
+    note_emitted(static_cast<int>(out.size()));
+    return out;
+  }
+
+  void observe(const tune::ConfigOutcome& oc) override {
+    const int pos = position_of(oc);
+    if (pos < 0) return;
+    mark_evaluated(pos);  // even unevaluated tells retire the candidate
+    if (oc.evaluated && adapt_) model_->observe(oc.config, oc.pred_time);
+  }
+
+  void ingest_prior(const core::StatSnapshot& snap) override {
+    if (!model_) return;
+    // The first ingestion is the construction-time prior itself; later
+    // ones are mid-sweep exchange deltas, which adapt=0 must ignore — the
+    // frozen prior ordering may not shift between exchange rounds.
+    if (primed_ && !adapt_) return;
+    model_->ingest_prior(snap);
+    primed_ = true;
+  }
+
+ private:
+  std::unique_ptr<GaussianCopulaSurrogate> model_;
+  bool adapt_;
+  bool primed_ = false;  ///< construction prior ingested
+};
+
+}  // namespace
+
+void register_model_strategies(
+    const std::function<void(const std::string&, tune::StrategyFactory,
+                             const std::string&)>& add) {
+  add("surrogate-ei",
+      [](const tune::StrategyContext& ctx, const tune::StrategyOptions& opts) {
+        tune::check_strategy_options(
+            "surrogate-ei", opts, {"count", "init", "acq", "beta", "degree"});
+        return std::unique_ptr<tune::SearchStrategy>(
+            new SurrogateEiStrategy(ctx, opts));
+      },
+      "count=N,init=N,acq=ei|lcb,beta=X,degree=1|2 — regression surrogate "
+      "proposes batches by acquisition rank (default budget: half the "
+      "space)");
+  add("copula-transfer",
+      [](const tune::StrategyContext& ctx, const tune::StrategyOptions& opts) {
+        tune::check_strategy_options("copula-transfer", opts,
+                                     {"count", "prior-weight", "adapt"});
+        // A prior with no kernel runtime moments (e.g. saved from a
+        // reset-per-config sweep, where only channels survive) carries
+        // nothing to transfer — same degradation as no prior at all.
+        const auto has_moments = [](const core::StatSnapshot& s) {
+          for (const core::KernelTable& t : s.ranks)
+            for (const auto& [key, ks] : t.K)
+              if (ks.n > 0) return true;
+          return false;
+        };
+        if (ctx.prior == nullptr || ctx.prior->empty() ||
+            !has_moments(*ctx.prior)) {
+          // Documented graceful degradation: without a prior there is
+          // nothing to transfer — fall back to the random-subset ordering
+          // (visibly: the instance reports itself as "random-subset") at
+          // the same budget a copula sweep would have used.
+          tune::StrategyOptions sub;
+          sub["count"] = opts.count("count")
+                             ? opts.at("count")
+                             : std::to_string(
+                                   std::max(1, (ctx.end - ctx.begin) / 2));
+          return tune::make_strategy("random-subset", ctx, sub);
+        }
+        return std::unique_ptr<tune::SearchStrategy>(
+            new CopulaTransferStrategy(ctx, opts));
+      },
+      "count=N,prior-weight=X,adapt=0|1 — prior snapshot's copula marginals "
+      "order the sweep (no prior: degrades to random-subset)");
+}
+
+}  // namespace critter::model

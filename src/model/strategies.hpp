@@ -1,0 +1,29 @@
+// Registration bridge for the model-based search strategies.
+//
+//   "surrogate-ei"     — the additive regression surrogate proposes each
+//                        batch by acquisition ranking (expected improvement
+//                        by default, LCB on request) over the unevaluated
+//                        configuration indices, refitting after every tell;
+//   "copula-transfer"  — a prior snapshot's Gaussian-copula marginals order
+//                        the candidates cheapest-first, re-ranked from told
+//                        outcomes as the sweep proceeds; with no prior it
+//                        degrades (visibly — the instance reports itself
+//                        as "random-subset") to the random-subset ordering.
+//
+// The tune strategy registry calls register_model_strategies() while
+// installing its built-ins, so these names are always registered and
+// static-initialization order never matters.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "tune/strategy.hpp"
+
+namespace critter::model {
+
+void register_model_strategies(
+    const std::function<void(const std::string&, tune::StrategyFactory,
+                             const std::string&)>& add);
+
+}  // namespace critter::model

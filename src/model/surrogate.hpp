@@ -1,0 +1,63 @@
+// Surrogate-model subsystem: deterministic online models of the
+// configuration space that steer model-based search strategies (the
+// "surrogate-ei" and "copula-transfer" entries of the tune strategy
+// registry, installed by model/strategies.cc).
+//
+// A Surrogate learns a cheap predictor of a configuration's runtime
+// (ConfigOutcome::pred_time) from the outcomes a sweep has told so far,
+// optionally seeded with a prior StatSnapshot — a warm-start file from an
+// earlier sweep or a peer shard's mid-sweep exchange delta.  Two models
+// ship: an additive per-dimension linear/quadratic regression
+// (model/regression.hpp) and a rank-based Gaussian-copula transfer model
+// whose marginals come from a prior snapshot's kernel runtime moments
+// (model/copula.hpp).  Acquisition functions over Predictions live in
+// model/acquisition.hpp.
+//
+// Determinism contract (DESIGN.md §9): refit() is a pure function of the
+// observation sequence (tell order) and the prior-ingestion sequence — no
+// wall clock, no global RNG, no address-dependent iteration — so
+// model-guided sweeps are bit-reproducible per seed and identical across
+// the in-process and subprocess executors.
+#pragma once
+
+#include <cstdint>
+
+#include "core/stat_store.hpp"
+#include "tune/param_space.hpp"
+
+namespace critter::model {
+
+/// Posterior prediction of one configuration's runtime (the selective
+/// execution's predicted time, the quantity sweeps minimize).
+struct Prediction {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+class Surrogate {
+ public:
+  virtual ~Surrogate() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Feed one evaluated configuration's outcome.  Strictly in tell order —
+  /// the accumulator update order is part of the determinism contract.
+  virtual void observe(const tune::Configuration& cfg, double y) = 0;
+
+  /// Seed or augment the model with a prior statistics snapshot (a
+  /// warm-start file or an exchange delta, in ingestion order).  Models
+  /// that cannot use one ignore it.
+  virtual void ingest_prior(const core::StatSnapshot& snap) { (void)snap; }
+
+  /// Recompute the fitted model from everything observed/ingested so far.
+  /// Strategies call this at the batch barrier, after the batch's tells.
+  virtual void refit() = 0;
+
+  /// Observations fed so far.
+  virtual std::int64_t observations() const = 0;
+
+  /// Predict `cfg`'s runtime; meaningful after refit().
+  virtual Prediction predict(const tune::Configuration& cfg) const = 0;
+};
+
+}  // namespace critter::model

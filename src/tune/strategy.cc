@@ -4,27 +4,28 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "model/strategies.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace critter::tune {
 
-namespace {
-
-// --- option-map helpers ----------------------------------------------------
-
-void check_known_keys(const std::string& strategy, const StrategyOptions& opts,
-                      std::initializer_list<const char*> known) {
+void check_strategy_options(const std::string& strategy,
+                            const StrategyOptions& opts,
+                            std::initializer_list<const char*> known) {
+  std::string unknown;
   for (const auto& [key, value] : opts) {
     bool ok = false;
     for (const char* k : known) ok = ok || key == k;
-    CRITTER_CHECK(ok, "strategy '" + strategy + "' does not understand option '" +
-                          key + "'");
+    if (!ok) unknown += (unknown.empty() ? "'" : ", '") + key + "'";
   }
+  CRITTER_CHECK(unknown.empty(), "strategy '" + strategy +
+                                     "' does not understand option(s) " +
+                                     unknown);
 }
 
-std::int64_t opt_int(const StrategyOptions& opts, const std::string& key,
-                     std::int64_t dflt) {
+std::int64_t strategy_opt_int(const StrategyOptions& opts,
+                              const std::string& key, std::int64_t dflt) {
   const auto it = opts.find(key);
   if (it == opts.end()) return dflt;
   char* end = nullptr;
@@ -35,8 +36,8 @@ std::int64_t opt_int(const StrategyOptions& opts, const std::string& key,
   return v;
 }
 
-double opt_double(const StrategyOptions& opts, const std::string& key,
-                  double dflt) {
+double strategy_opt_double(const StrategyOptions& opts,
+                           const std::string& key, double dflt) {
   const auto it = opts.find(key);
   if (it == opts.end()) return dflt;
   char* end = nullptr;
@@ -46,6 +47,13 @@ double opt_double(const StrategyOptions& opts, const std::string& key,
                     " is not a number");
   return v;
 }
+
+namespace {
+
+// Local aliases: the factories below predate the public helper names.
+constexpr auto check_known_keys = check_strategy_options;
+constexpr auto opt_int = strategy_opt_int;
+constexpr auto opt_double = strategy_opt_double;
 
 // --- built-in strategies ---------------------------------------------------
 
@@ -248,6 +256,14 @@ StrategyRegistry& registry() {
         },
         "eta=N,min-samples=M — successive halving: best 1/eta advance to an "
         "eta-times larger sample budget"};
+    // The model-based strategies ("surrogate-ei", "copula-transfer") live
+    // in src/model/ and install themselves here, so they are present
+    // whenever the registry is — no static-initialization-order games.
+    model::register_model_strategies(
+        [r](const std::string& name, StrategyFactory factory,
+            const std::string& summary) {
+          r->entries[name] = {std::move(factory), summary};
+        });
     return r;
   }();
   return *reg;
@@ -313,7 +329,10 @@ std::pair<std::string, StrategyOptions> parse_strategy_spec(
     const std::size_t eq = item.find('=');
     CRITTER_CHECK(eq != std::string::npos && eq > 0,
                   "strategy option '" + item + "' is not key=value");
-    out.second[item.substr(0, eq)] = item.substr(eq + 1);
+    const bool inserted =
+        out.second.emplace(item.substr(0, eq), item.substr(eq + 1)).second;
+    CRITTER_CHECK(inserted, "strategy option '" + item.substr(0, eq) +
+                                "' given more than once");
     pos = next;
   }
   return out;

@@ -14,12 +14,14 @@
 #pragma once
 
 #include <functional>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/stat_store.hpp"
 #include "tune/evaluator.hpp"
 
 namespace critter::tune {
@@ -39,6 +41,12 @@ class SearchStrategy {
   /// after each batch completes.
   virtual void observe(const ConfigOutcome& oc) = 0;
 
+  /// Prior-statistics ingestion: the Tuner feeds the construction-time
+  /// prior (TuneOptions::prior_file / prior / warm_start) and every
+  /// mid-sweep exchange delta (in fold order, between batches) here.
+  /// Model-based strategies update their surrogate; others ignore it.
+  virtual void ingest_prior(const core::StatSnapshot& snap) { (void)snap; }
+
   /// Evaluation hints for the *next* batch (sampled once per batch).
   virtual EvalControl control() const { return {}; }
 };
@@ -53,6 +61,13 @@ struct StrategyContext {
   int begin = 0, end = 0;  ///< configuration index range [begin, end)
   std::uint64_t seed = 0;  ///< the sweep's seed salt
   int samples = 1;         ///< per-configuration sample budget
+  /// The study being swept: its configuration list carries the parameter
+  /// bindings model-based strategies regress on.  Always set by the Tuner;
+  /// model strategies CRITTER_CHECK it.
+  const Study* study = nullptr;
+  /// Prior statistics snapshot (TuneOptions::prior_file / prior /
+  /// warm_start), null when the sweep has none.
+  const core::StatSnapshot* prior = nullptr;
 };
 
 using StrategyFactory = std::function<std::unique_ptr<SearchStrategy>(
@@ -78,8 +93,25 @@ std::unique_ptr<SearchStrategy> make_strategy(const std::string& name,
                                               const StrategyOptions& opts);
 
 /// Parse the examples' "--strategy name,key=val,..." syntax into a
-/// (name, options) pair.
+/// (name, options) pair.  Duplicate keys are rejected (the map would
+/// silently keep one — the §7 fail-fast contract forbids that).
 std::pair<std::string, StrategyOptions> parse_strategy_spec(
     const std::string& spec);
+
+// --- helpers for strategy factories (built-in and user-registered) -------
+
+/// CRITTER_CHECK-fail unless every option key is in `known`, reporting
+/// *all* unknown keys in one message (the §7 fail-fast contract: a user
+/// fixing a typo'd spec sees every problem at once, not one per run).
+void check_strategy_options(const std::string& strategy,
+                            const StrategyOptions& opts,
+                            std::initializer_list<const char*> known);
+
+/// Integer/float option lookup with a default; CRITTER_CHECK-fails when
+/// the value does not parse completely.
+std::int64_t strategy_opt_int(const StrategyOptions& opts,
+                              const std::string& key, std::int64_t dflt);
+double strategy_opt_double(const StrategyOptions& opts,
+                           const std::string& key, double dflt);
 
 }  // namespace critter::tune

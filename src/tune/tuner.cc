@@ -104,11 +104,32 @@ std::string registry_help() {
 Tuner::Tuner(const Study& study, const TuneOptions& opt)
     : study_(study), opt_(opt) {
   driver_ = std::make_unique<SweepDriver>(study_, opt_);
+  // Model prior: an explicit file or in-memory snapshot, else the warm
+  // start doubles as one.  Delivered twice over: factories see it as
+  // StrategyContext::prior (the copula factory's degradation decision),
+  // and ingest_prior() feeds it before the first ask.  The pointer is
+  // construction-scoped — strategies must not retain it — so no strategy
+  // that ignores priors pays for a snapshot copy.  A named prior file
+  // that is absent or corrupt fails here, exactly as StatSnapshot::load
+  // would — never ignored.
+  core::StatSnapshot loaded;
+  const core::StatSnapshot* prior = nullptr;
+  if (!opt_.prior_file.empty()) {
+    loaded = core::StatSnapshot::load_file(opt_.prior_file);
+    prior = &loaded;
+  } else if (opt_.prior != nullptr) {
+    prior = opt_.prior;
+  } else if (opt_.warm_start != nullptr) {
+    prior = opt_.warm_start;
+  }
   strategy_ = make_strategy(
       opt_.strategy,
       StrategyContext{driver_->config_begin(), driver_->config_end(),
-                      opt_.seed_salt, opt_.samples},
+                      opt_.seed_salt, opt_.samples, &study_,
+                      prior != nullptr && !prior->empty() ? prior : nullptr},
       opt_.strategy_options);
+  if (prior != nullptr && !prior->empty()) strategy_->ingest_prior(*prior);
+  opt_.prior = nullptr;  // consumed; never dereferenced after construction
   control_ = std::make_unique<EvalControl>();
   const int nconf = static_cast<int>(study_.configs.size());
   per_config_.resize(nconf);
@@ -198,6 +219,10 @@ void Tuner::merge_state(const core::StatSnapshot& delta) {
                 "merge_state() with a batch claimed — exchange deltas may "
                 "only fold in between tell() and the next ask()");
   driver_->merge_stats(delta);
+  // Exchange deltas double as model priors: model-based strategies fold
+  // the peers' runtime moments into their surrogate (deltas arrive in
+  // shard-fold order, so the ingestion sequence is deterministic).
+  strategy_->ingest_prior(delta);
 }
 
 SweepMode Tuner::mode() const { return driver_->mode(); }

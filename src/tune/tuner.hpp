@@ -113,6 +113,16 @@ struct TuneOptions {
   /// reset statistics per configuration and ignore it.  Consumed at Tuner
   /// construction (equivalent to import_state before the first ask).
   const core::StatSnapshot* warm_start = nullptr;
+  /// Prior snapshot feeding model-based strategies ("copula-transfer",
+  /// and anything user-registered that overrides ingest_prior): loaded
+  /// from `prior_file` at Tuner construction (StatSnapshot::load errors
+  /// propagate — a named-but-unreadable prior is never silently ignored)
+  /// or supplied in-memory via `prior`; when neither is set, warm_start
+  /// doubles as the prior.  Unlike warm_start, the prior does NOT seed the
+  /// sweep's kernel statistics — it only informs the search model; combine
+  /// both to get the paper-exact warm-start behavior plus a model prior.
+  std::string prior_file;
+  const core::StatSnapshot* prior = nullptr;
 };
 
 struct ConfigOutcome {

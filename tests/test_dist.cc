@@ -7,6 +7,7 @@
 // with --shard-worker, so main() routes that entry point before gtest.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -234,6 +235,67 @@ TEST(Subprocess, WarmStartTravelsThroughRunDirectory) {
   warmed.warm_start = &prev.stats;  // merge_shards copies consume it per run
   const tune::TuneResult r = dist::run_sharded(study, warmed, 2, sub);
   expect_equal_results(legacy, r, "warm-started subprocess shards");
+}
+
+// ---------------------------------------------------------------------------
+// Model-based strategies across executors (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+TEST(ModelStrategies, SurrogateEiWithExchangeIdenticalAcrossExecutors) {
+  // The §9 determinism contract, end to end: a model-guided sweep's
+  // proposals depend on its told outcomes and on the exchange deltas it
+  // ingests, and both are scheduled identically by the in-process lockstep
+  // rounds and the subprocess file protocol — so the whole run must be
+  // bit-identical across executors and across repeats.
+  const tune::Study study = subset(tune::slate_cholesky_study(false), 8);
+  tune::TuneOptions opt = shared_options();
+  opt.strategy = "surrogate-ei";
+  opt.strategy_options["init"] = "3";
+  const dist::ExchangePolicy every1{1};
+  dist::InProcessExecutor inproc;
+  const tune::TuneResult a = dist::run_sharded(study, opt, 2, inproc, every1);
+  EXPECT_GT(a.exchange_rounds, 0);
+  EXPECT_EQ(a.strategy, "surrogate-ei");
+  const tune::TuneResult b = dist::run_sharded(study, opt, 2, inproc, every1);
+  expect_equal_results(a, b, "surrogate-ei exchange repeat");
+  dist::SubprocessExecutor sub;
+  const tune::TuneResult c = dist::run_sharded(study, opt, 2, sub, every1);
+  EXPECT_EQ(a.exchange_rounds, c.exchange_rounds);
+  expect_equal_results(a, c, "surrogate-ei in-process vs subprocess");
+}
+
+TEST(ModelStrategies, CopulaPriorTravelsThroughRunDirectory) {
+  // Both prior transports — an in-memory snapshot (published as
+  // prior.snap) and a prior file path in the run manifest — must reach the
+  // shard workers and produce the identical copula-transfer sweep the
+  // in-process executor runs.
+  const tune::Study study = subset(tune::slate_cholesky_study(false), 8);
+  const tune::TuneResult donor = tune::run_study(study, shared_options());
+  ASSERT_FALSE(donor.stats.empty());
+
+  tune::TuneOptions opt = shared_options();
+  opt.strategy = "copula-transfer";
+  opt.prior = &donor.stats;
+  dist::InProcessExecutor inproc;
+  const tune::TuneResult a =
+      dist::run_sharded(study, opt, 2, inproc, dist::ExchangePolicy{1});
+  EXPECT_EQ(a.strategy, "copula-transfer");  // the prior arrived
+  opt.prior = &donor.stats;
+  dist::SubprocessExecutor sub;
+  const tune::TuneResult b =
+      dist::run_sharded(study, opt, 2, sub, dist::ExchangePolicy{1});
+  expect_equal_results(a, b, "copula prior snapshot across executors");
+
+  const std::string path = ::testing::TempDir() + "dist_prior.snap";
+  donor.stats.save_file(path);
+  tune::TuneOptions by_file = shared_options();
+  by_file.strategy = "copula-transfer";
+  by_file.prior_file = path;
+  dist::SubprocessExecutor sub2;
+  const tune::TuneResult c =
+      dist::run_sharded(study, by_file, 2, sub2, dist::ExchangePolicy{1});
+  expect_equal_results(a, c, "copula prior file across executors");
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

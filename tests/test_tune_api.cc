@@ -86,7 +86,8 @@ TEST(WorkloadRegistry, PaperStudiesAreRegistered) {
 TEST(StrategyRegistry, ListsBuiltinsAndRejectsUnknown) {
   const std::vector<std::string> names = tune::strategy_names();
   for (const char* expected :
-       {"ci-discard", "exhaustive", "halving", "random-subset"}) {
+       {"ci-discard", "exhaustive", "halving", "random-subset",
+        "surrogate-ei", "copula-transfer"}) {
     bool found = false;
     for (const std::string& n : names) found = found || n == expected;
     EXPECT_TRUE(found) << expected;
@@ -114,6 +115,60 @@ TEST(StrategyRegistry, ParseSpec) {
   EXPECT_EQ(bare, "exhaustive");
   EXPECT_TRUE(none.empty());
   EXPECT_THROW(tune::parse_strategy_spec("x,notkeyval"), std::runtime_error);
+}
+
+TEST(StrategyRegistry, DuplicateOptionKeysAreRejected) {
+  // The option map would silently keep one of the two values — the §7
+  // fail-fast contract requires the spec to be rejected instead.
+  try {
+    tune::parse_strategy_spec("halving,eta=3,eta=4");
+    FAIL() << "duplicate key accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'eta'"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("more than once"),
+              std::string::npos)
+        << e.what();
+  }
+  // Distinct keys with the same value are of course fine.
+  const auto [name, opts] =
+      tune::parse_strategy_spec("halving,eta=3,min-samples=3");
+  EXPECT_EQ(opts.size(), 2u);
+  (void)name;
+}
+
+TEST(StrategyRegistry, AllUnknownOptionKeysReportedInOneError) {
+  // A spec with several typos surfaces every one of them at once — not
+  // one failure per run.
+  tune::StrategyOptions opts;
+  opts["bogus-a"] = "1";
+  opts["bogus-b"] = "2";
+  opts["margin"] = "0.1";  // the one valid key
+  try {
+    tune::check_strategy_options("ci-discard", opts, {"margin"});
+    FAIL() << "unknown keys accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'bogus-a'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'bogus-b'"), std::string::npos) << what;
+    EXPECT_EQ(what.find("'margin'"), std::string::npos) << what;
+  }
+  // The same behavior through a real factory.
+  auto study = tune::capital_cholesky_study(false);
+  study.configs.resize(2);
+  tune::TuneOptions opt;
+  opt.samples = 1;
+  opt.strategy = "ci-discard";
+  opt.strategy_options["oops1"] = "1";
+  opt.strategy_options["oops2"] = "2";
+  try {
+    tune::run_study(study, opt);
+    FAIL() << "unknown keys accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'oops1'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'oops2'"), std::string::npos) << what;
+  }
 }
 
 // ---------------------------------------------------------------------------
