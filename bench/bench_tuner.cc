@@ -148,6 +148,16 @@ int main(int argc, char** argv) {
   const double shard_sub = sharded_rate(study, shared, shards, subproc, 2, t,
                                         "sharded_subprocess");
 
+  // 7b. The subprocess sweep again with per-batch checkpointing — the most
+  //    aggressive fault-tolerance setting, so (7)/(7b) bounds the price of
+  //    crash recoverability (serialize + checksum + atomic publish every
+  //    batch).  Same results by the resume contract (DESIGN.md §10).
+  dist::SubprocessOptions ckpt_opts;
+  ckpt_opts.fault.checkpoint_every = 1;
+  dist::SubprocessExecutor subproc_ckpt(std::move(ckpt_opts));
+  const double shard_ckpt = sharded_rate(study, shared, shards, subproc_ckpt,
+                                         2, t, "sharded_subprocess_ckpt");
+
   // 8. Model-based search: configs-to-best.  Against a statistically
   //    isolated sweep (outcomes independent of evaluation order, so "the
   //    exhaustive best" is the same configuration for every strategy), how
@@ -203,13 +213,16 @@ int main(int argc, char** argv) {
                 "in its %d evaluations\n",
                 best, ei_evals);
   std::printf("sharded subprocess: %.2fx vs sharded in-process, %.2fx vs "
-              "serial\n",
-              shard_sub / shard_in, shard_sub / serial);
+              "serial; per-batch checkpointing costs %.2fx throughput\n",
+              shard_sub / shard_in, shard_sub / serial,
+              shard_sub / std::max(shard_ckpt, 1e-9));
   g_results.push_back({"batch_shared_vs_serial", bsp / serial, "x"});
   g_results.push_back({"batch_parallel_vs_batch_serial", bsp / bs1, "x"});
   g_results.push_back({"isolated_vs_serial", iso / serial, "x"});
   g_results.push_back({"subprocess_vs_in_process_sharded",
                        shard_sub / shard_in, "x"});
+  g_results.push_back({"checkpoint_overhead",
+                       shard_sub / std::max(shard_ckpt, 1e-9), "x"});
   g_results.push_back({"surrogate_configs_to_best",
                        static_cast<double>(configs_to_best), "configs"});
   g_results.push_back({"surrogate_vs_exhaustive", to_best_ratio, "x"});

@@ -8,6 +8,8 @@
 //                       [--workers=4] [--batch=4]
 //                       [--shards=2] [--exchange-every=4]
 //                       [--executor=subprocess|in-process]
+//                       [--max-retries=N] [--checkpoint-every=B]
+//                       [--exchange-strict=0|1]
 //                       [--prior=FILE] [--save-stats=FILE]
 //
 // --help lists the registered workloads and strategies.  Prints the
@@ -30,7 +32,14 @@
 // shard, re-execing this binary via --shard-worker and exchanging
 // StatSnapshot files through a run directory).  --exchange-every=B makes
 // shards trade statistics deltas every B batches mid-sweep instead of only
-// merging at the end.
+// merging at the end.  Subprocess fleets are fault-tolerant:
+// --max-retries=N relaunches a crashed or stalled shard worker up to N
+// times (with exponential backoff), --checkpoint-every=B makes workers
+// publish a recovery checkpoint every B batches so a relaunch resumes
+// bit-identically instead of resweeping, and --exchange-strict=0 lets a
+// shard skip a peer whose round delta never arrives instead of aborting
+// the run.  A recovery summary prints whenever a shard retried, resumed,
+// or skipped.
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -72,6 +81,8 @@ int main(int argc, char** argv) {
                 "                         [--workers=N] [--batch=N]\n"
                 "                         [--shards=N] [--exchange-every=B] "
                 "[--executor=subprocess|in-process]\n"
+                "                         [--max-retries=N] "
+                "[--checkpoint-every=B] [--exchange-strict=0|1]\n"
                 "                         [--prior=FILE] [--save-stats=FILE]"
                 "\n\n%s",
                 tune::registry_help().c_str());
@@ -96,10 +107,17 @@ int main(int argc, char** argv) {
               topt.strategy.c_str());
 
   const int shards = static_cast<int>(opt.get_int("shards", 1));
+  dist::ExchangePolicy exchange;
+  exchange.every = static_cast<int>(opt.get_int("exchange-every", 0));
+  exchange.strict = opt.get_int("exchange-strict", 1) != 0;
+  dist::FaultPolicy fault;
+  fault.max_retries = static_cast<int>(opt.get_int("max-retries", 0));
+  fault.checkpoint_every =
+      static_cast<int>(opt.get_int("checkpoint-every", 0));
   const tune::TuneResult r = dist::run_sharded_named(
       study, topt, shards,
-      opt.get("executor", shards > 1 ? "subprocess" : "in-process"),
-      static_cast<int>(opt.get_int("exchange-every", 0)));
+      opt.get("executor", shards > 1 ? "subprocess" : "in-process"), exchange,
+      fault);
 
   std::printf("sweep mode: %s, %d/%d workers%s%s%s\n",
               tune::sweep_mode_name(r.mode), r.effective_workers,
@@ -107,11 +125,34 @@ int main(int argc, char** argv) {
               r.batch > 0 ? (", batch " + std::to_string(r.batch)).c_str() : "",
               r.fallback_reason.empty() ? "" : " — ",
               r.fallback_reason.c_str());
-  if (r.shards > 0)
+  if (r.shards > 0) {
     std::printf("sharded: %d shards via %s executor, exchange every %d "
-                "batches (%d rounds)\n",
+                "batches (%d rounds%s)\n",
                 r.shards, r.executor.c_str(), r.exchange_every,
-                r.exchange_rounds);
+                r.exchange_rounds,
+                r.exchange_every > 0 && !r.exchange_strict ? ", non-strict"
+                                                           : "");
+    for (const tune::ShardRecovery& sr : r.shard_recovery) {
+      if (sr.retries == 0 && !sr.degraded && sr.exchange_skips == 0) continue;
+      std::printf("  shard %d: %d retr%s%s%s%s%s%s\n", sr.shard, sr.retries,
+                  sr.retries == 1 ? "y" : "ies",
+                  sr.recovered ? ", recovered" : "",
+                  sr.degraded ? ", degraded to in-process fallback" : "",
+                  sr.resumed_batches > 0
+                      ? (", resumed " + std::to_string(sr.resumed_batches) +
+                         " batches from checkpoint")
+                            .c_str()
+                      : "",
+                  sr.exchange_skips > 0
+                      ? (", skipped " + std::to_string(sr.exchange_skips) +
+                         " exchange round(s)")
+                            .c_str()
+                      : "",
+                  sr.last_failure.empty()
+                      ? ""
+                      : (" — last fault: " + sr.last_failure).c_str());
+    }
+  }
 
   critter::util::Table t("per-configuration results");
   t.header({"config", "params", "true(s)", "predicted(s)", "err(%)",

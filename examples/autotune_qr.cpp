@@ -6,13 +6,17 @@
 //                 [--workers=4] [--batch=4]
 //                 [--shards=2] [--exchange-every=4]
 //                 [--executor=subprocess|in-process]
+//                 [--max-retries=N] [--checkpoint-every=B]
+//                 [--exchange-strict=0|1]
 //                 [--prior=FILE] [--save-stats=FILE] [--reset=0|1]
 //
 // --help lists the registered workloads and strategies.  Demonstrates the
 // paper's observation that CANDMC's shrinking trailing matrix creates many
 // distinct kernel signatures, limiting the end-to-end speedup while kernel
 // execution time itself drops sharply.  --shards/--exchange-every fan the
-// sweep across shard processes (see autotune_cholesky for details).
+// sweep across shard processes; --max-retries/--checkpoint-every/
+// --exchange-strict control the subprocess fleet's fault tolerance (see
+// autotune_cholesky for details).
 //
 // --prior=FILE / --save-stats=FILE run the transfer-tuning workflow (tune
 // small, save the snapshot, prior a bigger sweep — see autotune_cholesky).
@@ -46,6 +50,8 @@ int main(int argc, char** argv) {
                 "                   [--workers=N] [--batch=N]\n"
                 "                   [--shards=N] [--exchange-every=B] "
                 "[--executor=subprocess|in-process]\n"
+                "                   [--max-retries=N] [--checkpoint-every=B] "
+                "[--exchange-strict=0|1]\n"
                 "                   [--prior=FILE] [--save-stats=FILE] "
                 "[--reset=0|1]\n\n%s",
                 tune::registry_help().c_str());
@@ -76,20 +82,50 @@ int main(int argc, char** argv) {
               study.configs.size(), topt.strategy.c_str());
 
   const int shards = static_cast<int>(opt.get_int("shards", 1));
+  dist::ExchangePolicy exchange;
+  exchange.every = static_cast<int>(opt.get_int("exchange-every", 0));
+  exchange.strict = opt.get_int("exchange-strict", 1) != 0;
+  dist::FaultPolicy fault;
+  fault.max_retries = static_cast<int>(opt.get_int("max-retries", 0));
+  fault.checkpoint_every =
+      static_cast<int>(opt.get_int("checkpoint-every", 0));
   const tune::TuneResult r = dist::run_sharded_named(
       study, topt, shards,
-      opt.get("executor", shards > 1 ? "subprocess" : "in-process"),
-      static_cast<int>(opt.get_int("exchange-every", 0)));
+      opt.get("executor", shards > 1 ? "subprocess" : "in-process"), exchange,
+      fault);
 
   std::printf("sweep mode: %s, %d/%d workers%s%s\n",
               tune::sweep_mode_name(r.mode), r.effective_workers,
               r.requested_workers, r.fallback_reason.empty() ? "" : " — ",
               r.fallback_reason.c_str());
-  if (r.shards > 0)
+  if (r.shards > 0) {
     std::printf("sharded: %d shards via %s executor, exchange every %d "
-                "batches (%d rounds)\n",
+                "batches (%d rounds%s)\n",
                 r.shards, r.executor.c_str(), r.exchange_every,
-                r.exchange_rounds);
+                r.exchange_rounds,
+                r.exchange_every > 0 && !r.exchange_strict ? ", non-strict"
+                                                           : "");
+    for (const tune::ShardRecovery& sr : r.shard_recovery) {
+      if (sr.retries == 0 && !sr.degraded && sr.exchange_skips == 0) continue;
+      std::printf("  shard %d: %d retr%s%s%s%s%s%s\n", sr.shard, sr.retries,
+                  sr.retries == 1 ? "y" : "ies",
+                  sr.recovered ? ", recovered" : "",
+                  sr.degraded ? ", degraded to in-process fallback" : "",
+                  sr.resumed_batches > 0
+                      ? (", resumed " + std::to_string(sr.resumed_batches) +
+                         " batches from checkpoint")
+                            .c_str()
+                      : "",
+                  sr.exchange_skips > 0
+                      ? (", skipped " + std::to_string(sr.exchange_skips) +
+                         " exchange round(s)")
+                            .c_str()
+                      : "",
+                  sr.last_failure.empty()
+                      ? ""
+                      : (" — last fault: " + sr.last_failure).c_str());
+    }
+  }
 
   critter::util::Table t("per-configuration results");
   t.header({"config", "params", "true(s)", "predicted(s)", "err(%)",

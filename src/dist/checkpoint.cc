@@ -1,0 +1,159 @@
+#include "dist/checkpoint.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "dist/wire.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace critter::dist {
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'C', 'R', 'C', 'K', 'P', 'T', '0', '1'};
+
+void write_snapshot_blob(WireWriter& w, const core::StatSnapshot& snap) {
+  if (snap.empty()) {
+    w.i64(0);
+    return;
+  }
+  std::ostringstream os;
+  snap.save(os, core::StatSnapshot::Format::Binary);
+  const std::string blob = os.str();
+  w.i64(static_cast<std::int64_t>(blob.size()));
+  w.raw(blob.data(), blob.size());
+}
+
+core::StatSnapshot read_snapshot_blob(WireReader& r) {
+  const std::int64_t len = r.i64();
+  CRITTER_CHECK(len >= 0 && r.pos + static_cast<std::size_t>(len) <=
+                                r.in.size(),
+                "shard checkpoint: truncated snapshot blob");
+  if (len == 0) return {};
+  std::istringstream is(r.in.substr(r.pos, static_cast<std::size_t>(len)));
+  r.pos += static_cast<std::size_t>(len);
+  return core::StatSnapshot::load(is);
+}
+
+}  // namespace
+
+std::string serialize_checkpoint(const ShardCheckpoint& c) {
+  WireWriter w;
+  w.raw(kCheckpointMagic, sizeof kCheckpointMagic);
+  w.i64(c.seq);
+  w.i32(c.batches);
+  w.i32(c.rounds);
+  w.i32(c.in_round);
+  w.i32(c.exchange_skips);
+  w.i32(static_cast<std::int32_t>(c.skipped.size()));
+  for (const auto& [round, peer] : c.skipped) {
+    w.i32(round);
+    w.i32(peer);
+  }
+  w.i32(static_cast<std::int32_t>(c.told.size()));
+  for (const ShardCheckpoint::ToldBatch& b : c.told) {
+    w.i32(static_cast<std::int32_t>(b.positions.size()));
+    for (std::size_t k = 0; k < b.positions.size(); ++k) {
+      w.i32(b.positions[k]);
+      write_outcome(w, b.outcomes[k]);
+    }
+  }
+  w.i32(static_cast<std::int32_t>(c.totals.size()));
+  for (const tune::ConfigTotals& t : c.totals) write_totals(w, t);
+  w.u8(c.has_exchange_state ? 1 : 0);
+  write_snapshot_blob(w, c.full);
+  if (c.has_exchange_state) {
+    write_snapshot_blob(w, c.mark);
+    write_snapshot_blob(w, c.own);
+  }
+  // Payload-level checksum: the publish manifest already guards the file in
+  // transit, this trailer guards the bytes at the source — any flip or
+  // truncation is rejected before a single field is trusted.
+  const std::uint64_t sum = util::fnv1a(w.out.data(), w.out.size());
+  w.raw(&sum, sizeof sum);
+  return w.out;
+}
+
+ShardCheckpoint parse_checkpoint(const std::string& payload,
+                                 const tune::Study& study,
+                                 const ShardRange& range) {
+  CRITTER_CHECK(payload.size() >= sizeof kCheckpointMagic + 8,
+                "shard checkpoint: payload too short");
+  std::uint64_t declared = 0;
+  std::memcpy(&declared, payload.data() + payload.size() - 8, 8);
+  CRITTER_CHECK(util::fnv1a(payload.data(), payload.size() - 8) == declared,
+                "shard checkpoint: checksum trailer mismatch (corrupt or "
+                "torn checkpoint)");
+  WireReader r{payload};
+  char magic[sizeof kCheckpointMagic];
+  r.raw(magic, sizeof magic);
+  CRITTER_CHECK(std::memcmp(magic, kCheckpointMagic, sizeof magic) == 0,
+                "shard checkpoint: bad magic");
+  ShardCheckpoint c;
+  c.seq = r.i64();
+  c.batches = r.i32();
+  c.rounds = r.i32();
+  c.in_round = r.i32();
+  c.exchange_skips = r.i32();
+  CRITTER_CHECK(c.seq >= 1 && c.batches >= 0 && c.rounds >= 0 &&
+                    c.in_round >= 0 && c.exchange_skips >= 0,
+                "shard checkpoint: implausible cursors");
+  const std::int32_t nskips = r.i32();
+  CRITTER_CHECK(nskips >= 0 && nskips <= c.exchange_skips,
+                "shard checkpoint: implausible skip list");
+  c.skipped.reserve(static_cast<std::size_t>(nskips));
+  for (std::int32_t i = 0; i < nskips; ++i) {
+    const std::int32_t round = r.i32();
+    const std::int32_t peer = r.i32();
+    CRITTER_CHECK(round >= 0 && peer >= 0 && peer != range.index,
+                  "shard checkpoint: implausible skip entry");
+    c.skipped.emplace_back(round, peer);
+  }
+  const std::int32_t ntold = r.i32();
+  CRITTER_CHECK(ntold == c.batches,
+                "shard checkpoint: told-batch count does not match the "
+                "cursor");
+  c.told.resize(static_cast<std::size_t>(ntold));
+  const int nconf = static_cast<int>(study.configs.size());
+  for (std::int32_t b = 0; b < ntold; ++b) {
+    const std::int32_t k = r.i32();
+    CRITTER_CHECK(k > 0 && k <= nconf, "shard checkpoint: implausible batch");
+    ShardCheckpoint::ToldBatch& tb = c.told[static_cast<std::size_t>(b)];
+    tb.positions.resize(static_cast<std::size_t>(k));
+    tb.outcomes.resize(static_cast<std::size_t>(k));
+    for (std::int32_t j = 0; j < k; ++j) {
+      const std::int32_t pos = r.i32();
+      CRITTER_CHECK(pos >= range.begin && pos < range.end &&
+                        pos < nconf &&
+                        (j == 0 || tb.positions[j - 1] < pos),
+                    "shard checkpoint: batch position outside the shard "
+                    "range or out of order");
+      tb.positions[static_cast<std::size_t>(j)] = pos;
+      tb.outcomes[static_cast<std::size_t>(j)].config = study.configs[pos];
+      read_outcome(r, tb.outcomes[static_cast<std::size_t>(j)],
+                   "shard checkpoint");
+    }
+  }
+  const std::int32_t ntotals = r.i32();
+  CRITTER_CHECK(ntotals == range.end - range.begin,
+                "shard checkpoint: totals do not cover the shard range");
+  c.totals.resize(static_cast<std::size_t>(ntotals));
+  for (std::int32_t i = 0; i < ntotals; ++i)
+    read_totals(r, c.totals[static_cast<std::size_t>(i)]);
+  c.has_exchange_state = r.u8() != 0;
+  c.full = read_snapshot_blob(r);
+  if (c.has_exchange_state) {
+    c.mark = read_snapshot_blob(r);
+    c.own = read_snapshot_blob(r);
+  }
+  CRITTER_CHECK(r.pos == payload.size() - 8,
+                "shard checkpoint: trailing garbage");
+  return c;
+}
+
+std::string checkpoint_slot_name(std::int64_t seq) {
+  return (seq % 2 != 0) ? "ckpt_a.bin" : "ckpt_b.bin";
+}
+
+}  // namespace critter::dist

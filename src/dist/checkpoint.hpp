@@ -1,0 +1,78 @@
+// Shard checkpoint format: the durable record a subprocess worker
+// periodically publishes so a relaunched worker can resume its sweep
+// bit-identically (DESIGN.md §10).
+//
+// A checkpoint is the full replay recipe of a session prefix:
+//
+//   * the progress cursor (completed batches, completed exchange rounds,
+//     batches into the current round);
+//   * every batch told so far — positions plus raw outcome bits — so the
+//     resumed session can re-ask/re-tell the strategy into the exact state
+//     the crashed worker had (asks are a pure function of told outcomes and
+//     ingested priors, and tell() contributes no kernel statistics);
+//   * the accumulated per-configuration totals, which tell() does not
+//     carry;
+//   * the session's statistics snapshots: the full state (wholesale
+//     import on resume), and with mid-sweep exchange on, the delta
+//     baseline `mark` and the shard's own-contribution `own`;
+//   * the non-strict exchange skips taken so far, so replay skips the
+//     same (round, peer) pairs the live run skipped.
+//
+// The payload ends in an FNV-1a trailer over everything before it, so any
+// truncation or byte flip is rejected by parse_checkpoint() even when the
+// publish manifest happens to match (e.g. corruption at the source).
+// Workers alternate between two slots (ckpt_a.bin / ckpt_b.bin): a torn or
+// corrupt latest checkpoint falls back to the previous one, and a worker
+// with no valid checkpoint restarts cleanly — which is still bit-identical,
+// since round deltas persist in the exchange mailbox and re-publishing is
+// idempotent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/stat_store.hpp"
+#include "dist/executor.hpp"
+#include "tune/tuner.hpp"
+
+namespace critter::dist {
+
+struct ShardCheckpoint {
+  std::int64_t seq = 0;     ///< monotonically increasing per shard
+  int batches = 0;          ///< completed (told) batches — the cursor
+  int rounds = 0;           ///< completed exchange rounds
+  int in_round = 0;         ///< batches into the current round
+  int exchange_skips = 0;   ///< non-strict rounds skipped so far
+  /// (round, peer) pairs skipped in non-strict mode, in occurrence order.
+  std::vector<std::pair<int, int>> skipped;
+  struct ToldBatch {
+    std::vector<int> positions;  ///< study.configs positions, ascending
+    std::vector<tune::ConfigOutcome> outcomes;
+  };
+  std::vector<ToldBatch> told;  ///< one entry per completed batch
+  /// Accumulated totals for the shard's range, indexed range-relative.
+  std::vector<tune::ConfigTotals> totals;
+  core::StatSnapshot full;  ///< session statistics at the checkpoint
+  bool has_exchange_state = false;
+  core::StatSnapshot mark;  ///< delta baseline (exchange on)
+  core::StatSnapshot own;   ///< own-contribution accumulator (exchange on)
+};
+
+std::string serialize_checkpoint(const ShardCheckpoint& c);
+
+/// Parse and fully validate a checkpoint payload; `study`/`range` rebind
+/// the outcome configurations and bound every cursor.  Throws on any
+/// corruption — truncation, byte flips (FNV trailer), implausible
+/// counters, positions outside the range — before returning partial state.
+ShardCheckpoint parse_checkpoint(const std::string& payload,
+                                 const tune::Study& study,
+                                 const ShardRange& range);
+
+/// The slot a checkpoint of sequence number `seq` publishes to: odd
+/// sequences use "ckpt_a.bin", even ones "ckpt_b.bin" (double buffering —
+/// the previous checkpoint survives a torn publish of the next).
+std::string checkpoint_slot_name(std::int64_t seq);
+
+}  // namespace critter::dist

@@ -168,6 +168,7 @@ tune::TuneResult run_sharded(const tune::Study& study,
   out.requested_workers = std::max(1, opt.workers);
   out.executor = exec.name();
   out.exchange_every = shards.size() > 1 ? std::max(exchange.every, 0) : 0;
+  out.exchange_strict = exchange.strict;
 
   const std::vector<ShardResult> results =
       shards.empty() ? std::vector<ShardResult>{}
@@ -188,6 +189,17 @@ tune::TuneResult run_sharded(const tune::Study& study,
     }
     out.evaluated_configs += r.evaluated;
     out.exchange_rounds += r.exchange_rounds;
+    out.exchange_skips += r.exchange_skips;
+    tune::ShardRecovery rec;
+    rec.shard = sr.index;
+    rec.retries = r.retries;
+    rec.recovered = r.recovered;
+    rec.degraded = r.degraded;
+    rec.exchange_skips = r.exchange_skips;
+    rec.checkpoints = r.checkpoints;
+    rec.resumed_batches = r.resumed_batches;
+    rec.last_failure = r.failure;
+    out.shard_recovery.push_back(std::move(rec));
     if (first_shard) {
       out.mode = r.mode;
       out.strategy = r.strategy;
@@ -220,11 +232,13 @@ tune::TuneResult run_sharded(const tune::Study& study,
 tune::TuneResult run_sharded_named(const tune::Study& study,
                                    const tune::TuneOptions& opt, int nshards,
                                    const std::string& executor,
-                                   int exchange_every) {
+                                   const ExchangePolicy& exchange,
+                                   const FaultPolicy& fault) {
   if (nshards <= 1) return run_study(study, opt);
-  const ExchangePolicy exchange{exchange_every};
   if (executor == "subprocess") {
-    SubprocessExecutor exec;
+    SubprocessOptions sopts;
+    sopts.fault = fault;
+    SubprocessExecutor exec(std::move(sopts));
     return run_sharded(study, opt, nshards, exec, exchange);
   }
   if (executor == "in-process") {

@@ -39,8 +39,57 @@ namespace critter::dist {
 /// Mid-sweep snapshot exchange schedule: every `every` strategy batches a
 /// shard publishes its delta and folds in its peers' (0 = exchange only
 /// through the final fold — the legacy merge_shards behavior).
+///
+/// `strict` governs what a shard does when a peer's round delta is not
+/// available in time (missing past the exchange deadline, or published but
+/// corrupt).  Strict — the default, and the only mode under which the
+/// cross-executor determinism contract is asserted — keeps the historical
+/// abort semantics: the waiting worker fails and the fleet handles it per
+/// its FaultPolicy.  Non-strict degrades gracefully: the shard skips that
+/// peer for that round, records the skip (it replays identically from a
+/// checkpoint and is surfaced in the result), and sweeps on — trading
+/// exchange determinism for availability, never correctness of the final
+/// fold (own contributions are tracked separately and still count exactly
+/// once).
 struct ExchangePolicy {
   int every = 0;
+  bool strict = true;
+};
+
+/// Per-shard fault handling of the subprocess fleet (DESIGN.md §10).
+///
+/// Deadlines are per-phase, replacing the old single flat run timeout:
+/// `startup_deadline_s` bounds launch → first heartbeat,
+/// `progress_deadline_s` bounds the gap between heartbeat advances (it must
+/// exceed the slowest single batch — workers beat per batch and during
+/// exchange waits), and `exchange_deadline_s` bounds a worker's wait for
+/// one peer's round delta.  A worker making steady progress is never
+/// killed, no matter how long the whole sweep runs.
+struct FaultPolicy {
+  /// Relaunches per shard before the fault is terminal (0 = the historical
+  /// abort-on-first-fault behavior).
+  int max_retries = 0;
+  /// Exponential backoff before relaunch k (1-based):
+  /// min(backoff_initial_s * 2^(k-1), backoff_max_s).
+  double backoff_initial_s = 0.25;
+  double backoff_max_s = 4.0;
+  double startup_deadline_s = 60.0;
+  double progress_deadline_s = 300.0;
+  double exchange_deadline_s = 300.0;
+  /// What a shard's terminal fault does to the run: Abort fails the fleet
+  /// (every retry exhausted — the strict default); Degrade abandons the
+  /// worker and the launcher completes the shard's range in-process
+  /// instead.  Degraded completion is bit-identical with exchange off; with
+  /// exchange on it requires non-strict mode and explicitly relaxes the
+  /// exchange-determinism contract (the fallback session exchanges
+  /// nothing), while the final fold still counts every shard's own
+  /// contribution exactly once.
+  enum class OnExhausted : std::uint8_t { Abort, Degrade };
+  OnExhausted on_exhausted = OnExhausted::Abort;
+  /// Publish a recovery checkpoint every N completed batches (0 = off).
+  /// A relaunched worker resumes from its last valid checkpoint; resume is
+  /// bit-identical to an uninterrupted run (DESIGN.md §10 replay rules).
+  int checkpoint_every = 0;
 };
 
 /// One shard's contiguous slice [begin, end) of the sweep's configuration
@@ -69,6 +118,15 @@ struct ShardResult {
   int evaluated = 0;
   int exchange_rounds = 0;  ///< delta-publish rounds this shard performed
   core::StatSnapshot stats;
+
+  // --- fault-recovery record (subprocess executor; zero elsewhere) ---
+  int retries = 0;          ///< relaunches this shard consumed
+  bool recovered = false;   ///< completed after >= 1 relaunch
+  bool degraded = false;    ///< completed by the launcher's in-process fallback
+  int exchange_skips = 0;   ///< non-strict exchange rounds skipped
+  int checkpoints = 0;      ///< checkpoints the final worker attempt published
+  int resumed_batches = 0;  ///< batches replayed from the resume checkpoint
+  std::string failure;      ///< last classified failure, empty if none
 };
 
 /// Transport-agnostic shard execution: run every range as an independent
@@ -118,10 +176,18 @@ struct SubprocessOptions {
   /// binary's main() must route --shard-worker invocations into
   /// shard_worker_main() before any other argument handling.
   std::string worker_binary;
-  /// Abandon the run (abort the fleet, fail with a diagnosis) when a worker
-  /// has neither exited nor published within this budget.
-  double timeout_s = 300.0;
+  /// Per-shard retry/backoff/deadline/checkpoint policy.  The defaults
+  /// reproduce the historical behavior (no retries, no checkpoints, abort
+  /// on the first fault) with stall detection now progress-based (per-shard
+  /// heartbeats) instead of a whole-run wall clock.
+  FaultPolicy fault;
   bool keep_run_dir = false;
+  /// Test-only fault injection, written into the run manifest:
+  /// "<shard>:<mode>[:<arg>[:<times>]]" — see DESIGN.md §10 for the modes
+  /// (crash-after-batch, crash-on-start, hang-after-batch, corrupt-delta,
+  /// corrupt-checkpoint, kill-mid-checkpoint, slow-exchange, skip-result).
+  /// The CRITTER_SHARD_FAULT environment variable overrides this knob.
+  std::string fault_injection;
 };
 
 /// One OS process per shard: the distributed-memory execution the paper
@@ -159,14 +225,18 @@ tune::TuneResult run_sharded(const tune::Study& study,
                              ShardExecutor& exec,
                              const ExchangePolicy& exchange = {});
 
-/// CLI convenience (the examples' --shards/--executor/--exchange-every
-/// flags): run through the executor named "subprocess" or "in-process"
-/// (thread-parallel shards), or plain run_study() when nshards <= 1.
-/// Unknown names CRITTER_CHECK-fail listing the known ones.
+/// CLI convenience (the examples' --shards/--executor/--exchange-every/
+/// --max-retries/--checkpoint-every/--exchange-strict flags): run through
+/// the executor named "subprocess" or "in-process" (thread-parallel
+/// shards), or plain run_study() when nshards <= 1.  `fault` only applies
+/// to the subprocess executor (in-process shards cannot crash
+/// independently).  Unknown names CRITTER_CHECK-fail listing the known
+/// ones.
 tune::TuneResult run_sharded_named(const tune::Study& study,
                                    const tune::TuneOptions& opt, int nshards,
                                    const std::string& executor,
-                                   int exchange_every);
+                                   const ExchangePolicy& exchange = {},
+                                   const FaultPolicy& fault = {});
 
 /// True when argv carries --shard-worker: main() must then hand the
 /// process to shard_worker_main() (and exit with its return value) before

@@ -93,6 +93,13 @@ std::string manifest_name(const std::string& name) { return name + ".ok"; }
 
 }  // namespace
 
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  write_file(tmp, content);
+  CRITTER_CHECK(::rename(tmp.c_str(), path.c_str()) == 0,
+                "rename failed for " + path + ": " + std::strerror(errno));
+}
+
 void publish_file(const std::string& dir, const std::string& name,
                   const std::string& payload) {
   atomic_write(dir, name, payload);

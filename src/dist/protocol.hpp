@@ -27,6 +27,12 @@ std::string read_file(const std::string& path);
 /// Plain (non-atomic) write; for artifacts produced before any reader
 /// exists, e.g. the run manifest written before workers launch.
 void write_file(const std::string& path, const std::string& content);
+/// Atomic single-file write (tmp + rename, no manifest): readers see the
+/// old content or the new, never a torn mix.  For frequently rewritten
+/// best-effort artifacts like heartbeat files, where the two-step publish
+/// protocol's manifest would double the write traffic for no benefit (a
+/// heartbeat's value is that it *changed*, not what it says).
+void write_file_atomic(const std::string& path, const std::string& content);
 /// mkdir, existing directory OK; parents must exist.
 void make_dir(const std::string& path);
 /// Fresh private directory under $TMPDIR (default /tmp).

@@ -9,6 +9,7 @@
 #include "core/stat_store.hpp"
 #include "dist/executor.hpp"
 #include "tune/tuner.hpp"
+#include "util/check.hpp"
 
 namespace critter::dist {
 
@@ -44,6 +45,51 @@ class ShardSession {
     return ran;
   }
 
+  /// One ask/evaluate/tell round, reporting the batch positions and their
+  /// outcomes (the subprocess worker's checkpoint log); false when the
+  /// strategy is exhausted.  Bit-identical to run_segment(1).
+  bool step_logged(std::vector<int>* batch,
+                   std::vector<tune::ConfigOutcome>* outcomes) {
+    *batch = session_.ask();
+    if (batch->empty()) {
+      done_ = true;
+      return false;
+    }
+    *outcomes = session_.evaluate(*batch);
+    session_.tell(*outcomes);
+    return true;
+  }
+
+  /// Checkpoint replay: re-ask the strategy and feed it the recorded
+  /// outcomes without evaluating (tell() contributes no kernel statistics
+  /// — the resumed session's statistics were restored wholesale).  The
+  /// strategy must propose the recorded batch exactly; anything else means
+  /// the checkpoint belongs to a different run.
+  void replay_tell(const std::vector<int>& batch,
+                   const std::vector<tune::ConfigOutcome>& outcomes) {
+    const std::vector<int> asked = session_.ask();
+    CRITTER_CHECK(asked == batch,
+                  "checkpoint replay diverged: the strategy proposed a "
+                  "different batch than the checkpoint recorded");
+    session_.tell(outcomes);
+  }
+
+  /// Checkpoint replay of one peer's historical round delta: strategy
+  /// ingestion only (see Tuner::replay_exchange).
+  void replay_exchange(const core::StatSnapshot& peer_delta) {
+    session_.replay_exchange(peer_delta);
+  }
+
+  /// Restore the exchange bookkeeping a checkpoint recorded (after the
+  /// told-batch replay): the delta baseline, the own-contribution
+  /// accumulator, and the completed-round count.
+  void restore_exchange_state(core::StatSnapshot mark, core::StatSnapshot own,
+                              int rounds) {
+    mark_ = std::move(mark);
+    own_ = std::move(own);
+    rounds_ = rounds;
+  }
+
   /// The statistics delta grown since the last publish point; folds it
   /// into the shard's own contribution and advances the publish baseline.
   core::StatSnapshot take_delta() {
@@ -70,6 +116,7 @@ class ShardSession {
   int rounds() const { return rounds_; }
   tune::Tuner& session() { return session_; }
   const core::StatSnapshot& own_stats() const { return own_; }
+  const core::StatSnapshot& mark() const { return mark_; }
 
   /// The shard product for the fold: session outcomes restricted to the
   /// range, with `stats` replaced by the shard's own contribution.

@@ -4,18 +4,28 @@
 //
 //   <run_dir>/run.txt            run manifest: study identity (workload,
 //                                scale, configuration indices), tuning
-//                                options, shard ranges, exchange interval
+//                                options, shard ranges, exchange interval,
+//                                fault-injection spec
 //   <run_dir>/warm.snap[.ok]     optional warm-start snapshot
 //   <run_dir>/shard<k>/          per-shard: result.bin[.ok] (published
-//                                ShardResult), error.txt, log.txt
+//                                ShardResult), ckpt_a.bin/ckpt_b.bin[.ok]
+//                                (alternating recovery checkpoints),
+//                                heartbeat (atomically rewritten liveness
+//                                counter), error.txt, log.txt
 //   <run_dir>/exchange/          mailbox: s<k>_r<j>.snap[.ok] round deltas,
 //                                s<k>.done final round-count markers
-//   <run_dir>/abort              written by the launcher on fleet failure;
-//                                waiting workers poll it and bail out
+//   <run_dir>/abort[.ok]         published by the launcher on fleet
+//                                failure; waiting workers poll it and bail
 //
-// The launcher never blocks without watching its children: a worker that
-// crashes, stalls past the timeout, or exits without publishing surfaces
-// as a std::runtime_error naming the shard and the kept run directory.
+// Fault tolerance (DESIGN.md §10): the launcher classifies worker faults —
+// nonzero exit, stalled heartbeat, unusable result — and relaunches with
+// exponential backoff per FaultPolicy instead of aborting on first fault.
+// A relaunched worker resumes from its last valid checkpoint and replays
+// the recorded session prefix, so recovery is bit-identical to an
+// uninterrupted run.  Terminal faults either abort the fleet (the strict
+// default, with the shard and kept run directory named in the error) or
+// degrade: the launcher completes the shard's range in-process.
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdint>
@@ -23,7 +33,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include <fcntl.h>
@@ -31,9 +43,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "dist/checkpoint.hpp"
 #include "dist/executor.hpp"
 #include "dist/protocol.hpp"
 #include "dist/shard_session.hpp"
+#include "dist/wire.hpp"
 #include "util/check.hpp"
 
 namespace critter::dist {
@@ -41,46 +55,10 @@ namespace critter::dist {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Little binary writer/reader over strings (the ShardResult wire format)
+// ShardResult wire format (framing helpers in dist/wire.hpp)
 // ---------------------------------------------------------------------------
 
-constexpr char kResultMagic[8] = {'C', 'R', 'S', 'H', 'R', 'E', 'S', '1'};
-
-struct WireWriter {
-  std::string out;
-  void raw(const void* p, std::size_t n) {
-    out.append(static_cast<const char*>(p), n);
-  }
-  void u8(std::uint8_t v) { raw(&v, 1); }
-  void i32(std::int32_t v) { raw(&v, 4); }
-  void i64(std::int64_t v) { raw(&v, 8); }
-  void f64(double v) { raw(&v, 8); }
-  void str(const std::string& s) {
-    i32(static_cast<std::int32_t>(s.size()));
-    raw(s.data(), s.size());
-  }
-};
-
-struct WireReader {
-  const std::string& in;
-  std::size_t pos = 0;
-  void raw(void* p, std::size_t n) {
-    CRITTER_CHECK(pos + n <= in.size(), "shard result: truncated payload");
-    std::memcpy(p, in.data() + pos, n);
-    pos += n;
-  }
-  std::uint8_t u8() { std::uint8_t v; raw(&v, 1); return v; }
-  std::int32_t i32() { std::int32_t v; raw(&v, 4); return v; }
-  std::int64_t i64() { std::int64_t v; raw(&v, 8); return v; }
-  double f64() { double v; raw(&v, 8); return v; }
-  std::string str() {
-    const std::int32_t n = i32();
-    CRITTER_CHECK(n >= 0 && n <= (1 << 20), "shard result: implausible string");
-    std::string s(static_cast<std::size_t>(n), '\0');
-    raw(s.data(), s.size());
-    return s;
-  }
-};
+constexpr char kResultMagic[8] = {'C', 'R', 'S', 'H', 'R', 'E', 'S', '2'};
 
 std::string serialize_result(const ShardResult& r) {
   WireWriter w;
@@ -95,27 +73,12 @@ std::string serialize_result(const ShardResult& r) {
   w.str(r.fallback_reason);
   w.i32(r.evaluated);
   w.i32(r.exchange_rounds);
+  w.i32(r.exchange_skips);
+  w.i32(r.checkpoints);
+  w.i32(r.resumed_batches);
   for (std::size_t j = 0; j < r.outcomes.size(); ++j) {
-    const tune::ConfigOutcome& oc = r.outcomes[j];
-    w.i32(oc.config.index);
-    w.u8(oc.evaluated ? 1 : 0);
-    w.u8(oc.pruned ? 1 : 0);
-    w.f64(oc.true_time);
-    w.f64(oc.pred_time);
-    w.f64(oc.err);
-    w.f64(oc.true_comp_time);
-    w.f64(oc.pred_comp_time);
-    w.f64(oc.comp_err);
-    w.f64(oc.sel_wall);
-    w.f64(oc.sel_kernel_time);
-    w.i64(oc.executed);
-    w.i64(oc.skipped);
-    w.i32(oc.samples_used);
-    const tune::ConfigTotals& t = r.totals[j];
-    w.f64(t.tuning_time);
-    w.f64(t.full_time);
-    w.f64(t.kernel_time);
-    w.f64(t.full_kernel_time);
+    write_outcome(w, r.outcomes[j]);
+    write_totals(w, r.totals[j]);
   }
   w.u8(r.stats.empty() ? 0 : 1);
   if (!r.stats.empty()) {
@@ -152,34 +115,16 @@ ShardResult parse_result(const std::string& payload, const tune::Study& study,
   out.fallback_reason = r.str();
   out.evaluated = r.i32();
   out.exchange_rounds = r.i32();
+  out.exchange_skips = r.i32();
+  out.checkpoints = r.i32();
+  out.resumed_batches = r.i32();
   const int n = expect.end - expect.begin;
   out.outcomes.resize(n);
   out.totals.resize(n);
   for (int j = 0; j < n; ++j) {
-    tune::ConfigOutcome& oc = out.outcomes[j];
-    const std::int32_t idx = r.i32();
-    oc.config = study.configs[expect.begin + j];
-    CRITTER_CHECK(idx == oc.config.index,
-                  "shard result: configuration index mismatch — worker and "
-                  "launcher disagree about the study");
-    oc.evaluated = r.u8() != 0;
-    oc.pruned = r.u8() != 0;
-    oc.true_time = r.f64();
-    oc.pred_time = r.f64();
-    oc.err = r.f64();
-    oc.true_comp_time = r.f64();
-    oc.pred_comp_time = r.f64();
-    oc.comp_err = r.f64();
-    oc.sel_wall = r.f64();
-    oc.sel_kernel_time = r.f64();
-    oc.executed = r.i64();
-    oc.skipped = r.i64();
-    oc.samples_used = r.i32();
-    tune::ConfigTotals& t = out.totals[j];
-    t.tuning_time = r.f64();
-    t.full_time = r.f64();
-    t.kernel_time = r.f64();
-    t.full_kernel_time = r.f64();
+    out.outcomes[j].config = study.configs[expect.begin + j];
+    read_outcome(r, out.outcomes[j], "shard result");
+    read_totals(r, out.totals[j]);
   }
   if (r.u8() != 0) {
     std::istringstream is(payload.substr(r.pos));
@@ -235,8 +180,9 @@ Manifest parse_manifest(const std::string& text) {
 std::string build_manifest(const tune::Study& study, bool paper_scale,
                            const tune::TuneOptions& opt,
                            const std::vector<ShardRange>& shards,
-                           const ExchangePolicy& exchange, double timeout_s,
-                           bool warm) {
+                           const ExchangePolicy& exchange,
+                           const FaultPolicy& fault,
+                           const std::string& fault_injection, bool warm) {
   std::ostringstream os;
   os << "workload=" << study.workload << "\n";
   os << "paper_scale=" << (paper_scale ? 1 : 0) << "\n";
@@ -267,8 +213,14 @@ std::string build_manifest(const tune::Study& study, bool paper_scale,
                 "prior_file must be single-line");
   os << "prior_file=" << opt.prior_file << "\n";
   os << "exchange_every=" << exchange.every << "\n";
+  os << "exchange_strict=" << (exchange.strict ? 1 : 0) << "\n";
+  os << "exchange_deadline_s=" << hex_double(fault.exchange_deadline_s)
+     << "\n";
+  os << "checkpoint_every=" << fault.checkpoint_every << "\n";
+  CRITTER_CHECK(fault_injection.find('\n') == std::string::npos,
+                "fault-injection spec must be single-line");
+  os << "fault=" << fault_injection << "\n";
   os << "nshards=" << shards.size() << "\n";
-  os << "timeout_s=" << hex_double(timeout_s) << "\n";
   os << "warm_start=" << (warm ? 1 : 0) << "\n";
   // An in-memory model prior travels as a published snapshot, exactly like
   // the warm start (the worker cannot see the launcher's memory).
@@ -308,22 +260,69 @@ std::string done_name(int shard) {
 }
 
 // ---------------------------------------------------------------------------
-// Worker side
+// Fault injection (test-only)
 // ---------------------------------------------------------------------------
 
-/// Test-only fault injection: CRITTER_SHARD_FAULT="<index>:<mode>" makes
-/// shard <index> misbehave — "crash-after-batch" kills the process after
-/// its first evaluated batch, "skip-result" finishes the sweep but never
-/// publishes its result.  Exercised by the failure-path tests.
-std::string shard_fault(int index) {
-  const char* spec = std::getenv("CRITTER_SHARD_FAULT");
-  if (spec == nullptr) return {};
-  const std::string s = spec;
-  const auto colon = s.find(':');
-  if (colon == std::string::npos) return {};
-  if (std::atoi(s.substr(0, colon).c_str()) != index) return {};
-  return s.substr(colon + 1);
+/// "<index>:<mode>[:<arg>[:<times>]]" from the CRITTER_SHARD_FAULT
+/// environment variable (overrides) or the run manifest's `fault=` key.
+/// Modes and their `arg`:
+///   crash-after-batch   _exit(42) after `arg` batches of the attempt (1)
+///   crash-on-start      _exit(41) before doing anything
+///   hang-after-batch    stop beating and sleep forever after `arg` batches
+///   corrupt-delta       corrupt the published round-`arg` delta (0)
+///   corrupt-checkpoint  corrupt checkpoint #`arg` (2), then _exit(43)
+///   kill-mid-checkpoint SIGKILL between checkpoint #`arg` (2)'s payload
+///                       rename and its manifest write (the kill-9 torn
+///                       point)
+///   slow-exchange       delay the round-0 delta publish by `arg` ms (1000)
+///   skip-result         finish but never publish the result (always fires)
+/// `times` bounds how many worker attempts fire the fault (default 1), via
+/// a counter file in the shard directory — a relaunch runs clean, which is
+/// what makes recovery testable.
+struct FaultSpec {
+  std::string mode;
+  long arg = 0;
+  long times = 1;
+};
+
+FaultSpec shard_fault(int index, const Manifest& m) {
+  std::string s;
+  if (const char* env = std::getenv("CRITTER_SHARD_FAULT"); env != nullptr)
+    s = env;
+  else if (const auto it = m.find("fault"); it != m.end())
+    s = it->second;
+  if (s.empty()) return {};
+  std::vector<std::string> tok;
+  std::istringstream is(s);
+  std::string t;
+  while (std::getline(is, t, ':')) tok.push_back(t);
+  if (tok.size() < 2) return {};
+  if (std::atoi(tok[0].c_str()) != index) return {};
+  FaultSpec f;
+  f.mode = tok[1];
+  if (tok.size() > 2 && !tok[2].empty()) f.arg = std::atol(tok[2].c_str());
+  if (tok.size() > 3 && !tok[3].empty()) f.times = std::atol(tok[3].c_str());
+  return f;
 }
+
+/// Consume one firing of the fault; false once `times` attempts fired.
+bool fault_fires(const std::string& shard_dir, const FaultSpec& f) {
+  const std::string marker = shard_dir + "/fault_" + f.mode + ".count";
+  long fired = 0;
+  if (file_exists(marker)) {
+    try {
+      fired = std::atol(read_file(marker).c_str());
+    } catch (...) {
+    }
+  }
+  if (fired >= f.times) return false;
+  write_file(marker, std::to_string(fired + 1));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
 
 struct WorkerArgs {
   std::string run_dir;
@@ -396,48 +395,189 @@ ShardRange shard_range_of(const Manifest& m, int shard) {
 }
 
 void check_not_aborted(const std::string& run_dir) {
-  if (!file_exists(run_dir + "/abort")) return;
+  // The abort marker goes through the same atomic publish protocol as
+  // every other run-dir artifact, so a poll never observes a half-written
+  // reason (satellite fix: this used to be a plain racy write).
+  if (!published(run_dir, "abort")) return;
   std::string why;
   try {
-    why = read_file(run_dir + "/abort");
+    why = read_published(run_dir, "abort");
   } catch (...) {
   }
   CRITTER_CHECK(false, "run aborted by launcher: " + why);
 }
 
+/// Per-shard liveness file: an atomically rewritten monotone counter.  The
+/// launcher's stall detector only reads whether the content *changed*, so
+/// pid + counter make every write (and every relaunch) distinct.  Beats are
+/// best-effort — a worker must never die because its heartbeat write
+/// failed.
+struct Heartbeat {
+  std::string path;
+  std::uint64_t n = 0;
+  void beat(int batches) {
+    std::string s = "pid=" + std::to_string(static_cast<long>(::getpid())) +
+                    " beat=" + std::to_string(n++) +
+                    " batches=" + std::to_string(batches) + "\n";
+    try {
+      write_file_atomic(path, s);
+    } catch (...) {
+    }
+  }
+};
+
+struct PeerWait {
+  bool skipped = false;
+  core::StatSnapshot snap;
+};
+
 /// Block until peer `p`'s round-`round` delta is available or provably
-/// absent (the peer finished earlier); returns the delta or an empty
-/// snapshot.  Never waits past `timeout_s` or an abort marker.
-core::StatSnapshot await_peer_delta(const std::string& run_dir, int p,
-                                    int round, double timeout_s) {
+/// absent (the peer finished earlier).  Strict mode fails on a corrupt
+/// delta or past the deadline (today's abort semantics); non-strict
+/// returns skipped=true instead — a corrupt publish is permanent (the
+/// rename is atomic), so it skips immediately rather than waiting out the
+/// deadline.  Beats `hb` while waiting so a legitimately-waiting worker is
+/// never stall-killed.
+PeerWait await_peer_delta(const std::string& run_dir, int p, int round,
+                          double deadline_s, bool strict, Heartbeat& hb,
+                          int batches) {
   const std::string exch = run_dir + "/exchange";
-  const double deadline = monotonic_s() + timeout_s;
+  const double deadline = monotonic_s() + deadline_s;
+  int polls = 0;
   while (true) {
     if (published(exch, delta_name(p, round))) {
-      const std::string payload = read_published(exch, delta_name(p, round));
-      // Empty payload: the peer session has no shared statistics to trade
-      // (isolated mode) — a published, verifiable nothing.
-      if (payload.empty()) return {};
-      std::istringstream is(payload);
-      return core::StatSnapshot::load(is);
+      try {
+        const std::string payload = read_published(exch, delta_name(p, round));
+        // Empty payload: the peer session has no shared statistics to
+        // trade (isolated mode) — a published, verifiable nothing.
+        if (payload.empty()) return {};
+        std::istringstream is(payload);
+        return {false, core::StatSnapshot::load(is)};
+      } catch (...) {
+        if (strict) throw;
+        return {true, {}};
+      }
     }
     if (published(exch, done_name(p))) {
       const std::string marker = read_published(exch, done_name(p));
       int rounds = -1;
       if (std::sscanf(marker.c_str(), "rounds=%d", &rounds) != 1) rounds = -1;
-      CRITTER_CHECK(rounds >= 0, "stale done marker from shard " +
-                                     std::to_string(p));
+      CRITTER_CHECK(rounds >= 0,
+                    "stale done marker from shard " + std::to_string(p));
       // The peer publishes every delta before its done marker, so a
       // visible marker with rounds <= round proves no delta is coming.
       if (rounds <= round) return {};
     }
     check_not_aborted(run_dir);
-    CRITTER_CHECK(monotonic_s() < deadline,
-                  "timed out waiting for shard " + std::to_string(p) +
-                      "'s round-" + std::to_string(round) +
-                      " exchange delta");
+    if (monotonic_s() >= deadline) {
+      CRITTER_CHECK(!strict, "timed out waiting for shard " +
+                                 std::to_string(p) + "'s round-" +
+                                 std::to_string(round) + " exchange delta");
+      return {true, {}};
+    }
+    if (++polls % 20 == 0) hb.beat(batches);
     sleep_ms(5);
   }
+}
+
+/// Non-blocking mailbox read for checkpoint replay: everything the
+/// original session absorbed is still published (deltas are never
+/// retracted), so an unreadable entry means the run directory is
+/// inconsistent with the checkpoint — the caller falls back to a clean
+/// restart.
+core::StatSnapshot read_peer_now(const std::string& run_dir, int p,
+                                 int round) {
+  const std::string exch = run_dir + "/exchange";
+  if (published(exch, delta_name(p, round))) {
+    const std::string payload = read_published(exch, delta_name(p, round));
+    if (payload.empty()) return {};
+    std::istringstream is(payload);
+    return core::StatSnapshot::load(is);
+  }
+  if (published(exch, done_name(p))) {
+    const std::string marker = read_published(exch, done_name(p));
+    int rounds = -1;
+    if (std::sscanf(marker.c_str(), "rounds=%d", &rounds) == 1 &&
+        rounds >= 0 && rounds <= round)
+      return {};
+  }
+  CRITTER_CHECK(false, "checkpoint replay: peer " + std::to_string(p) +
+                           "'s round-" + std::to_string(round) +
+                           " delta vanished from the mailbox");
+  return {};
+}
+
+bool load_latest_checkpoint(const std::string& shard_dir,
+                            const tune::Study& study, const ShardRange& range,
+                            ShardCheckpoint* out) {
+  bool found = false;
+  for (const char* name : {"ckpt_a.bin", "ckpt_b.bin"}) {
+    if (!published(shard_dir, name)) continue;
+    try {
+      ShardCheckpoint c =
+          parse_checkpoint(read_published(shard_dir, name), study, range);
+      if (!found || c.seq > out->seq) {
+        *out = std::move(c);
+        found = true;
+      }
+    } catch (const std::exception&) {
+      // Torn or corrupt slot: fall back to the other one, or clean restart.
+    }
+  }
+  return found;
+}
+
+/// Clean restart must drop any surviving slots: later checkpoints restart
+/// the sequence at 1, and a stale higher-seq slot would win the next
+/// resume.
+void discard_checkpoints(const std::string& shard_dir) {
+  for (const char* name : {"ckpt_a.bin", "ckpt_b.bin"}) {
+    for (const char* suffix : {"", ".ok", ".tmp", ".ok.tmp"})
+      ::remove((shard_dir + "/" + name + suffix).c_str());
+  }
+}
+
+/// Rebuild a session at the checkpoint's cursor: import the statistics
+/// wholesale, then re-ask/re-tell every recorded batch (asks are a pure
+/// function of strategy state; tells grow no statistics) with historical
+/// exchange deltas re-read from the mailbox and fed to the strategy only —
+/// merge_state would double-count what the imported snapshot already
+/// contains.  Throws if anything diverges; the caller then restarts clean.
+std::unique_ptr<ShardSession> resume_session(
+    const tune::Study& study, const tune::TuneOptions& opt,
+    const ShardRange& range, const ShardCheckpoint& ck, bool exchanging,
+    int every, int nshards, const std::string& run_dir, Heartbeat& hb) {
+  auto ss = std::make_unique<ShardSession>(study, opt);
+  ss->session().import_state(ck.full);
+  const auto skipped_at = [&ck](int round, int peer) {
+    for (const auto& [r, p] : ck.skipped)
+      if (r == round && p == peer) return true;
+    return false;
+  };
+  int round = 0, in_round = 0, batches = 0;
+  for (const ShardCheckpoint::ToldBatch& tb : ck.told) {
+    ss->replay_tell(tb.positions, tb.outcomes);
+    hb.beat(++batches);
+    ++in_round;
+    if (exchanging && in_round == every) {
+      for (int p = 0; p < nshards; ++p) {
+        if (p == range.index || skipped_at(round, p)) continue;
+        const core::StatSnapshot peer = read_peer_now(run_dir, p, round);
+        if (!peer.empty()) ss->replay_exchange(peer);
+      }
+      ++round;
+      in_round = 0;
+    }
+  }
+  CRITTER_CHECK(round == ck.rounds && in_round == ck.in_round,
+                "checkpoint replay diverged: round cursors do not match");
+  std::vector<tune::ConfigTotals> totals(study.configs.size());
+  for (int i = range.begin; i < range.end; ++i)
+    totals[i] = ck.totals[i - range.begin];
+  ss->session().restore_totals(std::move(totals));
+  if (ck.has_exchange_state)
+    ss->restore_exchange_state(ck.mark, ck.own, ck.rounds);
+  return ss;
 }
 
 int worker_body(const WorkerArgs& args) {
@@ -463,59 +603,173 @@ int worker_body(const WorkerArgs& args) {
   }
   const int nshards = static_cast<int>(manifest_int(m, "nshards"));
   const int every = static_cast<int>(manifest_int(m, "exchange_every"));
-  const double timeout_s = manifest_double(m, "timeout_s");
+  const bool strict = manifest_int(m, "exchange_strict") != 0;
+  const int ckpt_every = static_cast<int>(manifest_int(m, "checkpoint_every"));
+  const double exchange_deadline_s = manifest_double(m, "exchange_deadline_s");
   const std::string shard_dir =
       args.run_dir + "/shard" + std::to_string(args.shard);
   const std::string exch = args.run_dir + "/exchange";
-  const std::string fault = shard_fault(args.shard);
+  const FaultSpec fault = shard_fault(args.shard, m);
+  const bool exchanging = every > 0 && nshards > 1;
 
-  ShardResult result;
-  if (every <= 0 || nshards <= 1) {
-    // No mid-sweep exchange: the plain sweep, so an exchange-off worker is
-    // bit-identical to the legacy in-process shard.
-    if (fault == "crash-after-batch") {
-      // Die genuinely mid-sweep: one batch through a session, then crash.
-      tune::Tuner session(study, opt);
-      session.step();
-      ::_exit(42);
-    }
-    const tune::TuneResult r = tune::run_study(study, opt);
-    result = shard_result_from(r, range);
-  } else {
-    ShardSession ss(study, opt);
-    // An isolated-mode session exports no shared statistics; its rounds
-    // publish empty payloads that peers skip — the same no-op the
-    // in-process executor's absorb of an empty delta performs.
-    const auto publish_delta = [&](int round_no) {
-      const core::StatSnapshot delta = ss.take_delta();
-      std::string payload;
-      if (!delta.empty()) {
-        std::ostringstream os;
-        delta.save(os, core::StatSnapshot::Format::Binary);
-        payload = os.str();
+  Heartbeat hb{shard_dir + "/heartbeat"};
+  if (fault.mode == "crash-on-start" && fault_fires(shard_dir, fault))
+    ::_exit(41);
+  hb.beat(0);
+
+  // --- resume from the last valid checkpoint, if any ---
+  std::unique_ptr<ShardSession> ss;
+  std::vector<ShardCheckpoint::ToldBatch> told;
+  std::vector<std::pair<int, int>> skipped;
+  int batches = 0, round = 0, in_round = 0, skips = 0, resumed_batches = 0;
+  std::int64_t ckpt_seq = 0;
+  if (ckpt_every > 0) {
+    ShardCheckpoint ck;
+    if (load_latest_checkpoint(shard_dir, study, range, &ck)) {
+      try {
+        ss = resume_session(study, opt, range, ck, exchanging, every, nshards,
+                            args.run_dir, hb);
+        batches = ck.batches;
+        round = ck.rounds;
+        in_round = ck.in_round;
+        skips = ck.exchange_skips;
+        skipped = ck.skipped;
+        told = std::move(ck.told);
+        resumed_batches = ck.batches;
+        ckpt_seq = ck.seq;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "shard %d: checkpoint resume failed (%s) — restarting "
+                     "clean\n",
+                     args.shard, e.what());
+        ss.reset();
+        told.clear();
+        skipped.clear();
+        batches = round = in_round = skips = resumed_batches = 0;
+        ckpt_seq = 0;
       }
-      publish_file(exch, delta_name(range.index, round_no), payload);
-    };
-    int in_round = 0, round = 0, total = 0;
-    while (true) {
-      check_not_aborted(args.run_dir);
-      if (ss.run_segment(1) == 0) break;
-      ++total;
-      if (fault == "crash-after-batch" && total == 1) ::_exit(42);
-      if (++in_round < every) continue;
+    }
+  }
+  if (!ss) {
+    discard_checkpoints(shard_dir);
+    ss = std::make_unique<ShardSession>(study, opt);
+  }
+
+  const auto publish_delta = [&](int round_no) {
+    const core::StatSnapshot delta = ss->take_delta();
+    std::string payload;
+    if (!delta.empty()) {
+      std::ostringstream os;
+      delta.save(os, core::StatSnapshot::Format::Binary);
+      payload = os.str();
+    }
+    if (fault.mode == "slow-exchange" && round_no == 0 &&
+        fault_fires(shard_dir, fault)) {
+      // A slow peer, not a dead one: keep beating while stalling so the
+      // launcher sees a live worker — peers decide via their own exchange
+      // deadline.
+      const double until = monotonic_s() + (fault.arg > 0 ? fault.arg : 1000) /
+                                               1000.0;
+      while (monotonic_s() < until) {
+        hb.beat(batches);
+        sleep_ms(10);
+      }
+    }
+    const int corrupt_round = fault.arg > 0 ? static_cast<int>(fault.arg) : 0;
+    if (fault.mode == "corrupt-delta" && round_no == corrupt_round &&
+        fault_fires(shard_dir, fault)) {
+      // Corrupt the mailbox copy only (own_ already folded the real delta):
+      // the publish itself is well-formed but the snapshot bytes inside are
+      // flipped, so every reader deterministically rejects the blob —
+      // corruption at the source, which the manifest cannot catch.
+      std::string bad = payload.empty() ? std::string("x") : payload;
+      bad[0] = static_cast<char>(bad[0] ^ 0x5a);
+      publish_file(exch, delta_name(range.index, round_no), bad);
+      return;
+    }
+    publish_file(exch, delta_name(range.index, round_no), payload);
+  };
+
+  int checkpoints_taken = 0;
+  const auto take_checkpoint = [&]() {
+    ShardCheckpoint c;
+    c.seq = ++ckpt_seq;
+    c.batches = batches;
+    c.rounds = round;
+    c.in_round = in_round;
+    c.exchange_skips = skips;
+    c.skipped = skipped;
+    c.told = told;
+    c.totals.assign(ss->session().totals().begin() + range.begin,
+                    ss->session().totals().begin() + range.end);
+    c.full = ss->session().export_state();
+    if (exchanging) {
+      c.has_exchange_state = true;
+      c.mark = ss->mark();
+      c.own = ss->own_stats();
+    }
+    const std::string payload = serialize_checkpoint(c);
+    const std::string slot = checkpoint_slot_name(c.seq);
+    ++checkpoints_taken;
+    const int ordinal = fault.arg > 0 ? static_cast<int>(fault.arg) : 2;
+    if (fault.mode == "kill-mid-checkpoint" && checkpoints_taken == ordinal &&
+        fault_fires(shard_dir, fault)) {
+      // The kill-9 torn point: payload renamed into place, manifest never
+      // written — the slot's previous manifest (if any) now mismatches.
+      write_file_atomic(shard_dir + "/" + slot, payload);
+      ::kill(::getpid(), SIGKILL);
+    }
+    publish_file(shard_dir, slot, payload);
+    if (fault.mode == "corrupt-checkpoint" && checkpoints_taken == ordinal &&
+        fault_fires(shard_dir, fault)) {
+      std::string bad = payload;
+      bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x5a);
+      write_file(shard_dir + "/" + slot, bad);
+      ::_exit(43);
+    }
+  };
+
+  const long fault_batch = fault.arg > 0 ? fault.arg : 1;
+  int attempt_batches = 0;
+  while (true) {
+    check_not_aborted(args.run_dir);
+    std::vector<int> batch;
+    std::vector<tune::ConfigOutcome> outcomes;
+    if (!ss->step_logged(&batch, &outcomes)) break;
+    told.push_back({batch, std::move(outcomes)});
+    ++batches;
+    ++attempt_batches;
+    ++in_round;
+    hb.beat(batches);
+    if (fault.mode == "crash-after-batch" && attempt_batches == fault_batch &&
+        fault_fires(shard_dir, fault))
+      ::_exit(42);
+    if (fault.mode == "hang-after-batch" && attempt_batches == fault_batch &&
+        fault_fires(shard_dir, fault))
+      while (true) sleep_ms(1000);  // a genuine hang: no beats, no exit
+    if (exchanging && in_round == every) {
       // Publish this shard's round delta, then fold in every peer's, in
       // ascending shard order (the determinism contract).
       publish_delta(round);
       for (int p = 0; p < nshards; ++p) {
         if (p == range.index) continue;
-        const core::StatSnapshot peer =
-            await_peer_delta(args.run_dir, p, round, timeout_s);
-        if (!peer.empty()) ss.absorb(peer);
+        PeerWait peer = await_peer_delta(args.run_dir, p, round,
+                                         exchange_deadline_s, strict, hb,
+                                         batches);
+        if (peer.skipped) {
+          skipped.emplace_back(round, p);
+          ++skips;
+        } else if (!peer.snap.empty()) {
+          ss->absorb(peer.snap);
+        }
       }
-      ss.refresh_mark();
+      ss->refresh_mark();
       ++round;
       in_round = 0;
     }
+    if (ckpt_every > 0 && batches % ckpt_every == 0) take_checkpoint();
+  }
+  if (exchanging) {
     if (in_round > 0) {
       // Trailing partial round: publish so peers still sweeping see it;
       // a finished shard reads no more peers.
@@ -524,10 +778,20 @@ int worker_body(const WorkerArgs& args) {
     }
     publish_file(exch, done_name(range.index),
                  "rounds=" + std::to_string(round) + "\n");
-    result = ss.result(range);
   }
 
-  if (fault == "skip-result") return 0;
+  // Exchange-off results slice the plain session result (stats = the
+  // session's final snapshot, the legacy run_study semantics); exchange-on
+  // results carry the own-contribution snapshot so the fold counts every
+  // sample once.
+  ShardResult result = exchanging
+                           ? ss->result(range)
+                           : shard_result_from(ss->session().result(), range);
+  result.exchange_skips = skips;
+  result.checkpoints = checkpoints_taken;
+  result.resumed_batches = resumed_batches;
+
+  if (fault.mode == "skip-result") return 0;
   publish_file(shard_dir, "result.bin", serialize_result(result));
   return 0;
 }
@@ -565,7 +829,7 @@ pid_t spawn_worker(const std::string& binary, const std::string& run_dir,
   // Child: capture output, then become the worker.
   const std::string log =
       run_dir + "/shard" + std::to_string(shard) + "/log.txt";
-  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  const int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
   if (fd >= 0) {
     ::dup2(fd, 1);
     ::dup2(fd, 2);
@@ -606,73 +870,202 @@ std::string shard_diagnosis(const std::string& run_dir, int shard) {
   return "(no diagnostics recorded)";
 }
 
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", s);
+  return buf;
+}
+
 struct Child {
+  ShardRange range;
   pid_t pid = -1;
-  int shard = -1;
-  bool running = true;
-  int status = 0;
+  bool running = false;
+  int attempts = 0;           ///< launches so far
+  double launched_at = 0.0;
+  std::string beat;           ///< last heartbeat content observed
+  double beat_at = 0.0;
+  bool beat_seen = false;
+  double relaunch_at = -1.0;  ///< >= 0: waiting out a backoff
+  bool done = false;          ///< usable result parsed
+  bool degraded = false;      ///< abandoned to the launcher's fallback
+  std::string last_failure;
+  ShardResult result;
 };
 
-/// Reap children until all exited, the deadline passes, or one fails.  On
-/// failure/timeout: write the abort marker (so peers blocked in exchange
-/// waits bail out), give the rest a grace period, SIGKILL stragglers, and
-/// throw the diagnosis.
-void monitor_fleet(std::vector<Child>& fleet, const std::string& run_dir,
-                   double timeout_s) {
-  const double deadline = monotonic_s() + timeout_s;
-  auto poll = [&]() {
+/// Spawn, supervise, and collect the whole fleet: classify every fault
+/// (exit code vs. stalled heartbeat vs. unusable result), relaunch with
+/// exponential backoff while retries remain, and on exhaustion either
+/// abort the fleet (publishing the abort marker so waiting peers bail) or
+/// degrade the shard to an in-launcher completion.
+std::vector<ShardResult> run_fleet(const tune::Study& study,
+                                   const tune::TuneOptions& opt,
+                                   const std::vector<ShardRange>& shards,
+                                   const ExchangePolicy& exchange,
+                                   const FaultPolicy& fault,
+                                   const std::string& binary,
+                                   const std::string& run_dir) {
+  const bool exchanging = exchange.every > 0 && shards.size() > 1;
+  std::vector<Child> fleet(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) fleet[i].range = shards[i];
+
+  const auto shard_dir_of = [&](const Child& c) {
+    return run_dir + "/shard" + std::to_string(c.range.index);
+  };
+  const auto spawn = [&](Child& c) {
+    // A stale error file from a previous attempt must not masquerade as
+    // this attempt's diagnosis.
+    ::remove((shard_dir_of(c) + "/error.txt").c_str());
+    c.pid = spawn_worker(binary, run_dir, c.range.index);
+    c.running = true;
+    ++c.attempts;
+    c.launched_at = monotonic_s();
+    c.beat_seen = false;
+    c.relaunch_at = -1.0;
+  };
+  const auto poll_exits = [&]() {
     for (Child& c : fleet) {
       if (!c.running) continue;
       int status = 0;
-      const pid_t got = ::waitpid(c.pid, &status, WNOHANG);
-      if (got == c.pid) {
-        c.running = false;
-        c.status = status;
-      }
+      if (::waitpid(c.pid, &status, WNOHANG) == c.pid) c.running = false;
     }
   };
-  auto first_failure = [&]() -> const Child* {
-    for (const Child& c : fleet)
-      if (!c.running && c.status != 0) return &c;
-    return nullptr;
-  };
-  auto any_running = [&]() {
+  const auto any_running = [&]() {
     for (const Child& c : fleet)
       if (c.running) return true;
     return false;
   };
+  const auto abort_fleet = [&](const std::string& failure) {
+    publish_file(run_dir, "abort", failure + "\n");
+    const double grace_deadline = monotonic_s() + 10.0;
+    while (any_running() && monotonic_s() < grace_deadline) {
+      poll_exits();
+      sleep_ms(10);
+    }
+    for (Child& c : fleet)
+      if (c.running) ::kill(c.pid, SIGKILL);
+    while (any_running()) {
+      poll_exits();
+      sleep_ms(5);
+    }
+    CRITTER_CHECK(false, failure + " — run directory kept at " + run_dir);
+  };
+  const auto try_finish = [&](Child& c) {
+    if (!published(shard_dir_of(c), "result.bin")) return false;
+    try {
+      c.result = parse_result(read_published(shard_dir_of(c), "result.bin"),
+                              study, c.range);
+    } catch (const std::exception&) {
+      return false;
+    }
+    c.done = true;
+    return true;
+  };
+  const auto fault_out = [&](Child& c, const std::string& reason) {
+    c.last_failure = reason;
+    if (c.attempts <= fault.max_retries) {
+      double backoff = fault.backoff_initial_s;
+      for (int i = 1; i < c.attempts; ++i) backoff *= 2.0;
+      c.relaunch_at =
+          monotonic_s() + std::min(backoff, fault.backoff_max_s);
+      return;
+    }
+    if (fault.on_exhausted == FaultPolicy::OnExhausted::Degrade) {
+      c.degraded = true;
+      // Tell waiting peers no more deltas are coming from this shard, so
+      // non-strict rounds skip it immediately instead of waiting out the
+      // exchange deadline every round.
+      if (exchanging && !published(run_dir + "/exchange",
+                                   done_name(c.range.index)))
+        publish_file(run_dir + "/exchange", done_name(c.range.index),
+                     "rounds=0\n");
+      return;
+    }
+    std::string failure = "shard worker " + std::to_string(c.range.index) +
+                          " (pid " + std::to_string(c.pid) + ") " + reason;
+    if (c.attempts > 1)
+      failure += " (after " + std::to_string(c.attempts - 1) + " relaunch" +
+                 (c.attempts == 2 ? "" : "es") + ")";
+    abort_fleet(failure);
+  };
 
-  std::string failure;
+  for (Child& c : fleet) spawn(c);
   while (true) {
-    poll();
-    if (const Child* bad = first_failure()) {
-      failure = "shard worker " + std::to_string(bad->shard) + " (pid " +
-                std::to_string(bad->pid) + ") " + describe_exit(bad->status) +
-                ": " + shard_diagnosis(run_dir, bad->shard);
-      break;
+    bool all_settled = true;
+    for (const Child& c : fleet)
+      all_settled = all_settled && (c.done || c.degraded);
+    if (all_settled) break;
+    for (Child& c : fleet) {
+      if (c.done || c.degraded) continue;
+      if (!c.running) {
+        if (c.relaunch_at >= 0.0 && monotonic_s() >= c.relaunch_at) spawn(c);
+        continue;
+      }
+      int status = 0;
+      if (::waitpid(c.pid, &status, WNOHANG) == c.pid) {
+        c.running = false;
+        // A published, parseable result settles the shard no matter how
+        // the process went out (it may have crashed after publishing).
+        if (try_finish(c)) continue;
+        if (status == 0)
+          fault_out(c,
+                    "exited cleanly without publishing a usable shard "
+                    "result");
+        else
+          fault_out(c, describe_exit(status) + ": " +
+                           shard_diagnosis(run_dir, c.range.index));
+        continue;
+      }
+      // Progress-based stall detection: the startup deadline bounds launch
+      // → first heartbeat, the progress deadline bounds the gap between
+      // heartbeat advances.
+      std::string beat;
+      if (file_exists(shard_dir_of(c) + "/heartbeat")) {
+        try {
+          beat = read_file(shard_dir_of(c) + "/heartbeat");
+        } catch (...) {
+        }
+      }
+      if (!beat.empty() && beat != c.beat) {
+        c.beat = beat;
+        c.beat_at = monotonic_s();
+        c.beat_seen = true;
+        continue;
+      }
+      const double ref = c.beat_seen ? c.beat_at : c.launched_at;
+      const double limit =
+          c.beat_seen ? fault.progress_deadline_s : fault.startup_deadline_s;
+      if (monotonic_s() - ref <= limit) continue;
+      ::kill(c.pid, SIGKILL);
+      ::waitpid(c.pid, &status, 0);
+      c.running = false;
+      if (try_finish(c)) continue;  // hung after publishing: still usable
+      fault_out(c, "stalled: no heartbeat progress within " +
+                       format_seconds(limit) + "s");
     }
-    if (!any_running()) return;
-    if (monotonic_s() > deadline) {
-      failure = "timed out after " + std::to_string(timeout_s) +
-                "s waiting for shard workers";
-      break;
-    }
-    sleep_ms(10);
-  }
-
-  write_file(run_dir + "/abort", failure + "\n");
-  const double grace_deadline = monotonic_s() + 10.0;
-  while (any_running() && monotonic_s() < grace_deadline) {
-    poll();
-    sleep_ms(10);
-  }
-  for (Child& c : fleet)
-    if (c.running) ::kill(c.pid, SIGKILL);
-  while (any_running()) {
-    poll();
     sleep_ms(5);
   }
-  CRITTER_CHECK(false, failure + " — run directory kept at " + run_dir);
+
+  // Degraded completion: the launcher sweeps the abandoned ranges itself,
+  // in shard order.  Bit-identical with exchange off; with exchange on the
+  // fallback session exchanges nothing (the documented §10 relaxation).
+  for (Child& c : fleet) {
+    if (!c.degraded) continue;
+    tune::TuneOptions sopt = opt;
+    sopt.config_begin = c.range.begin;
+    sopt.config_end = c.range.end;
+    c.result = shard_result_from(tune::run_study(study, sopt), c.range);
+  }
+
+  std::vector<ShardResult> results;
+  results.reserve(fleet.size());
+  for (Child& c : fleet) {
+    c.result.retries = c.attempts - 1;
+    c.result.recovered = c.done && c.attempts > 1;
+    c.result.degraded = c.degraded;
+    c.result.failure = c.last_failure;
+    results.push_back(std::move(c.result));
+  }
+  return results;
 }
 
 }  // namespace
@@ -684,6 +1077,12 @@ std::vector<ShardResult> SubprocessExecutor::run(
                 "subprocess executor requires a registry workload "
                 "(Study::workload) so shard workers can rebuild the study; "
                 "ad-hoc studies can only run in-process");
+  CRITTER_CHECK(
+      !(opts_.fault.on_exhausted == FaultPolicy::OnExhausted::Degrade &&
+        exchange.every > 0 && shards.size() > 1 && exchange.strict),
+      "degraded shard completion with mid-sweep exchange requires "
+      "non-strict mode (ExchangePolicy::strict = false) — a degraded "
+      "shard stops exchanging, which strict peers treat as a fault");
   const bool paper_scale = detect_paper_scale(study);
   const std::string binary =
       opts_.worker_binary.empty() ? self_binary() : opts_.worker_binary;
@@ -715,29 +1114,11 @@ std::vector<ShardResult> SubprocessExecutor::run(
   const bool warm = opt.warm_start != nullptr && !opt.warm_start->empty();
   write_file(run_dir + "/run.txt",
              build_manifest(study, paper_scale, opt, shards, exchange,
-                            opts_.timeout_s, warm));
+                            opts_.fault, opts_.fault_injection, warm));
 
-  std::vector<Child> fleet;
-  fleet.reserve(shards.size());
-  for (const ShardRange& s : shards)
-    fleet.push_back({spawn_worker(binary, run_dir, s.index), s.index});
+  const std::vector<ShardResult> results = run_fleet(
+      study, opt, shards, exchange, opts_.fault, binary, run_dir);
 
-  monitor_fleet(fleet, run_dir, opts_.timeout_s);
-
-  std::vector<ShardResult> results;
-  results.reserve(shards.size());
-  for (const ShardRange& s : shards) {
-    const std::string shard_dir = run_dir + "/shard" + std::to_string(s.index);
-    try {
-      results.push_back(
-          parse_result(read_published(shard_dir, "result.bin"), study, s));
-    } catch (const std::exception& e) {
-      throw std::runtime_error(
-          "shard worker " + std::to_string(s.index) +
-          " exited cleanly but its result snapshot is unusable (" + e.what() +
-          ") — run directory kept at " + run_dir);
-    }
-  }
   if (temp_dir && !opts_.keep_run_dir) remove_dir_tree(run_dir);
   return results;
 }

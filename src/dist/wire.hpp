@@ -1,0 +1,111 @@
+// Internal binary framing shared by the dist layer's file formats: the
+// little string-backed writer/reader both the shard-result and the shard-
+// checkpoint payloads use, plus the ConfigOutcome/ConfigTotals field codecs
+// so the two formats serialize outcomes identically (a checkpointed outcome
+// replayed through tell() must be bit-equal to the outcome a result file
+// would carry).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "tune/tuner.hpp"
+#include "util/check.hpp"
+
+namespace critter::dist {
+
+struct WireWriter {
+  std::string out;
+  void raw(const void* p, std::size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  }
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    i32(static_cast<std::int32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+};
+
+struct WireReader {
+  const std::string& in;
+  std::size_t pos = 0;
+  void raw(void* p, std::size_t n) {
+    CRITTER_CHECK(pos + n <= in.size(), "dist wire: truncated payload");
+    std::memcpy(p, in.data() + pos, n);
+    pos += n;
+  }
+  std::uint8_t u8() { std::uint8_t v; raw(&v, 1); return v; }
+  std::int32_t i32() { std::int32_t v; raw(&v, 4); return v; }
+  std::int64_t i64() { std::int64_t v; raw(&v, 8); return v; }
+  double f64() { double v; raw(&v, 8); return v; }
+  std::string str() {
+    const std::int32_t n = i32();
+    CRITTER_CHECK(n >= 0 && n <= (1 << 20), "dist wire: implausible string");
+    std::string s(static_cast<std::size_t>(n), '\0');
+    raw(s.data(), s.size());
+    return s;
+  }
+};
+
+/// Every outcome field except the configuration itself, which travels as
+/// its absolute index (the reader rebinds it from its view of the study).
+inline void write_outcome(WireWriter& w, const tune::ConfigOutcome& oc) {
+  w.i32(oc.config.index);
+  w.u8(oc.evaluated ? 1 : 0);
+  w.u8(oc.pruned ? 1 : 0);
+  w.f64(oc.true_time);
+  w.f64(oc.pred_time);
+  w.f64(oc.err);
+  w.f64(oc.true_comp_time);
+  w.f64(oc.pred_comp_time);
+  w.f64(oc.comp_err);
+  w.f64(oc.sel_wall);
+  w.f64(oc.sel_kernel_time);
+  w.i64(oc.executed);
+  w.i64(oc.skipped);
+  w.i32(oc.samples_used);
+}
+
+/// Fill `oc` (whose `config` the caller has already rebound); checks the
+/// wire's configuration index against the rebound one.
+inline void read_outcome(WireReader& r, tune::ConfigOutcome& oc,
+                         const char* what) {
+  const std::int32_t idx = r.i32();
+  CRITTER_CHECK(idx == oc.config.index,
+                std::string(what) +
+                    ": configuration index mismatch — writer and reader "
+                    "disagree about the study");
+  oc.evaluated = r.u8() != 0;
+  oc.pruned = r.u8() != 0;
+  oc.true_time = r.f64();
+  oc.pred_time = r.f64();
+  oc.err = r.f64();
+  oc.true_comp_time = r.f64();
+  oc.pred_comp_time = r.f64();
+  oc.comp_err = r.f64();
+  oc.sel_wall = r.f64();
+  oc.sel_kernel_time = r.f64();
+  oc.executed = r.i64();
+  oc.skipped = r.i64();
+  oc.samples_used = r.i32();
+}
+
+inline void write_totals(WireWriter& w, const tune::ConfigTotals& t) {
+  w.f64(t.tuning_time);
+  w.f64(t.full_time);
+  w.f64(t.kernel_time);
+  w.f64(t.full_kernel_time);
+}
+
+inline void read_totals(WireReader& r, tune::ConfigTotals& t) {
+  t.tuning_time = r.f64();
+  t.full_time = r.f64();
+  t.kernel_time = r.f64();
+  t.full_kernel_time = r.f64();
+}
+
+}  // namespace critter::dist

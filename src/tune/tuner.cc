@@ -225,6 +225,19 @@ void Tuner::merge_state(const core::StatSnapshot& delta) {
   strategy_->ingest_prior(delta);
 }
 
+void Tuner::replay_exchange(const core::StatSnapshot& delta) {
+  CRITTER_CHECK(!asked_,
+                "replay_exchange() with a batch claimed — exchange deltas "
+                "may only fold in between tell() and the next ask()");
+  strategy_->ingest_prior(delta);
+}
+
+void Tuner::restore_totals(std::vector<ConfigTotals> totals) {
+  CRITTER_CHECK(totals.size() == totals_.size(),
+                "restore_totals() must cover every study configuration");
+  totals_ = std::move(totals);
+}
+
 SweepMode Tuner::mode() const { return driver_->mode(); }
 int Tuner::config_begin() const { return driver_->config_begin(); }
 int Tuner::config_end() const { return driver_->config_end(); }

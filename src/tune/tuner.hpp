@@ -142,6 +142,20 @@ struct ConfigOutcome {
   int samples_used = 0;
 };
 
+/// One shard's fault-recovery record from a distributed run — filled by
+/// dist::run_sharded() from the executor's ShardResults (all-zero entries
+/// for executors that cannot fault, e.g. in-process shards).
+struct ShardRecovery {
+  int shard = 0;
+  int retries = 0;          ///< relaunches consumed
+  bool recovered = false;   ///< completed after >= 1 relaunch
+  bool degraded = false;    ///< completed by the launcher's fallback
+  int exchange_skips = 0;   ///< non-strict exchange rounds skipped
+  int checkpoints = 0;      ///< checkpoints the final worker published
+  int resumed_batches = 0;  ///< batches replayed from a resume checkpoint
+  std::string last_failure;
+};
+
 struct TuneResult {
   std::vector<ConfigOutcome> per_config;
   /// Per-configuration contributions to the aggregate costs below, indexed
@@ -167,6 +181,12 @@ struct TuneResult {
   std::string executor;
   int exchange_every = 0;
   int exchange_rounds = 0;
+  /// Exchange semantics of a sharded run (see dist::ExchangePolicy::strict)
+  /// and the fleet-wide count of non-strict rounds skipped.
+  bool exchange_strict = true;
+  int exchange_skips = 0;
+  /// Per-shard fault-recovery records of a sharded run (empty otherwise).
+  std::vector<ShardRecovery> shard_recovery;
   int evaluated_configs = 0;   ///< configurations actually evaluated
   /// Non-empty when fewer workers engaged than requested, with the reason.
   std::string fallback_reason;
@@ -244,6 +264,24 @@ class Tuner {
   /// evaluation must be a pure function of the statistics ask() saw).
   /// Isolated sessions ignore it, like import_state().
   void merge_state(const core::StatSnapshot& delta);
+
+  /// Checkpoint-replay half of merge_state(): feed a historical exchange
+  /// delta to the strategy's prior ingestion WITHOUT folding it into the
+  /// session statistics.  A resumed session restores its statistics
+  /// wholesale via import_state() (which already contains every absorbed
+  /// peer), so replaying the strategy's view must not double-count them.
+  /// Same claimed-batch restriction as merge_state().
+  void replay_exchange(const core::StatSnapshot& delta);
+
+  /// Overwrite the accumulated per-configuration totals (indexed like the
+  /// study's configuration list).  Checkpoint resume needs this: replayed
+  /// tell()s rebuild outcomes and strategy state but carry no totals —
+  /// those only grow through evaluate().
+  void restore_totals(std::vector<ConfigTotals> totals);
+
+  /// The accumulated per-configuration totals (what restore_totals sets
+  /// and result() reduces) — the dist layer checkpoints these.
+  const std::vector<ConfigTotals>& totals() const { return totals_; }
 
   const Study& study() const { return study_; }
   const TuneOptions& options() const { return opt_; }
