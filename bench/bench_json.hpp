@@ -1,0 +1,85 @@
+// Shared BENCH_*.json emission for the benchmark binaries.
+//
+// Every bench records scalar results through one collector so the emitted
+// JSON always carries host metadata — parallel-speedup ratios measured on a
+// 1-core container read very differently from the same ratios on a real
+// multi-core host, and the file must say which it was:
+//
+//   { "bench": "tuner",
+//     "host": { "cores_online": 8, "hardware_concurrency": 8 },
+//     "results": [ {"name": ..., "value": ..., "unit": ...}, ... ] }
+//
+// Derived `*_vs_*` ratios are declared by naming their numerator and
+// denominator results (ratio()), never computed from ad-hoc locals: the
+// recorded ratio is exactly value_of(num) / value_of(den), so a reader can
+// re-derive and audit every ratio from the same file.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "util/check.hpp"
+
+namespace bench {
+
+class BenchJson {
+ public:
+  void add(const std::string& name, double value, const std::string& unit) {
+    results_.push_back({name, value, unit});
+  }
+
+  double value_of(const std::string& name) const {
+    for (const Entry& e : results_)
+      if (e.name == name) return e.value;
+    CRITTER_CHECK(false, "bench json: no result named '" + name + "'");
+    return 0.0;
+  }
+
+  /// Record `name` = value_of(num) / value_of(den) (unit "x").  Both
+  /// operands must already be recorded.
+  void ratio(const std::string& name, const std::string& num,
+             const std::string& den) {
+    const double d = value_of(den);
+    add(name, d != 0.0 ? value_of(num) / d : 0.0, "x");
+  }
+
+  /// Write the JSON file.  `default_path` is used unless CRITTER_BENCH_JSON
+  /// overrides it; prints the path written on success.
+  void write(const char* bench_name, const char* default_path) const {
+    const char* override_path = std::getenv("CRITTER_BENCH_JSON");
+    const std::string out = override_path ? override_path : default_path;
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_name);
+    std::fprintf(f,
+                 "  \"host\": {\"cores_online\": %ld, "
+                 "\"hardware_concurrency\": %u},\n",
+                 ::sysconf(_SC_NPROCESSORS_ONLN),
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < results_.size(); ++i)
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": "
+                   "\"%s\"}%s\n",
+                   results_[i].name.c_str(), results_[i].value,
+                   results_[i].unit.c_str(),
+                   i + 1 < results_.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::vector<Entry> results_;
+};
+
+}  // namespace bench

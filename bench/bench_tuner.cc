@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "dist/executor.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
@@ -43,16 +44,15 @@ double now_s() {
       .count();
 }
 
-struct Result {
-  std::string name;
-  double value;
-  std::string unit;
+bench::BenchJson g_json;
+
+struct SweepStat {
+  double rate;
+  double secs;
 };
 
-std::vector<Result> g_results;
-
-double sweep_rate(const tune::Study& study, const tune::TuneOptions& opt,
-                  util::Table& t, const char* name) {
+SweepStat sweep_rate(const tune::Study& study, const tune::TuneOptions& opt,
+                     util::Table& t, const char* name) {
   const double t0 = now_s();
   const tune::TuneResult r = tune::run_study(study, opt);
   const double secs = now_s() - t0;
@@ -60,14 +60,13 @@ double sweep_rate(const tune::Study& study, const tune::TuneOptions& opt,
   t.row({name, tune::sweep_mode_name(r.mode),
          std::to_string(r.effective_workers),
          util::Table::num(secs, 3), util::Table::num(rate, 2)});
-  g_results.push_back({std::string(name) + "_configs_per_sec", rate,
-                       "configs/s"});
-  return rate;
+  g_json.add(std::string(name) + "_configs_per_sec", rate, "configs/s");
+  return {rate, secs};
 }
 
-double sharded_rate(const tune::Study& study, const tune::TuneOptions& opt,
-                    int shards, dist::ShardExecutor& exec, int exchange_every,
-                    util::Table& t, const char* name) {
+SweepStat sharded_rate(const tune::Study& study, const tune::TuneOptions& opt,
+                       int shards, dist::ShardExecutor& exec,
+                       int exchange_every, util::Table& t, const char* name) {
   const double t0 = now_s();
   const tune::TuneResult r = dist::run_sharded(
       study, opt, shards, exec, dist::ExchangePolicy{exchange_every});
@@ -76,9 +75,8 @@ double sharded_rate(const tune::Study& study, const tune::TuneOptions& opt,
   t.row({name, r.executor + " x" + std::to_string(r.shards),
          std::to_string(r.effective_workers), util::Table::num(secs, 3),
          util::Table::num(rate, 2)});
-  g_results.push_back({std::string(name) + "_configs_per_sec", rate,
-                       "configs/s"});
-  return rate;
+  g_json.add(std::string(name) + "_configs_per_sec", rate, "configs/s");
+  return {rate, secs};
 }
 
 }  // namespace
@@ -108,13 +106,13 @@ int main(int argc, char** argv) {
 
   // 1. Serial shared-statistics sweep: the baseline every shared sweep was
   //    forced onto before the batch-shared path existed.
-  const double serial = sweep_rate(study, shared, t, "serial_shared");
+  const SweepStat serial = sweep_rate(study, shared, t, "serial_shared");
 
   // 2. Isolated-parallel sweep (statistics reset per configuration).
   tune::TuneOptions isolated = shared;
   isolated.reset_per_config = true;
   isolated.workers = workers;
-  const double iso = sweep_rate(study, isolated, t, "isolated_parallel");
+  const SweepStat iso = sweep_rate(study, isolated, t, "isolated_parallel");
 
   // 3. Batch-shared sweep at one worker: identical results to (4) by the
   //    determinism contract, so (4)/(3) isolates the parallelization gain
@@ -122,12 +120,12 @@ int main(int argc, char** argv) {
   tune::TuneOptions batched = shared;
   batched.batch = workers;
   batched.workers = 1;
-  const double bs1 = sweep_rate(study, batched, t, "batch_shared_serial");
+  const SweepStat bs1 = sweep_rate(study, batched, t, "batch_shared_serial");
 
   // 4. Batch-shared parallel sweep: shared statistics, deterministic at
   //    this batch size for any worker count.
   batched.workers = workers;
-  const double bsp = sweep_rate(study, batched, t, "batch_shared_parallel");
+  const SweepStat bsp = sweep_rate(study, batched, t, "batch_shared_parallel");
 
   // 5. The same path carrying the eager policy (the sweep the paper gains
   //    most from, previously hard-serialized).
@@ -142,11 +140,11 @@ int main(int argc, char** argv) {
   //    reads as protocol overhead; on multi-core hosts the shard processes
   //    run concurrently and the ratio scales with the shard count.
   dist::InProcessExecutor inproc;
-  const double shard_in =
+  const SweepStat shard_in =
       sharded_rate(study, shared, shards, inproc, 2, t, "sharded_in_process");
   dist::SubprocessExecutor subproc;
-  const double shard_sub = sharded_rate(study, shared, shards, subproc, 2, t,
-                                        "sharded_subprocess");
+  const SweepStat shard_sub = sharded_rate(study, shared, shards, subproc, 2,
+                                           t, "sharded_subprocess");
 
   // 7b. The subprocess sweep again with per-batch checkpointing — the most
   //    aggressive fault-tolerance setting, so (7)/(7b) bounds the price of
@@ -155,8 +153,9 @@ int main(int argc, char** argv) {
   dist::SubprocessOptions ckpt_opts;
   ckpt_opts.fault.checkpoint_every = 1;
   dist::SubprocessExecutor subproc_ckpt(std::move(ckpt_opts));
-  const double shard_ckpt = sharded_rate(study, shared, shards, subproc_ckpt,
-                                         2, t, "sharded_subprocess_ckpt");
+  const SweepStat shard_ckpt = sharded_rate(study, shared, shards,
+                                            subproc_ckpt, 2, t,
+                                            "sharded_subprocess_ckpt");
 
   // 8. Model-based search: configs-to-best.  Against a statistically
   //    isolated sweep (outcomes independent of evaluation order, so "the
@@ -202,7 +201,8 @@ int main(int argc, char** argv) {
   t.print();
   std::printf("\nbatch-shared parallel: %.2fx vs serial, %.2fx vs same-semantics"
               " serial; isolated parallel: %.2fx vs serial\n",
-              bsp / serial, bsp / bs1, iso / serial);
+              bsp.rate / serial.rate, bsp.rate / bs1.rate,
+              iso.rate / serial.rate);
   if (found)
     std::printf("surrogate-ei: reached the exhaustive best (config %d) after "
                 "%d/%d evaluations — %.2fx fewer configs than the exhaustive "
@@ -214,32 +214,42 @@ int main(int argc, char** argv) {
                 best, ei_evals);
   std::printf("sharded subprocess: %.2fx vs sharded in-process, %.2fx vs "
               "serial; per-batch checkpointing costs %.2fx throughput\n",
-              shard_sub / shard_in, shard_sub / serial,
-              shard_sub / std::max(shard_ckpt, 1e-9));
-  g_results.push_back({"batch_shared_vs_serial", bsp / serial, "x"});
-  g_results.push_back({"batch_parallel_vs_batch_serial", bsp / bs1, "x"});
-  g_results.push_back({"isolated_vs_serial", iso / serial, "x"});
-  g_results.push_back({"subprocess_vs_in_process_sharded",
-                       shard_sub / shard_in, "x"});
-  g_results.push_back({"checkpoint_overhead",
-                       shard_sub / std::max(shard_ckpt, 1e-9), "x"});
-  g_results.push_back({"surrogate_configs_to_best",
-                       static_cast<double>(configs_to_best), "configs"});
-  g_results.push_back({"surrogate_vs_exhaustive", to_best_ratio, "x"});
+              shard_sub.rate / shard_in.rate, shard_sub.rate / serial.rate,
+              shard_sub.rate / std::max(shard_ckpt.rate, 1e-9));
 
-  const char* path = std::getenv("CRITTER_BENCH_JSON");
-  const std::string out = path ? path : "BENCH_tuner.json";
-  std::FILE* f = std::fopen(out.c_str(), "w");
-  if (f != nullptr) {
-    std::fprintf(f, "{\n  \"bench\": \"tuner\",\n  \"results\": [\n");
-    for (std::size_t i = 0; i < g_results.size(); ++i)
-      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n",
-                   g_results[i].name.c_str(), g_results[i].value,
-                   g_results[i].unit.c_str(),
-                   i + 1 < g_results.size() ? "," : "");
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", out.c_str());
-  }
+  // Checkpoint-overhead decomposition: all three sharded walls cover the
+  // same work, so their differences isolate the layers —
+  //   shard_in.secs                 sweep + exchange protocol, no processes;
+  //   shard_sub.secs - shard_in.secs  fork/exec spawn + file-based protocol;
+  //   shard_ckpt.secs - shard_sub.secs  pure checkpoint serialize + write.
+  // `checkpoint_overhead` itself stays the with/without-checkpoint
+  // throughput ratio (both sides contain identical spawn cost), derived
+  // from the named results above rather than ad-hoc locals.
+  g_json.add("spawn_protocol_cost_s",
+             std::max(shard_sub.secs - shard_in.secs, 0.0), "s");
+  g_json.add("checkpoint_write_cost_s",
+             std::max(shard_ckpt.secs - shard_sub.secs, 0.0), "s");
+  std::printf("sharded decomposition: %.3fs sweep, +%.3fs spawn/protocol, "
+              "+%.3fs checkpoint writes\n",
+              shard_in.secs, std::max(shard_sub.secs - shard_in.secs, 0.0),
+              std::max(shard_ckpt.secs - shard_sub.secs, 0.0));
+
+  g_json.ratio("batch_shared_vs_serial", "batch_shared_parallel_configs_per_sec",
+               "serial_shared_configs_per_sec");
+  g_json.ratio("batch_parallel_vs_batch_serial",
+               "batch_shared_parallel_configs_per_sec",
+               "batch_shared_serial_configs_per_sec");
+  g_json.ratio("isolated_vs_serial", "isolated_parallel_configs_per_sec",
+               "serial_shared_configs_per_sec");
+  g_json.ratio("subprocess_vs_in_process_sharded",
+               "sharded_subprocess_configs_per_sec",
+               "sharded_in_process_configs_per_sec");
+  g_json.ratio("checkpoint_overhead", "sharded_subprocess_configs_per_sec",
+               "sharded_subprocess_ckpt_configs_per_sec");
+  g_json.add("surrogate_configs_to_best",
+             static_cast<double>(configs_to_best), "configs");
+  g_json.add("surrogate_vs_exhaustive", to_best_ratio, "x");
+
+  g_json.write("tuner", "BENCH_tuner.json");
   return 0;
 }

@@ -24,7 +24,7 @@ double noisy_cost(const Config& cfg, const core::KernelKey& key, double flops,
 }  // namespace
 
 double intercept_compute(const core::KernelKey& key, double flops,
-                         const std::function<void()>& real_work) {
+                         util::FunctionRef real_work) {
   const Config& cfg = config();
   if (!cfg.instrument) {
     // Uninstrumented baseline: every kernel executes with the same noisy
@@ -85,7 +85,7 @@ double intercept_compute(const core::KernelKey& key, double flops,
 }  // namespace detail
 
 double user_kernel(std::uint64_t name_hash, std::int64_t d0, std::int64_t d1,
-                   double flops, const std::function<void()>& real_work) {
+                   double flops, util::FunctionRef real_work) {
   core::KernelKey key{core::KernelClass::User,
                       {d0, d1, static_cast<std::int64_t>(name_hash & 0x7FFFFFFF), 0},
                       0};

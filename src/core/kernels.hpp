@@ -11,12 +11,11 @@
 // matching constraints, so keeping the numerics alive is free fidelity.
 #pragma once
 
-#include <functional>
-
 #include "core/profiler.hpp"
 #include "la/blas.hpp"
 #include "la/lapack.hpp"
 #include "la/tile_qr.hpp"
+#include "util/function_ref.hpp"
 
 namespace critter::blas {
 
@@ -57,12 +56,12 @@ namespace critter {
 /// `flops` drives the cost model; `real_work` runs in ExecMode::Real.
 /// Returns the modeled duration charged to the path.
 double user_kernel(std::uint64_t name_hash, std::int64_t d0, std::int64_t d1,
-                   double flops, const std::function<void()>& real_work);
+                   double flops, util::FunctionRef real_work);
 
 namespace detail {
 /// Shared implementation for all compute interceptions.
 double intercept_compute(const core::KernelKey& key, double flops,
-                         const std::function<void()>& real_work);
+                         util::FunctionRef real_work);
 }  // namespace detail
 
 }  // namespace critter

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/channel.hpp"
 #include "core/wire.hpp"
 #include "util/check.hpp"
 
@@ -57,9 +58,14 @@ core::KernelClass coll_kernel_class(sim::CollType t) {
 }
 
 /// Channel signature of a point-to-point pair: a size-2 sub-communicator
-/// whose stride is the world-rank distance (paper §V-D).  Cached per
-/// (comm, peer) for the run so repeated messages on a pair skip the
-/// registry's factorization/aggregation path entirely.
+/// whose stride is the world-rank distance (paper §V-D).  The hash is
+/// computed directly — pair channels are deliberately NOT registered in the
+/// ChannelRegistry: no coverage query (try_extend_coverage / covers_world)
+/// ever names a p2p channel, and registering one forces the registry to
+/// combine it against every existing channel, which profiling shows
+/// dominates the instrumented-sim event loop on p2p-heavy workloads.
+/// Cached per (comm, peer) for the run so repeated messages on a pair skip
+/// even the factorization.
 std::uint64_t p2p_channel(sim::Comm c, int peer_local) {
   critter::RankProfiler& rp = critter::prof();
   const std::uint64_t cache_key =
@@ -73,7 +79,7 @@ std::uint64_t p2p_channel(sim::Comm c, int peer_local) {
   std::vector<int> pair{std::min(me_world, peer_world),
                         std::max(me_world, peer_world)};
   if (pair[0] == pair[1]) pair.pop_back();  // self-message
-  cached = rp.table.channels.add_channel(pair);
+  cached = core::channel_from_ranks(pair).hash();
   return cached;
 }
 

@@ -40,7 +40,7 @@ void Store::reset_statistics() {
   for (auto& rp : ranks_) {
     rp.table.clear_statistics();
     rp.apriori.clear();
-    rp.cached_stats = nullptr;  // points into the cleared K
+    rp.cached_idx = core::KernelArena::npos;  // indexed the cleared K
   }
 }
 
@@ -56,7 +56,7 @@ void Store::restore(const core::StatSnapshot& snap) {
                 "stat snapshot rank count does not match store");
   for (int r = 0; r < nranks(); ++r) {
     ranks_[r].table = snap.ranks[r];
-    ranks_[r].cached_stats = nullptr;  // pointed into the replaced K
+    ranks_[r].cached_idx = core::KernelArena::npos;  // indexed the replaced K
   }
 }
 
@@ -173,7 +173,7 @@ bool wants_execution(const RankProfiler& rp, const Config& cfg,
   }
   // Every kernel executes at least once per tuning epoch.
   if (ks.executions_this_epoch == 0) return true;
-  const double z = core::normal_quantile_two_sided(cfg.confidence);
+  const double z = core::normal_quantile_cached(cfg.confidence);
   return !ks.is_steady(z, cfg.tolerance, k_effective(rp, cfg, key, ks),
                        cfg.min_samples);
 }

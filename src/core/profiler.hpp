@@ -115,11 +115,12 @@ struct RankProfiler {
   /// the registry's factorization/aggregation path.  Valid for one run
   /// (comm ids are engine-local); cleared at start().
   util::FlatMap<std::uint64_t, std::uint64_t, util::IdentityHash> p2p_chan;
-  /// One-entry key->stats cache: tight kernel loops hit the same signature
-  /// repeatedly.  Pointers into K stay valid across inserts (node-based);
-  /// invalidated on reset_statistics().
-  core::KernelKey cached_key;
-  core::KernelStats* cached_stats = nullptr;
+  /// One-entry interned-handle cache: tight kernel loops hit the same
+  /// signature repeatedly, so the last kernel's dense arena index is
+  /// remembered and revalidated with a single key compare (the entry holds
+  /// its key).  Indices survive inserts (the arena never moves entries) and
+  /// are invalidated on reset_statistics()/restore().
+  std::uint32_t cached_idx = core::KernelArena::npos;
   double start_clock = 0.0;
   bool active = false;
 
@@ -198,15 +199,19 @@ Report stop();
 namespace detail {
 /// Channel hash for a communicator (registers it on first sight).
 std::uint64_t channel_of(sim::Comm c);
-/// K lookup through the rank's one-entry cache.
+/// K lookup through the rank's one-entry interned-handle cache: a hit is an
+/// index load plus one key compare — no hashing, no probe.
 inline core::KernelStats& stats_for(RankProfiler& rp,
                                     const core::KernelKey& key) {
-  if (rp.cached_stats != nullptr && rp.cached_key == key)
-    return *rp.cached_stats;
-  core::KernelStats& ks = rp.table.K[key];
-  rp.cached_key = key;
-  rp.cached_stats = &ks;
-  return ks;
+  core::KernelArena& K = rp.table.K;
+  if (rp.cached_idx != core::KernelArena::npos) {
+    core::KernelArena::value_type& e = K.entry(rp.cached_idx);
+    if (e.first == key) return e.second;
+  }
+  const auto [idx, inserted] = K.insert_index(key);
+  (void)inserted;
+  rp.cached_idx = idx;
+  return K.entry(idx).second;
 }
 /// Effective critical-path count for the CI shrink, per policy.
 std::int64_t k_effective(const RankProfiler& rp, const Config& cfg,

@@ -9,6 +9,14 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "util/check.hpp"
 #include "util/hash.hpp"
@@ -314,9 +322,9 @@ std::vector<typename Map::const_pointer> sorted_by_key(const Map& m) {
   return out;
 }
 
-std::vector<const std::pair<const KernelKey, KernelStats>*> sorted_kernels(
+std::vector<const KernelArena::value_type*> sorted_kernels(
     const KernelTable& t) {
-  std::vector<const std::pair<const KernelKey, KernelStats>*> out;
+  std::vector<const KernelArena::value_type*> out;
   out.reserve(t.K.size());
   for (const auto& kv : t.K) out.push_back(&kv);
   std::sort(out.begin(), out.end(), [](auto* a, auto* b) {
@@ -327,10 +335,14 @@ std::vector<const std::pair<const KernelKey, KernelStats>*> sorted_kernels(
 
 // --- binary writer/reader --------------------------------------------------
 
+/// Appends records to a caller-owned byte buffer.  Serializing into a
+/// string (rather than an ostream) lets the frame writer backpatch length
+/// and checksum fields in place, so a whole snapshot is produced in one
+/// buffer with no per-rank scratch stream.
 struct BinWriter {
-  std::ostream& os;
+  std::string& out;
   void raw(const void* p, std::size_t n) {
-    os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    out.append(static_cast<const char*>(p), n);
   }
   void u8(std::uint8_t v) { raw(&v, 1); }
   void u32(std::uint32_t v) { raw(&v, 4); }
@@ -339,11 +351,18 @@ struct BinWriter {
   void f64(double v) { raw(&v, 8); }
 };
 
+/// Decodes records from a borrowed byte span.  Every read is bounds-checked
+/// against the span end, so a corrupt length field can never drive an
+/// allocation or a read past the mapped/loaded bytes — the reader works
+/// equally over an in-memory payload and an mmap'ed file.
 struct BinReader {
-  std::istream& is;
-  void raw(void* p, std::size_t n) {
-    is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
-    CRITTER_CHECK(is.good(), "stat snapshot: truncated binary input");
+  const char* p;
+  const char* end;
+  std::size_t remaining() const { return static_cast<std::size_t>(end - p); }
+  void raw(void* ptr, std::size_t n) {
+    CRITTER_CHECK(n <= remaining(), "stat snapshot: truncated binary input");
+    std::memcpy(ptr, p, n);
+    p += n;
   }
   std::uint8_t u8() { std::uint8_t v; raw(&v, 1); return v; }
   std::uint32_t u32() { std::uint32_t v; raw(&v, 4); return v; }
@@ -510,9 +529,10 @@ void read_rank_binary(BinReader& r, KernelTable& t, std::uint32_t version,
   }
 }
 
-void save_binary(const StatSnapshot& snap, std::ostream& os,
-                 std::uint32_t version) {
-  BinWriter w{os};
+std::string save_binary_string(const StatSnapshot& snap,
+                               std::uint32_t version) {
+  std::string out;
+  BinWriter w{out};
   w.raw(kMagic, sizeof kMagic);
   w.u32(version);
   w.u32(static_cast<std::uint32_t>(snap.ranks.size()));
@@ -521,24 +541,29 @@ void save_binary(const StatSnapshot& snap, std::ostream& os,
       write_rank_binary(w, t, version);
       continue;
     }
-    // Version 2: serialize the rank into a chunk first so the frame can
-    // carry its byte length and FNV checksum — a reader rejects truncation
-    // and corruption before decoding a single record.
-    std::ostringstream chunk;
-    BinWriter cw{chunk};
-    write_rank_binary(cw, t, version);
-    const std::string bytes = chunk.str();
-    w.u64(bytes.size());
-    w.u64(fnv1a(bytes.data(), bytes.size()));
-    w.raw(bytes.data(), bytes.size());
+    // Version 2: each rank chunk is framed with its byte length and FNV
+    // checksum so a reader rejects truncation and corruption before
+    // decoding a single record.  The records are serialized straight into
+    // the output buffer; the frame header is backpatched once the chunk's
+    // extent is known — no scratch stream, no chunk copy.
+    const std::size_t frame = out.size();
+    w.u64(0);  // length placeholder
+    w.u64(0);  // checksum placeholder
+    const std::size_t body = out.size();
+    write_rank_binary(w, t, version);
+    const std::uint64_t len = out.size() - body;
+    const std::uint64_t sum = fnv1a(out.data() + body, len);
+    std::memcpy(out.data() + frame, &len, 8);
+    std::memcpy(out.data() + frame + 8, &sum, 8);
   }
+  return out;
 }
 
 // Defined below (shared with the JSON path).
 void apply_snapshot_upgrade(StatSnapshot& snap, std::uint32_t from_version);
 
-StatSnapshot load_binary(std::istream& is) {
-  BinReader r{is};
+StatSnapshot load_binary(const char* data, std::size_t size) {
+  BinReader r{data, data + size};
   char magic[sizeof kMagic];
   r.raw(magic, sizeof magic);
   CRITTER_CHECK(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
@@ -563,30 +588,22 @@ StatSnapshot load_binary(std::istream& is) {
     CRITTER_CHECK(len <= kMaxChunkBytes,
                   "stat snapshot: implausible rank-chunk size");
     const std::uint64_t sum = r.u64();
-    // Read incrementally: the length field sits outside the checksummed
-    // region, so a corrupt value must hit the truncation error after
-    // reading at most the real bytes — never drive a giant up-front
-    // allocation.
-    std::string bytes;
-    char piece[1 << 16];
-    for (std::uint64_t got = 0; got < len;) {
-      const std::size_t step =
-          static_cast<std::size_t>(std::min<std::uint64_t>(sizeof piece,
-                                                           len - got));
-      r.raw(piece, step);
-      bytes.append(piece, step);
-      got += step;
-    }
-    CRITTER_CHECK(fnv1a(bytes.data(), bytes.size()) == sum,
+    // The length field sits outside the checksummed region; bounding it by
+    // the bytes actually present means a corrupt value hits the truncation
+    // error without driving any allocation — the chunk is checksummed and
+    // decoded in place, never copied.
+    CRITTER_CHECK(len <= r.remaining(),
+                  "stat snapshot: truncated binary input");
+    CRITTER_CHECK(fnv1a(r.p, static_cast<std::size_t>(len)) == sum,
                   "stat snapshot: rank-chunk checksum mismatch (corrupt or "
                   "truncated file)");
-    std::istringstream chunk(bytes);
-    BinReader cr{chunk};
+    BinReader cr{r.p, r.p + len};
     read_rank_binary(cr, t, version, nranks);
-    CRITTER_CHECK(chunk.peek() == std::char_traits<char>::eof(),
+    CRITTER_CHECK(cr.p == cr.end,
                   "stat snapshot: trailing bytes in rank chunk");
+    r.p += len;
   }
-  CRITTER_CHECK(is.peek() == std::char_traits<char>::eof(),
+  CRITTER_CHECK(r.p == r.end,
                 "stat snapshot: trailing content after final rank");
   if (version != kVersion) apply_snapshot_upgrade(snap, version);
   return snap;
@@ -1049,11 +1066,27 @@ void StatSnapshot::save(std::ostream& os, Format fmt,
   CRITTER_CHECK(version >= 2 || !table_has_tombstones(*this),
                 "stat snapshot: delta tombstones are not representable in "
                 "version 1 files");
-  if (fmt == Format::Binary)
-    save_binary(*this, os, version);
-  else
+  if (fmt == Format::Binary) {
+    const std::string bytes = save_binary_string(*this, version);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  } else {
     save_json(*this, os, version);
+  }
   CRITTER_CHECK(os.good(), "stat snapshot: write failed");
+}
+
+std::string StatSnapshot::to_string(Format fmt) const {
+  if (fmt == Format::Binary) return save_binary_string(*this, kVersion);
+  std::ostringstream os;
+  save_json(*this, os, kVersion);
+  return os.str();
+}
+
+StatSnapshot StatSnapshot::from_string(std::string_view bytes) {
+  // Auto-detect: the binary format leads with the magic, JSON with '{'.
+  CRITTER_CHECK(!bytes.empty(), "stat snapshot: empty input");
+  if (bytes.front() == kMagic[0]) return load_binary(bytes.data(), bytes.size());
+  return load_json(std::string(bytes));
 }
 
 void StatSnapshot::save_file(const std::string& path, Format fmt) const {
@@ -1063,14 +1096,9 @@ void StatSnapshot::save_file(const std::string& path, Format fmt) const {
 }
 
 StatSnapshot StatSnapshot::load(std::istream& is) {
-  // Auto-detect: the binary format leads with the magic, JSON with '{'.
-  const int first = is.peek();
-  CRITTER_CHECK(first != std::char_traits<char>::eof(),
-                "stat snapshot: empty input");
-  if (static_cast<char>(first) == kMagic[0]) return load_binary(is);
   std::ostringstream buf;
   buf << is.rdbuf();
-  return load_json(buf.str());
+  return from_string(buf.view());
 }
 
 KernelStats moments_to_stats(const KernelMoments& m) {
@@ -1114,13 +1142,43 @@ std::vector<KernelMoments> extract_moments(const StatSnapshot& snap) {
 }
 
 StatSnapshot StatSnapshot::load_file(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  // Map the file and decode in place: the span-based reader never copies a
+  // rank chunk, so an mmap'ed load touches each byte exactly twice (checksum,
+  // decode) with zero intermediate buffers.  Irregular or empty files — and
+  // any mmap failure — fall back to the stream path below.
+  struct FdGuard {
+    int fd;
+    ~FdGuard() { if (fd >= 0) ::close(fd); }
+  } fg{::open(path.c_str(), O_RDONLY)};
+  CRITTER_CHECK(fg.fd >= 0, "stat snapshot: cannot open " + path);
+  struct stat st{};
+  if (::fstat(fg.fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    const auto size = static_cast<std::size_t>(st.st_size);
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fg.fd, 0);
+    if (map != MAP_FAILED) {
+      struct MapGuard {
+        void* p;
+        std::size_t n;
+        ~MapGuard() { ::munmap(p, n); }
+      } mg{map, size};
+      try {
+        return from_string(
+            std::string_view(static_cast<const char*>(map), size));
+      } catch (const std::exception& e) {
+        // Re-anchor deep parse failures to the file: "which snapshot file
+        // was bad" is the actionable part when a sweep folds many of them.
+        throw std::runtime_error("stat snapshot: failed to load '" + path +
+                                 "': " + e.what());
+      }
+    }
+  }
+#endif
   std::ifstream is(path, std::ios::binary);
   CRITTER_CHECK(is.is_open(), "stat snapshot: cannot open " + path);
   try {
     return load(is);
   } catch (const std::exception& e) {
-    // Re-anchor deep parse failures to the file: "which snapshot file was
-    // bad" is the actionable part when a sweep folds many of them.
     throw std::runtime_error("stat snapshot: failed to load '" + path +
                              "': " + e.what());
   }

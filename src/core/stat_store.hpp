@@ -27,11 +27,13 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/channel.hpp"
 #include "core/extrapolate.hpp"
+#include "core/kernel_arena.hpp"
 #include "core/signature.hpp"
 #include "core/stats.hpp"
 
@@ -40,7 +42,9 @@ namespace critter::core {
 /// One rank's persistent kernel-statistics state (survives engine runs and,
 /// unless cleared, tuning configurations).
 struct KernelTable {
-  std::unordered_map<KernelKey, KernelStats, KernelKeyHash> K;
+  /// Arena-backed: contiguous block storage, dense-index addressing, stable
+  /// references, insertion-order iteration (see core/kernel_arena.hpp).
+  KernelArena K;
   /// Kernel-hash -> key registry (kernels referenced by hash on the wire).
   std::unordered_map<std::uint64_t, KernelKey> key_of_hash;
   /// Eager propagation: statistics received for kernels not yet seen
@@ -134,12 +138,22 @@ struct StatSnapshot {
   void save(std::ostream& os, Format fmt, std::uint32_t version) const;
   void save_file(const std::string& path, Format fmt = Format::Binary) const;
 
+  /// Serialize to an in-memory payload (current version).  The binary
+  /// encoder writes straight into the returned buffer — the hot path for
+  /// the distributed executors' delta publishes, which frame the payload
+  /// themselves and never want a stream in between.
+  std::string to_string(Format fmt = Format::Binary) const;
+
   /// Load either format (auto-detected from the leading bytes).  Snapshots
   /// of the previous version are accepted when an upgrade hook is
   /// registered for it (the library pre-registers the v1 -> v2 hook).
   /// Throws std::runtime_error on truncated, corrupt, or unsupported-
   /// version input — always before returning partial state.
+  /// from_string decodes a borrowed payload in place (rank chunks are
+  /// checksummed and parsed without copying); load_file prefers an mmap of
+  /// the file for the same zero-copy decode, falling back to a stream read.
   static StatSnapshot load(std::istream& is);
+  static StatSnapshot from_string(std::string_view bytes);
   static StatSnapshot load_file(const std::string& path);
 };
 

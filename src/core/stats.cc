@@ -41,6 +41,18 @@ double normal_quantile_two_sided(double confidence) {
          ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
 }
 
+double normal_quantile_cached(double confidence) {
+  // The confidence level is fixed for the lifetime of a run in practice;
+  // a 1-entry memo turns the per-decision probit evaluation into a compare.
+  thread_local double conf = -1.0;
+  thread_local double z = 0.0;
+  if (confidence != conf) {
+    z = normal_quantile_two_sided(confidence);
+    conf = confidence;
+  }
+  return z;
+}
+
 double KernelStats::relative_ci(double z, std::int64_t k_eff,
                                 std::int64_t min_samples) const {
   if (n < min_samples || mean <= 0.0)

@@ -16,6 +16,11 @@ namespace critter::core {
 /// a rational approximation of the probit function.
 double normal_quantile_two_sided(double confidence);
 
+/// Same value, memoized per thread on the (run-constant) confidence level —
+/// use on per-event paths where the probit polynomial would be re-evaluated
+/// for every execute/skip decision.
+double normal_quantile_cached(double confidence);
+
 struct KernelStats {
   std::int64_t n = 0;  ///< number of timing samples
   double mean = 0.0;

@@ -71,7 +71,7 @@ void pack_eager_entries(IntMsg& msg, const RankProfiler& rp, const Config& cfg,
                         std::uint64_t chan_hash) {
   WireHeader& h = msg.header();
   WireEager* e = msg.eager();
-  const double z = normal_quantile_two_sided(cfg.confidence);
+  const double z = normal_quantile_cached(cfg.confidence);
   for (const auto& [key, ks] : rp.table.K) {
     if (h.n_eager >= msg.eager_cap()) break;
     if (ks.global_steady || ks.n < cfg.min_samples) continue;
@@ -101,7 +101,7 @@ void IntMsg::unpack_into(RankProfiler& rp, const Config& cfg,
   }
 
   // Eager statistics aggregation (paper Fig. 2 aggregate_statistics).
-  const double z = normal_quantile_two_sided(cfg.confidence);
+  const double z = normal_quantile_cached(cfg.confidence);
   const WireEager* e = eager();
   for (std::int64_t i = 0; i < h.n_eager; ++i) {
     const auto kit = rp.table.key_of_hash.find(e[i].key);

@@ -1,7 +1,7 @@
 #include "dist/checkpoint.hpp"
 
 #include <cstring>
-#include <sstream>
+#include <string_view>
 
 #include "dist/wire.hpp"
 #include "util/check.hpp"
@@ -18,9 +18,7 @@ void write_snapshot_blob(WireWriter& w, const core::StatSnapshot& snap) {
     w.i64(0);
     return;
   }
-  std::ostringstream os;
-  snap.save(os, core::StatSnapshot::Format::Binary);
-  const std::string blob = os.str();
+  const std::string blob = snap.to_string();
   w.i64(static_cast<std::int64_t>(blob.size()));
   w.raw(blob.data(), blob.size());
 }
@@ -31,9 +29,10 @@ core::StatSnapshot read_snapshot_blob(WireReader& r) {
                                 r.in.size(),
                 "shard checkpoint: truncated snapshot blob");
   if (len == 0) return {};
-  std::istringstream is(r.in.substr(r.pos, static_cast<std::size_t>(len)));
+  const std::string_view blob =
+      std::string_view(r.in).substr(r.pos, static_cast<std::size_t>(len));
   r.pos += static_cast<std::size_t>(len);
-  return core::StatSnapshot::load(is);
+  return core::StatSnapshot::from_string(blob);
 }
 
 }  // namespace
@@ -150,6 +149,205 @@ ShardCheckpoint parse_checkpoint(const std::string& payload,
   CRITTER_CHECK(r.pos == payload.size() - 8,
                 "shard checkpoint: trailing garbage");
   return c;
+}
+
+namespace {
+
+constexpr char kIncrementMagic[8] = {'C', 'R', 'C', 'K', 'I', 'N', 'C', '1'};
+
+}  // namespace
+
+std::string serialize_increment(const CheckpointIncrement& inc) {
+  WireWriter w;
+  w.raw(kIncrementMagic, sizeof kIncrementMagic);
+  w.i64(inc.base_seq);
+  w.i64(inc.seq);
+  w.i32(inc.batches);
+  w.i32(inc.rounds);
+  w.i32(inc.in_round);
+  w.i32(inc.exchange_skips);
+  w.i32(static_cast<std::int32_t>(inc.new_skipped.size()));
+  for (const auto& [round, peer] : inc.new_skipped) {
+    w.i32(round);
+    w.i32(peer);
+  }
+  w.i32(static_cast<std::int32_t>(inc.new_told.size()));
+  for (const ShardCheckpoint::ToldBatch& b : inc.new_told) {
+    w.i32(static_cast<std::int32_t>(b.positions.size()));
+    for (std::size_t k = 0; k < b.positions.size(); ++k) {
+      w.i32(b.positions[k]);
+      write_outcome(w, b.outcomes[k]);
+    }
+  }
+  w.i32(static_cast<std::int32_t>(inc.dirty_totals.size()));
+  for (const auto& [idx, t] : inc.dirty_totals) {
+    w.i32(idx);
+    write_totals(w, t);
+  }
+  w.u8(inc.has_exchange_state ? 1 : 0);
+  write_snapshot_blob(w, inc.full_delta);
+  if (inc.has_exchange_state) {
+    write_snapshot_blob(w, inc.mark_delta);
+    write_snapshot_blob(w, inc.own_delta);
+  }
+  return w.out;
+}
+
+CheckpointIncrement parse_increment(const std::string& payload,
+                                    const tune::Study& study,
+                                    const ShardRange& range) {
+  WireReader r{payload};
+  char magic[sizeof kIncrementMagic];
+  r.raw(magic, sizeof magic);
+  CRITTER_CHECK(std::memcmp(magic, kIncrementMagic, sizeof magic) == 0,
+                "checkpoint increment: bad magic");
+  CheckpointIncrement inc;
+  inc.base_seq = r.i64();
+  inc.seq = r.i64();
+  inc.batches = r.i32();
+  inc.rounds = r.i32();
+  inc.in_round = r.i32();
+  inc.exchange_skips = r.i32();
+  CRITTER_CHECK(inc.base_seq >= 1 && inc.seq > inc.base_seq &&
+                    inc.batches >= 0 && inc.rounds >= 0 && inc.in_round >= 0 &&
+                    inc.exchange_skips >= 0,
+                "checkpoint increment: implausible cursors");
+  const std::int32_t nskips = r.i32();
+  CRITTER_CHECK(nskips >= 0 && nskips <= inc.exchange_skips,
+                "checkpoint increment: implausible skip list");
+  inc.new_skipped.reserve(static_cast<std::size_t>(nskips));
+  for (std::int32_t i = 0; i < nskips; ++i) {
+    const std::int32_t round = r.i32();
+    const std::int32_t peer = r.i32();
+    CRITTER_CHECK(round >= 0 && peer >= 0 && peer != range.index,
+                  "checkpoint increment: implausible skip entry");
+    inc.new_skipped.emplace_back(round, peer);
+  }
+  const std::int32_t ntold = r.i32();
+  CRITTER_CHECK(ntold >= 0 && ntold <= inc.batches,
+                "checkpoint increment: implausible batch count");
+  inc.new_told.resize(static_cast<std::size_t>(ntold));
+  const int nconf = static_cast<int>(study.configs.size());
+  for (std::int32_t b = 0; b < ntold; ++b) {
+    const std::int32_t k = r.i32();
+    CRITTER_CHECK(k > 0 && k <= nconf,
+                  "checkpoint increment: implausible batch");
+    ShardCheckpoint::ToldBatch& tb = inc.new_told[static_cast<std::size_t>(b)];
+    tb.positions.resize(static_cast<std::size_t>(k));
+    tb.outcomes.resize(static_cast<std::size_t>(k));
+    for (std::int32_t j = 0; j < k; ++j) {
+      const std::int32_t pos = r.i32();
+      CRITTER_CHECK(pos >= range.begin && pos < range.end && pos < nconf &&
+                        (j == 0 || tb.positions[j - 1] < pos),
+                    "checkpoint increment: batch position outside the shard "
+                    "range or out of order");
+      tb.positions[static_cast<std::size_t>(j)] = pos;
+      tb.outcomes[static_cast<std::size_t>(j)].config = study.configs[pos];
+      read_outcome(r, tb.outcomes[static_cast<std::size_t>(j)],
+                   "checkpoint increment");
+    }
+  }
+  const std::int32_t ndirty = r.i32();
+  const std::int32_t nrange = range.end - range.begin;
+  CRITTER_CHECK(ndirty >= 0 && ndirty <= nrange,
+                "checkpoint increment: implausible dirty-totals count");
+  inc.dirty_totals.resize(static_cast<std::size_t>(ndirty));
+  for (std::int32_t i = 0; i < ndirty; ++i) {
+    const std::int32_t idx = r.i32();
+    CRITTER_CHECK(idx >= 0 && idx < nrange &&
+                      (i == 0 || inc.dirty_totals[i - 1].first < idx),
+                  "checkpoint increment: dirty-totals index outside the "
+                  "shard range or out of order");
+    inc.dirty_totals[static_cast<std::size_t>(i)].first = idx;
+    read_totals(r, inc.dirty_totals[static_cast<std::size_t>(i)].second);
+  }
+  inc.has_exchange_state = r.u8() != 0;
+  inc.full_delta = read_snapshot_blob(r);
+  if (inc.has_exchange_state) {
+    inc.mark_delta = read_snapshot_blob(r);
+    inc.own_delta = read_snapshot_blob(r);
+  }
+  CRITTER_CHECK(r.pos == payload.size(),
+                "checkpoint increment: trailing garbage");
+  return inc;
+}
+
+void apply_increment(ShardCheckpoint& ck, std::int64_t base_seq,
+                     CheckpointIncrement&& inc) {
+  CRITTER_CHECK(inc.base_seq == base_seq,
+                "checkpoint increment: extends a different base checkpoint");
+  CRITTER_CHECK(inc.seq == ck.seq + 1, "checkpoint increment: sequence gap");
+  CRITTER_CHECK(inc.batches ==
+                    ck.batches + static_cast<int>(inc.new_told.size()),
+                "checkpoint increment: batch cursor does not add up");
+  CRITTER_CHECK(inc.exchange_skips ==
+                    ck.exchange_skips + static_cast<int>(inc.new_skipped.size()),
+                "checkpoint increment: skip cursor does not add up");
+  CRITTER_CHECK(inc.rounds >= ck.rounds,
+                "checkpoint increment: round cursor went backwards");
+  CRITTER_CHECK(inc.has_exchange_state == ck.has_exchange_state,
+                "checkpoint increment: exchange-state flag mismatch");
+  for (const auto& [idx, t] : inc.dirty_totals)
+    CRITTER_CHECK(static_cast<std::size_t>(idx) < ck.totals.size(),
+                  "checkpoint increment: dirty-totals index out of range");
+  ck.seq = inc.seq;
+  ck.batches = inc.batches;
+  ck.rounds = inc.rounds;
+  ck.in_round = inc.in_round;
+  ck.exchange_skips = inc.exchange_skips;
+  ck.skipped.insert(ck.skipped.end(), inc.new_skipped.begin(),
+                    inc.new_skipped.end());
+  for (ShardCheckpoint::ToldBatch& tb : inc.new_told)
+    ck.told.push_back(std::move(tb));
+  for (auto& [idx, t] : inc.dirty_totals)
+    ck.totals[static_cast<std::size_t>(idx)] = t;
+  if (!inc.full_delta.empty()) {
+    if (ck.full.empty())
+      ck.full = std::move(inc.full_delta);
+    else
+      ck.full.merge(inc.full_delta);
+  }
+  if (inc.has_exchange_state) {
+    if (!inc.mark_delta.empty()) {
+      if (ck.mark.empty())
+        ck.mark = std::move(inc.mark_delta);
+      else
+        ck.mark.merge(inc.mark_delta);
+    }
+    if (!inc.own_delta.empty()) {
+      if (ck.own.empty())
+        ck.own = std::move(inc.own_delta);
+      else
+        ck.own.merge(inc.own_delta);
+    }
+  }
+}
+
+std::string frame_log_record(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 16);
+  const std::uint64_t len = payload.size();
+  const std::uint64_t sum = util::fnv1a(payload.data(), payload.size());
+  out.append(reinterpret_cast<const char*>(&len), 8);
+  out.append(reinterpret_cast<const char*>(&sum), 8);
+  out.append(payload);
+  return out;
+}
+
+std::vector<std::string> scan_log_records(const std::string& blob) {
+  std::vector<std::string> records;
+  std::size_t pos = 0;
+  while (blob.size() - pos >= 16) {
+    std::uint64_t len = 0, sum = 0;
+    std::memcpy(&len, blob.data() + pos, 8);
+    std::memcpy(&sum, blob.data() + pos + 8, 8);
+    if (len > blob.size() - pos - 16) break;  // torn append
+    const char* p = blob.data() + pos + 16;
+    if (util::fnv1a(p, static_cast<std::size_t>(len)) != sum) break;
+    records.emplace_back(p, static_cast<std::size_t>(len));
+    pos += 16 + static_cast<std::size_t>(len);
+  }
+  return records;
 }
 
 std::string checkpoint_slot_name(std::int64_t seq) {

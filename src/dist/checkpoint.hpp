@@ -60,7 +60,62 @@ struct ShardCheckpoint {
   core::StatSnapshot own;   ///< own-contribution accumulator (exchange on)
 };
 
+/// Incremental checkpoint record.  Between two full checkpoints a worker
+/// appends one framed increment per checkpoint to the shard's append-only
+/// ckpt_log.bin instead of rewriting the whole replay recipe — the full
+/// snapshot, the complete told history, and the totals grow with the sweep,
+/// while what a single checkpoint actually adds stays constant-sized.  An
+/// increment carries only the change since the previous record (full or
+/// increment): the advanced cursors, the newly told batches and skips, the
+/// totals of the configurations those batches touched, and exact
+/// statistics deltas (StatSnapshot::diff) for the session state and — with
+/// exchange on — the mark/own snapshots.  Resume loads the best full slot
+/// and replays the longest valid prefix of the log on top of it
+/// (apply_increment), so a torn append costs at most one checkpoint of
+/// progress, never the base.
+struct CheckpointIncrement {
+  std::int64_t base_seq = 0;  ///< seq of the full checkpoint the log extends
+  std::int64_t seq = 0;       ///< overall checkpoint sequence number
+  // Absolute cursor values as of this record.
+  int batches = 0;
+  int rounds = 0;
+  int in_round = 0;
+  int exchange_skips = 0;
+  std::vector<std::pair<int, int>> new_skipped;
+  std::vector<ShardCheckpoint::ToldBatch> new_told;
+  /// Rewritten totals, as (range-relative index, value), ascending — the
+  /// dirty subset named by the new batches' positions.
+  std::vector<std::pair<int, tune::ConfigTotals>> dirty_totals;
+  core::StatSnapshot full_delta;  ///< session stats since the previous record
+  bool has_exchange_state = false;
+  core::StatSnapshot mark_delta;  ///< delta baseline movement (exchange on)
+  core::StatSnapshot own_delta;   ///< own-contribution growth (exchange on)
+};
+
 std::string serialize_checkpoint(const ShardCheckpoint& c);
+std::string serialize_increment(const CheckpointIncrement& inc);
+
+/// Parse and validate one increment payload (unframed).  Shape checks
+/// mirror parse_checkpoint: positions inside the shard range and ordered,
+/// plausible counts, no trailing bytes.  Continuity against the base is
+/// apply_increment's job.
+CheckpointIncrement parse_increment(const std::string& payload,
+                                    const tune::Study& study,
+                                    const ShardRange& range);
+
+/// Extend `ck` — a full checkpoint, possibly already extended — by one
+/// increment.  Throws on any discontinuity: wrong base, sequence gap, or
+/// cursors that do not add up; `ck` is unchanged on throw.
+void apply_increment(ShardCheckpoint& ck, std::int64_t base_seq,
+                     CheckpointIncrement&& inc);
+
+/// Log framing: [u64 payload length][u64 FNV-1a of payload][payload].
+std::string frame_log_record(const std::string& payload);
+
+/// The longest valid framed-record prefix of a log blob.  Scanning stops at
+/// the first truncated frame or checksum mismatch — everything before a
+/// torn or corrupt append is still trusted.
+std::vector<std::string> scan_log_records(const std::string& blob);
 
 /// Parse and fully validate a checkpoint payload; `study`/`range` rebind
 /// the outcome configurations and bound every cursor.  Throws on any

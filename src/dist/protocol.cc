@@ -42,6 +42,14 @@ void write_file(const std::string& path, const std::string& content) {
   CRITTER_CHECK(!os.fail(), "write failed for " + path);
 }
 
+void append_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::app);
+  CRITTER_CHECK(os.is_open(), "cannot open " + path + " for append");
+  os.write(content.data(), static_cast<std::streamsize>(content.size()));
+  os.close();
+  CRITTER_CHECK(!os.fail(), "append failed for " + path);
+}
+
 void make_dir(const std::string& path) {
   if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
     CRITTER_CHECK(false, "mkdir failed for " + path + ": " +

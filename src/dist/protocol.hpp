@@ -33,6 +33,10 @@ void write_file(const std::string& path, const std::string& content);
 /// protocol's manifest would double the write traffic for no benefit (a
 /// heartbeat's value is that it *changed*, not what it says).
 void write_file_atomic(const std::string& path, const std::string& content);
+/// Append to the end of `path`, creating it if absent.  The increment-log
+/// primitive: an interrupted append can tear only the new tail, which the
+/// framed-record scan rejects — the existing prefix stays trustworthy.
+void append_file(const std::string& path, const std::string& content);
 /// mkdir, existing directory OK; parents must exist.
 void make_dir(const std::string& path);
 /// Fresh private directory under $TMPDIR (default /tmp).

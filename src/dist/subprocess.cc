@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <sstream>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -82,9 +83,8 @@ std::string serialize_result(const ShardResult& r) {
   }
   w.u8(r.stats.empty() ? 0 : 1);
   if (!r.stats.empty()) {
-    std::ostringstream os;
-    r.stats.save(os, core::StatSnapshot::Format::Binary);
-    w.raw(os.str().data(), os.str().size());
+    const std::string blob = r.stats.to_string();
+    w.raw(blob.data(), blob.size());
   }
   return w.out;
 }
@@ -127,8 +127,8 @@ ShardResult parse_result(const std::string& payload, const tune::Study& study,
     read_totals(r, out.totals[j]);
   }
   if (r.u8() != 0) {
-    std::istringstream is(payload.substr(r.pos));
-    out.stats = core::StatSnapshot::load(is);
+    out.stats = core::StatSnapshot::from_string(
+        std::string_view(payload).substr(r.pos));
   }
   return out;
 }
@@ -451,8 +451,7 @@ PeerWait await_peer_delta(const std::string& run_dir, int p, int round,
         // Empty payload: the peer session has no shared statistics to
         // trade (isolated mode) — a published, verifiable nothing.
         if (payload.empty()) return {};
-        std::istringstream is(payload);
-        return {false, core::StatSnapshot::load(is)};
+        return {false, core::StatSnapshot::from_string(payload)};
       } catch (...) {
         if (strict) throw;
         return {true, {}};
@@ -491,8 +490,7 @@ core::StatSnapshot read_peer_now(const std::string& run_dir, int p,
   if (published(exch, delta_name(p, round))) {
     const std::string payload = read_published(exch, delta_name(p, round));
     if (payload.empty()) return {};
-    std::istringstream is(payload);
-    return core::StatSnapshot::load(is);
+    return core::StatSnapshot::from_string(payload);
   }
   if (published(exch, done_name(p))) {
     const std::string marker = read_published(exch, done_name(p));
@@ -507,9 +505,17 @@ core::StatSnapshot read_peer_now(const std::string& run_dir, int p,
   return {};
 }
 
+/// Load the best full checkpoint slot, then extend it with the longest
+/// valid prefix of the shard's increment log (DESIGN.md §11): records that
+/// frame-verify, parse, and apply continuously on top of the base.  A torn
+/// or corrupt record ends the prefix — everything before it already
+/// reproduced a consistent state.  Reports the base's slot and sequence so
+/// the resumed worker keeps alternating slots and appending increments
+/// against the right base.
 bool load_latest_checkpoint(const std::string& shard_dir,
                             const tune::Study& study, const ShardRange& range,
-                            ShardCheckpoint* out) {
+                            ShardCheckpoint* out, std::int64_t* base_seq,
+                            std::string* base_slot) {
   bool found = false;
   for (const char* name : {"ckpt_a.bin", "ckpt_b.bin"}) {
     if (!published(shard_dir, name)) continue;
@@ -518,23 +524,39 @@ bool load_latest_checkpoint(const std::string& shard_dir,
           parse_checkpoint(read_published(shard_dir, name), study, range);
       if (!found || c.seq > out->seq) {
         *out = std::move(c);
+        *base_slot = name;
         found = true;
       }
     } catch (const std::exception&) {
       // Torn or corrupt slot: fall back to the other one, or clean restart.
     }
   }
-  return found;
+  if (!found) return false;
+  *base_seq = out->seq;
+  const std::string log_path = shard_dir + "/ckpt_log.bin";
+  if (file_exists(log_path)) {
+    for (const std::string& payload : scan_log_records(read_file(log_path))) {
+      try {
+        apply_increment(*out, *base_seq,
+                        parse_increment(payload, study, range));
+      } catch (const std::exception&) {
+        break;  // discontinuity (e.g. a log outliving its base): stop here
+      }
+    }
+  }
+  return true;
 }
 
 /// Clean restart must drop any surviving slots: later checkpoints restart
 /// the sequence at 1, and a stale higher-seq slot would win the next
-/// resume.
+/// resume.  The increment log goes with them — its records extend a base
+/// that no longer exists.
 void discard_checkpoints(const std::string& shard_dir) {
   for (const char* name : {"ckpt_a.bin", "ckpt_b.bin"}) {
     for (const char* suffix : {"", ".ok", ".tmp", ".ok.tmp"})
       ::remove((shard_dir + "/" + name + suffix).c_str());
   }
+  ::remove((shard_dir + "/ckpt_log.bin").c_str());
 }
 
 /// Rebuild a session at the checkpoint's cursor: import the statistics
@@ -590,15 +612,13 @@ int worker_body(const WorkerArgs& args) {
   core::StatSnapshot warm;
   if (manifest_int(m, "warm_start") != 0) {
     const std::string payload = read_published(args.run_dir, "warm.snap");
-    std::istringstream is(payload);
-    warm = core::StatSnapshot::load(is);
+    warm = core::StatSnapshot::from_string(payload);
     opt.warm_start = &warm;
   }
   core::StatSnapshot prior;
   if (manifest_int(m, "prior_snap") != 0) {
     const std::string payload = read_published(args.run_dir, "prior.snap");
-    std::istringstream is(payload);
-    prior = core::StatSnapshot::load(is);
+    prior = core::StatSnapshot::from_string(payload);
     opt.prior = &prior;
   }
   const int nshards = static_cast<int>(manifest_int(m, "nshards"));
@@ -623,9 +643,21 @@ int worker_body(const WorkerArgs& args) {
   std::vector<std::pair<int, int>> skipped;
   int batches = 0, round = 0, in_round = 0, skips = 0, resumed_batches = 0;
   std::int64_t ckpt_seq = 0;
+  // Incremental-checkpoint bookkeeping: the base full checkpoint the log
+  // extends, the slot the *next* full should use (always the one not
+  // holding the current base), and the state as of the previous record so
+  // increments can carry exact deltas (snapshots) and suffixes (told,
+  // skipped).
+  std::int64_t ckpt_base_seq = 0;
+  std::string next_full_slot = "ckpt_a.bin";
+  core::StatSnapshot prev_full, prev_mark, prev_own;
+  std::size_t prev_told = 0, prev_skipped = 0;
+  const std::string ckpt_log = shard_dir + "/ckpt_log.bin";
   if (ckpt_every > 0) {
     ShardCheckpoint ck;
-    if (load_latest_checkpoint(shard_dir, study, range, &ck)) {
+    std::string base_slot;
+    if (load_latest_checkpoint(shard_dir, study, range, &ck, &ckpt_base_seq,
+                               &base_slot)) {
       try {
         ss = resume_session(study, opt, range, ck, exchanging, every, nshards,
                             args.run_dir, hb);
@@ -634,9 +666,16 @@ int worker_body(const WorkerArgs& args) {
         in_round = ck.in_round;
         skips = ck.exchange_skips;
         skipped = ck.skipped;
-        told = std::move(ck.told);
         resumed_batches = ck.batches;
         ckpt_seq = ck.seq;
+        next_full_slot =
+            base_slot == "ckpt_a.bin" ? "ckpt_b.bin" : "ckpt_a.bin";
+        prev_full = std::move(ck.full);
+        prev_mark = std::move(ck.mark);
+        prev_own = std::move(ck.own);
+        told = std::move(ck.told);
+        prev_told = told.size();
+        prev_skipped = skipped.size();
       } catch (const std::exception& e) {
         std::fprintf(stderr,
                      "shard %d: checkpoint resume failed (%s) — restarting "
@@ -647,6 +686,12 @@ int worker_body(const WorkerArgs& args) {
         skipped.clear();
         batches = round = in_round = skips = resumed_batches = 0;
         ckpt_seq = 0;
+        ckpt_base_seq = 0;
+        next_full_slot = "ckpt_a.bin";
+        prev_full = {};
+        prev_mark = {};
+        prev_own = {};
+        prev_told = prev_skipped = 0;
       }
     }
   }
@@ -658,11 +703,7 @@ int worker_body(const WorkerArgs& args) {
   const auto publish_delta = [&](int round_no) {
     const core::StatSnapshot delta = ss->take_delta();
     std::string payload;
-    if (!delta.empty()) {
-      std::ostringstream os;
-      delta.save(os, core::StatSnapshot::Format::Binary);
-      payload = os.str();
-    }
+    if (!delta.empty()) payload = delta.to_string();
     if (fault.mode == "slow-exchange" && round_no == 0 &&
         fault_fires(shard_dir, fault)) {
       // A slow peer, not a dead one: keep beating while stalling so the
@@ -690,10 +731,81 @@ int worker_body(const WorkerArgs& args) {
     publish_file(exch, delta_name(range.index, round_no), payload);
   };
 
+  // A full checkpoint every kIncrementsPerFull records bounds both the log
+  // length a resume replays and the window a lost log can cost; in between,
+  // each checkpoint appends one constant-sized increment.
+  constexpr std::int64_t kIncrementsPerFull = 16;
   int checkpoints_taken = 0;
   const auto take_checkpoint = [&]() {
+    ++ckpt_seq;
+    ++checkpoints_taken;
+    const int ordinal = fault.arg > 0 ? static_cast<int>(fault.arg) : 2;
+    core::StatSnapshot cur_full = ss->session().export_state();
+    core::StatSnapshot cur_mark, cur_own;
+    if (exchanging) {
+      cur_mark = ss->mark();
+      cur_own = ss->own_stats();
+    }
+    if (ckpt_base_seq > 0 && ckpt_seq - ckpt_base_seq <= kIncrementsPerFull) {
+      CheckpointIncrement inc;
+      bool delta_ok = true;
+      try {
+        // Exact merge inverses against the previous record's snapshots.
+        // diff() throws if the state did not evolve monotonically (e.g. a
+        // reset); the record then falls back to a full checkpoint.
+        inc.full_delta = cur_full.diff(prev_full);
+        if (exchanging) {
+          inc.mark_delta = cur_mark.diff(prev_mark);
+          inc.own_delta = cur_own.diff(prev_own);
+        }
+      } catch (const std::exception&) {
+        delta_ok = false;
+      }
+      if (delta_ok) {
+        inc.base_seq = ckpt_base_seq;
+        inc.seq = ckpt_seq;
+        inc.batches = batches;
+        inc.rounds = round;
+        inc.in_round = in_round;
+        inc.exchange_skips = skips;
+        inc.new_skipped.assign(skipped.begin() + prev_skipped, skipped.end());
+        inc.new_told.assign(told.begin() + prev_told, told.end());
+        std::vector<int> dirty;
+        for (const ShardCheckpoint::ToldBatch& tb : inc.new_told)
+          for (int pos : tb.positions) dirty.push_back(pos - range.begin);
+        std::sort(dirty.begin(), dirty.end());
+        dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+        for (int idx : dirty)
+          inc.dirty_totals.emplace_back(
+              idx, ss->session().totals()[range.begin + idx]);
+        inc.has_exchange_state = exchanging;
+        const std::string rec = frame_log_record(serialize_increment(inc));
+        if (fault.mode == "kill-mid-checkpoint" &&
+            checkpoints_taken == ordinal && fault_fires(shard_dir, fault)) {
+          // The kill-9 torn point for an increment: half the framed record
+          // reaches the log — the scan rejects the tail, the prefix and the
+          // base slot stay good.
+          append_file(ckpt_log, rec.substr(0, rec.size() / 2));
+          ::kill(::getpid(), SIGKILL);
+        }
+        if (fault.mode == "corrupt-checkpoint" &&
+            checkpoints_taken == ordinal && fault_fires(shard_dir, fault)) {
+          std::string bad = rec;
+          bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x5a);
+          append_file(ckpt_log, bad);
+          ::_exit(43);
+        }
+        append_file(ckpt_log, rec);
+        prev_full = std::move(cur_full);
+        prev_mark = std::move(cur_mark);
+        prev_own = std::move(cur_own);
+        prev_told = told.size();
+        prev_skipped = skipped.size();
+        return;
+      }
+    }
     ShardCheckpoint c;
-    c.seq = ++ckpt_seq;
+    c.seq = ckpt_seq;
     c.batches = batches;
     c.rounds = round;
     c.in_round = in_round;
@@ -702,16 +814,14 @@ int worker_body(const WorkerArgs& args) {
     c.told = told;
     c.totals.assign(ss->session().totals().begin() + range.begin,
                     ss->session().totals().begin() + range.end);
-    c.full = ss->session().export_state();
+    c.full = std::move(cur_full);
     if (exchanging) {
       c.has_exchange_state = true;
-      c.mark = ss->mark();
-      c.own = ss->own_stats();
+      c.mark = std::move(cur_mark);
+      c.own = std::move(cur_own);
     }
     const std::string payload = serialize_checkpoint(c);
-    const std::string slot = checkpoint_slot_name(c.seq);
-    ++checkpoints_taken;
-    const int ordinal = fault.arg > 0 ? static_cast<int>(fault.arg) : 2;
+    const std::string slot = next_full_slot;
     if (fault.mode == "kill-mid-checkpoint" && checkpoints_taken == ordinal &&
         fault_fires(shard_dir, fault)) {
       // The kill-9 torn point: payload renamed into place, manifest never
@@ -727,6 +837,18 @@ int worker_body(const WorkerArgs& args) {
       write_file(shard_dir + "/" + slot, bad);
       ::_exit(43);
     }
+    // Only after the new base is fully published: drop the log extending
+    // the previous base (a crash in between resumes from whichever base
+    // survives, each with a consistent log view).
+    ::remove(ckpt_log.c_str());
+    ckpt_base_seq = ckpt_seq;
+    next_full_slot =
+        slot == "ckpt_a.bin" ? std::string("ckpt_b.bin") : "ckpt_a.bin";
+    prev_full = std::move(c.full);
+    prev_mark = std::move(c.mark);
+    prev_own = std::move(c.own);
+    prev_told = told.size();
+    prev_skipped = skipped.size();
   };
 
   const long fault_batch = fault.arg > 0 ? fault.arg : 1;
@@ -1101,16 +1223,10 @@ std::vector<ShardResult> SubprocessExecutor::run(
   for (const ShardRange& s : shards)
     make_dir(run_dir + "/shard" + std::to_string(s.index));
 
-  if (opt.warm_start != nullptr && !opt.warm_start->empty()) {
-    std::ostringstream os;
-    opt.warm_start->save(os, core::StatSnapshot::Format::Binary);
-    publish_file(run_dir, "warm.snap", os.str());
-  }
-  if (opt.prior != nullptr && !opt.prior->empty()) {
-    std::ostringstream os;
-    opt.prior->save(os, core::StatSnapshot::Format::Binary);
-    publish_file(run_dir, "prior.snap", os.str());
-  }
+  if (opt.warm_start != nullptr && !opt.warm_start->empty())
+    publish_file(run_dir, "warm.snap", opt.warm_start->to_string());
+  if (opt.prior != nullptr && !opt.prior->empty())
+    publish_file(run_dir, "prior.snap", opt.prior->to_string());
   const bool warm = opt.warm_start != nullptr && !opt.warm_start->empty();
   write_file(run_dir + "/run.txt",
              build_manifest(study, paper_scale, opt, shards, exchange,

@@ -59,31 +59,48 @@ struct Engine::RankState {
 // --- ReadyHeap -------------------------------------------------------------
 
 void Engine::ReadyHeap::push(double time, int rank) {
-  h_.push_back({time, rank});
-  std::size_t i = h_.size() - 1;
+  // Batched sift-up: hold the new entry in registers, shift losing parents
+  // down, store once at the final hole.
+  times_.push_back(0.0);
+  ranks_.push_back(0);
+  std::size_t i = times_.size() - 1;
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!less(h_[i], h_[parent])) break;
-    std::swap(h_[i], h_[parent]);
-    i = parent;
+    if (!less(parent, time, rank)) {
+      times_[i] = times_[parent];
+      ranks_[i] = ranks_[parent];
+      i = parent;
+    } else {
+      break;
+    }
   }
+  times_[i] = time;
+  ranks_[i] = rank;
 }
 
 int Engine::ReadyHeap::pop() {
-  const int rank = h_[0].rank;
-  h_[0] = h_.back();
-  h_.pop_back();
+  const int rank = ranks_[0];
+  const double time = times_.back();
+  const int last = ranks_.back();
+  times_.pop_back();
+  ranks_.pop_back();
+  const std::size_t n = times_.size();
+  if (n == 0) return rank;
+  // Batched sift-down of the displaced last entry: the hole descends toward
+  // the smaller child, one store per level, until the entry fits.
   std::size_t i = 0;
-  const std::size_t n = h_.size();
   for (;;) {
     const std::size_t l = 2 * i + 1, r = l + 1;
-    std::size_t best = i;
-    if (l < n && less(h_[l], h_[best])) best = l;
-    if (r < n && less(h_[r], h_[best])) best = r;
-    if (best == i) break;
-    std::swap(h_[i], h_[best]);
-    i = best;
+    if (l >= n) break;
+    std::size_t c = l;
+    if (r < n && less(r, times_[l], ranks_[l])) c = r;
+    if (!less(c, time, last)) break;
+    times_[i] = times_[c];
+    ranks_[i] = ranks_[c];
+    i = c;
   }
+  times_[i] = time;
+  ranks_[i] = last;
   return rank;
 }
 
@@ -155,12 +172,10 @@ Engine::Engine(int nranks, Machine machine, std::uint64_t seed_salt)
     : nranks_(nranks), machine_(machine),
       seed_(util::hash_combine(machine.seed, seed_salt)) {
   CRITTER_CHECK(nranks >= 1, "engine needs at least one rank");
-  ranks_.reserve(nranks_);
+  ranks_.resize(nranks_);
   for (int r = 0; r < nranks_; ++r) {
-    auto rs = std::make_unique<RankState>();
-    rs->ctx.rank = r;
-    rs->ctx.engine = this;
-    ranks_.push_back(std::move(rs));
+    ranks_[r].ctx.rank = r;
+    ranks_[r].ctx.engine = this;
   }
   ready_.reserve(nranks_);
   std::vector<int> all(nranks_);
@@ -184,14 +199,14 @@ int Engine::register_comm(std::vector<int> members) {
 RankCtx& Engine::ctx() {
   CRITTER_CHECK(g_engine != nullptr && g_engine->running_ >= 0,
                 "sim API called outside a rank fiber");
-  return g_engine->ranks_[g_engine->running_]->ctx;
+  return g_engine->ranks_[g_engine->running_].ctx;
 }
 
 bool Engine::in_rank() { return g_engine != nullptr && g_engine->running_ >= 0; }
 
 Engine::RankState& Engine::current() {
   CRITTER_CHECK(running_ >= 0, "no rank is running");
-  return *ranks_[running_];
+  return ranks_[running_];
 }
 
 int Engine::comm_size(Comm c) const {
@@ -199,7 +214,7 @@ int Engine::comm_size(Comm c) const {
 }
 
 int Engine::comm_rank(Comm c) const {
-  const int wr = ranks_[running_]->ctx.rank;
+  const int wr = ranks_[running_].ctx.rank;
   const int lr = comms_.at(c.id).local_of_world[wr];
   CRITTER_CHECK(lr >= 0, "rank not a member of this communicator");
   return lr;
@@ -238,7 +253,7 @@ void Engine::block_current(const char* why) {
 }
 
 void Engine::make_ready(int rank, double at_time) {
-  RankState& rs = *ranks_[rank];
+  RankState& rs = ranks_[rank];
   CRITTER_CHECK(rs.st == RankState::St::Blocked, "waking a non-blocked rank");
   rs.ctx.clock = std::max(rs.ctx.clock, at_time);
   rs.st = RankState::St::Ready;
@@ -298,7 +313,7 @@ Request Engine::f_isend(const void* buf, int bytes, int dest, int tag, Comm c) {
     pool_release(std::move(data));
     q->done = true;
     q->done_time = avail;
-    RankState& owner = *ranks_[q->owner];
+    RankState& owner = ranks_[q->owner];
     if (owner.st == RankState::St::Blocked && owner.blocked_req == rid)
       make_ready(owner.ctx.rank, avail);
   } else {
@@ -543,7 +558,7 @@ void Engine::finalize_coll_member(CollOp& op, const CommData& cd, int lr,
   deliver_coll_data(op, cd, lr);
   q->done = true;
   q->done_time = when;
-  RankState& owner = *ranks_[cd.members[lr]];
+  RankState& owner = ranks_[cd.members[lr]];
   if (owner.st == RankState::St::Blocked && owner.blocked_req == op.req_ids[lr])
     make_ready(owner.ctx.rank, when);
 }
@@ -561,7 +576,7 @@ void Engine::complete_coll_sync(int comm_id, CollOp& op) {
     if (q->done) continue;
     q->done = true;
     q->done_time = completion;
-    RankState& owner = *ranks_[cd.members[lr]];
+    RankState& owner = ranks_[cd.members[lr]];
     if (owner.st == RankState::St::Blocked && owner.blocked_req == op.req_ids[lr])
       make_ready(owner.ctx.rank, completion);
   }
@@ -646,7 +661,7 @@ void Engine::deliver_coll_data(CollOp& op, const CommData& cd, int lr) {
         members.reserve(v.size());
         for (auto& e : v) members.push_back(e.second);
         const int id = register_comm(std::move(members));
-        for (auto& e : v) ranks_[e.second]->split_result = id;
+        for (auto& e : v) ranks_[e.second].split_result = id;
       }
       return;
     }
@@ -671,7 +686,7 @@ Comm Engine::f_split(Comm parent, int color, int key) {
 void Engine::run(const std::function<void(RankCtx&)>& body) {
   CRITTER_CHECK(final_clocks_.empty(), "Engine::run may only be called once");
   for (int r = 0; r < nranks_; ++r) {
-    RankState* rs = ranks_[r].get();
+    RankState* rs = &ranks_[r];
     rs->fiber = std::make_unique<Fiber>([this, rs, &body] { body(rs->ctx); });
     ready_.push(0.0, r);
   }
@@ -679,7 +694,7 @@ void Engine::run(const std::function<void(RankCtx&)>& body) {
   g_engine = this;
   while (!ready_.empty()) {
     const int r = ready_.pop();
-    RankState& rs = *ranks_[r];
+    RankState& rs = ranks_[r];
     rs.st = RankState::St::Running;
     running_ = r;
     rs.fiber->resume();
@@ -696,11 +711,11 @@ void Engine::run(const std::function<void(RankCtx&)>& body) {
   if (first_error_) std::rethrow_exception(first_error_);
 
   for (const auto& rs : ranks_)
-    if (rs->st != RankState::St::Done) report_deadlock();
+    if (rs.st != RankState::St::Done) report_deadlock();
 
   final_clocks_.resize(nranks_);
   for (int r = 0; r < nranks_; ++r) {
-    final_clocks_[r] = ranks_[r]->ctx.clock;
+    final_clocks_[r] = ranks_[r].ctx.clock;
     max_time_ = std::max(max_time_, final_clocks_[r]);
   }
 }
@@ -710,13 +725,13 @@ void Engine::report_deadlock() {
   os << "simulated deadlock: ranks still blocked — ";
   int shown = 0;
   for (const auto& rs : ranks_) {
-    if (rs->st == RankState::St::Done) continue;
+    if (rs.st == RankState::St::Done) continue;
     if (shown++ >= 8) {
       os << "...";
       break;
     }
-    os << "[rank " << rs->ctx.rank << " @t=" << rs->ctx.clock << " "
-       << (rs->block_reason == nullptr ? "ready?" : rs->block_reason) << "] ";
+    os << "[rank " << rs.ctx.rank << " @t=" << rs.ctx.clock << " "
+       << (rs.block_reason == nullptr ? "ready?" : rs.block_reason) << "] ";
   }
   throw std::runtime_error(os.str());
 }

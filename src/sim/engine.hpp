@@ -188,24 +188,28 @@ class Engine {
   /// Binary min-heap of runnable ranks ordered by (clock, rank).  A rank
   /// appears at most once, so the (clock, rank) keys are unique and pops
   /// reproduce exactly the std::map iteration order the engine had before.
+  /// Stored as a structure of arrays — the time lane is what every sift
+  /// comparison touches, so comparisons stay within one dense double array —
+  /// and sifts are batched: the displaced entry is held in registers while
+  /// the hole moves, one store per level instead of a three-store swap.
   class ReadyHeap {
    public:
-    bool empty() const { return h_.empty(); }
-    std::size_t size() const { return h_.size(); }
-    void reserve(std::size_t n) { h_.reserve(n); }
-    double top_time() const { return h_[0].time; }
-    int top_rank() const { return h_[0].rank; }
+    bool empty() const { return times_.empty(); }
+    std::size_t size() const { return times_.size(); }
+    void reserve(std::size_t n) {
+      times_.reserve(n);
+      ranks_.reserve(n);
+    }
+    double top_time() const { return times_[0]; }
+    int top_rank() const { return ranks_[0]; }
     void push(double time, int rank);
     int pop();  ///< removes and returns the minimal entry's rank
    private:
-    struct Entry {
-      double time;
-      int rank;
-    };
-    static bool less(const Entry& a, const Entry& b) {
-      return a.time < b.time || (a.time == b.time && a.rank < b.rank);
+    bool less(std::size_t i, double time, int rank) const {
+      return times_[i] < time || (times_[i] == time && ranks_[i] < rank);
     }
-    std::vector<Entry> h_;
+    std::vector<double> times_;
+    std::vector<int> ranks_;
   };
 
   /// Slot/freelist table of nonblocking requests.  A request id encodes
@@ -261,7 +265,11 @@ class Engine {
   int nranks_;
   Machine machine_;
   std::uint64_t seed_;
-  std::vector<std::unique_ptr<RankState>> ranks_;
+  /// Sized once at construction, never resized: fibers and the profiler
+  /// hold stable pointers into these contiguous per-rank records.
+  /// (std::vector of the incomplete RankState is fine — every member
+  /// function is instantiated in engine.cc where the type is complete.)
+  std::vector<RankState> ranks_;
   std::vector<CommData> comms_;
   ReadyHeap ready_;
   int running_ = -1;

@@ -1,0 +1,42 @@
+// Non-owning callable reference: a {object pointer, trampoline} pair.
+//
+// The compute-kernel intercept path takes its "real work" continuation by
+// callable; building a std::function there heap-allocates whenever the
+// capture list exceeds the small-object buffer (every BLAS wrapper's does),
+// and in ExecMode::Model the continuation is never even invoked.  A
+// FunctionRef borrows the caller's lambda in place — two words, no
+// allocation, a single indirect call when actually used.
+//
+// Lifetime rule: the referenced callable must outlive every invocation —
+// i.e. pass temporaries only to functions that call (or drop) the ref
+// before returning, which is exactly the intercept contract.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace critter::util {
+
+class FunctionRef {
+ public:
+  FunctionRef() = default;
+  FunctionRef(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_v<F&>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* o) { (*static_cast<std::remove_reference_t<F>*>(o))(); }) {}
+
+  explicit operator bool() const { return call_ != nullptr; }
+  void operator()() const { call_(obj_); }
+
+ private:
+  void* obj_ = nullptr;
+  void (*call_)(void*) = nullptr;
+};
+
+}  // namespace critter::util

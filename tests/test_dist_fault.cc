@@ -473,6 +473,222 @@ TEST(CheckpointFormat, WrongRangeOrStudyIsRejectedEvenWithValidChecksum) {
       std::runtime_error);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental checkpoint records: roundtrip, log framing, continuity fuzz
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A small non-empty snapshot, the shape of a per-checkpoint diff.
+core::StatSnapshot small_snapshot(int salt) {
+  core::StatSnapshot s;
+  s.ranks.resize(1);
+  core::KernelTable& t = s.ranks[0];
+  t.init_world(1);
+  const core::KernelKey key{static_cast<core::KernelClass>(salt % 3),
+                            {64 + salt, 32, 0, 0},
+                            0};
+  core::KernelStats ks;
+  ks.add_sample(1.5 + salt);
+  ks.add_sample(2.25 + salt);
+  ks.total_invocations = 2;
+  ks.total_executions = 2;
+  ks.registered = true;
+  t.K.emplace(key, ks);
+  t.key_of_hash.emplace(key.hash(), key);
+  t.epoch = 1;
+  return s;
+}
+
+/// An increment that validly extends sample_checkpoint (seq 3 -> 4): one
+/// more told batch, one more skip, one more exchange round, the dirty
+/// total of the new batch's position, and a non-empty statistics delta.
+dist::CheckpointIncrement sample_increment(const tune::Study& study,
+                                           const dist::ShardRange& range,
+                                           bool exchange_state = false) {
+  dist::CheckpointIncrement inc;
+  inc.base_seq = 3;
+  inc.seq = 4;
+  inc.batches = 3;
+  inc.rounds = 2;
+  inc.in_round = 0;
+  inc.exchange_skips = 2;
+  inc.new_skipped = {{1, 0}};
+  inc.new_told.resize(1);
+  const int pos = range.begin + 3;
+  inc.new_told[0].positions = {pos};
+  tune::ConfigOutcome oc;
+  oc.config = study.configs[pos];
+  oc.evaluated = true;
+  oc.true_time = 4.5;
+  oc.pred_time = 4.25;
+  oc.err = 0.0625;
+  oc.executed = 7;
+  oc.skipped = 2;
+  oc.samples_used = 1;
+  inc.new_told[0].outcomes = {oc};
+  tune::ConfigTotals ct;
+  ct.tuning_time = 8.0;
+  ct.full_time = 16.0;
+  inc.dirty_totals = {{3, ct}};
+  inc.full_delta = small_snapshot(1);
+  inc.has_exchange_state = exchange_state;
+  if (exchange_state) {
+    inc.mark_delta = small_snapshot(2);
+    inc.own_delta = small_snapshot(3);
+  }
+  return inc;
+}
+
+}  // namespace
+
+TEST(IncrementFormat, RoundtripPreservesEveryField) {
+  const tune::Study study = subset(tune::capital_cholesky_study(false), 8);
+  const dist::ShardRange range{1, 4, 8};
+  for (bool exchange : {false, true}) {
+    const dist::CheckpointIncrement inc =
+        sample_increment(study, range, exchange);
+    const std::string payload = dist::serialize_increment(inc);
+    const dist::CheckpointIncrement back =
+        dist::parse_increment(payload, study, range);
+    EXPECT_EQ(back.base_seq, inc.base_seq);
+    EXPECT_EQ(back.seq, inc.seq);
+    EXPECT_EQ(back.batches, inc.batches);
+    EXPECT_EQ(back.rounds, inc.rounds);
+    EXPECT_EQ(back.in_round, inc.in_round);
+    EXPECT_EQ(back.exchange_skips, inc.exchange_skips);
+    EXPECT_EQ(back.new_skipped, inc.new_skipped);
+    ASSERT_EQ(back.new_told.size(), inc.new_told.size());
+    EXPECT_EQ(back.new_told[0].positions, inc.new_told[0].positions);
+    ASSERT_EQ(back.dirty_totals.size(), inc.dirty_totals.size());
+    EXPECT_EQ(back.dirty_totals[0].first, inc.dirty_totals[0].first);
+    EXPECT_EQ(back.has_exchange_state, inc.has_exchange_state);
+    EXPECT_TRUE(back.full_delta.same_statistics(inc.full_delta));
+    // Deep equality via the canonical encoding.
+    EXPECT_EQ(dist::serialize_increment(back), payload);
+  }
+}
+
+TEST(IncrementFormat, EveryTruncationIsRejected) {
+  const tune::Study study = subset(tune::capital_cholesky_study(false), 8);
+  const dist::ShardRange range{1, 4, 8};
+  const std::string payload =
+      dist::serialize_increment(sample_increment(study, range, true));
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(
+        dist::parse_increment(payload.substr(0, len), study, range),
+        std::runtime_error)
+        << "truncation to " << len << " bytes accepted";
+  }
+}
+
+TEST(IncrementLog, EveryFramedByteFlipIsRejected) {
+  const tune::Study study = subset(tune::capital_cholesky_study(false), 8);
+  const dist::ShardRange range{1, 4, 8};
+  const std::string framed = dist::frame_log_record(
+      dist::serialize_increment(sample_increment(study, range)));
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    for (unsigned char mask : {0x01, 0x80, 0xff}) {
+      std::string bad = framed;
+      bad[i] = static_cast<char>(bad[i] ^ mask);
+      EXPECT_TRUE(dist::scan_log_records(bad).empty())
+          << "flip of byte " << i << " mask " << static_cast<int>(mask)
+          << " accepted";
+    }
+  }
+}
+
+TEST(IncrementLog, ScanKeepsThePrefixBeforeATornOrCorruptRecord) {
+  const std::vector<std::string> payloads = {"first record", "second",
+                                             "third and longest record"};
+  std::string log;
+  std::vector<std::size_t> ends;  // log size after each complete frame
+  for (const std::string& p : payloads) {
+    log += dist::frame_log_record(p);
+    ends.push_back(log.size());
+  }
+  // Every truncation keeps exactly the complete frames before the tear.
+  for (std::size_t len = 0; len <= log.size(); ++len) {
+    std::size_t expect = 0;
+    while (expect < ends.size() && ends[expect] <= len) ++expect;
+    const std::vector<std::string> got =
+        dist::scan_log_records(log.substr(0, len));
+    ASSERT_EQ(got.size(), expect) << "truncation to " << len;
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i], payloads[i]);
+  }
+  // A corrupt middle record hides itself and everything after it.
+  std::string bad = log;
+  bad[ends[0] + 20] = static_cast<char>(bad[ends[0] + 20] ^ 0x5a);
+  const std::vector<std::string> got = dist::scan_log_records(bad);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], payloads[0]);
+}
+
+TEST(IncrementApply, ExtendsTheBaseAndRejectsEveryContinuityGap) {
+  const tune::Study study = subset(tune::capital_cholesky_study(false), 8);
+  const dist::ShardRange range{1, 4, 8};
+  const dist::ShardCheckpoint base = sample_checkpoint(study, range);
+
+  // The well-formed increment applies and advances every cursor.
+  {
+    dist::ShardCheckpoint ck = base;
+    dist::apply_increment(ck, 3, sample_increment(study, range));
+    EXPECT_EQ(ck.seq, 4);
+    EXPECT_EQ(ck.batches, 3);
+    EXPECT_EQ(ck.rounds, 2);
+    EXPECT_EQ(ck.exchange_skips, 2);
+    ASSERT_EQ(ck.told.size(), 3u);
+    EXPECT_EQ(ck.told[2].positions, std::vector<int>{range.begin + 3});
+    ASSERT_EQ(ck.skipped.size(), 2u);
+    EXPECT_EQ(ck.skipped[1], (std::pair<int, int>{1, 0}));
+    EXPECT_EQ(ck.totals[3].tuning_time, 8.0);
+    EXPECT_TRUE(ck.full.same_statistics(small_snapshot(1)));
+  }
+
+  // Each discontinuity throws and leaves the checkpoint untouched.
+  const std::string before = dist::serialize_checkpoint(base);
+  const auto rejects = [&](dist::CheckpointIncrement inc,
+                           std::int64_t base_seq, const char* what) {
+    dist::ShardCheckpoint ck = base;
+    EXPECT_THROW(dist::apply_increment(ck, base_seq, std::move(inc)),
+                 std::runtime_error)
+        << what;
+    EXPECT_EQ(dist::serialize_checkpoint(ck), before)
+        << what << " mutated the checkpoint before throwing";
+  };
+  rejects(sample_increment(study, range), 2, "wrong base seq");
+  {
+    auto inc = sample_increment(study, range);
+    inc.seq = 5;  // base is at seq 3; 5 skips a record
+    rejects(std::move(inc), 3, "sequence gap");
+  }
+  {
+    auto inc = sample_increment(study, range);
+    inc.batches = 4;  // claims one more batch than new_told carries
+    rejects(std::move(inc), 3, "batch cursor mismatch");
+  }
+  {
+    auto inc = sample_increment(study, range);
+    inc.exchange_skips = 3;  // claims one more skip than new_skipped
+    rejects(std::move(inc), 3, "skip cursor mismatch");
+  }
+  {
+    auto inc = sample_increment(study, range);
+    inc.rounds = 0;  // base already completed round 1
+    rejects(std::move(inc), 3, "round cursor went backwards");
+  }
+  {
+    auto inc = sample_increment(study, range, true);
+    rejects(std::move(inc), 3, "exchange-state flag mismatch");
+  }
+  {
+    auto inc = sample_increment(study, range);
+    inc.dirty_totals[0].first = 5;  // base has 4 range-relative totals
+    rejects(std::move(inc), 3, "dirty-totals index out of range");
+  }
+}
+
 int main(int argc, char** argv) {
   if (dist::is_shard_worker(argc, argv))
     return dist::shard_worker_main(argc, argv);

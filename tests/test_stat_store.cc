@@ -497,3 +497,45 @@ TEST(StatSnapshot, SnapshotDiffIsMergeInverse) {
   mismatched.ranks.push_back(make_table(4, 1));
   EXPECT_THROW(evolved.diff(mismatched), std::runtime_error);
 }
+
+// ---------------------------------------------------------------------------
+// Golden bit-identity: serialization must preserve the fixture statistics
+// ---------------------------------------------------------------------------
+
+#include <fstream>
+
+#include "golden_digest.hpp"
+
+TEST(StatSnapshot, GoldenSweepStatisticsSurviveSerializationBitIdentical) {
+  // The fixture is digest_result + digest_snapshot of the online golden
+  // sweep; the snapshot section pins every statistic's exact bits.
+  const std::string path =
+      std::string(CRITTER_GOLDEN_DIR) + "/sweep_online.digest";
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.is_open()) << "missing golden fixture " << path
+                            << " (regenerate with tools/gen_golden)";
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string fixture = buf.str();
+  const std::size_t at = fixture.find("snapshot nranks=");
+  ASSERT_NE(at, std::string::npos) << "fixture has no snapshot section";
+  const std::string expected = fixture.substr(at);
+
+  const tune::TuneResult r = critter::testing::golden_sweep("online");
+  EXPECT_EQ(critter::testing::digest_snapshot(r.stats), expected)
+      << "live sweep statistics diverge from the fixture";
+
+  // In-memory binary round-trip: string-backed serialize, span-based parse.
+  const core::StatSnapshot parsed =
+      core::StatSnapshot::from_string(r.stats.to_string());
+  EXPECT_EQ(critter::testing::digest_snapshot(parsed), expected)
+      << "to_string/from_string round-trip bent a statistic";
+
+  // File round-trip through the mmap-backed loader.
+  const std::string tmp = "golden_roundtrip.snap";
+  r.stats.save_file(tmp);
+  const core::StatSnapshot loaded = core::StatSnapshot::load_file(tmp);
+  std::remove(tmp.c_str());
+  EXPECT_EQ(critter::testing::digest_snapshot(loaded), expected)
+      << "save_file/load_file round-trip bent a statistic";
+}

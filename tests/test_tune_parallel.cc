@@ -387,3 +387,61 @@ TEST(ThreadPool, PropagatesFirstException) {
   pool.parallel_for(4, [&](int) { ++n; });
   EXPECT_EQ(n.load(), 4);
 }
+
+// ---------------------------------------------------------------------------
+// Golden bit-identity: sweeps must reproduce the checked-in fixtures
+// ---------------------------------------------------------------------------
+
+#include <fstream>
+
+#include "golden_digest.hpp"
+
+namespace {
+
+/// The fixture as generated by tools/gen_golden on the pre-fast-path build.
+std::string read_fixture(const char* which) {
+  const std::string path =
+      std::string(CRITTER_GOLDEN_DIR) + "/sweep_" + which + ".digest";
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << "missing golden fixture " << path
+                            << " (regenerate with tools/gen_golden)";
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+/// The digest prints every double as an exact hex float, so equality here
+/// is bit-identity of every sweep outcome and every statistic the sweep
+/// accumulated — the determinism contract the hot-path work must not bend.
+/// On mismatch, report the first differing line, not half a megabyte.
+void expect_matches_fixture(const char* which) {
+  const std::string expected = read_fixture(which);
+  ASSERT_FALSE(expected.empty());
+  const std::string actual = critter::testing::golden_digest(which);
+  if (actual == expected) return;
+  std::istringstream as(actual), es(expected);
+  std::string al, el;
+  for (int line = 1; ; ++line) {
+    const bool a_ok = static_cast<bool>(std::getline(as, al));
+    const bool e_ok = static_cast<bool>(std::getline(es, el));
+    if (!a_ok || !e_ok || al != el) {
+      FAIL() << "golden digest '" << which << "' diverges at line " << line
+             << "\n  expected: " << (e_ok ? el : "<eof>")
+             << "\n  actual:   " << (a_ok ? al : "<eof>");
+    }
+  }
+}
+
+}  // namespace
+
+TEST(GoldenSweep, OnlinePropagationMatchesFixture) {
+  expect_matches_fixture("online");
+}
+
+TEST(GoldenSweep, EagerPropagationMatchesFixture) {
+  expect_matches_fixture("eager");
+}
+
+TEST(GoldenSweep, SharedBatchParallelMatchesFixture) {
+  expect_matches_fixture("batch");
+}

@@ -1,0 +1,31 @@
+// Regenerates the golden bit-identity fixtures under tests/golden/.
+//
+// The fixtures pin the *statistics content* (not acceleration structures)
+// of three deterministic SLATE-Cholesky sweeps; see tests/golden_digest.hpp
+// for exactly what is digested.  They were produced by the pre-arena,
+// pre-fast-path build and must only ever be regenerated on purpose — a
+// performance refactor that changes these digests has broken the
+// determinism contract (DESIGN.md §6/§11), not "updated a baseline".
+//
+// Usage: gen_golden <output-dir>
+#include <cstdio>
+#include <string>
+
+#include "../tests/golden_digest.hpp"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/golden";
+  for (const char* which : {"online", "eager", "batch"}) {
+    const std::string digest = critter::testing::golden_digest(which);
+    const std::string path = dir + "/sweep_" + which + ".digest";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fwrite(digest.data(), 1, digest.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), digest.size());
+  }
+  return 0;
+}
