@@ -27,7 +27,10 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "core/fsio.hpp"
 #include "dist/executor.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -157,6 +160,38 @@ int main(int argc, char** argv) {
                                             subproc_ckpt, 2, t,
                                             "sharded_subprocess_ckpt");
 
+  // 7c. The tuner daemon (DESIGN.md §12): the identical shared sweep
+  //    through the ask/tell service — an in-process daemon journaling a
+  //    full checkpoint per tell, one TCP client mirroring the evaluation.
+  //    configs/s against (1) prices the whole service stack (framing,
+  //    loopback round trips, state shipping both ways, journal publishes);
+  //    ask_tell_round_trip_ms is the mean request latency the client saw.
+  const std::string daemon_dir = critter::core::make_temp_dir("bench_tunerd");
+  {
+    critter::serve::TunerDaemon daemon({daemon_dir});
+    critter::serve::ClientOptions copt;
+    copt.port = daemon.port();
+    const double td = now_s();
+    critter::serve::TunerClient client(study, shared, "bench", copt);
+    const critter::serve::ClientReport rep = client.run();
+    const double daemon_secs = now_s() - td;
+    const critter::serve::StatusReply st = client.status();
+    const double daemon_rate = static_cast<double>(st.evaluated) / daemon_secs;
+    const int round_trips = rep.asks + rep.tells;
+    const double rt_ms = round_trips > 0
+                             ? 1e3 * rep.ask_tell_wall_s / round_trips
+                             : 0.0;
+    t.row({"daemon_ask_tell", "daemon x1 client", "1",
+           util::Table::num(daemon_secs, 3), util::Table::num(daemon_rate, 2)});
+    g_json.add("daemon_ask_tell_configs_per_sec", daemon_rate, "configs/s");
+    g_json.add("ask_tell_round_trip_ms", rt_ms, "ms");
+    std::printf("tuner daemon: %d ask/tell round trips, %.3f ms mean "
+                "round-trip latency\n",
+                round_trips, rt_ms);
+    daemon.stop();
+  }
+  critter::core::remove_dir_tree(daemon_dir);
+
   // 8. Model-based search: configs-to-best.  Against a statistically
   //    isolated sweep (outcomes independent of evaluation order, so "the
   //    exhaustive best" is the same configuration for every strategy), how
@@ -246,6 +281,8 @@ int main(int argc, char** argv) {
                "sharded_in_process_configs_per_sec");
   g_json.ratio("checkpoint_overhead", "sharded_subprocess_configs_per_sec",
                "sharded_subprocess_ckpt_configs_per_sec");
+  g_json.ratio("daemon_vs_serial", "daemon_ask_tell_configs_per_sec",
+               "serial_shared_configs_per_sec");
   g_json.add("surrogate_configs_to_best",
              static_cast<double>(configs_to_best), "configs");
   g_json.add("surrogate_vs_exhaustive", to_best_ratio, "x");

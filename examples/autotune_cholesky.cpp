@@ -40,18 +40,28 @@
 // shard skip a peer whose round delta never arrives instead of aborting
 // the run.  A recovery summary prints whenever a shard retried, resumed,
 // or skipped.
+// --serve=DIR turns this binary into a persistent tuner daemon (state and
+// session journals under DIR, bound port published to DIR/port);
+// --connect=HOST:PORT joins it as an evaluating client instead of sweeping
+// locally — several clients on one --session share a single ask/tell
+// session and reproduce the in-process sweep bit-identically (tunectl is
+// the standalone CLI for the same protocol).
 #include <cmath>
 #include <cstdio>
 #include <string>
 #include <tuple>
 
 #include "dist/executor.hpp"
+#include "net/socket.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 #include "tune/strategy.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace dist = critter::dist;
+namespace serve = critter::serve;
 namespace tune = critter::tune;
 
 namespace {
@@ -72,6 +82,9 @@ int main(int argc, char** argv) {
   // Shard-worker re-entry: the subprocess executor re-execs this binary.
   if (dist::is_shard_worker(argc, argv))
     return dist::shard_worker_main(argc, argv);
+  // Daemon re-entry (--tuner-daemon --state-dir=DIR [--port=N]).
+  if (serve::is_tuner_daemon(argc, argv))
+    return serve::tuner_daemon_main(argc, argv);
   critter::util::Options opt(argc, argv);
   if (opt.has("help")) {
     std::printf("usage: autotune_cholesky [--workload=NAME] "
@@ -98,8 +111,49 @@ int main(int argc, char** argv) {
       tune::parse_strategy_spec(opt.get("strategy", "exhaustive"));
   topt.prior_file = opt.get("prior", "");
 
+  // Daemon mode: serve ask/tell sessions instead of sweeping.  Routed
+  // through the canonical entry point so SIGTERM/SIGINT flush sessions.
+  const std::string serve_dir = opt.get("serve", "");
+  if (!serve_dir.empty()) {
+    const std::string sd = "--state-dir=" + serve_dir;
+    const std::string pt = "--port=" + std::to_string(opt.get_int("port", 0));
+    const char* dargv[] = {"autotune_cholesky", "--tuner-daemon", sd.c_str(),
+                           pt.c_str()};
+    return serve::tuner_daemon_main(4, const_cast<char**>(dargv));
+  }
+
   const tune::Study study = tune::workload_study(
       opt.get("workload", "capital-cholesky"), critter::util::paper_scale());
+
+  // Client mode: join a daemon session as a remote evaluator.
+  const std::string connect = opt.get("connect", "");
+  if (!connect.empty()) {
+    const critter::net::Address addr = critter::net::parse_address(connect);
+    serve::ClientOptions copt;
+    copt.host = addr.host;
+    copt.port = addr.port;
+    copt.max_batches = static_cast<int>(opt.get_int("max-batches", 0));
+    copt.drop_after_asks =
+        static_cast<int>(opt.get_int("drop-after-asks", 0));
+    serve::TunerClient client(study, topt, opt.get("session", study.name),
+                              copt);
+    const serve::ClientReport rep = client.run();
+    std::printf("%s: %d asks, %d tells, %d reconnects\n",
+                rep.done ? "sweep complete" : "client done", rep.asks,
+                rep.tells, rep.reconnects);
+    if (!rep.dropped) {
+      const serve::StatusReply st = client.status();
+      std::printf("%s\n", st.text.c_str());
+      if (st.done && st.best_predicted >= 0)
+        std::printf(
+            "selected config %d (%s)\n", st.best_predicted,
+            study.configs[static_cast<std::size_t>(st.best_predicted)]
+                .label()
+                .c_str());
+    }
+    return 0;
+  }
+
   std::printf("autotuning %s: %d ranks, n=%d, %zu configurations, policy=%s, "
               "eps=%.4f, strategy=%s\n",
               study.name.c_str(), study.nranks, study.n, study.configs.size(),

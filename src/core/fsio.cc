@@ -1,5 +1,6 @@
-#include "dist/protocol.hpp"
+#include "core/fsio.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -16,7 +17,7 @@
 #include "util/check.hpp"
 #include "util/hash.hpp"
 
-namespace critter::dist {
+namespace critter::core {
 
 using util::fnv1a;  // the publish-manifest checksum
 
@@ -54,6 +55,20 @@ void make_dir(const std::string& path) {
   if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
     CRITTER_CHECK(false, "mkdir failed for " + path + ": " +
                              std::strerror(errno));
+}
+
+std::vector<std::string> list_dir(const std::string& path) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(path.c_str());
+  if (d == nullptr) return out;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    out.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::string make_temp_dir(const std::string& prefix) {
@@ -108,13 +123,35 @@ void write_file_atomic(const std::string& path, const std::string& content) {
                 "rename failed for " + path + ": " + std::strerror(errno));
 }
 
-void publish_file(const std::string& dir, const std::string& name,
-                  const std::string& payload) {
-  atomic_write(dir, name, payload);
+std::string publish_manifest(const std::string& payload) {
   std::ostringstream manifest;
   manifest << "bytes=" << payload.size() << "\nfnv=" << std::hex
            << fnv1a(payload.data(), payload.size()) << "\n";
-  atomic_write(dir, manifest_name(name), manifest.str());
+  return manifest.str();
+}
+
+void check_publish_manifest(const std::string& manifest,
+                            const std::string& payload,
+                            const std::string& what) {
+  std::size_t bytes = 0;
+  unsigned long long sum = 0;
+  const int parsed = std::sscanf(manifest.c_str(), "bytes=%zu\nfnv=%llx",
+                                 &bytes, &sum);
+  CRITTER_CHECK(parsed == 2,
+                "stale manifest " + what + ": unparsable content");
+  CRITTER_CHECK(payload.size() == bytes,
+                "stale manifest " + what + ": payload has " +
+                    std::to_string(payload.size()) + " bytes, manifest "
+                    "declares " + std::to_string(bytes));
+  CRITTER_CHECK(fnv1a(payload.data(), payload.size()) == sum,
+                "stale manifest " + what +
+                    ": payload checksum mismatch (torn or corrupt publish)");
+}
+
+void publish_file(const std::string& dir, const std::string& name,
+                  const std::string& payload) {
+  atomic_write(dir, name, payload);
+  atomic_write(dir, manifest_name(name), publish_manifest(payload));
 }
 
 bool published(const std::string& dir, const std::string& name) {
@@ -127,24 +164,12 @@ std::string read_published(const std::string& dir, const std::string& name) {
                 "missing publish manifest " + ok_path +
                     " — the artifact was never published");
   const std::string manifest = read_file(ok_path);
-  std::size_t bytes = 0;
-  unsigned long long sum = 0;
-  const int parsed = std::sscanf(manifest.c_str(), "bytes=%zu\nfnv=%llx",
-                                 &bytes, &sum);
-  CRITTER_CHECK(parsed == 2, "stale manifest " + ok_path +
-                                 ": unparsable content");
   const std::string payload_path = dir + "/" + name;
   CRITTER_CHECK(file_exists(payload_path),
                 "stale manifest " + ok_path + ": payload " + payload_path +
                     " is missing");
   const std::string payload = read_file(payload_path);
-  CRITTER_CHECK(payload.size() == bytes,
-                "stale manifest " + ok_path + ": payload has " +
-                    std::to_string(payload.size()) + " bytes, manifest "
-                    "declares " + std::to_string(bytes));
-  CRITTER_CHECK(fnv1a(payload.data(), payload.size()) == sum,
-                "stale manifest " + ok_path +
-                    ": payload checksum mismatch (torn or corrupt publish)");
+  check_publish_manifest(manifest, payload, ok_path);
   return payload;
 }
 
@@ -158,4 +183,4 @@ double monotonic_s() {
       .count();
 }
 
-}  // namespace critter::dist
+}  // namespace critter::core

@@ -1,0 +1,62 @@
+// The little string-backed binary writer/reader every byte-exact wire
+// format in the tree shares: the dist layer's shard-result and checkpoint
+// payloads, and the net layer's frame payloads (which must serialize
+// outcomes identically to the file formats — a told batch journaled by the
+// daemon replays bit-equal to one a run directory would carry).
+//
+// Fixed-width little-endian-as-memcpy fields; strings are [i32 length] +
+// bytes with a plausibility bound so a corrupt length cannot allocate the
+// universe.  Readers CRITTER_CHECK-fail on truncation instead of returning
+// partial state.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace critter::core {
+
+struct WireWriter {
+  std::string out;
+  void raw(const void* p, std::size_t n) {
+    out.append(static_cast<const char*>(p), n);
+  }
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void i32(std::int32_t v) { raw(&v, 4); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void i64(std::int64_t v) { raw(&v, 8); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void str(const std::string& s) {
+    i32(static_cast<std::int32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+};
+
+struct WireReader {
+  const std::string& in;
+  std::size_t pos = 0;
+  void raw(void* p, std::size_t n) {
+    CRITTER_CHECK(pos + n <= in.size(), "wire: truncated payload");
+    std::memcpy(p, in.data() + pos, n);
+    pos += n;
+  }
+  std::uint8_t u8() { std::uint8_t v; raw(&v, 1); return v; }
+  std::int32_t i32() { std::int32_t v; raw(&v, 4); return v; }
+  std::uint32_t u32() { std::uint32_t v; raw(&v, 4); return v; }
+  std::int64_t i64() { std::int64_t v; raw(&v, 8); return v; }
+  std::uint64_t u64() { std::uint64_t v; raw(&v, 8); return v; }
+  double f64() { double v; raw(&v, 8); return v; }
+  std::string str() {
+    const std::int32_t n = i32();
+    CRITTER_CHECK(n >= 0 && n <= (1 << 20), "wire: implausible string");
+    std::string s(static_cast<std::size_t>(n), '\0');
+    raw(s.data(), s.size());
+    return s;
+  }
+  bool done() const { return pos == in.size(); }
+};
+
+}  // namespace critter::core

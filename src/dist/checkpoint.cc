@@ -1,8 +1,11 @@
 #include "dist/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <string_view>
+#include <utility>
 
+#include "core/fsio.hpp"
 #include "dist/wire.hpp"
 #include "util/check.hpp"
 #include "util/hash.hpp"
@@ -352,6 +355,49 @@ std::vector<std::string> scan_log_records(const std::string& blob) {
 
 std::string checkpoint_slot_name(std::int64_t seq) {
   return (seq % 2 != 0) ? "ckpt_a.bin" : "ckpt_b.bin";
+}
+
+bool load_latest_checkpoint(const std::string& dir, const tune::Study& study,
+                            const ShardRange& range, ShardCheckpoint* out,
+                            std::int64_t* base_seq, std::string* base_slot) {
+  bool found = false;
+  for (const char* name : {"ckpt_a.bin", "ckpt_b.bin"}) {
+    if (!core::published(dir, name)) continue;
+    try {
+      ShardCheckpoint c =
+          parse_checkpoint(core::read_published(dir, name), study, range);
+      if (!found || c.seq > out->seq) {
+        *out = std::move(c);
+        *base_slot = name;
+        found = true;
+      }
+    } catch (const std::exception&) {
+      // Torn or corrupt slot: fall back to the other one, or clean restart.
+    }
+  }
+  if (!found) return false;
+  *base_seq = out->seq;
+  const std::string log_path = dir + "/ckpt_log.bin";
+  if (core::file_exists(log_path)) {
+    for (const std::string& payload :
+         scan_log_records(core::read_file(log_path))) {
+      try {
+        apply_increment(*out, *base_seq,
+                        parse_increment(payload, study, range));
+      } catch (const std::exception&) {
+        break;  // discontinuity (e.g. a log outliving its base): stop here
+      }
+    }
+  }
+  return true;
+}
+
+void discard_checkpoints(const std::string& dir) {
+  for (const char* name : {"ckpt_a.bin", "ckpt_b.bin"}) {
+    for (const char* suffix : {"", ".ok", ".tmp", ".ok.tmp"})
+      std::remove((dir + "/" + name + suffix).c_str());
+  }
+  std::remove((dir + "/ckpt_log.bin").c_str());
 }
 
 }  // namespace critter::dist

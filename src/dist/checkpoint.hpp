@@ -130,4 +130,23 @@ ShardCheckpoint parse_checkpoint(const std::string& payload,
 /// the previous checkpoint survives a torn publish of the next).
 std::string checkpoint_slot_name(std::int64_t seq);
 
+/// Load the best full checkpoint slot under `dir`, then extend it with the
+/// longest valid prefix of the increment log (DESIGN.md §11): records that
+/// frame-verify, parse, and apply continuously on top of the base.  A torn
+/// or corrupt record ends the prefix — everything before it already
+/// reproduced a consistent state.  Reports the base's slot and sequence so
+/// the resumed owner keeps alternating slots and appending increments
+/// against the right base.  False when neither slot holds a usable
+/// checkpoint.  Shared by relaunched shard workers and the resuming tuner
+/// daemon (serve/daemon.hpp).
+bool load_latest_checkpoint(const std::string& dir, const tune::Study& study,
+                            const ShardRange& range, ShardCheckpoint* out,
+                            std::int64_t* base_seq, std::string* base_slot);
+
+/// Clean restart must drop any surviving slots: later checkpoints restart
+/// the sequence at 1, and a stale higher-seq slot would win the next
+/// resume.  The increment log goes with them — its records extend a base
+/// that no longer exists.
+void discard_checkpoints(const std::string& dir);
+
 }  // namespace critter::dist

@@ -235,9 +235,10 @@ tune::TuneResult run_sharded_named(const tune::Study& study,
                                    const ExchangePolicy& exchange,
                                    const FaultPolicy& fault) {
   if (nshards <= 1) return run_study(study, opt);
-  if (executor == "subprocess") {
+  if (executor == "subprocess" || executor == "socket") {
     SubprocessOptions sopts;
     sopts.fault = fault;
+    if (executor == "socket") sopts.transport = "socket";
     SubprocessExecutor exec(std::move(sopts));
     return run_sharded(study, opt, nshards, exec, exchange);
   }
@@ -246,7 +247,7 @@ tune::TuneResult run_sharded_named(const tune::Study& study,
     return run_sharded(study, opt, nshards, exec, exchange);
   }
   CRITTER_CHECK(false, "unknown shard executor '" + executor +
-                           "' (known: subprocess, in-process)");
+                           "' (known: subprocess, socket, in-process)");
   return {};
 }
 

@@ -188,6 +188,14 @@ struct SubprocessOptions {
   /// corrupt-checkpoint, kill-mid-checkpoint, slow-exchange, skip-result).
   /// The CRITTER_SHARD_FAULT environment variable overrides this knob.
   std::string fault_injection;
+  /// How the fleet shares its coordination artifacts (DESIGN.md §12.2):
+  /// "dir" (default) — the run directory, byte-identical to the historical
+  /// file protocol; "socket" — an in-memory store served over TCP from the
+  /// launcher (net::BlobServer), with workers connecting per --connect and
+  /// per-op deadlines mapped from the FaultPolicy phases.  Results are
+  /// bit-identical across transports; worker-local checkpoints and logs
+  /// stay in the run directory either way.
+  std::string transport;
 };
 
 /// One OS process per shard: the distributed-memory execution the paper

@@ -2,60 +2,30 @@
 //
 // Shard processes share nothing but a run directory.  Every artifact —
 // exchange deltas, shard results — is published with the same two-step
-// protocol on top of POSIX rename atomicity:
-//
-//   1. the payload is written to `<name>.tmp` and renamed to `<name>`;
-//   2. a manifest `<name>.ok` (payload byte count + FNV-1a checksum) is
-//      written the same way.
-//
-// A reader polls for the manifest only: once `<name>.ok` is visible the
-// payload rename has already happened (same directory, program order), so
-// a visible manifest whose payload is missing or does not match the
-// declared size/checksum is *stale* — evidence of a torn publish or an
-// unrelated file — and is reported as such rather than retried forever.
+// protocol on top of POSIX rename atomicity; the implementation lives in
+// core/fsio.hpp (shared with the net blob store and the serve daemon's
+// session journals), and this header re-exports it under the historical
+// dist:: names so the executor code reads as before.
 //
 // DESIGN.md §8 documents the full directory layout and determinism rules.
 #pragma once
 
-#include <cstdint>
-#include <string>
+#include "core/fsio.hpp"
 
 namespace critter::dist {
 
-bool file_exists(const std::string& path);
-std::string read_file(const std::string& path);
-/// Plain (non-atomic) write; for artifacts produced before any reader
-/// exists, e.g. the run manifest written before workers launch.
-void write_file(const std::string& path, const std::string& content);
-/// Atomic single-file write (tmp + rename, no manifest): readers see the
-/// old content or the new, never a torn mix.  For frequently rewritten
-/// best-effort artifacts like heartbeat files, where the two-step publish
-/// protocol's manifest would double the write traffic for no benefit (a
-/// heartbeat's value is that it *changed*, not what it says).
-void write_file_atomic(const std::string& path, const std::string& content);
-/// Append to the end of `path`, creating it if absent.  The increment-log
-/// primitive: an interrupted append can tear only the new tail, which the
-/// framed-record scan rejects — the existing prefix stays trustworthy.
-void append_file(const std::string& path, const std::string& content);
-/// mkdir, existing directory OK; parents must exist.
-void make_dir(const std::string& path);
-/// Fresh private directory under $TMPDIR (default /tmp).
-std::string make_temp_dir(const std::string& prefix);
-/// Best-effort recursive removal (one directory level deep, the run-dir
-/// shape); never throws.
-void remove_dir_tree(const std::string& path);
-
-/// Atomically publish `payload` as `dir/name` (tmp + rename + manifest).
-void publish_file(const std::string& dir, const std::string& name,
-                  const std::string& payload);
-/// True once `dir/name`'s manifest is visible.
-bool published(const std::string& dir, const std::string& name);
-/// Read a published payload, verifying the manifest's size and checksum.
-/// Throws with "missing"/"stale manifest" in the message when the payload
-/// is absent, short, or does not hash to the manifest's declared value.
-std::string read_published(const std::string& dir, const std::string& name);
-
-void sleep_ms(int ms);
-double monotonic_s();
+using core::append_file;
+using core::file_exists;
+using core::make_dir;
+using core::make_temp_dir;
+using core::monotonic_s;
+using core::publish_file;
+using core::published;
+using core::read_file;
+using core::read_published;
+using core::remove_dir_tree;
+using core::sleep_ms;
+using core::write_file;
+using core::write_file_atomic;
 
 }  // namespace critter::dist

@@ -46,9 +46,12 @@
 
 #include "dist/checkpoint.hpp"
 #include "dist/executor.hpp"
+#include "dist/manifest.hpp"
 #include "dist/protocol.hpp"
 #include "dist/shard_session.hpp"
 #include "dist/wire.hpp"
+#include "net/blob.hpp"
+#include "net/socket.hpp"
 #include "util/check.hpp"
 
 namespace critter::dist {
@@ -130,113 +133,6 @@ ShardResult parse_result(const std::string& payload, const tune::Study& study,
     out.stats = core::StatSnapshot::from_string(
         std::string_view(payload).substr(r.pos));
   }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Run manifest (text key=value lines)
-// ---------------------------------------------------------------------------
-
-std::string hex_double(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%a", v);
-  return buf;
-}
-
-using Manifest = std::map<std::string, std::string>;
-
-std::string manifest_get(const Manifest& m, const std::string& key) {
-  const auto it = m.find(key);
-  CRITTER_CHECK(it != m.end(), "run manifest: missing key '" + key + "'");
-  return it->second;
-}
-
-std::int64_t manifest_int(const Manifest& m, const std::string& key) {
-  return std::strtoll(manifest_get(m, key).c_str(), nullptr, 10);
-}
-
-std::uint64_t manifest_u64(const Manifest& m, const std::string& key) {
-  return std::strtoull(manifest_get(m, key).c_str(), nullptr, 10);
-}
-
-double manifest_double(const Manifest& m, const std::string& key) {
-  return std::strtod(manifest_get(m, key).c_str(), nullptr);
-}
-
-Manifest parse_manifest(const std::string& text) {
-  Manifest m;
-  std::istringstream is(text);
-  std::string line;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    const auto eq = line.find('=');
-    CRITTER_CHECK(eq != std::string::npos,
-                  "run manifest: malformed line '" + line + "'");
-    m[line.substr(0, eq)] = line.substr(eq + 1);
-  }
-  return m;
-}
-
-std::string build_manifest(const tune::Study& study, bool paper_scale,
-                           const tune::TuneOptions& opt,
-                           const std::vector<ShardRange>& shards,
-                           const ExchangePolicy& exchange,
-                           const FaultPolicy& fault,
-                           const std::string& fault_injection, bool warm) {
-  std::ostringstream os;
-  os << "workload=" << study.workload << "\n";
-  os << "paper_scale=" << (paper_scale ? 1 : 0) << "\n";
-  os << "nranks=" << study.nranks << "\n";
-  os << "config_indices=";
-  for (std::size_t i = 0; i < study.configs.size(); ++i)
-    os << (i > 0 ? "," : "") << study.configs[i].index;
-  os << "\n";
-  os << "policy=" << static_cast<int>(opt.policy) << "\n";
-  os << "tolerance=" << hex_double(opt.tolerance) << "\n";
-  os << "samples=" << opt.samples << "\n";
-  os << "reset_per_config=" << (opt.reset_per_config ? 1 : 0) << "\n";
-  os << "seed_salt=" << opt.seed_salt << "\n";
-  os << "comp_noise=" << hex_double(opt.comp_noise) << "\n";
-  os << "comm_noise=" << hex_double(opt.comm_noise) << "\n";
-  os << "tilde_capacity=" << opt.tilde_capacity << "\n";
-  os << "extrapolate=" << (opt.extrapolate ? 1 : 0) << "\n";
-  os << "workers=" << opt.workers << "\n";
-  os << "batch=" << opt.batch << "\n";
-  os << "strategy=" << opt.strategy << "\n";
-  for (const auto& [k, v] : opt.strategy_options) {
-    CRITTER_CHECK(v.find('\n') == std::string::npos &&
-                      k.find('\n') == std::string::npos,
-                  "strategy options must be single-line");
-    os << "strategy_opt." << k << "=" << v << "\n";
-  }
-  CRITTER_CHECK(opt.prior_file.find('\n') == std::string::npos,
-                "prior_file must be single-line");
-  os << "prior_file=" << opt.prior_file << "\n";
-  os << "exchange_every=" << exchange.every << "\n";
-  os << "exchange_strict=" << (exchange.strict ? 1 : 0) << "\n";
-  os << "exchange_deadline_s=" << hex_double(fault.exchange_deadline_s)
-     << "\n";
-  os << "checkpoint_every=" << fault.checkpoint_every << "\n";
-  CRITTER_CHECK(fault_injection.find('\n') == std::string::npos,
-                "fault-injection spec must be single-line");
-  os << "fault=" << fault_injection << "\n";
-  os << "nshards=" << shards.size() << "\n";
-  os << "warm_start=" << (warm ? 1 : 0) << "\n";
-  // An in-memory model prior travels as a published snapshot, exactly like
-  // the warm start (the worker cannot see the launcher's memory).
-  os << "prior_snap=" << (opt.prior != nullptr && !opt.prior->empty() ? 1 : 0)
-     << "\n";
-  for (const ShardRange& s : shards)
-    os << "shard" << s.index << "=" << s.begin << "," << s.end << "\n";
-  return os.str();
-}
-
-std::vector<int> parse_index_list(const std::string& csv) {
-  std::vector<int> out;
-  std::istringstream is(csv);
-  std::string tok;
-  while (std::getline(is, tok, ','))
-    if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
   return out;
 }
 
@@ -327,6 +223,14 @@ bool fault_fires(const std::string& shard_dir, const FaultSpec& f) {
 struct WorkerArgs {
   std::string run_dir;
   int shard = -1;
+  /// "host:port" of the launcher's blob server; empty = the run directory
+  /// itself is the shared store (the historical file transport).
+  std::string connect;
+  /// Per-op deadlines for the socket transport, mapped from the launcher's
+  /// FaultPolicy phases (connect/handshake from startup_deadline_s, every
+  /// steady-state request from progress_deadline_s).
+  double connect_deadline_s = 60.0;
+  double op_deadline_s = 300.0;
 };
 
 WorkerArgs parse_worker_args(int argc, char** argv) {
@@ -336,91 +240,58 @@ WorkerArgs parse_worker_args(int argc, char** argv) {
     if (arg.rfind("--shard-dir=", 0) == 0) a.run_dir = arg.substr(12);
     if (arg.rfind("--shard-index=", 0) == 0)
       a.shard = std::atoi(arg.c_str() + 14);
+    if (arg.rfind("--connect=", 0) == 0) a.connect = arg.substr(10);
+    if (arg.rfind("--connect-deadline=", 0) == 0)
+      a.connect_deadline_s = std::strtod(arg.c_str() + 19, nullptr);
+    if (arg.rfind("--op-deadline=", 0) == 0)
+      a.op_deadline_s = std::strtod(arg.c_str() + 14, nullptr);
   }
   CRITTER_CHECK(!a.run_dir.empty() && a.shard >= 0,
                 "--shard-worker needs --shard-dir=DIR and --shard-index=N");
   return a;
 }
 
-tune::Study rebuild_study(const Manifest& m) {
-  const std::string workload = manifest_get(m, "workload");
-  tune::Study study =
-      tune::workload_study(workload, manifest_int(m, "paper_scale") != 0);
-  CRITTER_CHECK(study.nranks == manifest_int(m, "nranks"),
-                "run manifest: study rank count mismatch for " + workload);
-  const std::vector<int> indices =
-      parse_index_list(manifest_get(m, "config_indices"));
-  std::vector<tune::Configuration> configs;
-  configs.reserve(indices.size());
-  for (int idx : indices) {
-    CRITTER_CHECK(idx >= 0 && idx < static_cast<int>(study.configs.size()) &&
-                      study.configs[idx].index == idx,
-                  "run manifest: configuration index " + std::to_string(idx) +
-                      " not in the workload's space");
-    configs.push_back(study.configs[idx]);
-  }
-  study.configs = std::move(configs);
-  return study;
-}
+/// Graceful-shutdown flag: SIGTERM/SIGINT ask the worker to flush a final
+/// full checkpoint (plus its statistics snapshots, which the checkpoint
+/// carries) at the next batch boundary and exit; a relaunch resumes
+/// exactly where the flush left off.
+volatile std::sig_atomic_t g_worker_terminate = 0;
 
-tune::TuneOptions rebuild_options(const Manifest& m) {
-  tune::TuneOptions opt;
-  const std::int64_t policy = manifest_int(m, "policy");
-  CRITTER_CHECK(policy >= 0 && policy < 8, "run manifest: bad policy");
-  opt.policy = static_cast<Policy>(policy);
-  opt.tolerance = manifest_double(m, "tolerance");
-  opt.samples = static_cast<int>(manifest_int(m, "samples"));
-  opt.reset_per_config = manifest_int(m, "reset_per_config") != 0;
-  opt.seed_salt = manifest_u64(m, "seed_salt");
-  opt.comp_noise = manifest_double(m, "comp_noise");
-  opt.comm_noise = manifest_double(m, "comm_noise");
-  opt.tilde_capacity = static_cast<int>(manifest_int(m, "tilde_capacity"));
-  opt.extrapolate = manifest_int(m, "extrapolate") != 0;
-  opt.workers = static_cast<int>(manifest_int(m, "workers"));
-  opt.batch = static_cast<int>(manifest_int(m, "batch"));
-  opt.strategy = manifest_get(m, "strategy");
-  for (const auto& [k, v] : m)
-    if (k.rfind("strategy_opt.", 0) == 0)
-      opt.strategy_options[k.substr(13)] = v;
-  opt.prior_file = manifest_get(m, "prior_file");
-  return opt;
-}
+void worker_signal_handler(int) { g_worker_terminate = 1; }
 
-ShardRange shard_range_of(const Manifest& m, int shard) {
-  const std::string spec = manifest_get(m, "shard" + std::to_string(shard));
-  int lo = 0, hi = 0;
-  CRITTER_CHECK(std::sscanf(spec.c_str(), "%d,%d", &lo, &hi) == 2,
-                "run manifest: malformed shard range '" + spec + "'");
-  return {shard, lo, hi};
-}
+/// The exit code of a signal-flushed worker: a classified fault (so the
+/// launcher relaunches and resumes per its FaultPolicy), distinguishable
+/// in diagnostics from a crash.
+constexpr int kTerminatedExit = 40;
 
-void check_not_aborted(const std::string& run_dir) {
+void check_not_aborted(net::Store& store) {
   // The abort marker goes through the same atomic publish protocol as
-  // every other run-dir artifact, so a poll never observes a half-written
-  // reason (satellite fix: this used to be a plain racy write).
-  if (!published(run_dir, "abort")) return;
+  // every other run artifact, so a poll never observes a half-written
+  // reason.
+  if (!store.published("abort")) return;
   std::string why;
   try {
-    why = read_published(run_dir, "abort");
+    why = store.read_published("abort");
   } catch (...) {
   }
   CRITTER_CHECK(false, "run aborted by launcher: " + why);
 }
 
-/// Per-shard liveness file: an atomically rewritten monotone counter.  The
+/// Per-shard liveness blob: an atomically rewritten monotone counter.  The
 /// launcher's stall detector only reads whether the content *changed*, so
 /// pid + counter make every write (and every relaunch) distinct.  Beats are
 /// best-effort — a worker must never die because its heartbeat write
 /// failed.
 struct Heartbeat {
-  std::string path;
+  net::Store* store = nullptr;
+  std::string key;
   std::uint64_t n = 0;
   void beat(int batches) {
     std::string s = "pid=" + std::to_string(static_cast<long>(::getpid())) +
                     " beat=" + std::to_string(n++) +
                     " batches=" + std::to_string(batches) + "\n";
     try {
-      write_file_atomic(path, s);
+      store->put(key, s);
     } catch (...) {
     }
   }
@@ -438,16 +309,16 @@ struct PeerWait {
 /// rename is atomic), so it skips immediately rather than waiting out the
 /// deadline.  Beats `hb` while waiting so a legitimately-waiting worker is
 /// never stall-killed.
-PeerWait await_peer_delta(const std::string& run_dir, int p, int round,
+PeerWait await_peer_delta(net::Store& store, int p, int round,
                           double deadline_s, bool strict, Heartbeat& hb,
                           int batches) {
-  const std::string exch = run_dir + "/exchange";
   const double deadline = monotonic_s() + deadline_s;
   int polls = 0;
   while (true) {
-    if (published(exch, delta_name(p, round))) {
+    if (store.published("exchange/" + delta_name(p, round))) {
       try {
-        const std::string payload = read_published(exch, delta_name(p, round));
+        const std::string payload =
+            store.read_published("exchange/" + delta_name(p, round));
         // Empty payload: the peer session has no shared statistics to
         // trade (isolated mode) — a published, verifiable nothing.
         if (payload.empty()) return {};
@@ -457,8 +328,9 @@ PeerWait await_peer_delta(const std::string& run_dir, int p, int round,
         return {true, {}};
       }
     }
-    if (published(exch, done_name(p))) {
-      const std::string marker = read_published(exch, done_name(p));
+    if (store.published("exchange/" + done_name(p))) {
+      const std::string marker =
+          store.read_published("exchange/" + done_name(p));
       int rounds = -1;
       if (std::sscanf(marker.c_str(), "rounds=%d", &rounds) != 1) rounds = -1;
       CRITTER_CHECK(rounds >= 0,
@@ -467,7 +339,7 @@ PeerWait await_peer_delta(const std::string& run_dir, int p, int round,
       // visible marker with rounds <= round proves no delta is coming.
       if (rounds <= round) return {};
     }
-    check_not_aborted(run_dir);
+    check_not_aborted(store);
     if (monotonic_s() >= deadline) {
       CRITTER_CHECK(!strict, "timed out waiting for shard " +
                                  std::to_string(p) + "'s round-" +
@@ -484,16 +356,15 @@ PeerWait await_peer_delta(const std::string& run_dir, int p, int round,
 /// retracted), so an unreadable entry means the run directory is
 /// inconsistent with the checkpoint — the caller falls back to a clean
 /// restart.
-core::StatSnapshot read_peer_now(const std::string& run_dir, int p,
-                                 int round) {
-  const std::string exch = run_dir + "/exchange";
-  if (published(exch, delta_name(p, round))) {
-    const std::string payload = read_published(exch, delta_name(p, round));
+core::StatSnapshot read_peer_now(net::Store& store, int p, int round) {
+  if (store.published("exchange/" + delta_name(p, round))) {
+    const std::string payload =
+        store.read_published("exchange/" + delta_name(p, round));
     if (payload.empty()) return {};
     return core::StatSnapshot::from_string(payload);
   }
-  if (published(exch, done_name(p))) {
-    const std::string marker = read_published(exch, done_name(p));
+  if (store.published("exchange/" + done_name(p))) {
+    const std::string marker = store.read_published("exchange/" + done_name(p));
     int rounds = -1;
     if (std::sscanf(marker.c_str(), "rounds=%d", &rounds) == 1 &&
         rounds >= 0 && rounds <= round)
@@ -505,60 +376,6 @@ core::StatSnapshot read_peer_now(const std::string& run_dir, int p,
   return {};
 }
 
-/// Load the best full checkpoint slot, then extend it with the longest
-/// valid prefix of the shard's increment log (DESIGN.md §11): records that
-/// frame-verify, parse, and apply continuously on top of the base.  A torn
-/// or corrupt record ends the prefix — everything before it already
-/// reproduced a consistent state.  Reports the base's slot and sequence so
-/// the resumed worker keeps alternating slots and appending increments
-/// against the right base.
-bool load_latest_checkpoint(const std::string& shard_dir,
-                            const tune::Study& study, const ShardRange& range,
-                            ShardCheckpoint* out, std::int64_t* base_seq,
-                            std::string* base_slot) {
-  bool found = false;
-  for (const char* name : {"ckpt_a.bin", "ckpt_b.bin"}) {
-    if (!published(shard_dir, name)) continue;
-    try {
-      ShardCheckpoint c =
-          parse_checkpoint(read_published(shard_dir, name), study, range);
-      if (!found || c.seq > out->seq) {
-        *out = std::move(c);
-        *base_slot = name;
-        found = true;
-      }
-    } catch (const std::exception&) {
-      // Torn or corrupt slot: fall back to the other one, or clean restart.
-    }
-  }
-  if (!found) return false;
-  *base_seq = out->seq;
-  const std::string log_path = shard_dir + "/ckpt_log.bin";
-  if (file_exists(log_path)) {
-    for (const std::string& payload : scan_log_records(read_file(log_path))) {
-      try {
-        apply_increment(*out, *base_seq,
-                        parse_increment(payload, study, range));
-      } catch (const std::exception&) {
-        break;  // discontinuity (e.g. a log outliving its base): stop here
-      }
-    }
-  }
-  return true;
-}
-
-/// Clean restart must drop any surviving slots: later checkpoints restart
-/// the sequence at 1, and a stale higher-seq slot would win the next
-/// resume.  The increment log goes with them — its records extend a base
-/// that no longer exists.
-void discard_checkpoints(const std::string& shard_dir) {
-  for (const char* name : {"ckpt_a.bin", "ckpt_b.bin"}) {
-    for (const char* suffix : {"", ".ok", ".tmp", ".ok.tmp"})
-      ::remove((shard_dir + "/" + name + suffix).c_str());
-  }
-  ::remove((shard_dir + "/ckpt_log.bin").c_str());
-}
-
 /// Rebuild a session at the checkpoint's cursor: import the statistics
 /// wholesale, then re-ask/re-tell every recorded batch (asks are a pure
 /// function of strategy state; tells grow no statistics) with historical
@@ -568,7 +385,7 @@ void discard_checkpoints(const std::string& shard_dir) {
 std::unique_ptr<ShardSession> resume_session(
     const tune::Study& study, const tune::TuneOptions& opt,
     const ShardRange& range, const ShardCheckpoint& ck, bool exchanging,
-    int every, int nshards, const std::string& run_dir, Heartbeat& hb) {
+    int every, int nshards, net::Store& store, Heartbeat& hb) {
   auto ss = std::make_unique<ShardSession>(study, opt);
   ss->session().import_state(ck.full);
   const auto skipped_at = [&ck](int round, int peer) {
@@ -584,7 +401,7 @@ std::unique_ptr<ShardSession> resume_session(
     if (exchanging && in_round == every) {
       for (int p = 0; p < nshards; ++p) {
         if (p == range.index || skipped_at(round, p)) continue;
-        const core::StatSnapshot peer = read_peer_now(run_dir, p, round);
+        const core::StatSnapshot peer = read_peer_now(store, p, round);
         if (!peer.empty()) ss->replay_exchange(peer);
       }
       ++round;
@@ -603,7 +420,21 @@ std::unique_ptr<ShardSession> resume_session(
 }
 
 int worker_body(const WorkerArgs& args) {
-  const Manifest m = parse_manifest(read_file(args.run_dir + "/run.txt"));
+  // The shared store: every cross-process artifact (manifest, snapshots,
+  // exchange mailbox, abort marker, heartbeats, results) goes through it.
+  // Worker-local state — checkpoints, logs, fault counters — stays on
+  // local disk either way.
+  std::unique_ptr<net::Store> store_owner;
+  if (args.connect.empty()) {
+    store_owner = std::make_unique<net::DirStore>(args.run_dir);
+  } else {
+    const net::Address addr = net::parse_address(args.connect);
+    store_owner = std::make_unique<net::BlobClient>(
+        addr.host, addr.port, args.connect_deadline_s, args.op_deadline_s);
+  }
+  net::Store& store = *store_owner;
+
+  const Manifest m = parse_manifest(store.get("run.txt"));
   const tune::Study study = rebuild_study(m);
   tune::TuneOptions opt = rebuild_options(m);
   const ShardRange range = shard_range_of(m, args.shard);
@@ -611,13 +442,13 @@ int worker_body(const WorkerArgs& args) {
   opt.config_end = range.end;
   core::StatSnapshot warm;
   if (manifest_int(m, "warm_start") != 0) {
-    const std::string payload = read_published(args.run_dir, "warm.snap");
+    const std::string payload = store.read_published("warm.snap");
     warm = core::StatSnapshot::from_string(payload);
     opt.warm_start = &warm;
   }
   core::StatSnapshot prior;
   if (manifest_int(m, "prior_snap") != 0) {
-    const std::string payload = read_published(args.run_dir, "prior.snap");
+    const std::string payload = store.read_published("prior.snap");
     prior = core::StatSnapshot::from_string(payload);
     opt.prior = &prior;
   }
@@ -628,11 +459,11 @@ int worker_body(const WorkerArgs& args) {
   const double exchange_deadline_s = manifest_double(m, "exchange_deadline_s");
   const std::string shard_dir =
       args.run_dir + "/shard" + std::to_string(args.shard);
-  const std::string exch = args.run_dir + "/exchange";
+  const std::string shard_key = "shard" + std::to_string(args.shard);
   const FaultSpec fault = shard_fault(args.shard, m);
   const bool exchanging = every > 0 && nshards > 1;
 
-  Heartbeat hb{shard_dir + "/heartbeat"};
+  Heartbeat hb{&store, shard_key + "/heartbeat"};
   if (fault.mode == "crash-on-start" && fault_fires(shard_dir, fault))
     ::_exit(41);
   hb.beat(0);
@@ -653,14 +484,17 @@ int worker_body(const WorkerArgs& args) {
   core::StatSnapshot prev_full, prev_mark, prev_own;
   std::size_t prev_told = 0, prev_skipped = 0;
   const std::string ckpt_log = shard_dir + "/ckpt_log.bin";
-  if (ckpt_every > 0) {
+  // Probe for resumable checkpoints regardless of ckpt_every: a signal-
+  // flushed worker leaves a final checkpoint behind even when periodic
+  // checkpointing is off, and its relaunch must pick it up.
+  {
     ShardCheckpoint ck;
     std::string base_slot;
     if (load_latest_checkpoint(shard_dir, study, range, &ck, &ckpt_base_seq,
                                &base_slot)) {
       try {
         ss = resume_session(study, opt, range, ck, exchanging, every, nshards,
-                            args.run_dir, hb);
+                            store, hb);
         batches = ck.batches;
         round = ck.rounds;
         in_round = ck.in_round;
@@ -725,10 +559,10 @@ int worker_body(const WorkerArgs& args) {
       // corruption at the source, which the manifest cannot catch.
       std::string bad = payload.empty() ? std::string("x") : payload;
       bad[0] = static_cast<char>(bad[0] ^ 0x5a);
-      publish_file(exch, delta_name(range.index, round_no), bad);
+      store.publish("exchange/" + delta_name(range.index, round_no), bad);
       return;
     }
-    publish_file(exch, delta_name(range.index, round_no), payload);
+    store.publish("exchange/" + delta_name(range.index, round_no), payload);
   };
 
   // A full checkpoint every kIncrementsPerFull records bounds both the log
@@ -736,7 +570,7 @@ int worker_body(const WorkerArgs& args) {
   // each checkpoint appends one constant-sized increment.
   constexpr std::int64_t kIncrementsPerFull = 16;
   int checkpoints_taken = 0;
-  const auto take_checkpoint = [&]() {
+  const auto take_checkpoint = [&](bool force_full = false) {
     ++ckpt_seq;
     ++checkpoints_taken;
     const int ordinal = fault.arg > 0 ? static_cast<int>(fault.arg) : 2;
@@ -746,7 +580,8 @@ int worker_body(const WorkerArgs& args) {
       cur_mark = ss->mark();
       cur_own = ss->own_stats();
     }
-    if (ckpt_base_seq > 0 && ckpt_seq - ckpt_base_seq <= kIncrementsPerFull) {
+    if (!force_full && ckpt_base_seq > 0 &&
+        ckpt_seq - ckpt_base_seq <= kIncrementsPerFull) {
       CheckpointIncrement inc;
       bool delta_ok = true;
       try {
@@ -854,7 +689,20 @@ int worker_body(const WorkerArgs& args) {
   const long fault_batch = fault.arg > 0 ? fault.arg : 1;
   int attempt_batches = 0;
   while (true) {
-    check_not_aborted(args.run_dir);
+    if (g_worker_terminate) {
+      // Graceful shutdown: flush a final full checkpoint (state snapshot
+      // included) so a relaunch resumes exactly here, then exit with the
+      // classified termination code.
+      take_checkpoint(/*force_full=*/true);
+      try {
+        write_file(shard_dir + "/error.txt",
+                   "terminated by signal after " + std::to_string(batches) +
+                       " batches — final checkpoint flushed\n");
+      } catch (...) {
+      }
+      return kTerminatedExit;
+    }
+    check_not_aborted(store);
     std::vector<int> batch;
     std::vector<tune::ConfigOutcome> outcomes;
     if (!ss->step_logged(&batch, &outcomes)) break;
@@ -875,9 +723,9 @@ int worker_body(const WorkerArgs& args) {
       publish_delta(round);
       for (int p = 0; p < nshards; ++p) {
         if (p == range.index) continue;
-        PeerWait peer = await_peer_delta(args.run_dir, p, round,
-                                         exchange_deadline_s, strict, hb,
-                                         batches);
+        PeerWait peer = await_peer_delta(store, p, round,
+                                       exchange_deadline_s, strict, hb,
+                                       batches);
         if (peer.skipped) {
           skipped.emplace_back(round, p);
           ++skips;
@@ -898,8 +746,8 @@ int worker_body(const WorkerArgs& args) {
       publish_delta(round);
       ++round;
     }
-    publish_file(exch, done_name(range.index),
-                 "rounds=" + std::to_string(round) + "\n");
+    store.publish("exchange/" + done_name(range.index),
+                  "rounds=" + std::to_string(round) + "\n");
   }
 
   // Exchange-off results slice the plain session result (stats = the
@@ -914,7 +762,7 @@ int worker_body(const WorkerArgs& args) {
   result.resumed_batches = resumed_batches;
 
   if (fault.mode == "skip-result") return 0;
-  publish_file(shard_dir, "result.bin", serialize_result(result));
+  store.publish(shard_key + "/result.bin", serialize_result(result));
   return 0;
 }
 
@@ -929,22 +777,9 @@ std::string self_binary() {
   return std::string(buf, static_cast<std::size_t>(n));
 }
 
-bool detect_paper_scale(const tune::Study& study) {
-  for (const bool scale : {false, true}) {
-    const tune::Study ref = tune::workload_study(study.workload, scale);
-    if (ref.nranks == study.nranks && ref.m == study.m &&
-        ref.n == study.n && ref.space.size() == study.space.size())
-      return scale;
-  }
-  CRITTER_CHECK(false,
-                "subprocess executor cannot reconstruct study '" +
-                    study.name + "' from workload '" + study.workload +
-                    "' at either scale — tune it in-process instead");
-  return false;
-}
-
 pid_t spawn_worker(const std::string& binary, const std::string& run_dir,
-                   int shard) {
+                   int shard, const std::string& connect,
+                   const FaultPolicy& fault) {
   const pid_t pid = ::fork();
   CRITTER_CHECK(pid >= 0, "fork failed for shard worker");
   if (pid > 0) return pid;
@@ -959,9 +794,21 @@ pid_t spawn_worker(const std::string& binary, const std::string& run_dir,
   }
   const std::string dir_arg = "--shard-dir=" + run_dir;
   const std::string idx_arg = "--shard-index=" + std::to_string(shard);
-  const char* argv[] = {binary.c_str(), "--shard-worker", dir_arg.c_str(),
-                        idx_arg.c_str(), nullptr};
-  ::execv(binary.c_str(), const_cast<char* const*>(argv));
+  std::vector<const char*> argv = {binary.c_str(), "--shard-worker",
+                                   dir_arg.c_str(), idx_arg.c_str()};
+  // Socket transport: point the worker at the launcher's blob server, with
+  // per-op deadlines mapped from the FaultPolicy phases.
+  std::string conn_arg, cdl_arg, odl_arg;
+  if (!connect.empty()) {
+    conn_arg = "--connect=" + connect;
+    cdl_arg = "--connect-deadline=" + hex_double(fault.startup_deadline_s);
+    odl_arg = "--op-deadline=" + hex_double(fault.progress_deadline_s);
+    argv.push_back(conn_arg.c_str());
+    argv.push_back(cdl_arg.c_str());
+    argv.push_back(odl_arg.c_str());
+  }
+  argv.push_back(nullptr);
+  ::execv(binary.c_str(), const_cast<char* const*>(argv.data()));
   std::fprintf(stderr, "execv %s failed: %s\n", binary.c_str(),
                std::strerror(errno));
   ::_exit(127);
@@ -1025,7 +872,9 @@ std::vector<ShardResult> run_fleet(const tune::Study& study,
                                    const ExchangePolicy& exchange,
                                    const FaultPolicy& fault,
                                    const std::string& binary,
-                                   const std::string& run_dir) {
+                                   const std::string& run_dir,
+                                   net::Store& store,
+                                   const std::string& connect) {
   const bool exchanging = exchange.every > 0 && shards.size() > 1;
   std::vector<Child> fleet(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) fleet[i].range = shards[i];
@@ -1033,11 +882,14 @@ std::vector<ShardResult> run_fleet(const tune::Study& study,
   const auto shard_dir_of = [&](const Child& c) {
     return run_dir + "/shard" + std::to_string(c.range.index);
   };
+  const auto shard_key_of = [&](const Child& c) {
+    return "shard" + std::to_string(c.range.index);
+  };
   const auto spawn = [&](Child& c) {
     // A stale error file from a previous attempt must not masquerade as
     // this attempt's diagnosis.
     ::remove((shard_dir_of(c) + "/error.txt").c_str());
-    c.pid = spawn_worker(binary, run_dir, c.range.index);
+    c.pid = spawn_worker(binary, run_dir, c.range.index, connect, fault);
     c.running = true;
     ++c.attempts;
     c.launched_at = monotonic_s();
@@ -1057,7 +909,7 @@ std::vector<ShardResult> run_fleet(const tune::Study& study,
     return false;
   };
   const auto abort_fleet = [&](const std::string& failure) {
-    publish_file(run_dir, "abort", failure + "\n");
+    store.publish("abort", failure + "\n");
     const double grace_deadline = monotonic_s() + 10.0;
     while (any_running() && monotonic_s() < grace_deadline) {
       poll_exits();
@@ -1072,10 +924,11 @@ std::vector<ShardResult> run_fleet(const tune::Study& study,
     CRITTER_CHECK(false, failure + " — run directory kept at " + run_dir);
   };
   const auto try_finish = [&](Child& c) {
-    if (!published(shard_dir_of(c), "result.bin")) return false;
+    if (!store.published(shard_key_of(c) + "/result.bin")) return false;
     try {
-      c.result = parse_result(read_published(shard_dir_of(c), "result.bin"),
-                              study, c.range);
+      c.result =
+          parse_result(store.read_published(shard_key_of(c) + "/result.bin"),
+                       study, c.range);
     } catch (const std::exception&) {
       return false;
     }
@@ -1096,10 +949,9 @@ std::vector<ShardResult> run_fleet(const tune::Study& study,
       // Tell waiting peers no more deltas are coming from this shard, so
       // non-strict rounds skip it immediately instead of waiting out the
       // exchange deadline every round.
-      if (exchanging && !published(run_dir + "/exchange",
-                                   done_name(c.range.index)))
-        publish_file(run_dir + "/exchange", done_name(c.range.index),
-                     "rounds=0\n");
+      if (exchanging &&
+          !store.published("exchange/" + done_name(c.range.index)))
+        store.publish("exchange/" + done_name(c.range.index), "rounds=0\n");
       return;
     }
     std::string failure = "shard worker " + std::to_string(c.range.index) +
@@ -1141,11 +993,10 @@ std::vector<ShardResult> run_fleet(const tune::Study& study,
       // → first heartbeat, the progress deadline bounds the gap between
       // heartbeat advances.
       std::string beat;
-      if (file_exists(shard_dir_of(c) + "/heartbeat")) {
-        try {
-          beat = read_file(shard_dir_of(c) + "/heartbeat");
-        } catch (...) {
-        }
+      try {
+        if (store.exists(shard_key_of(c) + "/heartbeat"))
+          beat = store.get(shard_key_of(c) + "/heartbeat");
+      } catch (...) {
       }
       if (!beat.empty() && beat != c.beat) {
         c.beat = beat;
@@ -1223,18 +1074,39 @@ std::vector<ShardResult> SubprocessExecutor::run(
   for (const ShardRange& s : shards)
     make_dir(run_dir + "/shard" + std::to_string(s.index));
 
+  // The shared store the fleet coordinates through.  File transport: the
+  // run directory itself (byte-identical to the historical layout).
+  // Socket transport: an in-memory store served over TCP from this
+  // process; workers get --connect and never touch the shared files (the
+  // run directory still holds their local checkpoints and logs).
+  std::unique_ptr<net::Store> store;
+  std::unique_ptr<net::BlobServer> server;
+  std::string connect;
+  if (opts_.transport == "socket") {
+    store = std::make_unique<net::MemStore>();
+    server = std::make_unique<net::BlobServer>(*store);
+    connect = "127.0.0.1:" + std::to_string(server->port());
+  } else {
+    CRITTER_CHECK(opts_.transport.empty() || opts_.transport == "dir",
+                  "unknown subprocess transport '" + opts_.transport +
+                      "' (known: dir, socket)");
+    store = std::make_unique<net::DirStore>(run_dir);
+  }
+
   if (opt.warm_start != nullptr && !opt.warm_start->empty())
-    publish_file(run_dir, "warm.snap", opt.warm_start->to_string());
+    store->publish("warm.snap", opt.warm_start->to_string());
   if (opt.prior != nullptr && !opt.prior->empty())
-    publish_file(run_dir, "prior.snap", opt.prior->to_string());
+    store->publish("prior.snap", opt.prior->to_string());
   const bool warm = opt.warm_start != nullptr && !opt.warm_start->empty();
-  write_file(run_dir + "/run.txt",
-             build_manifest(study, paper_scale, opt, shards, exchange,
-                            opts_.fault, opts_.fault_injection, warm));
+  store->put("run.txt",
+             build_run_manifest(study, paper_scale, opt, shards, exchange,
+                                opts_.fault, opts_.fault_injection, warm));
 
-  const std::vector<ShardResult> results = run_fleet(
-      study, opt, shards, exchange, opts_.fault, binary, run_dir);
+  const std::vector<ShardResult> results =
+      run_fleet(study, opt, shards, exchange, opts_.fault, binary, run_dir,
+                *store, connect);
 
+  if (server) server->stop();
   if (temp_dir && !opts_.keep_run_dir) remove_dir_tree(run_dir);
   return results;
 }
@@ -1246,6 +1118,14 @@ bool is_shard_worker(int argc, char** argv) {
 }
 
 int shard_worker_main(int argc, char** argv) {
+  // Graceful shutdown: SIGTERM/SIGINT set a flag the sweep loop checks at
+  // each batch boundary — the worker flushes a final full checkpoint and
+  // exits instead of dying mid-batch.
+  struct sigaction sa {};
+  sa.sa_handler = worker_signal_handler;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
   WorkerArgs args;
   try {
     args = parse_worker_args(argc, argv);

@@ -1,55 +1,21 @@
-// Internal binary framing shared by the dist layer's file formats: the
-// little string-backed writer/reader both the shard-result and the shard-
-// checkpoint payloads use, plus the ConfigOutcome/ConfigTotals field codecs
-// so the two formats serialize outcomes identically (a checkpointed outcome
-// replayed through tell() must be bit-equal to the outcome a result file
-// would carry).
+// ConfigOutcome/ConfigTotals field codecs shared by the dist layer's file
+// formats and the net layer's tuner protocol, so every format serializes
+// outcomes identically (a checkpointed outcome replayed through tell(), a
+// result-file outcome, and a daemon-told outcome must all be bit-equal).
+// The writer/reader primitives themselves live in core/wire_codec.hpp.
 #pragma once
 
 #include <cstdint>
-#include <cstring>
 #include <string>
 
+#include "core/wire_codec.hpp"
 #include "tune/tuner.hpp"
 #include "util/check.hpp"
 
 namespace critter::dist {
 
-struct WireWriter {
-  std::string out;
-  void raw(const void* p, std::size_t n) {
-    out.append(static_cast<const char*>(p), n);
-  }
-  void u8(std::uint8_t v) { raw(&v, 1); }
-  void i32(std::int32_t v) { raw(&v, 4); }
-  void i64(std::int64_t v) { raw(&v, 8); }
-  void f64(double v) { raw(&v, 8); }
-  void str(const std::string& s) {
-    i32(static_cast<std::int32_t>(s.size()));
-    raw(s.data(), s.size());
-  }
-};
-
-struct WireReader {
-  const std::string& in;
-  std::size_t pos = 0;
-  void raw(void* p, std::size_t n) {
-    CRITTER_CHECK(pos + n <= in.size(), "dist wire: truncated payload");
-    std::memcpy(p, in.data() + pos, n);
-    pos += n;
-  }
-  std::uint8_t u8() { std::uint8_t v; raw(&v, 1); return v; }
-  std::int32_t i32() { std::int32_t v; raw(&v, 4); return v; }
-  std::int64_t i64() { std::int64_t v; raw(&v, 8); return v; }
-  double f64() { double v; raw(&v, 8); return v; }
-  std::string str() {
-    const std::int32_t n = i32();
-    CRITTER_CHECK(n >= 0 && n <= (1 << 20), "dist wire: implausible string");
-    std::string s(static_cast<std::size_t>(n), '\0');
-    raw(s.data(), s.size());
-    return s;
-  }
-};
+using core::WireReader;
+using core::WireWriter;
 
 /// Every outcome field except the configuration itself, which travels as
 /// its absolute index (the reader rebinds it from its view of the study).

@@ -1,0 +1,268 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/fsio.hpp"
+#include "util/check.hpp"
+
+namespace critter::net {
+
+namespace {
+
+std::string errno_str() { return std::strerror(errno); }
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  CRITTER_CHECK(flags >= 0, "net: fcntl(F_GETFL) failed: " + errno_str());
+  CRITTER_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "net: fcntl(F_SETFL) failed: " + errno_str());
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// Wait until `fd` is ready for `events` or `deadline` (absolute
+/// monotonic_s time) passes; returns false on timeout.
+bool wait_ready(int fd, short events, double deadline, const char* op) {
+  for (;;) {
+    const double left = deadline - core::monotonic_s();
+    if (left <= 0.0) return false;
+    pollfd pfd{fd, events, 0};
+    const int ms = left * 1000.0 > 2e9 ? 2000000000
+                                       : static_cast<int>(left * 1000.0) + 1;
+    const int rc = ::poll(&pfd, 1, ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      CRITTER_CHECK(false,
+                    std::string("net: poll failed during ") + op + ": " +
+                        errno_str());
+    }
+    if (rc > 0) return true;
+  }
+}
+
+sockaddr_in make_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  CRITTER_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                "net: not an IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+Address parse_address(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  CRITTER_CHECK(colon != std::string::npos && colon > 0 &&
+                    colon + 1 < spec.size(),
+                "net: malformed address \"" + spec +
+                    "\" — expected host:port");
+  Address out;
+  out.host = spec.substr(0, colon);
+  const std::string port_s = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_s.c_str(), &end, 10);
+  CRITTER_CHECK(end != nullptr && *end == '\0' && port > 0 && port <= 65535,
+                "net: malformed port in address \"" + spec + "\"");
+  out.port = static_cast<int>(port);
+  return out;
+}
+
+Connection::Connection(int fd) : fd_(fd) {
+  if (fd_ >= 0) {
+    set_nonblocking(fd_);
+    set_nodelay(fd_);
+  }
+}
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Connection Connection::connect(const std::string& host, int port,
+                               double deadline_s) {
+  const double deadline = core::monotonic_s() + deadline_s;
+  const sockaddr_in addr = make_addr(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  CRITTER_CHECK(fd >= 0, "net: socket() failed: " + errno_str());
+  set_nonblocking(fd);
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const std::string why = errno_str();
+    ::close(fd);
+    CRITTER_CHECK(false, "net: connect to " + host + ":" +
+                             std::to_string(port) + " failed: " + why);
+  }
+  if (rc != 0) {
+    if (!wait_ready(fd, POLLOUT, deadline, "connect")) {
+      ::close(fd);
+      CRITTER_CHECK(false, "net: connect to " + host + ":" +
+                               std::to_string(port) + " timed out after " +
+                               std::to_string(deadline_s) + "s");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      CRITTER_CHECK(false, "net: connect to " + host + ":" +
+                               std::to_string(port) + " failed: " +
+                               std::strerror(err));
+    }
+  }
+  set_nodelay(fd);
+  Connection conn;
+  conn.fd_ = fd;
+  return conn;
+}
+
+void Connection::send_all(const void* p, std::size_t n, double deadline_s) {
+  CRITTER_CHECK(valid(), "net: send on closed connection");
+  const double deadline = core::monotonic_s() + deadline_s;
+  const char* cur = static_cast<const char*>(p);
+  std::size_t left = n;
+  while (left > 0) {
+    const ssize_t k = ::send(fd_, cur, left, MSG_NOSIGNAL);
+    if (k > 0) {
+      cur += k;
+      left -= static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      CRITTER_CHECK(wait_ready(fd_, POLLOUT, deadline, "send"),
+                    "net: send timed out with " + std::to_string(left) +
+                        " of " + std::to_string(n) + " bytes unsent");
+      continue;
+    }
+    if (k < 0 && errno == EINTR) continue;
+    CRITTER_CHECK(false, "net: send failed: " +
+                             std::string(k < 0 ? errno_str()
+                                               : "peer closed connection"));
+  }
+}
+
+bool Connection::recv_all_opt(void* p, std::size_t n, double deadline_s) {
+  CRITTER_CHECK(valid(), "net: recv on closed connection");
+  const double deadline = core::monotonic_s() + deadline_s;
+  char* cur = static_cast<char*>(p);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t k = ::recv(fd_, cur + got, n - got, 0);
+    if (k > 0) {
+      got += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k == 0) {
+      // Orderly close: a session-end signal at a message boundary, a torn
+      // message anywhere else.
+      CRITTER_CHECK(got == 0, "net: peer closed connection mid-message (" +
+                                  std::to_string(got) + " of " +
+                                  std::to_string(n) + " bytes received)");
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      CRITTER_CHECK(wait_ready(fd_, POLLIN, deadline, "recv"),
+                    "net: recv timed out with " + std::to_string(got) +
+                        " of " + std::to_string(n) + " bytes received");
+      continue;
+    }
+    if (errno == EINTR) continue;
+    CRITTER_CHECK(false, "net: recv failed: " + errno_str());
+  }
+  return true;
+}
+
+bool Connection::readable(double timeout_s) {
+  CRITTER_CHECK(valid(), "net: readable() on closed connection");
+  return wait_ready(fd_, POLLIN, core::monotonic_s() + timeout_s,
+                    "readable");
+}
+
+void Connection::recv_all(void* p, std::size_t n, double deadline_s) {
+  CRITTER_CHECK(recv_all_opt(p, n, deadline_s),
+                "net: peer closed connection before a " + std::to_string(n) +
+                    "-byte message");
+}
+
+Listener::Listener(int port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CRITTER_CHECK(fd_ >= 0, "net: socket() failed: " + errno_str());
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr("127.0.0.1", port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string why = errno_str();
+    ::close(fd_);
+    fd_ = -1;
+    CRITTER_CHECK(false, "net: bind to 127.0.0.1:" + std::to_string(port) +
+                             " failed: " + why);
+  }
+  CRITTER_CHECK(::listen(fd_, backlog) == 0,
+                "net: listen failed: " + errno_str());
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  CRITTER_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound),
+                              &len) == 0,
+                "net: getsockname failed: " + errno_str());
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(fd_);
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Connection Listener::accept(double timeout_s) {
+  CRITTER_CHECK(valid(), "net: accept on closed listener");
+  const double deadline = core::monotonic_s() + timeout_s;
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return Connection(fd);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!wait_ready(fd_, POLLIN, deadline, "accept")) return Connection();
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    CRITTER_CHECK(false, "net: accept failed: " + errno_str());
+  }
+}
+
+}  // namespace critter::net

@@ -1,0 +1,89 @@
+// Blocking-socket layer of the network subsystem (DESIGN.md §12): a
+// listener and a connection with per-operation deadlines, nothing more.
+// Framing lives in net/frame.hpp, services (the blob store, the tuner
+// daemon) on top of that.
+//
+// Deadlines are relative seconds per call, enforced with poll() over
+// non-blocking descriptors — a slow or dead peer surfaces as a thrown
+// timeout naming the operation, never a hung process (mirroring the dist
+// layer's "throw, never hang" contract).  Callers map them from
+// dist::FaultPolicy phases: connect/handshake from `startup_deadline_s`,
+// steady-state request/response traffic from `progress_deadline_s`, and
+// waits for a peer's artifact from `exchange_deadline_s`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace critter::net {
+
+/// "host:port" -> (host, port); CRITTER_CHECK-fails on malformed input.
+struct Address {
+  std::string host;
+  int port = 0;
+};
+Address parse_address(const std::string& spec);
+
+/// One established stream connection (move-only; closes on destruction).
+/// All I/O is all-or-nothing under a deadline: a partial transfer past the
+/// deadline or a mid-message peer close throws.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(int fd);
+  ~Connection();
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Connect to host:port within `deadline_s` seconds.
+  static Connection connect(const std::string& host, int port,
+                            double deadline_s);
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Send exactly `n` bytes before the deadline; throws on error/timeout.
+  void send_all(const void* p, std::size_t n, double deadline_s);
+  /// Receive exactly `n` bytes before the deadline; throws on
+  /// error/timeout/mid-message close.
+  void recv_all(void* p, std::size_t n, double deadline_s);
+  /// Like recv_all, but an orderly peer close *before the first byte*
+  /// returns false instead of throwing (the end-of-session signal at a
+  /// message boundary).
+  bool recv_all_opt(void* p, std::size_t n, double deadline_s);
+
+  /// True once data (or a close) is ready to read, false if `timeout_s`
+  /// elapses first — the slice a server loop polls between checks of its
+  /// shutdown flag.
+  bool readable(double timeout_s);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bound, listening TCP socket on 127.0.0.1 (port 0: kernel-assigned —
+/// read the outcome from port()).
+class Listener {
+ public:
+  explicit Listener(int port, int backlog = 64);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Accept one connection, waiting at most `timeout_s`; an invalid
+  /// Connection means the timeout elapsed (poll again — this is how the
+  /// serve daemon's accept loop observes its shutdown flag).
+  Connection accept(double timeout_s);
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace critter::net

@@ -1,0 +1,95 @@
+// TunerClient: the evaluating side of daemon-mediated tuning
+// (DESIGN.md §12.4).
+//
+// A client owns a *mirror* SweepDriver but no strategy: per batch it ASKs
+// the daemon, imports the session statistics the reply carries, runs the
+// batch under the reply's evaluation hints — exactly what Tuner::evaluate()
+// would do — and TELLs back the outcomes, the totals contributions, and
+// the statistics delta it grew.  Because evaluation is a pure function of
+// (study, options, statistics, batch, hints), every client computes the
+// same bytes for the same claim, which is why client churn and concurrency
+// never change the tuned answer.
+//
+// Fault handling mirrors the dist layer's degrade-not-abort stance: any
+// connection failure mid-iteration abandons the in-flight operation,
+// reconnects with exponential backoff, and restarts from ASK.  If the tell
+// had landed before the cut, the re-ask claims the next batch; if not, the
+// daemon re-issues the orphaned one and the client re-evaluates it to the
+// identical result.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/frame.hpp"
+#include "serve/protocol.hpp"
+#include "tune/tuner.hpp"
+
+namespace critter::serve {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  double connect_deadline_s = 10.0;  ///< FaultPolicy startup phase
+  double op_deadline_s = 120.0;      ///< FaultPolicy progress phase
+  /// Consecutive failed iterations before run() gives up.
+  int max_reconnects = 8;
+  double backoff_initial_s = 0.05;
+  double backoff_max_s = 1.0;
+  /// Stop after evaluating this many batches (0 = until the sweep is
+  /// done) — lets a test split one sweep across cooperating clients.
+  int max_batches = 0;
+  /// Injected churn: close the connection right after the Nth ask of this
+  /// client's lifetime, leaving the claim orphaned, and return.  The
+  /// daemon-smoke scenario: a disconnected evaluator's batch must re-issue
+  /// to its peers with no effect on the tuned result.
+  int drop_after_asks = 0;
+};
+
+/// What run() did — counters for tests and the bench harness.
+struct ClientReport {
+  int asks = 0;
+  int tells = 0;
+  int reconnects = 0;
+  bool done = false;     ///< the daemon reported the sweep complete
+  bool dropped = false;  ///< returned via drop_after_asks
+  double ask_tell_wall_s = 0.0;  ///< summed request round-trip time
+};
+
+class TunerClient {
+ public:
+  /// `study`/`opt` must be the session identity every participating client
+  /// agrees on; warm/prior snapshots are forwarded to the daemon on open
+  /// (the daemon owns them from then on).  Requires a registry workload,
+  /// like the subprocess executor.
+  TunerClient(const tune::Study& study, const tune::TuneOptions& opt,
+              std::string session, ClientOptions copt);
+  ~TunerClient();
+
+  /// Evaluate batches until the sweep is done or a limit hits.
+  ClientReport run();
+
+  /// One-shot verbs (connect on demand).
+  std::string export_stats();
+  StatusReply status();
+  void shutdown_daemon();
+
+  TunerClient(const TunerClient&) = delete;
+  TunerClient& operator=(const TunerClient&) = delete;
+
+ private:
+  void ensure_open();
+  net::Frame request(std::uint32_t verb, const std::string& payload);
+
+  tune::Study study_;
+  tune::TuneOptions opt_;        ///< mirror options (warm/prior stripped)
+  std::string session_;
+  ClientOptions copt_;
+  std::string open_payload_;     ///< identity + snapshots, rebuilt per open
+  std::unique_ptr<tune::SweepDriver> mirror_;
+  std::unique_ptr<net::Connection> conn_;
+  bool opened_ = false;
+  int lifetime_asks_ = 0;
+};
+
+}  // namespace critter::serve

@@ -1,0 +1,478 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/fsio.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/manifest.hpp"
+#include "tune/evaluator.hpp"
+#include "tune/strategy.hpp"
+#include "tune/sweep.hpp"
+#include "util/check.hpp"
+
+namespace critter::serve {
+
+using core::StatSnapshot;
+using dist::ShardCheckpoint;
+using dist::ShardRange;
+
+namespace {
+
+volatile std::sig_atomic_t g_daemon_terminate = 0;
+void daemon_signal_handler(int) { g_daemon_terminate = 1; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session: one (workload, options) tuning state, shared by all clients
+// ---------------------------------------------------------------------------
+
+struct TunerDaemon::Session {
+  std::string name;
+  std::string dir;            ///< <state_dir>/sessions/<name>
+  std::string manifest_text;  ///< the identity clients must agree on
+  tune::Study study;
+  tune::TuneOptions opt;
+  StatSnapshot warm, prior;  ///< stable storage opt points into
+  std::unique_ptr<tune::Tuner> tuner;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  // At most one outstanding claim (the determinism contract): `claimed`
+  // while a batch is out, `owner` the holding connection (0 = the holder
+  // disconnected — the cached batch re-issues unchanged to the next asker).
+  bool claimed = false;
+  std::uint64_t owner = 0;
+  std::vector<int> batch;
+
+  // Journal bookkeeping, in the shard worker's checkpoint format but with
+  // every record a full snapshot (see journal_tell) and no exchange state
+  // — a daemon session has no peers.
+  std::vector<ShardCheckpoint::ToldBatch> told;
+  std::int64_t seq = 0;
+  std::string next_full_slot = "ckpt_a.bin";
+
+  ShardRange range() const {
+    return {0, 0, static_cast<int>(study.configs.size())};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Construction / resume
+// ---------------------------------------------------------------------------
+
+TunerDaemon::TunerDaemon(DaemonOptions opt) : opt_(std::move(opt)) {
+  CRITTER_CHECK(!opt_.state_dir.empty(), "tuner daemon needs a state directory");
+  core::make_dir(opt_.state_dir);
+  core::make_dir(opt_.state_dir + "/sessions");
+  resume_sessions();
+  listener_ = std::make_unique<net::Listener>(opt_.port);
+  // Port file last: a reader that sees it can connect immediately.
+  core::write_file_atomic(opt_.state_dir + "/port",
+                          std::to_string(listener_->port()) + "\n");
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TunerDaemon::~TunerDaemon() { stop(); }
+
+int TunerDaemon::port() const { return listener_->port(); }
+
+bool TunerDaemon::stopping() const { return stop_.load(); }
+
+void TunerDaemon::wait() {
+  while (!stop_.load()) core::sleep_ms(20);
+}
+
+void TunerDaemon::stop() {
+  stop_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+  if (listener_) listener_->close();
+  // Final flush: a full checkpoint per session, so a restart resumes from
+  // here without replaying any increment log.
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  for (auto& [name, s] : sessions_) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    try {
+      flush_session(*s);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "tuner daemon: final flush of session %s failed: %s\n",
+                   name.c_str(), e.what());
+    }
+  }
+}
+
+std::unique_ptr<TunerDaemon::Session> TunerDaemon::load_session(
+    const std::string& name) {
+  auto s = std::make_unique<Session>();
+  s->name = name;
+  s->dir = opt_.state_dir + "/sessions/" + name;
+  s->manifest_text = core::read_file(s->dir + "/manifest.txt");
+  const dist::Manifest m = dist::parse_manifest(s->manifest_text);
+  s->study = dist::rebuild_study(m);
+  s->opt = dist::rebuild_options(m);
+  if (dist::manifest_int(m, "warm_start") != 0) {
+    s->warm = StatSnapshot::from_string(core::read_published(s->dir, "warm.snap"));
+    s->opt.warm_start = &s->warm;
+  }
+  if (dist::manifest_int(m, "prior_snap") != 0) {
+    s->prior =
+        StatSnapshot::from_string(core::read_published(s->dir, "prior.snap"));
+    s->opt.prior = &s->prior;
+  }
+  s->tuner = std::make_unique<tune::Tuner>(s->study, s->opt);
+
+  // Journal replay: the best full slot (every record is self-contained —
+  // journal_tell writes no increments), then re-ask/re-tell each journaled
+  // batch.  Import of the serialized statistics is bitwise-exact, and asks
+  // are a pure function of told outcomes and ingested priors, so the
+  // resumed strategy re-proposes exactly the recorded batches — anything
+  // else is a divergence bug, not a degraded resume.
+  ShardCheckpoint ck;
+  std::int64_t base_seq = 0;
+  std::string base_slot;
+  if (dist::load_latest_checkpoint(s->dir, s->study, s->range(), &ck,
+                                   &base_seq, &base_slot)) {
+    s->tuner->import_state(ck.full);
+    for (const ShardCheckpoint::ToldBatch& tb : ck.told) {
+      const std::vector<int> b = s->tuner->ask();
+      CRITTER_CHECK(b == tb.positions,
+                    "session journal replay diverged: the resumed strategy "
+                    "proposed a different batch");
+      s->tuner->tell(tb.outcomes);
+    }
+    s->tuner->restore_totals(
+        std::vector<tune::ConfigTotals>(ck.totals.begin(), ck.totals.end()));
+    s->told = std::move(ck.told);
+    s->seq = ck.seq;
+    s->next_full_slot =
+        base_slot == "ckpt_a.bin" ? "ckpt_b.bin" : "ckpt_a.bin";
+  }
+  return s;
+}
+
+void TunerDaemon::resume_sessions() {
+  for (const std::string& name :
+       core::list_dir(opt_.state_dir + "/sessions")) {
+    if (!valid_session_name(name)) continue;
+    if (!core::file_exists(opt_.state_dir + "/sessions/" + name +
+                           "/manifest.txt"))
+      continue;  // a torn create never got its identity; nothing to resume
+    sessions_[name] = load_session(name);
+  }
+}
+
+TunerDaemon::Session& TunerDaemon::open_session(const OpenRequest& rq) {
+  CRITTER_CHECK(valid_session_name(rq.session),
+                "tune open: invalid session name '" + rq.session + "'");
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  auto it = sessions_.find(rq.session);
+  if (it != sessions_.end()) {
+    // Joining: concurrent clients must agree on what they are tuning.
+    Session& s = *it->second;
+    CRITTER_CHECK(rq.manifest == s.manifest_text,
+                  "tune open: session '" + rq.session +
+                      "' exists with a different study/options identity");
+    const std::string warm = s.warm.empty() ? std::string() : s.warm.to_string();
+    const std::string prior =
+        s.prior.empty() ? std::string() : s.prior.to_string();
+    CRITTER_CHECK(rq.warm == warm && rq.prior == prior,
+                  "tune open: session '" + rq.session +
+                      "' exists with different warm/prior snapshots");
+    return s;
+  }
+  // Fresh session: persist the identity first (manifest + snapshots), then
+  // build the in-memory state through the same loader a restart uses.
+  const std::string dir = opt_.state_dir + "/sessions/" + rq.session;
+  core::make_dir(dir);
+  if (!rq.warm.empty()) core::publish_file(dir, "warm.snap", rq.warm);
+  if (!rq.prior.empty()) core::publish_file(dir, "prior.snap", rq.prior);
+  core::write_file_atomic(dir + "/manifest.txt", rq.manifest);
+  auto s = load_session(rq.session);
+  Session& ref = *s;
+  sessions_[rq.session] = std::move(s);
+  return ref;
+}
+
+TunerDaemon::Session& TunerDaemon::resolve_session(const std::string& name) {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  auto it = sessions_.find(name);
+  CRITTER_CHECK(it != sessions_.end(),
+                "unknown tuning session '" + name + "' — open it first");
+  return *it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+void TunerDaemon::journal_tell(Session& s) {
+  // Every record is a FULL checkpoint, never an increment: increments
+  // reconstruct on resume via base.merge(full_delta), and diff/merge is
+  // only a float-algebraic identity — a kill -9 resume through even one
+  // increment would drift from the in-process sweep by ulps.  A full
+  // snapshot round-trips bitwise (serialize ∘ parse is exact), so the
+  // resumed session is the journaled one to the last bit.  Daemon tells
+  // are seconds apart, not milliseconds, so the constant-size-increment
+  // economy the shard workers need buys nothing here.
+  ++s.seq;
+  ShardCheckpoint c;
+  c.seq = s.seq;
+  c.batches = static_cast<int>(s.told.size());
+  c.rounds = 0;
+  c.in_round = c.batches;  // the non-exchanging worker's cursor shape
+  c.told = s.told;
+  c.totals = s.tuner->totals();
+  c.full = s.tuner->export_state();
+  const std::string slot = s.next_full_slot;
+  core::publish_file(s.dir, slot, dist::serialize_checkpoint(c));
+  // Only after the new base is fully published: drop any increment log an
+  // older daemon build may have left extending the previous base (a crash
+  // in between resumes from whichever base survives).
+  ::remove((s.dir + "/ckpt_log.bin").c_str());
+  s.next_full_slot = slot == "ckpt_a.bin" ? "ckpt_b.bin" : "ckpt_a.bin";
+}
+
+void TunerDaemon::flush_session(Session& s) {
+  // Journal records are already self-contained full snapshots; a flush is
+  // one more of them, covering sessions opened (or resumed) but not told
+  // since.
+  journal_tell(s);
+}
+
+// ---------------------------------------------------------------------------
+// Serving
+// ---------------------------------------------------------------------------
+
+void TunerDaemon::accept_loop() {
+  while (!stop_.load()) {
+    net::Connection conn = listener_->accept(0.2);
+    if (!conn.valid()) continue;
+    const std::uint64_t id = next_conn_id_.fetch_add(1);
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conn_threads_.emplace_back(
+        [this, id](net::Connection c) { serve_connection(std::move(c), id); },
+        std::move(conn));
+  }
+}
+
+void TunerDaemon::serve_connection(net::Connection conn,
+                                   std::uint64_t conn_id) {
+  const double deadline = opt_.op_deadline_s;
+  try {
+    net::Frame hello = net::recv_frame(conn, deadline);
+    if (hello.verb != net::kHello || hello.payload != kTuneService) {
+      net::send_frame(conn, net::kErr, "tuner daemon: bad handshake",
+                      deadline);
+      release_claims(conn_id);
+      return;
+    }
+    net::send_frame(conn, net::kOk, "", deadline);
+    while (!stop_.load()) {
+      if (!conn.readable(0.2)) continue;
+      net::Frame rq;
+      if (!net::recv_frame_opt(conn, rq, deadline)) break;
+      net::Frame rp;
+      try {
+        rp = handle_request(rq, conn_id);
+      } catch (const std::exception& e) {
+        rp = {net::kErr, e.what()};
+      }
+      net::send_frame(conn, rp.verb, rp.payload, deadline);
+      if (rq.verb == net::kTuneShutdown) break;
+    }
+  } catch (const std::exception&) {
+    // A torn frame or timed-out peer ends this connection only; its claim
+    // (if any) re-issues to the next asker below.
+  }
+  release_claims(conn_id);
+}
+
+void TunerDaemon::release_claims(std::uint64_t conn_id) {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  for (auto& [name, s] : sessions_) {
+    std::lock_guard<std::mutex> slk(s->mu);
+    if (s->claimed && s->owner == conn_id) {
+      // Orphan, don't abandon: the cached batch re-issues unchanged —
+      // client churn costs wall-clock, never determinism (§10 semantics).
+      s->owner = 0;
+      s->cv.notify_all();
+    }
+  }
+}
+
+net::Frame TunerDaemon::handle_request(const net::Frame& rq,
+                                       std::uint64_t conn_id) {
+  switch (rq.verb) {
+    case net::kTuneOpen: {
+      const OpenRequest orq = decode_open(rq.payload);
+      Session& s = open_session(orq);
+      std::lock_guard<std::mutex> lk(s.mu);
+      OpenReply rp;
+      rp.nconfigs = static_cast<std::int32_t>(s.study.configs.size());
+      rp.tells = static_cast<std::int32_t>(s.told.size());
+      rp.done = s.tuner->done();
+      return {net::kOk, encode_open_reply(rp)};
+    }
+    case net::kTuneAsk: {
+      Session& s = resolve_session(decode_session_ref(rq.payload));
+      std::unique_lock<std::mutex> lk(s.mu);
+      while (s.claimed && s.owner != 0 && s.owner != conn_id) {
+        if (stop_.load())
+          throw std::runtime_error("tuner daemon: shutting down");
+        s.cv.wait_for(lk, std::chrono::milliseconds(50));
+      }
+      AskReply rp;
+      if (!s.claimed) {
+        if (s.tuner->done()) {
+          rp.done = true;
+          return {net::kOk, encode_ask_reply(rp)};
+        }
+        const std::vector<int> batch = s.tuner->ask();
+        if (batch.empty()) {
+          rp.done = true;
+          return {net::kOk, encode_ask_reply(rp)};
+        }
+        s.batch = batch;
+        s.claimed = true;
+      }
+      s.owner = conn_id;
+      rp.batch = s.batch;
+      rp.control = s.tuner->control();
+      rp.state = s.tuner->export_state().to_string();
+      return {net::kOk, encode_ask_reply(rp)};
+    }
+    case net::kTuneTell: {
+      core::WireReader r{rq.payload};
+      const std::string name = decode_tell_session(r);
+      Session& s = resolve_session(name);
+      std::lock_guard<std::mutex> lk(s.mu);
+      TellRequest trq;
+      decode_tell_body(r, s.study, &trq);
+      CRITTER_CHECK(s.claimed && trq.batch == s.batch,
+                    "tune tell: not the claimed batch of session '" + name +
+                        "'");
+      CRITTER_CHECK(s.owner == conn_id || s.owner == 0,
+                    "tune tell: the claimed batch belongs to another client");
+      StatSnapshot state;
+      if (!trq.state.empty()) state = StatSnapshot::from_string(trq.state);
+      s.tuner->tell_evaluated(trq.outcomes, state, trq.totals);
+      s.told.push_back({trq.batch, std::move(trq.outcomes)});
+      journal_tell(s);
+      s.claimed = false;
+      s.owner = 0;
+      s.batch.clear();
+      s.cv.notify_all();
+      return {net::kOk, ""};
+    }
+    case net::kTuneExport: {
+      Session& s = resolve_session(decode_session_ref(rq.payload));
+      std::lock_guard<std::mutex> lk(s.mu);
+      return {net::kOk, s.tuner->export_state().to_string()};
+    }
+    case net::kTuneImport: {
+      std::string name, snapshot;
+      decode_import(rq.payload, &name, &snapshot);
+      Session& s = resolve_session(name);
+      std::lock_guard<std::mutex> lk(s.mu);
+      s.tuner->import_state(StatSnapshot::from_string(snapshot));
+      return {net::kOk, ""};
+    }
+    case net::kTuneStatus: {
+      Session& s = resolve_session(decode_session_ref(rq.payload));
+      std::lock_guard<std::mutex> lk(s.mu);
+      StatusReply rp;
+      rp.done = s.tuner->done();
+      rp.tells = static_cast<std::int32_t>(s.told.size());
+      for (const ShardCheckpoint::ToldBatch& tb : s.told)
+        for (const tune::ConfigOutcome& oc : tb.outcomes)
+          if (oc.evaluated) ++rp.evaluated;
+      if (rp.evaluated > 0)
+        rp.best_predicted = s.tuner->result().best_predicted();
+      rp.text = "session " + s.name + ": " + std::to_string(rp.tells) +
+                " tells, " + std::to_string(rp.evaluated) + " evaluated" +
+                (rp.done ? ", done" : "") +
+                (rp.best_predicted >= 0
+                     ? ", best=" + std::to_string(rp.best_predicted)
+                     : "");
+      return {net::kOk, encode_status_reply(rp)};
+    }
+    case net::kTuneShutdown: {
+      stop_.store(true);
+      return {net::kOk, ""};
+    }
+    default:
+      throw std::runtime_error("tuner daemon: unexpected verb " +
+                               std::to_string(rq.verb));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+int read_daemon_port(const std::string& state_dir, double deadline_s) {
+  const std::string path = state_dir + "/port";
+  const double deadline = core::monotonic_s() + deadline_s;
+  while (true) {
+    if (core::file_exists(path)) {
+      const int port = std::atoi(core::read_file(path).c_str());
+      if (port > 0) return port;
+    }
+    CRITTER_CHECK(core::monotonic_s() < deadline,
+                  "tuner daemon did not publish " + path + " within " +
+                      std::to_string(deadline_s) + "s");
+    core::sleep_ms(10);
+  }
+}
+
+bool is_tuner_daemon(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--tuner-daemon") == 0) return true;
+  return false;
+}
+
+int tuner_daemon_main(int argc, char** argv) {
+  std::string state_dir;
+  int port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--state-dir=", 0) == 0) state_dir = a.substr(12);
+    if (a.rfind("--port=", 0) == 0) port = std::atoi(a.c_str() + 7);
+  }
+  if (state_dir.empty()) {
+    std::fprintf(stderr, "usage: --tuner-daemon --state-dir=DIR [--port=N]\n");
+    return 2;
+  }
+  struct sigaction sa {};
+  sa.sa_handler = daemon_signal_handler;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  try {
+    TunerDaemon daemon({state_dir, port});
+    std::printf("critter-tuner-daemon port=%d\n", daemon.port());
+    std::fflush(stdout);
+    while (!daemon.stopping() && g_daemon_terminate == 0) core::sleep_ms(20);
+    // stop() flushes a final full checkpoint per session — the graceful
+    // SIGTERM/SIGINT contract.
+    daemon.stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tuner daemon: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace critter::serve

@@ -1,0 +1,294 @@
+// The tuner-daemon wire protocol (DESIGN.md §12.3): payload codecs for the
+// ask/tell verbs net/frame.hpp reserves in the 0x2x range.  Shared by the
+// daemon (serve/daemon.hpp) and the client (serve/client.hpp) so both sides
+// serialize sessions, batches, and outcomes through the same functions —
+// outcome bytes on this wire are identical to the dist layer's file formats
+// (dist/wire.hpp), which is what lets the daemon journal a remote tell and
+// replay it bit-equal after a restart.
+//
+// Every request is one frame; every reply is one frame (kOk with the
+// verb-specific payload below, or kErr carrying a human-readable reason).
+// A connection speaks the protocol after a hello exchange: the client sends
+// kHello with kTuneService, the daemon answers kOk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/wire_codec.hpp"
+#include "dist/wire.hpp"
+#include "tune/evaluator.hpp"
+#include "tune/tuner.hpp"
+#include "util/check.hpp"
+
+namespace critter::serve {
+
+/// Hello payload naming the protocol; bumped on incompatible change.
+inline constexpr const char* kTuneService = "critter-tune/1";
+
+/// Session names become journal directory names: a restrictive charset
+/// keeps them shell- and path-safe (no separators, no leading dot).
+inline bool valid_session_name(const std::string& name) {
+  if (name.empty() || name.size() > 64 || name[0] == '.') return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// --- kTuneOpen -------------------------------------------------------------
+
+/// Open (or join) a session: the manifest is the study/options identity in
+/// the run-manifest codec (dist/manifest.hpp) plus warm_start=/prior_snap=
+/// flags; the snapshots travel inline since the daemon cannot see the
+/// client's memory.  Joining an existing session requires a byte-identical
+/// manifest — concurrent clients must agree on what they are tuning.
+struct OpenRequest {
+  std::string session;
+  std::string manifest;
+  std::string warm;   ///< serialized StatSnapshot, empty = none
+  std::string prior;  ///< serialized StatSnapshot, empty = none
+};
+
+inline std::string encode_open(const OpenRequest& rq) {
+  core::WireWriter w;
+  w.str(rq.session);
+  w.str(rq.manifest);
+  w.str(rq.warm);
+  w.str(rq.prior);
+  return w.out;
+}
+
+inline OpenRequest decode_open(const std::string& payload) {
+  core::WireReader r{payload};
+  OpenRequest rq;
+  rq.session = r.str();
+  rq.manifest = r.str();
+  // Snapshots can exceed the WireReader string bound; length-check manually.
+  const auto blob = [&r]() {
+    const std::int32_t n = r.i32();
+    CRITTER_CHECK(n >= 0, "tune open: negative snapshot length");
+    std::string s(static_cast<std::size_t>(n), '\0');
+    r.raw(s.data(), s.size());
+    return s;
+  };
+  rq.warm = blob();
+  rq.prior = blob();
+  CRITTER_CHECK(r.done(), "tune open: trailing bytes");
+  return rq;
+}
+
+/// Open reply: the daemon's view of the session — configuration count (the
+/// client cross-checks its study) and how many batches are already told
+/// (resumed or tuned by earlier clients).
+struct OpenReply {
+  std::int32_t nconfigs = 0;
+  std::int32_t tells = 0;
+  bool done = false;
+};
+
+inline std::string encode_open_reply(const OpenReply& rp) {
+  core::WireWriter w;
+  w.i32(rp.nconfigs);
+  w.i32(rp.tells);
+  w.u8(rp.done ? 1 : 0);
+  return w.out;
+}
+
+inline OpenReply decode_open_reply(const std::string& payload) {
+  core::WireReader r{payload};
+  OpenReply rp;
+  rp.nconfigs = r.i32();
+  rp.tells = r.i32();
+  rp.done = r.u8() != 0;
+  CRITTER_CHECK(r.done(), "tune open reply: trailing bytes");
+  return rp;
+}
+
+// --- kTuneAsk --------------------------------------------------------------
+
+/// Ask request/[Export/Status/Shutdown requests]: just the session name.
+inline std::string encode_session_ref(const std::string& session) {
+  core::WireWriter w;
+  w.str(session);
+  return w.out;
+}
+
+inline std::string decode_session_ref(const std::string& payload) {
+  core::WireReader r{payload};
+  std::string s = r.str();
+  CRITTER_CHECK(r.done(), "tune request: trailing bytes");
+  return s;
+}
+
+/// What a remote evaluator needs to mirror evaluate() exactly: the claimed
+/// batch, the evaluation hints ask() snapshotted, and the session's shared
+/// statistics at claim time (imported wholesale by the mirror driver).
+struct AskReply {
+  bool done = false;
+  std::vector<int> batch;
+  tune::EvalControl control;
+  std::string state;  ///< serialized StatSnapshot
+};
+
+inline std::string encode_ask_reply(const AskReply& rp) {
+  core::WireWriter w;
+  w.u8(rp.done ? 1 : 0);
+  if (rp.done) return w.out;
+  w.i32(static_cast<std::int32_t>(rp.batch.size()));
+  for (int pos : rp.batch) w.i32(pos);
+  w.u8(rp.control.early_discard ? 1 : 0);
+  w.f64(rp.control.incumbent_pred);
+  w.f64(rp.control.margin);
+  w.i32(rp.control.samples_override);
+  w.i32(static_cast<std::int32_t>(rp.state.size()));
+  w.raw(rp.state.data(), rp.state.size());
+  return w.out;
+}
+
+inline AskReply decode_ask_reply(const std::string& payload) {
+  core::WireReader r{payload};
+  AskReply rp;
+  rp.done = r.u8() != 0;
+  if (rp.done) {
+    CRITTER_CHECK(r.done(), "tune ask reply: trailing bytes");
+    return rp;
+  }
+  const std::int32_t n = r.i32();
+  CRITTER_CHECK(n > 0 && n <= (1 << 20), "tune ask reply: implausible batch");
+  rp.batch.resize(static_cast<std::size_t>(n));
+  for (int& pos : rp.batch) pos = r.i32();
+  rp.control.early_discard = r.u8() != 0;
+  rp.control.incumbent_pred = r.f64();
+  rp.control.margin = r.f64();
+  rp.control.samples_override = r.i32();
+  const std::int32_t sn = r.i32();
+  CRITTER_CHECK(sn >= 0, "tune ask reply: negative state length");
+  rp.state.resize(static_cast<std::size_t>(sn));
+  r.raw(rp.state.data(), rp.state.size());
+  CRITTER_CHECK(r.done(), "tune ask reply: trailing bytes");
+  return rp;
+}
+
+// --- kTuneTell -------------------------------------------------------------
+
+/// The remote evaluation's products, in batch order: outcomes (serialized
+/// exactly as the dist file formats do), the totals contributions the batch
+/// accumulated, and the mirror's FULL post-evaluation statistics.  The
+/// daemon replaces its session state with this snapshot rather than merging
+/// a delta: the mirror started from exactly what ASK shipped and one batch
+/// is ever outstanding, so replacement is bitwise-exact where a diff/merge
+/// round trip is only float-algebraically exact.
+struct TellRequest {
+  std::string session;
+  std::vector<int> batch;
+  std::vector<tune::ConfigOutcome> outcomes;
+  std::vector<tune::ConfigTotals> totals;
+  std::string state;  ///< serialized StatSnapshot, empty = no statistics grown
+};
+
+inline std::string encode_tell(const TellRequest& rq) {
+  core::WireWriter w;
+  w.str(rq.session);
+  w.i32(static_cast<std::int32_t>(rq.batch.size()));
+  for (std::size_t k = 0; k < rq.batch.size(); ++k) {
+    w.i32(rq.batch[k]);
+    dist::write_outcome(w, rq.outcomes[k]);
+    dist::write_totals(w, rq.totals[k]);
+  }
+  w.i32(static_cast<std::int32_t>(rq.state.size()));
+  w.raw(rq.state.data(), rq.state.size());
+  return w.out;
+}
+
+/// Decoding needs the study to rebind each outcome's configuration, and the
+/// study hangs off the session — so the session name is read first and the
+/// body second, once the daemon has resolved it.
+inline std::string decode_tell_session(core::WireReader& r) { return r.str(); }
+
+inline void decode_tell_body(core::WireReader& r, const tune::Study& study,
+                             TellRequest* rq) {
+  const std::int32_t n = r.i32();
+  CRITTER_CHECK(n > 0 && n <= (1 << 20), "tune tell: implausible batch");
+  rq->batch.resize(static_cast<std::size_t>(n));
+  rq->outcomes.resize(static_cast<std::size_t>(n));
+  rq->totals.resize(static_cast<std::size_t>(n));
+  const int nconf = static_cast<int>(study.configs.size());
+  for (std::int32_t k = 0; k < n; ++k) {
+    const std::int32_t pos = r.i32();
+    CRITTER_CHECK(pos >= 0 && pos < nconf,
+                  "tune tell: batch position outside the study");
+    rq->batch[static_cast<std::size_t>(k)] = pos;
+    rq->outcomes[static_cast<std::size_t>(k)].config =
+        study.configs[static_cast<std::size_t>(pos)];
+    dist::read_outcome(r, rq->outcomes[static_cast<std::size_t>(k)],
+                       "tune tell");
+    dist::read_totals(r, rq->totals[static_cast<std::size_t>(k)]);
+  }
+  const std::int32_t dn = r.i32();
+  CRITTER_CHECK(dn >= 0, "tune tell: negative state length");
+  rq->state.resize(static_cast<std::size_t>(dn));
+  r.raw(rq->state.data(), rq->state.size());
+  CRITTER_CHECK(r.done(), "tune tell: trailing bytes");
+}
+
+// --- kTuneImport -----------------------------------------------------------
+
+/// Seed a fresh session's statistics (legal only before its first ask, the
+/// same rule as Tuner::import_state).  kTuneExport's reply payload is the
+/// raw serialized snapshot, no codec needed.
+inline std::string encode_import(const std::string& session,
+                                 const std::string& snapshot) {
+  core::WireWriter w;
+  w.str(session);
+  w.i32(static_cast<std::int32_t>(snapshot.size()));
+  w.raw(snapshot.data(), snapshot.size());
+  return w.out;
+}
+
+inline void decode_import(const std::string& payload, std::string* session,
+                          std::string* snapshot) {
+  core::WireReader r{payload};
+  *session = r.str();
+  const std::int32_t n = r.i32();
+  CRITTER_CHECK(n >= 0, "tune import: negative snapshot length");
+  snapshot->resize(static_cast<std::size_t>(n));
+  r.raw(snapshot->data(), snapshot->size());
+  CRITTER_CHECK(r.done(), "tune import: trailing bytes");
+}
+
+// --- kTuneStatus -----------------------------------------------------------
+
+struct StatusReply {
+  bool done = false;
+  std::int32_t tells = 0;
+  std::int32_t evaluated = 0;
+  std::int32_t best_predicted = -1;  ///< -1 until anything evaluated
+  std::string text;                  ///< one human-readable summary line
+};
+
+inline std::string encode_status_reply(const StatusReply& rp) {
+  core::WireWriter w;
+  w.u8(rp.done ? 1 : 0);
+  w.i32(rp.tells);
+  w.i32(rp.evaluated);
+  w.i32(rp.best_predicted);
+  w.str(rp.text);
+  return w.out;
+}
+
+inline StatusReply decode_status_reply(const std::string& payload) {
+  core::WireReader r{payload};
+  StatusReply rp;
+  rp.done = r.u8() != 0;
+  rp.tells = r.i32();
+  rp.evaluated = r.i32();
+  rp.best_predicted = r.i32();
+  rp.text = r.str();
+  CRITTER_CHECK(r.done(), "tune status reply: trailing bytes");
+  return rp;
+}
+
+}  // namespace critter::serve

@@ -243,6 +243,25 @@ class Tuner {
   /// kernel statistics — only evaluate() grows the shared state.
   void tell(const std::vector<ConfigOutcome>& outcomes);
 
+  /// The remote form of evaluate()+tell(): report a claimed batch that a
+  /// *mirror* evaluator ran elsewhere (a SweepDriver seeded with this
+  /// session's export_state() and fed this session's control()), together
+  /// with the mirror's FULL post-evaluation statistics and the per-entry
+  /// totals contributions, in batch order.  The mirror's state *replaces*
+  /// this session's — the mirror started from exactly the statistics ask()
+  /// exposed, and only one batch is ever outstanding, so its post-run state
+  /// IS the state a local evaluate() would have left.  Replacement (not a
+  /// diff/merge round trip, which is only a float-algebraic identity, not a
+  /// bitwise one) is what makes daemon-mediated tuning bit-reproduce the
+  /// in-process sweep (DESIGN.md §12.3).  Then tells the outcomes.
+  void tell_evaluated(const std::vector<ConfigOutcome>& outcomes,
+                      const core::StatSnapshot& state,
+                      const std::vector<ConfigTotals>& batch_totals);
+
+  /// Evaluation hints the last ask() snapshotted for the claimed batch —
+  /// what a remote evaluator needs to mirror evaluate() exactly.
+  const EvalControl& control() const;
+
   /// One ask/evaluate/tell round; false when the search was exhausted.
   bool step();
 

@@ -203,6 +203,26 @@ TEST(Subprocess, PeriodicExchangeIsDeterministicAndMatchesInProcess) {
   expect_equal_results(a, c, "subprocess vs in-process exchange");
 }
 
+TEST(Subprocess, SocketTransportBitIdenticalToDirTransport) {
+  // Same worker loop, different shared store: coordinating the fleet
+  // through a TCP blob server instead of the run directory must not be
+  // observable in the result — mid-sweep exchange included.
+  const tune::Study study = subset(tune::slate_cholesky_study(false), 6);
+  const tune::TuneOptions opt = shared_options();
+  const dist::ExchangePolicy every1{1};
+  dist::SubprocessOptions dopts;
+  dopts.transport = "dir";
+  dist::SubprocessOptions sopts;
+  sopts.transport = "socket";
+  dist::SubprocessExecutor dir_exec(dopts);
+  dist::SubprocessExecutor sock_exec(sopts);
+  const tune::TuneResult a = dist::run_sharded(study, opt, 2, dir_exec, every1);
+  const tune::TuneResult b =
+      dist::run_sharded(study, opt, 2, sock_exec, every1);
+  EXPECT_GT(b.exchange_rounds, 0);
+  expect_equal_results(a, b, "dir vs socket transport");
+}
+
 TEST(Subprocess, IsolatedModeExchangePublishesEmptyDeltasSafely) {
   // Isolated-parallel sessions export no shared statistics; with exchange
   // on, their rounds publish empty payloads that peers must skip

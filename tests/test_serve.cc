@@ -1,0 +1,328 @@
+// The tuner daemon: ask/tell tuning as a multi-client TCP service.  The
+// acceptance contract is bit-identity with the single-process sweep —
+// concurrent clients, a client dropped mid-claim, a daemon killed outright
+// (kill -9) and restarted on its state directory, and a SIGTERM'd daemon
+// resumed later must all select the same configuration with the same
+// statistics as tune::run_study().
+//
+// This binary is its own daemon: the subprocess scenarios re-exec it with
+// --tuner-daemon, so main() routes that entry point before gtest.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/fsio.hpp"
+#include "core/stat_store.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "tune/tuner.hpp"
+
+namespace core = critter::core;
+namespace net = critter::net;
+namespace serve = critter::serve;
+namespace tune = critter::tune;
+using critter::Policy;
+
+namespace {
+
+tune::Study small_study(int nconfigs = 10) {
+  tune::Study study = tune::capital_cholesky_study(false);
+  if (nconfigs < static_cast<int>(study.configs.size()))
+    study.configs.resize(nconfigs);
+  return study;
+}
+
+/// Outcome-dependent asks (early discard against the running incumbent):
+/// if a remote evaluation differed from the local one by even a bit, the
+/// strategy's proposals — and therefore the tell count and the selection —
+/// would diverge, so these options make the bit-identity checks sharp.
+tune::TuneOptions adaptive_options() {
+  tune::TuneOptions opt;
+  opt.policy = Policy::OnlinePropagation;
+  opt.samples = 1;
+  opt.strategy = "ci-discard";
+  return opt;
+}
+
+serve::ClientOptions client_options(int port) {
+  serve::ClientOptions copt;
+  copt.port = port;
+  return copt;
+}
+
+/// The daemon's answer must equal the single-process sweep's: same
+/// selected configuration, same shared statistics (same_statistics — the
+/// statistical-equality contract every executor in this codebase meets;
+/// per-epoch scratch counters are dead state and excluded by design).
+void expect_matches_in_process(serve::TunerClient& client,
+                               const tune::TuneResult& ref,
+                               const std::string& what) {
+  const serve::StatusReply st = client.status();
+  EXPECT_TRUE(st.done) << what << ": " << st.text;
+  EXPECT_EQ(st.best_predicted, ref.best_predicted()) << what << ": "
+                                                     << st.text;
+  EXPECT_EQ(st.evaluated, ref.evaluated_configs) << what << ": " << st.text;
+  const std::string exported = client.export_stats();
+  ASSERT_FALSE(exported.empty()) << what;
+  const core::StatSnapshot stats = core::StatSnapshot::from_string(exported);
+  EXPECT_TRUE(stats.same_statistics(ref.stats)) << what << " statistics";
+}
+
+/// Re-exec this test binary as a daemon subprocess (the kill -9 and
+/// SIGTERM scenarios need a process to kill, not an in-process object).
+pid_t spawn_daemon(const std::string& state_dir) {
+  // A restarted daemon binds a fresh ephemeral port; drop the old port
+  // file so read_daemon_port cannot rendezvous with the dead instance.
+  ::remove((state_dir + "/port").c_str());
+  const std::string sd = "--state-dir=" + state_dir;
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::execl("/proc/self/exe", "test_serve", "--tuner-daemon", sd.c_str(),
+            "--port=0", static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  return pid;
+}
+
+int wait_for_exit(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+/// Raw framed request without opening a session (tunectl's sessionless
+/// path) — lets tests poke the protocol below the TunerClient surface.
+net::Frame raw_request(int port, std::uint32_t verb,
+                       const std::string& payload) {
+  net::Connection conn = net::Connection::connect("127.0.0.1", port, 5.0);
+  net::send_frame(conn, net::kHello, serve::kTuneService, 5.0);
+  const net::Frame hello = net::recv_frame(conn, 5.0);
+  EXPECT_EQ(hello.verb, net::kOk);
+  net::send_frame(conn, verb, payload, 5.0);
+  return net::recv_frame(conn, 5.0);
+}
+
+struct TempDir {
+  explicit TempDir(const char* prefix) : path(core::make_temp_dir(prefix)) {}
+  ~TempDir() { core::remove_dir_tree(path); }
+  std::string path;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// In-process daemon scenarios
+// ---------------------------------------------------------------------------
+
+TEST(Daemon, SingleClientReproducesTheInProcessSweep) {
+  const tune::Study study = small_study();
+  const tune::TuneOptions opt = adaptive_options();
+  const tune::TuneResult ref = tune::run_study(study, opt);
+
+  TempDir dir("critter_serve_single");
+  serve::TunerDaemon daemon({dir.path});
+  serve::TunerClient client(study, opt, "solo",
+                            client_options(daemon.port()));
+  const serve::ClientReport rep = client.run();
+  EXPECT_TRUE(rep.done);
+  EXPECT_GT(rep.tells, 0);
+  EXPECT_EQ(rep.reconnects, 0);
+  expect_matches_in_process(client, ref, "single client");
+}
+
+TEST(Daemon, TwoConcurrentClientsReproduceTheInProcessSweep) {
+  // The flagship concurrency contract: one claim outstanding at a time,
+  // every claim evaluated by whichever client holds it, and the interleaving
+  // — whatever the scheduler picks — must not be observable in the result.
+  const tune::Study study = small_study();
+  const tune::TuneOptions opt = adaptive_options();
+  const tune::TuneResult ref = tune::run_study(study, opt);
+
+  TempDir dir("critter_serve_pair");
+  serve::TunerDaemon daemon({dir.path});
+  serve::ClientReport reps[2];
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i)
+    threads.emplace_back([&, i] {
+      serve::TunerClient c(study, opt, "pair", client_options(daemon.port()));
+      reps[i] = c.run();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(reps[0].done);
+  EXPECT_TRUE(reps[1].done);
+
+  serve::TunerClient check(study, opt, "pair", client_options(daemon.port()));
+  const serve::StatusReply st = check.status();
+  // Every tell came from exactly one of the two clients.
+  EXPECT_EQ(reps[0].tells + reps[1].tells, st.tells);
+  expect_matches_in_process(check, ref, "two concurrent clients");
+}
+
+TEST(Daemon, DroppedClientsClaimReissuesWithoutChangingTheAnswer) {
+  // Injected churn: the first client walks away holding a claim.  The
+  // daemon must re-issue that exact batch to the survivor (nothing can
+  // have changed while it was out), so the sweep finishes bit-identically.
+  const tune::Study study = small_study();
+  const tune::TuneOptions opt = adaptive_options();
+  const tune::TuneResult ref = tune::run_study(study, opt);
+
+  TempDir dir("critter_serve_churn");
+  serve::TunerDaemon daemon({dir.path});
+  serve::ClientOptions drop = client_options(daemon.port());
+  drop.drop_after_asks = 1;
+  serve::TunerClient dropper(study, opt, "churn", drop);
+  const serve::ClientReport drep = dropper.run();
+  EXPECT_TRUE(drep.dropped);
+  EXPECT_EQ(drep.tells, 0);  // left with the first claim open
+
+  serve::TunerClient survivor(study, opt, "churn",
+                              client_options(daemon.port()));
+  const serve::ClientReport srep = survivor.run();
+  EXPECT_TRUE(srep.done);
+  expect_matches_in_process(survivor, ref, "claim re-issued after drop");
+}
+
+TEST(Daemon, JoiningWithADifferentIdentityIsRejected) {
+  // Concurrent clients must agree on what they are tuning; a mismatched
+  // (study, options) join is an error, not a second session.
+  const tune::Study study = small_study();
+  const tune::TuneOptions opt = adaptive_options();
+  TempDir dir("critter_serve_identity");
+  serve::TunerDaemon daemon({dir.path});
+  serve::ClientOptions copt = client_options(daemon.port());
+  copt.max_batches = 1;
+  serve::TunerClient first(study, opt, "shared", copt);
+  first.run();
+
+  tune::TuneOptions other = opt;
+  other.tolerance = opt.tolerance * 2;
+  serve::ClientOptions strict = client_options(daemon.port());
+  strict.max_reconnects = 0;  // surface the open error, don't retry it
+  serve::TunerClient second(study, other, "shared", strict);
+  try {
+    second.run();
+    FAIL() << "mismatched session identity was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("different study/options identity"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Daemon, SessionlessVerbsAndUnknownSessionsError) {
+  TempDir dir("critter_serve_raw");
+  serve::TunerDaemon daemon({dir.path});
+  const net::Frame st = raw_request(daemon.port(), net::kTuneStatus,
+                                    serve::encode_session_ref("nope"));
+  EXPECT_EQ(st.verb, net::kErr);
+  EXPECT_NE(st.payload.find("unknown tuning session"), std::string::npos);
+  // A client-initiated shutdown stops the daemon (tunectl's path).
+  const net::Frame sd = raw_request(daemon.port(), net::kTuneShutdown, "");
+  EXPECT_EQ(sd.verb, net::kOk);
+  const double deadline = core::monotonic_s() + 5.0;
+  while (!daemon.stopping() && core::monotonic_s() < deadline)
+    core::sleep_ms(10);
+  EXPECT_TRUE(daemon.stopping());
+}
+
+// ---------------------------------------------------------------------------
+// Daemon-as-a-process scenarios: kill -9 resume, SIGTERM flush
+// ---------------------------------------------------------------------------
+
+TEST(DaemonProcess, KillNineMidSessionResumesBitIdentically) {
+  // The durability contract: every tell is journaled before it is
+  // acknowledged, so a daemon killed outright and restarted on the same
+  // state directory replays the session into the exact state it held —
+  // clients pick up mid-sweep and the final answer matches run_study().
+  const tune::Study study = small_study();
+  const tune::TuneOptions opt = adaptive_options();
+  const tune::TuneResult ref = tune::run_study(study, opt);
+
+  TempDir dir("critter_serve_kill9");
+  pid_t pid = spawn_daemon(dir.path);
+  ASSERT_GT(pid, 0);
+  int port = serve::read_daemon_port(dir.path);
+  serve::ClientOptions partial = client_options(port);
+  partial.max_batches = 4;
+  serve::TunerClient before(study, opt, "durable", partial);
+  const serve::ClientReport prep = before.run();
+  EXPECT_EQ(prep.tells, 4);
+
+  ::kill(pid, SIGKILL);
+  wait_for_exit(pid);
+
+  pid = spawn_daemon(dir.path);
+  ASSERT_GT(pid, 0);
+  port = serve::read_daemon_port(dir.path);
+  serve::TunerClient after(study, opt, "durable", client_options(port));
+  const serve::ClientReport rep = after.run();
+  EXPECT_TRUE(rep.done);
+  const serve::StatusReply st = after.status();
+  // The resumed session kept the pre-kill tells instead of resweeping.
+  EXPECT_EQ(st.tells, prep.tells + rep.tells);
+  expect_matches_in_process(after, ref, "kill -9 resume");
+
+  const net::Frame sd = raw_request(port, net::kTuneShutdown, "");
+  EXPECT_EQ(sd.verb, net::kOk);
+  const int status = wait_for_exit(pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+TEST(DaemonProcess, SigtermFlushesEverySessionThenResumesFromTheSnapshot) {
+  const tune::Study study = small_study();
+  const tune::TuneOptions opt = adaptive_options();
+  const tune::TuneResult ref = tune::run_study(study, opt);
+
+  TempDir dir("critter_serve_sigterm");
+  pid_t pid = spawn_daemon(dir.path);
+  ASSERT_GT(pid, 0);
+  int port = serve::read_daemon_port(dir.path);
+  serve::ClientOptions partial = client_options(port);
+  partial.max_batches = 3;
+  serve::TunerClient before(study, opt, "graceful", partial);
+  EXPECT_EQ(before.run().tells, 3);
+
+  ::kill(pid, SIGTERM);
+  const int status = wait_for_exit(pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  // The graceful-shutdown contract: a final self-contained full checkpoint
+  // per session, with no increment log left to replay.
+  const std::string sdir = dir.path + "/sessions/graceful";
+  EXPECT_TRUE(core::published(sdir, "ckpt_a.bin") ||
+              core::published(sdir, "ckpt_b.bin"));
+  EXPECT_FALSE(core::file_exists(sdir + "/ckpt_log.bin"));
+
+  pid = spawn_daemon(dir.path);
+  ASSERT_GT(pid, 0);
+  port = serve::read_daemon_port(dir.path);
+  serve::TunerClient after(study, opt, "graceful", client_options(port));
+  EXPECT_TRUE(after.run().done);
+  expect_matches_in_process(after, ref, "SIGTERM flush + resume");
+
+  raw_request(port, net::kTuneShutdown, "");
+  wait_for_exit(pid);
+}
+
+int run_gtest(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
+
+int main(int argc, char** argv) {
+  if (serve::is_tuner_daemon(argc, argv))
+    return serve::tuner_daemon_main(argc, argv);
+  return run_gtest(argc, argv);
+}
