@@ -28,11 +28,13 @@ namespace critter::core {
 // ---------------------------------------------------------------------------
 
 void KernelTable::new_epoch() {
+  touch();
   ++epoch;
   for (auto& [key, ks] : K) ks.reset_epoch_counters();
 }
 
 void KernelTable::clear_statistics() {
+  touch();
   K.clear();
   key_of_hash.clear();
   pending_eager.clear();
@@ -107,6 +109,7 @@ bool size_model_equal(const SizeModel& a, const SizeModel& b) {
 }  // namespace
 
 void KernelTable::merge(const KernelTable& other) {
+  touch();  // covers kernel-moment, channel-registry-union, and refit growth
   for (const auto& [key, ks] : other.K) {
     auto [it, inserted] = K.try_emplace(key, ks);
     if (!inserted) merge_kernel_stats(it->second, ks);
@@ -609,6 +612,222 @@ StatSnapshot load_binary(const char* data, std::size_t size) {
   return snap;
 }
 
+// --- dirty-rank sparse transport (DESIGN.md §13) ---------------------------
+
+constexpr char kSparseMagic[8] = {'C', 'R', 'S', 'P', 'R', 'S', '1', '\n'};
+
+/// One rank chunk of a full v2 binary payload, located in place.
+struct ChunkExtent {
+  const char* frame;   ///< start of the [len][sum] header
+  const char* body;    ///< start of the chunk records (epoch first)
+  std::uint64_t len;   ///< body byte count
+  std::uint64_t sum;   ///< recorded FNV-1a of the body
+};
+
+/// Walk a full v2 payload's frame structure without decoding any record
+/// (and without re-checksumming: the caller holds the payload as trusted —
+/// it was produced or checksum-verified locally).  Validates everything
+/// structural: magic, version (sparse transport requires the chunked v2
+/// layout), rank count, chunk lengths against the bytes present, and that
+/// no trailing bytes follow the final chunk.
+std::vector<ChunkExtent> chunk_extents(std::string_view full,
+                                       const char* what) {
+  BinReader r{full.data(), full.data() + full.size()};
+  char magic[sizeof kMagic];
+  r.raw(magic, sizeof magic);
+  CRITTER_CHECK(std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+                std::string(what) + ": not a binary stat snapshot");
+  const std::uint32_t version = r.u32();
+  CRITTER_CHECK(version == kVersion,
+                std::string(what) +
+                    ": sparse transport requires the chunked version-" +
+                    std::to_string(kVersion) + " layout (got version " +
+                    std::to_string(version) + ")");
+  const std::uint32_t nranks = r.u32();
+  CRITTER_CHECK(nranks >= 1 && nranks <= kMaxRanks,
+                std::string(what) + ": implausible rank count");
+  std::vector<ChunkExtent> out;
+  out.reserve(nranks);
+  for (std::uint32_t i = 0; i < nranks; ++i) {
+    ChunkExtent e{};
+    e.frame = r.p;
+    e.len = r.u64();
+    CRITTER_CHECK(e.len <= kMaxChunkBytes,
+                  std::string(what) + ": implausible rank-chunk size");
+    e.sum = r.u64();
+    CRITTER_CHECK(e.len <= r.remaining(),
+                  std::string(what) + ": truncated rank chunk");
+    // Every chunk body leads with the i64 epoch — the field the sparse
+    // codec patches in place.
+    CRITTER_CHECK(e.len >= 8,
+                  std::string(what) + ": rank chunk shorter than its epoch");
+    e.body = r.p;
+    r.p += e.len;
+    out.push_back(e);
+  }
+  CRITTER_CHECK(r.p == r.end,
+                std::string(what) + ": trailing content after final rank");
+  return out;
+}
+
+std::int64_t chunk_epoch(const ChunkExtent& e) {
+  std::int64_t epoch;
+  std::memcpy(&epoch, e.body, 8);
+  return epoch;
+}
+
+/// The canonical "clean" delta chunk body: what write_rank_binary emits for
+/// a default-constructed table at `epoch` — the epoch followed by six zero
+/// record counts (kernels, keys, pending, tombstones, channels, buckets).
+constexpr std::size_t kCleanChunkBytes = 8 + 6 * 8;
+
+std::string clean_chunk_body(std::int64_t epoch) {
+  std::string out(kCleanChunkBytes, '\0');
+  std::memcpy(out.data(), &epoch, 8);
+  return out;
+}
+
+/// True when the chunk's bytes beyond the epoch are exactly the clean
+/// chunk's (six zero counts) — byte comparison, never table semantics.
+bool chunk_is_clean(const ChunkExtent& e) {
+  static constexpr char kZeros[kCleanChunkBytes - 8] = {};
+  return e.len == kCleanChunkBytes &&
+         std::memcmp(e.body + 8, kZeros, sizeof kZeros) == 0;
+}
+
+/// A sparse payload parsed and fully validated in place: header bounds,
+/// strictly ascending rank indices (rejects duplicates and overlaps),
+/// per-chunk length and checksum, no trailing bytes.
+struct SparseEntry {
+  std::uint32_t rank;
+  std::uint64_t len;
+  std::uint64_t sum;
+  const char* body;
+};
+struct ParsedSparse {
+  std::uint32_t nranks = 0;
+  std::uint8_t mode = 0;
+  std::vector<std::int64_t> epochs;
+  std::vector<SparseEntry> entries;
+};
+
+ParsedSparse parse_sparse(std::string_view payload) {
+  BinReader r{payload.data(), payload.data() + payload.size()};
+  char magic[sizeof kSparseMagic];
+  r.raw(magic, sizeof magic);
+  CRITTER_CHECK(std::memcmp(magic, kSparseMagic, sizeof kSparseMagic) == 0,
+                "sparse snapshot: bad magic");
+  const std::uint32_t version = r.u32();
+  CRITTER_CHECK(version == kVersion,
+                "sparse snapshot: unsupported chunk version " +
+                    std::to_string(version) + " (current " +
+                    std::to_string(kVersion) + ")");
+  ParsedSparse out;
+  out.nranks = r.u32();
+  CRITTER_CHECK(out.nranks >= 1 && out.nranks <= kMaxRanks,
+                "sparse snapshot: implausible rank count");
+  out.mode = r.u8();
+  CRITTER_CHECK(out.mode <= 1, "sparse snapshot: unknown mode " +
+                                   std::to_string(out.mode));
+  out.epochs.resize(out.nranks);
+  for (std::int64_t& e : out.epochs) e = r.i64();
+  const std::uint32_t ndirty = r.u32();
+  CRITTER_CHECK(ndirty <= out.nranks,
+                "sparse snapshot: more dirty ranks than ranks");
+  out.entries.reserve(ndirty);
+  std::int64_t prev = -1;
+  for (std::uint32_t i = 0; i < ndirty; ++i) {
+    SparseEntry e{};
+    e.rank = r.u32();
+    CRITTER_CHECK(e.rank < out.nranks,
+                  "sparse snapshot: dirty rank index out of range");
+    CRITTER_CHECK(static_cast<std::int64_t>(e.rank) > prev,
+                  "sparse snapshot: dirty ranks must be strictly ascending "
+                  "(duplicate or overlapping rank)");
+    prev = e.rank;
+    e.len = r.u64();
+    CRITTER_CHECK(e.len <= kMaxChunkBytes,
+                  "sparse snapshot: implausible rank-chunk size");
+    e.sum = r.u64();
+    CRITTER_CHECK(e.len <= r.remaining(),
+                  "sparse snapshot: truncated rank chunk");
+    CRITTER_CHECK(e.len >= 8,
+                  "sparse snapshot: rank chunk shorter than its epoch");
+    CRITTER_CHECK(fnv1a(r.p, static_cast<std::size_t>(e.len)) == e.sum,
+                  "sparse snapshot: rank-chunk checksum mismatch (corrupt "
+                  "or truncated payload)");
+    e.body = r.p;
+    r.p += e.len;
+    out.entries.push_back(e);
+  }
+  CRITTER_CHECK(r.p == r.end,
+                "sparse snapshot: trailing content after final chunk");
+  return out;
+}
+
+void write_sparse_header(BinWriter& w, std::uint32_t nranks,
+                         std::uint8_t mode,
+                         const std::vector<std::int64_t>& epochs) {
+  w.raw(kSparseMagic, sizeof kSparseMagic);
+  w.u32(kVersion);
+  w.u32(nranks);
+  w.u8(mode);
+  for (std::int64_t e : epochs) w.i64(e);
+}
+
+void write_sparse_entry(BinWriter& w, std::uint32_t rank,
+                        const ChunkExtent& e) {
+  w.u32(rank);
+  w.u64(e.len);
+  w.u64(e.sum);
+  w.raw(e.body, static_cast<std::size_t>(e.len));
+}
+
+/// Splice a parsed mode-0 patch onto a base payload's extents: dirty ranks
+/// substitute their shipped chunk, epoch-only ranks get the 8-byte epoch
+/// overwritten in place with the chunk checksum recomputed, clean ranks
+/// copy through verbatim.
+std::string splice_sparse_patch(std::string_view base_full,
+                                const std::vector<ChunkExtent>& base,
+                                const ParsedSparse& patch) {
+  CRITTER_CHECK(base.size() == patch.nranks,
+                "sparse snapshot: patch rank count does not match the base "
+                "payload");
+  std::string out;
+  out.reserve(base_full.size() + (kCleanChunkBytes + 24) * 4);
+  BinWriter w{out};
+  w.raw(kMagic, sizeof kMagic);
+  w.u32(kVersion);
+  w.u32(patch.nranks);
+  std::size_t next = 0;
+  for (std::uint32_t rank = 0; rank < patch.nranks; ++rank) {
+    if (next < patch.entries.size() && patch.entries[next].rank == rank) {
+      const SparseEntry& e = patch.entries[next++];
+      w.u64(e.len);
+      w.u64(e.sum);
+      w.raw(e.body, static_cast<std::size_t>(e.len));
+      continue;
+    }
+    const ChunkExtent& b = base[rank];
+    if (chunk_epoch(b) == patch.epochs[rank]) {
+      // Unchanged rank: the base frame (header + body) copies through.
+      w.raw(b.frame, static_cast<std::size_t>(16 + b.len));
+      continue;
+    }
+    // Epoch-only change: patch the leading 8 bytes of the body and refresh
+    // the chunk checksum — still pure byte surgery.
+    w.u64(b.len);
+    const std::size_t sum_at = out.size();
+    w.u64(0);  // checksum backpatched below
+    const std::size_t body = out.size();
+    w.raw(b.body, static_cast<std::size_t>(b.len));
+    std::memcpy(out.data() + body, &patch.epochs[rank], 8);
+    const std::uint64_t sum = fnv1a(out.data() + body, b.len);
+    std::memcpy(out.data() + sum_at, &sum, 8);
+  }
+  return out;
+}
+
 // --- JSON writer -----------------------------------------------------------
 
 struct JsonWriter {
@@ -1083,10 +1302,164 @@ std::string StatSnapshot::to_string(Format fmt) const {
 }
 
 StatSnapshot StatSnapshot::from_string(std::string_view bytes) {
-  // Auto-detect: the binary format leads with the magic, JSON with '{'.
+  // Auto-detect: sparse and full binary formats lead with their 8-byte
+  // magics (both start with 'C', so the sparse check must compare the full
+  // magic), JSON with '{'.
   CRITTER_CHECK(!bytes.empty(), "stat snapshot: empty input");
+  if (is_sparse_payload(bytes))
+    return from_string(expand_sparse_delta(bytes));
   if (bytes.front() == kMagic[0]) return load_binary(bytes.data(), bytes.size());
   return load_json(std::string(bytes));
+}
+
+// --- dirty-rank sparse transport: public API (DESIGN.md §13) ----------------
+
+bool is_sparse_payload(std::string_view bytes) {
+  return bytes.size() >= sizeof kSparseMagic &&
+         std::memcmp(bytes.data(), kSparseMagic, sizeof kSparseMagic) == 0;
+}
+
+SparsePayloadInfo sparse_payload_info(std::string_view bytes) {
+  const ParsedSparse p = parse_sparse(bytes);
+  return SparsePayloadInfo{p.mode, p.nranks,
+                           static_cast<std::uint32_t>(p.entries.size())};
+}
+
+std::string encode_sparse_patch(std::string_view base_full,
+                                std::string_view new_full) {
+  const std::vector<ChunkExtent> base =
+      chunk_extents(base_full, "sparse patch base");
+  const std::vector<ChunkExtent> cur =
+      chunk_extents(new_full, "sparse patch target");
+  CRITTER_CHECK(base.size() == cur.size(),
+                "sparse patch: base and target disagree on rank count");
+  std::string out;
+  BinWriter w{out};
+  std::vector<std::int64_t> epochs;
+  epochs.reserve(cur.size());
+  for (const ChunkExtent& e : cur) epochs.push_back(chunk_epoch(e));
+  write_sparse_header(w, static_cast<std::uint32_t>(cur.size()),
+                      /*mode=*/0, epochs);
+  const std::size_t ndirty_at = out.size();
+  w.u32(0);  // dirty count backpatched below
+  std::uint32_t ndirty = 0;
+  for (std::uint32_t rank = 0; rank < cur.size(); ++rank) {
+    const ChunkExtent& b = base[rank];
+    const ChunkExtent& c = cur[rank];
+    // Byte comparison is the sole decider (§13): identical chunks are
+    // omitted outright; chunks whose only difference is the leading epoch
+    // are covered by the header's epoch array; anything else ships whole.
+    if (b.len == c.len) {
+      if (std::memcmp(b.body, c.body, static_cast<std::size_t>(c.len)) == 0)
+        continue;
+      if (std::memcmp(b.body + 8, c.body + 8,
+                      static_cast<std::size_t>(c.len) - 8) == 0)
+        continue;  // epoch-only change, carried by the epoch array
+    }
+    write_sparse_entry(w, rank, c);
+    ++ndirty;
+  }
+  std::memcpy(out.data() + ndirty_at, &ndirty, 4);
+  return out;
+}
+
+std::string apply_sparse_patch(std::string_view base_full,
+                               std::string_view patch) {
+  const ParsedSparse p = parse_sparse(patch);
+  CRITTER_CHECK(p.mode == 0,
+                "sparse snapshot: expected a patch (mode 0), got a "
+                "standalone delta");
+  const std::vector<ChunkExtent> base =
+      chunk_extents(base_full, "sparse patch base");
+  return splice_sparse_patch(base_full, base, p);
+}
+
+void apply_sparse_patch_in_place(std::string& full_bytes, StatSnapshot& snap,
+                                 std::string_view patch) {
+  const ParsedSparse p = parse_sparse(patch);
+  CRITTER_CHECK(p.mode == 0,
+                "sparse snapshot: expected a patch (mode 0), got a "
+                "standalone delta");
+  const std::vector<ChunkExtent> base =
+      chunk_extents(full_bytes, "sparse patch base");
+  CRITTER_CHECK(snap.nranks() == static_cast<int>(p.nranks),
+                "sparse snapshot: patch rank count does not match the "
+                "decoded snapshot");
+  full_bytes = splice_sparse_patch(full_bytes, base, p);
+  // Refresh only the touched tables: dirty ranks re-decode their shipped
+  // chunk, epoch-only ranks overwrite the one field.  Untouched ranks keep
+  // their decoded table (and its dirty-tracking version) as-is.
+  std::size_t next = 0;
+  for (std::uint32_t rank = 0; rank < p.nranks; ++rank) {
+    KernelTable& t = snap.ranks[rank];
+    if (next < p.entries.size() && p.entries[next].rank == rank) {
+      const SparseEntry& e = p.entries[next++];
+      const std::uint64_t v = t.version;
+      BinReader cr{e.body, e.body + e.len};
+      t = KernelTable{};
+      read_rank_binary(cr, t, p.nranks, kVersion);
+      CRITTER_CHECK(cr.p == cr.end,
+                    "sparse snapshot: trailing content in rank chunk");
+      t.version = v + 1;
+      continue;
+    }
+    if (t.epoch != p.epochs[rank]) {
+      t.epoch = p.epochs[rank];
+      t.touch();
+    }
+  }
+}
+
+std::string encode_sparse_delta(const StatSnapshot& delta) {
+  const std::string full = save_binary_string(delta, kVersion);
+  const std::vector<ChunkExtent> chunks =
+      chunk_extents(full, "sparse delta source");
+  std::string out;
+  BinWriter w{out};
+  std::vector<std::int64_t> epochs;
+  epochs.reserve(chunks.size());
+  for (const ChunkExtent& e : chunks) epochs.push_back(chunk_epoch(e));
+  write_sparse_header(w, static_cast<std::uint32_t>(chunks.size()),
+                      /*mode=*/1, epochs);
+  const std::size_t ndirty_at = out.size();
+  w.u32(0);
+  std::uint32_t ndirty = 0;
+  for (std::uint32_t rank = 0; rank < chunks.size(); ++rank) {
+    // A rank a diff left untouched serializes as the clean chunk (epoch +
+    // six empty sections); everything else ships byte-for-byte.
+    if (chunk_is_clean(chunks[rank])) continue;
+    write_sparse_entry(w, rank, chunks[rank]);
+    ++ndirty;
+  }
+  std::memcpy(out.data() + ndirty_at, &ndirty, 4);
+  return out;
+}
+
+std::string expand_sparse_delta(std::string_view sparse) {
+  const ParsedSparse p = parse_sparse(sparse);
+  CRITTER_CHECK(p.mode == 1,
+                "sparse snapshot: expected a standalone delta (mode 1), got "
+                "a patch that needs its base");
+  std::string out;
+  BinWriter w{out};
+  w.raw(kMagic, sizeof kMagic);
+  w.u32(kVersion);
+  w.u32(p.nranks);
+  std::size_t next = 0;
+  for (std::uint32_t rank = 0; rank < p.nranks; ++rank) {
+    if (next < p.entries.size() && p.entries[next].rank == rank) {
+      const SparseEntry& e = p.entries[next++];
+      w.u64(e.len);
+      w.u64(e.sum);
+      w.raw(e.body, static_cast<std::size_t>(e.len));
+      continue;
+    }
+    const std::string body = clean_chunk_body(p.epochs[rank]);
+    w.u64(body.size());
+    w.u64(fnv1a(body.data(), body.size()));
+    w.raw(body.data(), body.size());
+  }
+  return out;
 }
 
 void StatSnapshot::save_file(const std::string& path, Format fmt) const {

@@ -62,6 +62,18 @@ struct KernelTable {
   ChannelRegistry channels;
   SizeModel size_model;  ///< cross-size extrapolation (§VIII)
   std::int64_t epoch = 0;
+  /// Dirty-tracking version counter (DESIGN.md §13): bumped by every
+  /// mutation path that can change the table's serialized bytes — merge,
+  /// epoch advance, statistics reset, wholesale restore.  Profiler writes
+  /// during a run are covered because every evaluation window opens with
+  /// new_epoch().  NOT serialized and NOT part of any equality: it is a
+  /// change *pre-filter* (an unchanged version means the chunk bytes are
+  /// unchanged; a changed version means "re-compare"), never the decider —
+  /// transport correctness always rests on byte comparison.
+  std::uint64_t version = 0;
+
+  /// Record a mutation for the dirty-tracking pre-filter.
+  void touch() { ++version; }
 
   /// Register the world communicator's channel (required before use).
   void init_world(int nranks) { channels.init_world(nranks); }
@@ -180,6 +192,76 @@ std::vector<KernelMoments> extract_moments(const StatSnapshot& snap);
 /// instead of re-deriving the moment algebra at every call site.
 KernelStats moments_to_stats(const KernelMoments& m);
 KernelMoments stats_to_moments(const KernelKey& key, const KernelStats& ks);
+
+// ---------------------------------------------------------------------------
+// Dirty-rank sparse transport (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+//
+// The v2 binary snapshot frames every rank table as a length-prefixed,
+// FNV-checksummed chunk.  The sparse codec rides that framing: a sparse
+// payload names only the *dirty* ranks and carries their chunks verbatim,
+// plus the authoritative per-rank epoch array (the epoch is the first 8
+// bytes of every chunk body, so a rank whose bytes changed only in its
+// epoch ships 8 bytes instead of its whole table).  Application is byte
+// splicing — chunk substitution plus an in-place epoch overwrite with a
+// checksum refresh — so sparse transport is *byte-equivalent* to shipping
+// the full snapshot: no float algebra, no ulp drift, bit-identity by
+// construction.  Two modes:
+//
+//   * mode 0 (patch): relative to a full v2 base payload the receiver
+//     already holds — the tuner daemon's TELL and journal records;
+//   * mode 1 (standalone delta): self-contained — a rank absent from the
+//     dirty list reconstructs as the canonical "clean" delta chunk (its
+//     epoch, zero records) — the exchange mailbox and checkpoint blobs.
+//     from_string() auto-detects mode-1 payloads and expands them, so
+//     every existing snapshot reader accepts sparse deltas unchanged.
+//
+// Every decoder is fuzz-hardened like the full codec: magic/version/mode
+// checked first, rank indices strictly ascending and bounded (duplicates
+// and overlaps rejected), every chunk length bounded by the bytes
+// remaining, every chunk checksum verified before use, trailing bytes
+// rejected.
+
+/// True when `bytes` lead with the sparse-payload magic ("CRSPRS1\n").
+bool is_sparse_payload(std::string_view bytes);
+
+/// Header summary of a sparse payload (validates magic/version/mode/nranks
+/// and the dirty count's bound, not the chunks).
+struct SparsePayloadInfo {
+  int mode = 0;               ///< 0 = patch-onto-base, 1 = standalone delta
+  std::uint32_t nranks = 0;   ///< rank count of the (base) snapshot
+  std::uint32_t ndirty = 0;   ///< ranks shipping a full chunk
+};
+SparsePayloadInfo sparse_payload_info(std::string_view bytes);
+
+/// Encode the mode-0 patch turning full v2 payload `base_full` into
+/// `new_full` (same rank count required).  A rank whose chunk bytes are
+/// unchanged — or differ only in the leading epoch field — ships no chunk;
+/// the decision is a byte comparison, never a version-counter shortcut.
+std::string encode_sparse_patch(std::string_view base_full,
+                                std::string_view new_full);
+
+/// Apply a mode-0 patch to a full v2 payload, returning the new full
+/// payload: exactly the `new_full` bytes encode_sparse_patch() saw.
+std::string apply_sparse_patch(std::string_view base_full,
+                               std::string_view patch);
+
+/// Apply a mode-0 patch to a cached (bytes, parsed) pair in lock step:
+/// `full_bytes` is spliced, and only the dirty ranks of `snap` are
+/// re-decoded (epoch-only ranks just overwrite the epoch field) — the
+/// tuner daemon's TELL hot path, which must not re-parse clean ranks.
+void apply_sparse_patch_in_place(std::string& full_bytes, StatSnapshot& snap,
+                                 std::string_view patch);
+
+/// Encode a snapshot as a mode-1 standalone sparse delta: ranks whose
+/// chunk equals the canonical clean chunk (epoch + zero records — what
+/// diff() produces for an untouched rank) are carried by the epoch array
+/// alone.  expand_sparse_delta(encode_sparse_delta(s)) == s.to_string().
+std::string encode_sparse_delta(const StatSnapshot& delta);
+
+/// Expand a mode-1 sparse delta to the exact full v2 payload it encodes.
+/// Rejects mode-0 patches (those need a base only their producer holds).
+std::string expand_sparse_delta(std::string_view sparse);
 
 /// Cross-version migration scaffolding: a hook registered for version `v`
 /// upgrades a snapshot decoded with version v's physical layout to the

@@ -16,7 +16,18 @@ namespace {
 
 constexpr char kCheckpointMagic[8] = {'C', 'R', 'C', 'K', 'P', 'T', '0', '1'};
 
-void write_snapshot_blob(WireWriter& w, const core::StatSnapshot& snap) {
+/// Write a snapshot's serialized payload.  When the caller carries the
+/// pre-serialized bytes (ShardCheckpoint::*_bytes) they are written
+/// verbatim — the blob is then bit-identical to the splice base the log's
+/// byte patches were computed against, and the snapshot is not serialized
+/// a second time.
+void write_snapshot_blob(WireWriter& w, const core::StatSnapshot& snap,
+                         const std::string& bytes) {
+  if (!bytes.empty()) {
+    w.i64(static_cast<std::int64_t>(bytes.size()));
+    w.raw(bytes.data(), bytes.size());
+    return;
+  }
   if (snap.empty()) {
     w.i64(0);
     return;
@@ -26,15 +37,19 @@ void write_snapshot_blob(WireWriter& w, const core::StatSnapshot& snap) {
   w.raw(blob.data(), blob.size());
 }
 
-core::StatSnapshot read_snapshot_blob(WireReader& r) {
+/// Read a snapshot blob, keeping both the decoded snapshot and the raw
+/// bytes (the splice base for byte patches).
+core::StatSnapshot read_snapshot_blob(WireReader& r, std::string* bytes) {
   const std::int64_t len = r.i64();
   CRITTER_CHECK(len >= 0 && r.pos + static_cast<std::size_t>(len) <=
                                 r.in.size(),
                 "shard checkpoint: truncated snapshot blob");
+  if (bytes) bytes->clear();
   if (len == 0) return {};
   const std::string_view blob =
       std::string_view(r.in).substr(r.pos, static_cast<std::size_t>(len));
   r.pos += static_cast<std::size_t>(len);
+  if (bytes) bytes->assign(blob);
   return core::StatSnapshot::from_string(blob);
 }
 
@@ -64,10 +79,10 @@ std::string serialize_checkpoint(const ShardCheckpoint& c) {
   w.i32(static_cast<std::int32_t>(c.totals.size()));
   for (const tune::ConfigTotals& t : c.totals) write_totals(w, t);
   w.u8(c.has_exchange_state ? 1 : 0);
-  write_snapshot_blob(w, c.full);
+  write_snapshot_blob(w, c.full, c.full_bytes);
   if (c.has_exchange_state) {
-    write_snapshot_blob(w, c.mark);
-    write_snapshot_blob(w, c.own);
+    write_snapshot_blob(w, c.mark, c.mark_bytes);
+    write_snapshot_blob(w, c.own, c.own_bytes);
   }
   // Payload-level checksum: the publish manifest already guards the file in
   // transit, this trailer guards the bytes at the source — any flip or
@@ -144,10 +159,10 @@ ShardCheckpoint parse_checkpoint(const std::string& payload,
   for (std::int32_t i = 0; i < ntotals; ++i)
     read_totals(r, c.totals[static_cast<std::size_t>(i)]);
   c.has_exchange_state = r.u8() != 0;
-  c.full = read_snapshot_blob(r);
+  c.full = read_snapshot_blob(r, &c.full_bytes);
   if (c.has_exchange_state) {
-    c.mark = read_snapshot_blob(r);
-    c.own = read_snapshot_blob(r);
+    c.mark = read_snapshot_blob(r, &c.mark_bytes);
+    c.own = read_snapshot_blob(r, &c.own_bytes);
   }
   CRITTER_CHECK(r.pos == payload.size() - 8,
                 "shard checkpoint: trailing garbage");
@@ -156,7 +171,45 @@ ShardCheckpoint parse_checkpoint(const std::string& payload,
 
 namespace {
 
-constexpr char kIncrementMagic[8] = {'C', 'R', 'C', 'K', 'I', 'N', 'C', '1'};
+// Version 2: the statistics fields switched from StatSnapshot::diff deltas
+// (merged back on resume) to byte patches (spliced on resume).  A CRCKINC1
+// log cannot extend a CRCKINC2 reader's base — parse_increment rejects the
+// old magic, load_latest_checkpoint stops at the first unreadable record,
+// and the resume costs at most the increments since the last full slot.
+constexpr char kIncrementMagic[8] = {'C', 'R', 'C', 'K', 'I', 'N', 'C', '2'};
+
+void write_patch_blob(WireWriter& w, const std::string& patch) {
+  w.i64(static_cast<std::int64_t>(patch.size()));
+  w.raw(patch.data(), patch.size());
+}
+
+std::string read_patch_blob(WireReader& r) {
+  const std::int64_t len = r.i64();
+  CRITTER_CHECK(len >= 0 && r.pos + static_cast<std::size_t>(len) <=
+                                r.in.size(),
+                "checkpoint increment: truncated patch blob");
+  std::string out(r.in.data() + r.pos, static_cast<std::size_t>(len));
+  r.pos += static_cast<std::size_t>(len);
+  // Shape check only ("" / sparse / full snapshot payload); the chunk-level
+  // validation happens when apply_increment splices and re-decodes.
+  CRITTER_CHECK(out.empty() || core::is_sparse_payload(out) ||
+                    out.front() == 'C',
+                "checkpoint increment: patch blob is neither empty, sparse, "
+                "nor a snapshot payload");
+  return out;
+}
+
+/// Resolve one increment patch field against the base payload bytes.
+std::string patch_bytes(const std::string& base, const std::string& patch) {
+  if (patch.empty()) return base;  // unchanged
+  if (core::is_sparse_payload(patch)) return core::apply_sparse_patch(base, patch);
+  return patch;  // wholesale replacement (empty -> non-empty transitions)
+}
+
+core::StatSnapshot decode_or_empty(const std::string& bytes) {
+  if (bytes.empty()) return {};
+  return core::StatSnapshot::from_string(bytes);
+}
 
 }  // namespace
 
@@ -188,10 +241,10 @@ std::string serialize_increment(const CheckpointIncrement& inc) {
     write_totals(w, t);
   }
   w.u8(inc.has_exchange_state ? 1 : 0);
-  write_snapshot_blob(w, inc.full_delta);
+  write_patch_blob(w, inc.full_patch);
   if (inc.has_exchange_state) {
-    write_snapshot_blob(w, inc.mark_delta);
-    write_snapshot_blob(w, inc.own_delta);
+    write_patch_blob(w, inc.mark_patch);
+    write_patch_blob(w, inc.own_patch);
   }
   return w.out;
 }
@@ -265,10 +318,10 @@ CheckpointIncrement parse_increment(const std::string& payload,
     read_totals(r, inc.dirty_totals[static_cast<std::size_t>(i)].second);
   }
   inc.has_exchange_state = r.u8() != 0;
-  inc.full_delta = read_snapshot_blob(r);
+  inc.full_patch = read_patch_blob(r);
   if (inc.has_exchange_state) {
-    inc.mark_delta = read_snapshot_blob(r);
-    inc.own_delta = read_snapshot_blob(r);
+    inc.mark_patch = read_patch_blob(r);
+    inc.own_patch = read_patch_blob(r);
   }
   CRITTER_CHECK(r.pos == payload.size(),
                 "checkpoint increment: trailing garbage");
@@ -293,6 +346,19 @@ void apply_increment(ShardCheckpoint& ck, std::int64_t base_seq,
   for (const auto& [idx, t] : inc.dirty_totals)
     CRITTER_CHECK(static_cast<std::size_t>(idx) < ck.totals.size(),
                   "checkpoint increment: dirty-totals index out of range");
+  // Resolve every byte patch (and re-decode the results — which validates
+  // each spliced payload chunk by chunk) before mutating anything, so a
+  // patch that does not fit its base leaves `ck` untouched.
+  std::string full_bytes = patch_bytes(ck.full_bytes, inc.full_patch);
+  std::string mark_bytes, own_bytes;
+  if (inc.has_exchange_state) {
+    mark_bytes = patch_bytes(ck.mark_bytes, inc.mark_patch);
+    own_bytes = patch_bytes(ck.own_bytes, inc.own_patch);
+  }
+  core::StatSnapshot full, mark, own;
+  if (!inc.full_patch.empty()) full = decode_or_empty(full_bytes);
+  if (!inc.mark_patch.empty()) mark = decode_or_empty(mark_bytes);
+  if (!inc.own_patch.empty()) own = decode_or_empty(own_bytes);
   ck.seq = inc.seq;
   ck.batches = inc.batches;
   ck.rounds = inc.rounds;
@@ -304,25 +370,13 @@ void apply_increment(ShardCheckpoint& ck, std::int64_t base_seq,
     ck.told.push_back(std::move(tb));
   for (auto& [idx, t] : inc.dirty_totals)
     ck.totals[static_cast<std::size_t>(idx)] = t;
-  if (!inc.full_delta.empty()) {
-    if (ck.full.empty())
-      ck.full = std::move(inc.full_delta);
-    else
-      ck.full.merge(inc.full_delta);
-  }
+  ck.full_bytes = std::move(full_bytes);
+  if (!inc.full_patch.empty()) ck.full = std::move(full);
   if (inc.has_exchange_state) {
-    if (!inc.mark_delta.empty()) {
-      if (ck.mark.empty())
-        ck.mark = std::move(inc.mark_delta);
-      else
-        ck.mark.merge(inc.mark_delta);
-    }
-    if (!inc.own_delta.empty()) {
-      if (ck.own.empty())
-        ck.own = std::move(inc.own_delta);
-      else
-        ck.own.merge(inc.own_delta);
-    }
+    ck.mark_bytes = std::move(mark_bytes);
+    ck.own_bytes = std::move(own_bytes);
+    if (!inc.mark_patch.empty()) ck.mark = std::move(mark);
+    if (!inc.own_patch.empty()) ck.own = std::move(own);
   }
 }
 

@@ -58,6 +58,15 @@ struct ShardCheckpoint {
   bool has_exchange_state = false;
   core::StatSnapshot mark;  ///< delta baseline (exchange on)
   core::StatSnapshot own;   ///< own-contribution accumulator (exchange on)
+  /// Serialized v2 payloads of the three snapshots ("" = empty snapshot).
+  /// parse_checkpoint fills them alongside the decoded snapshots; they are
+  /// the splice bases for the log's byte patches (apply_increment), and
+  /// serialize_checkpoint reuses them verbatim when set — sparing a
+  /// re-serialization and guaranteeing the written blob is the exact byte
+  /// string the patches were computed against.
+  std::string full_bytes;
+  std::string mark_bytes;
+  std::string own_bytes;
 };
 
 /// Incremental checkpoint record.  Between two full checkpoints a worker
@@ -67,12 +76,23 @@ struct ShardCheckpoint {
 /// while what a single checkpoint actually adds stays constant-sized.  An
 /// increment carries only the change since the previous record (full or
 /// increment): the advanced cursors, the newly told batches and skips, the
-/// totals of the configurations those batches touched, and exact
-/// statistics deltas (StatSnapshot::diff) for the session state and — with
-/// exchange on — the mark/own snapshots.  Resume loads the best full slot
-/// and replays the longest valid prefix of the log on top of it
-/// (apply_increment), so a torn append costs at most one checkpoint of
-/// progress, never the base.
+/// totals of the configurations those batches touched, and *byte patches*
+/// for the session statistics and — with exchange on — the mark/own
+/// snapshots.  Each patch field is one of:
+///
+///   * "" — the snapshot's serialized bytes are unchanged;
+///   * a mode-0 sparse payload (core::encode_sparse_patch, DESIGN.md §13)
+///     that splices dirty rank chunks onto the previous record's bytes;
+///   * a full CRSTAT payload — wholesale replacement, used when the
+///     previous record had no snapshot to patch (empty -> non-empty).
+///
+/// Byte patches replace the StatSnapshot::diff deltas of the original
+/// CRCKINC1 scheme: a spliced payload is the *exact* byte string the worker
+/// held, where diff + merge reconstruction — though exact by the merge
+/// algebra — still paid a full semantic walk on both ends.  Resume loads
+/// the best full slot and replays the longest valid prefix of the log on
+/// top of it (apply_increment), so a torn append costs at most one
+/// checkpoint of progress, never the base.
 struct CheckpointIncrement {
   std::int64_t base_seq = 0;  ///< seq of the full checkpoint the log extends
   std::int64_t seq = 0;       ///< overall checkpoint sequence number
@@ -86,10 +106,10 @@ struct CheckpointIncrement {
   /// Rewritten totals, as (range-relative index, value), ascending — the
   /// dirty subset named by the new batches' positions.
   std::vector<std::pair<int, tune::ConfigTotals>> dirty_totals;
-  core::StatSnapshot full_delta;  ///< session stats since the previous record
+  std::string full_patch;  ///< session-stats byte patch since previous record
   bool has_exchange_state = false;
-  core::StatSnapshot mark_delta;  ///< delta baseline movement (exchange on)
-  core::StatSnapshot own_delta;   ///< own-contribution growth (exchange on)
+  std::string mark_patch;  ///< delta-baseline byte patch (exchange on)
+  std::string own_patch;   ///< own-contribution byte patch (exchange on)
 };
 
 std::string serialize_checkpoint(const ShardCheckpoint& c);
@@ -104,8 +124,11 @@ CheckpointIncrement parse_increment(const std::string& payload,
                                     const ShardRange& range);
 
 /// Extend `ck` — a full checkpoint, possibly already extended — by one
-/// increment.  Throws on any discontinuity: wrong base, sequence gap, or
-/// cursors that do not add up; `ck` is unchanged on throw.
+/// increment.  Byte patches splice onto ck's *_bytes fields and the decoded
+/// snapshots are refreshed from the spliced payloads (which re-validates
+/// every patched chunk).  Throws on any discontinuity: wrong base, sequence
+/// gap, cursors that do not add up, or a patch that does not fit its base;
+/// `ck` is unchanged on throw.
 void apply_increment(ShardCheckpoint& ck, std::int64_t base_seq,
                      CheckpointIncrement&& inc);
 

@@ -189,6 +189,7 @@ tune::TuneResult run_sharded(const tune::Study& study,
     }
     out.evaluated_configs += r.evaluated;
     out.exchange_rounds += r.exchange_rounds;
+    out.exchange_bytes += r.exchange_bytes;
     out.exchange_skips += r.exchange_skips;
     tune::ShardRecovery rec;
     rec.shard = sr.index;

@@ -169,6 +169,13 @@ std::string build_run_manifest(const tune::Study& study, bool paper_scale,
   os << "exchange_deadline_s=" << hex_double(fault.exchange_deadline_s)
      << "\n";
   os << "checkpoint_every=" << fault.checkpoint_every << "\n";
+  // Exchange-mailbox garbage collection (DESIGN.md §13) is only sound when
+  // no worker can ever resume and replay history: a retried shard re-reads
+  // its absorbed deltas from the mailbox, so any checkpoint/retry policy
+  // pins the full delta history for the run's lifetime.
+  os << "gc_exchange="
+     << (fault.checkpoint_every <= 0 && fault.max_retries == 0 ? 1 : 0)
+     << "\n";
   CRITTER_CHECK(fault_injection.find('\n') == std::string::npos,
                 "fault-injection spec must be single-line");
   os << "fault=" << fault_injection << "\n";

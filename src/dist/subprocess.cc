@@ -62,7 +62,7 @@ namespace {
 // ShardResult wire format (framing helpers in dist/wire.hpp)
 // ---------------------------------------------------------------------------
 
-constexpr char kResultMagic[8] = {'C', 'R', 'S', 'H', 'R', 'E', 'S', '2'};
+constexpr char kResultMagic[8] = {'C', 'R', 'S', 'H', 'R', 'E', 'S', '3'};
 
 std::string serialize_result(const ShardResult& r) {
   WireWriter w;
@@ -80,6 +80,7 @@ std::string serialize_result(const ShardResult& r) {
   w.i32(r.exchange_skips);
   w.i32(r.checkpoints);
   w.i32(r.resumed_batches);
+  w.i64(r.exchange_bytes);
   for (std::size_t j = 0; j < r.outcomes.size(); ++j) {
     write_outcome(w, r.outcomes[j]);
     write_totals(w, r.totals[j]);
@@ -121,6 +122,7 @@ ShardResult parse_result(const std::string& payload, const tune::Study& study,
   out.exchange_skips = r.i32();
   out.checkpoints = r.i32();
   out.resumed_batches = r.i32();
+  out.exchange_bytes = r.i64();
   const int n = expect.end - expect.begin;
   out.outcomes.resize(n);
   out.totals.resize(n);
@@ -152,6 +154,15 @@ std::string done_name(int shard) {
   std::string n = "s";
   n += std::to_string(shard);
   n += ".done";
+  return n;
+}
+/// Fold-progress marker for mailbox GC: "rounds=<n>" = this shard has
+/// completed n full fold rounds, i.e. consumed every peer's round-(n-1)
+/// delta.  Plain put (monotonic counter; readers tolerate absence).
+std::string progress_name(int shard) {
+  std::string n = "s";
+  n += std::to_string(shard);
+  n += ".progress";
   return n;
 }
 
@@ -300,7 +311,32 @@ struct Heartbeat {
 struct PeerWait {
   bool skipped = false;
   core::StatSnapshot snap;
+  std::int64_t bytes = 0;  ///< mailbox payload size (wire accounting)
 };
+
+/// Per-rank dirty-tracking versions of a snapshot (DESIGN.md §13).  Equal
+/// vectors mean "no table was reassigned or mutated since the last capture"
+/// — every mutation path bumps, and the profiler store's counters only
+/// grow, so equality is a sound pre-filter for skipping re-serialization.
+std::vector<std::uint64_t> version_vector(const core::StatSnapshot& s) {
+  std::vector<std::uint64_t> v;
+  v.reserve(s.ranks.size());
+  for (const core::KernelTable& t : s.ranks) v.push_back(t.version);
+  return v;
+}
+
+/// One checkpoint-increment patch field: "" when the serialized state is
+/// byte-identical, a wholesale payload when the previous record had none,
+/// otherwise a mode-0 sparse patch shipping only dirty rank chunks.  Throws
+/// when the transition cannot be patched (state reset to empty, rank-count
+/// change); the caller falls back to a full checkpoint slot.
+std::string make_patch(const std::string& base, const std::string& cur) {
+  if (base == cur) return {};
+  if (base.empty()) return cur;
+  CRITTER_CHECK(!cur.empty(),
+                "checkpoint increment: statistics state reset to empty");
+  return core::encode_sparse_patch(base, cur);
+}
 
 /// Block until peer `p`'s round-`round` delta is available or provably
 /// absent (the peer finished earlier).  Strict mode fails on a corrupt
@@ -322,7 +358,8 @@ PeerWait await_peer_delta(net::Store& store, int p, int round,
         // Empty payload: the peer session has no shared statistics to
         // trade (isolated mode) — a published, verifiable nothing.
         if (payload.empty()) return {};
-        return {false, core::StatSnapshot::from_string(payload)};
+        return {false, core::StatSnapshot::from_string(payload),
+                static_cast<std::int64_t>(payload.size())};
       } catch (...) {
         if (strict) throw;
         return {true, {}};
@@ -462,6 +499,12 @@ int worker_body(const WorkerArgs& args) {
   const std::string shard_key = "shard" + std::to_string(args.shard);
   const FaultSpec fault = shard_fault(args.shard, m);
   const bool exchanging = every > 0 && nshards > 1;
+  // Mailbox GC (DESIGN.md §13): the launcher grants it only for runs that
+  // can never resume-and-replay (no checkpoints, no retries) — a replaying
+  // worker re-reads historical deltas, so GC would tear its history out
+  // from under it.  Absent key (older manifest) means off.
+  const auto git = m.find("gc_exchange");
+  const bool gc = exchanging && git != m.end() && git->second == "1";
 
   Heartbeat hb{&store, shard_key + "/heartbeat"};
   if (fault.mode == "crash-on-start" && fault_fires(shard_dir, fault))
@@ -474,14 +517,21 @@ int worker_body(const WorkerArgs& args) {
   std::vector<std::pair<int, int>> skipped;
   int batches = 0, round = 0, in_round = 0, skips = 0, resumed_batches = 0;
   std::int64_t ckpt_seq = 0;
+  // Mailbox traffic this attempt moved: published delta payloads plus live
+  // peer reads (replay re-reads during resume are history, not new wire).
+  std::int64_t exchange_bytes = 0;
+  int gc_next = 0;  ///< first own-delta round not yet retired by GC
   // Incremental-checkpoint bookkeeping: the base full checkpoint the log
   // extends, the slot the *next* full should use (always the one not
   // holding the current base), and the state as of the previous record so
-  // increments can carry exact deltas (snapshots) and suffixes (told,
-  // skipped).
+  // increments can carry byte patches (serialized payloads) and suffixes
+  // (told, skipped).  The version vectors pre-filter mark/own work: those
+  // snapshots only move at exchange rounds, so most checkpoints skip their
+  // serialization outright.
   std::int64_t ckpt_base_seq = 0;
   std::string next_full_slot = "ckpt_a.bin";
-  core::StatSnapshot prev_full, prev_mark, prev_own;
+  std::string prev_full_bytes, prev_mark_bytes, prev_own_bytes;
+  std::vector<std::uint64_t> prev_mark_vers, prev_own_vers;
   std::size_t prev_told = 0, prev_skipped = 0;
   const std::string ckpt_log = shard_dir + "/ckpt_log.bin";
   // Probe for resumable checkpoints regardless of ckpt_every: a signal-
@@ -504,9 +554,11 @@ int worker_body(const WorkerArgs& args) {
         ckpt_seq = ck.seq;
         next_full_slot =
             base_slot == "ckpt_a.bin" ? "ckpt_b.bin" : "ckpt_a.bin";
-        prev_full = std::move(ck.full);
-        prev_mark = std::move(ck.mark);
-        prev_own = std::move(ck.own);
+        prev_full_bytes = std::move(ck.full_bytes);
+        prev_mark_bytes = std::move(ck.mark_bytes);
+        prev_own_bytes = std::move(ck.own_bytes);
+        prev_mark_vers = version_vector(ss->mark());
+        prev_own_vers = version_vector(ss->own_stats());
         told = std::move(ck.told);
         prev_told = told.size();
         prev_skipped = skipped.size();
@@ -522,9 +574,11 @@ int worker_body(const WorkerArgs& args) {
         ckpt_seq = 0;
         ckpt_base_seq = 0;
         next_full_slot = "ckpt_a.bin";
-        prev_full = {};
-        prev_mark = {};
-        prev_own = {};
+        prev_full_bytes.clear();
+        prev_mark_bytes.clear();
+        prev_own_bytes.clear();
+        prev_mark_vers.clear();
+        prev_own_vers.clear();
         prev_told = prev_skipped = 0;
       }
     }
@@ -537,7 +591,10 @@ int worker_body(const WorkerArgs& args) {
   const auto publish_delta = [&](int round_no) {
     const core::StatSnapshot delta = ss->take_delta();
     std::string payload;
-    if (!delta.empty()) payload = delta.to_string();
+    // Mode-1 sparse encoding: ranks the round left untouched collapse to an
+    // entry in the epoch array.  Readers auto-expand via from_string to the
+    // exact full payload, so the fold stays bit-identical.
+    if (!delta.empty()) payload = core::encode_sparse_delta(delta);
     if (fault.mode == "slow-exchange" && round_no == 0 &&
         fault_fires(shard_dir, fault)) {
       // A slow peer, not a dead one: keep beating while stalling so the
@@ -560,9 +617,11 @@ int worker_body(const WorkerArgs& args) {
       std::string bad = payload.empty() ? std::string("x") : payload;
       bad[0] = static_cast<char>(bad[0] ^ 0x5a);
       store.publish("exchange/" + delta_name(range.index, round_no), bad);
+      exchange_bytes += static_cast<std::int64_t>(bad.size());
       return;
     }
     store.publish("exchange/" + delta_name(range.index, round_no), payload);
+    exchange_bytes += static_cast<std::int64_t>(payload.size());
   };
 
   // A full checkpoint every kIncrementsPerFull records bounds both the log
@@ -574,24 +633,45 @@ int worker_body(const WorkerArgs& args) {
     ++ckpt_seq;
     ++checkpoints_taken;
     const int ordinal = fault.arg > 0 ? static_cast<int>(fault.arg) : 2;
+    // Serialize the session state once; what ships is decided by byte
+    // comparison against the previous record's payload (DESIGN.md §13).
     core::StatSnapshot cur_full = ss->session().export_state();
-    core::StatSnapshot cur_mark, cur_own;
+    std::string cur_full_bytes;
+    if (!cur_full.empty()) cur_full_bytes = cur_full.to_string();
+    // mark/own only move at exchange rounds: when their per-rank version
+    // vectors are unchanged the bytes provably are too, and both the
+    // serialization and the patch are skipped.
+    std::vector<std::uint64_t> cur_mark_vers, cur_own_vers;
+    std::string cur_mark_bytes, cur_own_bytes;
+    bool mark_same = false, own_same = false;
     if (exchanging) {
-      cur_mark = ss->mark();
-      cur_own = ss->own_stats();
+      cur_mark_vers = version_vector(ss->mark());
+      cur_own_vers = version_vector(ss->own_stats());
+      mark_same = !prev_mark_vers.empty() && cur_mark_vers == prev_mark_vers;
+      own_same = !prev_own_vers.empty() && cur_own_vers == prev_own_vers;
+      if (mark_same)
+        cur_mark_bytes = prev_mark_bytes;
+      else if (!ss->mark().empty())
+        cur_mark_bytes = ss->mark().to_string();
+      if (own_same)
+        cur_own_bytes = prev_own_bytes;
+      else if (!ss->own_stats().empty())
+        cur_own_bytes = ss->own_stats().to_string();
     }
     if (!force_full && ckpt_base_seq > 0 &&
         ckpt_seq - ckpt_base_seq <= kIncrementsPerFull) {
       CheckpointIncrement inc;
       bool delta_ok = true;
       try {
-        // Exact merge inverses against the previous record's snapshots.
-        // diff() throws if the state did not evolve monotonically (e.g. a
-        // reset); the record then falls back to a full checkpoint.
-        inc.full_delta = cur_full.diff(prev_full);
+        // Byte patches against the previous record's payloads.  make_patch
+        // throws if the state did not evolve patchably (e.g. a reset); the
+        // record then falls back to a full checkpoint.
+        inc.full_patch = make_patch(prev_full_bytes, cur_full_bytes);
         if (exchanging) {
-          inc.mark_delta = cur_mark.diff(prev_mark);
-          inc.own_delta = cur_own.diff(prev_own);
+          if (!mark_same)
+            inc.mark_patch = make_patch(prev_mark_bytes, cur_mark_bytes);
+          if (!own_same)
+            inc.own_patch = make_patch(prev_own_bytes, cur_own_bytes);
         }
       } catch (const std::exception&) {
         delta_ok = false;
@@ -631,9 +711,13 @@ int worker_body(const WorkerArgs& args) {
           ::_exit(43);
         }
         append_file(ckpt_log, rec);
-        prev_full = std::move(cur_full);
-        prev_mark = std::move(cur_mark);
-        prev_own = std::move(cur_own);
+        prev_full_bytes = std::move(cur_full_bytes);
+        if (exchanging) {
+          prev_mark_bytes = std::move(cur_mark_bytes);
+          prev_own_bytes = std::move(cur_own_bytes);
+          prev_mark_vers = std::move(cur_mark_vers);
+          prev_own_vers = std::move(cur_own_vers);
+        }
         prev_told = told.size();
         prev_skipped = skipped.size();
         return;
@@ -650,10 +734,13 @@ int worker_body(const WorkerArgs& args) {
     c.totals.assign(ss->session().totals().begin() + range.begin,
                     ss->session().totals().begin() + range.end);
     c.full = std::move(cur_full);
+    c.full_bytes = std::move(cur_full_bytes);
     if (exchanging) {
+      // The byte payloads alone feed serialize_checkpoint (written
+      // verbatim); the decoded mark/own snapshots are not needed here.
       c.has_exchange_state = true;
-      c.mark = std::move(cur_mark);
-      c.own = std::move(cur_own);
+      c.mark_bytes = std::move(cur_mark_bytes);
+      c.own_bytes = std::move(cur_own_bytes);
     }
     const std::string payload = serialize_checkpoint(c);
     const std::string slot = next_full_slot;
@@ -679,9 +766,11 @@ int worker_body(const WorkerArgs& args) {
     ckpt_base_seq = ckpt_seq;
     next_full_slot =
         slot == "ckpt_a.bin" ? std::string("ckpt_b.bin") : "ckpt_a.bin";
-    prev_full = std::move(c.full);
-    prev_mark = std::move(c.mark);
-    prev_own = std::move(c.own);
+    prev_full_bytes = std::move(c.full_bytes);
+    prev_mark_bytes = std::move(c.mark_bytes);
+    prev_own_bytes = std::move(c.own_bytes);
+    prev_mark_vers = std::move(cur_mark_vers);
+    prev_own_vers = std::move(cur_own_vers);
     prev_told = told.size();
     prev_skipped = skipped.size();
   };
@@ -732,10 +821,35 @@ int worker_body(const WorkerArgs& args) {
         } else if (!peer.snap.empty()) {
           ss->absorb(peer.snap);
         }
+        exchange_bytes += peer.bytes;
       }
       ss->refresh_mark();
       ++round;
       in_round = 0;
+      if (gc) {
+        // Advertise the fold we just completed, then retire own deltas
+        // every peer has provably consumed (their progress counters are
+        // past that round).  An unreadable or absent peer marker counts
+        // as zero — GC waits rather than guesses.
+        store.put("exchange/" + progress_name(range.index),
+                  "rounds=" + std::to_string(round) + "\n");
+        int min_rounds = round;
+        for (int p = 0; p < nshards && min_rounds > gc_next; ++p) {
+          if (p == range.index) continue;
+          int rounds = 0;
+          try {
+            const std::string marker =
+                store.get("exchange/" + progress_name(p));
+            if (std::sscanf(marker.c_str(), "rounds=%d", &rounds) != 1)
+              rounds = 0;
+          } catch (...) {
+            rounds = 0;
+          }
+          min_rounds = std::min(min_rounds, rounds);
+        }
+        for (; gc_next < min_rounds; ++gc_next)
+          store.remove("exchange/" + delta_name(range.index, gc_next));
+      }
     }
     if (ckpt_every > 0 && batches % ckpt_every == 0) take_checkpoint();
   }
@@ -760,6 +874,7 @@ int worker_body(const WorkerArgs& args) {
   result.exchange_skips = skips;
   result.checkpoints = checkpoints_taken;
   result.resumed_batches = resumed_batches;
+  result.exchange_bytes = exchange_bytes;
 
   if (fault.mode == "skip-result") return 0;
   store.publish(shard_key + "/result.bin", serialize_result(result));
@@ -1105,6 +1220,18 @@ std::vector<ShardResult> SubprocessExecutor::run(
   const std::vector<ShardResult> results =
       run_fleet(study, opt, shards, exchange, opts_.fault, binary, run_dir,
                 *store, connect);
+
+  // End-of-run mailbox sweep: every result is in hand, so no worker will
+  // read another delta — retire whatever the in-run GC couldn't (trailing
+  // rounds, early-finisher tails) plus the progress markers.  Idempotent;
+  // done markers stay (they are the mailbox's historical record).
+  if (exchange.every > 0 && shards.size() > 1) {
+    for (const ShardResult& r : results) {
+      for (int j = 0; j < r.exchange_rounds; ++j)
+        store->remove("exchange/" + delta_name(r.range.index, j));
+      store->remove("exchange/" + progress_name(r.range.index));
+    }
+  }
 
   if (server) server->stop();
   if (temp_dir && !opts_.keep_run_dir) remove_dir_tree(run_dir);

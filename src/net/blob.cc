@@ -1,5 +1,6 @@
 #include "net/blob.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -73,6 +74,14 @@ std::string DirStore::read_published(const std::string& key) {
   return core::read_published(dir, name);
 }
 
+void DirStore::remove(const std::string& key) {
+  // Manifest first, then payload (the publish order reversed): a reader
+  // polling published() stops seeing the key before the payload can go
+  // missing under it.  ENOENT is the idempotent no-op.
+  std::remove((root_ + "/" + key + ".ok").c_str());
+  std::remove((root_ + "/" + key).c_str());
+}
+
 void MemStore::put(const std::string& key, const std::string& content) {
   std::lock_guard<std::mutex> lk(mu_);
   blobs_[key] = content;
@@ -114,6 +123,12 @@ std::string MemStore::read_published(const std::string& key) {
                 "stale manifest " + key + ": payload is missing");
   core::check_publish_manifest(mit->second, bit->second, key);
   return bit->second;
+}
+
+void MemStore::remove(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  manifests_.erase(key);
+  blobs_.erase(key);
 }
 
 BlobServer::BlobServer(Store& store, int port) : store_(store) {
@@ -184,6 +199,9 @@ void BlobServer::serve_connection(Connection conn) {
           case kBlobReadPublished:
             reply = store_.read_published(key);
             break;
+          case kBlobRemove:
+            store_.remove(key);
+            break;
           default:
             verb = kErr;
             reply = "blob server: verb " + std::to_string(req.verb) +
@@ -245,6 +263,10 @@ bool BlobClient::published(const std::string& key) {
 
 std::string BlobClient::read_published(const std::string& key) {
   return request(kBlobReadPublished, pack_key(key));
+}
+
+void BlobClient::remove(const std::string& key) {
+  request(kBlobRemove, pack_key(key));
 }
 
 }  // namespace critter::net

@@ -40,6 +40,13 @@ class Store {
   /// Read a published payload, verifying the manifest; throws "stale
   /// manifest ..." on any mismatch, exactly like the run-directory reader.
   virtual std::string read_published(const std::string& key) = 0;
+  /// Delete a blob and (if published) its manifest.  Removing an absent
+  /// key is a no-op — the garbage-collection primitive (DESIGN.md §13):
+  /// workers retire exchange-round deltas every peer has folded, so a
+  /// long sweep's mailbox stays bounded by the live window, not its
+  /// history.  Manifest goes first (mirror-image of publish): a reader
+  /// that still sees one never finds a half-deleted payload "published".
+  virtual void remove(const std::string& key) = 0;
 };
 
 /// A run directory as a Store — the historical layout, byte-for-byte.
@@ -52,6 +59,7 @@ class DirStore final : public Store {
   void publish(const std::string& key, const std::string& payload) override;
   bool published(const std::string& key) override;
   std::string read_published(const std::string& key) override;
+  void remove(const std::string& key) override;
 
  private:
   std::string root_;
@@ -67,6 +75,7 @@ class MemStore final : public Store {
   void publish(const std::string& key, const std::string& payload) override;
   bool published(const std::string& key) override;
   std::string read_published(const std::string& key) override;
+  void remove(const std::string& key) override;
 
  private:
   std::mutex mu_;
@@ -114,6 +123,7 @@ class BlobClient final : public Store {
   void publish(const std::string& key, const std::string& payload) override;
   bool published(const std::string& key) override;
   std::string read_published(const std::string& key) override;
+  void remove(const std::string& key) override;
 
  private:
   std::string request(std::uint32_t verb, const std::string& payload);

@@ -116,6 +116,7 @@ void send_frame(Connection& conn, std::uint32_t verb,
                 const std::string& payload, double deadline_s) {
   const std::string bytes = encode_frame(verb, payload);
   conn.send_all(bytes.data(), bytes.size(), deadline_s);
+  note_frame_sent();
 }
 
 bool recv_frame_opt(Connection& conn, Frame& out, double deadline_s,
@@ -129,6 +130,7 @@ bool recv_frame_opt(Connection& conn, Frame& out, double deadline_s,
   if (h.length > 0)
     conn.recv_all(out.payload.data(), out.payload.size(), deadline_s);
   check_payload(h, out.payload);
+  note_frame_received();
   return true;
 }
 

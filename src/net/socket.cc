@@ -1,5 +1,6 @@
 #include "net/socket.hpp"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <string>
@@ -20,6 +21,14 @@ namespace critter::net {
 namespace {
 
 std::string errno_str() { return std::strerror(errno); }
+
+// Wire accounting (socket.hpp): counted on completed transfers only — a
+// transfer that throws mid-way tears its connection, so partial counts
+// would meter traffic no layer above ever saw.
+std::atomic<std::uint64_t> g_bytes_sent{0};
+std::atomic<std::uint64_t> g_bytes_received{0};
+std::atomic<std::uint64_t> g_frames_sent{0};
+std::atomic<std::uint64_t> g_frames_received{0};
 
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -63,6 +72,30 @@ sockaddr_in make_addr(const std::string& host, int port) {
 }
 
 }  // namespace
+
+WireCounters wire_counters() {
+  WireCounters c;
+  c.bytes_sent = g_bytes_sent.load(std::memory_order_relaxed);
+  c.bytes_received = g_bytes_received.load(std::memory_order_relaxed);
+  c.frames_sent = g_frames_sent.load(std::memory_order_relaxed);
+  c.frames_received = g_frames_received.load(std::memory_order_relaxed);
+  return c;
+}
+
+void reset_wire_counters() {
+  g_bytes_sent.store(0, std::memory_order_relaxed);
+  g_bytes_received.store(0, std::memory_order_relaxed);
+  g_frames_sent.store(0, std::memory_order_relaxed);
+  g_frames_received.store(0, std::memory_order_relaxed);
+}
+
+void note_frame_sent() {
+  g_frames_sent.fetch_add(1, std::memory_order_relaxed);
+}
+
+void note_frame_received() {
+  g_frames_received.fetch_add(1, std::memory_order_relaxed);
+}
 
 Address parse_address(const std::string& spec) {
   const std::size_t colon = spec.rfind(':');
@@ -171,6 +204,7 @@ void Connection::send_all(const void* p, std::size_t n, double deadline_s) {
                              std::string(k < 0 ? errno_str()
                                                : "peer closed connection"));
   }
+  g_bytes_sent.fetch_add(n, std::memory_order_relaxed);
 }
 
 bool Connection::recv_all_opt(void* p, std::size_t n, double deadline_s) {
@@ -201,6 +235,7 @@ bool Connection::recv_all_opt(void* p, std::size_t n, double deadline_s) {
     if (errno == EINTR) continue;
     CRITTER_CHECK(false, "net: recv failed: " + errno_str());
   }
+  g_bytes_received.fetch_add(n, std::memory_order_relaxed);
   return true;
 }
 

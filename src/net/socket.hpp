@@ -13,9 +13,31 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace critter::net {
+
+/// Process-wide wire accounting: every byte send_all() pushes and
+/// recv_all()/recv_all_opt() drains, and every frame the frame codec
+/// (net/frame.hpp) completes, land in one set of atomic counters — the
+/// substrate for `tunectl status --wire`, the shard workers'
+/// exchange-byte reporting, and the bench harness's bytes_per_tell /
+/// bytes_per_exchange_round metrics (sparse transport made the payloads
+/// worth metering, DESIGN.md §13).  Counters are monotonic within the
+/// process and cheap (relaxed atomics on the transfer path);
+/// reset_wire_counters() zeroes them for interval measurements.
+struct WireCounters {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+};
+WireCounters wire_counters();
+void reset_wire_counters();
+/// Frame-codec completion hooks (called by net/frame.cc only).
+void note_frame_sent();
+void note_frame_received();
 
 /// "host:port" -> (host, port); CRITTER_CHECK-fails on malformed input.
 struct Address {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/fsio.hpp"
+#include "core/stat_store.hpp"
 #include "dist/manifest.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
@@ -66,6 +67,11 @@ net::Frame TunerClient::request(std::uint32_t verb,
 void TunerClient::ensure_open() {
   if (opened_ && conn_ != nullptr && conn_->valid()) return;
   opened_ = false;
+  // A (re)connect invalidates the generation cache: tokens are only
+  // comparable within one daemon lifetime, and a restarted daemon restarts
+  // them — the first ask after any reconnect must fetch full state.
+  held_state_.clear();
+  held_gen_ = 0;
   conn_ = std::make_unique<net::Connection>(net::Connection::connect(
       copt_.host, copt_.port, copt_.connect_deadline_s));
   net::send_frame(*conn_, net::kHello, kTuneService, copt_.op_deadline_s);
@@ -89,8 +95,10 @@ ClientReport TunerClient::run() {
     try {
       ensure_open();
       double t0 = core::monotonic_s();
-      const net::Frame arf =
-          request(net::kTuneAsk, encode_session_ref(session_));
+      AskRequest arq;
+      arq.session = session_;
+      arq.have_gen = held_gen_;
+      const net::Frame arf = request(net::kTuneAsk, encode_ask_request(arq));
       rep.ask_tell_wall_s += core::monotonic_s() - t0;
       ++rep.asks;
       ++lifetime_asks_;
@@ -110,10 +118,17 @@ ClientReport TunerClient::run() {
       }
       // Mirror Tuner::evaluate(): import the session statistics the claim
       // was issued against, run the batch under the issued hints, and
-      // extract exactly what the evaluation grew/accumulated.
-      if (!ar.state.empty()) {
-        const StatSnapshot state = StatSnapshot::from_string(ar.state);
-        if (!state.empty()) mirror_->import_stats(state);
+      // extract exactly what the evaluation grew/accumulated.  Mode 0
+      // means the daemon verified our generation token: the mirror already
+      // holds these exact bytes from the previous iteration — no payload,
+      // no parse, no import (the steady-state single-client fast path).
+      if (ar.state_mode != 0) {
+        if (!ar.state.empty()) {
+          const StatSnapshot state = StatSnapshot::from_string(ar.state);
+          if (!state.empty()) mirror_->import_stats(state);
+        }
+        held_state_ = ar.state;
+        held_gen_ = ar.state_gen;
       }
       std::vector<tune::ConfigOutcome> out(
           static_cast<std::size_t>(nconf));
@@ -129,16 +144,33 @@ ClientReport TunerClient::run() {
         trq.outcomes.push_back(out[static_cast<std::size_t>(pos)]);
         trq.totals.push_back(tot[static_cast<std::size_t>(pos)]);
       }
-      // Ship the FULL post-evaluation state, not a diff against the
-      // imported base: the daemon replaces its session state with it
-      // (tell_evaluated), which is bitwise-exact, whereas a diff/merge
-      // round trip drifts by ulps per tell (KernelStats::unmerge is only
-      // an algebraic inverse of merge).
+      // Ship the post-evaluation state relative to the base the daemon
+      // issued the claim against: nothing when the bytes are unchanged, a
+      // mode-0 sparse patch when we hold the base (byte splicing, so the
+      // daemon's state stays bitwise what a full ship would make it —
+      // never a stats diff, whose merge round trip drifts by ulps), a full
+      // payload when we hold no base.  base_gen names the base; the
+      // daemon rejects a patch against a generation it no longer has.
       const StatSnapshot after = mirror_->stats();
-      if (!after.empty()) trq.state = after.to_string();
+      std::string after_bytes;
+      if (!after.empty()) after_bytes = after.to_string();
+      trq.base_gen = held_gen_;
+      if (after_bytes == held_state_) {
+        // unchanged: trq.state stays "" and the daemon skips the import
+      } else if (held_state_.empty()) {
+        trq.state = after_bytes;
+      } else {
+        try {
+          trq.state = core::encode_sparse_patch(held_state_, after_bytes);
+        } catch (const std::exception&) {
+          trq.state = after_bytes;  // e.g. rank count changed: ship full
+        }
+      }
       t0 = core::monotonic_s();
-      request(net::kTuneTell, encode_tell(trq));
+      const net::Frame trf = request(net::kTuneTell, encode_tell(trq));
       rep.ask_tell_wall_s += core::monotonic_s() - t0;
+      held_gen_ = decode_tell_reply(trf.payload);
+      if (!trq.state.empty()) held_state_ = std::move(after_bytes);
       ++rep.tells;
       consecutive_failures = 0;
       backoff = copt_.backoff_initial_s;

@@ -2,10 +2,12 @@
 // (DESIGN.md §12.4).
 //
 // A client owns a *mirror* SweepDriver but no strategy: per batch it ASKs
-// the daemon, imports the session statistics the reply carries, runs the
-// batch under the reply's evaluation hints — exactly what Tuner::evaluate()
-// would do — and TELLs back the outcomes, the totals contributions, and
-// the statistics delta it grew.  Because evaluation is a pure function of
+// the daemon, imports the session statistics the reply carries (or skips
+// the ship entirely when its generation token proves the mirror already
+// holds them), runs the batch under the reply's evaluation hints — exactly
+// what Tuner::evaluate() would do — and TELLs back the outcomes, the
+// totals contributions, and the statistics it grew as a dirty-rank sparse
+// patch (DESIGN.md §13).  Because evaluation is a pure function of
 // (study, options, statistics, batch, hints), every client computes the
 // same bytes for the same claim, which is why client churn and concurrency
 // never change the tuned answer.
@@ -90,6 +92,15 @@ class TunerClient {
   std::unique_ptr<net::Connection> conn_;
   bool opened_ = false;
   int lifetime_asks_ = 0;
+  /// Generation-tracked state mirror (DESIGN.md §13): the exact serialized
+  /// session statistics this client last synchronized with the daemon, and
+  /// the daemon's generation token for them.  A matching token lets ASK
+  /// ship nothing (the mirror already holds the bytes) and lets TELL ship
+  /// a sparse patch against them.  Reset on ANY failure or reconnect —
+  /// generation tokens are only comparable within one daemon lifetime and
+  /// one uninterrupted exchange.
+  std::string held_state_;
+  std::uint64_t held_gen_ = 0;
 };
 
 }  // namespace critter::serve

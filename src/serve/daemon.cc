@@ -9,8 +9,11 @@
 #include <cstring>
 
 #include "core/fsio.hpp"
+#include "core/stat_store.hpp"
+#include "core/wire_codec.hpp"
 #include "dist/checkpoint.hpp"
 #include "dist/manifest.hpp"
+#include "dist/wire.hpp"
 #include "tune/evaluator.hpp"
 #include "tune/strategy.hpp"
 #include "tune/sweep.hpp"
@@ -26,6 +29,124 @@ namespace {
 
 volatile std::sig_atomic_t g_daemon_terminate = 0;
 void daemon_signal_handler(int) { g_daemon_terminate = 1; }
+
+// ---------------------------------------------------------------------------
+// CRJTELL1: the daemon's incremental journal record
+// ---------------------------------------------------------------------------
+//
+// One record per tell between full checkpoint slots, appended framed
+// (dist::frame_log_record) to <session>/ckpt_log.bin:
+//
+//   [8B magic "CRJTELL1"] [i64 seq]
+//   [i32 k] k × { [i32 position] [outcome] [totals] }
+//   [i64 blob_len] [state blob]
+//
+// The state blob is the TELL's wire state field *verbatim*: "" (statistics
+// unchanged), a mode-0 sparse patch whose base is the session state after
+// the previous record — exactly what the telling client patched against —
+// or a full v2 payload (wholesale replacement).  Resume splices the blobs
+// in sequence onto the base slot's serialized statistics, so no
+// re-encoding happens on either the journal or the resume path and the
+// reconstructed bytes are the live daemon's to the last bit.  Totals are
+// absolute post-tell values for the batch's positions (the only ones a
+// tell touches) — replay overwrites.
+//
+// The magic is deliberately not CRCKINC*: dist::load_latest_checkpoint
+// applies any log it finds as shard increments, and the first CRJTELL1
+// record fails that parse — ending the (empty) increment prefix — so the
+// shared loader returns the base slot untouched and the daemon replays the
+// log itself.
+
+constexpr char kTellRecordMagic[8] = {'C', 'R', 'J', 'T', 'E', 'L', 'L', '1'};
+
+/// Full-slot cadence: the journal replays at most this many records, and
+/// the log holds at most this many state blobs before it is truncated by
+/// the next full slot.
+constexpr int kTellsPerFull = 16;
+
+struct TellRecord {
+  std::int64_t seq = 0;
+  ShardCheckpoint::ToldBatch told;
+  std::vector<std::pair<int, tune::ConfigTotals>> totals;
+  std::string state_blob;
+};
+
+std::string encode_tell_record(std::int64_t seq,
+                               const ShardCheckpoint::ToldBatch& tb,
+                               const std::vector<tune::ConfigTotals>& all_totals,
+                               const std::string& state_blob) {
+  core::WireWriter w;
+  w.raw(kTellRecordMagic, 8);
+  w.i64(seq);
+  w.i32(static_cast<std::int32_t>(tb.positions.size()));
+  for (std::size_t j = 0; j < tb.positions.size(); ++j) {
+    const int pos = tb.positions[j];
+    w.i32(pos);
+    dist::write_outcome(w, tb.outcomes[j]);
+    dist::write_totals(w, all_totals[static_cast<std::size_t>(pos)]);
+  }
+  w.i64(static_cast<std::int64_t>(state_blob.size()));
+  w.raw(state_blob.data(), state_blob.size());
+  return w.out;
+}
+
+bool is_tell_record(const std::string& payload) {
+  return payload.size() >= 8 &&
+         std::memcmp(payload.data(), kTellRecordMagic, 8) == 0;
+}
+
+/// Parse and validate one unframed CRJTELL1 payload.  Throws on anything
+/// implausible — the caller treats a bad record as the end of the valid
+/// log prefix, exactly like a torn frame.
+TellRecord parse_tell_record(const std::string& payload,
+                             const tune::Study& study) {
+  CRITTER_CHECK(is_tell_record(payload), "tell journal record: bad magic");
+  const int nconfigs = static_cast<int>(study.configs.size());
+  core::WireReader r{payload};
+  r.pos = 8;
+  TellRecord rec;
+  rec.seq = r.i64();
+  CRITTER_CHECK(rec.seq > 0, "tell journal record: bad sequence number");
+  const std::int32_t k = r.i32();
+  CRITTER_CHECK(k > 0 && k <= nconfigs,
+                "tell journal record: implausible batch size");
+  rec.told.positions.resize(static_cast<std::size_t>(k));
+  rec.told.outcomes.resize(static_cast<std::size_t>(k));
+  rec.totals.resize(static_cast<std::size_t>(k));
+  int prev = -1;
+  for (std::int32_t j = 0; j < k; ++j) {
+    const std::int32_t pos = r.i32();
+    CRITTER_CHECK(pos > prev && pos < nconfigs,
+                  "tell journal record: positions not ascending in-range");
+    prev = pos;
+    rec.told.positions[static_cast<std::size_t>(j)] = pos;
+    rec.told.outcomes[static_cast<std::size_t>(j)].config =
+        study.configs[static_cast<std::size_t>(pos)];
+    dist::read_outcome(r, rec.told.outcomes[static_cast<std::size_t>(j)],
+                       "tell journal record");
+    rec.totals[static_cast<std::size_t>(j)].first = pos;
+    dist::read_totals(r, rec.totals[static_cast<std::size_t>(j)].second);
+  }
+  const std::int64_t blob_len = r.i64();
+  CRITTER_CHECK(blob_len >= 0 &&
+                    r.pos + static_cast<std::size_t>(blob_len) ==
+                        payload.size(),
+                "tell journal record: bad state blob length");
+  rec.state_blob.assign(payload.data() + r.pos,
+                        static_cast<std::size_t>(blob_len));
+  return rec;
+}
+
+/// Apply one journal state blob to the running serialized-state string:
+/// the same three-way semantics the TELL handler applies live.
+void splice_state_blob(std::string& state_bytes, const std::string& blob) {
+  if (blob.empty()) return;  // statistics unchanged at this tell
+  if (core::is_sparse_payload(blob)) {
+    state_bytes = core::apply_sparse_patch(state_bytes, blob);
+    return;
+  }
+  state_bytes = blob;  // full payload: wholesale replacement
+}
 
 }  // namespace
 
@@ -51,12 +172,34 @@ struct TunerDaemon::Session {
   std::uint64_t owner = 0;
   std::vector<int> batch;
 
-  // Journal bookkeeping, in the shard worker's checkpoint format but with
-  // every record a full snapshot (see journal_tell) and no exchange state
-  // — a daemon session has no peers.
+  // Authoritative serialized session statistics (DESIGN.md §13): "" while
+  // empty, otherwise the exact full v2 payload.  `state_snap` mirrors the
+  // decoded bytes so the TELL hot path never re-parses clean ranks, and
+  // `state_gen` names the bytes — bumped exactly when they change, so a
+  // client whose generation token matches holds these exact bytes and ASK
+  // ships nothing.
+  std::string state_bytes;
+  StatSnapshot state_snap;
+  std::uint64_t state_gen = 1;
+
+  // Journal bookkeeping, in the shard worker's checkpoint format with no
+  // exchange state — a daemon session has no peers.  Full slots every
+  // kTellsPerFull tells; CRJTELL1 records in ckpt_log.bin in between.
   std::vector<ShardCheckpoint::ToldBatch> told;
   std::int64_t seq = 0;
+  std::int64_t base_seq = 0;  ///< seq of the newest full slot on disk
   std::string next_full_slot = "ckpt_a.bin";
+  /// Next journal_tell must write a full slot: set when an out-of-band
+  /// state change (kTuneImport) or a resumed/stale increment log would
+  /// leave log records splicing onto the wrong base.
+  bool force_full_slot = false;
+
+  // Wire accounting: request/reply payload bytes handled for this session,
+  // and how many tells arrived as sparse patches (kTuneStatus surfaces
+  // them; bench_tuner derives bytes_per_tell).
+  std::int64_t bytes_in = 0;
+  std::int64_t bytes_out = 0;
+  std::int64_t sparse_tells = 0;
 
   ShardRange range() const {
     return {0, 0, static_cast<int>(study.configs.size())};
@@ -134,29 +277,59 @@ std::unique_ptr<TunerDaemon::Session> TunerDaemon::load_session(
   }
   s->tuner = std::make_unique<tune::Tuner>(s->study, s->opt);
 
-  // Journal replay: the best full slot (every record is self-contained —
-  // journal_tell writes no increments), then re-ask/re-tell each journaled
-  // batch.  Import of the serialized statistics is bitwise-exact, and asks
-  // are a pure function of told outcomes and ingested priors, so the
-  // resumed strategy re-proposes exactly the recorded batches — anything
-  // else is a divergence bug, not a degraded resume.
+  // Journal replay: the best full slot, then the longest valid CRJTELL1
+  // prefix of ckpt_log.bin on top — seq-continuous records whose state
+  // blobs byte-splice in sequence onto the slot's serialized statistics.
+  // The final spliced bytes import once (bitwise-exact), and asks are a
+  // pure function of told outcomes and ingested priors, so the resumed
+  // strategy re-proposes exactly the recorded batches — anything else is a
+  // divergence bug, not a degraded resume.
   ShardCheckpoint ck;
   std::int64_t base_seq = 0;
   std::string base_slot;
   if (dist::load_latest_checkpoint(s->dir, s->study, s->range(), &ck,
                                    &base_seq, &base_slot)) {
-    s->tuner->import_state(ck.full);
-    for (const ShardCheckpoint::ToldBatch& tb : ck.told) {
+    s->told = std::move(ck.told);
+    s->seq = ck.seq;
+    s->base_seq = ck.seq;
+    s->state_bytes = std::move(ck.full_bytes);
+    std::vector<tune::ConfigTotals> totals(ck.totals.begin(), ck.totals.end());
+    const std::string log_path = s->dir + "/ckpt_log.bin";
+    if (core::file_exists(log_path)) {
+      // Whatever the log holds, the next journaled tell starts a fresh
+      // full slot: appending after a stale or partially-replayed log would
+      // strand the new records behind a broken prefix on the next resume.
+      s->force_full_slot = true;
+      std::int64_t prev_seq = ck.seq;
+      for (const std::string& payload :
+           dist::scan_log_records(core::read_file(log_path))) {
+        TellRecord rec;
+        try {
+          rec = parse_tell_record(payload, s->study);
+          CRITTER_CHECK(rec.seq == prev_seq + 1,
+                        "tell journal record out of sequence");
+          splice_state_blob(s->state_bytes, rec.state_blob);
+        } catch (const std::exception&) {
+          break;  // torn/stale tail: everything before it is consistent
+        }
+        prev_seq = rec.seq;
+        for (const auto& [pos, t] : rec.totals)
+          totals[static_cast<std::size_t>(pos)] = t;
+        s->told.push_back(std::move(rec.told));
+        s->seq = rec.seq;
+      }
+    }
+    if (!s->state_bytes.empty())
+      s->state_snap = StatSnapshot::from_string(s->state_bytes);
+    s->tuner->import_state(s->state_snap);
+    for (const ShardCheckpoint::ToldBatch& tb : s->told) {
       const std::vector<int> b = s->tuner->ask();
       CRITTER_CHECK(b == tb.positions,
                     "session journal replay diverged: the resumed strategy "
                     "proposed a different batch");
       s->tuner->tell(tb.outcomes);
     }
-    s->tuner->restore_totals(
-        std::vector<tune::ConfigTotals>(ck.totals.begin(), ck.totals.end()));
-    s->told = std::move(ck.told);
-    s->seq = ck.seq;
+    s->tuner->restore_totals(std::move(totals));
     s->next_full_slot =
         base_slot == "ckpt_a.bin" ? "ckpt_b.bin" : "ckpt_a.bin";
   }
@@ -218,16 +391,25 @@ TunerDaemon::Session& TunerDaemon::resolve_session(const std::string& name) {
 // Journal
 // ---------------------------------------------------------------------------
 
-void TunerDaemon::journal_tell(Session& s) {
-  // Every record is a FULL checkpoint, never an increment: increments
-  // reconstruct on resume via base.merge(full_delta), and diff/merge is
-  // only a float-algebraic identity — a kill -9 resume through even one
-  // increment would drift from the in-process sweep by ulps.  A full
-  // snapshot round-trips bitwise (serialize ∘ parse is exact), so the
-  // resumed session is the journaled one to the last bit.  Daemon tells
-  // are seconds apart, not milliseconds, so the constant-size-increment
-  // economy the shard workers need buys nothing here.
+void TunerDaemon::journal_tell(Session& s, const std::string& state_blob) {
+  // Between full slots, one constant-sized CRJTELL1 record per tell: the
+  // told batch, its totals, and the TELL's state blob verbatim — the
+  // sparse patch a client sent splices on resume exactly as it spliced
+  // live, so the journal stays bitwise without re-serializing the whole
+  // session state per tell (the original full-checkpoint-per-tell scheme
+  // cost O(tells²) journal bytes; DESIGN.md §13).  Every kTellsPerFull
+  // tells a full slot re-bases the log: `s.state_bytes` is already the
+  // serialized statistics, so even the full slot serializes no snapshot.
   ++s.seq;
+  const bool full_slot = s.base_seq == 0 || s.force_full_slot ||
+                         s.seq - s.base_seq >= kTellsPerFull;
+  if (!full_slot) {
+    core::append_file(s.dir + "/ckpt_log.bin",
+                      dist::frame_log_record(encode_tell_record(
+                          s.seq, s.told.back(), s.tuner->totals(),
+                          state_blob)));
+    return;
+  }
   ShardCheckpoint c;
   c.seq = s.seq;
   c.batches = static_cast<int>(s.told.size());
@@ -235,21 +417,26 @@ void TunerDaemon::journal_tell(Session& s) {
   c.in_round = c.batches;  // the non-exchanging worker's cursor shape
   c.told = s.told;
   c.totals = s.tuner->totals();
-  c.full = s.tuner->export_state();
+  c.full = s.state_snap;
+  c.full_bytes = s.state_bytes;  // written verbatim: no re-serialization
   const std::string slot = s.next_full_slot;
   core::publish_file(s.dir, slot, dist::serialize_checkpoint(c));
-  // Only after the new base is fully published: drop any increment log an
-  // older daemon build may have left extending the previous base (a crash
-  // in between resumes from whichever base survives).
+  // Only after the new base is fully published: drop the increment log
+  // extending the previous base (a crash in between resumes from whichever
+  // base survives; a stale log fails seq continuity and is ignored).
   ::remove((s.dir + "/ckpt_log.bin").c_str());
+  s.base_seq = s.seq;
+  s.force_full_slot = false;
   s.next_full_slot = slot == "ckpt_a.bin" ? "ckpt_b.bin" : "ckpt_a.bin";
 }
 
 void TunerDaemon::flush_session(Session& s) {
-  // Journal records are already self-contained full snapshots; a flush is
-  // one more of them, covering sessions opened (or resumed) but not told
-  // since.
-  journal_tell(s);
+  // A flush must be self-contained — it covers sessions opened (or
+  // resumed) but not told since, and the final slot a restart resumes
+  // from — so it always forces a full slot (there is no freshly told
+  // batch to journal incrementally).
+  s.force_full_slot = true;
+  journal_tell(s, "");
 }
 
 // ---------------------------------------------------------------------------
@@ -327,8 +514,10 @@ net::Frame TunerDaemon::handle_request(const net::Frame& rq,
       return {net::kOk, encode_open_reply(rp)};
     }
     case net::kTuneAsk: {
-      Session& s = resolve_session(decode_session_ref(rq.payload));
+      const AskRequest arq = decode_ask_request(rq.payload);
+      Session& s = resolve_session(arq.session);
       std::unique_lock<std::mutex> lk(s.mu);
+      s.bytes_in += static_cast<std::int64_t>(rq.payload.size());
       while (s.claimed && s.owner != 0 && s.owner != conn_id) {
         if (stop_.load())
           throw std::runtime_error("tuner daemon: shutting down");
@@ -338,12 +527,16 @@ net::Frame TunerDaemon::handle_request(const net::Frame& rq,
       if (!s.claimed) {
         if (s.tuner->done()) {
           rp.done = true;
-          return {net::kOk, encode_ask_reply(rp)};
+          const std::string payload = encode_ask_reply(rp);
+          s.bytes_out += static_cast<std::int64_t>(payload.size());
+          return {net::kOk, payload};
         }
         const std::vector<int> batch = s.tuner->ask();
         if (batch.empty()) {
           rp.done = true;
-          return {net::kOk, encode_ask_reply(rp)};
+          const std::string payload = encode_ask_reply(rp);
+          s.bytes_out += static_cast<std::int64_t>(payload.size());
+          return {net::kOk, payload};
         }
         s.batch = batch;
         s.claimed = true;
@@ -351,14 +544,26 @@ net::Frame TunerDaemon::handle_request(const net::Frame& rq,
       s.owner = conn_id;
       rp.batch = s.batch;
       rp.control = s.tuner->control();
-      rp.state = s.tuner->export_state().to_string();
-      return {net::kOk, encode_ask_reply(rp)};
+      rp.state_gen = s.state_gen;
+      if (arq.have_gen == s.state_gen) {
+        // The asker's mirror already holds these exact bytes (generations
+        // only bump when the bytes change, and only TELLs of the single
+        // outstanding claim change them) — ship nothing.
+        rp.state_mode = 0;
+      } else {
+        rp.state_mode = 1;
+        rp.state = s.state_bytes;  // "" = empty statistics, skip import
+      }
+      const std::string payload = encode_ask_reply(rp);
+      s.bytes_out += static_cast<std::int64_t>(payload.size());
+      return {net::kOk, payload};
     }
     case net::kTuneTell: {
       core::WireReader r{rq.payload};
       const std::string name = decode_tell_session(r);
       Session& s = resolve_session(name);
       std::lock_guard<std::mutex> lk(s.mu);
+      s.bytes_in += static_cast<std::int64_t>(rq.payload.size());
       TellRequest trq;
       decode_tell_body(r, s.study, &trq);
       CRITTER_CHECK(s.claimed && trq.batch == s.batch,
@@ -366,28 +571,61 @@ net::Frame TunerDaemon::handle_request(const net::Frame& rq,
                         "'");
       CRITTER_CHECK(s.owner == conn_id || s.owner == 0,
                     "tune tell: the claimed batch belongs to another client");
-      StatSnapshot state;
-      if (!trq.state.empty()) state = StatSnapshot::from_string(trq.state);
-      s.tuner->tell_evaluated(trq.outcomes, state, trq.totals);
+      // Three-way state field (serve/protocol.hpp): "" = statistics
+      // unchanged; a mode-0 sparse patch against the generation the client
+      // was shipped at ASK; or a full payload.  The patch splices into the
+      // cached (bytes, snapshot) pair — clean ranks are never re-parsed.
+      if (!trq.state.empty()) {
+        if (core::is_sparse_payload(trq.state)) {
+          CRITTER_CHECK(trq.base_gen == s.state_gen,
+                        "tune tell: sparse state patch against a stale "
+                        "generation — re-ask and send full state");
+          core::apply_sparse_patch_in_place(s.state_bytes, s.state_snap,
+                                            trq.state);
+          ++s.sparse_tells;
+        } else {
+          s.state_snap = StatSnapshot::from_string(trq.state);
+          s.state_bytes = trq.state;
+        }
+        ++s.state_gen;
+      }
+      const StatSnapshot no_state;  // empty = unchanged: skip the re-import
+      s.tuner->tell_evaluated(trq.outcomes,
+                              trq.state.empty() ? no_state : s.state_snap,
+                              trq.totals);
       s.told.push_back({trq.batch, std::move(trq.outcomes)});
-      journal_tell(s);
+      journal_tell(s, trq.state);
       s.claimed = false;
       s.owner = 0;
       s.batch.clear();
       s.cv.notify_all();
-      return {net::kOk, ""};
+      const std::string payload = encode_tell_reply(s.state_gen);
+      s.bytes_out += static_cast<std::int64_t>(payload.size());
+      return {net::kOk, payload};
     }
     case net::kTuneExport: {
       Session& s = resolve_session(decode_session_ref(rq.payload));
       std::lock_guard<std::mutex> lk(s.mu);
-      return {net::kOk, s.tuner->export_state().to_string()};
+      // The cache IS the serialized state (serialize ∘ parse is exact) —
+      // no per-export re-serialization.
+      return {net::kOk, s.state_bytes};
     }
     case net::kTuneImport: {
       std::string name, snapshot;
       decode_import(rq.payload, &name, &snapshot);
       Session& s = resolve_session(name);
       std::lock_guard<std::mutex> lk(s.mu);
-      s.tuner->import_state(StatSnapshot::from_string(snapshot));
+      s.bytes_in += static_cast<std::int64_t>(rq.payload.size());
+      // from_string expands mode-1 sparse deltas; to_string canonicalizes
+      // the cache to the full v2 payload either way.
+      s.state_snap = StatSnapshot::from_string(snapshot);
+      s.state_bytes = s.state_snap.to_string();
+      s.tuner->import_state(s.state_snap);
+      ++s.state_gen;
+      // Out-of-band state change between full slots: journal records after
+      // it would splice onto bytes no resume can reconstruct — force the
+      // next journaled tell to re-base with a full slot.
+      s.force_full_slot = true;
       return {net::kOk, ""};
     }
     case net::kTuneStatus: {
@@ -401,12 +639,18 @@ net::Frame TunerDaemon::handle_request(const net::Frame& rq,
           if (oc.evaluated) ++rp.evaluated;
       if (rp.evaluated > 0)
         rp.best_predicted = s.tuner->result().best_predicted();
+      rp.bytes_in = s.bytes_in;
+      rp.bytes_out = s.bytes_out;
+      rp.sparse_tells = s.sparse_tells;
       rp.text = "session " + s.name + ": " + std::to_string(rp.tells) +
                 " tells, " + std::to_string(rp.evaluated) + " evaluated" +
                 (rp.done ? ", done" : "") +
                 (rp.best_predicted >= 0
                      ? ", best=" + std::to_string(rp.best_predicted)
-                     : "");
+                     : "") +
+                ", wire " + std::to_string(rp.bytes_in) + "B in/" +
+                std::to_string(rp.bytes_out) + "B out, " +
+                std::to_string(rp.sparse_tells) + " sparse tells";
       return {net::kOk, encode_status_reply(rp)};
     }
     case net::kTuneShutdown: {

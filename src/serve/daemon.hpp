@@ -21,15 +21,21 @@
 // the next asker, the §10 degrade/skip analogue: churn costs wall-clock,
 // never a different answer.
 //
-// Durability: every TELL journals a FULL checkpoint through the
-// dist/checkpoint.hpp machinery (alternating ckpt_a.bin/ckpt_b.bin slots,
-// atomic publish) — never an increment, because increments reconstruct via
-// a diff/merge round trip that is only float-algebraically exact, and the
-// daemon's contract is bitwise.  A daemon killed outright (kill -9
-// included) and restarted on the same state directory replays each session
-// — best full slot, re-ask/re-tell strategy-only — into the exact state it
-// held at its last journaled tell.  SIGTERM/SIGINT flush a final full
-// checkpoint per session before exit.
+// Durability: every TELL journals through the dist/checkpoint.hpp
+// machinery — a FULL checkpoint (alternating ckpt_a.bin/ckpt_b.bin slots,
+// atomic publish) every kTellsPerFull tells, and a constant-sized CRJTELL1
+// record appended to ckpt_log.bin in between.  A journal record carries the
+// told batch, its totals, and the TELL's state blob *verbatim* ("" =
+// unchanged, sparse patch, or full payload); resume byte-splices the blobs
+// onto the base slot's serialized statistics (DESIGN.md §13), so the
+// reconstructed state is the exact byte string the live daemon held — the
+// bitwise contract the original full-checkpoint-per-tell scheme bought with
+// O(tells²) journal bytes, now at O(tells).  A daemon killed outright
+// (kill -9 included) and restarted on the same state directory replays
+// each session — best full slot, longest valid log prefix, re-ask/re-tell
+// strategy-only — into the exact state it held at its last journaled tell;
+// a torn append costs at most that one tell.  SIGTERM/SIGINT flush a final
+// full checkpoint per session before exit.
 #pragma once
 
 #include <atomic>
@@ -96,7 +102,12 @@ class TunerDaemon {
   Session& open_session(const OpenRequest& rq);
   void resume_sessions();
   std::unique_ptr<Session> load_session(const std::string& name);
-  void journal_tell(Session& s);
+  /// Journal one completed tell: a CRJTELL1 log record carrying
+  /// `state_blob` (the TELL's state field verbatim) between full slots, a
+  /// full checkpoint every kTellsPerFull tells (and whenever
+  /// `s.force_full_slot` demands one — an out-of-band import desyncs the
+  /// log's patch bases).
+  void journal_tell(Session& s, const std::string& state_blob);
   void flush_session(Session& s);
 
   DaemonOptions opt_;

@@ -24,7 +24,12 @@
 namespace critter::serve {
 
 /// Hello payload naming the protocol; bumped on incompatible change.
-inline constexpr const char* kTuneService = "critter-tune/1";
+/// Version 2: dirty-rank statistics transport (DESIGN.md §13) — ASK carries
+/// a generation token so an unchanged session state ships zero snapshot
+/// bytes, TELL may carry a sparse patch against the state the claim was
+/// issued on, and the TELL reply returns the session's new state
+/// generation.
+inline constexpr const char* kTuneService = "critter-tune/2";
 
 /// Session names become journal directory names: a restrictive charset
 /// keeps them shell- and path-safe (no separators, no leading dot).
@@ -109,7 +114,7 @@ inline OpenReply decode_open_reply(const std::string& payload) {
 
 // --- kTuneAsk --------------------------------------------------------------
 
-/// Ask request/[Export/Status/Shutdown requests]: just the session name.
+/// [Export/Status/Shutdown requests]: just the session name.
 inline std::string encode_session_ref(const std::string& session) {
   core::WireWriter w;
   w.str(session);
@@ -123,14 +128,45 @@ inline std::string decode_session_ref(const std::string& payload) {
   return s;
 }
 
+/// Ask request: the session name plus the state generation the client
+/// already holds (0 = none).  When it matches the daemon's, the reply
+/// ships no snapshot bytes at all — the steady-state single-evaluator
+/// loop, where the client's mirror already holds the exact session state
+/// its own last tell produced.
+struct AskRequest {
+  std::string session;
+  std::uint64_t have_gen = 0;
+};
+
+inline std::string encode_ask_request(const AskRequest& rq) {
+  core::WireWriter w;
+  w.str(rq.session);
+  w.u64(rq.have_gen);
+  return w.out;
+}
+
+inline AskRequest decode_ask_request(const std::string& payload) {
+  core::WireReader r{payload};
+  AskRequest rq;
+  rq.session = r.str();
+  rq.have_gen = r.u64();
+  CRITTER_CHECK(r.done(), "tune ask: trailing bytes");
+  return rq;
+}
+
 /// What a remote evaluator needs to mirror evaluate() exactly: the claimed
 /// batch, the evaluation hints ask() snapshotted, and the session's shared
 /// statistics at claim time (imported wholesale by the mirror driver).
+/// `state_gen` names the daemon's state; `state_mode` says how the reply
+/// carries it: 0 = unchanged from the client's have_gen (no bytes shipped),
+/// 1 = the full serialized snapshot follows.
 struct AskReply {
   bool done = false;
   std::vector<int> batch;
   tune::EvalControl control;
-  std::string state;  ///< serialized StatSnapshot
+  std::uint64_t state_gen = 0;
+  std::uint8_t state_mode = 1;
+  std::string state;  ///< serialized StatSnapshot (state_mode == 1)
 };
 
 inline std::string encode_ask_reply(const AskReply& rp) {
@@ -143,8 +179,12 @@ inline std::string encode_ask_reply(const AskReply& rp) {
   w.f64(rp.control.incumbent_pred);
   w.f64(rp.control.margin);
   w.i32(rp.control.samples_override);
-  w.i32(static_cast<std::int32_t>(rp.state.size()));
-  w.raw(rp.state.data(), rp.state.size());
+  w.u64(rp.state_gen);
+  w.u8(rp.state_mode);
+  if (rp.state_mode == 1) {
+    w.i32(static_cast<std::int32_t>(rp.state.size()));
+    w.raw(rp.state.data(), rp.state.size());
+  }
   return w.out;
 }
 
@@ -164,10 +204,15 @@ inline AskReply decode_ask_reply(const std::string& payload) {
   rp.control.incumbent_pred = r.f64();
   rp.control.margin = r.f64();
   rp.control.samples_override = r.i32();
-  const std::int32_t sn = r.i32();
-  CRITTER_CHECK(sn >= 0, "tune ask reply: negative state length");
-  rp.state.resize(static_cast<std::size_t>(sn));
-  r.raw(rp.state.data(), rp.state.size());
+  rp.state_gen = r.u64();
+  rp.state_mode = r.u8();
+  CRITTER_CHECK(rp.state_mode <= 1, "tune ask reply: unknown state mode");
+  if (rp.state_mode == 1) {
+    const std::int32_t sn = r.i32();
+    CRITTER_CHECK(sn >= 0, "tune ask reply: negative state length");
+    rp.state.resize(static_cast<std::size_t>(sn));
+    r.raw(rp.state.data(), rp.state.size());
+  }
   CRITTER_CHECK(r.done(), "tune ask reply: trailing bytes");
   return rp;
 }
@@ -176,22 +221,35 @@ inline AskReply decode_ask_reply(const std::string& payload) {
 
 /// The remote evaluation's products, in batch order: outcomes (serialized
 /// exactly as the dist file formats do), the totals contributions the batch
-/// accumulated, and the mirror's FULL post-evaluation statistics.  The
-/// daemon replaces its session state with this snapshot rather than merging
-/// a delta: the mirror started from exactly what ASK shipped and one batch
-/// is ever outstanding, so replacement is bitwise-exact where a diff/merge
-/// round trip is only float-algebraically exact.
+/// accumulated, and the mirror's post-evaluation statistics.  `state` is
+/// one of:
+///
+///   * "" — the evaluation changed no statistics bytes;
+///   * a mode-0 sparse patch (core::encode_sparse_patch) against the state
+///     the claim was issued on — `base_gen` MUST name that state's
+///     generation, and the daemon rejects a stale base outright (the client
+///     then re-asks and resends full);
+///   * a full serialized StatSnapshot — wholesale replacement, the v1
+///     behavior, used on the first tell after a (re)connect.
+///
+/// Replacement-by-bytes rather than merge-of-deltas is what keeps the
+/// daemon bitwise-exact: the mirror started from exactly what ASK shipped
+/// and one batch is ever outstanding, so the spliced state is the mirror's
+/// state to the last bit, where a diff/merge round trip is only
+/// float-algebraically exact.
 struct TellRequest {
   std::string session;
+  std::uint64_t base_gen = 0;  ///< generation `state` patches (sparse only)
   std::vector<int> batch;
   std::vector<tune::ConfigOutcome> outcomes;
   std::vector<tune::ConfigTotals> totals;
-  std::string state;  ///< serialized StatSnapshot, empty = no statistics grown
+  std::string state;  ///< "" | sparse patch | full serialized StatSnapshot
 };
 
 inline std::string encode_tell(const TellRequest& rq) {
   core::WireWriter w;
   w.str(rq.session);
+  w.u64(rq.base_gen);
   w.i32(static_cast<std::int32_t>(rq.batch.size()));
   for (std::size_t k = 0; k < rq.batch.size(); ++k) {
     w.i32(rq.batch[k]);
@@ -210,6 +268,7 @@ inline std::string decode_tell_session(core::WireReader& r) { return r.str(); }
 
 inline void decode_tell_body(core::WireReader& r, const tune::Study& study,
                              TellRequest* rq) {
+  rq->base_gen = r.u64();
   const std::int32_t n = r.i32();
   CRITTER_CHECK(n > 0 && n <= (1 << 20), "tune tell: implausible batch");
   rq->batch.resize(static_cast<std::size_t>(n));
@@ -232,6 +291,21 @@ inline void decode_tell_body(core::WireReader& r, const tune::Study& study,
   rq->state.resize(static_cast<std::size_t>(dn));
   r.raw(rq->state.data(), rq->state.size());
   CRITTER_CHECK(r.done(), "tune tell: trailing bytes");
+}
+
+/// Tell reply: the session's state generation after this tell — the token
+/// the client hands back on its next ask to skip the state payload.
+inline std::string encode_tell_reply(std::uint64_t state_gen) {
+  core::WireWriter w;
+  w.u64(state_gen);
+  return w.out;
+}
+
+inline std::uint64_t decode_tell_reply(const std::string& payload) {
+  core::WireReader r{payload};
+  const std::uint64_t gen = r.u64();
+  CRITTER_CHECK(r.done(), "tune tell reply: trailing bytes");
+  return gen;
 }
 
 // --- kTuneImport -----------------------------------------------------------
@@ -266,7 +340,13 @@ struct StatusReply {
   std::int32_t tells = 0;
   std::int32_t evaluated = 0;
   std::int32_t best_predicted = -1;  ///< -1 until anything evaluated
-  std::string text;                  ///< one human-readable summary line
+  /// Wire accounting for the session (request + reply payload bytes the
+  /// daemon handled on its behalf): sparse transport made the payloads
+  /// measurable, not vibes.
+  std::int64_t bytes_in = 0;
+  std::int64_t bytes_out = 0;
+  std::int64_t sparse_tells = 0;  ///< tells whose state arrived as a patch
+  std::string text;               ///< one human-readable summary line
 };
 
 inline std::string encode_status_reply(const StatusReply& rp) {
@@ -275,6 +355,9 @@ inline std::string encode_status_reply(const StatusReply& rp) {
   w.i32(rp.tells);
   w.i32(rp.evaluated);
   w.i32(rp.best_predicted);
+  w.i64(rp.bytes_in);
+  w.i64(rp.bytes_out);
+  w.i64(rp.sparse_tells);
   w.str(rp.text);
   return w.out;
 }
@@ -286,6 +369,9 @@ inline StatusReply decode_status_reply(const std::string& payload) {
   rp.tells = r.i32();
   rp.evaluated = r.i32();
   rp.best_predicted = r.i32();
+  rp.bytes_in = r.i64();
+  rp.bytes_out = r.i64();
+  rp.sparse_tells = r.i64();
   rp.text = r.str();
   CRITTER_CHECK(r.done(), "tune status reply: trailing bytes");
   return rp;

@@ -181,6 +181,11 @@ struct TuneResult {
   std::string executor;
   int exchange_every = 0;
   int exchange_rounds = 0;
+  /// Exchange payload bytes the shards moved through the shared store
+  /// (sparse deltas + live peer reads; zero for executors without wire
+  /// accounting, e.g. in-process shards) — divide by exchange_rounds for
+  /// the per-round transport cost the sparse codec is shrinking.
+  std::int64_t exchange_bytes = 0;
   /// Exchange semantics of a sharded run (see dist::ExchangePolicy::strict)
   /// and the fleet-wide count of non-strict rounds skipped.
   bool exchange_strict = true;

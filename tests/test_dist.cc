@@ -223,6 +223,43 @@ TEST(Subprocess, SocketTransportBitIdenticalToDirTransport) {
   expect_equal_results(a, b, "dir vs socket transport");
 }
 
+TEST(Subprocess, ExchangeMailboxIsGarbageCollectedAfterTheRun) {
+  // With the default fault policy (no retries, no checkpoints) resume
+  // replay is impossible, so the manifest authorizes in-run delta GC and
+  // the launcher sweeps the mailbox when the fleet finishes: a surviving
+  // run directory keeps only the done markers — no round deltas, no
+  // progress markers — and the collected run still folds bit-identical
+  // to the in-process exchange.
+  const tune::Study study = subset(tune::slate_cholesky_study(false), 6);
+  const tune::TuneOptions opt = shared_options();
+  dist::SubprocessOptions gopts;
+  gopts.run_dir = dist::make_temp_dir("critter-gc-test-");
+  gopts.transport = "dir";
+  dist::SubprocessExecutor sub(gopts);
+  const tune::TuneResult a =
+      dist::run_sharded(study, opt, 2, sub, dist::ExchangePolicy{1});
+  EXPECT_GT(a.exchange_rounds, 0);
+
+  const std::string manifest = core::read_file(gopts.run_dir + "/run.txt");
+  EXPECT_NE(manifest.find("gc_exchange=1"), std::string::npos)
+      << "default fault policy must authorize exchange GC";
+  int deltas = 0, progress = 0, done = 0;
+  for (const std::string& name : core::list_dir(gopts.run_dir + "/exchange")) {
+    if (name.find(".snap") != std::string::npos) ++deltas;
+    if (name.find(".progress") != std::string::npos) ++progress;
+    if (name.find(".done") != std::string::npos) ++done;
+  }
+  EXPECT_EQ(deltas, 0) << "round deltas survived the end-of-run sweep";
+  EXPECT_EQ(progress, 0) << "progress markers survived the end-of-run sweep";
+  EXPECT_GT(done, 0) << "done markers are the fleet's record and must stay";
+
+  dist::InProcessExecutor inproc;
+  const tune::TuneResult b =
+      dist::run_sharded(study, opt, 2, inproc, dist::ExchangePolicy{1});
+  expect_equal_results(a, b, "collected subprocess vs in-process exchange");
+  dist::remove_dir_tree(gopts.run_dir);
+}
+
 TEST(Subprocess, IsolatedModeExchangePublishesEmptyDeltasSafely) {
   // Isolated-parallel sessions export no shared statistics; with exchange
   // on, their rounds publish empty payloads that peers must skip

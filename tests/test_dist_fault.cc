@@ -502,7 +502,8 @@ core::StatSnapshot small_snapshot(int salt) {
 
 /// An increment that validly extends sample_checkpoint (seq 3 -> 4): one
 /// more told batch, one more skip, one more exchange round, the dirty
-/// total of the new batch's position, and a non-empty statistics delta.
+/// total of the new batch's position, and a non-empty statistics byte
+/// patch (wholesale payloads, since the sample base carries no snapshot).
 dist::CheckpointIncrement sample_increment(const tune::Study& study,
                                            const dist::ShardRange& range,
                                            bool exchange_state = false) {
@@ -531,11 +532,11 @@ dist::CheckpointIncrement sample_increment(const tune::Study& study,
   ct.tuning_time = 8.0;
   ct.full_time = 16.0;
   inc.dirty_totals = {{3, ct}};
-  inc.full_delta = small_snapshot(1);
+  inc.full_patch = small_snapshot(1).to_string();
   inc.has_exchange_state = exchange_state;
   if (exchange_state) {
-    inc.mark_delta = small_snapshot(2);
-    inc.own_delta = small_snapshot(3);
+    inc.mark_patch = small_snapshot(2).to_string();
+    inc.own_patch = small_snapshot(3).to_string();
   }
   return inc;
 }
@@ -563,7 +564,7 @@ TEST(IncrementFormat, RoundtripPreservesEveryField) {
     ASSERT_EQ(back.dirty_totals.size(), inc.dirty_totals.size());
     EXPECT_EQ(back.dirty_totals[0].first, inc.dirty_totals[0].first);
     EXPECT_EQ(back.has_exchange_state, inc.has_exchange_state);
-    EXPECT_TRUE(back.full_delta.same_statistics(inc.full_delta));
+    EXPECT_EQ(back.full_patch, inc.full_patch);
     // Deep equality via the canonical encoding.
     EXPECT_EQ(dist::serialize_increment(back), payload);
   }

@@ -237,6 +237,24 @@ void exercise_store(net::Store& store, const std::string& what) {
   // An empty publish is legal (isolated shards exchange empty deltas).
   store.publish("exchange/s1_r1.snap", "");
   EXPECT_EQ(store.read_published("exchange/s1_r1.snap"), "") << what;
+
+  // remove retires published artifacts (manifest and payload) and plain
+  // blobs alike; removing an absent key is the idempotent no-op the
+  // exchange-mailbox GC leans on.
+  store.remove("exchange/s0_r1.snap");
+  EXPECT_FALSE(store.published("exchange/s0_r1.snap")) << what;
+  EXPECT_FALSE(store.exists("exchange/s0_r1.snap")) << what;
+  EXPECT_THROW(store.read_published("exchange/s0_r1.snap"),
+               std::runtime_error)
+      << what;
+  store.remove("exchange/s0_r1.snap");  // second remove: no-op, no throw
+  store.remove("never/was/there");
+  store.remove("run.txt");
+  EXPECT_FALSE(store.exists("run.txt")) << what;
+  // The key is reusable after removal — GC'd rounds do not poison names.
+  store.publish("exchange/s0_r1.snap", "again");
+  EXPECT_EQ(store.read_published("exchange/s0_r1.snap"), "again") << what;
+  store.put("run.txt", "rewritten");
 }
 
 }  // namespace
@@ -259,6 +277,30 @@ TEST(Blob, DirMemAndSocketStoresShareOneContract) {
   EXPECT_EQ(client.read_published("from_server.snap"), "xyz");
   server.stop();
   core::remove_dir_tree(root);
+}
+
+TEST(Blob, WireCountersMeterCompletedTransfers) {
+  // The process-wide wire accounting (DESIGN.md §13): both endpoints of
+  // this loopback conversation live in this process, so every sent frame
+  // is also received here and the counters must mirror exactly.
+  net::reset_wire_counters();
+  net::MemStore backing;
+  net::BlobServer server(backing, 0);
+  {
+    net::BlobClient client("127.0.0.1", server.port(), 5.0, 5.0);
+    client.put("metered", std::string(1000, 'x'));
+    EXPECT_EQ(client.get("metered"), std::string(1000, 'x'));
+  }
+  server.stop();
+  const net::WireCounters wc = net::wire_counters();
+  // Handshake + put + get = three request/reply pairs minimum.
+  EXPECT_GE(wc.frames_sent, 6u);
+  EXPECT_EQ(wc.frames_sent, wc.frames_received);
+  EXPECT_EQ(wc.bytes_sent, wc.bytes_received);
+  EXPECT_GT(wc.bytes_sent, 2000u);  // the kilobyte payload went both ways
+  net::reset_wire_counters();
+  EXPECT_EQ(net::wire_counters().bytes_sent, 0u);
+  EXPECT_EQ(net::wire_counters().frames_received, 0u);
 }
 
 TEST(Blob, CorruptedPublishedPayloadIsAStaleManifest) {

@@ -237,6 +237,61 @@ TEST(Daemon, SessionlessVerbsAndUnknownSessionsError) {
   EXPECT_TRUE(daemon.stopping());
 }
 
+TEST(Daemon, SparseTransportIsDefaultAndByteEquivalent) {
+  // Dirty-rank transport (DESIGN.md §13) is on by default: after the first
+  // full payload, every state-bearing TELL ships a sparse patch, and the
+  // daemon's spliced state cache must be byte-equivalent to what full
+  // transport would have produced.
+  const tune::Study study = small_study();
+  const tune::TuneOptions opt = adaptive_options();
+  const tune::TuneResult ref = tune::run_study(study, opt);
+
+  TempDir dir("critter_serve_sparse");
+  serve::TunerDaemon daemon({dir.path});
+  serve::TunerClient client(study, opt, "sparse",
+                            client_options(daemon.port()));
+  const serve::ClientReport rep = client.run();
+  EXPECT_TRUE(rep.done);
+
+  const serve::StatusReply st = client.status();
+  EXPECT_GT(st.sparse_tells, 0) << st.text;
+  // Wire accounting travels in the status reply and its text.
+  EXPECT_GT(st.bytes_in, 0);
+  EXPECT_GT(st.bytes_out, 0);
+  EXPECT_NE(st.text.find("sparse tells"), std::string::npos) << st.text;
+
+  // The byte-equivalence pin: the exported state was grown exclusively by
+  // splicing patches, yet it must be the canonical serialization of the
+  // statistics it decodes to — splicing may never bend a byte.
+  const std::string exported = client.export_stats();
+  ASSERT_FALSE(exported.empty());
+  EXPECT_EQ(core::StatSnapshot::from_string(exported).to_string(), exported);
+  // And the patches actually beat full transport on the wire: the total
+  // inbound traffic stays under the ship-the-full-state-every-tell bound.
+  EXPECT_LT(st.bytes_in,
+            st.tells * static_cast<std::int64_t>(exported.size()));
+  expect_matches_in_process(client, ref, "sparse transport");
+}
+
+TEST(Daemon, JournalAppendsSparseRecordsBetweenFullSlots) {
+  // Mid-stride durability: tell 1 publishes a full checkpoint slot; tells
+  // 2..N (N < the full-slot period) append sparse records to the journal
+  // instead of rewriting the snapshot.
+  const tune::Study study = small_study();
+  const tune::TuneOptions opt = adaptive_options();
+  TempDir dir("critter_serve_journal");
+  serve::TunerDaemon daemon({dir.path});
+  serve::ClientOptions partial = client_options(daemon.port());
+  partial.max_batches = 3;
+  serve::TunerClient client(study, opt, "journal", partial);
+  EXPECT_EQ(client.run().tells, 3);
+
+  const std::string sdir = dir.path + "/sessions/journal";
+  EXPECT_TRUE(core::published(sdir, "ckpt_a.bin") ||
+              core::published(sdir, "ckpt_b.bin"));
+  EXPECT_TRUE(core::file_exists(sdir + "/ckpt_log.bin"));
+}
+
 // ---------------------------------------------------------------------------
 // Daemon-as-a-process scenarios: kill -9 resume, SIGTERM flush
 // ---------------------------------------------------------------------------

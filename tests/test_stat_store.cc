@@ -539,3 +539,263 @@ TEST(StatSnapshot, GoldenSweepStatisticsSurviveSerializationBitIdentical) {
   EXPECT_EQ(critter::testing::digest_snapshot(loaded), expected)
       << "save_file/load_file round-trip bent a statistic";
 }
+
+// ---------------------------------------------------------------------------
+// Dirty-rank sparse transport (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+#include <cstring>
+
+#include "util/hash.hpp"
+
+namespace {
+
+/// base -> evolved pair where only rank 1's chunk bytes change: the shape
+/// every sparse-transport test pivots on (rank 0 must be omitted).
+std::pair<core::StatSnapshot, core::StatSnapshot> patch_pair() {
+  const core::StatSnapshot base = small_snapshot();
+  core::StatSnapshot evolved = base;
+  evolved.ranks[1].merge(make_table(2, 7));
+  return {base, evolved};
+}
+
+void put_u32(std::string& s, std::uint32_t v) {
+  s.append(reinterpret_cast<const char*>(&v), 4);
+}
+void put_u64(std::string& s, std::uint64_t v) {
+  s.append(reinterpret_cast<const char*>(&v), 8);
+}
+void put_i64(std::string& s, std::int64_t v) {
+  s.append(reinterpret_cast<const char*>(&v), 8);
+}
+
+/// Hand-craft a sparse payload with attacker-chosen rank indices; every
+/// chunk is the canonical clean body (epoch + six zero counts) with a
+/// *correct* checksum, so only the index structure is under test.
+std::string craft_sparse(std::uint32_t nranks, std::uint8_t mode,
+                         const std::vector<std::uint32_t>& dirty_ranks) {
+  std::string s;
+  s.append("CRSPRS1\n");
+  put_u32(s, core::StatSnapshot::current_version());
+  put_u32(s, nranks);
+  s.push_back(static_cast<char>(mode));
+  for (std::uint32_t r = 0; r < nranks; ++r) put_i64(s, 5);
+  put_u32(s, static_cast<std::uint32_t>(dirty_ranks.size()));
+  std::string body(8 + 6 * 8, '\0');
+  const std::int64_t epoch = 5;
+  std::memcpy(body.data(), &epoch, 8);
+  for (std::uint32_t rank : dirty_ranks) {
+    put_u32(s, rank);
+    put_u64(s, body.size());
+    put_u64(s, critter::util::fnv1a(body.data(), body.size()));
+    s += body;
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(SparseTransport, PatchRoundTripIsByteIdentical) {
+  const auto [base, evolved] = patch_pair();
+  const std::string base_full = base.to_string();
+  const std::string new_full = evolved.to_string();
+  const std::string patch = core::encode_sparse_patch(base_full, new_full);
+
+  EXPECT_TRUE(core::is_sparse_payload(patch));
+  EXPECT_FALSE(core::is_sparse_payload(new_full));
+  const core::SparsePayloadInfo info = core::sparse_payload_info(patch);
+  EXPECT_EQ(info.mode, 0);
+  EXPECT_EQ(info.nranks, 2u);
+  EXPECT_EQ(info.ndirty, 1u);  // rank 0 untouched, omitted outright
+  EXPECT_LT(patch.size(), new_full.size());
+
+  // The transport contract: splicing reproduces the target bytes exactly.
+  EXPECT_EQ(core::apply_sparse_patch(base_full, patch), new_full);
+
+  // Identical payloads collapse to a header-only patch that round-trips.
+  const std::string none = core::encode_sparse_patch(base_full, base_full);
+  EXPECT_EQ(core::sparse_payload_info(none).ndirty, 0u);
+  EXPECT_EQ(core::apply_sparse_patch(base_full, none), base_full);
+}
+
+TEST(SparseTransport, EpochOnlyChangeShipsNoChunk) {
+  const core::StatSnapshot base = small_snapshot();
+  core::StatSnapshot evolved = base;
+  evolved.ranks[0].epoch += 7;  // only the leading 8 bytes of the chunk move
+  const std::string base_full = base.to_string();
+  const std::string new_full = evolved.to_string();
+  const std::string patch = core::encode_sparse_patch(base_full, new_full);
+  EXPECT_EQ(core::sparse_payload_info(patch).ndirty, 0u);
+  // Header + 2 epochs + dirty count: nowhere near a table chunk.
+  EXPECT_LE(patch.size(), 64u);
+  EXPECT_EQ(core::apply_sparse_patch(base_full, patch), new_full);
+}
+
+TEST(SparseTransport, InPlaceApplyTracksBytesAndSnapshotTogether) {
+  const auto [base, evolved] = patch_pair();
+  std::string bytes = base.to_string();
+  core::StatSnapshot snap = core::StatSnapshot::from_string(bytes);
+  const std::uint64_t clean_version = snap.ranks[0].version;
+
+  const std::string new_full = evolved.to_string();
+  core::apply_sparse_patch_in_place(
+      bytes, snap, core::encode_sparse_patch(bytes, new_full));
+  EXPECT_EQ(bytes, new_full);
+  EXPECT_TRUE(snap.same_statistics(core::StatSnapshot::from_string(new_full)));
+  // Only the dirty rank's table was rebuilt (and its version bumped); the
+  // clean rank kept its decoded table untouched.
+  EXPECT_EQ(snap.ranks[0].version, clean_version);
+  EXPECT_GT(snap.ranks[1].version, clean_version);
+
+  // Chain a second patch (epoch-only this time) onto the updated cache.
+  core::StatSnapshot further = evolved;
+  further.ranks[0].epoch += 3;
+  const std::string next_full = further.to_string();
+  core::apply_sparse_patch_in_place(
+      bytes, snap, core::encode_sparse_patch(bytes, next_full));
+  EXPECT_EQ(bytes, next_full);
+  EXPECT_EQ(snap.ranks[0].epoch, further.ranks[0].epoch);
+  EXPECT_TRUE(snap.same_statistics(core::StatSnapshot::from_string(next_full)));
+}
+
+TEST(SparseTransport, StandaloneDeltaExpandsBitIdentical) {
+  const auto [base, evolved] = patch_pair();
+  const core::StatSnapshot delta = evolved.diff(base);
+  const std::string full = delta.to_string();
+  const std::string sparse = core::encode_sparse_delta(delta);
+
+  const core::SparsePayloadInfo info = core::sparse_payload_info(sparse);
+  EXPECT_EQ(info.mode, 1);
+  EXPECT_EQ(info.ndirty, 1u);  // rank 0's clean chunk folds into the epochs
+  EXPECT_LT(sparse.size(), full.size());
+  EXPECT_EQ(core::expand_sparse_delta(sparse), full);
+
+  // Every snapshot reader accepts mode-1 payloads via auto-expansion.
+  EXPECT_TRUE(core::StatSnapshot::from_string(sparse).same_statistics(
+      core::StatSnapshot::from_string(full)));
+
+  // The modes do not cross: a delta is not a patch and vice versa.
+  const std::string patch =
+      core::encode_sparse_patch(base.to_string(), evolved.to_string());
+  EXPECT_THROW(core::expand_sparse_delta(patch), std::runtime_error);
+  EXPECT_THROW(core::apply_sparse_patch(base.to_string(), sparse),
+               std::runtime_error);
+}
+
+TEST(SparseTransport, EveryPatchTruncationIsRejected) {
+  const auto [base, evolved] = patch_pair();
+  const std::string base_full = base.to_string();
+  const std::string patch =
+      core::encode_sparse_patch(base_full, evolved.to_string());
+  for (std::size_t len = 0; len < patch.size(); ++len) {
+    EXPECT_THROW(core::apply_sparse_patch(
+                     base_full, std::string_view(patch).substr(0, len)),
+                 std::runtime_error)
+        << "truncation at byte " << len << " applied successfully";
+  }
+  const std::string sparse =
+      core::encode_sparse_delta(evolved.diff(base));
+  for (std::size_t len = 0; len < sparse.size(); ++len) {
+    EXPECT_THROW(core::expand_sparse_delta(
+                     std::string_view(sparse).substr(0, len)),
+                 std::runtime_error)
+        << "truncation at byte " << len << " expanded successfully";
+  }
+}
+
+TEST(SparseTransport, EveryPatchByteFlipIsRejectedOrStructurallySound) {
+  // Flip every byte in turn.  Flips in the magic, version, mode, counts,
+  // lengths, checksums, or chunk bodies must be rejected outright.  Flips
+  // inside the epoch array are data, not structure — they cannot be told
+  // from a legitimate epoch, so the *soundness* contract is that the splice
+  // still yields a payload the full decoder accepts (never an out-of-bounds
+  // splice, a torn chunk, or partial state).
+  const auto [base, evolved] = patch_pair();
+  const std::string base_full = base.to_string();
+  const std::string patch =
+      core::encode_sparse_patch(base_full, evolved.to_string());
+  int accepted = 0;
+  for (std::size_t at = 0; at < patch.size(); ++at) {
+    std::string corrupt = patch;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0xFF);
+    try {
+      const std::string spliced = core::apply_sparse_patch(base_full, corrupt);
+      ++accepted;
+      EXPECT_NO_THROW(core::StatSnapshot::from_string(spliced))
+          << "flip at byte " << at << " produced a torn full payload";
+    } catch (const std::runtime_error&) {
+      // rejected — the common case
+    }
+  }
+  // Only epoch-array flips (2 ranks x 8 bytes) can possibly be accepted.
+  EXPECT_LE(accepted, 16);
+}
+
+TEST(SparseTransport, ForgedRankIndicesAreRejected) {
+  // Duplicate, descending, and out-of-range dirty indices — each with a
+  // perfectly valid chunk behind it, so only the index check can object.
+  EXPECT_THROW(core::expand_sparse_delta(craft_sparse(2, 1, {1, 1})),
+               std::runtime_error);
+  EXPECT_THROW(core::expand_sparse_delta(craft_sparse(2, 1, {1, 0})),
+               std::runtime_error);
+  EXPECT_THROW(core::expand_sparse_delta(craft_sparse(2, 1, {2})),
+               std::runtime_error);
+  // An unknown mode byte is refused before any chunk is looked at.
+  EXPECT_THROW(core::sparse_payload_info(craft_sparse(2, 2, {0})),
+               std::runtime_error);
+  // Trailing bytes after the final chunk are refused.
+  std::string trailing = craft_sparse(2, 1, {0});
+  trailing.push_back('\0');
+  EXPECT_THROW(core::expand_sparse_delta(trailing), std::runtime_error);
+  // The well-formed craft itself expands (the forgeries above failed for
+  // their indices, not for the scaffolding).
+  EXPECT_NO_THROW(core::expand_sparse_delta(craft_sparse(2, 1, {0, 1})));
+  // A patch against a base with a different rank count is refused.
+  const std::string base_full = small_snapshot().to_string();
+  EXPECT_THROW(core::apply_sparse_patch(base_full, craft_sparse(3, 0, {})),
+               std::runtime_error);
+}
+
+TEST(DirtyTracking, EveryMutationPathBumpsTheVersion) {
+  core::KernelTable t = make_table(4, 1);
+  std::uint64_t v = t.version;
+  t.merge(make_table(4, 2));
+  EXPECT_GT(t.version, v);
+  v = t.version;
+  t.new_epoch();
+  EXPECT_GT(t.version, v);
+  v = t.version;
+  t.clear_statistics();
+  EXPECT_GT(t.version, v);
+  v = t.version;
+  t.touch();
+  EXPECT_EQ(t.version, v + 1);
+  // Channel-registry-union growth travels through merge and therefore
+  // bumps: a peer that learned a new channel dirties the absorbing table.
+  core::KernelTable lhs = make_table(8, 1);
+  core::KernelTable rhs = make_table(8, 1);
+  rhs.channels.add_channel({0, 2, 4, 6});
+  v = lhs.version;
+  lhs.merge(rhs);
+  EXPECT_GT(lhs.version, v);
+  EXPECT_FALSE(lhs.channels.same_channels(make_table(8, 1).channels));
+}
+
+TEST(DirtyTracking, VersionIsTransportInvisible) {
+  // The counter is a local pre-filter, not state: it never serializes, and
+  // equality ignores it.
+  core::KernelTable t = make_table(2, 1);
+  t.touch();
+  t.touch();
+  core::StatSnapshot s;
+  s.ranks.push_back(t);
+  s.ranks.push_back(make_table(2, 2));
+  const core::StatSnapshot reloaded =
+      core::StatSnapshot::from_string(s.to_string());
+  EXPECT_TRUE(reloaded.same_statistics(s));
+  // Same bytes regardless of how often the source was touched.
+  core::StatSnapshot untouched;
+  untouched.ranks.push_back(make_table(2, 1));
+  untouched.ranks.push_back(make_table(2, 2));
+  EXPECT_EQ(untouched.to_string(), s.to_string());
+}

@@ -8,6 +8,12 @@ Fails (exit 1) if any named metric in FRESH is below MIN_RATIO times the
 baseline value — i.e. a >20% regression at the default MIN_RATIO of 0.8.
 Override the threshold with --min-ratio=0.9 before the file arguments.
 
+Metrics are higher-is-better by default (throughput, speedup ratios).
+Suffix a metric with ":lower" for lower-is-better values (latencies,
+overhead ratios): the same MIN_RATIO floor then applies to the inverted
+ratio baseline/fresh, so a fresh value more than 1/MIN_RATIO times the
+baseline fails.
+
 Both files are the BenchJson shape emitted by the bench binaries:
 
     { "bench": ..., "host": {...}, "results": [{"name", "value", "unit"}] }
@@ -47,7 +53,9 @@ def main(argv):
     print(f"fresh    {fresh_path}: host={fresh_host}")
 
     failed = []
-    for name in metrics:
+    for spec in metrics:
+        name, _, direction = spec.partition(":")
+        lower_is_better = direction == "lower"
         if name not in base:
             print(f"FAIL {name}: missing from baseline {baseline_path}")
             failed.append(name)
@@ -57,10 +65,14 @@ def main(argv):
             failed.append(name)
             continue
         b, f = base[name], fresh[name]
-        ratio = f / b if b else float("inf")
+        if lower_is_better:
+            ratio = b / f if f else float("inf")
+        else:
+            ratio = f / b if b else float("inf")
         verdict = "ok" if ratio >= min_ratio else "FAIL"
-        print(f"{verdict:4s} {name}: baseline={b:.6g} fresh={f:.6g} "
-              f"ratio={ratio:.3f} (floor {min_ratio:.2f})")
+        arrow = "lower" if lower_is_better else "higher"
+        print(f"{verdict:4s} {name} ({arrow}-is-better): baseline={b:.6g} "
+              f"fresh={f:.6g} ratio={ratio:.3f} (floor {min_ratio:.2f})")
         if ratio < min_ratio:
             failed.append(name)
 

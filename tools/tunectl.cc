@@ -153,6 +153,15 @@ int cmd_status(const critter::util::Options& opt) {
                   serve::encode_session_ref(session));
   const serve::StatusReply st = serve::decode_status_reply(reply.payload);
   std::printf("%s\n", st.text.c_str());
+  // This process's side of the conversation, from the socket-layer wire
+  // accounting — the round trip above is all the traffic we generated.
+  const net::WireCounters wc = net::wire_counters();
+  std::printf("client wire: %llu B sent / %llu B received (%llu/%llu "
+              "frames)\n",
+              static_cast<unsigned long long>(wc.bytes_sent),
+              static_cast<unsigned long long>(wc.bytes_received),
+              static_cast<unsigned long long>(wc.frames_sent),
+              static_cast<unsigned long long>(wc.frames_received));
   return 0;
 }
 
