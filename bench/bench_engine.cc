@@ -12,9 +12,11 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "obs/trace.hpp"
 #include "sim/api.hpp"
 #include "tune/tuner.hpp"
 #include "util/cli.hpp"
@@ -83,9 +85,11 @@ double bench_allreduce(int nranks, int iters, int bytes, util::Table& t) {
   return eng.max_time();
 }
 
-/// The headline workload: one fully-instrumented full execution of a
-/// SLATE-Cholesky configuration (the substrate of Figs. 3-5).
-double bench_slate_cholesky(util::Table& t) {
+/// One best-of-3 fully-instrumented SLATE-Cholesky run; returns the best
+/// (events, secs) pair.  Best-of-3 because scheduler interference can only
+/// slow a rep down, so the fastest rep is the least-noisy estimate of the
+/// workload's true throughput.
+std::pair<double, double> run_slate_cholesky(double* virt_out) {
   namespace tune = critter::tune;
   const auto study = tune::slate_cholesky_study(false);
   critter::Config pc;
@@ -95,9 +99,6 @@ double bench_slate_cholesky(util::Table& t) {
   sim::Machine m = sim::Machine::knl_like();
   m.gamma = study.gamma;
 
-  // Best-of-3: this is the perf-trajectory headline (gated in CI), and
-  // scheduler interference can only slow a rep down, so the fastest rep is
-  // the least-noisy estimate of the workload's true throughput.
   double virt = 0.0;
   double best_events = 0.0;
   double best_secs = 1.0;
@@ -119,8 +120,36 @@ double bench_slate_cholesky(util::Table& t) {
       best_secs = secs;
     }
   }
-  report(t, "slate_cholesky_events", best_events, best_secs);
+  if (virt_out != nullptr) *virt_out = virt;
+  return {best_events, best_secs};
+}
+
+/// The headline workload: one fully-instrumented full execution of a
+/// SLATE-Cholesky configuration (the substrate of Figs. 3-5), with tracing
+/// compiled in but disabled — exactly the state the CI gate measures.
+double bench_slate_cholesky(util::Table& t) {
+  double virt = 0.0;
+  const auto [events, secs] = run_slate_cholesky(&virt);
+  report(t, "slate_cholesky_events", events, secs);
   return virt;
+}
+
+/// Trace passivity A/B (DESIGN.md §14): the same headline workload with
+/// the span gate forced off and forced on.  trace_disabled_overhead ≈ 1
+/// proves the compiled-in-but-disabled emitters cost one relaxed load;
+/// trace_enabled_overhead bounds the recording cost.
+void bench_trace_overhead(util::Table& t) {
+  critter::obs::trace_force(false);
+  const auto [off_events, off_secs] = run_slate_cholesky(nullptr);
+  critter::obs::trace_force(true);
+  const auto [on_events, on_secs] = run_slate_cholesky(nullptr);
+  critter::obs::trace_unforce();
+  report(t, "slate_cholesky_trace_off", off_events, off_secs);
+  report(t, "slate_cholesky_trace_on", on_events, on_secs);
+  g_json.ratio("trace_disabled_overhead", "slate_cholesky_trace_off_per_sec",
+               "slate_cholesky_events_per_sec");
+  g_json.ratio("trace_enabled_overhead", "slate_cholesky_trace_on_per_sec",
+               "slate_cholesky_events_per_sec");
 }
 
 /// Serial vs thread-pooled reset_per_config sweep over 8 configurations.
@@ -170,6 +199,7 @@ int main() {
   bench_p2p_ring(64, 4000 * reps, 256, /*payload=*/true, t, "p2p_ring_payload");
   bench_allreduce(256, 500 * reps, 1024, t);
   bench_slate_cholesky(t);
+  bench_trace_overhead(t);
   bench_tune_sweep(t);
   t.print();
 

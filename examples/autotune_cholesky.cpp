@@ -225,6 +225,12 @@ int main(int argc, char** argv) {
               "full (%.2fx speedup); %d/%zu configurations evaluated\n",
               r.tuning_time, r.full_time, r.full_time / r.tuning_time,
               r.evaluated_configs, r.per_config.size());
+  if (r.phases.total() > 0.0)
+    std::printf("phase breakdown: ask %.4fs, evaluate %.4fs, tell %.4fs, "
+                "exchange %.4fs, checkpoint %.4fs (wall, summed over "
+                "shards)\n",
+                r.phases.ask, r.phases.evaluate, r.phases.tell,
+                r.phases.exchange, r.phases.checkpoint);
   std::printf("selected config %d (%s); optimum is %d — selection quality "
               "%.1f%%\n",
               r.best_predicted(),

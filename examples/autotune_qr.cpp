@@ -145,6 +145,12 @@ int main(int argc, char** argv) {
               r.tuning_time, r.full_time, r.full_time / r.tuning_time,
               r.full_kernel_time / std::max(r.kernel_time, 1e-300),
               r.best_predicted(), r.best_true());
+  if (r.phases.total() > 0.0)
+    std::printf("phase breakdown: ask %.4fs, evaluate %.4fs, tell %.4fs, "
+                "exchange %.4fs, checkpoint %.4fs (wall, summed over "
+                "shards)\n",
+                r.phases.ask, r.phases.evaluate, r.phases.tell,
+                r.phases.exchange, r.phases.checkpoint);
 
   const std::string save_stats = opt.get("save-stats", "");
   if (!save_stats.empty()) {

@@ -64,6 +64,7 @@ ShardResult shard_result_from(const tune::TuneResult& r,
   out.fallback_reason = r.fallback_reason;
   out.evaluated = r.evaluated_configs;
   out.stats = r.stats;
+  out.phases = r.phases;
   return out;
 }
 
@@ -191,6 +192,13 @@ tune::TuneResult run_sharded(const tune::Study& study,
     out.exchange_rounds += r.exchange_rounds;
     out.exchange_bytes += r.exchange_bytes;
     out.exchange_skips += r.exchange_skips;
+    // Phase times sum across shards: total CPU seconds per phase, the
+    // attribution the examples print (not elapsed wall time).
+    out.phases.ask += r.phases.ask;
+    out.phases.evaluate += r.phases.evaluate;
+    out.phases.tell += r.phases.tell;
+    out.phases.exchange += r.phases.exchange;
+    out.phases.checkpoint += r.phases.checkpoint;
     tune::ShardRecovery rec;
     rec.shard = sr.index;
     rec.retries = r.retries;

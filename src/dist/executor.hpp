@@ -117,6 +117,12 @@ struct ShardResult {
   std::string fallback_reason;
   int evaluated = 0;
   int exchange_rounds = 0;  ///< delta-publish rounds this shard performed
+  /// Where this shard's wall time went (tune::PhaseTimes contract: timing
+  /// metadata, excluded from bit-identity).  ask/evaluate/tell come from
+  /// the shard's Tuner session; exchange/checkpoint are filled by
+  /// executors that perform those phases out-of-session (the subprocess
+  /// worker loop).
+  tune::PhaseTimes phases;
   core::StatSnapshot stats;
 
   // --- fault-recovery record (subprocess executor; zero elsewhere) ---

@@ -52,6 +52,9 @@
 #include "dist/wire.hpp"
 #include "net/blob.hpp"
 #include "net/socket.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace critter::dist {
@@ -62,7 +65,10 @@ namespace {
 // ShardResult wire format (framing helpers in dist/wire.hpp)
 // ---------------------------------------------------------------------------
 
-constexpr char kResultMagic[8] = {'C', 'R', 'S', 'H', 'R', 'E', 'S', '3'};
+// Version 4: appends the per-phase wall-time breakdown (tune::PhaseTimes)
+// after the fault counters — timing metadata the fold sums into
+// TuneResult::phases; never part of any bit-identity comparison.
+constexpr char kResultMagic[8] = {'C', 'R', 'S', 'H', 'R', 'E', 'S', '4'};
 
 std::string serialize_result(const ShardResult& r) {
   WireWriter w;
@@ -81,6 +87,11 @@ std::string serialize_result(const ShardResult& r) {
   w.i32(r.checkpoints);
   w.i32(r.resumed_batches);
   w.i64(r.exchange_bytes);
+  w.f64(r.phases.ask);
+  w.f64(r.phases.evaluate);
+  w.f64(r.phases.tell);
+  w.f64(r.phases.exchange);
+  w.f64(r.phases.checkpoint);
   for (std::size_t j = 0; j < r.outcomes.size(); ++j) {
     write_outcome(w, r.outcomes[j]);
     write_totals(w, r.totals[j]);
@@ -123,6 +134,11 @@ ShardResult parse_result(const std::string& payload, const tune::Study& study,
   out.checkpoints = r.i32();
   out.resumed_batches = r.i32();
   out.exchange_bytes = r.i64();
+  out.phases.ask = r.f64();
+  out.phases.evaluate = r.f64();
+  out.phases.tell = r.f64();
+  out.phases.exchange = r.f64();
+  out.phases.checkpoint = r.f64();
   const int n = expect.end - expect.begin;
   out.outcomes.resize(n);
   out.totals.resize(n);
@@ -298,9 +314,15 @@ struct Heartbeat {
   std::string key;
   std::uint64_t n = 0;
   void beat(int batches) {
+    // Line 1 is the liveness counter plus the current execution phase (the
+    // stall report quotes phase= and batches=); line 2 is a compact metrics
+    // snapshot so the monitor can say *why* a shard is slow, not just that
+    // it is.
     std::string s = "pid=" + std::to_string(static_cast<long>(::getpid())) +
                     " beat=" + std::to_string(n++) +
-                    " batches=" + std::to_string(batches) + "\n";
+                    " batches=" + std::to_string(batches) +
+                    " phase=" + obs::current_phase() + "\n" +
+                    "metrics: " + obs::metrics_compact() + "\n";
     try {
       store->put(key, s);
     } catch (...) {
@@ -457,6 +479,10 @@ std::unique_ptr<ShardSession> resume_session(
 }
 
 int worker_body(const WorkerArgs& args) {
+  // Export trace events under the shard index, not the OS pid: the merged
+  // fleet timeline then has one stable process row per shard no matter how
+  // many relaunches the shard took.
+  obs::trace_set_pid(args.shard);
   // The shared store: every cross-process artifact (manifest, snapshots,
   // exchange mailbox, abort marker, heartbeats, results) goes through it.
   // Worker-local state — checkpoints, logs, fault counters — stays on
@@ -509,6 +535,7 @@ int worker_body(const WorkerArgs& args) {
   Heartbeat hb{&store, shard_key + "/heartbeat"};
   if (fault.mode == "crash-on-start" && fault_fires(shard_dir, fault))
     ::_exit(41);
+  obs::set_phase("resume");
   hb.beat(0);
 
   // --- resume from the last valid checkpoint, if any ---
@@ -520,6 +547,10 @@ int worker_body(const WorkerArgs& args) {
   // Mailbox traffic this attempt moved: published delta payloads plus live
   // peer reads (replay re-reads during resume are history, not new wire).
   std::int64_t exchange_bytes = 0;
+  // Wall seconds this attempt spent in exchange rounds and checkpoint
+  // writes — the worker's share of TuneResult::phases (ask/evaluate/tell
+  // come from the Tuner itself).
+  double exchange_s = 0.0, checkpoint_s = 0.0;
   int gc_next = 0;  ///< first own-delta round not yet retired by GC
   // Incremental-checkpoint bookkeeping: the base full checkpoint the log
   // extends, the slot the *next* full should use (always the one not
@@ -563,10 +594,9 @@ int worker_body(const WorkerArgs& args) {
         prev_told = told.size();
         prev_skipped = skipped.size();
       } catch (const std::exception& e) {
-        std::fprintf(stderr,
-                     "shard %d: checkpoint resume failed (%s) — restarting "
-                     "clean\n",
-                     args.shard, e.what());
+        obs::log_warn("shard %d: checkpoint resume failed (%s) — restarting "
+                      "clean",
+                      args.shard, e.what());
         ss.reset();
         told.clear();
         skipped.clear();
@@ -629,7 +659,7 @@ int worker_body(const WorkerArgs& args) {
   // each checkpoint appends one constant-sized increment.
   constexpr std::int64_t kIncrementsPerFull = 16;
   int checkpoints_taken = 0;
-  const auto take_checkpoint = [&](bool force_full = false) {
+  const auto take_checkpoint_body = [&](bool force_full) {
     ++ckpt_seq;
     ++checkpoints_taken;
     const int ordinal = fault.arg > 0 ? static_cast<int>(fault.arg) : 2;
@@ -774,9 +804,23 @@ int worker_body(const WorkerArgs& args) {
     prev_told = told.size();
     prev_skipped = skipped.size();
   };
+  const auto take_checkpoint = [&](bool force_full = false) {
+    obs::set_phase("checkpoint");
+    const double t0 = monotonic_s();
+    {
+      obs::ScopedSpan span("dist.checkpoint", "dist", "seq",
+                           static_cast<std::uint64_t>(ckpt_seq + 1));
+      take_checkpoint_body(force_full);
+    }
+    const double dt = monotonic_s() - t0;
+    checkpoint_s += dt;
+    obs::histogram("dist.checkpoint.write_seconds").observe(dt);
+    obs::set_phase("evaluate");
+  };
 
   const long fault_batch = fault.arg > 0 ? fault.arg : 1;
   int attempt_batches = 0;
+  obs::set_phase("evaluate");
   while (true) {
     if (g_worker_terminate) {
       // Graceful shutdown: flush a final full checkpoint (state snapshot
@@ -794,7 +838,18 @@ int worker_body(const WorkerArgs& args) {
     check_not_aborted(store);
     std::vector<int> batch;
     std::vector<tune::ConfigOutcome> outcomes;
-    if (!ss->step_logged(&batch, &outcomes)) break;
+    bool stepped;
+    {
+      const double t0 = monotonic_s();
+      obs::ScopedSpan span("dist.batch", "dist", "batch",
+                           static_cast<std::uint64_t>(batches));
+      stepped = ss->step_logged(&batch, &outcomes);
+      if (stepped) {
+        obs::counter("dist.batches").add();
+        obs::histogram("dist.batch_seconds").observe(monotonic_s() - t0);
+      }
+    }
+    if (!stepped) break;
     told.push_back({batch, std::move(outcomes)});
     ++batches;
     ++attempt_batches;
@@ -807,9 +862,21 @@ int worker_body(const WorkerArgs& args) {
         fault_fires(shard_dir, fault))
       while (true) sleep_ms(1000);  // a genuine hang: no beats, no exit
     if (exchanging && in_round == every) {
+      obs::set_phase("exchange");
+      const double round_t0 = monotonic_s();
+      const std::int64_t round_bytes0 = exchange_bytes;
+      obs::ScopedSpan round_span("dist.exchange_round", "dist", "round",
+                                 static_cast<std::uint64_t>(round));
       // Publish this shard's round delta, then fold in every peer's, in
       // ascending shard order (the determinism contract).
       publish_delta(round);
+      // Flow id (shard << 16) | round: the publish starts the flow, every
+      // peer that absorbs this round's delta finishes it — the merged
+      // fleet timeline draws the exchange as arrows between process rows.
+      obs::trace_flow(
+          's', "exchange", "dist",
+          (static_cast<std::uint64_t>(range.index) << 16) |
+              static_cast<std::uint64_t>(round));
       for (int p = 0; p < nshards; ++p) {
         if (p == range.index) continue;
         PeerWait peer = await_peer_delta(store, p, round,
@@ -818,12 +885,22 @@ int worker_body(const WorkerArgs& args) {
         if (peer.skipped) {
           skipped.emplace_back(round, p);
           ++skips;
+          obs::counter("dist.exchange.skips").add();
         } else if (!peer.snap.empty()) {
+          obs::trace_flow('f', "exchange", "dist",
+                          (static_cast<std::uint64_t>(p) << 16) |
+                              static_cast<std::uint64_t>(round));
           ss->absorb(peer.snap);
         }
         exchange_bytes += peer.bytes;
       }
       ss->refresh_mark();
+      obs::counter("dist.exchange.bytes")
+          .add(static_cast<std::uint64_t>(exchange_bytes - round_bytes0));
+      const double round_dt = monotonic_s() - round_t0;
+      exchange_s += round_dt;
+      obs::histogram("dist.exchange.round_seconds").observe(round_dt);
+      obs::set_phase("evaluate");
       ++round;
       in_round = 0;
       if (gc) {
@@ -858,6 +935,10 @@ int worker_body(const WorkerArgs& args) {
       // Trailing partial round: publish so peers still sweeping see it;
       // a finished shard reads no more peers.
       publish_delta(round);
+      obs::trace_flow(
+          's', "exchange", "dist",
+          (static_cast<std::uint64_t>(range.index) << 16) |
+              static_cast<std::uint64_t>(round));
       ++round;
     }
     store.publish("exchange/" + done_name(range.index),
@@ -875,8 +956,17 @@ int worker_body(const WorkerArgs& args) {
   result.checkpoints = checkpoints_taken;
   result.resumed_batches = resumed_batches;
   result.exchange_bytes = exchange_bytes;
+  // ask/evaluate/tell arrived via the Tuner's own phase clock; the worker
+  // loop owns the exchange and checkpoint time.
+  result.phases.exchange = exchange_s;
+  result.phases.checkpoint = checkpoint_s;
 
+  obs::set_phase("publish");
   if (fault.mode == "skip-result") return 0;
+  // Flush the per-shard trace file *before* publishing the result: the
+  // launcher merges shard traces as soon as every result is in hand, so
+  // the publish is the ordering barrier that makes the file visible.
+  obs::trace_flush_env();
   store.publish(shard_key + "/result.bin", serialize_result(result));
   return 0;
 }
@@ -895,9 +985,18 @@ std::string self_binary() {
 pid_t spawn_worker(const std::string& binary, const std::string& run_dir,
                    int shard, const std::string& connect,
                    const FaultPolicy& fault) {
+  // Re-point the worker's tracing at a per-shard file; the launcher merges
+  // them into one fleet timeline after the run.  The env assignment is
+  // built before fork so the child only calls putenv — no allocation
+  // between fork and execv (the launcher may be running server threads).
+  std::string trace_env;
+  if (obs::trace_enabled())
+    trace_env = "CRITTER_TRACE=" + run_dir + "/shard" +
+                std::to_string(shard) + "/trace.json";
   const pid_t pid = ::fork();
   CRITTER_CHECK(pid >= 0, "fork failed for shard worker");
   if (pid > 0) return pid;
+  if (!trace_env.empty()) ::putenv(const_cast<char*>(trace_env.data()));
   // Child: capture output, then become the worker.
   const std::string log =
       run_dir + "/shard" + std::to_string(shard) + "/log.txt";
@@ -924,8 +1023,7 @@ pid_t spawn_worker(const std::string& binary, const std::string& run_dir,
   }
   argv.push_back(nullptr);
   ::execv(binary.c_str(), const_cast<char* const*>(argv.data()));
-  std::fprintf(stderr, "execv %s failed: %s\n", binary.c_str(),
-               std::strerror(errno));
+  obs::log_error("execv %s failed: %s", binary.c_str(), std::strerror(errno));
   ::_exit(127);
 }
 
@@ -958,6 +1056,23 @@ std::string format_seconds(double s) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%g", s);
   return buf;
+}
+
+/// " (last phase=evaluate, batch 12)" recovered from a shard's final
+/// heartbeat content, so a stall report says what the worker was doing
+/// when it went quiet; empty when no heartbeat was ever observed (or it
+/// predates the phase field).
+std::string describe_last_beat(const std::string& beat) {
+  const char* batches_at = std::strstr(beat.c_str(), "batches=");
+  const char* phase_at = std::strstr(beat.c_str(), "phase=");
+  if (batches_at == nullptr && phase_at == nullptr) return "";
+  char phase[64] = {0};
+  if (phase_at != nullptr) std::sscanf(phase_at + 6, "%63s", phase);
+  const int batches = batches_at != nullptr ? std::atoi(batches_at + 8) : 0;
+  std::string out = " (last phase=";
+  out += phase[0] != '\0' ? phase : "?";
+  out += ", batch " + std::to_string(batches) + ")";
+  return out;
 }
 
 struct Child {
@@ -1055,8 +1170,12 @@ std::vector<ShardResult> run_fleet(const tune::Study& study,
     if (c.attempts <= fault.max_retries) {
       double backoff = fault.backoff_initial_s;
       for (int i = 1; i < c.attempts; ++i) backoff *= 2.0;
-      c.relaunch_at =
-          monotonic_s() + std::min(backoff, fault.backoff_max_s);
+      const double wait = std::min(backoff, fault.backoff_max_s);
+      c.relaunch_at = monotonic_s() + wait;
+      obs::counter("dist.retries").add();
+      obs::histogram("dist.backoff_wait_seconds").observe(wait);
+      obs::log_info("shard %d faulted (%s) — relaunch in %gs",
+                    c.range.index, reason.c_str(), wait);
       return;
     }
     if (fault.on_exhausted == FaultPolicy::OnExhausted::Degrade) {
@@ -1128,7 +1247,8 @@ std::vector<ShardResult> run_fleet(const tune::Study& study,
       c.running = false;
       if (try_finish(c)) continue;  // hung after publishing: still usable
       fault_out(c, "stalled: no heartbeat progress within " +
-                       format_seconds(limit) + "s");
+                       format_seconds(limit) + "s" +
+                       describe_last_beat(c.beat));
     }
     sleep_ms(5);
   }
@@ -1221,6 +1341,34 @@ std::vector<ShardResult> SubprocessExecutor::run(
       run_fleet(study, opt, shards, exchange, opts_.fault, binary, run_dir,
                 *store, connect);
 
+  // Fleet timeline (DESIGN.md §14): each worker wrote a per-shard trace
+  // (pid = shard index) before publishing its result; merge them with the
+  // launcher's own events into the CRITTER_TRACE file.  Best-effort —
+  // shards that died before flushing simply have no rows.
+  if (const std::string trace_path = obs::trace_env_path();
+      !trace_path.empty()) {
+    std::vector<std::string> docs;
+    std::vector<std::pair<int, std::string>> names;
+    for (const ShardRange& s : shards) {
+      const std::string p =
+          run_dir + "/shard" + std::to_string(s.index) + "/trace.json";
+      if (!file_exists(p)) continue;
+      try {
+        docs.push_back(read_file(p));
+        names.emplace_back(s.index, "shard " + std::to_string(s.index));
+      } catch (...) {
+      }
+    }
+    docs.push_back(obs::trace_export_chrome());
+    names.emplace_back(static_cast<int>(::getpid()), "launcher");
+    try {
+      write_file(trace_path, obs::trace_merge_chrome(docs, names));
+    } catch (const std::exception& e) {
+      obs::log_warn("fleet trace merge to %s failed: %s", trace_path.c_str(),
+                    e.what());
+    }
+  }
+
   // End-of-run mailbox sweep: every result is in hand, so no worker will
   // read another delta — retire whatever the in-run GC couldn't (trailing
   // rounds, early-finisher tails) plus the progress markers.  Idempotent;
@@ -1257,7 +1405,7 @@ int shard_worker_main(int argc, char** argv) {
   try {
     args = parse_worker_args(argc, argv);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
+    obs::log_error("%s", e.what());
     return 2;
   }
   try {
@@ -1269,7 +1417,7 @@ int shard_worker_main(int argc, char** argv) {
                  std::string(e.what()) + "\n");
     } catch (...) {
     }
-    std::fprintf(stderr, "shard worker %d failed: %s\n", args.shard, e.what());
+    obs::log_error("shard worker %d failed: %s", args.shard, e.what());
     return 1;
   }
 }

@@ -1,0 +1,102 @@
+#include "obs/log.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace critter::obs {
+
+namespace {
+
+std::atomic<int> g_forced{-1};
+
+LogLevel parse_level(const char* s) {
+  if (!s || !*s) return LogLevel::kWarn;
+  if (std::strcmp(s, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(s, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(s, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+void vlog(LogLevel level, const char* fmt, va_list ap) {
+  if (!log_enabled(level)) return;
+  char line[1024];
+  int n = std::snprintf(line, sizeof line, "critter[%d] %s ",
+                        static_cast<int>(::getpid()), level_tag(level));
+  if (n < 0) return;
+  int m = std::vsnprintf(line + n, sizeof line - static_cast<std::size_t>(n) -
+                                       1,
+                         fmt, ap);
+  if (m < 0) return;
+  n += m;
+  if (n > static_cast<int>(sizeof line) - 2) n = sizeof line - 2;
+  line[n++] = '\n';
+  // One fwrite per line: interleaving fleets tear at line granularity
+  // only.
+  std::fwrite(line, 1, static_cast<std::size_t>(n), stderr);
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<LogLevel>(forced);
+  // Parsed once; the environment does not change mid-process.
+  static const LogLevel env_level = parse_level(std::getenv("CRITTER_LOG"));
+  return env_level;
+}
+
+void log_force_level(LogLevel level) {
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  vlog(level, fmt, ap);
+  va_end(ap);
+}
+
+void log_error(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  vlog(LogLevel::kError, fmt, ap);
+  va_end(ap);
+}
+
+void log_warn(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  vlog(LogLevel::kWarn, fmt, ap);
+  va_end(ap);
+}
+
+void log_info(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  vlog(LogLevel::kInfo, fmt, ap);
+  va_end(ap);
+}
+
+void log_debug(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  vlog(LogLevel::kDebug, fmt, ap);
+  va_end(ap);
+}
+
+}  // namespace critter::obs

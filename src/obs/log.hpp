@@ -1,0 +1,60 @@
+// Leveled diagnostics for every long-lived process in the tree (fleet
+// launchers, shard workers, the tuner daemon): one line per event on
+// stderr, filtered by CRITTER_LOG=error|warn|info|debug (default warn).
+//
+// Replaces the scattered fprintf(stderr, ...) calls the dist and serve
+// layers grew — a fleet interleaves many processes on one stderr, so every
+// line carries the pid and level, and each message is emitted with a
+// single fwrite so concurrent processes cannot tear each other's lines.
+//
+// Logging is diagnostics, not data: nothing in the tree may branch on
+// whether a line was emitted, and no test asserts on log output (the
+// observability passivity rule, DESIGN.md §14).
+#pragma once
+
+#include <cstdarg>
+
+namespace critter::obs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// The active level: parsed from CRITTER_LOG once, on first use.  Unknown
+/// values fall back to the default (warn) — a typo must not silence
+/// errors.
+LogLevel log_level();
+
+/// Test/tool override (takes precedence over the environment).
+void log_force_level(LogLevel level);
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+/// printf-style emit; a no-op when `level` is filtered.  The formatted
+/// line becomes "critter[<pid>] <LEVEL> <message>\n" written atomically.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log(LogLevel level, const char* fmt, ...);
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void log_error(const char* fmt, ...);
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void log_warn(const char* fmt, ...);
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void log_info(const char* fmt, ...);
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 1, 2)))
+#endif
+void log_debug(const char* fmt, ...);
+
+}  // namespace critter::obs

@@ -1,0 +1,107 @@
+// Process-wide metrics registry (DESIGN.md §14): lock-free counters,
+// gauges, and fixed-bucket histograms registered by dotted name
+// ("subsystem.noun[.qualifier]"), snapshot-able to a stable text and JSON
+// form.
+//
+// Registration takes a mutex (first use per name); every update after that
+// is a relaxed atomic on a stable object — hot paths cache the returned
+// reference (objects are never deleted, so references never dangle).
+// Metrics are always on: there is no enable flag, because an update is one
+// relaxed add.  The passivity rule applies: metrics observe execution,
+// they never steer it — no simulation, tuning, or protocol decision may
+// read one.
+//
+// Snapshot forms:
+//   * metrics_text(): "name value" lines sorted by name, histograms
+//     expanded to name.count / name.sum;
+//   * metrics_json(): one stable JSON object, keys sorted — the same
+//     schema `tunectl status --json` and the heartbeat snapshot embed;
+//   * metrics_compact(): single-line "name=value ..." of the counters and
+//     gauges only — small enough for per-batch heartbeat rewrites.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace critter::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed upper-bound buckets chosen at registration (first caller wins;
+/// later registrations of the same name reuse the existing buckets).  The
+/// observe path is one binary search plus two relaxed atomics — safe from
+/// any thread.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative-free per-bucket counts; index bounds_.size() is overflow.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential seconds-scale buckets 1us .. ~65s — the default for every
+/// latency histogram in the tree so snapshots compare across subsystems.
+std::vector<double> latency_buckets_s();
+
+/// Look up (registering on first use) by name.  References are stable for
+/// the process lifetime.  A name must keep one kind: re-registering it as
+/// a different kind CRITTER_CHECK-fails.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name,
+                     const std::vector<double>& bounds = latency_buckets_s());
+
+/// "name value" per line, sorted by name.  Histograms expand to
+/// "name.count N" and "name.sum S".
+std::string metrics_text();
+
+/// One JSON object, stable key order:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":N,"sum":S,
+///                          "buckets":[[bound,count],...,["inf",count]]}}}
+std::string metrics_json();
+
+/// Single-line "name=value ..." of counters and gauges (histograms
+/// collapse to name.count/name.sum) — the heartbeat form.
+std::string metrics_compact();
+
+/// Drop every registered metric (tests only — references obtained before
+/// a reset dangle).
+void metrics_reset_for_tests();
+
+/// The process-wide current execution phase ("evaluate", "exchange",
+/// "checkpoint", "resume", ...): a label for heartbeats and stall
+/// diagnostics, set by the owning loop.  Values must be string literals
+/// (stored by pointer).
+void set_phase(const char* phase);
+const char* current_phase();
+
+}  // namespace critter::obs

@@ -14,6 +14,9 @@
 #include "dist/checkpoint.hpp"
 #include "dist/manifest.hpp"
 #include "dist/wire.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tune/evaluator.hpp"
 #include "tune/strategy.hpp"
 #include "tune/sweep.hpp"
@@ -148,6 +151,21 @@ void splice_state_blob(std::string& state_bytes, const std::string& blob) {
   state_bytes = blob;  // full payload: wholesale replacement
 }
 
+/// Observe the enclosing scope's wall time into a latency histogram —
+/// the per-request serve.*_seconds instruments.
+class ScopedHistTimer {
+ public:
+  explicit ScopedHistTimer(obs::Histogram& h)
+      : h_(h), t0_(core::monotonic_s()) {}
+  ~ScopedHistTimer() { h_.observe(core::monotonic_s() - t0_); }
+  ScopedHistTimer(const ScopedHistTimer&) = delete;
+  ScopedHistTimer& operator=(const ScopedHistTimer&) = delete;
+
+ private:
+  obs::Histogram& h_;
+  double t0_;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -251,8 +269,8 @@ void TunerDaemon::stop() {
     try {
       flush_session(*s);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "tuner daemon: final flush of session %s failed: %s\n",
-                   name.c_str(), e.what());
+      obs::log_error("tuner daemon: final flush of session %s failed: %s",
+                     name.c_str(), e.what());
     }
   }
 }
@@ -392,6 +410,7 @@ TunerDaemon::Session& TunerDaemon::resolve_session(const std::string& name) {
 // ---------------------------------------------------------------------------
 
 void TunerDaemon::journal_tell(Session& s, const std::string& state_blob) {
+  ScopedHistTimer flush_timer(obs::histogram("serve.journal_flush_seconds"));
   // Between full slots, one constant-sized CRJTELL1 record per tell: the
   // told batch, its totals, and the TELL's state blob verbatim — the
   // sparse patch a client sent splices on resume exactly as it spliced
@@ -514,6 +533,9 @@ net::Frame TunerDaemon::handle_request(const net::Frame& rq,
       return {net::kOk, encode_open_reply(rp)};
     }
     case net::kTuneAsk: {
+      obs::ScopedSpan span("serve.ask", "serve");
+      ScopedHistTimer timer(obs::histogram("serve.ask_seconds"));
+      obs::counter("serve.asks").add();
       const AskRequest arq = decode_ask_request(rq.payload);
       Session& s = resolve_session(arq.session);
       std::unique_lock<std::mutex> lk(s.mu);
@@ -559,6 +581,9 @@ net::Frame TunerDaemon::handle_request(const net::Frame& rq,
       return {net::kOk, payload};
     }
     case net::kTuneTell: {
+      obs::ScopedSpan span("serve.tell", "serve");
+      ScopedHistTimer timer(obs::histogram("serve.tell_seconds"));
+      obs::counter("serve.tells").add();
       core::WireReader r{rq.payload};
       const std::string name = decode_tell_session(r);
       Session& s = resolve_session(name);
@@ -583,7 +608,9 @@ net::Frame TunerDaemon::handle_request(const net::Frame& rq,
           core::apply_sparse_patch_in_place(s.state_bytes, s.state_snap,
                                             trq.state);
           ++s.sparse_tells;
+          obs::counter("serve.tells.sparse").add();
         } else {
+          obs::counter("serve.tells.full").add();
           s.state_snap = StatSnapshot::from_string(trq.state);
           s.state_bytes = trq.state;
         }
@@ -651,6 +678,7 @@ net::Frame TunerDaemon::handle_request(const net::Frame& rq,
                 ", wire " + std::to_string(rp.bytes_in) + "B in/" +
                 std::to_string(rp.bytes_out) + "B out, " +
                 std::to_string(rp.sparse_tells) + " sparse tells";
+      rp.metrics = obs::metrics_json();
       return {net::kOk, encode_status_reply(rp)};
     }
     case net::kTuneShutdown: {
@@ -697,7 +725,7 @@ int tuner_daemon_main(int argc, char** argv) {
     if (a.rfind("--port=", 0) == 0) port = std::atoi(a.c_str() + 7);
   }
   if (state_dir.empty()) {
-    std::fprintf(stderr, "usage: --tuner-daemon --state-dir=DIR [--port=N]\n");
+    obs::log_error("usage: --tuner-daemon --state-dir=DIR [--port=N]");
     return 2;
   }
   struct sigaction sa {};
@@ -713,7 +741,7 @@ int tuner_daemon_main(int argc, char** argv) {
     // SIGTERM/SIGINT contract.
     daemon.stop();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "tuner daemon: %s\n", e.what());
+    obs::log_error("tuner daemon: %s", e.what());
     return 1;
   }
   return 0;

@@ -29,7 +29,10 @@ namespace critter::serve {
 /// bytes, TELL may carry a sparse patch against the state the claim was
 /// issued on, and the TELL reply returns the session's new state
 /// generation.
-inline constexpr const char* kTuneService = "critter-tune/2";
+/// Version 3: STATUS replies carry the daemon's process-wide metrics
+/// snapshot (obs::metrics_json(), DESIGN.md §14) after the per-session
+/// wire accounting — `tunectl status --json` and `tunectl watch` read it.
+inline constexpr const char* kTuneService = "critter-tune/3";
 
 /// Session names become journal directory names: a restrictive charset
 /// keeps them shell- and path-safe (no separators, no leading dot).
@@ -347,6 +350,11 @@ struct StatusReply {
   std::int64_t bytes_out = 0;
   std::int64_t sparse_tells = 0;  ///< tells whose state arrived as a patch
   std::string text;               ///< one human-readable summary line
+  /// The daemon's process-wide metrics snapshot (obs::metrics_json()):
+  /// ask/tell latency histograms, journal flush cost, per-session wire
+  /// counters in aggregate.  Process-wide by design — a daemon is one
+  /// tuning fleet's shared brain, and `tunectl watch` polls this field.
+  std::string metrics;
 };
 
 inline std::string encode_status_reply(const StatusReply& rp) {
@@ -359,6 +367,7 @@ inline std::string encode_status_reply(const StatusReply& rp) {
   w.i64(rp.bytes_out);
   w.i64(rp.sparse_tells);
   w.str(rp.text);
+  w.str(rp.metrics);
   return w.out;
 }
 
@@ -373,6 +382,7 @@ inline StatusReply decode_status_reply(const std::string& payload) {
   rp.bytes_out = r.i64();
   rp.sparse_tells = r.i64();
   rp.text = r.str();
+  rp.metrics = r.str();
   CRITTER_CHECK(r.done(), "tune status reply: trailing bytes");
   return rp;
 }

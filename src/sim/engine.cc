@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -70,6 +72,7 @@ void Engine::ReadyHeap::push(double time, int rank) {
       times_[i] = times_[parent];
       ranks_[i] = ranks_[parent];
       i = parent;
+      ++sift_steps_;
     } else {
       break;
     }
@@ -98,6 +101,7 @@ int Engine::ReadyHeap::pop() {
     times_[i] = times_[c];
     ranks_[i] = ranks_[c];
     i = c;
+    ++sift_steps_;
   }
   times_[i] = time;
   ranks_[i] = last;
@@ -683,8 +687,32 @@ Comm Engine::f_split(Comm parent, int color, int key) {
   return out;
 }
 
+namespace {
+
+/// One flush per completed run keeps the event loop itself free of atomics:
+/// the engine accumulates plain per-instance counters and deposits them
+/// here.  References are resolved once per process (registry entries are
+/// never deleted).
+void flush_run_metrics(std::int64_t switches, std::int64_t sifts,
+                       std::int64_t p2p, std::int64_t coll) {
+  static obs::Counter& jobs = obs::counter("sim.jobs");
+  static obs::Counter& fiber_switches = obs::counter("sim.fiber_switches");
+  static obs::Counter& heap_sifts = obs::counter("sim.heap_sifts");
+  static obs::Counter& p2p_msgs = obs::counter("sim.p2p_msgs");
+  static obs::Counter& coll_ops = obs::counter("sim.coll_ops");
+  jobs.add(1);
+  fiber_switches.add(static_cast<std::uint64_t>(switches));
+  heap_sifts.add(static_cast<std::uint64_t>(sifts));
+  p2p_msgs.add(static_cast<std::uint64_t>(p2p));
+  coll_ops.add(static_cast<std::uint64_t>(coll));
+}
+
+}  // namespace
+
 void Engine::run(const std::function<void(RankCtx&)>& body) {
   CRITTER_CHECK(final_clocks_.empty(), "Engine::run may only be called once");
+  obs::ScopedSpan span("sim.run", "sim", "ranks",
+                       static_cast<std::uint64_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     RankState* rs = &ranks_[r];
     rs->fiber = std::make_unique<Fiber>([this, rs, &body] { body(rs->ctx); });
@@ -698,6 +726,7 @@ void Engine::run(const std::function<void(RankCtx&)>& body) {
     rs.st = RankState::St::Running;
     running_ = r;
     rs.fiber->resume();
+    ++fiber_switches_;
     running_ = -1;
     if (rs.fiber->finished()) {
       rs.st = RankState::St::Done;
@@ -708,6 +737,8 @@ void Engine::run(const std::function<void(RankCtx&)>& body) {
     }
   }
   g_engine = prev;
+  flush_run_metrics(fiber_switches_, ready_.sift_steps(), p2p_count_,
+                    coll_count_);
   if (first_error_) std::rethrow_exception(first_error_);
 
   for (const auto& rs : ranks_)

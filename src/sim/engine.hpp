@@ -204,12 +204,17 @@ class Engine {
     int top_rank() const { return ranks_[0]; }
     void push(double time, int rank);
     int pop();  ///< removes and returns the minimal entry's rank
+    /// Total sift levels moved by push/pop — the heap-work observability
+    /// counter (a plain per-level increment; flushed to the metrics
+    /// registry once per run, never read by the simulation itself).
+    std::int64_t sift_steps() const { return sift_steps_; }
    private:
     bool less(std::size_t i, double time, int rank) const {
       return times_[i] < time || (times_[i] == time && ranks_[i] < rank);
     }
     std::vector<double> times_;
     std::vector<int> ranks_;
+    std::int64_t sift_steps_ = 0;
   };
 
   /// Slot/freelist table of nonblocking requests.  A request id encodes
@@ -283,6 +288,7 @@ class Engine {
   std::vector<double> final_clocks_;
   std::int64_t p2p_count_ = 0;
   std::int64_t coll_count_ = 0;
+  std::int64_t fiber_switches_ = 0;  ///< scheduler dispatches (run() only)
   std::exception_ptr first_error_;
 };
 

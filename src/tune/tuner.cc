@@ -4,7 +4,10 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/fsio.hpp"
 #include "dist/executor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tune/evaluator.hpp"
 #include "tune/strategy.hpp"
 #include "tune/sweep.hpp"
@@ -145,8 +148,13 @@ Tuner::~Tuner() = default;
 
 std::vector<int> Tuner::ask() {
   CRITTER_CHECK(!asked_, "previous batch has not been tell()'d yet");
+  const double t0 = core::monotonic_s();
   started_ = true;
   if (done_) return {};
+  // Per-strategy ask accounting: the registry keys counters by the
+  // strategy name so a mixed fleet's snapshot attributes work correctly.
+  obs::counter("tune.asks").add(1);
+  obs::counter("tune.asks." + opt_.strategy).add(1);
   std::vector<int> batch = strategy_->next_batch(driver_->batch());
   if (batch.empty()) {
     done_ = true;
@@ -165,6 +173,7 @@ std::vector<int> Tuner::ask() {
   pending_ = batch;
   asked_ = true;
   evaluated_ = false;
+  phases_.ask += core::monotonic_s() - t0;
   return batch;
 }
 
@@ -175,7 +184,16 @@ std::vector<ConfigOutcome> Tuner::evaluate(const std::vector<int>& batch) {
                 "the claimed batch was already evaluated; tell() it before "
                 "asking again (re-evaluating would re-merge its statistics)");
   evaluated_ = true;
-  driver_->run_batch(batch, *control_, per_config_, totals_);
+  const double t0 = core::monotonic_s();
+  {
+    obs::ScopedSpan span("tune.evaluate", "tune", "batch",
+                         static_cast<std::uint64_t>(batch.size()));
+    driver_->run_batch(batch, *control_, per_config_, totals_);
+  }
+  const double dt = core::monotonic_s() - t0;
+  phases_.evaluate += dt;
+  obs::counter("tune.evaluated").add(batch.size());
+  obs::histogram("tune.batch_seconds").observe(dt);
   std::vector<ConfigOutcome> out;
   out.reserve(batch.size());
   for (int idx : batch) out.push_back(per_config_[idx]);
@@ -189,15 +207,26 @@ void Tuner::tell(const std::vector<ConfigOutcome>& outcomes) {
   // Accept outcomes in batch order (ascending position in study.configs —
   // a subset study's positions can differ from the configurations' space
   // indices), which is also the order the strategy observes them in.
+  const double t0 = core::monotonic_s();
   for (std::size_t k = 0; k < outcomes.size(); ++k) {
     CRITTER_CHECK(
         outcomes[k].config.index == study_.configs[pending_[k]].index,
         "tell() outcomes must match the claimed batch order");
     per_config_[pending_[k]] = outcomes[k];
   }
-  for (const ConfigOutcome& oc : outcomes) strategy_->observe(oc);
+  std::uint64_t pruned = 0;
+  for (const ConfigOutcome& oc : outcomes) {
+    strategy_->observe(oc);
+    if (oc.pruned) ++pruned;
+  }
+  obs::counter("tune.tells").add(1);
+  obs::counter("tune.tells." + opt_.strategy).add(1);
+  // CI early-stop decisions: configurations whose later samples the
+  // confidence-interval rule abandoned — the paper's discard mechanism.
+  if (pruned > 0) obs::counter("tune.ci_early_stops").add(pruned);
   pending_.clear();
   asked_ = false;
+  phases_.tell += core::monotonic_s() - t0;
 }
 
 void Tuner::tell_evaluated(const std::vector<ConfigOutcome>& outcomes,
@@ -289,6 +318,7 @@ TuneResult Tuner::result() const {
     out.full_kernel_time += t.full_kernel_time;
   }
   out.stats = driver_->stats();
+  out.phases = phases_;
   return out;
 }
 

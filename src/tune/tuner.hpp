@@ -142,6 +142,20 @@ struct ConfigOutcome {
   int samples_used = 0;
 };
 
+/// Wall-clock seconds a tuning session spent per phase — the cost
+/// attribution the observability layer surfaces (DESIGN.md §14).  Sharded
+/// results sum their shards' breakdowns (total CPU seconds, not elapsed
+/// wall time).  Timing metadata only: non-deterministic across runs and
+/// excluded from every bit-identity contract — nothing may branch on it.
+struct PhaseTimes {
+  double ask = 0.0;         ///< strategy batch selection
+  double evaluate = 0.0;    ///< simulated evaluation (the sweep itself)
+  double tell = 0.0;        ///< outcome feedback + strategy observation
+  double exchange = 0.0;    ///< dist only: publishing/absorbing peer deltas
+  double checkpoint = 0.0;  ///< dist only: checkpoint build + publish
+  double total() const { return ask + evaluate + tell + exchange + checkpoint; }
+};
+
 /// One shard's fault-recovery record from a distributed run — filled by
 /// dist::run_sharded() from the executor's ShardResults (all-zero entries
 /// for executors that cannot fault, e.g. in-process shards).
@@ -192,6 +206,9 @@ struct TuneResult {
   int exchange_skips = 0;
   /// Per-shard fault-recovery records of a sharded run (empty otherwise).
   std::vector<ShardRecovery> shard_recovery;
+  /// Where the session's wall time went (summed across shards for sharded
+  /// runs); printed by the examples.  See PhaseTimes for the contract.
+  PhaseTimes phases;
   int evaluated_configs = 0;   ///< configurations actually evaluated
   /// Non-empty when fewer workers engaged than requested, with the reason.
   std::string fallback_reason;
@@ -325,6 +342,7 @@ class Tuner {
   std::unique_ptr<EvalControl> control_;  ///< hints for the claimed batch
   std::vector<ConfigOutcome> per_config_;
   std::vector<ConfigTotals> totals_;
+  PhaseTimes phases_;           ///< accumulated by ask/evaluate/tell
   std::vector<int> pending_;    ///< claimed, not yet told
   bool asked_ = false;          ///< a batch is claimed
   bool evaluated_ = false;      ///< the claimed batch was evaluated

@@ -186,6 +186,13 @@ TEST(CrashRecovery, HungWorkerIsStallKilledAndRelaunched) {
   EXPECT_TRUE(rec.recovered);
   EXPECT_NE(rec.last_failure.find("stalled"), std::string::npos)
       << rec.last_failure;
+  // The stall report must say where the worker got stuck: the hang fires
+  // right after the batch-1 heartbeat in the evaluate loop, so the last
+  // beat the launcher saw carries exactly that phase and batch counter.
+  EXPECT_NE(rec.last_failure.find("last phase=evaluate"), std::string::npos)
+      << rec.last_failure;
+  EXPECT_NE(rec.last_failure.find("batch 1"), std::string::npos)
+      << rec.last_failure;
 }
 
 // ---------------------------------------------------------------------------

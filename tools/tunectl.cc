@@ -5,7 +5,9 @@
 //                    [--workload=NAME] [--strategy=SPEC] [--policy=P]
 //                    [--tolerance=X] [--samples=N] [--workers=N] [--batch=N]
 //                    [--prior=FILE] [--max-batches=N] [--drop-after-asks=N]
-//   tunectl status   --session=S [--connect=H:P | --state-dir=DIR]
+//   tunectl status   --session=S [--json] [--connect=H:P | --state-dir=DIR]
+//   tunectl watch    --session=S [--interval-ms=N] [--polls=N] [--json]
+//                    [--connect=H:P | --state-dir=DIR]
 //   tunectl export   --session=S --out=FILE [--connect=H:P | --state-dir=DIR]
 //   tunectl shutdown [--connect=H:P | --state-dir=DIR]
 //
@@ -15,8 +17,12 @@
 // sweep across processes or machines; --drop-after-asks=N injects the
 // disconnect-mid-batch fault (the claim must re-issue to surviving
 // clients).  `status`/`export`/`shutdown` speak to existing sessions
-// without opening one, so they need no study flags.  --state-dir instead
-// of --connect reads the daemon's published port file.
+// without opening one, so they need no study flags.  `status --json`
+// emits one machine-readable object embedding the daemon's process-wide
+// metrics snapshot (DESIGN.md §14); `watch` polls status every
+// --interval-ms (default 1000) until the sweep is done or --polls polls
+// have run (0 = forever).  --state-dir instead of --connect reads the
+// daemon's published port file.
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -59,7 +65,9 @@ int usage() {
       "           [--workers=N] [--batch=N] [--prior=FILE] "
       "[--max-batches=N]\n"
       "           [--drop-after-asks=N]\n"
-      "  status   --session=S [--connect=H:P | --state-dir=DIR]\n"
+      "  status   --session=S [--json] [--connect=H:P | --state-dir=DIR]\n"
+      "  watch    --session=S [--interval-ms=N] [--polls=N] [--json]\n"
+      "           [--connect=H:P | --state-dir=DIR]\n"
       "  export   --session=S --out=FILE [--connect=H:P | --state-dir=DIR]\n"
       "  shutdown [--connect=H:P | --state-dir=DIR]\n");
   return 2;
@@ -145,13 +153,47 @@ int cmd_tune(const critter::util::Options& opt) {
   return 0;
 }
 
+serve::StatusReply fetch_status(const net::Address& addr,
+                                const std::string& session) {
+  const net::Frame reply = raw_request(addr, net::kTuneStatus,
+                                       serve::encode_session_ref(session));
+  return serve::decode_status_reply(reply.payload);
+}
+
+/// One stable JSON object per status poll: the decoded per-session fields,
+/// this process's socket-layer wire counters, and the daemon's own
+/// metrics_json() snapshot verbatim under "daemon_metrics" (null when the
+/// daemon predates protocol v3 fields).  Session names are charset-checked
+/// by the daemon, so no string escaping is needed.
+void print_status_json(const std::string& session,
+                       const serve::StatusReply& st) {
+  const net::WireCounters wc = net::wire_counters();
+  std::printf(
+      "{\"session\":\"%s\",\"done\":%s,\"tells\":%d,\"evaluated\":%d,"
+      "\"best_predicted\":%d,\"bytes_in\":%lld,\"bytes_out\":%lld,"
+      "\"sparse_tells\":%lld,"
+      "\"client_wire\":{\"bytes_sent\":%llu,\"bytes_received\":%llu,"
+      "\"frames_sent\":%llu,\"frames_received\":%llu},"
+      "\"daemon_metrics\":%s}\n",
+      session.c_str(), st.done ? "true" : "false", st.tells, st.evaluated,
+      st.best_predicted, static_cast<long long>(st.bytes_in),
+      static_cast<long long>(st.bytes_out),
+      static_cast<long long>(st.sparse_tells),
+      static_cast<unsigned long long>(wc.bytes_sent),
+      static_cast<unsigned long long>(wc.bytes_received),
+      static_cast<unsigned long long>(wc.frames_sent),
+      static_cast<unsigned long long>(wc.frames_received),
+      st.metrics.empty() ? "null" : st.metrics.c_str());
+}
+
 int cmd_status(const critter::util::Options& opt) {
   const std::string session = opt.get("session", "");
   if (session.empty()) return usage();
-  const net::Frame reply =
-      raw_request(resolve_daemon(opt), net::kTuneStatus,
-                  serve::encode_session_ref(session));
-  const serve::StatusReply st = serve::decode_status_reply(reply.payload);
+  const serve::StatusReply st = fetch_status(resolve_daemon(opt), session);
+  if (opt.has("json")) {
+    print_status_json(session, st);
+    return 0;
+  }
   std::printf("%s\n", st.text.c_str());
   // This process's side of the conversation, from the socket-layer wire
   // accounting — the round trip above is all the traffic we generated.
@@ -163,6 +205,30 @@ int cmd_status(const critter::util::Options& opt) {
               static_cast<unsigned long long>(wc.frames_sent),
               static_cast<unsigned long long>(wc.frames_received));
   return 0;
+}
+
+int cmd_watch(const critter::util::Options& opt) {
+  const std::string session = opt.get("session", "");
+  if (session.empty()) return usage();
+  const net::Address addr = resolve_daemon(opt);
+  const auto interval =
+      static_cast<int>(opt.get_int("interval-ms", 1000));
+  const auto max_polls = static_cast<int>(opt.get_int("polls", 0));
+  const bool json = opt.has("json");
+  for (int poll = 0;; ++poll) {
+    const serve::StatusReply st = fetch_status(addr, session);
+    if (json)
+      print_status_json(session, st);
+    else
+      std::printf("%s\n", st.text.c_str());
+    std::fflush(stdout);
+    if (st.done) {
+      if (!json) std::printf("sweep complete\n");
+      return 0;
+    }
+    if (max_polls > 0 && poll + 1 >= max_polls) return 0;
+    critter::core::sleep_ms(interval);
+  }
 }
 
 int cmd_export(const critter::util::Options& opt) {
@@ -196,6 +262,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(opt);
     if (cmd == "tune") return cmd_tune(opt);
     if (cmd == "status") return cmd_status(opt);
+    if (cmd == "watch") return cmd_watch(opt);
     if (cmd == "export") return cmd_export(opt);
     if (cmd == "shutdown") return cmd_shutdown(opt);
   } catch (const std::exception& e) {
